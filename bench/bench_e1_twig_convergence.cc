@@ -1,0 +1,91 @@
+// E1 — paper claim (§2): "the algorithms are able to learn a query
+// equivalent to the goal query from a small number of examples (generally
+// two)". For each goal twig over XMark-style documents we feed positive
+// examples one at a time until the learned query is equivalent to the goal,
+// and report the number of examples needed.
+#include <cstdio>
+#include <vector>
+
+#include "benchlib/experiment_util.h"
+#include "common/table_printer.h"
+#include "common/strings.h"
+#include "schema/inference.h"
+#include "twig/twig_parser.h"
+#include "xml/xmark.h"
+
+using namespace qlearn;  // NOLINT: experiment driver
+
+int main() {
+  common::Interner interner;
+
+  std::vector<xml::XmlTree> docs;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    xml::XMarkOptions options;
+    options.seed = 1000 + seed;
+    options.num_people = 15;
+    options.num_open_auctions = 8;
+    options.num_closed_auctions = 6;
+    docs.push_back(xml::GenerateXMark(options, &interner));
+  }
+  std::vector<const xml::XmlTree*> ptrs;
+  size_t total_nodes = 0;
+  for (const auto& d : docs) {
+    ptrs.push_back(&d);
+    total_nodes += d.NumNodes();
+  }
+  std::printf("E1: twig-learner convergence on %zu XMark-style documents "
+              "(%zu nodes total)\n\n",
+              docs.size(), total_nodes);
+
+  // The schema-aware variant prunes data-implied filters with a schema
+  // inferred from the corpus — the paper's own overspecialization fix.
+  auto ms = schema::InferMs(ptrs);
+
+  common::TablePrinter table({"goal query", "goal size",
+                              "arbitrary order", "informative user",
+                              "informative + schema"});
+  std::vector<double> arbitrary;
+  std::vector<double> informative;
+  std::vector<double> with_schema;
+  size_t goals = 0;
+  auto cell = [](int n) { return n < 0 ? std::string("-")
+                                       : std::to_string(n); };
+  for (const std::string& text : benchlib::XMarkGoalQueries()) {
+    auto goal = twig::ParseTwig(text, &interner);
+    if (!goal.ok()) continue;
+    ++goals;
+    const int arb = benchlib::ExamplesUntilConvergence(
+        goal.value(), ptrs, &interner, 16,
+        benchlib::ConvergenceCriterion::kAnswers,
+        benchlib::ExampleOrder::kRoundRobin);
+    const int inf = benchlib::ExamplesUntilConvergence(
+        goal.value(), ptrs, &interner, 16,
+        benchlib::ConvergenceCriterion::kAnswers,
+        benchlib::ExampleOrder::kCounterexample);
+    const int infs =
+        ms.ok() ? benchlib::ExamplesUntilConvergenceWithSchema(
+                      goal.value(), ptrs, ms.value(), &interner, 16,
+                      benchlib::ExampleOrder::kCounterexample)
+                : -1;
+    if (arb >= 0) arbitrary.push_back(arb);
+    if (inf >= 0) informative.push_back(inf);
+    if (infs >= 0) with_schema.push_back(infs);
+    table.AddRow({text, std::to_string(goal.value().Size()), cell(arb),
+                  cell(inf), cell(infs)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nmean examples to convergence: arbitrary order %s (%zu/%zu "
+              "goals), informative user %s (%zu/%zu), informative + schema "
+              "%s (%zu/%zu)   [paper: \"generally two\"]\n",
+              common::FormatDouble(benchlib::Mean(arbitrary), 2).c_str(),
+              arbitrary.size(), goals,
+              common::FormatDouble(benchlib::Mean(informative), 2).c_str(),
+              informative.size(), goals,
+              common::FormatDouble(benchlib::Mean(with_schema), 2).c_str(),
+              with_schema.size(), goals);
+  std::printf("(the informative-user model — each new annotation is a node "
+              "the current query misses — is the setting behind the paper's "
+              "claim; arbitrary-order feeding wastes examples on lookalike "
+              "matches)\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E2 — paper claim (§2): "The algorithms from [36] are able to learn 15% of
+// the queries from XPathMark". Our XPathMark-style set mirrors the
+// benchmark's composition (DESIGN.md §1); for every query we report whether
+// it lies in the twig fragment and, if so, whether the learner actually
+// recovers it from examples. Coverage = learnable / total.
+#include <cstdio>
+
+#include "benchlib/experiment_util.h"
+#include "benchlib/xpathmark.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "twig/twig_parser.h"
+#include "xml/xmark.h"
+
+using namespace qlearn;  // NOLINT: experiment driver
+
+int main() {
+  common::Interner interner;
+  std::vector<xml::XmlTree> docs;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    xml::XMarkOptions options;
+    options.seed = 7000 + seed;
+    options.num_closed_auctions = 10;
+    docs.push_back(xml::GenerateXMark(options, &interner));
+  }
+  std::vector<const xml::XmlTree*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+
+  common::TablePrinter table({"id", "in twig fragment", "learned", "notes"});
+  int learnable = 0;
+  const auto& queries = benchlib::XPathMarkQueries();
+  for (const auto& q : queries) {
+    if (!q.in_twig_fragment) {
+      table.AddRow({q.id, "no", "-", q.exclusion_reason});
+      continue;
+    }
+    auto goal = twig::ParseTwig(q.xpath, &interner);
+    if (!goal.ok()) {
+      table.AddRow({q.id, "yes", "parse error", ""});
+      continue;
+    }
+    const int n =
+        benchlib::ExamplesUntilConvergence(goal.value(), ptrs, &interner);
+    if (n > 0) {
+      ++learnable;
+      table.AddRow({q.id, "yes", "yes (" + std::to_string(n) + " examples)",
+                    q.description});
+    } else {
+      table.AddRow({q.id, "yes", "no", q.description});
+    }
+  }
+  std::printf("E2: XPathMark-style coverage of the twig learner\n\n%s",
+              table.ToString().c_str());
+  const double coverage =
+      100.0 * learnable / static_cast<double>(queries.size());
+  std::printf("\nlearned %d/%zu queries = %s%% (paper: 15%%)\n", learnable,
+              queries.size(), common::FormatDouble(coverage, 1).c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Micro-benchmarks (google-benchmark) for the core operators every
+// experiment rests on: twig evaluation, join execution, DME membership,
+// schema validation, and path-query evaluation.
+#include <benchmark/benchmark.h>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "graph/geo_generator.h"
+#include "graph/path_query.h"
+#include "relational/generator.h"
+#include "relational/operators.h"
+#include "schema/dme.h"
+#include "schema/dms.h"
+#include "twig/twig_eval.h"
+#include "twig/twig_parser.h"
+#include "xml/xmark.h"
+
+namespace {
+
+using namespace qlearn;  // NOLINT: benchmark driver
+
+void BM_TwigEvaluate(benchmark::State& state) {
+  common::Interner interner;
+  xml::XMarkOptions options;
+  options.num_people = static_cast<int>(state.range(0));
+  const xml::XmlTree doc = xml::GenerateXMark(options, &interner);
+  auto query = twig::ParseTwig("//person[address/city]/name", &interner);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(twig::Evaluate(query.value(), doc));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.NumNodes()));
+}
+BENCHMARK(BM_TwigEvaluate)->Arg(25)->Arg(100)->Arg(400);
+
+void BM_EquiJoin(benchmark::State& state) {
+  relational::JoinInstanceOptions options;
+  options.left_rows = static_cast<int>(state.range(0));
+  options.right_rows = static_cast<int>(state.range(0));
+  const relational::JoinInstance inst =
+      relational::GenerateJoinInstance(options, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        relational::EquiJoin(inst.left, inst.right, inst.goal));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EquiJoin)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DmeMembership(benchmark::State& state) {
+  common::Interner interner;
+  auto dme = schema::ParseDme(
+      "name, emailaddress, phone?, (homepage|creditcard)?, interest*",
+      &interner);
+  schema::Bag bag{{interner.Intern("name"), 1},
+                  {interner.Intern("emailaddress"), 1},
+                  {interner.Intern("interest"), 3}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dme.value().Accepts(bag));
+  }
+}
+BENCHMARK(BM_DmeMembership);
+
+void BM_PathQueryEval(benchmark::State& state) {
+  common::Interner interner;
+  graph::GeoOptions options;
+  options.grid_width = static_cast<int>(state.range(0));
+  options.grid_height = static_cast<int>(state.range(0));
+  const graph::Graph g = graph::GenerateGeoGraph(options, &interner);
+  auto regex = automata::ParseRegex("highway+.local?", &interner);
+  const graph::PathQuery query{regex.value(), std::nullopt};
+  for (auto _ : state) {
+    graph::PathQueryEvaluator eval(query, g);
+    benchmark::DoNotOptimize(eval.EvalFrom(0));
+  }
+}
+BENCHMARK(BM_PathQueryEval)->Arg(5)->Arg(10)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Quickstart: learn a twig query from two annotated XML documents.
+//
+// A user who cannot write XPath marks one node per document as "this is what
+// I want"; the library infers the query (the paper's Section-2 setting).
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "common/interner.h"
+#include "learn/twig_learner.h"
+#include "twig/twig_eval.h"
+#include "xml/xml_parser.h"
+
+int main() {
+  qlearn::common::Interner interner;
+
+  // Two documents from a (fictional) people directory.
+  auto doc1 = qlearn::xml::ParseXml(
+      "<site><people>"
+      "  <person><name/><age/><phone/></person>"
+      "  <person><name/></person>"
+      "</people></site>",
+      &interner);
+  auto doc2 = qlearn::xml::ParseXml(
+      "<site><people>"
+      "  <person><name/><age/></person>"
+      "  <person><name/><homepage/></person>"
+      "</people></site>",
+      &interner);
+  if (!doc1.ok() || !doc2.ok()) {
+    std::fprintf(stderr, "parse error\n");
+    return 1;
+  }
+
+  // The user annotates the <name> of each person that has an <age>.
+  // Node ids: use the first name under the first person in both documents.
+  auto find_name_with_age = [&](const qlearn::xml::XmlTree& doc) {
+    for (qlearn::xml::NodeId n : doc.PreOrder()) {
+      if (interner.Name(doc.label(n)) != "name") continue;
+      const qlearn::xml::NodeId person = doc.parent(n);
+      for (qlearn::xml::NodeId sibling : doc.children(person)) {
+        if (interner.Name(doc.label(sibling)) == "age") return n;
+      }
+    }
+    return qlearn::xml::kInvalidNode;
+  };
+  const qlearn::learn::TreeExample examples[] = {
+      {&doc1.value(), find_name_with_age(doc1.value())},
+      {&doc2.value(), find_name_with_age(doc2.value())},
+  };
+
+  auto learned = qlearn::learn::LearnTwig(
+      {examples[0], examples[1]});
+  if (!learned.ok()) {
+    std::fprintf(stderr, "learning failed: %s\n",
+                 learned.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("learned query: %s\n",
+              learned.value().ToString(interner).c_str());
+  std::printf("selected nodes in document 1: %zu\n",
+              qlearn::twig::Evaluate(learned.value(), doc1.value()).size());
+  std::printf("selected nodes in document 2: %zu\n",
+              qlearn::twig::Evaluate(learned.value(), doc2.value()).size());
+  return 0;
+}

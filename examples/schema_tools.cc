@@ -1,0 +1,72 @@
+// Schema toolbox: infer a disjunctive multiplicity schema from example
+// documents (identifiable in the limit from positive examples), validate,
+// test containment, and use the schema to shrink a learned query — the
+// paper's schema-aware optimization.
+#include <cstdio>
+
+#include "learn/schema_aware.h"
+#include "schema/inference.h"
+#include "schema/ms.h"
+#include "twig/twig_parser.h"
+#include "xml/xml_parser.h"
+
+using qlearn::common::Interner;
+using qlearn::xml::XmlTree;
+
+int main() {
+  Interner interner;
+
+  // A corpus of person records.
+  const char* corpus[] = {
+      "<person><name/><phone/><homepage/></person>",
+      "<person><name/><creditcard/></person>",
+      "<person><name/><phone/></person>",
+      "<person><name/></person>",
+  };
+  std::vector<XmlTree> docs;
+  for (const char* text : corpus) {
+    auto doc = qlearn::xml::ParseXml(text, &interner);
+    if (!doc.ok()) return 1;
+    docs.push_back(std::move(doc).value());
+  }
+  std::vector<const XmlTree*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+
+  // Infer the DMS: homepage and creditcard never co-occur, so the inference
+  // produces the disjunction (homepage | creditcard)?.
+  auto dms = qlearn::schema::InferDms(ptrs);
+  if (!dms.ok()) return 1;
+  std::printf("inferred schema:\n%s\n",
+              dms.value().ToString(interner).c_str());
+
+  for (const char* probe :
+       {"<person><name/><homepage/><creditcard/></person>",
+        "<person><phone/></person>"}) {
+    auto doc = qlearn::xml::ParseXml(probe, &interner);
+    if (!doc.ok()) return 1;
+    std::printf("validates %-55s -> %s\n", probe,
+                dms.value().Validates(doc.value()) ? "yes" : "no");
+  }
+
+  // Schema-aware query pruning: with "every person has a name" in an MS,
+  // the learned filter [name] is redundant.
+  qlearn::schema::Ms ms(interner.Intern("people"));
+  ms.SetMultiplicity(interner.Intern("people"), interner.Intern("person"),
+                     qlearn::schema::Multiplicity::kStar);
+  ms.SetMultiplicity(interner.Intern("person"), interner.Intern("name"),
+                     qlearn::schema::Multiplicity::kOne);
+  ms.SetMultiplicity(interner.Intern("person"), interner.Intern("phone"),
+                     qlearn::schema::Multiplicity::kOpt);
+
+  auto overspecialized =
+      qlearn::twig::ParseTwig("/people/person[name][phone]", &interner);
+  if (!overspecialized.ok()) return 1;
+  const qlearn::twig::TwigQuery pruned =
+      qlearn::learn::PruneImpliedFilters(overspecialized.value(), ms);
+  std::printf("\nschema-aware pruning:\n  before: %s (size %zu)\n"
+              "  after:  %s (size %zu)\n",
+              overspecialized.value().ToString(interner).c_str(),
+              overspecialized.value().Size(),
+              pruned.ToString(interner).c_str(), pruned.Size());
+  return 0;
+}

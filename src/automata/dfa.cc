@@ -1,0 +1,299 @@
+#include "automata/dfa.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace qlearn {
+namespace automata {
+
+using common::SymbolId;
+
+Dfa Dfa::Determinize(const Nfa& nfa,
+                     const std::vector<SymbolId>& extra_alphabet) {
+  std::set<SymbolId> sigma(extra_alphabet.begin(), extra_alphabet.end());
+  for (SymbolId s : nfa.Alphabet()) sigma.insert(s);
+  std::vector<SymbolId> alphabet(sigma.begin(), sigma.end());
+
+  // Subset construction; subsets are sorted NFA state vectors.
+  std::map<std::vector<StateId>, StateId> ids;
+  std::vector<std::vector<StateId>> subsets;
+  auto intern = [&](std::vector<StateId> subset) {
+    auto it = ids.find(subset);
+    if (it != ids.end()) return it->second;
+    const StateId id = static_cast<StateId>(subsets.size());
+    ids.emplace(subset, id);
+    subsets.push_back(std::move(subset));
+    return id;
+  };
+
+  const StateId start = intern({nfa.start()});
+  std::vector<std::vector<StateId>> transitions;
+  std::vector<bool> accepting;
+  for (StateId cur = 0; cur < subsets.size(); ++cur) {
+    const std::vector<StateId> subset = subsets[cur];  // copy: vector grows
+    bool acc = false;
+    for (StateId s : subset) acc = acc || nfa.IsAccepting(s);
+    std::vector<StateId> row(alphabet.size());
+    for (size_t a = 0; a < alphabet.size(); ++a) {
+      std::set<StateId> next;
+      for (StateId s : subset) {
+        for (const auto& [label, target] : nfa.Transitions(s)) {
+          if (label == alphabet[a]) next.insert(target);
+        }
+      }
+      row[a] = intern(std::vector<StateId>(next.begin(), next.end()));
+    }
+    if (transitions.size() <= cur) {
+      transitions.resize(cur + 1);
+      accepting.resize(cur + 1);
+    }
+    transitions[cur] = std::move(row);
+    accepting[cur] = acc;
+  }
+  // Subsets discovered after the last processed state (none: loop covers all).
+  return Dfa(std::move(alphabet), start, std::move(transitions),
+             std::move(accepting));
+}
+
+Dfa Dfa::FromRegex(const Regex& regex,
+                   const std::vector<SymbolId>& extra_alphabet) {
+  return Determinize(Nfa::FromRegex(regex), extra_alphabet);
+}
+
+bool Dfa::Accepts(const std::vector<SymbolId>& word) const {
+  StateId s = start_;
+  for (SymbolId sym : word) {
+    auto it = std::lower_bound(alphabet_.begin(), alphabet_.end(), sym);
+    if (it == alphabet_.end() || *it != sym) return false;
+    s = transitions_[s][static_cast<size_t>(it - alphabet_.begin())];
+  }
+  return accepting_[s];
+}
+
+bool Dfa::IsEmpty() const { return !ShortestAccepted().has_value(); }
+
+std::optional<std::vector<SymbolId>> Dfa::ShortestAccepted() const {
+  // BFS from the start state, tracking the predecessor edge of each state.
+  std::vector<int> pred_state(NumStates(), -1);
+  std::vector<size_t> pred_sym(NumStates(), 0);
+  std::vector<bool> seen(NumStates(), false);
+  std::deque<StateId> queue{start_};
+  seen[start_] = true;
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    if (accepting_[s]) {
+      std::vector<SymbolId> word;
+      StateId cur = s;
+      while (cur != start_ || pred_state[cur] >= 0) {
+        if (pred_state[cur] < 0) break;
+        word.push_back(alphabet_[pred_sym[cur]]);
+        cur = static_cast<StateId>(pred_state[cur]);
+        if (cur == start_ && pred_state[cur] < 0) break;
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    for (size_t a = 0; a < alphabet_.size(); ++a) {
+      const StateId t = transitions_[s][a];
+      if (!seen[t]) {
+        seen[t] = true;
+        pred_state[t] = static_cast<int>(s);
+        pred_sym[t] = a;
+        queue.push_back(t);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Dfa Dfa::WithAlphabet(const std::vector<SymbolId>& alphabet) const {
+  // Map each new alphabet symbol to the old index (or none -> sink).
+  std::vector<int> old_index(alphabet.size(), -1);
+  for (size_t a = 0; a < alphabet.size(); ++a) {
+    auto it = std::lower_bound(alphabet_.begin(), alphabet_.end(), alphabet[a]);
+    if (it != alphabet_.end() && *it == alphabet[a]) {
+      old_index[a] = static_cast<int>(it - alphabet_.begin());
+    }
+  }
+  const bool needs_sink =
+      std::any_of(old_index.begin(), old_index.end(),
+                  [](int i) { return i < 0; });
+  const size_t n = NumStates() + (needs_sink ? 1 : 0);
+  const StateId sink = static_cast<StateId>(NumStates());
+  std::vector<std::vector<StateId>> transitions(
+      n, std::vector<StateId>(alphabet.size(), sink));
+  std::vector<bool> accepting(n, false);
+  for (StateId s = 0; s < NumStates(); ++s) {
+    accepting[s] = accepting_[s];
+    for (size_t a = 0; a < alphabet.size(); ++a) {
+      if (old_index[a] >= 0) {
+        transitions[s][a] = transitions_[s][static_cast<size_t>(old_index[a])];
+      }
+    }
+  }
+  return Dfa(alphabet, start_, std::move(transitions), std::move(accepting));
+}
+
+Dfa Dfa::Product(const Dfa& a, const Dfa& b, ProductMode mode) {
+  std::set<SymbolId> sigma(a.alphabet_.begin(), a.alphabet_.end());
+  sigma.insert(b.alphabet_.begin(), b.alphabet_.end());
+  std::vector<SymbolId> alphabet(sigma.begin(), sigma.end());
+  const Dfa lhs = a.WithAlphabet(alphabet);
+  const Dfa rhs = b.WithAlphabet(alphabet);
+
+  std::map<std::pair<StateId, StateId>, StateId> ids;
+  std::vector<std::pair<StateId, StateId>> pairs;
+  auto intern = [&](std::pair<StateId, StateId> p) {
+    auto it = ids.find(p);
+    if (it != ids.end()) return it->second;
+    const StateId id = static_cast<StateId>(pairs.size());
+    ids.emplace(p, id);
+    pairs.push_back(p);
+    return id;
+  };
+  const StateId start = intern({lhs.start(), rhs.start()});
+  std::vector<std::vector<StateId>> transitions;
+  std::vector<bool> accepting;
+  for (StateId cur = 0; cur < pairs.size(); ++cur) {
+    const auto [ls, rs] = pairs[cur];
+    std::vector<StateId> row(alphabet.size());
+    for (size_t al = 0; al < alphabet.size(); ++al) {
+      row[al] = intern({lhs.Step(ls, al), rhs.Step(rs, al)});
+    }
+    if (transitions.size() <= cur) {
+      transitions.resize(cur + 1);
+      accepting.resize(cur + 1);
+    }
+    transitions[cur] = std::move(row);
+    accepting[cur] = mode == ProductMode::kIntersection
+                         ? (lhs.IsAccepting(ls) && rhs.IsAccepting(rs))
+                         : (lhs.IsAccepting(ls) && !rhs.IsAccepting(rs));
+  }
+  return Dfa(std::move(alphabet), start, std::move(transitions),
+             std::move(accepting));
+}
+
+bool Dfa::Equivalent(const Dfa& a, const Dfa& b) {
+  return Contains(a, b) && Contains(b, a);
+}
+
+bool Dfa::Contains(const Dfa& outer, const Dfa& inner) {
+  return Product(inner, outer, ProductMode::kDifference).IsEmpty();
+}
+
+std::optional<std::vector<SymbolId>> Dfa::DifferenceWitness(const Dfa& a,
+                                                            const Dfa& b) {
+  return Product(a, b, ProductMode::kDifference).ShortestAccepted();
+}
+
+Dfa Dfa::Minimize() const {
+  // Trim to reachable states first.
+  std::vector<int> reach_id(NumStates(), -1);
+  std::vector<StateId> order;
+  std::deque<StateId> queue{start_};
+  reach_id[start_] = 0;
+  order.push_back(start_);
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    for (size_t a = 0; a < alphabet_.size(); ++a) {
+      const StateId t = transitions_[s][a];
+      if (reach_id[t] < 0) {
+        reach_id[t] = static_cast<int>(order.size());
+        order.push_back(t);
+        queue.push_back(t);
+      }
+    }
+  }
+
+  // Moore partition refinement on the reachable part.
+  const size_t n = order.size();
+  std::vector<int> block(n);
+  for (size_t i = 0; i < n; ++i) block[i] = accepting_[order[i]] ? 1 : 0;
+  size_t num_blocks = 2;
+  for (;;) {
+    // Signature: (block, block of each successor).
+    std::map<std::vector<int>, int> sig_ids;
+    std::vector<int> next_block(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<int> sig;
+      sig.reserve(alphabet_.size() + 1);
+      sig.push_back(block[i]);
+      for (size_t a = 0; a < alphabet_.size(); ++a) {
+        sig.push_back(block[reach_id[transitions_[order[i]][a]]]);
+      }
+      auto [it, inserted] =
+          sig_ids.emplace(std::move(sig), static_cast<int>(sig_ids.size()));
+      next_block[i] = it->second;
+      (void)inserted;
+    }
+    if (sig_ids.size() == num_blocks) {
+      block = std::move(next_block);
+      break;
+    }
+    num_blocks = sig_ids.size();
+    block = std::move(next_block);
+  }
+
+  std::vector<std::vector<StateId>> transitions(
+      num_blocks, std::vector<StateId>(alphabet_.size(), 0));
+  std::vector<bool> accepting(num_blocks, false);
+  for (size_t i = 0; i < n; ++i) {
+    const int bid = block[i];
+    accepting[bid] = accepting_[order[i]];
+    for (size_t a = 0; a < alphabet_.size(); ++a) {
+      transitions[bid][a] =
+          static_cast<StateId>(block[reach_id[transitions_[order[i]][a]]]);
+    }
+  }
+  return Dfa(alphabet_, static_cast<StateId>(block[0]), std::move(transitions),
+             std::move(accepting));
+}
+
+RegexPtr Dfa::ToRegex() const {
+  // Generalized-NFA state elimination. Work on the trimmed automaton with a
+  // fresh initial and final node: nodes are 0=init, 1..n states, n+1=final.
+  const Dfa m = Minimize();
+  const size_t n = m.NumStates();
+  const size_t kInit = 0;
+  const size_t kFinal = n + 1;
+  std::vector<std::vector<RegexPtr>> edge(
+      n + 2, std::vector<RegexPtr>(n + 2, Regex::Empty()));
+  edge[kInit][m.start() + 1] = Regex::Epsilon();
+  for (StateId s = 0; s < n; ++s) {
+    if (m.IsAccepting(s)) edge[s + 1][kFinal] = Regex::Epsilon();
+    for (size_t a = 0; a < m.alphabet().size(); ++a) {
+      const StateId t = m.Step(s, a);
+      edge[s + 1][t + 1] = Regex::Union(
+          {edge[s + 1][t + 1], Regex::Symbol(m.alphabet()[a])});
+    }
+  }
+  // Eliminate states 1..n.
+  for (size_t k = 1; k <= n; ++k) {
+    const RegexPtr loop = edge[k][k];
+    const RegexPtr loop_star = loop->op() == RegexOp::kEmpty
+                                   ? Regex::Epsilon()
+                                   : Regex::Star(loop);
+    for (size_t i = 0; i <= n + 1; ++i) {
+      if (i == k || edge[i][k]->op() == RegexOp::kEmpty) continue;
+      for (size_t j = 0; j <= n + 1; ++j) {
+        if (j == k || edge[k][j]->op() == RegexOp::kEmpty) continue;
+        const RegexPtr via =
+            Regex::Concat({edge[i][k], loop_star, edge[k][j]});
+        edge[i][j] = Regex::Union({edge[i][j], via});
+      }
+    }
+    for (size_t i = 0; i <= n + 1; ++i) {
+      edge[i][k] = Regex::Empty();
+      edge[k][i] = Regex::Empty();
+    }
+  }
+  return edge[kInit][kFinal];
+}
+
+}  // namespace automata
+}  // namespace qlearn

@@ -1,0 +1,93 @@
+// Complete deterministic finite automata with the decision procedures the
+// library needs: minimization, products, emptiness, equivalence, containment,
+// shortest witnesses, and regex extraction by state elimination.
+#ifndef QLEARN_AUTOMATA_DFA_H_
+#define QLEARN_AUTOMATA_DFA_H_
+
+#include <optional>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "automata/regex.h"
+#include "common/interner.h"
+
+namespace qlearn {
+namespace automata {
+
+/// Complete DFA over an explicit sorted alphabet. Transitions are stored as a
+/// dense [state][alphabet-index] matrix; a dead sink state (if required by
+/// completion) is an ordinary state.
+class Dfa {
+ public:
+  /// Subset construction over the union of `nfa`'s alphabet and
+  /// `extra_alphabet`; the result is complete over that alphabet.
+  static Dfa Determinize(const Nfa& nfa,
+                         const std::vector<common::SymbolId>& extra_alphabet =
+                             {});
+
+  /// Convenience: regex -> Glushkov NFA -> complete DFA.
+  static Dfa FromRegex(const Regex& regex,
+                       const std::vector<common::SymbolId>& extra_alphabet =
+                           {});
+
+  size_t NumStates() const { return accepting_.size(); }
+  StateId start() const { return start_; }
+  bool IsAccepting(StateId s) const { return accepting_[s]; }
+  const std::vector<common::SymbolId>& alphabet() const { return alphabet_; }
+
+  /// Transition from `s` on the `a`-th alphabet symbol.
+  StateId Step(StateId s, size_t alpha_index) const {
+    return transitions_[s][alpha_index];
+  }
+
+  /// Membership; symbols outside the alphabet reject.
+  bool Accepts(const std::vector<common::SymbolId>& word) const;
+
+  /// True iff the language is empty.
+  bool IsEmpty() const;
+
+  /// Canonical minimal DFA (Moore partition refinement + reachability trim).
+  Dfa Minimize() const;
+
+  /// Re-targets this DFA onto a (super-)alphabet; new symbols go to a sink.
+  Dfa WithAlphabet(const std::vector<common::SymbolId>& alphabet) const;
+
+  /// Language equality.
+  static bool Equivalent(const Dfa& a, const Dfa& b);
+
+  /// True iff L(inner) is a subset of L(outer).
+  static bool Contains(const Dfa& outer, const Dfa& inner);
+
+  /// A shortest word in L(a) \ L(b), if any.
+  static std::optional<std::vector<common::SymbolId>> DifferenceWitness(
+      const Dfa& a, const Dfa& b);
+
+  /// A shortest accepted word, if the language is non-empty.
+  std::optional<std::vector<common::SymbolId>> ShortestAccepted() const;
+
+  /// Equivalent regex via state elimination (no simplification guarantees
+  /// beyond the smart constructors).
+  RegexPtr ToRegex() const;
+
+  Dfa(std::vector<common::SymbolId> alphabet, StateId start,
+      std::vector<std::vector<StateId>> transitions,
+      std::vector<bool> accepting)
+      : alphabet_(std::move(alphabet)),
+        start_(start),
+        transitions_(std::move(transitions)),
+        accepting_(std::move(accepting)) {}
+
+ private:
+  enum class ProductMode { kIntersection, kDifference };
+  static Dfa Product(const Dfa& a, const Dfa& b, ProductMode mode);
+
+  std::vector<common::SymbolId> alphabet_;
+  StateId start_;
+  std::vector<std::vector<StateId>> transitions_;
+  std::vector<bool> accepting_;
+};
+
+}  // namespace automata
+}  // namespace qlearn
+
+#endif  // QLEARN_AUTOMATA_DFA_H_

@@ -1,0 +1,153 @@
+#include "automata/nfa.h"
+
+#include <algorithm>
+#include <set>
+
+namespace qlearn {
+namespace automata {
+
+using common::SymbolId;
+
+namespace {
+
+/// Glushkov position analysis: first/last/follow sets over symbol positions.
+/// Positions are numbered 1..n in left-to-right order of symbol occurrences.
+struct Positions {
+  std::vector<SymbolId> symbol_of;  // 1-based; [0] unused
+  std::vector<uint32_t> first;
+  std::vector<uint32_t> last;
+  std::vector<std::set<uint32_t>> follow;  // 1-based
+  bool nullable = false;
+};
+
+struct Local {
+  std::vector<uint32_t> first;
+  std::vector<uint32_t> last;
+  bool nullable;
+};
+
+Local Analyze(const Regex& r, Positions* ctx) {
+  switch (r.op()) {
+    case RegexOp::kEmpty:
+      return {{}, {}, false};
+    case RegexOp::kEpsilon:
+      return {{}, {}, true};
+    case RegexOp::kSymbol: {
+      ctx->symbol_of.push_back(r.symbol());
+      ctx->follow.emplace_back();
+      const uint32_t pos = static_cast<uint32_t>(ctx->symbol_of.size() - 1);
+      return {{pos}, {pos}, false};
+    }
+    case RegexOp::kConcat: {
+      Local acc = Analyze(*r.children()[0], ctx);
+      for (size_t i = 1; i < r.children().size(); ++i) {
+        Local rhs = Analyze(*r.children()[i], ctx);
+        for (uint32_t p : acc.last) {
+          ctx->follow[p].insert(rhs.first.begin(), rhs.first.end());
+        }
+        Local merged;
+        merged.first = acc.first;
+        if (acc.nullable) {
+          merged.first.insert(merged.first.end(), rhs.first.begin(),
+                              rhs.first.end());
+        }
+        merged.last = rhs.last;
+        if (rhs.nullable) {
+          merged.last.insert(merged.last.end(), acc.last.begin(),
+                             acc.last.end());
+        }
+        merged.nullable = acc.nullable && rhs.nullable;
+        acc = std::move(merged);
+      }
+      return acc;
+    }
+    case RegexOp::kUnion: {
+      Local acc{{}, {}, false};
+      for (const auto& c : r.children()) {
+        Local part = Analyze(*c, ctx);
+        acc.first.insert(acc.first.end(), part.first.begin(),
+                         part.first.end());
+        acc.last.insert(acc.last.end(), part.last.begin(), part.last.end());
+        acc.nullable = acc.nullable || part.nullable;
+      }
+      return acc;
+    }
+    case RegexOp::kStar:
+    case RegexOp::kPlus:
+    case RegexOp::kOpt: {
+      Local inner = Analyze(*r.children()[0], ctx);
+      if (r.op() == RegexOp::kStar || r.op() == RegexOp::kPlus) {
+        for (uint32_t p : inner.last) {
+          ctx->follow[p].insert(inner.first.begin(), inner.first.end());
+        }
+      }
+      const bool nullable =
+          r.op() == RegexOp::kPlus ? inner.nullable : true;
+      return {inner.first, inner.last, nullable};
+    }
+  }
+  return {{}, {}, false};
+}
+
+}  // namespace
+
+Nfa Nfa::FromRegex(const Regex& regex) {
+  Positions ctx;
+  ctx.symbol_of.push_back(common::kNoSymbol);  // position 0 = start
+  ctx.follow.emplace_back();
+  Local top = Analyze(regex, &ctx);
+  ctx.nullable = top.nullable;
+
+  const size_t n = ctx.symbol_of.size();  // states: 0 = start, 1..n-1
+  std::vector<std::vector<std::pair<SymbolId, StateId>>> trans(n);
+  std::vector<bool> accepting(n, false);
+  for (uint32_t p : top.first) {
+    trans[0].emplace_back(ctx.symbol_of[p], p);
+  }
+  for (uint32_t p = 1; p < n; ++p) {
+    for (uint32_t q : ctx.follow[p]) {
+      trans[p].emplace_back(ctx.symbol_of[q], q);
+    }
+  }
+  for (uint32_t p : top.last) accepting[p] = true;
+  accepting[0] = ctx.nullable;
+  return Nfa(n, std::move(trans), std::move(accepting));
+}
+
+bool Nfa::Accepts(const std::vector<SymbolId>& word) const {
+  std::vector<bool> current(NumStates(), false);
+  current[start()] = true;
+  for (SymbolId sym : word) {
+    std::vector<bool> next(NumStates(), false);
+    bool any = false;
+    for (StateId s = 0; s < NumStates(); ++s) {
+      if (!current[s]) continue;
+      for (const auto& [label, target] : transitions_[s]) {
+        if (label == sym) {
+          next[target] = true;
+          any = true;
+        }
+      }
+    }
+    if (!any) return false;
+    current = std::move(next);
+  }
+  for (StateId s = 0; s < NumStates(); ++s) {
+    if (current[s] && accepting_[s]) return true;
+  }
+  return false;
+}
+
+std::vector<SymbolId> Nfa::Alphabet() const {
+  std::set<SymbolId> syms;
+  for (const auto& out : transitions_) {
+    for (const auto& [label, target] : out) {
+      (void)target;
+      syms.insert(label);
+    }
+  }
+  return std::vector<SymbolId>(syms.begin(), syms.end());
+}
+
+}  // namespace automata
+}  // namespace qlearn

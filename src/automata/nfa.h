@@ -1,0 +1,60 @@
+// Glushkov (position) automata built from regexes: epsilon-free NFAs used for
+// DTD content-model membership and graph path-query evaluation.
+#ifndef QLEARN_AUTOMATA_NFA_H_
+#define QLEARN_AUTOMATA_NFA_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "automata/regex.h"
+#include "common/interner.h"
+
+namespace qlearn {
+namespace automata {
+
+/// NFA state index.
+using StateId = uint32_t;
+
+/// Epsilon-free nondeterministic finite automaton with a single start state.
+class Nfa {
+ public:
+  /// Builds the Glushkov automaton of `regex`: state 0 is the start, states
+  /// 1..n correspond to symbol positions of the regex.
+  static Nfa FromRegex(const Regex& regex);
+
+  /// Number of states.
+  size_t NumStates() const { return transitions_.size(); }
+
+  StateId start() const { return 0; }
+  bool IsAccepting(StateId s) const { return accepting_[s]; }
+
+  /// Outgoing transitions of `s` as (symbol, target) pairs.
+  const std::vector<std::pair<common::SymbolId, StateId>>& Transitions(
+      StateId s) const {
+    return transitions_[s];
+  }
+
+  /// Membership test for a word of symbols (on-the-fly subset simulation).
+  bool Accepts(const std::vector<common::SymbolId>& word) const;
+
+  /// Distinct symbols appearing on transitions, sorted.
+  std::vector<common::SymbolId> Alphabet() const;
+
+  /// Builds an NFA directly (used by tests and the learners).
+  Nfa(size_t num_states,
+      std::vector<std::vector<std::pair<common::SymbolId, StateId>>> trans,
+      std::vector<bool> accepting)
+      : transitions_(std::move(trans)), accepting_(std::move(accepting)) {
+    (void)num_states;
+  }
+
+ private:
+  std::vector<std::vector<std::pair<common::SymbolId, StateId>>> transitions_;
+  std::vector<bool> accepting_;
+};
+
+}  // namespace automata
+}  // namespace qlearn
+
+#endif  // QLEARN_AUTOMATA_NFA_H_

@@ -1,0 +1,355 @@
+#include "automata/regex.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace qlearn {
+namespace automata {
+
+using common::Interner;
+using common::Result;
+using common::Status;
+using common::SymbolId;
+
+bool Regex::Nullable() const {
+  switch (op_) {
+    case RegexOp::kEmpty:
+      return false;
+    case RegexOp::kEpsilon:
+      return true;
+    case RegexOp::kSymbol:
+      return false;
+    case RegexOp::kConcat:
+      return std::all_of(children_.begin(), children_.end(),
+                         [](const RegexPtr& c) { return c->Nullable(); });
+    case RegexOp::kUnion:
+      return std::any_of(children_.begin(), children_.end(),
+                         [](const RegexPtr& c) { return c->Nullable(); });
+    case RegexOp::kStar:
+    case RegexOp::kOpt:
+      return true;
+    case RegexOp::kPlus:
+      return children_[0]->Nullable();
+  }
+  return false;
+}
+
+namespace {
+void CollectAlphabet(const Regex& r, std::set<SymbolId>* out) {
+  if (r.op() == RegexOp::kSymbol) {
+    out->insert(r.symbol());
+    return;
+  }
+  for (const auto& c : r.children()) CollectAlphabet(*c, out);
+}
+}  // namespace
+
+std::vector<SymbolId> Regex::Alphabet() const {
+  std::set<SymbolId> syms;
+  CollectAlphabet(*this, &syms);
+  return std::vector<SymbolId>(syms.begin(), syms.end());
+}
+
+size_t Regex::Size() const {
+  size_t n = 1;
+  for (const auto& c : children_) n += c->Size();
+  return n;
+}
+
+std::string Regex::ToString(const Interner& interner) const {
+  switch (op_) {
+    case RegexOp::kEmpty:
+      return "<empty>";
+    case RegexOp::kEpsilon:
+      return "()";
+    case RegexOp::kSymbol:
+      return interner.Name(symbol_);
+    case RegexOp::kConcat: {
+      std::string out;
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ".";
+        const bool paren = children_[i]->op() == RegexOp::kUnion;
+        if (paren) out += "(";
+        out += children_[i]->ToString(interner);
+        if (paren) out += ")";
+      }
+      return out;
+    }
+    case RegexOp::kUnion: {
+      std::string out;
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += "|";
+        out += children_[i]->ToString(interner);
+      }
+      return out;
+    }
+    case RegexOp::kStar:
+    case RegexOp::kPlus:
+    case RegexOp::kOpt: {
+      const char suffix =
+          op_ == RegexOp::kStar ? '*' : (op_ == RegexOp::kPlus ? '+' : '?');
+      const RegexPtr& c = children_[0];
+      const bool paren =
+          c->op() == RegexOp::kUnion || c->op() == RegexOp::kConcat;
+      std::string out;
+      if (paren) out += "(";
+      out += c->ToString(interner);
+      if (paren) out += ")";
+      out += suffix;
+      return out;
+    }
+  }
+  return "<?>";
+}
+
+RegexPtr Regex::Empty() {
+  static const RegexPtr kInstance =
+      std::make_shared<Regex>(RegexOp::kEmpty, common::kNoSymbol,
+                              std::vector<RegexPtr>{});
+  return kInstance;
+}
+
+RegexPtr Regex::Epsilon() {
+  static const RegexPtr kInstance =
+      std::make_shared<Regex>(RegexOp::kEpsilon, common::kNoSymbol,
+                              std::vector<RegexPtr>{});
+  return kInstance;
+}
+
+RegexPtr Regex::Symbol(SymbolId symbol) {
+  return std::make_shared<Regex>(RegexOp::kSymbol, symbol,
+                                 std::vector<RegexPtr>{});
+}
+
+RegexPtr Regex::Concat(std::vector<RegexPtr> parts) {
+  std::vector<RegexPtr> flat;
+  for (auto& p : parts) {
+    if (p->op() == RegexOp::kEmpty) return Empty();
+    if (p->op() == RegexOp::kEpsilon) continue;
+    if (p->op() == RegexOp::kConcat) {
+      flat.insert(flat.end(), p->children().begin(), p->children().end());
+    } else {
+      flat.push_back(std::move(p));
+    }
+  }
+  if (flat.empty()) return Epsilon();
+  if (flat.size() == 1) return flat[0];
+  return std::make_shared<Regex>(RegexOp::kConcat, common::kNoSymbol,
+                                 std::move(flat));
+}
+
+RegexPtr Regex::Union(std::vector<RegexPtr> parts) {
+  std::vector<RegexPtr> flat;
+  bool saw_epsilon = false;
+  for (auto& p : parts) {
+    if (p->op() == RegexOp::kEmpty) continue;
+    if (p->op() == RegexOp::kEpsilon) {
+      saw_epsilon = true;
+      continue;
+    }
+    if (p->op() == RegexOp::kUnion) {
+      flat.insert(flat.end(), p->children().begin(), p->children().end());
+    } else {
+      flat.push_back(std::move(p));
+    }
+  }
+  // Deduplicate structurally-identical symbol alternatives (common case).
+  std::sort(flat.begin(), flat.end(),
+            [](const RegexPtr& a, const RegexPtr& b) {
+              if (a->op() != b->op()) return a->op() < b->op();
+              return a->symbol() < b->symbol();
+            });
+  flat.erase(std::unique(flat.begin(), flat.end(),
+                         [](const RegexPtr& a, const RegexPtr& b) {
+                           return a->op() == RegexOp::kSymbol &&
+                                  b->op() == RegexOp::kSymbol &&
+                                  a->symbol() == b->symbol();
+                         }),
+             flat.end());
+  if (flat.empty()) return saw_epsilon ? Epsilon() : Empty();
+  RegexPtr body;
+  if (flat.size() == 1) {
+    body = flat[0];
+  } else {
+    body = std::make_shared<Regex>(RegexOp::kUnion, common::kNoSymbol,
+                                   std::move(flat));
+  }
+  if (saw_epsilon && !body->Nullable()) return Opt(body);
+  return body;
+}
+
+RegexPtr Regex::Star(RegexPtr inner) {
+  if (inner->op() == RegexOp::kEmpty || inner->op() == RegexOp::kEpsilon) {
+    return Epsilon();
+  }
+  if (inner->op() == RegexOp::kStar) return inner;
+  if (inner->op() == RegexOp::kPlus || inner->op() == RegexOp::kOpt) {
+    return Star(inner->children()[0]);
+  }
+  return std::make_shared<Regex>(RegexOp::kStar, common::kNoSymbol,
+                                 std::vector<RegexPtr>{std::move(inner)});
+}
+
+RegexPtr Regex::Plus(RegexPtr inner) {
+  if (inner->op() == RegexOp::kEmpty) return Empty();
+  if (inner->op() == RegexOp::kEpsilon) return Epsilon();
+  if (inner->op() == RegexOp::kStar || inner->op() == RegexOp::kPlus) {
+    return inner;
+  }
+  if (inner->op() == RegexOp::kOpt) return Star(inner->children()[0]);
+  return std::make_shared<Regex>(RegexOp::kPlus, common::kNoSymbol,
+                                 std::vector<RegexPtr>{std::move(inner)});
+}
+
+RegexPtr Regex::Opt(RegexPtr inner) {
+  if (inner->op() == RegexOp::kEmpty || inner->op() == RegexOp::kEpsilon) {
+    return Epsilon();
+  }
+  if (inner->Nullable()) return inner;
+  if (inner->op() == RegexOp::kPlus) return Star(inner->children()[0]);
+  return std::make_shared<Regex>(RegexOp::kOpt, common::kNoSymbol,
+                                 std::vector<RegexPtr>{std::move(inner)});
+}
+
+namespace {
+
+/// Recursive-descent parser over the grammar documented in the header.
+class Parser {
+ public:
+  Parser(std::string_view text, Interner* interner)
+      : text_(text), interner_(interner) {}
+
+  Result<RegexPtr> Parse() {
+    auto expr = ParseExpr();
+    if (!expr.ok()) return expr;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing input at offset " +
+                                std::to_string(pos_) + " in regex '" +
+                                std::string(text_) + "'");
+    }
+    return expr;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  static bool IsIdentStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '@' || c == '#';
+  }
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '@' || c == '#' || c == '-';
+  }
+
+  Result<RegexPtr> ParseExpr() {
+    std::vector<RegexPtr> terms;
+    auto first = ParseTerm();
+    if (!first.ok()) return first;
+    terms.push_back(std::move(first).value());
+    while (Consume('|')) {
+      auto next = ParseTerm();
+      if (!next.ok()) return next;
+      terms.push_back(std::move(next).value());
+    }
+    return Regex::Union(std::move(terms));
+  }
+
+  Result<RegexPtr> ParseTerm() {
+    std::vector<RegexPtr> factors;
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] == '|' || text_[pos_] == ')') {
+        break;
+      }
+      if (text_[pos_] == '.' || text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      auto f = ParseFactor();
+      if (!f.ok()) return f;
+      factors.push_back(std::move(f).value());
+    }
+    if (factors.empty()) return RegexPtr(Regex::Epsilon());
+    return Regex::Concat(std::move(factors));
+  }
+
+  Result<RegexPtr> ParseFactor() {
+    auto atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    RegexPtr r = std::move(atom).value();
+    for (;;) {
+      if (Consume('*')) {
+        r = Regex::Star(std::move(r));
+      } else if (Consume('+')) {
+        r = Regex::Plus(std::move(r));
+      } else if (Consume('?')) {
+        r = Regex::Opt(std::move(r));
+      } else {
+        break;
+      }
+    }
+    return r;
+  }
+
+  Result<RegexPtr> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::ParseError("unexpected end of regex '" +
+                                std::string(text_) + "'");
+    }
+    if (Consume('(')) {
+      if (Consume(')')) return RegexPtr(Regex::Epsilon());
+      auto inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      if (!Consume(')')) {
+        return Status::ParseError("missing ')' in regex '" +
+                                  std::string(text_) + "'");
+      }
+      return inner;
+    }
+    if (!IsIdentStart(text_[pos_])) {
+      return Status::ParseError("unexpected character '" +
+                                std::string(1, text_[pos_]) + "' at offset " +
+                                std::to_string(pos_) + " in regex '" +
+                                std::string(text_) + "'");
+    }
+    const size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    const SymbolId id = interner_->Intern(text_.substr(start, pos_ - start));
+    return RegexPtr(Regex::Symbol(id));
+  }
+
+  std::string_view text_;
+  Interner* interner_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegexPtr> ParseRegex(std::string_view text, Interner* interner) {
+  return Parser(text, interner).Parse();
+}
+
+}  // namespace automata
+}  // namespace qlearn

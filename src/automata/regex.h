@@ -1,0 +1,85 @@
+// Regular expressions over an interned symbol alphabet. Used as DTD content
+// models, graph path-query syntax, and output language of the RPNI learner.
+#ifndef QLEARN_AUTOMATA_REGEX_H_
+#define QLEARN_AUTOMATA_REGEX_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+
+namespace qlearn {
+namespace automata {
+
+/// Node kinds of the regex AST.
+enum class RegexOp {
+  kEmpty,    ///< The empty language.
+  kEpsilon,  ///< The language containing only the empty word.
+  kSymbol,   ///< A single alphabet symbol.
+  kConcat,   ///< Concatenation of children (>= 2).
+  kUnion,    ///< Union of children (>= 2).
+  kStar,     ///< Kleene star of the single child.
+  kPlus,     ///< One-or-more of the single child.
+  kOpt,      ///< Zero-or-one of the single child.
+};
+
+class Regex;
+/// Immutable shared regex node; subtrees are shared freely.
+using RegexPtr = std::shared_ptr<const Regex>;
+
+/// Immutable regex AST node. Construct through the smart constructors below,
+/// which apply basic simplifications (e.g. `r|∅ = r`, `(r*)* = r*`).
+class Regex {
+ public:
+  RegexOp op() const { return op_; }
+  common::SymbolId symbol() const { return symbol_; }
+  const std::vector<RegexPtr>& children() const { return children_; }
+
+  /// True iff the empty word is in the language.
+  bool Nullable() const;
+
+  /// Collects the distinct symbols used, in sorted order.
+  std::vector<common::SymbolId> Alphabet() const;
+
+  /// Number of AST nodes.
+  size_t Size() const;
+
+  /// Renders with names from `interner`; concatenation is '.', union '|'.
+  std::string ToString(const common::Interner& interner) const;
+
+  // -- Smart constructors ----------------------------------------------------
+  static RegexPtr Empty();
+  static RegexPtr Epsilon();
+  static RegexPtr Symbol(common::SymbolId symbol);
+  static RegexPtr Concat(std::vector<RegexPtr> parts);
+  static RegexPtr Union(std::vector<RegexPtr> parts);
+  static RegexPtr Star(RegexPtr inner);
+  static RegexPtr Plus(RegexPtr inner);
+  static RegexPtr Opt(RegexPtr inner);
+
+  // Internal constructor; use the smart constructors.
+  Regex(RegexOp op, common::SymbolId symbol, std::vector<RegexPtr> children)
+      : op_(op), symbol_(symbol), children_(std::move(children)) {}
+
+ private:
+  RegexOp op_;
+  common::SymbolId symbol_;
+  std::vector<RegexPtr> children_;
+};
+
+/// Parses the textual regex syntax:
+///   expr   := term ('|' term)*
+///   term   := factor (('.' | ',')? factor)*      (juxtaposition = concat)
+///   factor := atom ('*' | '+' | '?')*
+///   atom   := identifier | '(' expr ')' | '()'   ('()' denotes epsilon)
+/// Identifiers match [A-Za-z_@#][A-Za-z0-9_@#-]* and are interned.
+common::Result<RegexPtr> ParseRegex(std::string_view text,
+                                    common::Interner* interner);
+
+}  // namespace automata
+}  // namespace qlearn
+
+#endif  // QLEARN_AUTOMATA_REGEX_H_

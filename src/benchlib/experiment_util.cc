@@ -1,0 +1,171 @@
+#include "benchlib/experiment_util.h"
+
+#include <cmath>
+#include <optional>
+
+#include "learn/schema_aware.h"
+#include "twig/twig_containment.h"
+#include "twig/twig_eval.h"
+
+namespace qlearn {
+namespace benchlib {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0;
+  const double mean = Mean(xs);
+  double acc = 0;
+  for (double x : xs) acc += (x - mean) * (x - mean);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+std::vector<std::string> XMarkGoalQueries() {
+  return {
+      "/site/people/person/name",
+      "//person/emailaddress",
+      "/site/people/person[phone]/name",
+      "//person[profile/age]/name",
+      "//open_auction/bidder/increase",
+      "/site/closed_auctions/closed_auction[annotation]/price",
+      "//item[mailbox]/name",
+      "//person[address/city][phone]/name",
+      "/site/open_auctions/open_auction[bidder]/seller",
+      "//annotation/description//text",
+  };
+}
+
+std::vector<learn::TreeExample> GoalMatches(const twig::TwigQuery& goal,
+                                            const xml::XmlTree& doc) {
+  std::vector<learn::TreeExample> out;
+  for (xml::NodeId n : twig::Evaluate(goal, doc)) {
+    out.push_back(learn::TreeExample{&doc, n});
+  }
+  return out;
+}
+
+namespace {
+
+/// Match pool gathered round-robin across documents (all matches, capped).
+std::vector<learn::TreeExample> GatherPool(
+    const twig::TwigQuery& goal, const std::vector<const xml::XmlTree*>& docs,
+    size_t max_examples) {
+  std::vector<std::vector<learn::TreeExample>> per_doc;
+  per_doc.reserve(docs.size());
+  for (const xml::XmlTree* doc : docs) {
+    per_doc.push_back(GoalMatches(goal, *doc));
+  }
+  std::vector<learn::TreeExample> pool;
+  for (size_t round = 0; pool.size() < max_examples; ++round) {
+    bool any = false;
+    for (const auto& matches : per_doc) {
+      if (round < matches.size()) {
+        pool.push_back(matches[round]);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return pool;
+}
+
+/// Index of the next example to feed under `order` (kCounterexample picks
+/// one the hypothesis misses, falling back to the first unused).
+size_t PickNext(const std::vector<learn::TreeExample>& pool,
+                const std::vector<bool>& taken,
+                const twig::TwigQuery* hypothesis, ExampleOrder order) {
+  size_t fallback = pool.size();
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (taken[i]) continue;
+    if (fallback == pool.size()) fallback = i;
+    if (order == ExampleOrder::kRoundRobin || hypothesis == nullptr) return i;
+    if (!twig::Selects(*hypothesis, *pool[i].doc, pool[i].node)) return i;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int ExamplesUntilConvergence(const twig::TwigQuery& goal,
+                             const std::vector<const xml::XmlTree*>& docs,
+                             common::Interner* interner, size_t max_examples,
+                             ConvergenceCriterion criterion,
+                             ExampleOrder order) {
+  const std::vector<learn::TreeExample> pool =
+      GatherPool(goal, docs, max_examples);
+  if (pool.empty()) return -1;
+
+  auto converged = [&](const twig::TwigQuery& learned) {
+    switch (criterion) {
+      case ConvergenceCriterion::kLogical:
+        return twig::EquivalentExact(learned, goal, interner);
+      case ConvergenceCriterion::kAnswers:
+        for (const xml::XmlTree* doc : docs) {
+          if (twig::Evaluate(learned, *doc) != twig::Evaluate(goal, *doc)) {
+            return false;
+          }
+        }
+        return true;
+    }
+    return false;
+  };
+
+  std::vector<bool> taken(pool.size(), false);
+  std::vector<learn::TreeExample> used;
+  std::optional<twig::TwigQuery> hypothesis;
+  while (used.size() < pool.size()) {
+    const size_t pick = PickNext(pool, taken,
+                                 hypothesis ? &*hypothesis : nullptr, order);
+    if (pick >= pool.size()) break;
+    taken[pick] = true;
+    used.push_back(pool[pick]);
+    auto learned = learn::LearnTwig(used);
+    if (!learned.ok()) continue;
+    hypothesis = learned.value();
+    if (converged(learned.value())) return static_cast<int>(used.size());
+  }
+  return -1;
+}
+
+int ExamplesUntilConvergenceWithSchema(
+    const twig::TwigQuery& goal, const std::vector<const xml::XmlTree*>& docs,
+    const schema::Ms& schema, common::Interner* interner,
+    size_t max_examples, ExampleOrder order) {
+  (void)interner;
+  const std::vector<learn::TreeExample> pool =
+      GatherPool(goal, docs, max_examples);
+  if (pool.empty()) return -1;
+
+  std::vector<bool> taken(pool.size(), false);
+  std::vector<learn::TreeExample> used;
+  std::optional<twig::TwigQuery> hypothesis;
+  while (used.size() < pool.size()) {
+    const size_t pick = PickNext(pool, taken,
+                                 hypothesis ? &*hypothesis : nullptr, order);
+    if (pick >= pool.size()) break;
+    taken[pick] = true;
+    used.push_back(pool[pick]);
+    auto learned = learn::LearnTwig(used);
+    if (!learned.ok()) continue;
+    const twig::TwigQuery pruned =
+        learn::PruneImpliedFilters(learned.value(), schema);
+    hypothesis = pruned;
+    bool same = true;
+    for (const xml::XmlTree* doc : docs) {
+      if (twig::Evaluate(pruned, *doc) != twig::Evaluate(goal, *doc)) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return static_cast<int>(used.size());
+  }
+  return -1;
+}
+
+}  // namespace benchlib
+}  // namespace qlearn

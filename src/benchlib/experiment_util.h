@@ -1,0 +1,96 @@
+// Shared plumbing for the experiment drivers in bench/: wall-clock timing,
+// simple statistics, characteristic-example selection for twig goals, and a
+// pool of goal queries over the XMark-style structure.
+#ifndef QLEARN_BENCHLIB_EXPERIMENT_UTIL_H_
+#define QLEARN_BENCHLIB_EXPERIMENT_UTIL_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "learn/twig_learner.h"
+#include "schema/ms.h"
+#include "twig/twig_query.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace benchlib {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Mean of a sample (0 for empty).
+double Mean(const std::vector<double>& xs);
+
+/// Population standard deviation (0 for size < 2).
+double StdDev(const std::vector<double>& xs);
+
+/// Goal twig queries of increasing size used by E1/E3/E4 (all within the
+/// anchored fragment, phrased over XMark labels).
+std::vector<std::string> XMarkGoalQueries();
+
+/// Nodes of `doc` selected by `goal`, as learner examples.
+std::vector<learn::TreeExample> GoalMatches(const twig::TwigQuery& goal,
+                                            const xml::XmlTree& doc);
+
+/// Order in which pool examples are fed to the learner.
+enum class ExampleOrder {
+  /// Matches taken round-robin across documents in document order — an
+  /// arbitrary-order lower bound (consecutive examples are often similar).
+  kRoundRobin,
+  /// Counterexample-driven: the next example is one the current hypothesis
+  /// does not yet select — the informative-user model behind the paper's
+  /// "generally two examples" (a user marks what the system still misses).
+  kCounterexample,
+};
+
+/// Convergence criterion for ExamplesUntilConvergence.
+enum class ConvergenceCriterion {
+  /// Same answer set as the goal on every provided document — the
+  /// operational notion behind the paper's "learn a query equivalent to the
+  /// goal from generally two examples" (schema-implied extra filters do not
+  /// change answers on schema-valid documents).
+  kAnswers,
+  /// Logical equivalence over all trees. Typically unattainable from
+  /// schema-valid examples alone (the learner keeps schema-implied filters —
+  /// the paper's overspecialization problem that E3's schema-aware pruning
+  /// addresses).
+  kLogical,
+};
+
+/// Runs the incremental-learning experiment for one goal: feeds matches
+/// one by one (across documents round-robin) until the hypothesis meets the
+/// criterion or examples run out. Returns the number of examples consumed,
+/// or -1 if never converged.
+int ExamplesUntilConvergence(
+    const twig::TwigQuery& goal, const std::vector<const xml::XmlTree*>& docs,
+    common::Interner* interner, size_t max_examples = 16,
+    ConvergenceCriterion criterion = ConvergenceCriterion::kAnswers,
+    ExampleOrder order = ExampleOrder::kRoundRobin);
+
+/// Schema-aware variant (the paper's §2 optimization): after each learning
+/// step the hypothesis is pruned with `schema` (PTIME filter implication),
+/// so data-implied filters stop delaying convergence. Answer-set criterion.
+int ExamplesUntilConvergenceWithSchema(
+    const twig::TwigQuery& goal, const std::vector<const xml::XmlTree*>& docs,
+    const schema::Ms& schema, common::Interner* interner,
+    size_t max_examples = 16,
+    ExampleOrder order = ExampleOrder::kRoundRobin);
+
+}  // namespace benchlib
+}  // namespace qlearn
+
+#endif  // QLEARN_BENCHLIB_EXPERIMENT_UTIL_H_

@@ -1,0 +1,77 @@
+#include "benchlib/xpathmark.h"
+
+namespace qlearn {
+namespace benchlib {
+
+const std::vector<XPathMarkQuery>& XPathMarkQueries() {
+  static const std::vector<XPathMarkQuery>* kQueries =
+      new std::vector<XPathMarkQuery>{
+          // -- In the twig fragment (learnable class) --------------------
+          {"A1",
+           "/site/closed_auctions/closed_auction/annotation/description/text",
+           "annotation texts of closed auctions", true, ""},
+          {"A2", "//closed_auction//text",
+           "all texts below closed auctions", true, ""},
+          {"A4",
+           "/site/closed_auctions/closed_auction[annotation/description/"
+           "text]/date",
+           "dates of closed auctions with a textual annotation", true, ""},
+
+          // -- Outside the twig fragment ---------------------------------
+          {"A6", "//open_auction//description | //closed_auction//description",
+           "descriptions of open and closed auctions", false,
+           "union '|' of two patterns is not a single twig"},
+          {"A7", "/site/people/person[phone or homepage]/name",
+           "persons reachable by phone or homepage", false,
+           "disjunction 'or' is not expressible in a single twig"},
+          {"A8",
+           "/site/people/person[address and (phone or homepage) and "
+           "(creditcard or profile)]/name",
+           "persons with complex contact predicates", false,
+           "nested boolean connectives"},
+          {"B1",
+           "/site/regions/*/item[parent::namerica or parent::samerica]/name",
+           "items sold in the Americas", false,
+           "parent:: axis and disjunction"},
+          {"B2", "//keyword/ancestor::listitem/text",
+           "texts of list items containing keywords", false,
+           "ancestor:: axis"},
+          {"B3", "/site/open_auctions/open_auction/bidder[1]/increase",
+           "first bid of each auction", false,
+           "positional predicate [1] needs order"},
+          {"B4",
+           "/site/open_auctions/open_auction/bidder[last()]/increase",
+           "last bid of each auction", false, "last() needs order"},
+          {"B5", "/site/regions/*/item[following::item]/name",
+           "items with a following item", false, "following:: axis"},
+          {"B6", "//person[profile/@income = 50000]/name",
+           "persons with income exactly 50000", false,
+           "value comparison on attribute content"},
+          {"B7", "//person[profile/@income > 50000]/name",
+           "persons with income above 50000", false,
+           "arithmetic comparison"},
+          {"B8", "//open_auction[bidder/increase >= 2 * initial]/itemref",
+           "auctions whose bids doubled", false,
+           "arithmetic over element values"},
+          {"C1", "count(//open_auction/bidder)",
+           "total number of bids", false, "aggregation function"},
+          {"C2", "//closed_auction[not(annotation)]/price",
+           "prices of unannotated closed auctions", false,
+           "negation not()"},
+          {"C3", "//person[name = /site/people/person[1]/name]/emailaddress",
+           "emails of namesakes of the first person", false,
+           "value join across subtrees and positional predicate"},
+          {"C4", "id(//open_auction/seller/@person)/name",
+           "names of sellers (reference chasing)", false,
+           "id()-based dereference"},
+          {"C5", "//item[contains(description, 'gold')]/name",
+           "items mentioning gold", false, "string function contains()"},
+          {"C6", "/site/open_auctions/open_auction/interval[start < end]",
+           "auctions with coherent intervals", false,
+           "value comparison between siblings"},
+      };
+  return *kQueries;
+}
+
+}  // namespace benchlib
+}  // namespace qlearn

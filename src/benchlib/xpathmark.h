@@ -1,0 +1,36 @@
+// An XPathMark-style query set over the XMark-style documents (substitute
+// for Franceschet's XPathMark benchmark; DESIGN.md §1). Like the original —
+// which mixes a few pure tree-pattern queries with many queries using
+// positional predicates, value comparisons, disjunction, axes beyond
+// child/descendant, and functions — only a small fraction lies in the twig
+// fragment learnable by the Section-2 algorithms. The paper reports 15%;
+// this set mirrors that composition (3 of 20 queries are twigs).
+#ifndef QLEARN_BENCHLIB_XPATHMARK_H_
+#define QLEARN_BENCHLIB_XPATHMARK_H_
+
+#include <string>
+#include <vector>
+
+namespace qlearn {
+namespace benchlib {
+
+/// One benchmark query.
+struct XPathMarkQuery {
+  std::string id;
+  /// The query; twig-fragment queries use our parser syntax, others are
+  /// shown in XPath 1.0 syntax for reference.
+  std::string xpath;
+  std::string description;
+  /// True iff expressible as a twig query XP{/,//,[],*}.
+  bool in_twig_fragment;
+  /// Why the query falls outside the fragment (empty when inside).
+  std::string exclusion_reason;
+};
+
+/// The 20-query set.
+const std::vector<XPathMarkQuery>& XPathMarkQueries();
+
+}  // namespace benchlib
+}  // namespace qlearn
+
+#endif  // QLEARN_BENCHLIB_XPATHMARK_H_

@@ -1,0 +1,28 @@
+#include "common/interner.h"
+
+#include <cassert>
+
+namespace qlearn {
+namespace common {
+
+SymbolId Interner::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId Interner::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kNoSymbol : it->second;
+}
+
+const std::string& Interner::Name(SymbolId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace common
+}  // namespace qlearn

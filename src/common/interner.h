@@ -1,0 +1,45 @@
+// String interning: maps strings to dense integer ids so that trees, queries,
+// schemas and graphs can compare labels by integer.
+#ifndef QLEARN_COMMON_INTERNER_H_
+#define QLEARN_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace qlearn {
+namespace common {
+
+/// Dense id assigned to an interned string. Ids start at 0 and are stable for
+/// the lifetime of the Interner.
+using SymbolId = uint32_t;
+
+/// Sentinel id meaning "no symbol" (also used for the twig wildcard).
+inline constexpr SymbolId kNoSymbol = static_cast<SymbolId>(-1);
+
+/// Bidirectional string <-> dense-id table.
+class Interner {
+ public:
+  /// Returns the id for `name`, interning it on first use.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id of `name` or kNoSymbol when it was never interned.
+  SymbolId Lookup(std::string_view name) const;
+
+  /// Returns the string for `id`. Requires a valid id.
+  const std::string& Name(SymbolId id) const;
+
+  /// Number of distinct interned symbols.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace common
+}  // namespace qlearn
+
+#endif  // QLEARN_COMMON_INTERNER_H_

@@ -1,0 +1,101 @@
+// Deterministic pseudo-random number generation for generators, learners'
+// tie-breaking, and benchmarks. Every randomized component takes an explicit
+// seed so experiments are reproducible run-to-run.
+#ifndef QLEARN_COMMON_RNG_H_
+#define QLEARN_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace qlearn {
+namespace common {
+
+/// SplitMix64-seeded xoshiro256** generator. Header-only and allocation-free.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield identical streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 expansion of the seed into the four lanes.
+    uint64_t x = seed;
+    for (auto& lane : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0ULL - bound) % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Picks a uniformly random element index from a non-empty container size.
+  size_t Index(size_t size) {
+    assert(size > 0);
+    return static_cast<size_t>(Uniform(size));
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      const size_t j = Index(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Draws a fresh seed for a child generator (stream splitting).
+  uint64_t Fork() { return Next(); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace common
+}  // namespace qlearn
+
+#endif  // QLEARN_COMMON_RNG_H_

@@ -1,0 +1,137 @@
+// Status / Result<T>: exception-free error propagation for the library core,
+// in the style of RocksDB's Status and Arrow's Result.
+#ifndef QLEARN_COMMON_STATUS_H_
+#define QLEARN_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace qlearn {
+namespace common {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kParseError,
+  kUnsupported,
+  kInternal,
+  kResourceExhausted,
+  kFailedPrecondition,
+};
+
+/// Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when in error state.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_{Status::OK()};
+};
+
+/// Propagates a non-OK Status to the caller.
+#define QLEARN_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::qlearn::common::Status _st = (expr);    \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define QLEARN_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto QLEARN_CONCAT_(res_, __LINE__) = (expr);            \
+  if (!QLEARN_CONCAT_(res_, __LINE__).ok())                \
+    return QLEARN_CONCAT_(res_, __LINE__).status();        \
+  lhs = std::move(QLEARN_CONCAT_(res_, __LINE__)).value()
+
+#define QLEARN_CONCAT_IMPL_(a, b) a##b
+#define QLEARN_CONCAT_(a, b) QLEARN_CONCAT_IMPL_(a, b)
+
+}  // namespace common
+}  // namespace qlearn
+
+#endif  // QLEARN_COMMON_STATUS_H_

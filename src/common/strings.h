@@ -1,0 +1,30 @@
+// Small string helpers shared across parsers and printers.
+#ifndef QLEARN_COMMON_STRINGS_H_
+#define QLEARN_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qlearn {
+namespace common {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+/// True when `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double with `digits` fractional digits.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace common
+}  // namespace qlearn
+
+#endif  // QLEARN_COMMON_STRINGS_H_

@@ -1,0 +1,38 @@
+// Aligned plain-text tables for experiment output, so bench binaries print the
+// same row/series structure the paper's claims are stated in.
+#ifndef QLEARN_COMMON_TABLE_PRINTER_H_
+#define QLEARN_COMMON_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qlearn {
+namespace common {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string ToString() const;
+
+  /// Writes ToString() to `os`.
+  void Print(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace common
+}  // namespace qlearn
+
+#endif  // QLEARN_COMMON_TABLE_PRINTER_H_

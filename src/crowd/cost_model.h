@@ -1,0 +1,37 @@
+// Financial cost model for crowdsourced learning sessions, after the
+// HIT (Human Intelligence Task) marketplace setting of Marcus et al. [30 in
+// the paper]: every question to the crowd is a paid task, so minimizing
+// user interactions literally minimizes dollars.
+#ifndef QLEARN_CROWD_COST_MODEL_H_
+#define QLEARN_CROWD_COST_MODEL_H_
+
+#include <cstddef>
+
+namespace qlearn {
+namespace crowd {
+
+/// Per-task prices (arbitrary currency units; defaults mirror the cents-per-
+/// HIT ballpark of crowdsourcing marketplaces).
+struct HitCost {
+  /// One pairwise "do these two records join?" comparison.
+  double pair_comparison = 0.01;
+  /// One per-record feature-extraction task (Marcus et al.'s "features",
+  /// used to filter candidate pairs before pairwise HITs).
+  double feature_extraction = 0.005;
+};
+
+/// Running tally of a session's spend.
+struct CostLedger {
+  size_t pair_hits = 0;
+  size_t feature_hits = 0;
+
+  double Total(const HitCost& cost) const {
+    return static_cast<double>(pair_hits) * cost.pair_comparison +
+           static_cast<double>(feature_hits) * cost.feature_extraction;
+  }
+};
+
+}  // namespace crowd
+}  // namespace qlearn
+
+#endif  // QLEARN_CROWD_COST_MODEL_H_

@@ -1,0 +1,38 @@
+#include "exchange/graph_to_xml.h"
+
+namespace qlearn {
+namespace exchange {
+
+using common::Result;
+
+Result<xml::XmlTree> PublishGraphAsXml(const graph::Graph& g,
+                                       const graph::PathQuery& query,
+                                       const GraphPublishOptions& options,
+                                       common::Interner* interner) {
+  graph::PathQueryEvaluator eval(query, g);
+  xml::XmlTree doc;
+  const xml::NodeId root = doc.AddRoot(interner->Intern(options.root_label));
+
+  size_t exported = 0;
+  for (const auto& [src, dst] : eval.EvalAllPairs()) {
+    if (exported >= options.max_pairs) break;
+    const auto witness = eval.Witness(src, dst);
+    if (!witness.has_value()) continue;
+    ++exported;
+    const xml::NodeId path =
+        doc.AddChild(root, interner->Intern(options.path_label));
+    const xml::NodeId from = doc.AddChild(path, interner->Intern("from"));
+    doc.AddChild(from, interner->Intern(g.VertexName(src)));
+    const xml::NodeId to = doc.AddChild(path, interner->Intern("to"));
+    doc.AddChild(to, interner->Intern(g.VertexName(dst)));
+    for (graph::EdgeId e : witness->edges) {
+      const xml::NodeId step = doc.AddChild(path, interner->Intern("step"));
+      doc.AddChild(step, g.edge(e).label);
+      doc.AddChild(step, interner->Intern(g.VertexName(g.edge(e).dst)));
+    }
+  }
+  return doc;
+}
+
+}  // namespace exchange
+}  // namespace qlearn

@@ -1,0 +1,35 @@
+// Scenario 4 of Figure 1: PUBLISHING graph data as XML. The pairs selected
+// by a (learned) path query are exported with one <path> element each,
+// carrying <from>/<to> city elements and one element per traversed edge.
+#ifndef QLEARN_EXCHANGE_GRAPH_TO_XML_H_
+#define QLEARN_EXCHANGE_GRAPH_TO_XML_H_
+
+#include <string>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "graph/path_query.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace exchange {
+
+struct GraphPublishOptions {
+  std::string root_label = "paths";
+  std::string path_label = "path";
+  /// Cap on exported pairs.
+  size_t max_pairs = 10000;
+};
+
+/// Evaluates `query` on `graph` and publishes each matching pair with its
+/// minimum-weight witness path:
+///   <paths> <path> <from><city/></from> <to><city/></to>
+///           (<step><label/><dst_city/></step>)* </path>* </paths>
+common::Result<xml::XmlTree> PublishGraphAsXml(
+    const graph::Graph& g, const graph::PathQuery& query,
+    const GraphPublishOptions& options, common::Interner* interner);
+
+}  // namespace exchange
+}  // namespace qlearn
+
+#endif  // QLEARN_EXCHANGE_GRAPH_TO_XML_H_

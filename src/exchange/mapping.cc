@@ -1,0 +1,84 @@
+#include "exchange/mapping.h"
+
+#include "relational/operators.h"
+
+namespace qlearn {
+namespace exchange {
+
+using common::Result;
+using common::Status;
+
+Result<Scenario1Result> RunScenario1Publishing(
+    const rlearn::PairUniverse& universe, const relational::Relation& left,
+    const relational::Relation& right, rlearn::JoinOracle* oracle,
+    const rlearn::InteractiveJoinOptions& session_options,
+    const PublishOptions& publish_options, common::Interner* interner) {
+  Scenario1Result result;
+  QLEARN_ASSIGN_OR_RETURN(
+      result.session,
+      rlearn::RunInteractiveJoinSession(universe, left, right, oracle,
+                                        session_options));
+  if (result.session.learned == 0) {
+    return Status::Internal("join session ended without a hypothesis");
+  }
+  QLEARN_ASSIGN_OR_RETURN(
+      result.extracted,
+      relational::EquiJoin(left, right,
+                           universe.Decode(result.session.learned)));
+  QLEARN_ASSIGN_OR_RETURN(
+      result.published,
+      PublishRelationAsXml(result.extracted, publish_options, interner));
+  return result;
+}
+
+Result<Scenario2Result> RunScenario2Shredding(
+    const xml::XmlTree& doc, const std::vector<xml::NodeId>& positive_nodes,
+    const ShredOptions& shred_options, const common::Interner& interner) {
+  std::vector<learn::TreeExample> examples;
+  examples.reserve(positive_nodes.size());
+  for (xml::NodeId n : positive_nodes) {
+    examples.push_back(learn::TreeExample{&doc, n});
+  }
+  Scenario2Result result;
+  QLEARN_ASSIGN_OR_RETURN(result.learned, learn::LearnTwig(examples));
+  result.learned.AddMarked(result.learned.selection());
+  QLEARN_ASSIGN_OR_RETURN(
+      result.shredded,
+      ShredXmlToRelation(doc, result.learned, shred_options, interner));
+  return result;
+}
+
+Result<Scenario3Result> RunScenario3Shredding(
+    const xml::XmlTree& doc, const std::vector<xml::NodeId>& positive_nodes,
+    const common::Interner& interner) {
+  std::vector<learn::TreeExample> examples;
+  examples.reserve(positive_nodes.size());
+  for (xml::NodeId n : positive_nodes) {
+    examples.push_back(learn::TreeExample{&doc, n});
+  }
+  Scenario3Result result;
+  QLEARN_ASSIGN_OR_RETURN(result.learned, learn::LearnTwig(examples));
+  QLEARN_ASSIGN_OR_RETURN(result.shredded,
+                          ShredXmlToGraph(doc, result.learned, interner));
+  return result;
+}
+
+Result<Scenario4Result> RunScenario4Publishing(
+    const graph::Graph& g, const graph::Path& seed,
+    glearn::PathOracle* oracle,
+    const glearn::InteractivePathOptions& session_options,
+    const GraphPublishOptions& publish_options, common::Interner* interner) {
+  Scenario4Result result;
+  QLEARN_ASSIGN_OR_RETURN(
+      result.session,
+      glearn::RunInteractivePathSession(g, seed, oracle, session_options));
+  const graph::PathQuery learned{result.session.hypothesis.ToRegex(),
+                                 std::nullopt};
+  QLEARN_ASSIGN_OR_RETURN(
+      result.published,
+      PublishGraphAsXml(g, learned, publish_options, interner));
+  return result;
+}
+
+}  // namespace exchange
+}  // namespace qlearn

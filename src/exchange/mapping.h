@@ -1,0 +1,68 @@
+// Cross-model mapping facade: one entry point per Figure-1 scenario, each
+// wiring a *learned* source query (Section 2/3 learners) to the matching
+// constructor (this module). These drive experiment F1 and the examples.
+#ifndef QLEARN_EXCHANGE_MAPPING_H_
+#define QLEARN_EXCHANGE_MAPPING_H_
+
+#include <vector>
+
+#include "exchange/graph_to_xml.h"
+#include "exchange/rel_to_xml.h"
+#include "exchange/xml_to_graph.h"
+#include "exchange/xml_to_rel.h"
+#include "glearn/interactive_path.h"
+#include "learn/twig_learner.h"
+#include "rlearn/interactive_join.h"
+
+namespace qlearn {
+namespace exchange {
+
+/// Scenario 1 — relational -> XML: learn an equi-join interactively, run it,
+/// publish the result.
+struct Scenario1Result {
+  rlearn::InteractiveJoinResult session;
+  relational::Relation extracted;
+  xml::XmlTree published;
+};
+common::Result<Scenario1Result> RunScenario1Publishing(
+    const rlearn::PairUniverse& universe, const relational::Relation& left,
+    const relational::Relation& right, rlearn::JoinOracle* oracle,
+    const rlearn::InteractiveJoinOptions& session_options,
+    const PublishOptions& publish_options, common::Interner* interner);
+
+/// Scenario 2 — XML -> relational: learn a twig from annotated nodes, mark
+/// its selection, shred the document.
+struct Scenario2Result {
+  twig::TwigQuery learned;
+  relational::Relation shredded;
+};
+common::Result<Scenario2Result> RunScenario2Shredding(
+    const xml::XmlTree& doc, const std::vector<xml::NodeId>& positive_nodes,
+    const ShredOptions& shred_options, const common::Interner& interner);
+
+/// Scenario 3 — XML -> graph: learn a twig, shred the selected subtrees into
+/// an RDF-style graph.
+struct Scenario3Result {
+  twig::TwigQuery learned;
+  XmlToGraphResult shredded;
+};
+common::Result<Scenario3Result> RunScenario3Shredding(
+    const xml::XmlTree& doc, const std::vector<xml::NodeId>& positive_nodes,
+    const common::Interner& interner);
+
+/// Scenario 4 — graph -> XML: learn a path query interactively, publish the
+/// matching paths.
+struct Scenario4Result {
+  glearn::InteractivePathResult session;
+  xml::XmlTree published;
+};
+common::Result<Scenario4Result> RunScenario4Publishing(
+    const graph::Graph& g, const graph::Path& seed,
+    glearn::PathOracle* oracle,
+    const glearn::InteractivePathOptions& session_options,
+    const GraphPublishOptions& publish_options, common::Interner* interner);
+
+}  // namespace exchange
+}  // namespace qlearn
+
+#endif  // QLEARN_EXCHANGE_MAPPING_H_

@@ -1,0 +1,72 @@
+#include "exchange/rel_to_xml.h"
+
+#include <cctype>
+#include <map>
+
+namespace qlearn {
+namespace exchange {
+
+using common::Result;
+using common::Status;
+
+Result<xml::XmlTree> PublishRelationAsXml(
+    const relational::Relation& relation, const PublishOptions& options,
+    common::Interner* interner) {
+  std::optional<size_t> group_col;
+  if (options.group_by.has_value()) {
+    group_col = relation.schema().AttributeIndex(*options.group_by);
+    if (!group_col.has_value()) {
+      return Status::NotFound("group_by attribute '" + *options.group_by +
+                              "' not in schema " +
+                              relation.schema().ToString());
+    }
+  }
+
+  xml::XmlTree doc;
+  const xml::NodeId root = doc.AddRoot(interner->Intern(options.root_label));
+
+  // Value labels must survive serialization and re-parsing: whitespace and
+  // markup characters are replaced by '_'.
+  auto sanitize = [](std::string text) {
+    for (char& c : text) {
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '<' ||
+          c == '>' || c == '/' || c == '=' || c == '"' || c == '&') {
+        c = '_';
+      }
+    }
+    return text;
+  };
+
+  auto emit_record = [&](xml::NodeId parent, const relational::Tuple& row) {
+    const xml::NodeId record =
+        doc.AddChild(parent, interner->Intern(options.record_label));
+    for (size_t c = 0; c < relation.schema().arity(); ++c) {
+      const xml::NodeId attr = doc.AddChild(
+          record, interner->Intern(relation.schema().attributes()[c].name));
+      doc.AddChild(attr, interner->Intern(sanitize(row[c].ToString())));
+    }
+  };
+
+  if (!group_col.has_value()) {
+    for (const relational::Tuple& row : relation.rows()) {
+      emit_record(root, row);
+    }
+    return doc;
+  }
+
+  // Group rows by the rendered group value (stable, sorted by value).
+  std::map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < relation.size(); ++i) {
+    groups[relation.row(i)[*group_col].ToString()].push_back(i);
+  }
+  for (const auto& [key, row_ids] : groups) {
+    const xml::NodeId group =
+        doc.AddChild(root, interner->Intern(options.group_label));
+    doc.AddChild(group, interner->Intern(sanitize(key)));
+    for (size_t i : row_ids) emit_record(group, relation.row(i));
+  }
+  return doc;
+}
+
+}  // namespace exchange
+}  // namespace qlearn

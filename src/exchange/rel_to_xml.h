@@ -1,0 +1,37 @@
+// Scenario 1 of the paper's Figure 1: PUBLISHING relational data as XML.
+// The extracted relation (typically the result of a learned join) is nested
+// under <root>/<record>/<attribute>/<value> elements; values are encoded as
+// leaf labels so the label-only XML model round-trips them.
+#ifndef QLEARN_EXCHANGE_REL_TO_XML_H_
+#define QLEARN_EXCHANGE_REL_TO_XML_H_
+
+#include <optional>
+#include <string>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "relational/relation.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace exchange {
+
+struct PublishOptions {
+  std::string root_label = "export";
+  std::string record_label = "record";
+  /// When set, records are grouped under <group_label> elements by the
+  /// value of this attribute (two-level nesting).
+  std::optional<std::string> group_by;
+  std::string group_label = "group";
+};
+
+/// Publishes `relation` as an XML tree:
+///   <root> (<group> <key/>)? (<record> (<attr><value/></attr>)* </record>)* ...
+common::Result<xml::XmlTree> PublishRelationAsXml(
+    const relational::Relation& relation, const PublishOptions& options,
+    common::Interner* interner);
+
+}  // namespace exchange
+}  // namespace qlearn
+
+#endif  // QLEARN_EXCHANGE_REL_TO_XML_H_

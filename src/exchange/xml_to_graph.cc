@@ -1,0 +1,61 @@
+#include "exchange/xml_to_graph.h"
+
+#include <string>
+
+#include "twig/twig_eval.h"
+
+namespace qlearn {
+namespace exchange {
+
+using common::Result;
+using common::Status;
+
+Result<XmlToGraphResult> ShredXmlToGraph(const xml::XmlTree& doc,
+                                         const twig::TwigQuery& query,
+                                         const common::Interner& interner) {
+  if (query.selection() == twig::kInvalidQNode) {
+    return Status::InvalidArgument("shredding needs a selection node");
+  }
+  XmlToGraphResult result;
+  // Interner is shared conceptually but Graph only stores SymbolIds coming
+  // from it, so a const reference suffices for naming vertices.
+  std::vector<graph::VertexId> vertex_of(doc.NumNodes(),
+                                         graph::kInvalidVertex);
+  std::vector<bool> expanded(doc.NumNodes(), false);
+
+  auto vertex_for = [&](xml::NodeId n) {
+    if (vertex_of[n] == graph::kInvalidVertex) {
+      std::string name = interner.Name(doc.label(n));
+      name += "#";
+      name += std::to_string(n);
+      vertex_of[n] = result.graph.AddVertex(std::move(name));
+    }
+    return vertex_of[n];
+  };
+
+  auto materialize = [&](xml::NodeId subtree_root) {
+    // Vertex per node; overlapping selected subtrees share vertices and
+    // each node's outgoing edges are emitted exactly once.
+    std::vector<xml::NodeId> stack{subtree_root};
+    while (!stack.empty()) {
+      const xml::NodeId n = stack.back();
+      stack.pop_back();
+      vertex_for(n);
+      if (expanded[n]) continue;
+      expanded[n] = true;
+      for (xml::NodeId c : doc.children(n)) {
+        result.graph.AddEdge(vertex_of[n], vertex_for(c), doc.label(c), 1.0);
+        stack.push_back(c);
+      }
+    }
+  };
+
+  for (xml::NodeId selected : twig::Evaluate(query, doc)) {
+    materialize(selected);
+    result.selected_roots.push_back(vertex_of[selected]);
+  }
+  return result;
+}
+
+}  // namespace exchange
+}  // namespace qlearn

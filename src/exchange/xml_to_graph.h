@@ -1,0 +1,32 @@
+// Scenario 3 of Figure 1: SHREDDING XML into a graph (RDF-style). Each node
+// selected by a (learned) twig query contributes its subtree: one vertex per
+// XML node, and a directed edge labeled with the child's element label from
+// parent vertex to child vertex — the usual element-hierarchy triples.
+#ifndef QLEARN_EXCHANGE_XML_TO_GRAPH_H_
+#define QLEARN_EXCHANGE_XML_TO_GRAPH_H_
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "twig/twig_query.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace exchange {
+
+struct XmlToGraphResult {
+  graph::Graph graph;
+  /// Vertices corresponding to the twig-selected roots of each subtree.
+  std::vector<graph::VertexId> selected_roots;
+};
+
+/// Shreds the subtrees selected by `query` into a graph. Fails when the
+/// query has no selection node.
+common::Result<XmlToGraphResult> ShredXmlToGraph(
+    const xml::XmlTree& doc, const twig::TwigQuery& query,
+    const common::Interner& interner);
+
+}  // namespace exchange
+}  // namespace qlearn
+
+#endif  // QLEARN_EXCHANGE_XML_TO_GRAPH_H_

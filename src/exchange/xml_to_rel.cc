@@ -1,0 +1,55 @@
+#include "exchange/xml_to_rel.h"
+
+#include "twig/twig_eval.h"
+
+namespace qlearn {
+namespace exchange {
+
+using common::Result;
+using common::Status;
+
+std::string NodeValue(const xml::XmlTree& doc, xml::NodeId n,
+                      const common::Interner& interner) {
+  if (!doc.children(n).empty()) {
+    return interner.Name(doc.label(doc.children(n)[0]));
+  }
+  return interner.Name(doc.label(n));
+}
+
+Result<relational::Relation> ShredXmlToRelation(
+    const xml::XmlTree& doc, const twig::TwigQuery& query,
+    const ShredOptions& options, const common::Interner& interner) {
+  if (query.marked().empty()) {
+    return Status::InvalidArgument(
+        "shredding needs a query with marked extraction nodes");
+  }
+  std::vector<relational::Attribute> attrs;
+  for (size_t i = 0; i < query.marked().size(); ++i) {
+    std::string name;
+    if (i < options.attribute_names.size()) {
+      name = options.attribute_names[i];
+    } else {
+      const auto label = query.label(query.marked()[i]);
+      name = label == twig::kWildcard ? ("col" + std::to_string(i))
+                                      : interner.Name(label);
+    }
+    attrs.push_back(
+        relational::Attribute{name, relational::ValueType::kString});
+  }
+  relational::Relation out(
+      relational::RelationSchema(options.relation_name, std::move(attrs)));
+
+  twig::TwigEvaluator eval(query, doc);
+  for (const auto& tuple : eval.MarkedTuples(options.max_tuples)) {
+    relational::Tuple row;
+    row.reserve(tuple.size());
+    for (xml::NodeId n : tuple) {
+      row.emplace_back(NodeValue(doc, n, interner));
+    }
+    out.InsertUnchecked(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace exchange
+}  // namespace qlearn

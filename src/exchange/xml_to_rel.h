@@ -1,0 +1,43 @@
+// Scenario 2 of Figure 1: SHREDDING XML into a relational database. A
+// (learned) twig query with marked nodes extracts one tuple per embedding;
+// the *value* of an extracted node is the label of its first child when it
+// has one (matching the publishing encoding), else its own label.
+#ifndef QLEARN_EXCHANGE_XML_TO_REL_H_
+#define QLEARN_EXCHANGE_XML_TO_REL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "relational/relation.h"
+#include "twig/twig_query.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace exchange {
+
+struct ShredOptions {
+  std::string relation_name = "shredded";
+  /// Attribute names, one per marked query node; defaults to the marked
+  /// nodes' labels when empty.
+  std::vector<std::string> attribute_names;
+  /// Cap on extracted tuples.
+  size_t max_tuples = 100000;
+};
+
+/// The extraction value of document node `n` (see header comment).
+std::string NodeValue(const xml::XmlTree& doc, xml::NodeId n,
+                      const common::Interner& interner);
+
+/// Extracts one string tuple per embedding of `query` (projected onto its
+/// marked nodes) and materializes them as a relation. Fails when the query
+/// has no marked nodes.
+common::Result<relational::Relation> ShredXmlToRelation(
+    const xml::XmlTree& doc, const twig::TwigQuery& query,
+    const ShredOptions& options, const common::Interner& interner);
+
+}  // namespace exchange
+}  // namespace qlearn
+
+#endif  // QLEARN_EXCHANGE_XML_TO_REL_H_

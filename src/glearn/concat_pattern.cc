@@ -1,0 +1,190 @@
+#include "glearn/concat_pattern.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace qlearn {
+namespace glearn {
+
+using common::SymbolId;
+
+ConcatPattern ConcatPattern::FromWord(const std::vector<SymbolId>& word) {
+  std::vector<PathUnit> units;
+  units.reserve(word.size());
+  for (SymbolId s : word) units.push_back(PathUnit{s, false, false});
+  return ConcatPattern(std::move(units));
+}
+
+bool ConcatPattern::Accepts(const std::vector<SymbolId>& word) const {
+  const size_t n = units_.size();
+  const size_t m = word.size();
+  // reach[i][j]: first i units can consume first j symbols.
+  std::vector<std::vector<char>> reach(n + 1,
+                                       std::vector<char>(m + 1, 0));
+  reach[0][0] = 1;
+  for (size_t i = 0; i < n; ++i) {
+    const PathUnit& u = units_[i];
+    for (size_t j = 0; j <= m; ++j) {
+      if (!reach[i][j]) continue;
+      if (u.optional) reach[i + 1][j] = 1;  // consume zero
+      // Consume k >= 1 occurrences of u.symbol.
+      size_t k = j;
+      while (k < m && word[k] == u.symbol) {
+        ++k;
+        reach[i + 1][k] = 1;
+        if (!u.repeat) break;
+      }
+    }
+  }
+  return reach[n][m] != 0;
+}
+
+ConcatPattern ConcatPattern::Generalize(const std::vector<SymbolId>& word,
+                                        int* cost_out) const {
+  const size_t n = units_.size();
+  const size_t m = word.size();
+  constexpr int kInf = std::numeric_limits<int>::max() / 4;
+  // Upgrade costs: making a unit optional or repeating costs 1 each;
+  // inserting a fresh optional unit costs 3 (2 for the unit + 1 bias so
+  // reusing existing units is preferred).
+  constexpr int kOptionalCost = 1;
+  constexpr int kRepeatCost = 1;
+  constexpr int kInsertCost = 3;
+
+  struct Cell {
+    int cost = kInf;
+    // Backtrack: 0 = none, 1 = match-one, 2 = match-many, 3 = skip-unit,
+    // 4 = insert (consumes a maximal run via repeat when >1 symbol).
+    int move = 0;
+    size_t pi = 0;
+    size_t pj = 0;
+  };
+  std::vector<std::vector<Cell>> dp(n + 1, std::vector<Cell>(m + 1));
+  dp[0][0].cost = 0;
+
+  for (size_t i = 0; i <= n; ++i) {
+    for (size_t j = 0; j <= m; ++j) {
+      const int cur = dp[i][j].cost;
+      if (cur >= kInf) continue;
+      auto relax = [&](size_t ni, size_t nj, int cost, int move) {
+        if (cost < dp[ni][nj].cost) {
+          dp[ni][nj] = Cell{cost, move, i, j};
+        }
+      };
+      if (i < n) {
+        const PathUnit& u = units_[i];
+        // Skip the unit (it becomes optional).
+        relax(i + 1, j, cur + (u.optional ? 0 : kOptionalCost), 3);
+        // Match one or more symbols.
+        if (j < m && word[j] == u.symbol) {
+          relax(i + 1, j + 1, cur, 1);
+          size_t k = j + 1;
+          while (k < m && word[k] == u.symbol) ++k;
+          if (k > j + 1) {
+            relax(i + 1, k, cur + (u.repeat ? 0 : kRepeatCost), 2);
+          }
+        }
+      }
+      // Insert a fresh optional unit consuming a maximal same-symbol run.
+      if (j < m) {
+        size_t k = j + 1;
+        while (k < m && word[k] == word[j]) ++k;
+        relax(i, j + 1, cur + kInsertCost, 4);
+        if (k > j + 1) relax(i, k, cur + kInsertCost, 4);
+      }
+    }
+  }
+
+  // Backtrack from (n, m) building the upgraded unit list.
+  std::vector<PathUnit> units;
+  size_t i = n;
+  size_t j = m;
+  while (i != 0 || j != 0) {
+    const Cell& cell = dp[i][j];
+    const size_t pi = cell.pi;
+    const size_t pj = cell.pj;
+    switch (cell.move) {
+      case 1: {  // match-one: unit kept as-is
+        units.push_back(units_[pi]);
+        break;
+      }
+      case 2: {  // match-many: unit gains repeat
+        PathUnit u = units_[pi];
+        u.repeat = true;
+        units.push_back(u);
+        break;
+      }
+      case 3: {  // skip: unit gains optional
+        PathUnit u = units_[pi];
+        u.optional = true;
+        units.push_back(u);
+        break;
+      }
+      case 4: {  // insert fresh optional unit (repeat for runs)
+        PathUnit u{word[pj], true, j - pj > 1};
+        units.push_back(u);
+        break;
+      }
+      default:
+        // Unreachable: dp[0][0] has move 0 and the loop stops there.
+        i = 0;
+        j = 0;
+        continue;
+    }
+    i = pi;
+    j = pj;
+  }
+  std::reverse(units.begin(), units.end());
+  if (cost_out != nullptr) *cost_out = dp[n][m].cost;
+  return ConcatPattern(std::move(units));
+}
+
+automata::RegexPtr ConcatPattern::ToRegex() const {
+  std::vector<automata::RegexPtr> parts;
+  parts.reserve(units_.size());
+  for (const PathUnit& u : units_) {
+    automata::RegexPtr r = automata::Regex::Symbol(u.symbol);
+    if (u.optional && u.repeat) {
+      r = automata::Regex::Star(std::move(r));
+    } else if (u.optional) {
+      r = automata::Regex::Opt(std::move(r));
+    } else if (u.repeat) {
+      r = automata::Regex::Plus(std::move(r));
+    }
+    parts.push_back(std::move(r));
+  }
+  return automata::Regex::Concat(std::move(parts));
+}
+
+std::string ConcatPattern::ToString(const common::Interner& interner) const {
+  if (units_.empty()) return "()";
+  std::string out;
+  for (size_t i = 0; i < units_.size(); ++i) {
+    if (i > 0) out += ".";
+    out += interner.Name(units_[i].symbol);
+    if (units_[i].optional && units_[i].repeat) {
+      out += "*";
+    } else if (units_[i].optional) {
+      out += "?";
+    } else if (units_[i].repeat) {
+      out += "+";
+    }
+  }
+  return out;
+}
+
+common::Result<ConcatPattern> LearnConcatPattern(
+    const std::vector<std::vector<SymbolId>>& positive_words) {
+  if (positive_words.empty()) {
+    return common::Status::InvalidArgument(
+        "concat-pattern learning needs at least one word");
+  }
+  ConcatPattern pattern = ConcatPattern::FromWord(positive_words[0]);
+  for (size_t i = 1; i < positive_words.size(); ++i) {
+    pattern = pattern.Generalize(positive_words[i]);
+  }
+  return pattern;
+}
+
+}  // namespace glearn
+}  // namespace qlearn

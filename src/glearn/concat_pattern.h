@@ -1,0 +1,72 @@
+// The "concatenation" path-query class learnable from positive examples:
+// expressions  x1.x2...xk  with each unit xi one of  a, a?, a+, a*  over edge
+// labels. Generalization upgrades units (optional / repeat) or inserts
+// optional units, so the language only grows — the most-specific-hypothesis
+// discipline of the paper's learning framework, applied to graph queries.
+#ifndef QLEARN_GLEARN_CONCAT_PATTERN_H_
+#define QLEARN_GLEARN_CONCAT_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "automata/regex.h"
+#include "common/interner.h"
+#include "common/status.h"
+
+namespace qlearn {
+namespace glearn {
+
+/// One unit of a concat pattern: symbol with optionality/repetition flags.
+struct PathUnit {
+  common::SymbolId symbol;
+  bool optional = false;  ///< zero occurrences allowed
+  bool repeat = false;    ///< more than one occurrence allowed
+
+  bool operator==(const PathUnit& o) const {
+    return symbol == o.symbol && optional == o.optional && repeat == o.repeat;
+  }
+};
+
+/// A disjunction-free path expression.
+class ConcatPattern {
+ public:
+  ConcatPattern() = default;
+  explicit ConcatPattern(std::vector<PathUnit> units)
+      : units_(std::move(units)) {}
+
+  /// The most specific pattern of a single word.
+  static ConcatPattern FromWord(const std::vector<common::SymbolId>& word);
+
+  const std::vector<PathUnit>& units() const { return units_; }
+  size_t size() const { return units_.size(); }
+
+  /// Word membership (quadratic DP; patterns and words are short).
+  bool Accepts(const std::vector<common::SymbolId>& word) const;
+
+  /// Minimal-upgrade generalization covering `word` as well: the language
+  /// of the result contains L(this) ∪ {word}. Also reports the edit cost
+  /// (0 iff the word was already accepted).
+  ConcatPattern Generalize(const std::vector<common::SymbolId>& word,
+                           int* cost_out = nullptr) const;
+
+  /// Equivalent regex (for automata-level comparisons and evaluation).
+  automata::RegexPtr ToRegex() const;
+
+  /// E.g. "local.highway+.local?".
+  std::string ToString(const common::Interner& interner) const;
+
+  bool operator==(const ConcatPattern& o) const { return units_ == o.units_; }
+
+ private:
+  std::vector<PathUnit> units_;
+};
+
+/// Folds Generalize over the positive words (order-sensitive but sound: the
+/// result accepts every input word).
+common::Result<ConcatPattern> LearnConcatPattern(
+    const std::vector<std::vector<common::SymbolId>>& positive_words);
+
+}  // namespace glearn
+}  // namespace qlearn
+
+#endif  // QLEARN_GLEARN_CONCAT_PATTERN_H_

@@ -1,0 +1,81 @@
+// Interactive path-query learning on a graph — the paper's geographical
+// scenario: the learner proposes *paths* for the user to label, propagates
+// uninformative paths, and can prioritize paths matching a historical query
+// workload (the "all previous users wanted highway-only paths" heuristic).
+#ifndef QLEARN_GLEARN_INTERACTIVE_PATH_H_
+#define QLEARN_GLEARN_INTERACTIVE_PATH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "glearn/concat_pattern.h"
+#include "graph/path_query.h"
+
+namespace qlearn {
+namespace glearn {
+
+/// Labels candidate paths; backed by a hidden goal query in benchmarks.
+class PathOracle {
+ public:
+  virtual ~PathOracle() = default;
+  virtual bool IsPositive(const graph::Graph& g, const graph::Path& path) = 0;
+};
+
+/// Oracle defined by a hidden goal path query.
+class GoalPathOracle : public PathOracle {
+ public:
+  GoalPathOracle(const graph::PathQuery& goal, const graph::Graph& g)
+      : evaluator_(goal, g) {}
+  bool IsPositive(const graph::Graph& g, const graph::Path& path) override {
+    (void)g;
+    return evaluator_.MatchesPath(path);
+  }
+
+ private:
+  graph::PathQueryEvaluator evaluator_;
+};
+
+/// Question-selection strategies (compared in E7).
+enum class PathStrategy {
+  kRandom,    ///< uniform over informative paths
+  kFrontier,  ///< smallest generalization cost first (conservative growth)
+  kWorkload,  ///< paths matching the historical workload first
+};
+
+struct InteractivePathOptions {
+  PathStrategy strategy = PathStrategy::kFrontier;
+  uint64_t seed = 13;
+  /// Candidate pool: paths of at most this many edges...
+  size_t max_path_edges = 4;
+  /// ...capped at this many paths.
+  size_t max_candidates = 4000;
+  size_t max_questions = 1000000;
+  /// Historical workload for kWorkload (regexes of past learned queries).
+  std::vector<automata::RegexPtr> workload;
+};
+
+struct InteractivePathResult {
+  ConcatPattern hypothesis;
+  /// Max weight among positive paths (a most-specific weight bound).
+  double max_positive_weight = 0;
+  size_t questions = 0;
+  size_t forced_positive = 0;
+  size_t forced_negative = 0;
+  size_t candidate_paths = 0;
+  /// Non-zero when the hypothesis ends up accepting a labeled-negative word
+  /// (goal outside the concat class).
+  size_t conflicts = 0;
+};
+
+/// Runs the interactive protocol starting from one positive seed path.
+common::Result<InteractivePathResult> RunInteractivePathSession(
+    const graph::Graph& g, const graph::Path& seed, PathOracle* oracle,
+    const InteractivePathOptions& options = {});
+
+}  // namespace glearn
+}  // namespace qlearn
+
+#endif  // QLEARN_GLEARN_INTERACTIVE_PATH_H_

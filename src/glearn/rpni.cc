@@ -1,0 +1,183 @@
+#include "glearn/rpni.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace qlearn {
+namespace glearn {
+
+using common::Result;
+using common::Status;
+using common::SymbolId;
+
+namespace {
+
+/// Prefix-tree acceptor with +/-/unknown state labels, plus the union-find
+/// overlay used during merging.
+struct Pta {
+  std::vector<std::map<SymbolId, int>> next;
+  std::vector<int> label;  // +1 accept, -1 reject, 0 unknown
+  std::vector<int> repr;   // union-find parent
+
+  int Find(int s) {
+    while (repr[s] != s) {
+      repr[s] = repr[repr[s]];
+      s = repr[s];
+    }
+    return s;
+  }
+
+  /// Folds state b into state a, merging subtrees to restore determinism.
+  /// Returns false on a +/- label conflict.
+  bool Fold(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return true;
+    if (label[a] != 0 && label[b] != 0 && label[a] != label[b]) return false;
+    if (label[a] == 0) label[a] = label[b];
+    repr[b] = a;
+    // Merge b's transitions into a's, folding collisions recursively.
+    const std::map<SymbolId, int> b_next = next[b];
+    for (const auto& [sym, target] : b_next) {
+      auto it = next[a].find(sym);
+      if (it == next[a].end()) {
+        next[a][sym] = target;
+      } else {
+        if (!Fold(it->second, target)) return false;
+      }
+    }
+    return true;
+  }
+};
+
+Pta BuildPta(const std::vector<std::vector<SymbolId>>& positives,
+             const std::vector<std::vector<SymbolId>>& negatives,
+             bool* conflict) {
+  Pta pta;
+  pta.next.emplace_back();
+  pta.label.push_back(0);
+  *conflict = false;
+  auto insert = [&](const std::vector<SymbolId>& word, int word_label) {
+    int state = 0;
+    for (SymbolId s : word) {
+      auto it = pta.next[state].find(s);
+      if (it == pta.next[state].end()) {
+        const int fresh = static_cast<int>(pta.next.size());
+        pta.next[state][s] = fresh;
+        pta.next.emplace_back();
+        pta.label.push_back(0);
+        state = fresh;
+      } else {
+        state = it->second;
+      }
+    }
+    if (pta.label[state] != 0 && pta.label[state] != word_label) {
+      *conflict = true;
+    }
+    pta.label[state] = word_label;
+  };
+  for (const auto& w : positives) insert(w, 1);
+  for (const auto& w : negatives) insert(w, -1);
+  pta.repr.resize(pta.next.size());
+  for (size_t i = 0; i < pta.repr.size(); ++i) {
+    pta.repr[i] = static_cast<int>(i);
+  }
+  return pta;
+}
+
+}  // namespace
+
+Result<automata::Dfa> LearnRpniDfa(
+    const std::vector<std::vector<SymbolId>>& positives,
+    const std::vector<std::vector<SymbolId>>& negatives) {
+  bool conflict = false;
+  Pta pta = BuildPta(positives, negatives, &conflict);
+  if (conflict) {
+    return Status::InvalidArgument(
+        "a word is labeled both positive and negative");
+  }
+
+  // Alphabet of the sample.
+  std::set<SymbolId> sigma;
+  for (const auto& w : positives) sigma.insert(w.begin(), w.end());
+  for (const auto& w : negatives) sigma.insert(w.begin(), w.end());
+  const std::vector<SymbolId> alphabet(sigma.begin(), sigma.end());
+
+  // RPNI main loop: maintain RED set; BLUE = frontier successors.
+  std::vector<int> red{0};
+  for (;;) {
+    // Compute blue states in canonical (BFS over red, sorted symbols) order.
+    std::vector<int> blue;
+    std::set<int> red_set;
+    for (int r : red) red_set.insert(pta.Find(r));
+    std::set<int> seen;
+    for (int r : red) {
+      const int rr = pta.Find(r);
+      for (const auto& [sym, target] : pta.next[rr]) {
+        (void)sym;
+        const int t = pta.Find(target);
+        if (!red_set.count(t) && seen.insert(t).second) blue.push_back(t);
+      }
+    }
+    if (blue.empty()) break;
+    const int b = blue[0];
+
+    bool merged = false;
+    for (int r : red) {
+      // Attempt the merge on a scratch copy.
+      Pta scratch = pta;
+      if (scratch.Fold(pta.Find(r), b)) {
+        pta = std::move(scratch);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) red.push_back(b);
+  }
+
+  // Build the quotient DFA (complete, with sink) over the alphabet.
+  std::map<int, automata::StateId> ids;
+  std::vector<int> order;
+  std::vector<int> stack{pta.Find(0)};
+  while (!stack.empty()) {
+    const int s = stack.back();
+    stack.pop_back();
+    if (ids.count(s)) continue;
+    ids[s] = static_cast<automata::StateId>(order.size());
+    order.push_back(s);
+    for (const auto& [sym, target] : pta.next[s]) {
+      (void)sym;
+      stack.push_back(pta.Find(target));
+    }
+  }
+  const automata::StateId sink = static_cast<automata::StateId>(order.size());
+  std::vector<std::vector<automata::StateId>> transitions(
+      order.size() + 1,
+      std::vector<automata::StateId>(alphabet.size(), sink));
+  std::vector<bool> accepting(order.size() + 1, false);
+  for (size_t i = 0; i < order.size(); ++i) {
+    accepting[i] = pta.label[order[i]] == 1;
+    for (size_t a = 0; a < alphabet.size(); ++a) {
+      auto it = pta.next[order[i]].find(alphabet[a]);
+      if (it != pta.next[order[i]].end()) {
+        transitions[i][a] = ids[pta.Find(it->second)];
+      }
+    }
+  }
+  automata::Dfa dfa(alphabet, ids[pta.Find(0)], std::move(transitions),
+                    std::move(accepting));
+  return dfa.Minimize();
+}
+
+Result<automata::RegexPtr> LearnRpniRegex(
+    const std::vector<std::vector<SymbolId>>& positives,
+    const std::vector<std::vector<SymbolId>>& negatives) {
+  auto dfa = LearnRpniDfa(positives, negatives);
+  if (!dfa.ok()) return dfa.status();
+  return dfa.value().ToRegex();
+}
+
+}  // namespace glearn
+}  // namespace qlearn

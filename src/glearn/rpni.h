@@ -1,0 +1,34 @@
+// RPNI (Regular Positive and Negative Inference): the classical state-merging
+// algorithm learning a DFA consistent with labeled words. Serves as the
+// richer comparator to the concat-pattern class in experiment E7, and
+// demonstrates the "learning from positive and negative examples" regime the
+// paper discusses for graph queries.
+#ifndef QLEARN_GLEARN_RPNI_H_
+#define QLEARN_GLEARN_RPNI_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/regex.h"
+#include "common/interner.h"
+#include "common/status.h"
+
+namespace qlearn {
+namespace glearn {
+
+/// Learns a DFA accepting every positive word and rejecting every negative
+/// one (fails only if a word is labeled both ways). The result is converted
+/// to a minimal DFA over the words' joint alphabet.
+common::Result<automata::Dfa> LearnRpniDfa(
+    const std::vector<std::vector<common::SymbolId>>& positives,
+    const std::vector<std::vector<common::SymbolId>>& negatives);
+
+/// LearnRpniDfa followed by state-elimination regex extraction.
+common::Result<automata::RegexPtr> LearnRpniRegex(
+    const std::vector<std::vector<common::SymbolId>>& positives,
+    const std::vector<std::vector<common::SymbolId>>& negatives);
+
+}  // namespace glearn
+}  // namespace qlearn
+
+#endif  // QLEARN_GLEARN_RPNI_H_

@@ -1,0 +1,69 @@
+#include "graph/geo_generator.h"
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace qlearn {
+namespace graph {
+
+Graph GenerateGeoGraph(const GeoOptions& options,
+                       common::Interner* interner) {
+  common::Rng rng(options.seed);
+  Graph g;
+  const common::SymbolId local = interner->Intern("local");
+  const common::SymbolId highway = interner->Intern("highway");
+  const common::SymbolId ferry = interner->Intern("ferry");
+
+  const int w = options.grid_width;
+  const int h = options.grid_height;
+  std::vector<VertexId> grid(static_cast<size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      std::string name = "city_";
+      name += std::to_string(x);
+      name += "_";
+      name += std::to_string(y);
+      grid[static_cast<size_t>(y) * w + x] = g.AddVertex(std::move(name));
+    }
+  }
+  auto at = [&](int x, int y) { return grid[static_cast<size_t>(y) * w + x]; };
+
+  // Grid links: mostly local roads, some highways.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w) {
+        const bool hw = rng.Bernoulli(options.highway_fraction);
+        g.AddBidirectional(at(x, y), at(x + 1, y), hw ? highway : local,
+                           hw ? 8 + rng.UniformDouble() * 4
+                              : 3 + rng.UniformDouble() * 3);
+      }
+      if (y + 1 < h) {
+        const bool hw = rng.Bernoulli(options.highway_fraction);
+        g.AddBidirectional(at(x, y), at(x, y + 1), hw ? highway : local,
+                           hw ? 8 + rng.UniformDouble() * 4
+                              : 3 + rng.UniformDouble() * 3);
+      }
+    }
+  }
+
+  // Long-distance highway shortcuts between random distinct cities.
+  for (int i = 0; i < options.num_shortcuts; ++i) {
+    const VertexId a = grid[rng.Index(grid.size())];
+    const VertexId b = grid[rng.Index(grid.size())];
+    if (a == b) continue;
+    g.AddBidirectional(a, b, highway, 15 + rng.UniformDouble() * 10);
+  }
+
+  // Ferries.
+  for (int i = 0; i < options.num_ferries; ++i) {
+    const VertexId a = grid[rng.Index(grid.size())];
+    const VertexId b = grid[rng.Index(grid.size())];
+    if (a == b) continue;
+    g.AddBidirectional(a, b, ferry, 20 + rng.UniformDouble() * 10);
+  }
+  return g;
+}
+
+}  // namespace graph
+}  // namespace qlearn

@@ -1,0 +1,35 @@
+// Geographic road-network generator: the paper's motivating graph use case
+// (cities as vertices; edges carrying road type and distance). Grid-shaped
+// local roads plus sparse long-distance highways and a few ferries.
+#ifndef QLEARN_GRAPH_GEO_GENERATOR_H_
+#define QLEARN_GRAPH_GEO_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/interner.h"
+#include "graph/graph.h"
+
+namespace qlearn {
+namespace graph {
+
+struct GeoOptions {
+  uint64_t seed = 7;
+  /// Cities form a grid_width x grid_height grid.
+  int grid_width = 6;
+  int grid_height = 5;
+  /// Fraction of grid links that are highways instead of local roads.
+  double highway_fraction = 0.25;
+  /// Number of extra long-distance highway shortcuts.
+  int num_shortcuts = 4;
+  /// Number of ferry links (distinct label, heavy weight).
+  int num_ferries = 2;
+};
+
+/// Generates a road network; edge labels "local", "highway", "ferry" are
+/// interned into `interner`. All roads are bidirectional.
+Graph GenerateGeoGraph(const GeoOptions& options, common::Interner* interner);
+
+}  // namespace graph
+}  // namespace qlearn
+
+#endif  // QLEARN_GRAPH_GEO_GENERATOR_H_

@@ -1,0 +1,63 @@
+#include "graph/graph.h"
+
+#include <set>
+
+namespace qlearn {
+namespace graph {
+
+VertexId Graph::AddVertex(std::string name) {
+  const VertexId id = static_cast<VertexId>(names_.size());
+  names_.push_back(std::move(name));
+  out_.emplace_back();
+  return id;
+}
+
+EdgeId Graph::AddEdge(VertexId src, VertexId dst, common::SymbolId label,
+                      double weight) {
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{src, dst, label, weight});
+  out_[src].push_back(id);
+  return id;
+}
+
+void Graph::AddBidirectional(VertexId a, VertexId b, common::SymbolId label,
+                             double weight) {
+  AddEdge(a, b, label, weight);
+  AddEdge(b, a, label, weight);
+}
+
+std::vector<common::SymbolId> Graph::EdgeAlphabet() const {
+  std::set<common::SymbolId> labels;
+  for (const Edge& e : edges_) labels.insert(e.label);
+  return std::vector<common::SymbolId>(labels.begin(), labels.end());
+}
+
+std::vector<common::SymbolId> PathWord(const Graph& graph, const Path& path) {
+  std::vector<common::SymbolId> word;
+  word.reserve(path.edges.size());
+  for (EdgeId e : path.edges) word.push_back(graph.edge(e).label);
+  return word;
+}
+
+double PathWeight(const Graph& graph, const Path& path) {
+  double total = 0;
+  for (EdgeId e : path.edges) total += graph.edge(e).weight;
+  return total;
+}
+
+VertexId PathEnd(const Graph& graph, const Path& path) {
+  return path.edges.empty() ? path.start : graph.edge(path.edges.back()).dst;
+}
+
+std::string PathToString(const Graph& graph, const Path& path,
+                         const common::Interner& interner) {
+  std::string out = graph.VertexName(path.start);
+  for (EdgeId e : path.edges) {
+    out += " -" + interner.Name(graph.edge(e).label) + "-> ";
+    out += graph.VertexName(graph.edge(e).dst);
+  }
+  return out;
+}
+
+}  // namespace graph
+}  // namespace qlearn

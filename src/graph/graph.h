@@ -1,0 +1,88 @@
+// Directed labeled multigraphs: the RDF-flavored substrate of Section 3's
+// graph-query learning. Nodes carry a name (e.g. a city), edges carry an
+// interned label (e.g. the road type) and a numeric weight (e.g. distance).
+#ifndef QLEARN_GRAPH_GRAPH_H_
+#define QLEARN_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace qlearn {
+namespace graph {
+
+/// Node index within a Graph.
+using VertexId = uint32_t;
+
+/// Edge index within a Graph.
+using EdgeId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// One directed edge.
+struct Edge {
+  VertexId src;
+  VertexId dst;
+  common::SymbolId label;
+  double weight;
+};
+
+/// A directed labeled multigraph with adjacency lists.
+class Graph {
+ public:
+  /// Adds a vertex with a display name; returns its id.
+  VertexId AddVertex(std::string name);
+
+  /// Adds a directed edge; returns its id.
+  EdgeId AddEdge(VertexId src, VertexId dst, common::SymbolId label,
+                 double weight = 1.0);
+
+  /// Convenience: adds edges in both directions (roads are two-way).
+  void AddBidirectional(VertexId a, VertexId b, common::SymbolId label,
+                        double weight = 1.0);
+
+  size_t NumVertices() const { return names_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  const std::string& VertexName(VertexId v) const { return names_[v]; }
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Outgoing edge ids of `v`.
+  const std::vector<EdgeId>& OutEdges(VertexId v) const { return out_[v]; }
+
+  /// Distinct edge labels used, sorted.
+  std::vector<common::SymbolId> EdgeAlphabet() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+};
+
+/// A concrete path: consecutive edges (edge i's dst == edge i+1's src).
+struct Path {
+  VertexId start = kInvalidVertex;
+  std::vector<EdgeId> edges;
+
+  bool empty() const { return edges.empty(); }
+};
+
+/// The label word of a path.
+std::vector<common::SymbolId> PathWord(const Graph& graph, const Path& path);
+
+/// Total weight of a path.
+double PathWeight(const Graph& graph, const Path& path);
+
+/// End vertex of a path (start for empty paths).
+VertexId PathEnd(const Graph& graph, const Path& path);
+
+/// Renders "A -l1-> B -l2-> C".
+std::string PathToString(const Graph& graph, const Path& path,
+                         const common::Interner& interner);
+
+}  // namespace graph
+}  // namespace qlearn
+
+#endif  // QLEARN_GRAPH_GRAPH_H_

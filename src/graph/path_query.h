@@ -1,0 +1,73 @@
+// Path queries over labeled graphs: a regular expression over edge labels
+// plus an optional total-weight bound — exactly the restrictions of the
+// paper's geographical use case (road type, total distance). Evaluation runs
+// a BFS/Dijkstra over the product of the graph with the query's Glushkov
+// automaton.
+#ifndef QLEARN_GRAPH_PATH_QUERY_H_
+#define QLEARN_GRAPH_PATH_QUERY_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "automata/regex.h"
+#include "graph/graph.h"
+
+namespace qlearn {
+namespace graph {
+
+/// A regular path query with an optional weight bound.
+struct PathQuery {
+  automata::RegexPtr regex;
+  /// When set, a pair matches only via a path of total weight <= bound.
+  std::optional<double> max_weight;
+};
+
+/// Evaluates path queries on one graph. Construct once per (query, graph).
+class PathQueryEvaluator {
+ public:
+  PathQueryEvaluator(const PathQuery& query, const Graph& graph);
+
+  /// Vertices reachable from `src` via a matching path.
+  std::vector<VertexId> EvalFrom(VertexId src) const;
+
+  /// True iff some matching path connects `src` to `dst`.
+  bool Matches(VertexId src, VertexId dst) const;
+
+  /// All matching (src, dst) pairs (sorted).
+  std::vector<std::pair<VertexId, VertexId>> EvalAllPairs() const;
+
+  /// A minimum-weight matching path from src to dst, if any.
+  std::optional<Path> Witness(VertexId src, VertexId dst) const;
+
+  /// True iff the label word of `path` is in the regex language and the
+  /// path respects the weight bound.
+  bool MatchesPath(const Path& path) const;
+
+ private:
+  struct ProductState {
+    VertexId vertex;
+    automata::StateId state;
+  };
+  /// Runs Dijkstra on the product from (src, start); returns per-(vertex,
+  /// state) best weights, and predecessor edges when `pred` is non-null.
+  std::vector<std::vector<double>> Explore(
+      VertexId src, std::vector<std::vector<EdgeId>>* pred_edge,
+      std::vector<std::vector<ProductState>>* pred_state) const;
+
+  const Graph& graph_;
+  automata::Nfa nfa_;
+  std::optional<double> max_weight_;
+};
+
+/// Enumerates simple-ish candidate paths from each vertex: all paths of at
+/// most `max_edges` edges without repeated vertices, up to `limit` total.
+/// Used to build the interactive sessions' question pools.
+std::vector<Path> EnumeratePaths(const Graph& graph, size_t max_edges,
+                                 size_t limit);
+
+}  // namespace graph
+}  // namespace qlearn
+
+#endif  // QLEARN_GRAPH_PATH_QUERY_H_

@@ -1,0 +1,99 @@
+#include "learn/approximate.h"
+
+#include <algorithm>
+
+#include "twig/twig_containment.h"
+#include "twig/twig_eval.h"
+
+namespace qlearn {
+namespace learn {
+
+using common::Result;
+using common::Status;
+using twig::TwigQuery;
+
+namespace {
+
+struct Scored {
+  TwigQuery query;
+  size_t false_positives;
+  size_t false_negatives;
+  size_t errors() const { return false_positives + false_negatives; }
+};
+
+Scored Score(TwigQuery q, const std::vector<TreeExample>& positives,
+             const std::vector<TreeExample>& negatives) {
+  Scored s{std::move(q), 0, 0};
+  for (const TreeExample& pos : positives) {
+    if (!twig::Selects(s.query, *pos.doc, pos.node)) ++s.false_negatives;
+  }
+  for (const TreeExample& neg : negatives) {
+    if (twig::Selects(s.query, *neg.doc, neg.node)) ++s.false_positives;
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<ApproximateResult> LearnTwigApproximate(
+    const std::vector<TreeExample>& positives,
+    const std::vector<TreeExample>& negatives,
+    const ApproximateOptions& options) {
+  if (positives.empty()) {
+    return Status::InvalidArgument(
+        "approximate learning needs at least one positive example");
+  }
+
+  // Candidate pool: canonical generalizations of greedily-chosen subsets of
+  // the positives (the full set first; then with outliers removed).
+  std::vector<std::vector<TreeExample>> subsets{positives};
+  std::optional<Scored> best;
+
+  for (size_t round = 0; round <= options.max_outlier_rounds; ++round) {
+    if (round >= subsets.size()) break;
+    const std::vector<TreeExample>& subset = subsets[round];
+    auto learned = LearnTwig(subset, options.learner);
+    if (learned.ok()) {
+      Scored scored =
+          Score(std::move(learned).value(), positives, negatives);
+      if (!best.has_value() || scored.errors() < best->errors() ||
+          (scored.errors() == best->errors() &&
+           scored.query.Size() < best->query.Size())) {
+        best = scored;
+      }
+      if (best->errors() == 0) break;
+    }
+    // Propose the next subset: drop the positive whose removal most reduces
+    // the error of the canonical hypothesis.
+    if (subset.size() <= 1) continue;
+    size_t best_errors = static_cast<size_t>(-1);
+    std::vector<TreeExample> best_subset;
+    for (size_t skip = 0; skip < subset.size(); ++skip) {
+      std::vector<TreeExample> reduced;
+      for (size_t i = 0; i < subset.size(); ++i) {
+        if (i != skip) reduced.push_back(subset[i]);
+      }
+      auto h = LearnTwig(reduced, options.learner);
+      if (!h.ok()) continue;
+      const Scored s = Score(std::move(h).value(), positives, negatives);
+      if (s.errors() < best_errors) {
+        best_errors = s.errors();
+        best_subset = std::move(reduced);
+      }
+    }
+    if (!best_subset.empty()) subsets.push_back(std::move(best_subset));
+  }
+
+  if (!best.has_value()) {
+    return Status::NotFound(
+        "no anchored hypothesis exists for any probed subset");
+  }
+  ApproximateResult result;
+  result.query = std::move(best->query);
+  result.false_positives = best->false_positives;
+  result.false_negatives = best->false_negatives;
+  return result;
+}
+
+}  // namespace learn
+}  // namespace qlearn

@@ -1,0 +1,44 @@
+// Approximate (PAC-style) twig learning for the intractable positive+negative
+// setting: when no consistent query is found cheaply, return the hypothesis
+// minimizing empirical error — the relaxation the paper proposes ("the
+// learned query may select some negative examples and omit some positive
+// ones").
+#ifndef QLEARN_LEARN_APPROXIMATE_H_
+#define QLEARN_LEARN_APPROXIMATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "learn/consistency.h"
+#include "learn/twig_learner.h"
+
+namespace qlearn {
+namespace learn {
+
+struct ApproximateOptions {
+  /// Candidate cap handed to the generalization enumeration.
+  size_t max_candidates = 128;
+  /// Rounds of greedy outlier removal (each may drop one positive).
+  size_t max_outlier_rounds = 4;
+  TwigLearnerOptions learner;
+};
+
+struct ApproximateResult {
+  twig::TwigQuery query;
+  /// Training-set errors of the returned query.
+  size_t false_positives = 0;  ///< negatives it selects
+  size_t false_negatives = 0;  ///< positives it misses
+};
+
+/// Returns the candidate query minimizing (false positives + false
+/// negatives) over the examples; errors are zero iff a consistent candidate
+/// was found within the budget.
+common::Result<ApproximateResult> LearnTwigApproximate(
+    const std::vector<TreeExample>& positives,
+    const std::vector<TreeExample>& negatives,
+    const ApproximateOptions& options = {});
+
+}  // namespace learn
+}  // namespace qlearn
+
+#endif  // QLEARN_LEARN_APPROXIMATE_H_

@@ -1,0 +1,224 @@
+#include "learn/consistency.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "twig/twig_containment.h"
+#include "twig/twig_eval.h"
+
+namespace qlearn {
+namespace learn {
+
+using twig::QNodeId;
+using twig::TwigQuery;
+
+namespace {
+
+/// Selection-path length of a query.
+int PathLength(const TwigQuery& q) {
+  int len = 0;
+  for (QNodeId cur = q.selection(); cur != 0 && cur != twig::kInvalidQNode;
+       cur = q.parent(cur)) {
+    ++len;
+  }
+  return len;
+}
+
+/// Drops candidates that are strictly more general than another candidate
+/// (keeps the most specific antichain) and structural duplicates.
+void AntichainPrune(std::vector<TwigQuery>* candidates) {
+  std::vector<TwigQuery> kept;
+  for (size_t i = 0; i < candidates->size(); ++i) {
+    const TwigQuery& q = (*candidates)[i];
+    bool drop = false;
+    for (size_t j = 0; j < candidates->size() && !drop; ++j) {
+      if (i == j) continue;
+      const TwigQuery& other = (*candidates)[j];
+      if (other.StructurallyEquals(q)) {
+        drop = j < i;  // keep the first representative
+        continue;
+      }
+      // Drop q if `other` is strictly more specific (other ⊑ q).
+      if (twig::ContainedInByHom(other, q) &&
+          !twig::ContainedInByHom(q, other)) {
+        drop = true;
+      }
+    }
+    if (!drop) kept.push_back(q);
+  }
+  *candidates = std::move(kept);
+}
+
+}  // namespace
+
+std::vector<TwigQuery> EnumerateGeneralizations(
+    const TwigQuery& q1, const TwigQuery& q2,
+    const TwigLearnerOptions& options, size_t cap) {
+  return EnumerateGeneralizations(q1, q2, options, cap, /*max_steps=*/0,
+                                  /*capped=*/nullptr);
+}
+
+std::vector<TwigQuery> EnumerateGeneralizations(
+    const TwigQuery& q1, const TwigQuery& q2,
+    const TwigLearnerOptions& options, size_t cap, size_t max_steps,
+    bool* capped) {
+  std::vector<TwigQuery> out;
+  const int m = PathLength(q1);
+  const int n = PathLength(q2);
+  if (m == 0 || n == 0) return out;
+  if (max_steps == 0) max_steps = 64 * (cap == 0 ? 1 : cap);
+  size_t steps = 0;
+
+  // Enumerate strictly-increasing chains of aligned pairs ending at
+  // (m-1, n-1), each with per-step wildcard choices; BuildAlignedPattern
+  // rejects infeasible combinations. The step budget matters: repeated-
+  // label inputs have exponentially many chains that all collapse to a few
+  // distinct patterns, so the output cap alone cannot stop the walk.
+  auto over_budget = [&]() {
+    if (steps <= max_steps) return false;
+    if (capped != nullptr) *capped = true;
+    return true;
+  };
+  std::vector<AlignmentStep> chain;  // built selection-to-root, reversed later
+  std::function<void(int, int)> dfs = [&](int i, int j) {
+    if (out.size() >= cap || over_budget()) return;
+    ++steps;
+    // Close the chain here (current pair is the pattern's first step).
+    std::vector<AlignmentStep> steps_fwd(chain.rbegin(), chain.rend());
+    auto pattern = BuildAlignedPattern(q1, q2, steps_fwd, options);
+    if (pattern.ok()) {
+      bool dup = false;
+      for (const TwigQuery& existing : out) {
+        if (existing.StructurallyEquals(pattern.value())) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) out.push_back(std::move(pattern).value());
+    }
+    // Extend with a predecessor pair.
+    for (int pi = i - 1; pi >= 0 && out.size() < cap && !over_budget();
+         --pi) {
+      for (int pj = j - 1; pj >= 0 && out.size() < cap && !over_budget();
+           --pj) {
+        for (int w = 0; w < 2; ++w) {
+          chain.push_back(AlignmentStep{pi, pj, w != 0});
+          dfs(pi, pj);
+          chain.pop_back();
+        }
+      }
+    }
+  };
+  for (int w = 0; w < 2; ++w) {
+    chain.push_back(AlignmentStep{m - 1, n - 1, w != 0});
+    dfs(m - 1, n - 1);
+    chain.pop_back();
+  }
+  AntichainPrune(&out);
+  return out;
+}
+
+ConsistencyReport CheckTwigConsistency(
+    const std::vector<TreeExample>& positives,
+    const std::vector<TreeExample>& negatives,
+    const ConsistencyOptions& options) {
+  ConsistencyReport report;
+  if (positives.empty()) {
+    // With no positive constraints a query over a fresh label is vacuously
+    // consistent with any negatives.
+    report.verdict = Consistency::kConsistent;
+    return report;
+  }
+
+  // PTIME certificate first: the canonical learner's output selects every
+  // positive (soundness invariant), so if it also avoids every negative the
+  // sample is consistent without touching the exponential enumeration —
+  // the regime the paper calls tractable for bounded example sets.
+  if (options.canonical_fast_path) {
+    auto canonical = LearnTwig(positives, options.learner);
+    if (canonical.ok()) {
+      bool clean = true;
+      for (const TreeExample& neg : negatives) {
+        if (twig::Selects(canonical.value(), *neg.doc, neg.node)) {
+          clean = false;
+          break;
+        }
+      }
+      if (clean) {
+        report.verdict = Consistency::kConsistent;
+        report.witness = std::move(canonical).value();
+        report.candidates_explored = 1;
+        return report;
+      }
+    }
+  }
+
+  const size_t max_dfs_steps = options.max_dfs_steps != 0
+                                   ? options.max_dfs_steps
+                                   : 64 * options.max_candidates;
+  bool capped = false;
+  std::vector<TwigQuery> candidates{ExampleToQuery(positives[0])};
+  for (size_t p = 1; p < positives.size(); ++p) {
+    const TwigQuery example = ExampleToQuery(positives[p]);
+    std::vector<TwigQuery> next;
+    for (const TwigQuery& c : candidates) {
+      const size_t budget =
+          options.max_candidates > next.size()
+              ? options.max_candidates - next.size()
+              : 0;
+      if (budget == 0) {
+        capped = true;
+        break;
+      }
+      std::vector<TwigQuery> gens = EnumerateGeneralizations(
+          c, example, options.learner, budget, max_dfs_steps, &capped);
+      // Filling the budget to the brim means the enumeration may have been
+      // cut mid-way; treat the boundary conservatively.
+      if (gens.size() >= budget) capped = true;
+      for (TwigQuery& g : gens) {
+        bool dup = false;
+        for (const TwigQuery& existing : next) {
+          if (existing.StructurallyEquals(g)) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) next.push_back(std::move(g));
+      }
+    }
+    report.candidates_explored += next.size();
+    AntichainPrune(&next);
+    if (next.size() > options.max_candidates) {
+      next.resize(options.max_candidates);
+      capped = true;
+    }
+    candidates = std::move(next);
+    if (candidates.empty()) {
+      // No anchored generalization of the positives at all.
+      report.verdict = Consistency::kInconsistent;
+      return report;
+    }
+  }
+  report.candidates_explored =
+      std::max(report.candidates_explored, candidates.size());
+
+  for (const TwigQuery& c : candidates) {
+    bool clean = true;
+    for (const TreeExample& neg : negatives) {
+      if (twig::Selects(c, *neg.doc, neg.node)) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) {
+      report.verdict = Consistency::kConsistent;
+      report.witness = twig::Minimize(c);
+      return report;
+    }
+  }
+  report.verdict = capped ? Consistency::kUnknown : Consistency::kInconsistent;
+  return report;
+}
+
+}  // namespace learn
+}  // namespace qlearn

@@ -1,0 +1,72 @@
+// Consistency checking for positive AND negative tree examples: does some
+// anchored twig query select all positives and no negative? The paper notes
+// this is NP-complete in general and tractable for bounded example sets; the
+// checker below enumerates the antichain of most-specific generalizations
+// (exponential in the worst case, with an explicit exploration cap) and
+// reports three-valued verdicts. Experiment E4 measures both regimes.
+#ifndef QLEARN_LEARN_CONSISTENCY_H_
+#define QLEARN_LEARN_CONSISTENCY_H_
+
+#include <optional>
+#include <vector>
+
+#include "learn/twig_learner.h"
+#include "twig/twig_query.h"
+
+namespace qlearn {
+namespace learn {
+
+/// Verdict of a consistency check.
+enum class Consistency {
+  kConsistent,    ///< A witness query was found.
+  kInconsistent,  ///< The candidate space was exhausted without a witness.
+  kUnknown,       ///< The exploration cap was hit first.
+};
+
+struct ConsistencyOptions {
+  /// Cap on most-specific-generalization candidates explored.
+  size_t max_candidates = 4096;
+  /// Cap on alignment-enumeration DFS steps (0 = 64 * max_candidates).
+  /// Chains of repeated labels have exponentially many alignments that all
+  /// collapse to a handful of patterns; without a step budget the search
+  /// can wander that space far beyond the candidate cap.
+  size_t max_dfs_steps = 0;
+  /// Try the canonical learner first: its most-specific generalization
+  /// selects every positive, so if it also avoids all negatives the
+  /// examples are consistent — a PTIME certificate covering the paper's
+  /// bounded-example tractable regime. Disable to force pure enumeration.
+  bool canonical_fast_path = true;
+  TwigLearnerOptions learner;
+};
+
+struct ConsistencyReport {
+  Consistency verdict = Consistency::kInconsistent;
+  /// A consistent query when verdict == kConsistent.
+  std::optional<twig::TwigQuery> witness;
+  /// Number of candidate generalizations examined.
+  size_t candidates_explored = 0;
+};
+
+/// Enumerates most-specific anchored generalizations of `q1` and `q2` (one
+/// per maximal selection-path alignment), most specific first, up to `cap`.
+std::vector<twig::TwigQuery> EnumerateGeneralizations(
+    const twig::TwigQuery& q1, const twig::TwigQuery& q2,
+    const TwigLearnerOptions& options, size_t cap);
+
+/// Budgeted variant: stops after `max_steps` DFS steps (0 = 64 * cap) and
+/// sets `*capped` (if non-null) when the budget truncated the enumeration.
+std::vector<twig::TwigQuery> EnumerateGeneralizations(
+    const twig::TwigQuery& q1, const twig::TwigQuery& q2,
+    const TwigLearnerOptions& options, size_t cap, size_t max_steps,
+    bool* capped);
+
+/// Checks whether some anchored twig selects every positive and no negative.
+ConsistencyReport CheckTwigConsistency(
+    const std::vector<TreeExample>& positives,
+    const std::vector<TreeExample>& negatives,
+    const ConsistencyOptions& options = {});
+
+}  // namespace learn
+}  // namespace qlearn
+
+#endif  // QLEARN_LEARN_CONSISTENCY_H_

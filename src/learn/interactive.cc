@@ -1,0 +1,144 @@
+#include "learn/interactive.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "twig/twig_containment.h"
+
+namespace qlearn {
+namespace learn {
+
+using common::Result;
+using common::Status;
+using twig::TwigQuery;
+using xml::NodeId;
+
+namespace {
+
+enum class NodeState : uint8_t {
+  kUnknown,
+  kPositive,        // labeled by the oracle
+  kNegative,        // labeled by the oracle
+  kForcedPositive,  // inferred: selected by the hypothesis
+  kForcedNegative,  // inferred: would contradict a known negative
+};
+
+}  // namespace
+
+Result<InteractiveTwigResult> RunInteractiveTwigSession(
+    const xml::XmlTree& doc, NodeId seed, TwigOracle* oracle,
+    const InteractiveTwigOptions& options) {
+  if (!oracle->IsPositive(doc, seed)) {
+    return Status::InvalidArgument("seed node must be a positive example");
+  }
+  common::Rng rng(options.seed);
+  InteractiveTwigResult result;
+
+  TwigQuery hypothesis = ExampleToQuery(TreeExample{&doc, seed});
+  std::vector<NodeState> state(doc.NumNodes(), NodeState::kUnknown);
+  state[seed] = NodeState::kPositive;
+  std::vector<NodeId> negatives;
+
+  // Hypothesis for doc-node v joined in, or nullopt if no anchored
+  // generalization exists.
+  auto extended = [&](NodeId v) -> std::optional<TwigQuery> {
+    auto g = GeneralizePair(hypothesis, ExampleToQuery(TreeExample{&doc, v}),
+                            options.learner);
+    if (!g.ok()) return std::nullopt;
+    return std::move(g).value();
+  };
+
+  auto refresh_forced = [&]() {
+    twig::TwigEvaluator eval(hypothesis, doc);
+    for (NodeId v = 0; v < doc.NumNodes(); ++v) {
+      if (state[v] != NodeState::kUnknown &&
+          state[v] != NodeState::kForcedNegative) {
+        continue;
+      }
+      if (eval.Selects(v)) {
+        // Every consistent generalization of the hypothesis selects v.
+        state[v] = NodeState::kForcedPositive;
+        ++result.forced_positive;
+      }
+    }
+    // Forced negatives: joining v would force selecting a known negative.
+    for (NodeId v = 0; v < doc.NumNodes(); ++v) {
+      if (state[v] != NodeState::kUnknown) continue;
+      auto h2 = extended(v);
+      if (!h2.has_value()) {
+        state[v] = NodeState::kForcedNegative;
+        ++result.forced_negative;
+        continue;
+      }
+      twig::TwigEvaluator eval2(*h2, doc);
+      for (NodeId neg : negatives) {
+        if (eval2.Selects(neg)) {
+          state[v] = NodeState::kForcedNegative;
+          ++result.forced_negative;
+          break;
+        }
+      }
+    }
+  };
+
+  refresh_forced();
+  while (result.questions < options.max_questions) {
+    // Collect informative candidates.
+    std::vector<NodeId> candidates;
+    for (NodeId v = 0; v < doc.NumNodes(); ++v) {
+      if (state[v] == NodeState::kUnknown) candidates.push_back(v);
+    }
+    if (candidates.empty()) break;
+
+    NodeId pick = candidates[0];
+    if (options.strategy == TwigStrategy::kRandom) {
+      pick = candidates[rng.Index(candidates.size())];
+    } else {
+      // Greedy impact: the candidate whose positive answer would settle the
+      // most currently-unknown nodes.
+      size_t best_impact = 0;
+      for (NodeId v : candidates) {
+        auto h2 = extended(v);
+        if (!h2.has_value()) continue;
+        twig::TwigEvaluator eval2(*h2, doc);
+        size_t impact = 0;
+        for (NodeId u : candidates) {
+          if (eval2.Selects(u)) ++impact;
+        }
+        if (impact > best_impact) {
+          best_impact = impact;
+          pick = v;
+        }
+      }
+    }
+
+    ++result.questions;
+    if (oracle->IsPositive(doc, pick)) {
+      state[pick] = NodeState::kPositive;
+      auto h2 = extended(pick);
+      if (!h2.has_value()) {
+        ++result.conflicts;  // target outside the anchored class
+      } else {
+        hypothesis = std::move(*h2);
+      }
+    } else {
+      state[pick] = NodeState::kNegative;
+      negatives.push_back(pick);
+    }
+    refresh_forced();
+  }
+
+  // Audit forced positives against the oracle-visible truth: conflicts mean
+  // the target was outside the hypothesis class.
+  twig::TwigEvaluator eval(hypothesis, doc);
+  for (NodeId neg : negatives) {
+    if (eval.Selects(neg)) ++result.conflicts;
+  }
+
+  result.query = twig::Minimize(hypothesis);
+  return result;
+}
+
+}  // namespace learn
+}  // namespace qlearn

@@ -1,0 +1,79 @@
+// Interactive twig learning: the paper's protocol where the learner chooses
+// nodes and asks the user (an oracle here) to label them, propagating
+// labels of uninformative nodes so they are never asked:
+//  * nodes selected by the current hypothesis are forced positive (any
+//    consistent generalization still selects them);
+//  * nodes whose addition would force the hypothesis to select a known
+//    negative are forced negative.
+// The goal is to minimize the number of questions (experiment E1/E4 kin;
+// the relational analogue is experiment E6).
+#ifndef QLEARN_LEARN_INTERACTIVE_H_
+#define QLEARN_LEARN_INTERACTIVE_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "learn/twig_learner.h"
+#include "twig/twig_eval.h"
+#include "twig/twig_query.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace learn {
+
+/// Answers membership questions; implemented by hidden-goal-query oracles in
+/// tests and benchmarks, and by an actual user in an application.
+class TwigOracle {
+ public:
+  virtual ~TwigOracle() = default;
+  /// True iff the hidden target selects `node` of `doc`.
+  virtual bool IsPositive(const xml::XmlTree& doc, xml::NodeId node) = 0;
+};
+
+/// Oracle backed by a known goal query.
+class GoalTwigOracle : public TwigOracle {
+ public:
+  explicit GoalTwigOracle(twig::TwigQuery goal) : goal_(std::move(goal)) {}
+  bool IsPositive(const xml::XmlTree& doc, xml::NodeId node) override {
+    return twig::Selects(goal_, doc, node);
+  }
+
+ private:
+  twig::TwigQuery goal_;
+};
+
+/// Question-selection strategies.
+enum class TwigStrategy {
+  kRandom,        ///< uniformly random informative node
+  kGreedyImpact,  ///< node whose positive answer would settle the most nodes
+};
+
+struct InteractiveTwigOptions {
+  TwigStrategy strategy = TwigStrategy::kGreedyImpact;
+  uint64_t seed = 7;
+  /// Hard cap on oracle questions (safety valve).
+  size_t max_questions = 100000;
+  TwigLearnerOptions learner;
+};
+
+struct InteractiveTwigResult {
+  twig::TwigQuery query;
+  size_t questions = 0;
+  size_t forced_positive = 0;  ///< labels inferred, not asked
+  size_t forced_negative = 0;
+  /// Oracle answers that contradicted a forced label (0 when the target is
+  /// in the anchored class).
+  size_t conflicts = 0;
+};
+
+/// Runs the interactive protocol on `doc`, starting from one positive seed
+/// node (caller-provided, e.g. the first node the user annotated).
+common::Result<InteractiveTwigResult> RunInteractiveTwigSession(
+    const xml::XmlTree& doc, xml::NodeId seed, TwigOracle* oracle,
+    const InteractiveTwigOptions& options = {});
+
+}  // namespace learn
+}  // namespace qlearn
+
+#endif  // QLEARN_LEARN_INTERACTIVE_H_

@@ -1,0 +1,63 @@
+#include "learn/schema_aware.h"
+
+#include <vector>
+
+#include "schema/depgraph.h"
+
+namespace qlearn {
+namespace learn {
+
+using twig::QNodeId;
+using twig::TwigQuery;
+
+TwigQuery PruneImpliedFilters(const TwigQuery& query,
+                              const schema::Ms& schema) {
+  TwigQuery current = query;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Nodes protected from removal: the selection/marked nodes and their
+    // ancestors (the query's skeleton).
+    std::vector<bool> keep(current.NumNodes(), false);
+    auto protect = [&](QNodeId n) {
+      for (QNodeId cur = n; cur != twig::kInvalidQNode;
+           cur = current.parent(cur)) {
+        keep[cur] = true;
+        if (cur == 0) break;
+      }
+    };
+    if (current.selection() != twig::kInvalidQNode) {
+      protect(current.selection());
+    }
+    for (QNodeId m : current.marked()) protect(m);
+
+    for (QNodeId x = 1; x < current.NumNodes() && !changed; ++x) {
+      if (keep[x]) continue;
+      const QNodeId anchor = current.parent(x);
+      if (anchor == 0) continue;  // top-level steps are never filters
+      const common::SymbolId context = current.label(anchor);
+      if (context == twig::kWildcard) continue;  // no concrete context
+      if (schema::FilterImplied(schema, context, current, x)) {
+        current = current.RemoveSubtree(x);
+        changed = true;
+      }
+    }
+  }
+  return current;
+}
+
+common::Result<SchemaAwareResult> LearnTwigWithSchema(
+    const std::vector<TreeExample>& examples, const schema::Ms& schema,
+    const TwigLearnerOptions& options) {
+  auto learned = LearnTwig(examples, options);
+  if (!learned.ok()) return learned.status();
+  SchemaAwareResult result;
+  result.before = std::move(learned).value();
+  result.after = PruneImpliedFilters(result.before, schema);
+  result.size_before = result.before.Size();
+  result.size_after = result.after.Size();
+  return result;
+}
+
+}  // namespace learn
+}  // namespace qlearn

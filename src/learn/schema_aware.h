@@ -1,0 +1,40 @@
+// Schema-aware twig learning: the optimization proposed in the paper's
+// Section 2 — after learning, drop every filter that is implied by the
+// document schema (decided in PTIME via dependency-graph embedding), since
+// such filters are satisfied by all valid documents and only enlarge the
+// query. Experiment E3 measures the size reduction.
+#ifndef QLEARN_LEARN_SCHEMA_AWARE_H_
+#define QLEARN_LEARN_SCHEMA_AWARE_H_
+
+#include "common/status.h"
+#include "learn/twig_learner.h"
+#include "schema/ms.h"
+#include "twig/twig_query.h"
+
+namespace qlearn {
+namespace learn {
+
+/// Outcome of schema-aware learning: the plain learner's output and the
+/// schema-pruned query, with their sizes (paper metric: % size decrease).
+struct SchemaAwareResult {
+  twig::TwigQuery before;
+  twig::TwigQuery after;
+  size_t size_before = 0;
+  size_t size_after = 0;
+};
+
+/// Removes every filter subtree of `query` that is implied by `schema` at
+/// its (concrete-labeled) anchor node. The result selects the same nodes on
+/// every document valid under `schema`.
+twig::TwigQuery PruneImpliedFilters(const twig::TwigQuery& query,
+                                    const schema::Ms& schema);
+
+/// LearnTwig followed by PruneImpliedFilters, reporting both sizes.
+common::Result<SchemaAwareResult> LearnTwigWithSchema(
+    const std::vector<TreeExample>& examples, const schema::Ms& schema,
+    const TwigLearnerOptions& options = {});
+
+}  // namespace learn
+}  // namespace qlearn
+
+#endif  // QLEARN_LEARN_SCHEMA_AWARE_H_

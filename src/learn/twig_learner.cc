@@ -1,0 +1,447 @@
+#include "learn/twig_learner.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "twig/twig_containment.h"
+
+namespace qlearn {
+namespace learn {
+
+using common::Result;
+using common::Status;
+using common::SymbolId;
+using twig::Axis;
+using twig::QNodeId;
+using twig::TwigQuery;
+
+namespace {
+
+/// One selection-path step of a source query.
+struct PathStep {
+  Axis axis;        // incoming edge
+  SymbolId label;
+  QNodeId node;     // originating query node
+};
+
+std::vector<PathStep> SelectionPath(const TwigQuery& q) {
+  std::vector<PathStep> path;
+  for (QNodeId cur = q.selection(); cur != 0 && cur != twig::kInvalidQNode;
+       cur = q.parent(cur)) {
+    path.push_back(PathStep{q.axis(cur), q.label(cur), cur});
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// A filter pattern under construction (axis of the root = edge from its
+/// anchor step). `size` and `hash` are filled when the tree is finalized so
+/// dedup and sorting are O(1) per comparison.
+struct FilterTree {
+  Axis axis;
+  SymbolId label;
+  std::vector<FilterTree> kids;
+  size_t size = 1;
+  uint64_t hash = 0;
+
+  size_t Size() const { return size; }
+
+  /// Computes `size` and an order-insensitive structural `hash` bottom-up
+  /// (children must already be finalized).
+  void Finalize() {
+    size = 1;
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ (static_cast<uint64_t>(label) << 2) ^
+                 static_cast<uint64_t>(axis);
+    uint64_t kid_mix = 0;
+    for (const FilterTree& k : kids) {
+      size += k.size;
+      // Commutative combine: child order must not affect the hash.
+      kid_mix += k.hash * 0x100000001b3ULL + 0x517cc1b727220a95ULL;
+    }
+    h ^= kid_mix + (kid_mix << 7);
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    hash = h;
+  }
+};
+
+/// Memo table for FilterLgg over (q1-node, q2-node) pairs. Each reachable
+/// pair is generalized exactly once, which keeps the product of two
+/// document-sized queries polynomial.
+class FilterLggMemo {
+ public:
+  FilterLggMemo(const TwigQuery& q1, const TwigQuery& q2,
+                const TwigLearnerOptions& options)
+      : q1_(q1), q2_(q2), options_(options) {}
+
+  /// Most-specific common generalization of the branches rooted at x and y;
+  /// returns nullptr when no anchored generalization exists.
+  const FilterTree* Lgg(QNodeId x, QNodeId y) {
+    const uint64_t key =
+        static_cast<uint64_t>(x) * q2_.NumNodes() + static_cast<uint64_t>(y);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second ? &*it->second : nullptr;
+
+    std::optional<FilterTree> result = Compute(x, y);
+    auto [pos, inserted] = memo_.emplace(key, std::move(result));
+    (void)inserted;
+    return pos->second ? &*pos->second : nullptr;
+  }
+
+ private:
+  std::optional<FilterTree> Compute(QNodeId x, QNodeId y) {
+    const Axis axis =
+        (q1_.axis(x) == Axis::kChild && q2_.axis(y) == Axis::kChild)
+            ? Axis::kChild
+            : Axis::kDescendant;
+    FilterTree out;
+    bool wildcard = false;
+    if (q1_.label(x) != twig::kWildcard && q1_.label(x) == q2_.label(y)) {
+      out.label = q1_.label(x);
+    } else if (options_.use_wildcards && axis == Axis::kChild) {
+      out.label = twig::kWildcard;
+      wildcard = true;
+    } else {
+      return std::nullopt;  // labels disagree; a wildcard would break anchors
+    }
+    out.axis = axis;
+
+    std::set<uint64_t> seen;
+    for (QNodeId xc : q1_.children(x)) {
+      for (QNodeId yc : q2_.children(y)) {
+        // Below a wildcard only child-child pairs keep the pattern anchored.
+        if (wildcard && (q1_.axis(xc) != Axis::kChild ||
+                         q2_.axis(yc) != Axis::kChild)) {
+          continue;
+        }
+        const FilterTree* kid = Lgg(xc, yc);
+        if (kid != nullptr && seen.insert(kid->hash).second) {
+          out.kids.push_back(*kid);
+        }
+      }
+    }
+    // Keep the most specific (largest) filters first, capped both in count
+    // and in total subtree size so patterns stay polynomial.
+    std::stable_sort(out.kids.begin(), out.kids.end(),
+                     [](const FilterTree& a, const FilterTree& b) {
+                       return a.Size() > b.Size();
+                     });
+    std::vector<FilterTree> kept;
+    size_t total = 1;
+    for (FilterTree& kid : out.kids) {
+      if (kept.size() >= options_.max_filters_per_node) break;
+      if (total + kid.size > options_.max_filter_size) continue;
+      total += kid.size;
+      kept.push_back(std::move(kid));
+    }
+    out.kids = std::move(kept);
+    out.Finalize();
+    return out;
+  }
+
+  const TwigQuery& q1_;
+  const TwigQuery& q2_;
+  const TwigLearnerOptions& options_;
+  std::map<uint64_t, std::optional<FilterTree>> memo_;
+};
+
+/// Labels of proper descendants of `n` in `q`.
+std::set<SymbolId> DescendantLabels(const TwigQuery& q, QNodeId n) {
+  std::set<SymbolId> out;
+  std::vector<QNodeId> stack(q.children(n).begin(), q.children(n).end());
+  while (!stack.empty()) {
+    const QNodeId cur = stack.back();
+    stack.pop_back();
+    if (q.label(cur) != twig::kWildcard) out.insert(q.label(cur));
+    stack.insert(stack.end(), q.children(cur).begin(), q.children(cur).end());
+  }
+  return out;
+}
+
+void AttachFilter(TwigQuery* q, QNodeId parent, const FilterTree& f) {
+  const QNodeId node = q->AddNode(parent, f.axis, f.label);
+  for (const FilterTree& kid : f.kids) AttachFilter(q, node, kid);
+}
+
+/// DP cell for the selection-path alignment.
+struct Cell {
+  bool valid = false;
+  // Score: (#steps, #concrete labels, #child axes), lexicographic.
+  std::array<int, 3> score{0, 0, 0};
+  int prev_i = -1;
+  int prev_j = -1;
+  bool prev_wild = false;
+  Axis in_axis = Axis::kDescendant;  // axis entering this aligned step
+};
+
+}  // namespace
+
+TwigQuery ExampleToQuery(const TreeExample& example) {
+  TwigQuery q;
+  const xml::XmlTree& doc = *example.doc;
+  std::vector<QNodeId> map(doc.NumNodes(), twig::kInvalidQNode);
+  for (xml::NodeId n : doc.PreOrder()) {
+    const QNodeId parent =
+        n == doc.root() ? 0 : map[doc.parent(n)];
+    map[n] = q.AddNode(parent, Axis::kChild, doc.label(n));
+  }
+  q.set_selection(map[example.node]);
+  return q;
+}
+
+Result<TwigQuery> GeneralizePair(const TwigQuery& q1, const TwigQuery& q2,
+                                 const TwigLearnerOptions& options) {
+  if (q1.selection() == twig::kInvalidQNode ||
+      q2.selection() == twig::kInvalidQNode) {
+    return Status::InvalidArgument("GeneralizePair needs selection nodes");
+  }
+  const std::vector<PathStep> a = SelectionPath(q1);
+  const std::vector<PathStep> b = SelectionPath(q2);
+  const int m = static_cast<int>(a.size());
+  const int n = static_cast<int>(b.size());
+
+  // dp[i][j][w]: best alignment of prefixes with (i,j) aligned as the current
+  // pattern step, which is a wildcard iff w.
+  std::vector<std::vector<std::array<Cell, 2>>> dp(
+      m, std::vector<std::array<Cell, 2>>(n));
+
+  auto label_options = [&](int i, int j) {
+    std::vector<bool> wilds;
+    if (a[i].label != twig::kWildcard && a[i].label == b[j].label) {
+      wilds.push_back(false);
+    }
+    if (options.use_wildcards) wilds.push_back(true);
+    return wilds;
+  };
+
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (bool wild : label_options(i, j)) {
+        Cell best;
+        // Option 1: (i,j) is the first pattern step.
+        {
+          const bool consecutive = i == 0 && j == 0;
+          const Axis axis = (consecutive && a[0].axis == Axis::kChild &&
+                             b[0].axis == Axis::kChild)
+                                ? Axis::kChild
+                                : Axis::kDescendant;
+          if (!(wild && axis != Axis::kChild)) {
+            Cell cand;
+            cand.valid = true;
+            cand.score = {1, wild ? 0 : 1, axis == Axis::kChild ? 1 : 0};
+            cand.in_axis = axis;
+            if (!best.valid || cand.score > best.score) best = cand;
+          }
+        }
+        // Option 2: extend a previous aligned pair (pi, pj).
+        for (int pi = 0; pi < i; ++pi) {
+          for (int pj = 0; pj < j; ++pj) {
+            for (int pw = 0; pw < 2; ++pw) {
+              const Cell& prev = dp[pi][pj][pw];
+              if (!prev.valid) continue;
+              const bool consecutive = pi == i - 1 && pj == j - 1;
+              const Axis axis = (consecutive && a[i].axis == Axis::kChild &&
+                                 b[j].axis == Axis::kChild)
+                                    ? Axis::kChild
+                                    : Axis::kDescendant;
+              // Anchoring: wildcard endpoints demand child axes.
+              if ((wild || pw) && axis != Axis::kChild) continue;
+              Cell cand;
+              cand.valid = true;
+              cand.score = {prev.score[0] + 1,
+                            prev.score[1] + (wild ? 0 : 1),
+                            prev.score[2] + (axis == Axis::kChild ? 1 : 0)};
+              cand.prev_i = pi;
+              cand.prev_j = pj;
+              cand.prev_wild = pw != 0;
+              cand.in_axis = axis;
+              if (!best.valid || cand.score > best.score) best = cand;
+            }
+          }
+        }
+        dp[i][j][wild ? 1 : 0] = best;
+      }
+    }
+  }
+
+  // The alignment must end at the two selection nodes.
+  const Cell* end = nullptr;
+  bool end_wild = false;
+  for (int w = 0; w < 2; ++w) {
+    const Cell& c = dp[m - 1][n - 1][w];
+    if (!c.valid) continue;
+    if (end == nullptr || c.score > end->score) {
+      end = &c;
+      end_wild = w != 0;
+    }
+  }
+  if (end == nullptr) {
+    return Status::NotFound(
+        "no anchored generalization of the selection paths exists");
+  }
+
+  // Reconstruct the best alignment in root-to-selection order and assemble.
+  std::vector<AlignmentStep> steps;
+  {
+    int ci = m - 1;
+    int cj = n - 1;
+    bool cw = end_wild;
+    while (ci >= 0) {
+      const Cell& cell = dp[ci][cj][cw ? 1 : 0];
+      steps.push_back(AlignmentStep{ci, cj, cw});
+      if (cell.prev_i < 0) break;
+      const int ni = cell.prev_i;
+      const int nj = cell.prev_j;
+      cw = cell.prev_wild;
+      ci = ni;
+      cj = nj;
+    }
+    std::reverse(steps.begin(), steps.end());
+  }
+  return BuildAlignedPattern(q1, q2, steps, options);
+}
+
+Result<TwigQuery> BuildAlignedPattern(const TwigQuery& q1,
+                                      const TwigQuery& q2,
+                                      const std::vector<AlignmentStep>& steps,
+                                      const TwigLearnerOptions& options) {
+  const std::vector<PathStep> a = SelectionPath(q1);
+  const std::vector<PathStep> b = SelectionPath(q2);
+  const int m = static_cast<int>(a.size());
+  const int n = static_cast<int>(b.size());
+  if (steps.empty() || steps.back().i != m - 1 || steps.back().j != n - 1) {
+    return Status::InvalidArgument("alignment must end at both selections");
+  }
+
+  // Derive axes and validate label compatibility and anchoring.
+  std::vector<Axis> axes(steps.size());
+  for (size_t t = 0; t < steps.size(); ++t) {
+    const AlignmentStep& s = steps[t];
+    if (s.i < 0 || s.i >= m || s.j < 0 || s.j >= n) {
+      return Status::InvalidArgument("alignment step out of range");
+    }
+    if (t > 0 &&
+        (steps[t - 1].i >= s.i || steps[t - 1].j >= s.j)) {
+      return Status::InvalidArgument("alignment must be strictly increasing");
+    }
+    if (!s.wildcard) {
+      if (a[s.i].label == twig::kWildcard || a[s.i].label != b[s.j].label) {
+        return Status::InvalidArgument("labels disagree on concrete step");
+      }
+    } else if (!options.use_wildcards) {
+      return Status::InvalidArgument("wildcards disabled");
+    }
+    const bool consecutive =
+        t == 0 ? (s.i == 0 && s.j == 0)
+               : (s.i == steps[t - 1].i + 1 && s.j == steps[t - 1].j + 1);
+    axes[t] = (consecutive && a[s.i].axis == Axis::kChild &&
+               b[s.j].axis == Axis::kChild)
+                  ? Axis::kChild
+                  : Axis::kDescendant;
+  }
+  for (size_t t = 0; t < steps.size(); ++t) {
+    if (!steps[t].wildcard) continue;
+    if (axes[t] != Axis::kChild) {
+      return Status::InvalidArgument("wildcard entered via descendant axis");
+    }
+    if (t + 1 < steps.size() && axes[t + 1] != Axis::kChild) {
+      return Status::InvalidArgument("wildcard exited via descendant axis");
+    }
+  }
+
+  // Assemble the pattern: main path plus per-step filters. One memo table
+  // serves every step (pairs repeat across steps and inside subtrees).
+  FilterLggMemo memo(q1, q2, options);
+  TwigQuery out;
+  QNodeId cur = 0;
+  for (size_t t = 0; t < steps.size(); ++t) {
+    const AlignmentStep& s = steps[t];
+    const SymbolId label = s.wildcard ? twig::kWildcard : a[s.i].label;
+    cur = out.AddNode(cur, axes[t], label);
+    const QNodeId u = a[s.i].node;
+    const QNodeId v = b[s.j].node;
+    const QNodeId u_next =
+        t + 1 < steps.size() ? a[steps[t + 1].i].node : twig::kInvalidQNode;
+    const QNodeId v_next =
+        t + 1 < steps.size() ? b[steps[t + 1].j].node : twig::kInvalidQNode;
+    // The q1/q2 children that continue toward the selection are excluded
+    // from filter generation (they are the main path).
+    auto on_path = [](const TwigQuery& q, QNodeId child, QNodeId next) {
+      if (next == twig::kInvalidQNode) return false;
+      for (QNodeId c = next; c != 0 && c != twig::kInvalidQNode;
+           c = q.parent(c)) {
+        if (c == child) return true;
+      }
+      return false;
+    };
+
+    std::vector<FilterTree> filters;
+    std::set<uint64_t> seen;
+    for (QNodeId xc : q1.children(u)) {
+      if (on_path(q1, xc, u_next)) continue;
+      for (QNodeId yc : q2.children(v)) {
+        if (on_path(q2, yc, v_next)) continue;
+        if (s.wildcard && (q1.axis(xc) != Axis::kChild ||
+                           q2.axis(yc) != Axis::kChild)) {
+          continue;
+        }
+        const FilterTree* f = memo.Lgg(xc, yc);
+        if (f != nullptr && seen.insert(f->hash).second) {
+          filters.push_back(*f);
+        }
+      }
+    }
+    // Descendant filters: labels occurring strictly below both aligned nodes
+    // (outside a wildcard step, which cannot carry descendant edges).
+    if (options.descendant_filters && !s.wildcard) {
+      std::set<SymbolId> da = DescendantLabels(q1, u);
+      std::set<SymbolId> db = DescendantLabels(q2, v);
+      for (SymbolId l : da) {
+        if (!db.count(l)) continue;
+        FilterTree f;
+        f.axis = Axis::kDescendant;
+        f.label = l;
+        f.Finalize();
+        if (seen.insert(f.hash).second) filters.push_back(std::move(f));
+      }
+    }
+    std::stable_sort(filters.begin(), filters.end(),
+                     [](const FilterTree& x, const FilterTree& y) {
+                       return x.Size() > y.Size();
+                     });
+    std::vector<FilterTree> kept;
+    size_t total = 1;
+    for (FilterTree& f : filters) {
+      if (kept.size() >= options.max_filters_per_node) break;
+      if (total + f.size > options.max_filter_size) continue;
+      total += f.size;
+      kept.push_back(std::move(f));
+    }
+    for (const FilterTree& f : kept) AttachFilter(&out, cur, f);
+  }
+  out.set_selection(cur);
+  return out;
+}
+
+Result<TwigQuery> LearnTwig(const std::vector<TreeExample>& examples,
+                            const TwigLearnerOptions& options) {
+  if (examples.empty()) {
+    return Status::InvalidArgument("LearnTwig needs at least one example");
+  }
+  TwigQuery hypothesis = ExampleToQuery(examples[0]);
+  for (size_t i = 1; i < examples.size(); ++i) {
+    auto next = GeneralizePair(hypothesis, ExampleToQuery(examples[i]),
+                               options);
+    if (!next.ok()) return next.status();
+    hypothesis = std::move(next).value();
+  }
+  if (options.minimize) hypothesis = twig::Minimize(hypothesis);
+  return hypothesis;
+}
+
+}  // namespace learn
+}  // namespace qlearn

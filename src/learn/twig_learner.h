@@ -1,0 +1,85 @@
+// Learning anchored twig queries from positive examples, after Staworko &
+// Wieczorek's algorithm class [36 in the paper]: the hypothesis is the
+// canonical most-specific anchored generalization of the examples, computed
+// by (1) aligning selection paths with a dynamic program that prefers longer,
+// more concrete, more child-anchored patterns, and (2) attaching the common
+// filters of aligned nodes (pairwise subtree generalizations).
+//
+// The paper's reported behaviour reproduced here: convergence to the goal
+// query from very few examples (experiment E1), and overspecialized outputs
+// containing schema-implied filters (addressed by SchemaAwareLearner).
+#ifndef QLEARN_LEARN_TWIG_LEARNER_H_
+#define QLEARN_LEARN_TWIG_LEARNER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "twig/twig_query.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace learn {
+
+/// One annotated node: the user asserts `query selects node in *doc`.
+struct TreeExample {
+  const xml::XmlTree* doc;
+  xml::NodeId node;
+};
+
+/// Tuning knobs of the positive-only learner.
+struct TwigLearnerOptions {
+  /// Allow '*' steps on the selection path when labels disagree at equal
+  /// offsets (kept anchored: wildcards only with child edges).
+  bool use_wildcards = true;
+  /// Also emit descendant filters ".//l" for labels common to the aligned
+  /// nodes' subtrees.
+  bool descendant_filters = true;
+  /// Run homomorphism-based minimization on the result.
+  bool minimize = true;
+  /// Cap on filters kept per query node (most specific first).
+  size_t max_filters_per_node = 16;
+  /// Cap on the total node count of any one filter subtree. Without it the
+  /// pairwise LGG of document-sized queries can grow as
+  /// max_filters_per_node^depth; dropping filters only generalizes, so the
+  /// learner stays sound (it still selects every example).
+  size_t max_filter_size = 96;
+};
+
+/// Converts one example into its most specific query: the whole document
+/// with child axes and the example node selected.
+twig::TwigQuery ExampleToQuery(const TreeExample& example);
+
+/// One aligned pair of selection-path offsets (0-based, root-to-selection)
+/// in the two queries being generalized; `wildcard` marks a '*' step.
+struct AlignmentStep {
+  int i;
+  int j;
+  bool wildcard;
+};
+
+/// Builds the generalization pattern induced by an explicit selection-path
+/// alignment (axes are derived; filters are attached deterministically).
+/// Fails if the alignment violates anchoring or label compatibility.
+/// Exposed for the consistency checker's alignment enumeration.
+common::Result<twig::TwigQuery> BuildAlignedPattern(
+    const twig::TwigQuery& q1, const twig::TwigQuery& q2,
+    const std::vector<AlignmentStep>& steps,
+    const TwigLearnerOptions& options);
+
+/// Canonical most-specific anchored generalization of two queries (both must
+/// have selection nodes). Fails when no anchored generalization exists
+/// (e.g. selection labels differ and depths make wildcards impossible).
+common::Result<twig::TwigQuery> GeneralizePair(
+    const twig::TwigQuery& q1, const twig::TwigQuery& q2,
+    const TwigLearnerOptions& options = {});
+
+/// Learns from positive examples by folding GeneralizePair over them.
+/// The result selects every example node (soundness invariant, tested).
+common::Result<twig::TwigQuery> LearnTwig(
+    const std::vector<TreeExample>& examples,
+    const TwigLearnerOptions& options = {});
+
+}  // namespace learn
+}  // namespace qlearn
+
+#endif  // QLEARN_LEARN_TWIG_LEARNER_H_

@@ -1,0 +1,195 @@
+#include "learn/union_learner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "twig/twig_eval.h"
+
+namespace qlearn {
+namespace learn {
+
+using common::Result;
+using common::Status;
+
+size_t TwigUnion::TotalSize() const {
+  size_t total = 0;
+  for (const twig::TwigQuery& q : disjuncts_) total += q.Size();
+  return total;
+}
+
+bool TwigUnion::Selects(const xml::XmlTree& doc, xml::NodeId node) const {
+  for (const twig::TwigQuery& q : disjuncts_) {
+    if (twig::Selects(q, doc, node)) return true;
+  }
+  return false;
+}
+
+std::vector<xml::NodeId> TwigUnion::Evaluate(const xml::XmlTree& doc) const {
+  std::set<xml::NodeId> nodes;
+  for (const twig::TwigQuery& q : disjuncts_) {
+    for (xml::NodeId n : twig::Evaluate(q, doc)) nodes.insert(n);
+  }
+  return std::vector<xml::NodeId>(nodes.begin(), nodes.end());
+}
+
+std::string TwigUnion::ToString(const common::Interner& interner) const {
+  std::string out;
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += disjuncts_[i].ToString(interner);
+  }
+  return out;
+}
+
+UnionConsistencyReport CheckUnionConsistency(
+    const std::vector<TreeExample>& positives,
+    const std::vector<TreeExample>& negatives) {
+  UnionConsistencyReport report;
+  for (size_t p = 0; p < positives.size(); ++p) {
+    // The most-specific query of the positive: its answers are exactly the
+    // nodes selected by EVERY twig consistent with this positive, so hitting
+    // a negative here dooms any union, and missing all negatives means the
+    // union of most-specific queries is itself a consistent witness.
+    const twig::TwigQuery most_specific = ExampleToQuery(positives[p]);
+    for (size_t n = 0; n < negatives.size(); ++n) {
+      if (twig::Selects(most_specific, *negatives[n].doc,
+                        negatives[n].node)) {
+        report.consistent = false;
+        report.blocking_positive = p;
+        report.blocking_negative = n;
+        return report;
+      }
+    }
+  }
+  report.consistent = true;
+  return report;
+}
+
+namespace {
+
+/// True iff `q` selects no negative example.
+bool NegativeFree(const twig::TwigQuery& q,
+                  const std::vector<TreeExample>& negatives) {
+  for (const TreeExample& n : negatives) {
+    if (twig::Selects(q, *n.doc, n.node)) return false;
+  }
+  return true;
+}
+
+/// A cluster of positive examples and the twig generalizing them.
+struct Cluster {
+  std::vector<size_t> members;  // indexes into positives
+  twig::TwigQuery query;
+};
+
+}  // namespace
+
+Result<UnionLearnResult> LearnTwigUnion(
+    const std::vector<TreeExample>& positives,
+    const std::vector<TreeExample>& negatives,
+    const UnionLearnerOptions& options) {
+  if (positives.empty()) {
+    return Status::InvalidArgument("LearnTwigUnion needs positive examples");
+  }
+  const UnionConsistencyReport consistency =
+      CheckUnionConsistency(positives, negatives);
+  if (!consistency.consistent) {
+    return Status::FailedPrecondition(
+        "examples are union-inconsistent: every twig selecting positive #" +
+        std::to_string(consistency.blocking_positive) +
+        " also selects negative #" +
+        std::to_string(consistency.blocking_negative));
+  }
+
+  // Seed: one disjunct per positive. LearnTwig({e}) minimizes the
+  // most-specific query, which keeps disjuncts small from the start.
+  std::vector<Cluster> clusters;
+  clusters.reserve(positives.size());
+  for (size_t i = 0; i < positives.size(); ++i) {
+    QLEARN_ASSIGN_OR_RETURN(twig::TwigQuery q,
+                            LearnTwig({positives[i]}, options.learner));
+    if (!NegativeFree(q, negatives)) {
+      // Fall back to the unminimized most-specific query: minimization can
+      // only generalize, so the raw query is negative-free by the
+      // consistency check above.
+      q = ExampleToQuery(positives[i]);
+    }
+    clusters.push_back(Cluster{{i}, std::move(q)});
+  }
+
+  UnionLearnResult result;
+  // Greedy agglomeration: merge the pair whose generalization stays
+  // negative-free and shrinks the union the most.
+  bool can_merge = true;
+  while (can_merge && clusters.size() > 1) {
+    can_merge = false;
+    size_t best_a = 0;
+    size_t best_b = 0;
+    twig::TwigQuery best_query;
+    long best_gain = 0;
+    bool found = false;
+    for (size_t a = 0; a < clusters.size(); ++a) {
+      for (size_t b = a + 1; b < clusters.size(); ++b) {
+        std::vector<TreeExample> merged_examples;
+        for (size_t i : clusters[a].members) {
+          merged_examples.push_back(positives[i]);
+        }
+        for (size_t i : clusters[b].members) {
+          merged_examples.push_back(positives[i]);
+        }
+        auto merged = LearnTwig(merged_examples, options.learner);
+        if (!merged.ok()) continue;
+        if (!NegativeFree(merged.value(), negatives)) {
+          ++result.merges_blocked;
+          continue;
+        }
+        const long gain =
+            static_cast<long>(clusters[a].query.Size()) +
+            static_cast<long>(clusters[b].query.Size()) -
+            static_cast<long>(merged.value().Size());
+        const bool must_merge = clusters.size() >
+                                options.max_disjuncts;  // over budget
+        if (!found || gain > best_gain) {
+          best_a = a;
+          best_b = b;
+          best_query = merged.value();
+          best_gain = gain;
+          found = true;
+        }
+        if (!must_merge && options.stop_when_no_gain && gain <= 0) {
+          continue;  // recorded as candidate only if over budget
+        }
+      }
+    }
+    if (!found) break;
+    const bool over_budget = clusters.size() > options.max_disjuncts;
+    if (!over_budget && options.stop_when_no_gain && best_gain <= 0) break;
+
+    Cluster merged_cluster;
+    merged_cluster.members = clusters[best_a].members;
+    merged_cluster.members.insert(merged_cluster.members.end(),
+                                  clusters[best_b].members.begin(),
+                                  clusters[best_b].members.end());
+    merged_cluster.query = std::move(best_query);
+    clusters.erase(clusters.begin() + static_cast<long>(best_b));
+    clusters.erase(clusters.begin() + static_cast<long>(best_a));
+    clusters.push_back(std::move(merged_cluster));
+    ++result.merges;
+    can_merge = true;
+  }
+
+  if (clusters.size() > options.max_disjuncts) {
+    return Status::ResourceExhausted(
+        "negatives block every merge below the disjunct budget (" +
+        std::to_string(clusters.size()) + " > " +
+        std::to_string(options.max_disjuncts) + ")");
+  }
+
+  for (Cluster& c : clusters) {
+    result.query.AddDisjunct(std::move(c.query));
+  }
+  return result;
+}
+
+}  // namespace learn
+}  // namespace qlearn

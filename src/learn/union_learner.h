@@ -1,0 +1,106 @@
+// Unions of twig queries — the richer language the paper proposes to escape
+// the NP-completeness of single-twig consistency ("unions of twig queries
+// for which testing consistency is trivial but learnability remains an open
+// question", §2).
+//
+// Consistency really is easy here: the most-specific query of a positive
+// example (the whole document with the example node selected) selects a node
+// n iff EVERY twig selecting the example selects n. Hence a positive/negative
+// example set is union-consistent iff no negative is covered by the
+// most-specific query of some positive — a PTIME check with the standard
+// evaluator. For learnability we ship a greedy bottom-up merger: start from
+// one most-specific disjunct per positive and merge disjuncts while the
+// generalization stays negative-free.
+#ifndef QLEARN_LEARN_UNION_LEARNER_H_
+#define QLEARN_LEARN_UNION_LEARNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "learn/twig_learner.h"
+#include "twig/twig_query.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace learn {
+
+/// A finite union (disjunction) of twig queries. Selection semantics is the
+/// union of the disjuncts' answer sets.
+class TwigUnion {
+ public:
+  TwigUnion() = default;
+  explicit TwigUnion(std::vector<twig::TwigQuery> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  const std::vector<twig::TwigQuery>& disjuncts() const { return disjuncts_; }
+  void AddDisjunct(twig::TwigQuery q) { disjuncts_.push_back(std::move(q)); }
+  size_t NumDisjuncts() const { return disjuncts_.size(); }
+
+  /// Sum of the disjuncts' sizes (the paper's query-size measure, extended).
+  size_t TotalSize() const;
+
+  /// True iff some disjunct selects `node` of `doc`.
+  bool Selects(const xml::XmlTree& doc, xml::NodeId node) const;
+
+  /// All nodes of `doc` selected by some disjunct (sorted, deduplicated).
+  std::vector<xml::NodeId> Evaluate(const xml::XmlTree& doc) const;
+
+  /// " | "-joined rendering of the disjuncts.
+  std::string ToString(const common::Interner& interner) const;
+
+ private:
+  std::vector<twig::TwigQuery> disjuncts_;
+};
+
+/// Outcome of the trivial union-consistency test.
+struct UnionConsistencyReport {
+  bool consistent = false;
+  /// When inconsistent: indexes of a positive and a negative example such
+  /// that every twig selecting the positive also selects the negative.
+  size_t blocking_positive = 0;
+  size_t blocking_negative = 0;
+};
+
+/// PTIME consistency for unions of twigs: checks that no negative example is
+/// selected by the most-specific query of a positive example. Negatives must
+/// not duplicate positives. Examples may live in different documents.
+UnionConsistencyReport CheckUnionConsistency(
+    const std::vector<TreeExample>& positives,
+    const std::vector<TreeExample>& negatives);
+
+struct UnionLearnerOptions {
+  /// Upper bound on the number of disjuncts in the result; the merger keeps
+  /// merging most-compatible pairs until it fits (or reports failure when
+  /// negatives block every merge).
+  size_t max_disjuncts = 4;
+  /// Stop merging early once no merge shrinks the union (even if the
+  /// disjunct budget is not yet exhausted).
+  bool stop_when_no_gain = true;
+  TwigLearnerOptions learner;
+};
+
+struct UnionLearnResult {
+  TwigUnion query;
+  /// Number of pairwise merges performed.
+  size_t merges = 0;
+  /// Number of candidate merges rejected because the generalization covered
+  /// a negative example.
+  size_t merges_blocked = 0;
+};
+
+/// Learns a union of anchored twigs selecting every positive and no negative.
+/// Fails with FailedPrecondition when the examples are union-inconsistent,
+/// and with ResourceExhausted when negatives block every merge while more
+/// than `max_disjuncts` clusters remain.
+common::Result<UnionLearnResult> LearnTwigUnion(
+    const std::vector<TreeExample>& positives,
+    const std::vector<TreeExample>& negatives,
+    const UnionLearnerOptions& options = {});
+
+}  // namespace learn
+}  // namespace qlearn
+
+#endif  // QLEARN_LEARN_UNION_LEARNER_H_

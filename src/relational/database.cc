@@ -1,0 +1,37 @@
+#include "relational/database.h"
+
+namespace qlearn {
+namespace relational {
+
+common::Status Database::AddRelation(Relation relation) {
+  const std::string name = relation.schema().name();
+  if (relations_.count(name)) {
+    return common::Status::InvalidArgument("relation '" + name +
+                                           "' already exists");
+  }
+  relations_.emplace(name, std::move(relation));
+  return common::Status::OK();
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Relation* Database::FindMutable(const std::string& name) {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) {
+    (void)rel;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace relational
+}  // namespace qlearn

@@ -1,0 +1,37 @@
+// A catalog of named relations.
+#ifndef QLEARN_RELATIONAL_DATABASE_H_
+#define QLEARN_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace qlearn {
+namespace relational {
+
+/// Owns a set of relations addressed by name.
+class Database {
+ public:
+  /// Adds `relation`; fails if the name is taken.
+  common::Status AddRelation(Relation relation);
+
+  /// Looks up by name (nullptr when absent).
+  const Relation* Find(const std::string& name) const;
+  Relation* FindMutable(const std::string& name);
+
+  /// Sorted relation names.
+  std::vector<std::string> RelationNames() const;
+
+  size_t size() const { return relations_.size(); }
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace relational
+}  // namespace qlearn
+
+#endif  // QLEARN_RELATIONAL_DATABASE_H_

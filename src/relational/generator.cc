@@ -1,0 +1,145 @@
+#include "relational/generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+
+namespace qlearn {
+namespace relational {
+
+namespace {
+
+RelationSchema IntSchema(const std::string& name, const std::string& prefix,
+                         int arity) {
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < arity; ++i) {
+    std::string attr = prefix;
+    attr += std::to_string(i);
+    attrs.push_back(Attribute{attr, ValueType::kInt});
+  }
+  return RelationSchema(name, std::move(attrs));
+}
+
+}  // namespace
+
+JoinInstance GenerateJoinInstance(const JoinInstanceOptions& options,
+                                  int goal_pairs) {
+  common::Rng rng(options.seed);
+  JoinInstance instance;
+  instance.left = Relation(IntSchema("R", "a", options.left_arity));
+  instance.right = Relation(IntSchema("S", "b", options.right_arity));
+
+  auto random_row = [&](int arity) {
+    Tuple row;
+    row.reserve(static_cast<size_t>(arity));
+    for (int i = 0; i < arity; ++i) {
+      const int64_t v = static_cast<int64_t>(
+          rng.Uniform(static_cast<uint64_t>(options.domain_size)));
+      row.emplace_back(v);
+    }
+    return row;
+  };
+
+  for (int i = 0; i < options.left_rows; ++i) {
+    instance.left.InsertUnchecked(random_row(options.left_arity));
+  }
+  for (int i = 0; i < options.right_rows; ++i) {
+    instance.right.InsertUnchecked(random_row(options.right_arity));
+  }
+
+  // Hidden goal: a random subset of compatible pairs.
+  std::vector<AttributePair> universe =
+      CompatiblePairs(instance.left.schema(), instance.right.schema());
+  rng.Shuffle(&universe);
+  const int k = std::max(
+      1, std::min<int>(goal_pairs, static_cast<int>(universe.size())));
+  instance.goal.assign(universe.begin(), universe.begin() + k);
+  std::sort(instance.goal.begin(), instance.goal.end());
+
+  // Plant matches: copy goal-attribute values from random left rows into a
+  // fraction of right rows so the goal predicate has positive pairs.
+  Relation planted(instance.right.schema());
+  for (size_t j = 0; j < instance.right.size(); ++j) {
+    Tuple row = instance.right.row(j);
+    if (rng.Bernoulli(options.planted_match_fraction) &&
+        !instance.left.empty()) {
+      const Tuple& donor =
+          instance.left.row(rng.Index(instance.left.size()));
+      for (const AttributePair& p : instance.goal) {
+        row[p.right] = donor[p.left];
+      }
+    }
+    planted.InsertUnchecked(std::move(row));
+  }
+  instance.right = std::move(planted);
+  return instance;
+}
+
+Database TinyCompanyDatabase() {
+  Database db;
+
+  Relation departments(RelationSchema(
+      "departments", {Attribute{"dept_id", ValueType::kInt},
+                      Attribute{"dept_name", ValueType::kString},
+                      Attribute{"city", ValueType::kString}}));
+  const struct {
+    int64_t id;
+    const char* name;
+    const char* city;
+  } kDepartments[] = {
+      {1, "engineering", "Lille"},
+      {2, "research", "Paris"},
+      {3, "sales", "Lyon"},
+  };
+  for (const auto& d : kDepartments) {
+    departments.InsertUnchecked(
+        {Value(d.id), Value(std::string(d.name)), Value(std::string(d.city))});
+  }
+
+  Relation employees(RelationSchema(
+      "employees", {Attribute{"emp_id", ValueType::kInt},
+                    Attribute{"emp_name", ValueType::kString},
+                    Attribute{"dept_id", ValueType::kInt},
+                    Attribute{"salary", ValueType::kInt}}));
+  const struct {
+    int64_t id;
+    const char* name;
+    int64_t dept;
+    int64_t salary;
+  } kEmployees[] = {
+      {100, "ada", 1, 95000},   {101, "grace", 1, 98000},
+      {102, "alan", 2, 91000},  {103, "edsger", 2, 93000},
+      {104, "barbara", 3, 88000}, {105, "donald", 1, 99000},
+  };
+  for (const auto& e : kEmployees) {
+    employees.InsertUnchecked({Value(e.id), Value(std::string(e.name)),
+                               Value(e.dept), Value(e.salary)});
+  }
+
+  Relation projects(RelationSchema(
+      "projects", {Attribute{"proj_id", ValueType::kInt},
+                   Attribute{"proj_name", ValueType::kString},
+                   Attribute{"dept_id", ValueType::kInt}}));
+  const struct {
+    int64_t id;
+    const char* name;
+    int64_t dept;
+  } kProjects[] = {
+      {500, "query-learning", 2},
+      {501, "storage-engine", 1},
+      {502, "benchmarks", 1},
+  };
+  for (const auto& p : kProjects) {
+    projects.InsertUnchecked(
+        {Value(p.id), Value(std::string(p.name)), Value(p.dept)});
+  }
+
+  (void)db.AddRelation(std::move(departments));
+  (void)db.AddRelation(std::move(employees));
+  (void)db.AddRelation(std::move(projects));
+  return db;
+}
+
+}  // namespace relational
+}  // namespace qlearn

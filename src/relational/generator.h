@@ -1,0 +1,50 @@
+// Synthetic relational instances for the join-learning experiments (E5, E6)
+// and a small hand-written database for the examples.
+#ifndef QLEARN_RELATIONAL_GENERATOR_H_
+#define QLEARN_RELATIONAL_GENERATOR_H_
+
+#include <cstdint>
+
+#include "relational/database.h"
+#include "relational/operators.h"
+#include "relational/relation.h"
+
+namespace qlearn {
+namespace relational {
+
+/// Parameters of the two-relation workload generator. Values are integers
+/// from [0, domain_size); small domains create many accidental agreements,
+/// which is what makes learning non-trivial.
+struct JoinInstanceOptions {
+  uint64_t seed = 1;
+  int left_rows = 50;
+  int right_rows = 50;
+  int left_arity = 4;
+  int right_arity = 4;
+  int domain_size = 8;
+  /// Fraction of right rows rewritten to match a random left row on the
+  /// goal pairs (guarantees positives exist for the hidden goal).
+  double planted_match_fraction = 0.3;
+};
+
+/// A generated instance: relations R(a0..), S(b0..) and the hidden goal
+/// join predicate over CompatiblePairs(R, S).
+struct JoinInstance {
+  Relation left;
+  Relation right;
+  std::vector<AttributePair> goal;
+};
+
+/// Generates an instance in which `goal_pairs` randomly chosen compatible
+/// attribute pairs form the hidden goal predicate.
+JoinInstance GenerateJoinInstance(const JoinInstanceOptions& options,
+                                  int goal_pairs);
+
+/// A small employees/departments/projects database used by the examples and
+/// the cross-model exchange scenarios (Figure 1, scenario 1).
+Database TinyCompanyDatabase();
+
+}  // namespace relational
+}  // namespace qlearn
+
+#endif  // QLEARN_RELATIONAL_GENERATOR_H_

@@ -1,0 +1,200 @@
+#include "relational/operators.h"
+
+#include <algorithm>
+
+namespace qlearn {
+namespace relational {
+
+using common::Result;
+using common::Status;
+
+bool PairsSatisfied(const Tuple& r, const Tuple& s,
+                    const std::vector<AttributePair>& on) {
+  for (const AttributePair& p : on) {
+    if (!r[p.left].EqualsSql(s[p.right])) return false;
+  }
+  return true;
+}
+
+std::vector<AttributePair> AgreeSet(
+    const Tuple& r, const Tuple& s,
+    const std::vector<AttributePair>& universe) {
+  std::vector<AttributePair> out;
+  for (const AttributePair& p : universe) {
+    if (r[p.left].EqualsSql(s[p.right])) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<AttributePair> CompatiblePairs(const RelationSchema& left,
+                                           const RelationSchema& right) {
+  std::vector<AttributePair> out;
+  for (size_t i = 0; i < left.arity(); ++i) {
+    for (size_t j = 0; j < right.arity(); ++j) {
+      if (left.attributes()[i].type == right.attributes()[j].type) {
+        out.push_back(AttributePair{i, j});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<AttributePair> SharedAttributePairs(const RelationSchema& left,
+                                                const RelationSchema& right) {
+  std::vector<AttributePair> out;
+  for (size_t i = 0; i < left.arity(); ++i) {
+    const auto j = right.AttributeIndex(left.attributes()[i].name);
+    if (j.has_value() &&
+        left.attributes()[i].type == right.attributes()[*j].type) {
+      out.push_back(AttributePair{i, *j});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Status ValidatePairs(const Relation& left, const Relation& right,
+                     const std::vector<AttributePair>& on) {
+  if (on.empty()) {
+    return Status::InvalidArgument("join predicate must be non-empty");
+  }
+  for (const AttributePair& p : on) {
+    if (p.left >= left.schema().arity() || p.right >= right.schema().arity()) {
+      return Status::OutOfRange("attribute pair out of range");
+    }
+    if (left.schema().attributes()[p.left].type !=
+        right.schema().attributes()[p.right].type) {
+      return Status::InvalidArgument(
+          "type mismatch between " +
+          left.schema().attributes()[p.left].name + " and " +
+          right.schema().attributes()[p.right].name);
+    }
+  }
+  return Status::OK();
+}
+
+/// Hash-join driver: invokes `emit(l, r)` for every matching row pair.
+void HashJoin(const Relation& left, const Relation& right,
+              const std::vector<AttributePair>& on,
+              const std::function<void(size_t, size_t)>& emit) {
+  // Build on the smaller side, probe with the larger; index on the first
+  // pair, verify the rest tuple-wise.
+  const AttributePair first = on[0];
+  const bool build_right = right.size() <= left.size();
+  const Relation& build = build_right ? right : left;
+  const size_t build_col = build_right ? first.right : first.left;
+  const Relation& probe = build_right ? left : right;
+  const size_t probe_col = build_right ? first.left : first.right;
+
+  const auto& index = build.IndexOn(build_col);
+  for (size_t p = 0; p < probe.size(); ++p) {
+    const Value& key = probe.row(p)[probe_col];
+    if (key.is_null()) continue;
+    const auto range = index.equal_range(key.Hash());
+    for (auto it = range.first; it != range.second; ++it) {
+      const size_t b = it->second;
+      const size_t l = build_right ? p : b;
+      const size_t r = build_right ? b : p;
+      if (PairsSatisfied(left.row(l), right.row(r), on)) emit(l, r);
+    }
+  }
+}
+
+}  // namespace
+
+Result<Relation> EquiJoin(const Relation& left, const Relation& right,
+                          const std::vector<AttributePair>& on) {
+  QLEARN_RETURN_IF_ERROR(ValidatePairs(left, right, on));
+  std::vector<Attribute> attrs = left.schema().attributes();
+  for (const Attribute& a : right.schema().attributes()) {
+    attrs.push_back(
+        Attribute{right.schema().name() + "." + a.name, a.type});
+  }
+  Relation out(RelationSchema(
+      left.schema().name() + "_join_" + right.schema().name(),
+      std::move(attrs)));
+  HashJoin(left, right, on, [&](size_t l, size_t r) {
+    Tuple row = left.row(l);
+    row.insert(row.end(), right.row(r).begin(), right.row(r).end());
+    out.InsertUnchecked(std::move(row));
+  });
+  return out;
+}
+
+Result<Relation> NaturalJoin(const Relation& left, const Relation& right) {
+  const std::vector<AttributePair> shared =
+      SharedAttributePairs(left.schema(), right.schema());
+  if (shared.empty()) {
+    return Status::InvalidArgument("no shared attributes between " +
+                                   left.schema().name() + " and " +
+                                   right.schema().name());
+  }
+  // Output schema: left attributes + right attributes not shared.
+  std::vector<bool> right_shared(right.schema().arity(), false);
+  for (const AttributePair& p : shared) right_shared[p.right] = true;
+  std::vector<Attribute> attrs = left.schema().attributes();
+  for (size_t j = 0; j < right.schema().arity(); ++j) {
+    if (!right_shared[j]) attrs.push_back(right.schema().attributes()[j]);
+  }
+  Relation out(RelationSchema(
+      left.schema().name() + "_natjoin_" + right.schema().name(),
+      std::move(attrs)));
+  HashJoin(left, right, shared, [&](size_t l, size_t r) {
+    Tuple row = left.row(l);
+    for (size_t j = 0; j < right.schema().arity(); ++j) {
+      if (!right_shared[j]) row.push_back(right.row(r)[j]);
+    }
+    out.InsertUnchecked(std::move(row));
+  });
+  return out;
+}
+
+Result<Relation> Semijoin(const Relation& left, const Relation& right,
+                          const std::vector<AttributePair>& on) {
+  QLEARN_RETURN_IF_ERROR(ValidatePairs(left, right, on));
+  Relation out(RelationSchema(left.schema().name() + "_semijoin",
+                              left.schema().attributes()));
+  std::vector<bool> emitted(left.size(), false);
+  HashJoin(left, right, on, [&](size_t l, size_t r) {
+    (void)r;
+    emitted[l] = true;
+  });
+  for (size_t i = 0; i < left.size(); ++i) {
+    if (emitted[i]) out.InsertUnchecked(left.row(i));
+  }
+  return out;
+}
+
+Result<Relation> Project(const Relation& input,
+                         const std::vector<size_t>& columns) {
+  std::vector<Attribute> attrs;
+  for (size_t c : columns) {
+    if (c >= input.schema().arity()) {
+      return Status::OutOfRange("projection column out of range");
+    }
+    attrs.push_back(input.schema().attributes()[c]);
+  }
+  Relation out(RelationSchema(input.schema().name() + "_proj",
+                              std::move(attrs)));
+  for (const Tuple& row : input.rows()) {
+    Tuple projected;
+    projected.reserve(columns.size());
+    for (size_t c : columns) projected.push_back(row[c]);
+    out.InsertUnchecked(std::move(projected));
+  }
+  return out;
+}
+
+Relation SelectWhere(const Relation& input,
+                     const std::function<bool(const Tuple&)>& predicate) {
+  Relation out(RelationSchema(input.schema().name() + "_sel",
+                              input.schema().attributes()));
+  for (const Tuple& row : input.rows()) {
+    if (predicate(row)) out.InsertUnchecked(row);
+  }
+  return out;
+}
+
+}  // namespace relational
+}  // namespace qlearn

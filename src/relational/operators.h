@@ -1,0 +1,73 @@
+// Relational operators: equi-join (hash join), natural join, semijoin,
+// projection and selection. These are both the execution substrate of the
+// learned queries and the baselines of the Section-3 experiments.
+#ifndef QLEARN_RELATIONAL_OPERATORS_H_
+#define QLEARN_RELATIONAL_OPERATORS_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace qlearn {
+namespace relational {
+
+/// An equality predicate between attribute `left` of the left relation and
+/// attribute `right` of the right relation.
+struct AttributePair {
+  size_t left;
+  size_t right;
+
+  bool operator==(const AttributePair& o) const {
+    return left == o.left && right == o.right;
+  }
+  bool operator<(const AttributePair& o) const {
+    return left != o.left ? left < o.left : right < o.right;
+  }
+};
+
+/// True iff rows `r`, `s` agree (SQL equality) on every pair in `on`.
+bool PairsSatisfied(const Tuple& r, const Tuple& s,
+                    const std::vector<AttributePair>& on);
+
+/// The set of type-compatible attribute pairs on which `r`,`s` agree.
+std::vector<AttributePair> AgreeSet(const Tuple& r, const Tuple& s,
+                                    const std::vector<AttributePair>& universe);
+
+/// All type-compatible attribute pairs between two schemas.
+std::vector<AttributePair> CompatiblePairs(const RelationSchema& left,
+                                           const RelationSchema& right);
+
+/// Pairs of attributes sharing the same name and type (natural-join pairs).
+std::vector<AttributePair> SharedAttributePairs(const RelationSchema& left,
+                                                const RelationSchema& right);
+
+/// Equi-join: all concatenated rows satisfying every pair in `on`.
+/// Fails when `on` is empty or references out-of-range/ill-typed attributes.
+common::Result<Relation> EquiJoin(const Relation& left, const Relation& right,
+                                  const std::vector<AttributePair>& on);
+
+/// Natural join: equi-join on all shared attribute names; right-side copies
+/// of the shared attributes are projected away. Fails when no attribute is
+/// shared.
+common::Result<Relation> NaturalJoin(const Relation& left,
+                                     const Relation& right);
+
+/// Semijoin left ⋉ right: rows of `left` with at least one `on`-match.
+common::Result<Relation> Semijoin(const Relation& left, const Relation& right,
+                                  const std::vector<AttributePair>& on);
+
+/// Projection onto the given attribute indexes (in order, duplicates kept).
+common::Result<Relation> Project(const Relation& input,
+                                 const std::vector<size_t>& columns);
+
+/// Selection by arbitrary predicate.
+Relation SelectWhere(const Relation& input,
+                     const std::function<bool(const Tuple&)>& predicate);
+
+}  // namespace relational
+}  // namespace qlearn
+
+#endif  // QLEARN_RELATIONAL_OPERATORS_H_

@@ -1,0 +1,77 @@
+#include "relational/relation.h"
+
+namespace qlearn {
+namespace relational {
+
+using common::Status;
+
+std::optional<size_t> RelationSchema::AttributeIndex(
+    const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string RelationSchema::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ":";
+    out += ValueTypeName(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+Status Relation::Insert(Tuple row) {
+  if (row.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "arity mismatch inserting into " + schema_.name() + ": got " +
+        std::to_string(row.size()) + ", want " +
+        std::to_string(schema_.arity()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null() && row[i].type() != schema_.attributes()[i].type) {
+      return Status::InvalidArgument(
+          "type mismatch in " + schema_.name() + "." +
+          schema_.attributes()[i].name + ": got " +
+          ValueTypeName(row[i].type()) + ", want " +
+          ValueTypeName(schema_.attributes()[i].type));
+    }
+  }
+  indexes_.clear();  // invalidated by the write
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const std::unordered_multimap<size_t, size_t>& Relation::IndexOn(
+    size_t col) const {
+  auto it = indexes_.find(col);
+  if (it != indexes_.end()) return it->second;
+  auto& index = indexes_[col];
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!rows_[i][col].is_null()) {
+      index.emplace(rows_[i][col].Hash(), i);
+    }
+  }
+  return index;
+}
+
+std::string Relation::ToString() const {
+  std::string out = schema_.ToString() + " [" + std::to_string(size()) +
+                    " rows]\n";
+  for (const Tuple& row : rows_) {
+    out += "  (";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += row[i].ToString();
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace relational
+}  // namespace qlearn

@@ -1,0 +1,70 @@
+// Typed values of the relational model: NULL, 64-bit integers, doubles, and
+// strings. Equality follows SQL-flavored semantics: NULL equals nothing
+// (including NULL), which the join learners rely on.
+#ifndef QLEARN_RELATIONAL_VALUE_H_
+#define QLEARN_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace qlearn {
+namespace relational {
+
+/// Type tag of a Value / attribute.
+enum class ValueType : uint8_t { kNull, kInt, kDouble, kString };
+
+/// "null", "int", "double" or "string".
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically-typed cell value.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt;
+      case 2:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// SQL-style equality: false whenever either side is NULL.
+  bool EqualsSql(const Value& other) const {
+    if (is_null() || other.is_null()) return false;
+    return data_ == other.data_;
+  }
+
+  /// Structural equality (NULL == NULL); used by containers and tests.
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator<(const Value& other) const { return data_ < other.data_; }
+
+  /// Hash for join tables; NULLs hash equal but never join (EqualsSql).
+  size_t Hash() const;
+
+  /// Rendering: NULL, 42, 3.5, 'text'.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace relational
+}  // namespace qlearn
+
+#endif  // QLEARN_RELATIONAL_VALUE_H_

@@ -1,0 +1,289 @@
+#include "rlearn/chain_learner.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+
+namespace qlearn {
+namespace rlearn {
+
+using common::Result;
+using common::Status;
+
+Result<JoinChain> JoinChain::Create(
+    std::vector<const relational::Relation*> relations) {
+  if (relations.size() < 2) {
+    return Status::InvalidArgument("a join chain needs at least 2 relations");
+  }
+  JoinChain chain;
+  chain.relations_ = std::move(relations);
+  for (size_t i = 0; i + 1 < chain.relations_.size(); ++i) {
+    QLEARN_ASSIGN_OR_RETURN(
+        PairUniverse u,
+        PairUniverse::AllCompatible(chain.relations_[i]->schema(),
+                                    chain.relations_[i + 1]->schema()));
+    if (u.size() == 0) {
+      return Status::InvalidArgument(
+          "no compatible attribute pairs between chain relations " +
+          std::to_string(i) + " and " + std::to_string(i + 1));
+    }
+    chain.universes_.push_back(std::move(u));
+  }
+  return chain;
+}
+
+PairMask JoinChain::AgreeOn(size_t edge,
+                            const std::vector<size_t>& rows) const {
+  return universes_[edge].AgreeMask(relations_[edge]->row(rows[edge]),
+                                    relations_[edge + 1]->row(rows[edge + 1]));
+}
+
+bool ChainSatisfied(const JoinChain& chain, const ChainMask& hypothesis,
+                    const ChainExample& example) {
+  for (size_t e = 0; e < chain.num_edges(); ++e) {
+    if (!MaskSatisfied(hypothesis[e], chain.AgreeOn(e, example.rows))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ChainVersionSpace::ChainVersionSpace(const JoinChain* chain) : chain_(chain) {
+  most_specific_.reserve(chain->num_edges());
+  for (size_t e = 0; e < chain->num_edges(); ++e) {
+    most_specific_.push_back(chain->universe(e).FullMask());
+  }
+}
+
+std::vector<PairMask> ChainVersionSpace::Agreements(
+    const ChainExample& e) const {
+  std::vector<PairMask> agree(chain_->num_edges());
+  for (size_t edge = 0; edge < chain_->num_edges(); ++edge) {
+    agree[edge] = chain_->AgreeOn(edge, e.rows);
+  }
+  return agree;
+}
+
+void ChainVersionSpace::AddPositive(const ChainExample& example) {
+  const std::vector<PairMask> agree = Agreements(example);
+  for (size_t e = 0; e < most_specific_.size(); ++e) {
+    most_specific_[e] &= agree[e];
+  }
+  ++num_positives_;
+}
+
+void ChainVersionSpace::AddNegative(const ChainExample& example) {
+  negative_agreements_.push_back(Agreements(example));
+}
+
+bool ChainVersionSpace::Consistent() const {
+  for (PairMask m : most_specific_) {
+    if (m == 0) return false;  // some edge has no non-empty hypothesis left
+  }
+  for (const std::vector<PairMask>& neg : negative_agreements_) {
+    bool selected = true;
+    for (size_t e = 0; e < most_specific_.size(); ++e) {
+      if (!MaskSatisfied(most_specific_[e], neg[e])) {
+        selected = false;
+        break;
+      }
+    }
+    if (selected) return false;  // θ* itself selects a negative
+  }
+  return true;
+}
+
+ChainVersionSpace::PathStatus ChainVersionSpace::Classify(
+    const ChainExample& example) const {
+  const std::vector<PairMask> agree = Agreements(example);
+  // Forced positive: the most specific hypothesis vector selects the path,
+  // hence so does every edge-wise subset in the version space.
+  bool theta_star_selects = true;
+  for (size_t e = 0; e < most_specific_.size(); ++e) {
+    if (!MaskSatisfied(most_specific_[e], agree[e])) {
+      theta_star_selects = false;
+      break;
+    }
+  }
+  if (theta_star_selects) return PathStatus::kForcedPositive;
+
+  // Some consistent hypothesis selects the path iff the edge-wise maximal
+  // candidate A_e = θ*_e ∩ agree_e is non-empty everywhere and excludes
+  // every negative (shrinking any edge only makes exclusion harder).
+  std::vector<PairMask> a(most_specific_.size());
+  for (size_t e = 0; e < most_specific_.size(); ++e) {
+    a[e] = most_specific_[e] & agree[e];
+    if (a[e] == 0) return PathStatus::kForcedNegative;
+  }
+  for (const std::vector<PairMask>& neg : negative_agreements_) {
+    bool selected = true;
+    for (size_t e = 0; e < a.size(); ++e) {
+      if (!MaskSatisfied(a[e], neg[e])) {
+        selected = false;
+        break;
+      }
+    }
+    if (selected) return PathStatus::kForcedNegative;
+  }
+  return PathStatus::kInformative;
+}
+
+ChainConsistency CheckChainConsistency(
+    const JoinChain& chain, const std::vector<ChainExample>& positives,
+    const std::vector<ChainExample>& negatives) {
+  ChainVersionSpace vs(&chain);
+  for (const ChainExample& p : positives) vs.AddPositive(p);
+  for (const ChainExample& n : negatives) vs.AddNegative(n);
+  ChainConsistency out;
+  out.consistent = vs.Consistent();
+  if (out.consistent) out.most_specific = vs.most_specific();
+  return out;
+}
+
+std::vector<ChainExample> EvaluateChain(const JoinChain& chain,
+                                        const ChainMask& hypothesis,
+                                        size_t limit) {
+  // Left-to-right nested expansion with per-edge mask tests. Instances in
+  // the experiments are small enough that index structures would not change
+  // the asymptotics observed (the masks are arbitrary pair sets, so a hash
+  // index would need one build per satisfied-pair subset).
+  std::vector<ChainExample> frontier;
+  for (size_t r = 0; r < chain.relation(0).size(); ++r) {
+    frontier.push_back(ChainExample{{r}});
+  }
+  for (size_t e = 0; e < chain.num_edges(); ++e) {
+    std::vector<ChainExample> next;
+    const size_t right_size = chain.relation(e + 1).size();
+    for (const ChainExample& partial : frontier) {
+      for (size_t r = 0; r < right_size; ++r) {
+        ChainExample extended = partial;
+        extended.rows.push_back(r);
+        if (MaskSatisfied(hypothesis[e], chain.AgreeOn(e, extended.rows))) {
+          next.push_back(std::move(extended));
+          if (limit != 0 && e + 1 == chain.num_edges() &&
+              next.size() >= limit) {
+            return next;
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+namespace {
+
+/// Enumerates up to `cap` candidate paths (row-index products, row-major).
+std::vector<ChainExample> EnumerateCandidates(const JoinChain& chain,
+                                              size_t cap) {
+  std::vector<ChainExample> out;
+  std::vector<size_t> sizes(chain.length());
+  for (size_t i = 0; i < chain.length(); ++i) {
+    sizes[i] = chain.relation(i).size();
+    if (sizes[i] == 0) return out;
+  }
+  std::vector<size_t> idx(chain.length(), 0);
+  while (out.size() < cap) {
+    out.push_back(ChainExample{idx});
+    size_t pos = chain.length();
+    while (pos-- > 0) {
+      if (++idx[pos] < sizes[pos]) break;
+      idx[pos] = 0;
+      if (pos == 0) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<InteractiveChainResult> RunInteractiveChainSession(
+    const JoinChain& chain, ChainOracle* oracle,
+    const InteractiveChainOptions& options) {
+  if (oracle == nullptr) {
+    return Status::InvalidArgument("oracle must not be null");
+  }
+  std::vector<ChainExample> candidates =
+      EnumerateCandidates(chain, options.max_candidates);
+  ChainVersionSpace vs(&chain);
+  common::Rng rng(options.seed);
+  InteractiveChainResult result;
+  result.candidate_paths = candidates.size();
+
+  std::vector<bool> settled(candidates.size(), false);
+  while (result.questions < options.max_questions) {
+    // Propagate uninformative paths under the current version space.
+    std::vector<size_t> informative;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (settled[i]) continue;
+      switch (vs.Classify(candidates[i])) {
+        case ChainVersionSpace::PathStatus::kForcedPositive:
+          settled[i] = true;
+          ++result.forced_positive;
+          break;
+        case ChainVersionSpace::PathStatus::kForcedNegative:
+          settled[i] = true;
+          ++result.forced_negative;
+          break;
+        case ChainVersionSpace::PathStatus::kInformative:
+          informative.push_back(i);
+          break;
+      }
+    }
+    if (informative.empty()) break;
+
+    size_t chosen = informative[0];
+    if (options.strategy == ChainStrategy::kRandom) {
+      chosen = informative[rng.Uniform(informative.size())];
+    } else {
+      // kSplitHalf in two phases. Until the first positive arrives, ask the
+      // most plausible match (the candidate keeping the most θ* pairs alive
+      // on every edge): a positive intersects every edge's θ* at once and
+      // carries far more information than any negative. Once θ* reflects a
+      // positive, switch to even-split probing of the surviving pairs.
+      const bool hunting = vs.num_positives() == 0;
+      long best_primary = -1;
+      long best_tie = -1;
+      for (size_t i : informative) {
+        long total_kept = 0;
+        long split = 0;
+        for (size_t e = 0; e < chain.num_edges(); ++e) {
+          const PairMask ms = vs.most_specific()[e];
+          const PairMask agree = ms & chain.AgreeOn(e, candidates[i].rows);
+          const int total = std::popcount(ms);
+          const int kept = std::popcount(agree);
+          total_kept += kept;
+          split += total / 2 - std::abs(kept - total / 2);
+        }
+        const long primary = hunting ? total_kept : split;
+        const long tie = hunting ? split : total_kept;
+        if (primary > best_primary ||
+            (primary == best_primary && tie > best_tie)) {
+          best_primary = primary;
+          best_tie = tie;
+          chosen = i;
+        }
+      }
+    }
+
+    const bool answer = oracle->IsPositive(chain, candidates[chosen]);
+    ++result.questions;
+    settled[chosen] = true;
+    if (answer) {
+      vs.AddPositive(candidates[chosen]);
+    } else {
+      vs.AddNegative(candidates[chosen]);
+    }
+    if (!vs.Consistent()) {
+      ++result.conflicts;
+      break;
+    }
+  }
+
+  result.learned = vs.most_specific();
+  return result;
+}
+
+}  // namespace rlearn
+}  // namespace qlearn

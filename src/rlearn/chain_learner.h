@@ -1,0 +1,169 @@
+// Learning chains of equi-joins R1 ⋈ R2 ⋈ … ⋈ Rk — the extension the paper
+// announces in Section 3 ("we want to extend our approach to other operators
+// and also to chains of joins between many relations").
+//
+// A chain hypothesis fixes one non-empty set of attribute pairs per adjacent
+// relation pair; a tuple path (t1,…,tk) satisfies it iff every edge's pairs
+// agree. The tractability of the single-join case generalizes: with
+// θ*_i = ⋂_{positives} Agree_i, the examples are consistent iff every θ*_i
+// is non-empty and no negative path satisfies the whole vector θ* — still
+// PTIME. The interactive protocol (uninformative-path propagation) also
+// lifts edge-by-edge.
+#ifndef QLEARN_RLEARN_CHAIN_LEARNER_H_
+#define QLEARN_RLEARN_CHAIN_LEARNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "relational/relation.h"
+#include "rlearn/join_hypothesis.h"
+
+namespace qlearn {
+namespace rlearn {
+
+/// A chain of k relations with k-1 pair universes between neighbours.
+class JoinChain {
+ public:
+  /// Builds a chain over `relations` (not owned, must outlive the chain)
+  /// using all type-compatible pairs between each adjacent pair of schemas.
+  /// Fails when fewer than two relations are given or some adjacent pair
+  /// has no compatible attributes.
+  static common::Result<JoinChain> Create(
+      std::vector<const relational::Relation*> relations);
+
+  size_t length() const { return relations_.size(); }
+  size_t num_edges() const { return universes_.size(); }
+  const relational::Relation& relation(size_t i) const {
+    return *relations_[i];
+  }
+  const PairUniverse& universe(size_t edge) const { return universes_[edge]; }
+
+  /// Agreement mask of a path on one edge.
+  PairMask AgreeOn(size_t edge, const std::vector<size_t>& rows) const;
+
+ private:
+  std::vector<const relational::Relation*> relations_;
+  std::vector<PairUniverse> universes_;
+};
+
+/// A hypothesis: one non-empty mask per chain edge.
+using ChainMask = std::vector<PairMask>;
+
+/// One labeled example: row indexes, one per chain relation.
+struct ChainExample {
+  std::vector<size_t> rows;
+};
+
+/// True iff the path's agreement satisfies every edge mask.
+bool ChainSatisfied(const JoinChain& chain, const ChainMask& hypothesis,
+                    const ChainExample& example);
+
+/// Outcome of the PTIME chain consistency check.
+struct ChainConsistency {
+  bool consistent = false;
+  /// Edge-wise most specific hypothesis when consistent.
+  ChainMask most_specific;
+};
+
+/// Version space of chain hypotheses (edge-wise subset interval around θ*,
+/// negatives shared across edges).
+class ChainVersionSpace {
+ public:
+  explicit ChainVersionSpace(const JoinChain* chain);
+
+  void AddPositive(const ChainExample& example);
+  void AddNegative(const ChainExample& example);
+
+  const ChainMask& most_specific() const { return most_specific_; }
+
+  /// PTIME consistency of everything added so far: every edge's θ* is
+  /// non-empty and no negative satisfies the whole θ* vector.
+  bool Consistent() const;
+
+  enum class PathStatus { kForcedPositive, kForcedNegative, kInformative };
+  /// Classification of an unlabeled path by the entire version space.
+  PathStatus Classify(const ChainExample& example) const;
+
+  const JoinChain& chain() const { return *chain_; }
+  size_t num_positives() const { return num_positives_; }
+  size_t num_negatives() const { return negative_agreements_.size(); }
+
+ private:
+  std::vector<PairMask> Agreements(const ChainExample& e) const;
+
+  const JoinChain* chain_;
+  ChainMask most_specific_;
+  std::vector<std::vector<PairMask>> negative_agreements_;
+  size_t num_positives_ = 0;
+};
+
+/// One-shot consistency check for a labeled sample of paths.
+ChainConsistency CheckChainConsistency(
+    const JoinChain& chain, const std::vector<ChainExample>& positives,
+    const std::vector<ChainExample>& negatives);
+
+/// Materializes the chain join under `hypothesis`: all row-index paths
+/// satisfying every edge mask, built edge by edge with hash joins.
+/// `limit` caps the result (0 = unlimited).
+std::vector<ChainExample> EvaluateChain(const JoinChain& chain,
+                                        const ChainMask& hypothesis,
+                                        size_t limit = 0);
+
+/// Labels candidate paths; backed by a hidden goal in benchmarks.
+class ChainOracle {
+ public:
+  virtual ~ChainOracle() = default;
+  virtual bool IsPositive(const JoinChain& chain,
+                          const ChainExample& example) = 0;
+};
+
+/// Oracle defined by a hidden goal chain mask.
+class GoalChainOracle : public ChainOracle {
+ public:
+  explicit GoalChainOracle(ChainMask goal) : goal_(std::move(goal)) {}
+  bool IsPositive(const JoinChain& chain, const ChainExample& example) override {
+    return ChainSatisfied(chain, goal_, example);
+  }
+
+ private:
+  ChainMask goal_;
+};
+
+/// Question-selection strategies for the interactive chain session.
+enum class ChainStrategy {
+  kRandom,      ///< uniform over informative paths
+  kSplitHalf,   ///< maximize candidate-pair eliminations per answer
+};
+
+struct InteractiveChainOptions {
+  ChainStrategy strategy = ChainStrategy::kSplitHalf;
+  uint64_t seed = 17;
+  /// Cap on enumerated candidate paths (the full product can explode).
+  size_t max_candidates = 20000;
+  size_t max_questions = 1000000;
+};
+
+struct InteractiveChainResult {
+  ChainMask learned;
+  size_t questions = 0;
+  size_t forced_positive = 0;
+  size_t forced_negative = 0;
+  size_t candidate_paths = 0;
+  /// Non-zero when the oracle contradicted the version space (goal outside
+  /// the chain-hypothesis class).
+  size_t conflicts = 0;
+};
+
+/// Runs the interactive protocol over (a capped enumeration of) all tuple
+/// paths of the chain. Stops when every path is labeled or uninformative.
+common::Result<InteractiveChainResult> RunInteractiveChainSession(
+    const JoinChain& chain, ChainOracle* oracle,
+    const InteractiveChainOptions& options = {});
+
+}  // namespace rlearn
+}  // namespace qlearn
+
+#endif  // QLEARN_RLEARN_CHAIN_LEARNER_H_

@@ -1,0 +1,70 @@
+#include "rlearn/equijoin_learner.h"
+
+namespace qlearn {
+namespace rlearn {
+
+EquiJoinVersionSpace::EquiJoinVersionSpace(const PairUniverse* universe,
+                                           const relational::Relation* left,
+                                           const relational::Relation* right)
+    : universe_(universe),
+      left_(left),
+      right_(right),
+      most_specific_(universe->FullMask()) {}
+
+PairMask EquiJoinVersionSpace::Agree(const PairExample& e) const {
+  return universe_->AgreeMask(left_->row(e.left_row),
+                              right_->row(e.right_row));
+}
+
+void EquiJoinVersionSpace::AddPositive(const PairExample& example) {
+  most_specific_ &= Agree(example);
+  ++num_positives_;
+}
+
+void EquiJoinVersionSpace::AddNegative(const PairExample& example) {
+  negative_masks_.push_back(Agree(example));
+}
+
+bool EquiJoinVersionSpace::Consistent() const {
+  if (most_specific_ == 0) return false;  // no non-empty hypothesis remains
+  for (PairMask neg : negative_masks_) {
+    if (MaskSatisfied(most_specific_, neg)) return false;
+  }
+  return true;
+}
+
+EquiJoinVersionSpace::PairStatus EquiJoinVersionSpace::Classify(
+    const PairExample& example) const {
+  const PairMask agree = Agree(example);
+  // Forced positive: even the most specific hypothesis selects the pair
+  // (hence so does every subset of θ* in the version space).
+  if (MaskSatisfied(most_specific_, agree)) {
+    return PairStatus::kForcedPositive;
+  }
+  // Some consistent hypothesis selects the pair iff a non-empty
+  // θ ⊆ θ* ∩ agree excludes all negatives; the maximal such candidate is
+  // A = θ* ∩ agree, and subsets only make exclusion harder.
+  const PairMask a = most_specific_ & agree;
+  if (a == 0) return PairStatus::kForcedNegative;
+  for (PairMask neg : negative_masks_) {
+    if (MaskSatisfied(a, neg)) return PairStatus::kForcedNegative;
+  }
+  return PairStatus::kInformative;
+}
+
+EquiJoinConsistency CheckEquiJoinConsistency(
+    const PairUniverse& universe, const relational::Relation& left,
+    const relational::Relation& right,
+    const std::vector<PairExample>& positives,
+    const std::vector<PairExample>& negatives) {
+  EquiJoinVersionSpace vs(&universe, &left, &right);
+  for (const PairExample& p : positives) vs.AddPositive(p);
+  for (const PairExample& n : negatives) vs.AddNegative(n);
+  EquiJoinConsistency out;
+  out.consistent = vs.Consistent();
+  out.most_specific = out.consistent ? vs.most_specific() : 0;
+  return out;
+}
+
+}  // namespace rlearn
+}  // namespace qlearn

@@ -1,0 +1,129 @@
+#include "rlearn/interactive_join.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <vector>
+
+namespace qlearn {
+namespace rlearn {
+
+using common::Result;
+using common::Status;
+
+Result<InteractiveJoinResult> RunInteractiveJoinSession(
+    const PairUniverse& universe, const relational::Relation& left,
+    const relational::Relation& right, JoinOracle* oracle,
+    const InteractiveJoinOptions& options) {
+  if (universe.size() == 0) {
+    return Status::InvalidArgument("empty candidate pair universe");
+  }
+  common::Rng rng(options.seed);
+  InteractiveJoinResult result;
+
+  // Materialize all candidate pairs with their agreement masks.
+  struct Candidate {
+    PairExample pair;
+    PairMask agree;
+    bool settled = false;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(left.size() * right.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      candidates.push_back(Candidate{
+          PairExample{i, j},
+          universe.AgreeMask(left.row(i), right.row(j)), false});
+    }
+  }
+  result.candidate_pairs = candidates.size();
+
+  EquiJoinVersionSpace vs(&universe, &left, &right);
+
+  auto settle_uninformative = [&]() {
+    for (Candidate& c : candidates) {
+      if (c.settled) continue;
+      switch (vs.Classify(c.pair)) {
+        case EquiJoinVersionSpace::PairStatus::kForcedPositive:
+          c.settled = true;
+          ++result.forced_positive;
+          break;
+        case EquiJoinVersionSpace::PairStatus::kForcedNegative:
+          c.settled = true;
+          ++result.forced_negative;
+          break;
+        case EquiJoinVersionSpace::PairStatus::kInformative:
+          break;
+      }
+    }
+  };
+
+  settle_uninformative();
+  while (result.questions < options.max_questions) {
+    // Collect informative candidates.
+    std::vector<size_t> open;
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      if (!candidates[k].settled) open.push_back(k);
+    }
+    if (open.empty()) break;
+
+    size_t pick = open[0];
+    switch (options.strategy) {
+      case JoinStrategy::kRandom:
+        pick = open[rng.Index(open.size())];
+        break;
+      case JoinStrategy::kSplitHalf: {
+        // Prefer the pair whose positive answer halves θ*.
+        const int target = std::popcount(vs.most_specific()) / 2;
+        int best_score = 1 << 30;
+        for (size_t k : open) {
+          const int kept =
+              std::popcount(vs.most_specific() & candidates[k].agree);
+          const int score = std::abs(kept - target);
+          if (score < best_score) {
+            best_score = score;
+            pick = k;
+          }
+        }
+        break;
+      }
+      case JoinStrategy::kLattice: {
+        // Probe a pair that drops exactly one bit of θ* if positive; fall
+        // back to split-half behaviour otherwise.
+        const int full = std::popcount(vs.most_specific());
+        int best_score = 1 << 30;
+        for (size_t k : open) {
+          const int kept =
+              std::popcount(vs.most_specific() & candidates[k].agree);
+          const int score = kept == full - 1 ? -1 : std::abs(kept - full / 2);
+          if (score < best_score) {
+            best_score = score;
+            pick = k;
+          }
+        }
+        break;
+      }
+    }
+
+    Candidate& c = candidates[pick];
+    ++result.questions;
+    c.settled = true;
+    if (oracle->IsPositive(left.row(c.pair.left_row),
+                           right.row(c.pair.right_row))) {
+      vs.AddPositive(c.pair);
+    } else {
+      vs.AddNegative(c.pair);
+    }
+    if (!vs.Consistent()) {
+      ++result.conflicts;
+      break;  // target outside the hypothesis space
+    }
+    settle_uninformative();
+  }
+
+  result.learned = vs.Consistent() ? vs.most_specific() : 0;
+  return result;
+}
+
+}  // namespace rlearn
+}  // namespace qlearn

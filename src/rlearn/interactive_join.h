@@ -1,0 +1,77 @@
+// The paper's interactive join-learning protocol (Section 3): the learner
+// proposes tuple pairs, the user labels them, and after every answer the
+// learner infers the labels of all *uninformative* pairs (those on which
+// every hypothesis in the current version space agrees) so they are never
+// asked. The session ends when every pair is labeled or uninformative; the
+// goal is to minimize questions (experiment E6).
+#ifndef QLEARN_RLEARN_INTERACTIVE_JOIN_H_
+#define QLEARN_RLEARN_INTERACTIVE_JOIN_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "rlearn/equijoin_learner.h"
+
+namespace qlearn {
+namespace rlearn {
+
+/// Labels tuple pairs; backed by a hidden goal in tests/benchmarks, by a
+/// human in an application.
+class JoinOracle {
+ public:
+  virtual ~JoinOracle() = default;
+  virtual bool IsPositive(const relational::Tuple& left,
+                          const relational::Tuple& right) = 0;
+};
+
+/// Oracle defined by a hidden goal predicate over a pair universe.
+class GoalJoinOracle : public JoinOracle {
+ public:
+  GoalJoinOracle(const PairUniverse* universe, PairMask goal)
+      : universe_(universe), goal_(goal) {}
+  bool IsPositive(const relational::Tuple& left,
+                  const relational::Tuple& right) override {
+    return MaskSatisfied(goal_, universe_->AgreeMask(left, right));
+  }
+
+ private:
+  const PairUniverse* universe_;
+  PairMask goal_;
+};
+
+/// Question-selection strategies (compared in E6).
+enum class JoinStrategy {
+  kRandom,     ///< uniform over informative pairs
+  kSplitHalf,  ///< aim to halve the hypothesis lattice each question
+  kLattice,    ///< probe pairs that test one candidate pair's necessity
+};
+
+struct InteractiveJoinOptions {
+  JoinStrategy strategy = JoinStrategy::kSplitHalf;
+  uint64_t seed = 11;
+  size_t max_questions = 1000000;
+};
+
+struct InteractiveJoinResult {
+  /// Most specific hypothesis consistent with all answers.
+  PairMask learned = 0;
+  size_t questions = 0;
+  size_t forced_positive = 0;
+  size_t forced_negative = 0;
+  size_t candidate_pairs = 0;
+  /// Non-zero when the oracle contradicted the hypothesis space (goal not
+  /// an equi-join over the universe).
+  size_t conflicts = 0;
+};
+
+/// Runs the protocol over all |left| x |right| tuple pairs.
+common::Result<InteractiveJoinResult> RunInteractiveJoinSession(
+    const PairUniverse& universe, const relational::Relation& left,
+    const relational::Relation& right, JoinOracle* oracle,
+    const InteractiveJoinOptions& options = {});
+
+}  // namespace rlearn
+}  // namespace qlearn
+
+#endif  // QLEARN_RLEARN_INTERACTIVE_JOIN_H_

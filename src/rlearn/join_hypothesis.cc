@@ -1,0 +1,69 @@
+#include "rlearn/join_hypothesis.h"
+
+namespace qlearn {
+namespace rlearn {
+
+using common::Result;
+using common::Status;
+using relational::AttributePair;
+
+Result<PairUniverse> PairUniverse::Create(std::vector<AttributePair> pairs) {
+  if (pairs.size() > 64) {
+    return Status::ResourceExhausted(
+        "pair universe exceeds 64 candidate pairs (" +
+        std::to_string(pairs.size()) + ")");
+  }
+  PairUniverse u;
+  u.pairs_ = std::move(pairs);
+  return u;
+}
+
+Result<PairUniverse> PairUniverse::AllCompatible(
+    const relational::RelationSchema& left,
+    const relational::RelationSchema& right) {
+  return Create(relational::CompatiblePairs(left, right));
+}
+
+Result<PairUniverse> PairUniverse::SharedName(
+    const relational::RelationSchema& left,
+    const relational::RelationSchema& right) {
+  return Create(relational::SharedAttributePairs(left, right));
+}
+
+PairMask PairUniverse::AgreeMask(const relational::Tuple& r,
+                                 const relational::Tuple& s) const {
+  PairMask mask = 0;
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (r[pairs_[i].left].EqualsSql(s[pairs_[i].right])) {
+      mask |= (1ULL << i);
+    }
+  }
+  return mask;
+}
+
+std::vector<AttributePair> PairUniverse::Decode(PairMask mask) const {
+  std::vector<AttributePair> out;
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (mask & (1ULL << i)) out.push_back(pairs_[i]);
+  }
+  return out;
+}
+
+std::string PairUniverse::MaskToString(
+    PairMask mask, const relational::RelationSchema& left,
+    const relational::RelationSchema& right) const {
+  std::string out = "{";
+  bool first = true;
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (!(mask & (1ULL << i))) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += left.name() + "." + left.attributes()[pairs_[i].left].name + "=" +
+           right.name() + "." + right.attributes()[pairs_[i].right].name;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace rlearn
+}  // namespace qlearn

@@ -1,0 +1,73 @@
+// Hypothesis space of the join learners: non-empty sets of attribute pairs
+// over a fixed universe (at most 64 pairs), represented as bitmasks. A pair
+// of tuples satisfies a hypothesis iff it agrees on every selected pair —
+// hence hypotheses are ordered by "more pairs = more specific".
+#ifndef QLEARN_RLEARN_JOIN_HYPOTHESIS_H_
+#define QLEARN_RLEARN_JOIN_HYPOTHESIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/operators.h"
+#include "relational/relation.h"
+
+namespace qlearn {
+namespace rlearn {
+
+/// A set of universe indexes encoded as a bitmask.
+using PairMask = uint64_t;
+
+/// The fixed universe of candidate attribute pairs for one (R, S) instance.
+class PairUniverse {
+ public:
+  /// Builds from explicit pairs; fails when more than 64.
+  static common::Result<PairUniverse> Create(
+      std::vector<relational::AttributePair> pairs);
+
+  /// All type-compatible pairs of the two schemas.
+  static common::Result<PairUniverse> AllCompatible(
+      const relational::RelationSchema& left,
+      const relational::RelationSchema& right);
+
+  /// Pairs of same-name same-type attributes (natural-join universe).
+  static common::Result<PairUniverse> SharedName(
+      const relational::RelationSchema& left,
+      const relational::RelationSchema& right);
+
+  size_t size() const { return pairs_.size(); }
+  const std::vector<relational::AttributePair>& pairs() const {
+    return pairs_;
+  }
+
+  /// Mask with every universe pair set.
+  PairMask FullMask() const {
+    return pairs_.empty() ? 0 : (~0ULL >> (64 - pairs_.size()));
+  }
+
+  /// Mask of pairs on which `r`, `s` agree (SQL equality).
+  PairMask AgreeMask(const relational::Tuple& r,
+                     const relational::Tuple& s) const;
+
+  /// Decodes a mask into attribute pairs.
+  std::vector<relational::AttributePair> Decode(PairMask mask) const;
+
+  /// Renders a mask as "{R.a0=S.b1, ...}" using the schemas.
+  std::string MaskToString(PairMask mask,
+                           const relational::RelationSchema& left,
+                           const relational::RelationSchema& right) const;
+
+ private:
+  std::vector<relational::AttributePair> pairs_;
+};
+
+/// True iff `hypothesis` (mask) is satisfied by agreement mask `agree`.
+inline bool MaskSatisfied(PairMask hypothesis, PairMask agree) {
+  return (hypothesis & ~agree) == 0;
+}
+
+}  // namespace rlearn
+}  // namespace qlearn
+
+#endif  // QLEARN_RLEARN_JOIN_HYPOTHESIS_H_

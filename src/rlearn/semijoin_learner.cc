@@ -1,0 +1,161 @@
+#include "rlearn/semijoin_learner.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <set>
+
+namespace qlearn {
+namespace rlearn {
+
+namespace {
+
+/// Shared preprocessing: per-positive witness masks and the maximal
+/// forbidden masks derived from negatives.
+struct Instance {
+  std::vector<std::vector<PairMask>> witness_sets;  // one per positive
+  std::vector<PairMask> forbidden;                  // maximal masks
+  bool trivially_inconsistent = false;
+};
+
+Instance Preprocess(const PairUniverse& universe,
+                    const relational::Relation& left,
+                    const relational::Relation& right,
+                    const std::vector<RowExample>& positives,
+                    const std::vector<RowExample>& negatives) {
+  Instance inst;
+  for (const RowExample& p : positives) {
+    std::set<PairMask> masks;
+    for (size_t s = 0; s < right.size(); ++s) {
+      const PairMask m = universe.AgreeMask(left.row(p.left_row), right.row(s));
+      if (m != 0) masks.insert(m);
+    }
+    if (masks.empty()) {
+      // This positive can never have a witness: inconsistent outright.
+      inst.trivially_inconsistent = true;
+      return inst;
+    }
+    // Keep only maximal witness masks: any hypothesis fitting a smaller
+    // witness also fits a maximal superset witness.
+    std::vector<PairMask> maximal;
+    for (PairMask m : masks) {
+      bool dominated = false;
+      for (PairMask other : masks) {
+        if (other != m && (m & ~other) == 0) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) maximal.push_back(m);
+    }
+    inst.witness_sets.push_back(std::move(maximal));
+  }
+  // Order positives most-constrained first (fewest witnesses).
+  std::sort(inst.witness_sets.begin(), inst.witness_sets.end(),
+            [](const std::vector<PairMask>& a, const std::vector<PairMask>& b) {
+              return a.size() < b.size();
+            });
+
+  std::set<PairMask> bad;
+  for (const RowExample& n : negatives) {
+    for (size_t s = 0; s < right.size(); ++s) {
+      const PairMask m = universe.AgreeMask(left.row(n.left_row), right.row(s));
+      if (m != 0) bad.insert(m);
+    }
+  }
+  for (PairMask b : bad) {
+    bool dominated = false;
+    for (PairMask other : bad) {
+      if (other != b && (b & ~other) == 0) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) inst.forbidden.push_back(b);
+  }
+  return inst;
+}
+
+/// True iff some non-empty hypothesis θ ⊆ candidate avoids all forbidden
+/// masks; the maximal choice θ = candidate decides it.
+bool Feasible(PairMask candidate, const std::vector<PairMask>& forbidden) {
+  if (candidate == 0) return false;
+  for (PairMask b : forbidden) {
+    if ((candidate & ~b) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SemijoinConsistency CheckSemijoinConsistency(
+    const PairUniverse& universe, const relational::Relation& left,
+    const relational::Relation& right,
+    const std::vector<RowExample>& positives,
+    const std::vector<RowExample>& negatives) {
+  SemijoinConsistency result;
+  const Instance inst =
+      Preprocess(universe, left, right, positives, negatives);
+  if (inst.trivially_inconsistent || universe.size() == 0) return result;
+
+  // DFS over per-positive witness choices; the running intersection only
+  // shrinks, so infeasibility prunes the whole subtree. Memoize visited
+  // (depth, intersection) states.
+  std::set<std::pair<size_t, PairMask>> visited;
+  std::function<bool(size_t, PairMask)> dfs = [&](size_t depth,
+                                                  PairMask inter) -> bool {
+    ++result.nodes_explored;
+    if (!Feasible(inter, inst.forbidden)) return false;
+    if (depth == inst.witness_sets.size()) {
+      result.consistent = true;
+      result.witness = inter;
+      return true;
+    }
+    if (!visited.insert({depth, inter}).second) return false;
+    for (PairMask w : inst.witness_sets[depth]) {
+      if (dfs(depth + 1, inter & w)) return true;
+    }
+    return false;
+  };
+  dfs(0, universe.FullMask());
+  return result;
+}
+
+SemijoinConsistency GreedySemijoinConsistency(
+    const PairUniverse& universe, const relational::Relation& left,
+    const relational::Relation& right,
+    const std::vector<RowExample>& positives,
+    const std::vector<RowExample>& negatives) {
+  SemijoinConsistency result;
+  const Instance inst =
+      Preprocess(universe, left, right, positives, negatives);
+  if (inst.trivially_inconsistent || universe.size() == 0) return result;
+
+  PairMask inter = universe.FullMask();
+  for (const std::vector<PairMask>& witnesses : inst.witness_sets) {
+    ++result.nodes_explored;
+    PairMask best = 0;
+    int best_bits = -1;
+    for (PairMask w : witnesses) {
+      const int bits = std::popcount(inter & w);
+      // Prefer feasible intersections, then larger ones.
+      const bool feasible = Feasible(inter & w, inst.forbidden);
+      const bool best_feasible = Feasible(best & inter, inst.forbidden);
+      if (best_bits < 0 || (feasible && !best_feasible) ||
+          (feasible == best_feasible && bits > best_bits)) {
+        best = w;
+        best_bits = bits;
+      }
+    }
+    inter &= best;
+    if (inter == 0) return result;
+  }
+  if (Feasible(inter, inst.forbidden)) {
+    result.consistent = true;
+    result.witness = inter;
+  }
+  return result;
+}
+
+}  // namespace rlearn
+}  // namespace qlearn

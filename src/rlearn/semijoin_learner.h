@@ -1,0 +1,51 @@
+// Learning semijoin predicates R ⋉_θ S from labeled *left rows*: a positive
+// row must have some θ-matching partner in S, a negative row must have none.
+// Consistency is NP-complete (the paper's Section-3 intractability claim);
+// the exact solver searches over per-positive witness choices with
+// monotonicity pruning and memoization, and a greedy polynomial
+// approximation is provided for comparison (experiment E5).
+#ifndef QLEARN_RLEARN_SEMIJOIN_LEARNER_H_
+#define QLEARN_RLEARN_SEMIJOIN_LEARNER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "rlearn/join_hypothesis.h"
+
+namespace qlearn {
+namespace rlearn {
+
+/// One labeled left-row example.
+struct RowExample {
+  size_t left_row;
+};
+
+struct SemijoinConsistency {
+  bool consistent = false;
+  /// A witness hypothesis when consistent.
+  PairMask witness = 0;
+  /// Search nodes explored (exponential in the worst case).
+  size_t nodes_explored = 0;
+};
+
+/// Exact (exponential worst-case) consistency check.
+SemijoinConsistency CheckSemijoinConsistency(
+    const PairUniverse& universe, const relational::Relation& left,
+    const relational::Relation& right,
+    const std::vector<RowExample>& positives,
+    const std::vector<RowExample>& negatives);
+
+/// Greedy polynomial heuristic: picks per-positive witnesses maximizing the
+/// surviving intersection. Sound (a returned witness is verified consistent)
+/// but incomplete — may miss a consistent hypothesis.
+SemijoinConsistency GreedySemijoinConsistency(
+    const PairUniverse& universe, const relational::Relation& left,
+    const relational::Relation& right,
+    const std::vector<RowExample>& positives,
+    const std::vector<RowExample>& negatives);
+
+}  // namespace rlearn
+}  // namespace qlearn
+
+#endif  // QLEARN_RLEARN_SEMIJOIN_LEARNER_H_

@@ -1,0 +1,175 @@
+#include "schema/depgraph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace qlearn {
+namespace schema {
+
+using common::SymbolId;
+using twig::Axis;
+using twig::QNodeId;
+using twig::TwigQuery;
+
+namespace {
+
+/// Transitive closure (>= 1 step) of `edges` restricted to `labels`.
+std::map<SymbolId, std::set<SymbolId>> Closure(
+    const std::set<SymbolId>& labels,
+    const std::map<SymbolId, std::set<SymbolId>>& edges) {
+  std::map<SymbolId, std::set<SymbolId>> reach;
+  for (SymbolId a : labels) {
+    // DFS from a.
+    std::vector<SymbolId> stack;
+    auto it = edges.find(a);
+    if (it != edges.end()) {
+      for (SymbolId b : it->second) stack.push_back(b);
+    }
+    while (!stack.empty()) {
+      const SymbolId b = stack.back();
+      stack.pop_back();
+      if (!reach[a].insert(b).second) continue;
+      auto jt = edges.find(b);
+      if (jt != edges.end()) {
+        for (SymbolId c : jt->second) stack.push_back(c);
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace
+
+DependencyGraph::DependencyGraph(const Ms& schema) {
+  labels_ = schema.ProductiveLabels();
+  for (SymbolId a : labels_) {
+    for (const auto& [b, mult] : schema.Children(a)) {
+      if (!labels_.count(b)) continue;  // non-productive children never occur
+      edges_[a].insert(b);
+      if (MultiplicityLo(mult) > 0) certain_edges_[a].insert(b);
+    }
+  }
+  reach_ = Closure(labels_, edges_);
+  certain_reach_ = Closure(labels_, certain_edges_);
+}
+
+bool DependencyGraph::HasEdge(SymbolId a, SymbolId b) const {
+  auto it = edges_.find(a);
+  return it != edges_.end() && it->second.count(b) > 0;
+}
+
+bool DependencyGraph::HasCertainEdge(SymbolId a, SymbolId b) const {
+  auto it = certain_edges_.find(a);
+  return it != certain_edges_.end() && it->second.count(b) > 0;
+}
+
+bool DependencyGraph::Reachable(SymbolId a, SymbolId b) const {
+  auto it = reach_.find(a);
+  return it != reach_.end() && it->second.count(b) > 0;
+}
+
+bool DependencyGraph::CertainReachable(SymbolId a, SymbolId b) const {
+  auto it = certain_reach_.find(a);
+  return it != certain_reach_.end() && it->second.count(b) > 0;
+}
+
+bool DependencyGraph::HasAnyEdge(SymbolId a) const {
+  auto it = edges_.find(a);
+  return it != edges_.end() && !it->second.empty();
+}
+
+bool DependencyGraph::HasAnyCertainEdge(SymbolId a) const {
+  auto it = certain_edges_.find(a);
+  return it != certain_edges_.end() && !it->second.empty();
+}
+
+bool QuerySatisfiable(const Ms& schema, const TwigQuery& query) {
+  const DependencyGraph graph(schema);
+  if (!graph.labels().count(schema.root())) return false;  // no valid doc
+
+  const std::vector<SymbolId> labels(graph.labels().begin(),
+                                     graph.labels().end());
+  auto label_index = [&](SymbolId a) {
+    return static_cast<size_t>(
+        std::lower_bound(labels.begin(), labels.end(), a) - labels.begin());
+  };
+
+  // sat[q][i]: query subtree at q embeds with q mapped to label labels[i].
+  std::vector<std::vector<char>> sat(
+      query.NumNodes(), std::vector<char>(labels.size(), 0));
+  for (QNodeId q = static_cast<QNodeId>(query.NumNodes()); q-- > 1;) {
+    for (size_t i = 0; i < labels.size(); ++i) {
+      const SymbolId a = labels[i];
+      if (query.label(q) != twig::kWildcard && query.label(q) != a) continue;
+      bool ok = true;
+      for (QNodeId c : query.children(q)) {
+        bool placed = false;
+        for (size_t j = 0; j < labels.size() && !placed; ++j) {
+          if (!sat[c][j]) continue;
+          const SymbolId b = labels[j];
+          placed = query.axis(c) == Axis::kChild ? graph.HasEdge(a, b)
+                                                 : graph.Reachable(a, b);
+        }
+        if (!placed) {
+          ok = false;
+          break;
+        }
+      }
+      sat[q][i] = ok ? 1 : 0;
+    }
+  }
+
+  // Root children: child axis -> must map to the schema root; descendant
+  // axis -> the root or anything reachable from it.
+  const size_t root_idx = label_index(schema.root());
+  for (QNodeId c : query.children(0)) {
+    bool placed = false;
+    if (query.axis(c) == Axis::kChild) {
+      placed = sat[c][root_idx] != 0;
+    } else {
+      for (size_t j = 0; j < labels.size() && !placed; ++j) {
+        if (!sat[c][j]) continue;
+        placed = labels[j] == schema.root() ||
+                 graph.Reachable(schema.root(), labels[j]);
+      }
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+bool FilterImplied(const Ms& schema, SymbolId context, const TwigQuery& query,
+                   QNodeId filter_root) {
+  const DependencyGraph graph(schema);
+  if (!graph.labels().count(context)) {
+    // `context` never occurs in a valid document: vacuously implied.
+    return true;
+  }
+
+  // implied(x, a): the filter subtree at x is certainly present beneath any
+  // valid node labeled a, with x mapped appropriately.
+  std::function<bool(QNodeId, SymbolId)> placed_under =
+      [&](QNodeId x, SymbolId a) -> bool {
+    // Find a certain target b for x under a.
+    for (SymbolId b : graph.labels()) {
+      const bool edge_ok = query.axis(x) == Axis::kChild
+                               ? graph.HasCertainEdge(a, b)
+                               : graph.CertainReachable(a, b);
+      if (!edge_ok) continue;
+      if (query.label(x) != twig::kWildcard && query.label(x) != b) continue;
+      bool kids_ok = true;
+      for (QNodeId y : query.children(x)) {
+        if (!placed_under(y, b)) {
+          kids_ok = false;
+          break;
+        }
+      }
+      if (kids_ok) return true;
+    }
+    return false;
+  };
+  return placed_under(filter_root, context);
+}
+
+}  // namespace schema
+}  // namespace qlearn

@@ -1,0 +1,67 @@
+// Dependency graphs of disjunction-free multiplicity schemas, and the two
+// PTIME reductions the paper credits to them (DESIGN.md §2.3):
+//  * twig-query satisfiability in the presence of an MS = embedding of the
+//    query into the allowed-edge graph;
+//  * filter implication = embedding of the filter into the certain-edge
+//    graph (certain edge a->b: every valid a-node has a b child).
+#ifndef QLEARN_SCHEMA_DEPGRAPH_H_
+#define QLEARN_SCHEMA_DEPGRAPH_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/interner.h"
+#include "schema/ms.h"
+#include "twig/twig_query.h"
+
+namespace qlearn {
+namespace schema {
+
+/// The dependency graph of a disjunction-free multiplicity schema: vertices
+/// are productive labels; an edge a->b exists when b may occur below a, and
+/// is *certain* when b must occur below every a.
+class DependencyGraph {
+ public:
+  explicit DependencyGraph(const Ms& schema);
+
+  /// Productive labels of the schema (the graph's vertex set).
+  const std::set<common::SymbolId>& labels() const { return labels_; }
+
+  bool HasEdge(common::SymbolId a, common::SymbolId b) const;
+  bool HasCertainEdge(common::SymbolId a, common::SymbolId b) const;
+
+  /// b reachable from a in >= 1 allowed steps.
+  bool Reachable(common::SymbolId a, common::SymbolId b) const;
+
+  /// b reachable from a in >= 1 certain steps.
+  bool CertainReachable(common::SymbolId a, common::SymbolId b) const;
+
+  /// True iff `a` has any outgoing allowed (resp. certain) edge.
+  bool HasAnyEdge(common::SymbolId a) const;
+  bool HasAnyCertainEdge(common::SymbolId a) const;
+
+ private:
+  std::set<common::SymbolId> labels_;
+  std::map<common::SymbolId, std::set<common::SymbolId>> edges_;
+  std::map<common::SymbolId, std::set<common::SymbolId>> certain_edges_;
+  std::map<common::SymbolId, std::set<common::SymbolId>> reach_;
+  std::map<common::SymbolId, std::set<common::SymbolId>> certain_reach_;
+};
+
+/// True iff some document valid under `schema` matches `query` (and, when
+/// the query has a selection node, selects at least one node — these
+/// coincide). PTIME via embedding into the dependency graph.
+bool QuerySatisfiable(const Ms& schema, const twig::TwigQuery& query);
+
+/// True iff in every valid document, every node labeled `context` has an
+/// embedding of the filter subtree rooted at `filter_root` (a node of
+/// `query`) beneath/at it, i.e. the filter is redundant at that context.
+/// PTIME via embedding into the certain-edge graph.
+bool FilterImplied(const Ms& schema, common::SymbolId context,
+                   const twig::TwigQuery& query, twig::QNodeId filter_root);
+
+}  // namespace schema
+}  // namespace qlearn
+
+#endif  // QLEARN_SCHEMA_DEPGRAPH_H_

@@ -1,0 +1,246 @@
+#include "schema/df_dtd.h"
+
+#include <algorithm>
+
+#include "automata/dfa.h"
+#include "schema/depgraph.h"
+
+namespace qlearn {
+namespace schema {
+
+namespace {
+
+const std::vector<DfFactor>& EmptyRule() {
+  static const std::vector<DfFactor>* kEmpty = new std::vector<DfFactor>();
+  return *kEmpty;
+}
+
+}  // namespace
+
+void DfDtd::SetRule(common::SymbolId label, std::vector<DfFactor> factors) {
+  rules_[label] = std::move(factors);
+}
+
+const std::vector<DfFactor>& DfDtd::Rule(common::SymbolId label) const {
+  auto it = rules_.find(label);
+  return it == rules_.end() ? EmptyRule() : it->second;
+}
+
+std::vector<common::SymbolId> DfDtd::Labels() const {
+  std::vector<common::SymbolId> out;
+  out.reserve(rules_.size());
+  for (const auto& [label, factors] : rules_) out.push_back(label);
+  return out;
+}
+
+bool DfDtd::MatchesWord(const std::vector<DfFactor>& factors,
+                        const std::vector<common::SymbolId>& word) {
+  // reachable[f]: the word prefix consumed so far can stand at the boundary
+  // before factor f. Greedy is wrong for models like "a* a", so we carry the
+  // full boundary set; within one factor a^M we consume maximal runs and
+  // enumerate the counts the multiplicity allows.
+  const size_t k = factors.size();
+  const size_t n = word.size();
+  // dp[f][i]: position i reachable with factors [0,f) fully matched.
+  std::vector<std::vector<bool>> dp(k + 1, std::vector<bool>(n + 1, false));
+  dp[0][0] = true;
+  for (size_t f = 0; f < k; ++f) {
+    const DfFactor& factor = factors[f];
+    const int lo = MultiplicityLo(factor.mult);
+    const int hi = MultiplicityHi(factor.mult);
+    for (size_t i = 0; i <= n; ++i) {
+      if (!dp[f][i]) continue;
+      // Consume c >= lo copies of factor.symbol starting at i.
+      size_t run = 0;
+      while (i + run < n && word[i + run] == factor.symbol) ++run;
+      for (size_t c = 0; c <= run; ++c) {
+        if (static_cast<int>(c) < lo) continue;
+        if (hi != kUnbounded && static_cast<int>(c) > hi) break;
+        dp[f + 1][i + c] = true;
+      }
+    }
+  }
+  return dp[k][n];
+}
+
+bool DfDtd::Validates(const xml::XmlTree& doc) const {
+  if (doc.empty() || doc.label(doc.root()) != root_) return false;
+  for (xml::NodeId n : doc.PreOrder()) {
+    std::vector<common::SymbolId> word;
+    word.reserve(doc.children(n).size());
+    for (xml::NodeId c : doc.children(n)) word.push_back(doc.label(c));
+    if (!MatchesWord(Rule(doc.label(n)), word)) return false;
+  }
+  return true;
+}
+
+automata::RegexPtr DfDtd::RuleAsRegex(common::SymbolId label) const {
+  const std::vector<DfFactor>& factors = Rule(label);
+  if (factors.empty()) return automata::Regex::Epsilon();
+  std::vector<automata::RegexPtr> parts;
+  parts.reserve(factors.size());
+  for (const DfFactor& f : factors) {
+    automata::RegexPtr atom = automata::Regex::Symbol(f.symbol);
+    switch (f.mult) {
+      case Multiplicity::kZero:
+        atom = automata::Regex::Epsilon();
+        break;
+      case Multiplicity::kOne:
+        break;
+      case Multiplicity::kOpt:
+        atom = automata::Regex::Opt(std::move(atom));
+        break;
+      case Multiplicity::kPlus:
+        atom = automata::Regex::Plus(std::move(atom));
+        break;
+      case Multiplicity::kStar:
+        atom = automata::Regex::Star(std::move(atom));
+        break;
+    }
+    parts.push_back(std::move(atom));
+  }
+  return automata::Regex::Concat(std::move(parts));
+}
+
+Ms DfDtd::ToMs() const {
+  Ms ms(root_);
+  for (const auto& [label, factors] : rules_) {
+    if (factors.empty()) {
+      ms.AddLeafLabel(label);
+      continue;
+    }
+    // Combine per-symbol interval sums: lower = Σ lowers, upper = Σ uppers.
+    std::map<common::SymbolId, std::pair<int, int>> ranges;  // lo, hi
+    for (const DfFactor& f : factors) {
+      auto& [lo, hi] = ranges.emplace(f.symbol, std::make_pair(0, 0)).first
+                           ->second;
+      lo += MultiplicityLo(f.mult);
+      const int fhi = MultiplicityHi(f.mult);
+      if (hi != kUnbounded) {
+        hi = fhi == kUnbounded ? kUnbounded : hi + fhi;
+      }
+    }
+    bool any = false;
+    for (const auto& [symbol, range] : ranges) {
+      if (range.second == 0) continue;  // only zero-multiplicity factors
+      ms.SetMultiplicity(label, symbol,
+                         MultiplicityFromRange(range.first, range.second));
+      any = true;
+    }
+    if (!any) ms.AddLeafLabel(label);
+  }
+  if (rules_.find(root_) == rules_.end() && root_ != common::kNoSymbol) {
+    ms.AddLeafLabel(root_);
+  }
+  return ms;
+}
+
+std::set<common::SymbolId> DfDtd::ProductiveLabels() const {
+  return ToMs().ProductiveLabels();
+}
+
+std::string DfDtd::ToString(const common::Interner& interner) const {
+  std::string out;
+  out += "root: ";
+  out += root_ == common::kNoSymbol ? "?" : interner.Name(root_);
+  out += "\n";
+  for (const auto& [label, factors] : rules_) {
+    out += interner.Name(label);
+    out += " ->";
+    if (factors.empty()) out += " ()";
+    for (const DfFactor& f : factors) {
+      out += " ";
+      out += interner.Name(f.symbol);
+      const std::string m = MultiplicityToString(f.mult);
+      if (m != "1") out += m;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+bool QuerySatisfiable(const DfDtd& dtd, const twig::TwigQuery& query) {
+  return QuerySatisfiable(dtd.ToMs(), query);
+}
+
+bool FilterImplied(const DfDtd& dtd, common::SymbolId context,
+                   const twig::TwigQuery& query, twig::QNodeId filter_root) {
+  return FilterImplied(dtd.ToMs(), context, query, filter_root);
+}
+
+DfDtdContainment CheckDfDtdContainment(const DfDtd& inner,
+                                       const DfDtd& outer) {
+  DfDtdContainment result;
+  const std::set<common::SymbolId> productive = inner.ProductiveLabels();
+  // An inner schema with an unproductive root has the empty language, which
+  // is contained in anything.
+  if (inner.root() == common::kNoSymbol ||
+      productive.find(inner.root()) == productive.end()) {
+    result.contained = true;
+    return result;
+  }
+  if (inner.root() != outer.root()) {
+    result.contained = false;
+    result.witness_label = inner.root();
+    return result;
+  }
+
+  // Labels reachable in actual inner trees: allowed-edge reachability from
+  // the root through productive labels.
+  std::set<common::SymbolId> reachable{inner.root()};
+  std::vector<common::SymbolId> stack{inner.root()};
+  while (!stack.empty()) {
+    const common::SymbolId label = stack.back();
+    stack.pop_back();
+    for (const DfFactor& f : inner.Rule(label)) {
+      if (MultiplicityHi(f.mult) == 0) continue;
+      if (productive.find(f.symbol) == productive.end()) continue;
+      if (reachable.insert(f.symbol).second) stack.push_back(f.symbol);
+    }
+  }
+
+  for (common::SymbolId label : reachable) {
+    // Inner content language restricted to productive symbols (only those
+    // can appear in finite valid trees) must be included in the outer
+    // content language.
+    std::vector<DfFactor> restricted;
+    for (const DfFactor& f : inner.Rule(label)) {
+      if (productive.find(f.symbol) != productive.end()) {
+        restricted.push_back(f);
+      } else if (MultiplicityLo(f.mult) >= 1) {
+        // A required unproductive child: the label itself is unproductive;
+        // it cannot be reachable, but guard anyway.
+        restricted.clear();
+        break;
+      }
+    }
+    DfDtd probe;
+    probe.SetRule(label, restricted);
+    automata::RegexPtr inner_regex = probe.RuleAsRegex(label);
+    automata::RegexPtr outer_regex = outer.RuleAsRegex(label);
+    // A shared complete alphabet for both DFAs.
+    std::vector<common::SymbolId> alphabet = inner_regex->Alphabet();
+    for (common::SymbolId s : outer_regex->Alphabet()) alphabet.push_back(s);
+    std::sort(alphabet.begin(), alphabet.end());
+    alphabet.erase(std::unique(alphabet.begin(), alphabet.end()),
+                   alphabet.end());
+    const automata::Dfa inner_dfa =
+        automata::Dfa::FromRegex(*inner_regex, alphabet);
+    const automata::Dfa outer_dfa =
+        automata::Dfa::FromRegex(*outer_regex, alphabet);
+    if (!automata::Dfa::Contains(outer_dfa, inner_dfa)) {
+      result.contained = false;
+      result.witness_label = label;
+      if (auto witness =
+              automata::Dfa::DifferenceWitness(inner_dfa, outer_dfa)) {
+        result.witness_word = std::move(*witness);
+      }
+      return result;
+    }
+  }
+  result.contained = true;
+  return result;
+}
+
+}  // namespace schema
+}  // namespace qlearn

@@ -1,0 +1,115 @@
+// Disjunction-free DTDs: ordered content models that are concatenations of
+// multiplicity factors a^M (e.g. "title author+ year?"), the DTD fragment
+// for which the paper proves its strongest claims (§2): query implication in
+// their presence is PTIME, while schema containment is coNP-complete (vs
+// EXPTIME-complete for full DTDs and PTIME for DMS).
+//
+// The PTIME procedures work through an order-and-count projection onto the
+// unordered disjunction-free multiplicity schemas: twig queries cannot
+// observe sibling order, and embeddings need not be injective, so only two
+// facts per (label, child) pair matter — may the child occur (some factor
+// with upper bound >= 1) and must it occur (some factor with lower bound
+// >= 1). The projection preserves both exactly.
+#ifndef QLEARN_SCHEMA_DF_DTD_H_
+#define QLEARN_SCHEMA_DF_DTD_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/regex.h"
+#include "common/interner.h"
+#include "schema/ms.h"
+#include "schema/multiplicity.h"
+#include "twig/twig_query.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace schema {
+
+/// One factor a^M of a disjunction-free content model. The same symbol may
+/// appear in several factors ("a b a" is a valid model).
+struct DfFactor {
+  common::SymbolId symbol;
+  Multiplicity mult = Multiplicity::kOne;
+};
+
+/// An ordered DTD whose every content model is a concatenation of factors.
+class DfDtd {
+ public:
+  DfDtd() = default;
+  explicit DfDtd(common::SymbolId root) : root_(root) {}
+
+  common::SymbolId root() const { return root_; }
+  void set_root(common::SymbolId root) { root_ = root; }
+
+  /// Sets the content model of `label`. An empty vector (or an absent rule)
+  /// means leaf-only content.
+  void SetRule(common::SymbolId label, std::vector<DfFactor> factors);
+
+  /// Content model of `label` (empty when leaf / undeclared).
+  const std::vector<DfFactor>& Rule(common::SymbolId label) const;
+
+  /// Labels with declared rules, sorted.
+  std::vector<common::SymbolId> Labels() const;
+
+  /// True iff the root matches and every node's ordered child-label word
+  /// matches its label's factor sequence (decided by a position/factor DP,
+  /// since greedy matching is wrong for models like "a* a").
+  bool Validates(const xml::XmlTree& doc) const;
+
+  /// True iff `word` is in the content language of `factors`.
+  static bool MatchesWord(const std::vector<DfFactor>& factors,
+                          const std::vector<common::SymbolId>& word);
+
+  /// The content model as a regex (for the automata-based procedures).
+  automata::RegexPtr RuleAsRegex(common::SymbolId label) const;
+
+  /// The order/count projection onto an unordered MS: for every (label,
+  /// child), allowed iff some factor allows it, required iff some factor
+  /// requires it. Exact for the twig-query procedures (see header comment).
+  Ms ToMs() const;
+
+  /// Labels that can appear in some finite valid tree.
+  std::set<common::SymbolId> ProductiveLabels() const;
+
+  /// Multi-line rendering "label -> a b* c?".
+  std::string ToString(const common::Interner& interner) const;
+
+ private:
+  common::SymbolId root_ = common::kNoSymbol;
+  std::map<common::SymbolId, std::vector<DfFactor>> rules_;
+};
+
+/// PTIME twig-query satisfiability in the presence of a DF-DTD (via the MS
+/// projection and the dependency-graph embedding).
+bool QuerySatisfiable(const DfDtd& dtd, const twig::TwigQuery& query);
+
+/// PTIME filter implication in the presence of a DF-DTD — the paper's
+/// headline tractability claim for this fragment. Semantics match
+/// schema::FilterImplied on the projection.
+bool FilterImplied(const DfDtd& dtd, common::SymbolId context,
+                   const twig::TwigQuery& query, twig::QNodeId filter_root);
+
+/// Outcome of DF-DTD containment.
+struct DfDtdContainment {
+  bool contained = false;
+  /// When not contained: a label and a child word valid under the inner
+  /// schema but not the outer one (the coNP certificate).
+  common::SymbolId witness_label = common::kNoSymbol;
+  std::vector<common::SymbolId> witness_word;
+};
+
+/// Schema containment L(inner) ⊆ L(outer) — the problem the paper proves
+/// coNP-complete for this fragment. Decided exactly: per productive-and-
+/// reachable inner label, DFA inclusion of the inner content language
+/// (restricted to inner-productive symbols) in the outer content language.
+/// Worst-case exponential in the factor count (subset construction), the
+/// expected price of a coNP-complete problem.
+DfDtdContainment CheckDfDtdContainment(const DfDtd& inner, const DfDtd& outer);
+
+}  // namespace schema
+}  // namespace qlearn
+
+#endif  // QLEARN_SCHEMA_DF_DTD_H_

@@ -1,0 +1,416 @@
+#include "schema/dme.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <set>
+
+#include "common/strings.h"
+
+namespace qlearn {
+namespace schema {
+
+using common::Result;
+using common::Status;
+using common::SymbolId;
+
+namespace {
+
+/// Counts capped at this value determine clause satisfaction (see header).
+constexpr int kCountCap = 2;
+
+int CountOf(const Bag& bag, SymbolId s) {
+  auto it = bag.find(s);
+  return it == bag.end() ? 0 : it->second;
+}
+
+/// True iff `allowed` is null (everything allowed) or contains `s`.
+bool Allowed(const std::set<SymbolId>* allowed, SymbolId s) {
+  return allowed == nullptr || allowed->count(s) > 0;
+}
+
+/// Enumerates assignments of {0..kCountCap} to `free_syms`, overlaying them
+/// on `fixed`, and returns true iff `pred` holds for some assignment.
+/// Symbols outside `allowed` are pinned to 0.
+bool ExistsAssignment(const std::vector<SymbolId>& free_syms, Bag fixed,
+                      const std::set<SymbolId>* allowed,
+                      const std::function<bool(const Bag&)>& pred) {
+  std::function<bool(size_t)> rec = [&](size_t i) -> bool {
+    if (i == free_syms.size()) return pred(fixed);
+    const int cap = Allowed(allowed, free_syms[i]) ? kCountCap : 0;
+    for (int c = 0; c <= cap; ++c) {
+      if (c == 0) {
+        fixed.erase(free_syms[i]);
+      } else {
+        fixed[free_syms[i]] = c;
+      }
+      if (rec(i + 1)) return true;
+    }
+    fixed.erase(free_syms[i]);
+    return false;
+  };
+  return rec(0);
+}
+
+}  // namespace
+
+bool Clause::Accepts(const Bag& bag) const {
+  // Range [min_parts, max_parts] of the number of parts m; satisfaction
+  // requires the range to intersect the clause multiplicity's interval.
+  long min_parts = 0;
+  long max_parts = 0;
+  bool max_unbounded = false;
+  for (const Atom& atom : atoms) {
+    const int c = CountOf(bag, atom.symbol);
+    const int lo = MultiplicityLo(atom.mult);
+    const int hi = MultiplicityHi(atom.mult);
+    if (c > 0 && hi == 0) return false;  // symbol barred by multiplicity 0
+    if (c > 0) {
+      min_parts += (hi == kUnbounded) ? 1 : (c + hi - 1) / hi;
+    }
+    if (lo == 0) {
+      max_unbounded = true;  // empty padding parts are allowed
+    } else if (c > 0) {
+      max_parts += c / lo;
+    }
+  }
+  const int nlo = MultiplicityLo(mult);
+  const int nhi = MultiplicityHi(mult);
+  // Intersect [min_parts, max_parts(:∞)] with [nlo, nhi(:∞)].
+  if (nhi != kUnbounded && min_parts > nhi) return false;
+  if (!max_unbounded && max_parts < nlo) return false;
+  return true;
+}
+
+Result<Dme> Dme::Create(std::vector<Clause> clauses) {
+  std::set<SymbolId> seen;
+  for (const Clause& c : clauses) {
+    if (c.atoms.empty()) {
+      return Status::InvalidArgument("DME clause with no atoms");
+    }
+    for (const Atom& a : c.atoms) {
+      if (!seen.insert(a.symbol).second) {
+        return Status::InvalidArgument(
+            "symbol occurs twice in DME (single-occurrence violation)");
+      }
+    }
+  }
+  Dme dme;
+  dme.clauses_ = std::move(clauses);
+  return dme;
+}
+
+Dme Dme::FromSymbolMultiplicities(
+    const std::vector<std::pair<SymbolId, Multiplicity>>& entries) {
+  Dme dme;
+  for (const auto& [symbol, mult] : entries) {
+    Clause c;
+    c.atoms.push_back(Atom{symbol, mult});
+    c.mult = Multiplicity::kOne;
+    dme.clauses_.push_back(std::move(c));
+  }
+  return dme;
+}
+
+std::vector<SymbolId> Dme::Symbols() const {
+  std::vector<SymbolId> out;
+  for (const Clause& c : clauses_) {
+    for (const Atom& a : c.atoms) out.push_back(a.symbol);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Dme::Accepts(const Bag& bag) const {
+  const std::vector<SymbolId> own = Symbols();
+  for (const auto& [symbol, count] : bag) {
+    if (count > 0 && !std::binary_search(own.begin(), own.end(), symbol)) {
+      return false;  // foreign symbol
+    }
+  }
+  for (const Clause& c : clauses_) {
+    if (!c.Accepts(bag)) return false;
+  }
+  return true;
+}
+
+bool Dme::AcceptsEmpty() const { return Accepts(Bag{}); }
+
+namespace {
+
+bool CanContainImpl(const std::vector<Clause>& clauses, SymbolId symbol,
+                    const std::set<SymbolId>* allowed) {
+  if (!Allowed(allowed, symbol)) return false;
+  for (const Clause& c : clauses) {
+    bool owns = false;
+    for (const Atom& a : c.atoms) owns = owns || a.symbol == symbol;
+    if (!owns) continue;
+    std::vector<SymbolId> free_syms;
+    for (const Atom& other : c.atoms) {
+      if (other.symbol != symbol) free_syms.push_back(other.symbol);
+    }
+    for (int cnt = 1; cnt <= kCountCap; ++cnt) {
+      Bag fixed{{symbol, cnt}};
+      if (ExistsAssignment(free_syms, fixed, allowed,
+                           [&](const Bag& b) { return c.Accepts(b); })) {
+        return true;
+      }
+    }
+    return false;
+  }
+  return false;
+}
+
+bool ClauseSatisfiable(const Clause& c, const std::set<SymbolId>* allowed) {
+  std::vector<SymbolId> syms;
+  for (const Atom& a : c.atoms) syms.push_back(a.symbol);
+  return ExistsAssignment(syms, Bag{}, allowed,
+                          [&](const Bag& b) { return c.Accepts(b); });
+}
+
+}  // namespace
+
+bool Dme::CanContain(SymbolId symbol) const {
+  return CanContainImpl(clauses_, symbol, nullptr);
+}
+
+bool Dme::CanContainOver(SymbolId symbol,
+                         const std::set<SymbolId>& allowed) const {
+  if (!CanContainImpl(clauses_, symbol, &allowed)) return false;
+  // The other clauses must also be satisfiable over `allowed`.
+  for (const Clause& c : clauses_) {
+    bool owns = false;
+    for (const Atom& a : c.atoms) owns = owns || a.symbol == symbol;
+    if (!owns && !ClauseSatisfiable(c, &allowed)) return false;
+  }
+  return true;
+}
+
+bool Dme::SatisfiableOver(const std::set<SymbolId>& allowed) const {
+  for (const Clause& c : clauses_) {
+    if (!ClauseSatisfiable(c, &allowed)) return false;
+  }
+  return true;
+}
+
+bool Dme::Requires(SymbolId symbol) const {
+  for (const Clause& c : clauses_) {
+    for (const Atom& a : c.atoms) {
+      if (a.symbol != symbol) continue;
+      std::vector<SymbolId> free_syms;
+      for (const Atom& other : c.atoms) {
+        if (other.symbol != symbol) free_syms.push_back(other.symbol);
+      }
+      // Required iff the clause rejects every bag with count 0 for symbol.
+      return !ExistsAssignment(
+          free_syms, Bag{}, nullptr,
+          [&](const Bag& b) { return c.Accepts(b); });
+    }
+  }
+  return false;
+}
+
+bool Dme::ContainedIn(const Dme& other) const {
+  return ContainedInOver(other, {});  // empty set sentinel handled below
+}
+
+bool Dme::ContainedInOver(const Dme& other,
+                          const std::set<SymbolId>& allowed_set) const {
+  // An empty `allowed_set` means "no restriction" (callers wanting a truly
+  // empty alphabet have an empty language anyway).
+  const std::set<SymbolId>* allowed =
+      allowed_set.empty() ? nullptr : &allowed_set;
+  return ContainedInImpl(other, allowed);
+}
+
+bool Dme::ContainedInImpl(const Dme& other,
+                          const std::set<common::SymbolId>* allowed) const {
+  // Degenerate case: if some clause of `this` accepts no assignment at all,
+  // the language is empty and containment holds vacuously.
+  for (const Clause& c : clauses_) {
+    if (!ClauseSatisfiable(c, allowed)) return true;
+  }
+
+  const std::vector<SymbolId> own = Symbols();
+  const std::vector<SymbolId> theirs = other.Symbols();
+
+  // A symbol producible by `this` but unknown to `other` is a counterexample.
+  // (All clauses are satisfiable here, so the local check is exact.)
+  for (SymbolId s : own) {
+    if (!std::binary_search(theirs.begin(), theirs.end(), s) &&
+        CanContainImpl(clauses_, s, allowed)) {
+      return false;
+    }
+  }
+
+  // For each clause D of `other`, search for a capped assignment of D's
+  // symbols that D rejects but every clause of `this` can extend to an
+  // accepted bag (counts of symbols outside D are free per `this`-clause).
+  for (const Clause& d : other.clauses_) {
+    std::vector<SymbolId> d_syms_in_this;
+    for (const Atom& a : d.atoms) {
+      if (std::binary_search(own.begin(), own.end(), a.symbol)) {
+        d_syms_in_this.push_back(a.symbol);
+      }
+    }
+    // Enumerate capped assignments over D's symbols that `this` knows;
+    // symbols D knows but `this` does not are fixed to 0.
+    std::vector<int> counts(d_syms_in_this.size(), 0);
+    std::function<bool(size_t)> search = [&](size_t i) -> bool {
+      if (i == d_syms_in_this.size()) {
+        Bag v;
+        for (size_t k = 0; k < d_syms_in_this.size(); ++k) {
+          if (counts[k] > 0) v[d_syms_in_this[k]] = counts[k];
+        }
+        if (d.Accepts(v)) return false;  // not a violation of D
+        // Check every clause of `this` extends v to an accepted bag.
+        for (const Clause& c : clauses_) {
+          Bag fixed;
+          std::vector<SymbolId> free_syms;
+          for (const Atom& a : c.atoms) {
+            auto it = v.find(a.symbol);
+            bool is_d_sym = false;
+            for (SymbolId ds : d_syms_in_this) {
+              if (ds == a.symbol) is_d_sym = true;
+            }
+            if (is_d_sym) {
+              if (it != v.end()) fixed[a.symbol] = it->second;
+            } else {
+              free_syms.push_back(a.symbol);
+            }
+          }
+          if (!ExistsAssignment(free_syms, fixed, allowed,
+                                [&](const Bag& b) { return c.Accepts(b); })) {
+            return false;  // this clause cannot host v; try next assignment
+          }
+        }
+        return true;  // counterexample found
+      }
+      const int cap = Allowed(allowed, d_syms_in_this[i]) ? kCountCap : 0;
+      for (int c = 0; c <= cap; ++c) {
+        counts[i] = c;
+        if (search(i + 1)) return true;
+      }
+      counts[i] = 0;
+      return false;
+    };
+    if (search(0)) return false;
+  }
+  return true;
+}
+
+std::string Dme::ToString(const common::Interner& interner) const {
+  std::string out;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Clause& c = clauses_[i];
+    const bool wrap = c.atoms.size() > 1 || c.mult != Multiplicity::kOne;
+    if (wrap && c.atoms.size() > 1) out += "(";
+    for (size_t j = 0; j < c.atoms.size(); ++j) {
+      if (j > 0) out += "|";
+      out += interner.Name(c.atoms[j].symbol);
+      if (c.atoms[j].mult != Multiplicity::kOne) {
+        out += MultiplicityToString(c.atoms[j].mult);
+      }
+    }
+    if (wrap && c.atoms.size() > 1) out += ")";
+    if (c.mult != Multiplicity::kOne) out += MultiplicityToString(c.mult);
+  }
+  return out;
+}
+
+Result<Dme> ParseDme(std::string_view text, common::Interner* interner) {
+  std::vector<Clause> clauses;
+  const std::string_view trimmed = common::Trim(text);
+  if (trimmed.empty()) return Dme::Create({});
+
+  size_t pos = 0;
+  auto skip_space = [&]() {
+    while (pos < trimmed.size() &&
+           std::isspace(static_cast<unsigned char>(trimmed[pos]))) {
+      ++pos;
+    }
+  };
+  auto parse_mult = [&](Multiplicity fallback) {
+    if (pos < trimmed.size()) {
+      if (trimmed[pos] == '?') {
+        ++pos;
+        return Multiplicity::kOpt;
+      }
+      if (trimmed[pos] == '+') {
+        ++pos;
+        return Multiplicity::kPlus;
+      }
+      if (trimmed[pos] == '*') {
+        ++pos;
+        return Multiplicity::kStar;
+      }
+    }
+    return fallback;
+  };
+  auto parse_atom = [&]() -> Result<Atom> {
+    skip_space();
+    const size_t start = pos;
+    while (pos < trimmed.size() &&
+           (std::isalnum(static_cast<unsigned char>(trimmed[pos])) ||
+            trimmed[pos] == '_' || trimmed[pos] == '@' ||
+            trimmed[pos] == '#' || trimmed[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) {
+      return Status::ParseError("expected symbol in DME '" +
+                                std::string(text) + "' at offset " +
+                                std::to_string(pos));
+    }
+    Atom atom;
+    atom.symbol = interner->Intern(trimmed.substr(start, pos - start));
+    atom.mult = parse_mult(Multiplicity::kOne);
+    return atom;
+  };
+
+  for (;;) {
+    skip_space();
+    Clause clause;
+    if (pos < trimmed.size() && trimmed[pos] == '(') {
+      ++pos;
+      for (;;) {
+        auto atom = parse_atom();
+        if (!atom.ok()) return atom.status();
+        clause.atoms.push_back(atom.value());
+        skip_space();
+        if (pos < trimmed.size() && trimmed[pos] == '|') {
+          ++pos;
+          continue;
+        }
+        break;
+      }
+      skip_space();
+      if (pos >= trimmed.size() || trimmed[pos] != ')') {
+        return Status::ParseError("expected ')' in DME '" + std::string(text) +
+                                  "'");
+      }
+      ++pos;
+      clause.mult = parse_mult(Multiplicity::kOne);
+    } else {
+      auto atom = parse_atom();
+      if (!atom.ok()) return atom.status();
+      clause.atoms.push_back(atom.value());
+      clause.mult = Multiplicity::kOne;
+    }
+    clauses.push_back(std::move(clause));
+    skip_space();
+    if (pos < trimmed.size() && trimmed[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+  if (pos != trimmed.size()) {
+    return Status::ParseError("trailing input in DME '" + std::string(text) +
+                              "' at offset " + std::to_string(pos));
+  }
+  return Dme::Create(std::move(clauses));
+}
+
+}  // namespace schema
+}  // namespace qlearn

@@ -1,0 +1,121 @@
+// Disjunctive multiplicity expressions (DMEs): unordered content models of
+// the form  C1 || C2 || ... || Cn  with clauses  (a1^M1 | ... | ak^Mk)^N
+// under the single-occurrence restriction (DESIGN.md §2.3).
+//
+// Membership is decided per clause by counting: a bag B satisfies a clause
+// iff B can be split into m non-phantom parts, each part being a run of one
+// alternative's symbol with size in that atom's multiplicity, where m lies in
+// the clause multiplicity (atoms whose multiplicity contains 0 may also
+// contribute empty "padding" parts). With multiplicities restricted to
+// {0,1,?,+,*}, satisfaction depends only on per-symbol counts capped at 2,
+// which the containment test exploits (see dme.cc).
+#ifndef QLEARN_SCHEMA_DME_H_
+#define QLEARN_SCHEMA_DME_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "schema/multiplicity.h"
+
+namespace qlearn {
+namespace schema {
+
+/// A bag of symbols: symbol -> count (counts >= 1; absent means 0).
+using Bag = std::map<common::SymbolId, int>;
+
+/// One alternative of a clause: a symbol with its multiplicity.
+struct Atom {
+  common::SymbolId symbol;
+  Multiplicity mult;
+};
+
+/// A disjunction clause with an outer multiplicity.
+struct Clause {
+  std::vector<Atom> atoms;
+  Multiplicity mult = Multiplicity::kOne;
+
+  /// True iff the clause accepts the counts of its own symbols in `bag`
+  /// (symbols of other clauses are ignored).
+  bool Accepts(const Bag& bag) const;
+};
+
+/// A disjunctive multiplicity expression.
+class Dme {
+ public:
+  Dme() = default;
+
+  /// Builds from clauses; fails unless every symbol occurs at most once
+  /// across the whole expression (single-occurrence restriction).
+  static common::Result<Dme> Create(std::vector<Clause> clauses);
+
+  /// Convenience: one single-atom clause per (symbol, multiplicity) entry,
+  /// i.e. a disjunction-free expression.
+  static Dme FromSymbolMultiplicities(
+      const std::vector<std::pair<common::SymbolId, Multiplicity>>& entries);
+
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  /// All symbols of the expression, sorted.
+  std::vector<common::SymbolId> Symbols() const;
+
+  /// True iff `bag` uses only this expression's symbols and every clause
+  /// accepts its projection of `bag`.
+  bool Accepts(const Bag& bag) const;
+
+  /// True iff the empty bag is accepted.
+  bool AcceptsEmpty() const;
+
+  /// Exact language inclusion L(this) ⊆ L(other); exponential only in the
+  /// maximum clause arity (PTIME for bounded-arity clauses, matching the
+  /// paper's tractability claim). See dme.cc for the capped-counterexample
+  /// argument.
+  bool ContainedIn(const Dme& other) const;
+
+  /// True iff some accepted bag has count >= 1 for `symbol`.
+  bool CanContain(common::SymbolId symbol) const;
+
+  /// True iff every accepted bag has count >= 1 for `symbol`.
+  bool Requires(common::SymbolId symbol) const;
+
+  // -- Restricted-alphabet variants -------------------------------------
+  // These consider only bags whose symbols all lie in `allowed`; they drive
+  // the productivity-aware schema containment of Dms (DESIGN.md §2.3).
+
+  /// True iff some bag over `allowed` is accepted.
+  bool SatisfiableOver(const std::set<common::SymbolId>& allowed) const;
+
+  /// True iff some accepted bag over `allowed` has count >= 1 for `symbol`.
+  bool CanContainOver(common::SymbolId symbol,
+                      const std::set<common::SymbolId>& allowed) const;
+
+  /// L(this) ∩ bags-over-`allowed` ⊆ L(other).
+  bool ContainedInOver(const Dme& other,
+                       const std::set<common::SymbolId>& allowed) const;
+
+  /// Rendering, e.g. "name, phone?, (homepage|creditcard)?, interest*".
+  std::string ToString(const common::Interner& interner) const;
+
+ private:
+  bool ContainedInImpl(const Dme& other,
+                       const std::set<common::SymbolId>* allowed) const;
+
+  std::vector<Clause> clauses_;
+};
+
+/// Parses the textual DME syntax:
+///   dme    := clause (',' clause)* | ''        (empty = no children allowed)
+///   clause := '(' atom ('|' atom)* ')' mult? | atom
+///   atom   := label mult?
+///   mult   := '?' | '+' | '*'
+common::Result<Dme> ParseDme(std::string_view text,
+                             common::Interner* interner);
+
+}  // namespace schema
+}  // namespace qlearn
+
+#endif  // QLEARN_SCHEMA_DME_H_

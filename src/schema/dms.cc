@@ -1,0 +1,129 @@
+#include "schema/dms.h"
+
+namespace qlearn {
+namespace schema {
+
+using common::Status;
+using common::SymbolId;
+
+void Dms::SetRule(SymbolId label, Dme content) {
+  rules_[label] = std::move(content);
+}
+
+const Dme* Dms::Rule(SymbolId label) const {
+  auto it = rules_.find(label);
+  return it == rules_.end() ? nullptr : &it->second;
+}
+
+std::vector<SymbolId> Dms::Labels() const {
+  std::vector<SymbolId> out;
+  out.reserve(rules_.size());
+  for (const auto& [label, rule] : rules_) {
+    (void)rule;
+    out.push_back(label);
+  }
+  return out;
+}
+
+bool Dms::Validates(const xml::XmlTree& doc) const {
+  if (doc.empty() || doc.label(doc.root()) != root_) return false;
+  for (xml::NodeId n : doc.PreOrder()) {
+    const Dme* rule = Rule(doc.label(n));
+    if (rule == nullptr) return false;
+    Bag bag;
+    for (SymbolId s : doc.ChildLabelBag(n)) ++bag[s];
+    if (!rule->Accepts(bag)) return false;
+  }
+  return true;
+}
+
+Status Dms::Validate(const xml::XmlTree& doc,
+                     const common::Interner& interner) const {
+  if (doc.empty()) return Status::InvalidArgument("empty document");
+  if (doc.label(doc.root()) != root_) {
+    return Status::InvalidArgument(
+        "root label '" + interner.Name(doc.label(doc.root())) +
+        "' does not match schema root '" + interner.Name(root_) + "'");
+  }
+  for (xml::NodeId n : doc.PreOrder()) {
+    const Dme* rule = Rule(doc.label(n));
+    if (rule == nullptr) {
+      return Status::InvalidArgument("no rule for label '" +
+                                     interner.Name(doc.label(n)) + "'");
+    }
+    Bag bag;
+    for (SymbolId s : doc.ChildLabelBag(n)) ++bag[s];
+    if (!rule->Accepts(bag)) {
+      return Status::InvalidArgument(
+          "children of a node labeled '" + interner.Name(doc.label(n)) +
+          "' violate content model '" + rule->ToString(interner) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::set<SymbolId> Dms::ProductiveLabels() const {
+  std::set<SymbolId> productive;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [label, rule] : rules_) {
+      if (productive.count(label)) continue;
+      if (rule.SatisfiableOver(productive)) {
+        productive.insert(label);
+        changed = true;
+      }
+    }
+  }
+  return productive;
+}
+
+std::set<SymbolId> Dms::ReachableLabels() const {
+  const std::set<SymbolId> productive = ProductiveLabels();
+  std::set<SymbolId> reachable;
+  if (!productive.count(root_)) return reachable;
+  std::vector<SymbolId> frontier{root_};
+  reachable.insert(root_);
+  while (!frontier.empty()) {
+    const SymbolId label = frontier.back();
+    frontier.pop_back();
+    const Dme* rule = Rule(label);
+    if (rule == nullptr) continue;
+    for (SymbolId s : rule->Symbols()) {
+      if (reachable.count(s) || !productive.count(s)) continue;
+      if (rule->CanContainOver(s, productive)) {
+        reachable.insert(s);
+        frontier.push_back(s);
+      }
+    }
+  }
+  return reachable;
+}
+
+bool Dms::Satisfiable() const {
+  return root_ != common::kNoSymbol && ProductiveLabels().count(root_) > 0;
+}
+
+bool Dms::ContainedIn(const Dms& other) const {
+  if (!Satisfiable()) return true;
+  if (root_ != other.root_) return false;
+  const std::set<SymbolId> productive = ProductiveLabels();
+  for (SymbolId label : ReachableLabels()) {
+    const Dme* mine = Rule(label);
+    const Dme* theirs = other.Rule(label);
+    if (theirs == nullptr) return false;
+    if (!mine->ContainedInOver(*theirs, productive)) return false;
+  }
+  return true;
+}
+
+std::string Dms::ToString(const common::Interner& interner) const {
+  std::string out = "root: " + interner.Name(root_) + "\n";
+  for (const auto& [label, rule] : rules_) {
+    out += interner.Name(label) + " -> " + rule.ToString(interner) + "\n";
+  }
+  return out;
+}
+
+}  // namespace schema
+}  // namespace qlearn

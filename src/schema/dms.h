@@ -1,0 +1,80 @@
+// Disjunctive multiplicity schemas (DMS): a root label plus one DME content
+// model per label (DESIGN.md §2.3). Provides validation, productivity /
+// reachability analysis, and the PTIME containment test the paper highlights
+// as a technical contribution.
+#ifndef QLEARN_SCHEMA_DMS_H_
+#define QLEARN_SCHEMA_DMS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "schema/dme.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace schema {
+
+/// A disjunctive multiplicity schema.
+class Dms {
+ public:
+  Dms() = default;
+
+  /// Creates a schema with the given root label.
+  explicit Dms(common::SymbolId root) : root_(root) {}
+
+  common::SymbolId root() const { return root_; }
+  void set_root(common::SymbolId root) { root_ = root; }
+
+  /// Sets the content model of `label` (replacing any previous one).
+  void SetRule(common::SymbolId label, Dme content);
+
+  /// Returns the content model of `label`, or nullptr if `label` is not in
+  /// the schema's alphabet.
+  const Dme* Rule(common::SymbolId label) const;
+
+  /// All labels with a rule, sorted.
+  std::vector<common::SymbolId> Labels() const;
+
+  /// True iff `doc` is valid: the root label matches and every node's child
+  /// bag is accepted by its label's content model.
+  bool Validates(const xml::XmlTree& doc) const;
+
+  /// Like Validates but reports the first offending node.
+  common::Status Validate(const xml::XmlTree& doc,
+                          const common::Interner& interner) const;
+
+  /// Labels that can occur in some finite valid tree (the fixpoint of
+  /// "content model satisfiable over productive symbols").
+  std::set<common::SymbolId> ProductiveLabels() const;
+
+  /// Productive labels reachable from the root in some valid document.
+  std::set<common::SymbolId> ReachableLabels() const;
+
+  /// True iff some finite valid document exists.
+  bool Satisfiable() const;
+
+  /// Language containment: every document valid under this schema is valid
+  /// under `other`. PTIME for bounded clause arity (DESIGN.md §5, E8).
+  bool ContainedIn(const Dms& other) const;
+
+  /// Language equivalence.
+  bool EquivalentTo(const Dms& other) const {
+    return ContainedIn(other) && other.ContainedIn(*this);
+  }
+
+  /// Multi-line rendering "label -> dme".
+  std::string ToString(const common::Interner& interner) const;
+
+ private:
+  common::SymbolId root_ = common::kNoSymbol;
+  std::map<common::SymbolId, Dme> rules_;
+};
+
+}  // namespace schema
+}  // namespace qlearn
+
+#endif  // QLEARN_SCHEMA_DMS_H_

@@ -1,0 +1,83 @@
+#include "schema/dtd.h"
+
+namespace qlearn {
+namespace schema {
+
+using common::Status;
+using common::SymbolId;
+
+void Dtd::SetRule(SymbolId label, automata::RegexPtr content) {
+  automata::Dfa dfa = automata::Dfa::FromRegex(*content);
+  rules_.erase(label);
+  rules_.emplace(label, CompiledRule{std::move(content), std::move(dfa)});
+}
+
+const automata::Regex* Dtd::Rule(SymbolId label) const {
+  auto it = rules_.find(label);
+  return it == rules_.end() ? nullptr : it->second.regex.get();
+}
+
+std::vector<SymbolId> Dtd::Labels() const {
+  std::vector<SymbolId> out;
+  out.reserve(rules_.size());
+  for (const auto& [label, rule] : rules_) {
+    (void)rule;
+    out.push_back(label);
+  }
+  return out;
+}
+
+bool Dtd::Validates(const xml::XmlTree& doc) const {
+  if (doc.empty() || doc.label(doc.root()) != root_) return false;
+  for (xml::NodeId n : doc.PreOrder()) {
+    auto it = rules_.find(doc.label(n));
+    if (it == rules_.end()) return false;
+    std::vector<SymbolId> word;
+    word.reserve(doc.children(n).size());
+    for (xml::NodeId c : doc.children(n)) word.push_back(doc.label(c));
+    if (!it->second.dfa.Accepts(word)) return false;
+  }
+  return true;
+}
+
+Status Dtd::Validate(const xml::XmlTree& doc,
+                     const common::Interner& interner) const {
+  if (doc.empty()) return Status::InvalidArgument("empty document");
+  if (doc.label(doc.root()) != root_) {
+    return Status::InvalidArgument(
+        "root label '" + interner.Name(doc.label(doc.root())) +
+        "' does not match DTD root '" + interner.Name(root_) + "'");
+  }
+  for (xml::NodeId n : doc.PreOrder()) {
+    auto it = rules_.find(doc.label(n));
+    if (it == rules_.end()) {
+      return Status::InvalidArgument("no DTD rule for label '" +
+                                     interner.Name(doc.label(n)) + "'");
+    }
+    std::vector<SymbolId> word;
+    word.reserve(doc.children(n).size());
+    for (xml::NodeId c : doc.children(n)) word.push_back(doc.label(c));
+    if (!it->second.dfa.Accepts(word)) {
+      return Status::InvalidArgument(
+          "children of node labeled '" + interner.Name(doc.label(n)) +
+          "' do not match content model '" +
+          it->second.regex->ToString(interner) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Dtd::ToString(const common::Interner& interner) const {
+  std::string out = "root: " +
+                    (root_ == common::kNoSymbol ? std::string("<none>")
+                                                : interner.Name(root_)) +
+                    "\n";
+  for (const auto& [label, rule] : rules_) {
+    out += interner.Name(label) + " -> " + rule.regex->ToString(interner) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace schema
+}  // namespace qlearn

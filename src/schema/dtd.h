@@ -1,0 +1,62 @@
+// Ordered DTDs: one regular-expression content model per label, validated
+// against the left-to-right child sequence. Used as the classical baseline
+// the paper contrasts multiplicity schemas with, and as the generator
+// contract of the XMark-style documents.
+#ifndef QLEARN_SCHEMA_DTD_H_
+#define QLEARN_SCHEMA_DTD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/regex.h"
+#include "common/interner.h"
+#include "common/status.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace schema {
+
+/// A Document Type Definition over interned labels.
+class Dtd {
+ public:
+  Dtd() = default;
+  explicit Dtd(common::SymbolId root) : root_(root) {}
+
+  common::SymbolId root() const { return root_; }
+  void set_root(common::SymbolId root) { root_ = root; }
+
+  /// Sets the content model of `label`; the regex is compiled to a DFA.
+  void SetRule(common::SymbolId label, automata::RegexPtr content);
+
+  /// Content model of `label` or nullptr.
+  const automata::Regex* Rule(common::SymbolId label) const;
+
+  /// All labels with rules, sorted.
+  std::vector<common::SymbolId> Labels() const;
+
+  /// True iff the root label matches and every node's ordered child-label
+  /// word is in its label's content language.
+  bool Validates(const xml::XmlTree& doc) const;
+
+  /// Like Validates, reporting the first offending node.
+  common::Status Validate(const xml::XmlTree& doc,
+                          const common::Interner& interner) const;
+
+  /// Multi-line rendering "label -> regex".
+  std::string ToString(const common::Interner& interner) const;
+
+ private:
+  common::SymbolId root_ = common::kNoSymbol;
+  struct CompiledRule {
+    automata::RegexPtr regex;
+    automata::Dfa dfa;
+  };
+  std::map<common::SymbolId, CompiledRule> rules_;
+};
+
+}  // namespace schema
+}  // namespace qlearn
+
+#endif  // QLEARN_SCHEMA_DTD_H_

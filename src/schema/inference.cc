@@ -1,0 +1,189 @@
+#include "schema/inference.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace qlearn {
+namespace schema {
+
+using common::Result;
+using common::Status;
+using common::SymbolId;
+
+namespace {
+
+/// Observed child bags per parent label, plus the corpus root label.
+struct Observations {
+  SymbolId root = common::kNoSymbol;
+  // label -> list of child bags (one per node instance with that label).
+  std::map<SymbolId, std::vector<Bag>> bags;
+};
+
+Result<Observations> Collect(const std::vector<const xml::XmlTree*>& docs) {
+  if (docs.empty()) {
+    return Status::InvalidArgument("schema inference needs at least one doc");
+  }
+  Observations obs;
+  for (const xml::XmlTree* doc : docs) {
+    if (doc->empty()) {
+      return Status::InvalidArgument("schema inference on empty document");
+    }
+    if (obs.root == common::kNoSymbol) {
+      obs.root = doc->label(doc->root());
+    } else if (obs.root != doc->label(doc->root())) {
+      return Status::InvalidArgument(
+          "documents disagree on the root label; no single schema fits");
+    }
+    for (xml::NodeId n : doc->PreOrder()) {
+      Bag bag;
+      for (SymbolId s : doc->ChildLabelBag(n)) ++bag[s];
+      obs.bags[doc->label(n)].push_back(std::move(bag));
+    }
+  }
+  return obs;
+}
+
+/// Least multiplicity covering every observed count (max >= 2 generalizes to
+/// unbounded since the five multiplicities cannot express [_, 2]).
+Multiplicity CoverCounts(int min_count, int max_count) {
+  return MultiplicityFromRange(min_count > 1 ? 1 : min_count,
+                               max_count >= 2 ? kUnbounded : max_count);
+}
+
+}  // namespace
+
+Result<Ms> InferMs(const std::vector<const xml::XmlTree*>& docs) {
+  auto obs = Collect(docs);
+  if (!obs.ok()) return obs.status();
+  Ms ms(obs.value().root);
+  for (const auto& [label, bags] : obs.value().bags) {
+    ms.AddLeafLabel(label);
+    // Symbols seen under this label.
+    std::set<SymbolId> symbols;
+    for (const Bag& bag : bags) {
+      for (const auto& [s, c] : bag) {
+        if (c > 0) symbols.insert(s);
+      }
+    }
+    for (SymbolId s : symbols) {
+      int mn = 1 << 30;
+      int mx = 0;
+      for (const Bag& bag : bags) {
+        auto it = bag.find(s);
+        const int c = it == bag.end() ? 0 : it->second;
+        mn = std::min(mn, c);
+        mx = std::max(mx, c);
+      }
+      ms.SetMultiplicity(label, s, CoverCounts(mn, mx));
+    }
+  }
+  return ms;
+}
+
+Result<Dms> InferDms(const std::vector<const xml::XmlTree*>& docs) {
+  auto obs = Collect(docs);
+  if (!obs.ok()) return obs.status();
+  Dms dms(obs.value().root);
+
+  for (const auto& [label, bags] : obs.value().bags) {
+    std::set<SymbolId> symbols;
+    for (const Bag& bag : bags) {
+      for (const auto& [s, c] : bag) {
+        if (c > 0) symbols.insert(s);
+      }
+    }
+    const std::vector<SymbolId> syms(symbols.begin(), symbols.end());
+
+    // Mutual-exclusion graph: s ~ t iff they never co-occur in a bag.
+    auto cooccur = [&](SymbolId s, SymbolId t) {
+      for (const Bag& bag : bags) {
+        auto is = bag.find(s);
+        auto it = bag.find(t);
+        if (is != bag.end() && is->second > 0 && it != bag.end() &&
+            it->second > 0) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    // Connected components of the exclusion graph.
+    std::map<SymbolId, int> component;
+    int next_component = 0;
+    for (SymbolId s : syms) {
+      if (component.count(s)) continue;
+      const int id = next_component++;
+      std::vector<SymbolId> stack{s};
+      component[s] = id;
+      while (!stack.empty()) {
+        const SymbolId cur = stack.back();
+        stack.pop_back();
+        for (SymbolId t : syms) {
+          if (component.count(t) || cooccur(cur, t)) continue;
+          component[t] = id;
+          stack.push_back(t);
+        }
+      }
+    }
+
+    std::vector<Clause> clauses;
+    for (int cid = 0; cid < next_component; ++cid) {
+      std::vector<SymbolId> members;
+      for (SymbolId s : syms) {
+        if (component[s] == cid) members.push_back(s);
+      }
+      // A disjunction clause is sound only if every bag touches at most one
+      // member (exclusivity may fail transitively); otherwise fall back to
+      // singleton clauses for this component.
+      bool exclusive = true;
+      bool always_present = true;
+      for (const Bag& bag : bags) {
+        int support = 0;
+        for (SymbolId s : members) {
+          auto it = bag.find(s);
+          if (it != bag.end() && it->second > 0) ++support;
+        }
+        if (support > 1) exclusive = false;
+        if (support == 0) always_present = false;
+      }
+      if (members.size() >= 2 && exclusive) {
+        Clause clause;
+        for (SymbolId s : members) {
+          int mx = 0;
+          for (const Bag& bag : bags) {
+            auto it = bag.find(s);
+            if (it != bag.end()) mx = std::max(mx, it->second);
+          }
+          clause.atoms.push_back(
+              Atom{s, mx >= 2 ? Multiplicity::kPlus : Multiplicity::kOne});
+        }
+        clause.mult =
+            always_present ? Multiplicity::kOne : Multiplicity::kOpt;
+        clauses.push_back(std::move(clause));
+      } else {
+        for (SymbolId s : members) {
+          int mn = 1 << 30;
+          int mx = 0;
+          for (const Bag& bag : bags) {
+            auto it = bag.find(s);
+            const int c = it == bag.end() ? 0 : it->second;
+            mn = std::min(mn, c);
+            mx = std::max(mx, c);
+          }
+          Clause clause;
+          clause.atoms.push_back(Atom{s, CoverCounts(mn, mx)});
+          clause.mult = Multiplicity::kOne;
+          clauses.push_back(std::move(clause));
+        }
+      }
+    }
+    auto dme = Dme::Create(std::move(clauses));
+    if (!dme.ok()) return dme.status();
+    dms.SetRule(label, std::move(dme).value());
+  }
+  return dms;
+}
+
+}  // namespace schema
+}  // namespace qlearn

@@ -1,0 +1,33 @@
+// Schema inference from positive examples. The paper reports that
+// disjunctive multiplicity schemas are identifiable in the limit from
+// positive examples only; these are the corresponding inference algorithms
+// (minimal generalization of the observed child bags).
+#ifndef QLEARN_SCHEMA_INFERENCE_H_
+#define QLEARN_SCHEMA_INFERENCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "schema/dms.h"
+#include "schema/ms.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace schema {
+
+/// Infers the tightest disjunction-free MS consistent with `docs`: for every
+/// (parent label, child label) the least multiplicity covering all observed
+/// counts. Fails on an empty corpus or differing root labels.
+common::Result<Ms> InferMs(const std::vector<const xml::XmlTree*>& docs);
+
+/// Infers a DMS consistent with `docs`: per parent label, symbols that never
+/// co-occur form disjunction clauses (connected components of the
+/// mutual-exclusion graph); everything else becomes single-atom clauses with
+/// minimal multiplicities. Identifies the goal schema in the limit for
+/// schemas in this canonical form (exercised by experiment E9).
+common::Result<Dms> InferDms(const std::vector<const xml::XmlTree*>& docs);
+
+}  // namespace schema
+}  // namespace qlearn
+
+#endif  // QLEARN_SCHEMA_INFERENCE_H_

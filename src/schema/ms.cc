@@ -1,0 +1,170 @@
+#include "schema/ms.h"
+
+namespace qlearn {
+namespace schema {
+
+using common::SymbolId;
+
+void Ms::SetMultiplicity(SymbolId label, SymbolId child, Multiplicity mult) {
+  rules_[label][child] = mult;
+  rules_.try_emplace(child);  // the child joins the alphabet as well
+}
+
+void Ms::AddLeafLabel(SymbolId label) { rules_.try_emplace(label); }
+
+Multiplicity Ms::GetMultiplicity(SymbolId label, SymbolId child) const {
+  auto it = rules_.find(label);
+  if (it == rules_.end()) return Multiplicity::kZero;
+  auto jt = it->second.find(child);
+  return jt == it->second.end() ? Multiplicity::kZero : jt->second;
+}
+
+bool Ms::HasLabel(SymbolId label) const { return rules_.count(label) > 0; }
+
+std::vector<SymbolId> Ms::Labels() const {
+  std::vector<SymbolId> out;
+  out.reserve(rules_.size());
+  for (const auto& [label, rule] : rules_) {
+    (void)rule;
+    out.push_back(label);
+  }
+  return out;
+}
+
+std::vector<std::pair<SymbolId, Multiplicity>> Ms::Children(
+    SymbolId label) const {
+  std::vector<std::pair<SymbolId, Multiplicity>> out;
+  auto it = rules_.find(label);
+  if (it == rules_.end()) return out;
+  for (const auto& [child, mult] : it->second) {
+    if (mult != Multiplicity::kZero) out.emplace_back(child, mult);
+  }
+  return out;
+}
+
+bool Ms::Validates(const xml::XmlTree& doc) const {
+  if (doc.empty() || doc.label(doc.root()) != root_) return false;
+  for (xml::NodeId n : doc.PreOrder()) {
+    const SymbolId label = doc.label(n);
+    if (!HasLabel(label)) return false;
+    // Count children per symbol and check each against its multiplicity;
+    // then check required symbols that are absent.
+    std::map<SymbolId, int> counts;
+    for (SymbolId s : doc.ChildLabelBag(n)) ++counts[s];
+    for (const auto& [s, c] : counts) {
+      if (!MultiplicityContains(GetMultiplicity(label, s), c)) return false;
+    }
+    for (const auto& [s, mult] : Children(label)) {
+      if (MultiplicityLo(mult) > 0 && counts.find(s) == counts.end()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::set<SymbolId> Ms::ProductiveLabels() const {
+  std::set<SymbolId> productive;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [label, rule] : rules_) {
+      if (productive.count(label)) continue;
+      bool ok = true;
+      for (const auto& [child, mult] : rule) {
+        if (MultiplicityLo(mult) > 0 && !productive.count(child)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        productive.insert(label);
+        changed = true;
+      }
+    }
+  }
+  return productive;
+}
+
+std::set<SymbolId> Ms::ReachableLabels() const {
+  const std::set<SymbolId> productive = ProductiveLabels();
+  std::set<SymbolId> reachable;
+  if (!productive.count(root_)) return reachable;
+  std::vector<SymbolId> frontier{root_};
+  reachable.insert(root_);
+  while (!frontier.empty()) {
+    const SymbolId label = frontier.back();
+    frontier.pop_back();
+    for (const auto& [child, mult] : Children(label)) {
+      (void)mult;
+      if (!productive.count(child) || reachable.count(child)) continue;
+      reachable.insert(child);
+      frontier.push_back(child);
+    }
+  }
+  return reachable;
+}
+
+bool Ms::ContainedIn(const Ms& other) const {
+  const std::set<SymbolId> reachable = ReachableLabels();
+  if (reachable.empty()) return true;  // unsatisfiable schema
+  if (root_ != other.root_) return false;
+  for (SymbolId label : reachable) {
+    if (!other.HasLabel(label)) return false;
+    for (const auto& [child, mult] : Children(label)) {
+      // Only counts of productive children can materialize; others stay 0,
+      // which every multiplicity with lo == 0 permits.
+      if (!reachable.count(child) && MultiplicityLo(mult) > 0) continue;
+      const Multiplicity outer = other.GetMultiplicity(label, child);
+      const Multiplicity inner = mult;
+      if (reachable.count(child)) {
+        if (!MultiplicityIncluded(outer, inner)) return false;
+      }
+    }
+    // Symbols required by `other` must be required here too (otherwise a
+    // valid document without them violates `other`).
+    for (const auto& [child, mult] : other.Children(label)) {
+      if (MultiplicityLo(mult) > 0 &&
+          MultiplicityLo(GetMultiplicity(label, child)) == 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Dms Ms::ToDms() const {
+  Dms dms(root_);
+  for (const auto& [label, rule] : rules_) {
+    std::vector<std::pair<SymbolId, Multiplicity>> entries;
+    for (const auto& [child, mult] : rule) {
+      if (mult != Multiplicity::kZero) entries.emplace_back(child, mult);
+    }
+    dms.SetRule(label, Dme::FromSymbolMultiplicities(entries));
+  }
+  return dms;
+}
+
+std::string Ms::ToString(const common::Interner& interner) const {
+  std::string out = "root: " +
+                    (root_ == common::kNoSymbol ? std::string("<none>")
+                                                : interner.Name(root_)) +
+                    "\n";
+  for (const auto& [label, rule] : rules_) {
+    out += interner.Name(label) + " ->";
+    bool first = true;
+    for (const auto& [child, mult] : rule) {
+      if (mult == Multiplicity::kZero) continue;
+      out += first ? " " : ", ";
+      first = false;
+      out += interner.Name(child);
+      if (mult != Multiplicity::kOne) out += MultiplicityToString(mult);
+    }
+    if (first) out += " (leaf)";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace schema
+}  // namespace qlearn

@@ -1,0 +1,80 @@
+// Disjunction-free multiplicity schemas (MS): each label maps every child
+// symbol to one multiplicity (absent symbols are barred). This is the
+// fragment for which the paper reduces query satisfiability and query
+// implication to dependency-graph embeddings (DESIGN.md §2.3).
+#ifndef QLEARN_SCHEMA_MS_H_
+#define QLEARN_SCHEMA_MS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "schema/dme.h"
+#include "schema/dms.h"
+#include "schema/multiplicity.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace schema {
+
+/// A disjunction-free multiplicity schema.
+class Ms {
+ public:
+  Ms() = default;
+  explicit Ms(common::SymbolId root) : root_(root) {}
+
+  common::SymbolId root() const { return root_; }
+  void set_root(common::SymbolId root) { root_ = root; }
+
+  /// Declares that `label` nodes may have `child`-labeled children with the
+  /// given multiplicity. Also registers `label` in the alphabet.
+  void SetMultiplicity(common::SymbolId label, common::SymbolId child,
+                       Multiplicity mult);
+
+  /// Registers `label` with no permitted children (a required leaf).
+  void AddLeafLabel(common::SymbolId label);
+
+  /// Multiplicity of `child` under `label` (kZero when not declared).
+  Multiplicity GetMultiplicity(common::SymbolId label,
+                               common::SymbolId child) const;
+
+  /// True iff `label` is in the schema's alphabet.
+  bool HasLabel(common::SymbolId label) const;
+
+  /// All alphabet labels, sorted.
+  std::vector<common::SymbolId> Labels() const;
+
+  /// The (child, multiplicity) entries of `label` with non-zero
+  /// multiplicity, sorted by child symbol.
+  std::vector<std::pair<common::SymbolId, Multiplicity>> Children(
+      common::SymbolId label) const;
+
+  /// True iff `doc` is valid under this schema.
+  bool Validates(const xml::XmlTree& doc) const;
+
+  /// Labels that can occur in a finite valid tree (no required-child cycle).
+  std::set<common::SymbolId> ProductiveLabels() const;
+
+  /// PTIME containment: per reachable label, per symbol interval inclusion.
+  bool ContainedIn(const Ms& other) const;
+
+  /// Embeds this schema into the equivalent DMS (one single-atom clause per
+  /// declared symbol).
+  Dms ToDms() const;
+
+  /// Multi-line rendering.
+  std::string ToString(const common::Interner& interner) const;
+
+ private:
+  std::set<common::SymbolId> ReachableLabels() const;
+
+  common::SymbolId root_ = common::kNoSymbol;
+  std::map<common::SymbolId, std::map<common::SymbolId, Multiplicity>> rules_;
+};
+
+}  // namespace schema
+}  // namespace qlearn
+
+#endif  // QLEARN_SCHEMA_MS_H_

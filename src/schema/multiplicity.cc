@@ -1,0 +1,83 @@
+#include "schema/multiplicity.h"
+
+namespace qlearn {
+namespace schema {
+
+int MultiplicityLo(Multiplicity m) {
+  switch (m) {
+    case Multiplicity::kZero:
+    case Multiplicity::kOpt:
+    case Multiplicity::kStar:
+      return 0;
+    case Multiplicity::kOne:
+    case Multiplicity::kPlus:
+      return 1;
+  }
+  return 0;
+}
+
+int MultiplicityHi(Multiplicity m) {
+  switch (m) {
+    case Multiplicity::kZero:
+      return 0;
+    case Multiplicity::kOne:
+    case Multiplicity::kOpt:
+      return 1;
+    case Multiplicity::kPlus:
+    case Multiplicity::kStar:
+      return kUnbounded;
+  }
+  return 0;
+}
+
+bool MultiplicityContains(Multiplicity m, int count) {
+  if (count < MultiplicityLo(m)) return false;
+  const int hi = MultiplicityHi(m);
+  return hi == kUnbounded || count <= hi;
+}
+
+bool MultiplicityIncluded(Multiplicity outer, Multiplicity inner) {
+  const int ihi = MultiplicityHi(inner);
+  const int ohi = MultiplicityHi(outer);
+  if (MultiplicityLo(inner) < MultiplicityLo(outer)) return false;
+  if (ohi == kUnbounded) return true;
+  return ihi != kUnbounded && ihi <= ohi;
+}
+
+Multiplicity MultiplicityJoin(Multiplicity a, Multiplicity b) {
+  const int lo = MultiplicityLo(a) < MultiplicityLo(b) ? MultiplicityLo(a)
+                                                       : MultiplicityLo(b);
+  const int ahi = MultiplicityHi(a);
+  const int bhi = MultiplicityHi(b);
+  const int hi = (ahi == kUnbounded || bhi == kUnbounded)
+                     ? kUnbounded
+                     : (ahi > bhi ? ahi : bhi);
+  return MultiplicityFromRange(lo, hi);
+}
+
+Multiplicity MultiplicityFromRange(int lo, int hi) {
+  if (hi == 0) return Multiplicity::kZero;
+  if (lo >= 1) {
+    return hi == 1 ? Multiplicity::kOne : Multiplicity::kPlus;
+  }
+  return hi == 1 ? Multiplicity::kOpt : Multiplicity::kStar;
+}
+
+std::string MultiplicityToString(Multiplicity m) {
+  switch (m) {
+    case Multiplicity::kZero:
+      return "0";
+    case Multiplicity::kOne:
+      return "1";
+    case Multiplicity::kOpt:
+      return "?";
+    case Multiplicity::kPlus:
+      return "+";
+    case Multiplicity::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+}  // namespace schema
+}  // namespace qlearn

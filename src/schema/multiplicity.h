@@ -1,0 +1,48 @@
+// The five multiplicities {0, 1, ?, +, *} of multiplicity schemas
+// (DESIGN.md §2.3), with their interval semantics.
+#ifndef QLEARN_SCHEMA_MULTIPLICITY_H_
+#define QLEARN_SCHEMA_MULTIPLICITY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qlearn {
+namespace schema {
+
+/// A multiplicity constrains how many times a symbol (or clause instance)
+/// may occur: 0 -> {0}, 1 -> {1}, ? -> {0,1}, + -> {1,2,...}, * -> {0,1,...}.
+enum class Multiplicity : uint8_t {
+  kZero,
+  kOne,
+  kOpt,
+  kPlus,
+  kStar,
+};
+
+/// Lower bound of the interval (0 or 1).
+int MultiplicityLo(Multiplicity m);
+
+/// Upper bound of the interval; kUnbounded for + and *.
+inline constexpr int kUnbounded = -1;
+int MultiplicityHi(Multiplicity m);
+
+/// True iff `count` lies in the interval of `m`.
+bool MultiplicityContains(Multiplicity m, int count);
+
+/// True iff the interval of `inner` is included in the interval of `outer`.
+bool MultiplicityIncluded(Multiplicity outer, Multiplicity inner);
+
+/// The least multiplicity whose interval covers both arguments' intervals
+/// (the join in the 5-element lattice).
+Multiplicity MultiplicityJoin(Multiplicity a, Multiplicity b);
+
+/// The least multiplicity covering [lo, hi] with hi possibly kUnbounded.
+Multiplicity MultiplicityFromRange(int lo, int hi);
+
+/// "0", "1", "?", "+" or "*".
+std::string MultiplicityToString(Multiplicity m);
+
+}  // namespace schema
+}  // namespace qlearn
+
+#endif  // QLEARN_SCHEMA_MULTIPLICITY_H_

@@ -1,0 +1,259 @@
+#include "schema/sampling.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace qlearn {
+namespace schema {
+
+using common::Result;
+using common::Status;
+using common::SymbolId;
+
+namespace {
+
+constexpr int kInfiniteHeight = 1 << 28;
+
+/// Per-label minimal completion heights over productive labels: the height
+/// of the smallest valid subtree rooted at each label.
+std::map<SymbolId, int> MinimalHeights(const Dms& dms,
+                                       const std::set<SymbolId>& productive) {
+  std::map<SymbolId, int> h;
+  for (SymbolId a : productive) h[a] = kInfiniteHeight;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (SymbolId a : productive) {
+      // Height of the minimal bag of `a` under current estimates.
+      int worst = 0;
+      const Dme* rule = dms.Rule(a);
+      for (const Clause& clause : rule->clauses()) {
+        if (MultiplicityLo(clause.mult) == 0) continue;
+        // One part needed; an atom admitting empty parts costs nothing.
+        bool free_part = false;
+        int best = kInfiniteHeight;
+        for (const Atom& atom : clause.atoms) {
+          if (MultiplicityLo(atom.mult) == 0) {
+            free_part = true;
+            break;
+          }
+          if (productive.count(atom.symbol)) {
+            best = std::min(best, h[atom.symbol]);
+          }
+        }
+        if (free_part) continue;
+        worst = std::max(worst, best);
+      }
+      const int updated =
+          worst >= kInfiniteHeight ? kInfiniteHeight : 1 + worst;
+      if (updated < h[a]) {
+        h[a] = updated;
+        changed = true;
+      }
+    }
+  }
+  return h;
+}
+
+class Sampler {
+ public:
+  Sampler(const Dms& dms, common::Rng* rng, const SampleOptions& options)
+      : dms_(dms),
+        rng_(rng),
+        options_(options),
+        productive_(dms.ProductiveLabels()),
+        heights_(MinimalHeights(dms, productive_)) {}
+
+  Result<xml::XmlTree> Sample() {
+    if (!productive_.count(dms_.root())) {
+      return Status::InvalidArgument("schema is unsatisfiable");
+    }
+    xml::XmlTree doc;
+    const xml::NodeId root = doc.AddRoot(dms_.root());
+    Fill(&doc, root, dms_.root(), 0);
+    return doc;
+  }
+
+ private:
+  int Geometric() {
+    int extra = 0;
+    while (extra < 6 && rng_->Bernoulli(options_.repeat_probability)) ++extra;
+    return extra;
+  }
+
+  /// Draws a child bag for a node labeled `label` at `depth`.
+  Bag DrawBag(SymbolId label, int depth) {
+    const bool minimal = depth >= options_.soft_depth;
+    Bag bag;
+    const Dme* rule = dms_.Rule(label);
+    for (const Clause& clause : rule->clauses()) {
+      // Usable atoms: productive symbol (realizable subtree).
+      std::vector<const Atom*> usable;
+      for (const Atom& atom : clause.atoms) {
+        if (productive_.count(atom.symbol)) usable.push_back(&atom);
+      }
+      int m;
+      if (minimal) {
+        m = MultiplicityLo(clause.mult);
+      } else {
+        switch (clause.mult) {
+          case Multiplicity::kZero:
+            m = 0;
+            break;
+          case Multiplicity::kOne:
+            m = 1;
+            break;
+          case Multiplicity::kOpt:
+            m = rng_->Bernoulli(options_.optional_probability) ? 1 : 0;
+            break;
+          case Multiplicity::kPlus:
+            m = 1 + Geometric();
+            break;
+          case Multiplicity::kStar:
+            m = rng_->Bernoulli(options_.optional_probability)
+                    ? 1 + Geometric()
+                    : 0;
+            break;
+          default:
+            m = 0;
+        }
+      }
+      for (int part = 0; part < m; ++part) {
+        const Atom* atom = nullptr;
+        if (minimal) {
+          // Cheapest option: an atom admitting empty parts, else the atom
+          // with the smallest completion height.
+          for (const Atom& a : clause.atoms) {
+            if (MultiplicityLo(a.mult) == 0) {
+              atom = nullptr;  // an empty part satisfies this slot
+              break;
+            }
+            if (productive_.count(a.symbol) &&
+                (atom == nullptr ||
+                 heights_.at(a.symbol) < heights_.at(atom->symbol))) {
+              atom = &a;
+            }
+          }
+          bool has_free = false;
+          for (const Atom& a : clause.atoms) {
+            if (MultiplicityLo(a.mult) == 0) has_free = true;
+          }
+          if (has_free) continue;  // emit nothing for this part
+        } else if (!usable.empty()) {
+          atom = usable[rng_->Index(usable.size())];
+        } else {
+          continue;  // only phantom parts possible
+        }
+        if (atom == nullptr) continue;
+        int size;
+        if (minimal) {
+          size = std::max(1, MultiplicityLo(atom->mult));
+        } else {
+          switch (atom->mult) {
+            case Multiplicity::kOne:
+              size = 1;
+              break;
+            case Multiplicity::kOpt:
+              size = rng_->Bernoulli(options_.optional_probability) ? 1 : 0;
+              break;
+            case Multiplicity::kPlus:
+              size = 1 + Geometric();
+              break;
+            case Multiplicity::kStar:
+              size = rng_->Bernoulli(options_.optional_probability)
+                         ? 1 + Geometric()
+                         : 0;
+              break;
+            default:
+              size = 0;
+          }
+        }
+        if (size > 0) bag[atom->symbol] += size;
+      }
+    }
+    return bag;
+  }
+
+  void Fill(xml::XmlTree* doc, xml::NodeId node, SymbolId label, int depth) {
+    const Bag bag = DrawBag(label, depth);
+    for (const auto& [symbol, count] : bag) {
+      for (int i = 0; i < count; ++i) {
+        const xml::NodeId child = doc->AddChild(node, symbol);
+        Fill(doc, child, symbol, depth + 1);
+      }
+    }
+  }
+
+  const Dms& dms_;
+  common::Rng* rng_;
+  SampleOptions options_;
+  std::set<SymbolId> productive_;
+  std::map<SymbolId, int> heights_;
+};
+
+}  // namespace
+
+Result<xml::XmlTree> SampleDocument(const Dms& dms, common::Rng* rng,
+                                    const SampleOptions& options) {
+  return Sampler(dms, rng, options).Sample();
+}
+
+Dms RandomCanonicalDms(const RandomDmsOptions& options, common::Rng* rng,
+                       common::Interner* interner) {
+  const int n = std::max(2, options.num_labels);
+  std::vector<SymbolId> labels;
+  labels.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::string name = "t";
+    name += std::to_string(i);
+    labels.push_back(interner->Intern(name));
+  }
+  Dms dms(labels[0]);
+  for (int i = 0; i < n; ++i) {
+    std::vector<Clause> clauses;
+    // Children only from strictly later labels: acyclic, hence satisfiable.
+    std::vector<SymbolId> pool(labels.begin() + i + 1, labels.end());
+    rng->Shuffle(&pool);
+    const int take = pool.empty()
+                         ? 0
+                         : static_cast<int>(rng->Uniform(
+                               std::min<uint64_t>(pool.size(),
+                                                  options.max_children) +
+                               1));
+    int used = 0;
+    while (used < take) {
+      const int remaining = take - used;
+      if (remaining >= 2 && rng->Bernoulli(options.disjunction_probability)) {
+        const int width = remaining >= 3 && rng->Bernoulli(0.5) ? 3 : 2;
+        Clause clause;
+        for (int k = 0; k < width; ++k) {
+          clause.atoms.push_back(
+              Atom{pool[used + k], rng->Bernoulli(0.3)
+                                       ? Multiplicity::kPlus
+                                       : Multiplicity::kOne});
+        }
+        clause.mult = rng->Bernoulli(0.5) ? Multiplicity::kOne
+                                          : Multiplicity::kOpt;
+        clauses.push_back(std::move(clause));
+        used += width;
+      } else {
+        static const Multiplicity kSingletonMults[] = {
+            Multiplicity::kOne, Multiplicity::kOpt, Multiplicity::kPlus,
+            Multiplicity::kStar};
+        Clause clause;
+        clause.atoms.push_back(
+            Atom{pool[used], kSingletonMults[rng->Index(4)]});
+        clause.mult = Multiplicity::kOne;
+        clauses.push_back(std::move(clause));
+        used += 1;
+      }
+    }
+    auto dme = Dme::Create(std::move(clauses));
+    dms.SetRule(labels[i], std::move(dme).value());
+  }
+  return dms;
+}
+
+}  // namespace schema
+}  // namespace qlearn

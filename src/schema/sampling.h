@@ -1,0 +1,50 @@
+// Sampling valid documents from multiplicity schemas, and random schema
+// generation for the benchmark workloads (E8, E9).
+#ifndef QLEARN_SCHEMA_SAMPLING_H_
+#define QLEARN_SCHEMA_SAMPLING_H_
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "schema/dms.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace schema {
+
+/// Controls document sampling.
+struct SampleOptions {
+  /// Below this depth the sampler draws rich bags; past it, minimal bags.
+  int soft_depth = 4;
+  /// Geometric tail parameter for '+' / '*' repetitions.
+  double repeat_probability = 0.4;
+  /// Probability of realizing an optional ('?' / '*') occurrence.
+  double optional_probability = 0.5;
+};
+
+/// Samples one valid document from `dms`. Fails when the schema is
+/// unsatisfiable. Termination holds because past `soft_depth` the sampler
+/// emits minimal bags, which follow the (acyclic on productive labels)
+/// certain-edge structure.
+common::Result<xml::XmlTree> SampleDocument(const Dms& dms, common::Rng* rng,
+                                            const SampleOptions& options = {});
+
+/// Parameters of the random canonical-DMS distribution used by E8/E9.
+struct RandomDmsOptions {
+  int num_labels = 8;
+  /// Max child symbols per content model.
+  int max_children = 4;
+  /// Probability that a group of 2-3 symbols forms a disjunction clause.
+  double disjunction_probability = 0.4;
+};
+
+/// Generates a random satisfiable canonical DMS over labels "t0".."tN".
+/// Canonical form: singleton clauses with any multiplicity, plus exclusive
+/// disjunction clauses (atom multiplicities in {1,+}, clause in {1,?}).
+Dms RandomCanonicalDms(const RandomDmsOptions& options, common::Rng* rng,
+                       common::Interner* interner);
+
+}  // namespace schema
+}  // namespace qlearn
+
+#endif  // QLEARN_SCHEMA_SAMPLING_H_

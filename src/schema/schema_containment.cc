@@ -1,0 +1,432 @@
+#include "schema/schema_containment.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "twig/twig_eval.h"
+
+namespace qlearn {
+namespace schema {
+
+namespace {
+
+using twig::Axis;
+using twig::QNodeId;
+using twig::TwigQuery;
+
+/// Allowed-edge successor labels (child may occur below parent and is
+/// productive — only those appear in finite valid trees).
+class AllowedGraph {
+ public:
+  explicit AllowedGraph(const Ms& schema)
+      : schema_(schema), productive_(schema.ProductiveLabels()) {}
+
+  bool IsProductive(common::SymbolId label) const {
+    return productive_.find(label) != productive_.end();
+  }
+
+  const std::vector<common::SymbolId>& Successors(
+      common::SymbolId label) const {
+    auto it = successors_.find(label);
+    if (it != successors_.end()) return it->second;
+    std::vector<common::SymbolId> out;
+    for (const auto& [child, mult] : schema_.Children(label)) {
+      if (MultiplicityHi(mult) != 0 && IsProductive(child)) {
+        out.push_back(child);
+      }
+    }
+    return successors_.emplace(label, std::move(out)).first->second;
+  }
+
+  /// All allowed label paths `from -> ... -> to` with at most `bound`
+  /// intermediate labels, appended to `paths` (each path lists the
+  /// intermediates only), capped at `cap` paths. Returns false when the cap
+  /// truncated the enumeration.
+  bool Paths(common::SymbolId from, common::SymbolId to, int bound,
+             size_t cap,
+             std::vector<std::vector<common::SymbolId>>* paths) const {
+    std::vector<common::SymbolId> current;
+    bool truncated = false;
+    std::function<void(common::SymbolId)> dfs = [&](common::SymbolId at) {
+      for (common::SymbolId next : Successors(at)) {
+        if (next == to) {
+          if (paths->size() >= cap) {
+            truncated = true;
+            return;
+          }
+          paths->push_back(current);
+        }
+        if (static_cast<int>(current.size()) < bound && !truncated) {
+          current.push_back(next);
+          dfs(next);
+          current.pop_back();
+        }
+        if (truncated) return;
+      }
+    };
+    dfs(from);
+    return !truncated;
+  }
+
+ private:
+  const Ms& schema_;
+  std::set<common::SymbolId> productive_;
+  mutable std::map<common::SymbolId, std::vector<common::SymbolId>>
+      successors_;
+};
+
+/// A mutable tree under construction (XmlTree only supports appends, which
+/// is all the builder needs).
+struct Builder {
+  xml::XmlTree doc;
+  xml::NodeId witness = 0;
+};
+
+/// One label assignment for every real node of the inner query plus one
+/// label path per descendant edge.
+struct Typing {
+  std::vector<common::SymbolId> label;                 // [query node]
+  std::vector<std::vector<common::SymbolId>> via;     // [query node] path
+};
+
+/// Enumerates typings with a callback; returns false when the instantiation
+/// cap was hit.
+class TypingEnumerator {
+ public:
+  TypingEnumerator(const TwigQuery& q, const Ms& schema,
+                   const AllowedGraph& graph, int path_bound, size_t cap,
+                   size_t path_cap)
+      : q_(q),
+        schema_(schema),
+        graph_(graph),
+        path_bound_(path_bound),
+        cap_(cap),
+        path_cap_(path_cap) {}
+
+  /// Calls `emit` for every typing; stops early when `emit` returns true
+  /// (counterexample found) or the cap is reached. Returns {found, capped}.
+  std::pair<bool, bool> Run(const std::function<bool(const Typing&)>& emit) {
+    typing_.label.assign(q_.NumNodes(), common::kNoSymbol);
+    typing_.via.assign(q_.NumNodes(), {});
+    emit_ = &emit;
+    found_ = false;
+    capped_ = false;
+    order_ = q_.PreOrder();
+    Assign(1);  // order_[0] is the virtual root
+    return {found_, capped_};
+  }
+
+  size_t instantiations() const { return instantiations_; }
+
+ private:
+  /// Candidate labels for query node `x` (by its own label constraint).
+  std::vector<common::SymbolId> NodeCandidates(QNodeId x) const {
+    std::vector<common::SymbolId> out;
+    if (q_.label(x) != twig::kWildcard) {
+      if (graph_.IsProductive(q_.label(x))) out.push_back(q_.label(x));
+      return out;
+    }
+    for (common::SymbolId s : schema_.Labels()) {
+      if (graph_.IsProductive(s)) out.push_back(s);
+    }
+    return out;
+  }
+
+  void Assign(size_t idx) {
+    if (found_ || capped_) return;
+    if (idx == order_.size()) {
+      ++instantiations_;
+      if (instantiations_ > cap_) {
+        capped_ = true;
+        return;
+      }
+      if ((*emit_)(typing_)) found_ = true;
+      return;
+    }
+    const QNodeId x = order_[idx];
+    const QNodeId parent = q_.parent(x);
+    const bool from_root = parent == 0;
+    const common::SymbolId parent_label =
+        from_root ? common::kNoSymbol : typing_.label[parent];
+
+    for (common::SymbolId candidate : NodeCandidates(x)) {
+      if (q_.axis(x) == Axis::kChild) {
+        // Child of the virtual root = the document root itself.
+        if (from_root) {
+          if (candidate != schema_.root()) continue;
+        } else {
+          if (MultiplicityHi(schema_.GetMultiplicity(parent_label,
+                                                     candidate)) == 0) {
+            continue;
+          }
+        }
+        typing_.label[x] = candidate;
+        typing_.via[x].clear();
+        Assign(idx + 1);
+      } else {
+        // Descendant edge: enumerate allowed intermediate paths.
+        std::vector<std::vector<common::SymbolId>> paths;
+        if (from_root) {
+          // Maps to the document root or strictly below it.
+          if (candidate == schema_.root()) {
+            paths.push_back({});  // the document root itself
+          }
+          if (!graph_.Paths(schema_.root(), candidate, path_bound_,
+                            path_cap_, &paths)) {
+            capped_ = true;
+          }
+          // Paths from the root require materializing the root label first.
+          for (auto& p : paths) {
+            if (!(p.empty() && candidate == schema_.root())) {
+              p.insert(p.begin(), schema_.root());
+            }
+          }
+          // Deduplicate the bare-root case.
+        } else {
+          if (!graph_.Paths(parent_label, candidate, path_bound_, path_cap_,
+                            &paths)) {
+            capped_ = true;
+          }
+        }
+        for (const auto& path : paths) {
+          typing_.label[x] = candidate;
+          typing_.via[x] = path;
+          Assign(idx + 1);
+          if (found_ || capped_) return;
+        }
+        continue;
+      }
+      if (found_ || capped_) return;
+    }
+  }
+
+  const TwigQuery& q_;
+  const Ms& schema_;
+  const AllowedGraph& graph_;
+  const int path_bound_;
+  const size_t cap_;
+  const size_t path_cap_;
+  const std::function<bool(const Typing&)>* emit_ = nullptr;
+  Typing typing_;
+  std::vector<QNodeId> order_;
+  bool found_ = false;
+  bool capped_ = false;
+  size_t instantiations_ = 0;
+};
+
+/// Materializes a typing as a document: the query skeleton with descendant
+/// paths expanded. Returns false when root constraints clash (several
+/// child-axis root children with different labels).
+bool BuildSkeleton(const TwigQuery& q, const Typing& typing, Builder* out) {
+  std::vector<xml::NodeId> image(q.NumNodes(), xml::kInvalidNode);
+  for (QNodeId x : q.PreOrder()) {
+    if (x == 0) continue;
+    const QNodeId parent = q.parent(x);
+    if (parent == 0) {
+      if (q.axis(x) == Axis::kChild || typing.via[x].empty()) {
+        // Maps to the document root.
+        if (out->doc.empty()) {
+          image[x] = out->doc.AddRoot(typing.label[x]);
+        } else {
+          if (out->doc.label(out->doc.root()) != typing.label[x]) {
+            return false;
+          }
+          image[x] = out->doc.root();
+        }
+      } else {
+        // A path root-label, intermediates..., then the node.
+        xml::NodeId cur;
+        size_t start = 0;
+        if (out->doc.empty()) {
+          cur = out->doc.AddRoot(typing.via[x][0]);
+          start = 1;
+        } else {
+          if (out->doc.label(out->doc.root()) != typing.via[x][0]) {
+            return false;
+          }
+          cur = out->doc.root();
+          start = 1;
+        }
+        for (size_t i = start; i < typing.via[x].size(); ++i) {
+          cur = out->doc.AddChild(cur, typing.via[x][i]);
+        }
+        image[x] = out->doc.AddChild(cur, typing.label[x]);
+      }
+    } else {
+      xml::NodeId cur = image[parent];
+      for (common::SymbolId via : typing.via[x]) {
+        cur = out->doc.AddChild(cur, via);
+      }
+      image[x] = out->doc.AddChild(cur, typing.label[x]);
+    }
+  }
+  out->witness = q.selection() != twig::kInvalidQNode
+                     ? image[q.selection()]
+                     : out->doc.root();
+  return true;
+}
+
+/// Rebuilds `doc` with required children added (certain edges) and
+/// same-label siblings merged where the multiplicity upper bound would be
+/// exceeded. Returns false when no valid repair is found.
+bool RepairToValidity(const Ms& schema, xml::XmlTree* doc,
+                      xml::NodeId* witness) {
+  // Work on a simple mutable mirror: label + children vectors + old-id map.
+  struct MNode {
+    common::SymbolId label;
+    std::vector<size_t> children;
+  };
+  std::vector<MNode> nodes;
+  std::vector<size_t> of_old(doc->NumNodes());
+  for (xml::NodeId n : doc->PreOrder()) {
+    of_old[n] = nodes.size();
+    nodes.push_back({doc->label(n), {}});
+  }
+  for (xml::NodeId n : doc->PreOrder()) {
+    if (n != doc->root()) {
+      nodes[of_old[doc->parent(n)]].children.push_back(of_old[n]);
+    }
+  }
+  size_t witness_idx = of_old[*witness];
+
+  // Merge pass: for every node, group same-label children; if the
+  // multiplicity's upper bound is exceeded, merge surplus copies into the
+  // first (children are unioned — embeddings survive merging).
+  std::function<bool(size_t)> merge = [&](size_t at) -> bool {
+    auto& kids = nodes[at].children;
+    std::map<common::SymbolId, std::vector<size_t>> by_label;
+    for (size_t c : kids) by_label[nodes[c].label].push_back(c);
+    for (auto& [label, group] : by_label) {
+      const Multiplicity mult =
+          schema.GetMultiplicity(nodes[at].label, label);
+      const int hi = MultiplicityHi(mult);
+      if (hi == 0) return false;  // label not allowed here at all
+      if (hi != kUnbounded && static_cast<int>(group.size()) > hi) {
+        // Merge everything beyond the first `hi` copies into the first.
+        for (size_t i = static_cast<size_t>(hi); i < group.size(); ++i) {
+          const size_t victim = group[i];
+          auto& vk = nodes[victim].children;
+          nodes[group[0]].children.insert(nodes[group[0]].children.end(),
+                                          vk.begin(), vk.end());
+          vk.clear();
+          kids.erase(std::find(kids.begin(), kids.end(), victim));
+          if (witness_idx == victim) witness_idx = group[0];
+        }
+      }
+    }
+    for (size_t c : kids) {
+      if (!merge(c)) return false;
+    }
+    return true;
+  };
+  if (!merge(0)) return false;
+
+  // Required-children closure (certain edges): every a-node needs each b
+  // with lower bound >= 1. Productive schemas cannot cycle through required
+  // edges, so the recursion terminates.
+  std::function<void(size_t)> close = [&](size_t at) {
+    std::set<common::SymbolId> present;
+    for (size_t c : nodes[at].children) present.insert(nodes[c].label);
+    for (const auto& [child, mult] : schema.Children(nodes[at].label)) {
+      if (MultiplicityLo(mult) >= 1 && present.find(child) == present.end()) {
+        nodes.push_back({child, {}});
+        nodes[at].children.push_back(nodes.size() - 1);
+      }
+    }
+    // Iterate over a copy: `close` may append to nodes.
+    const std::vector<size_t> kids = nodes[at].children;
+    for (size_t c : kids) close(c);
+  };
+  close(0);
+
+  // Serialize back into a fresh XmlTree.
+  xml::XmlTree rebuilt;
+  std::vector<xml::NodeId> new_id(nodes.size(), xml::kInvalidNode);
+  std::function<void(size_t, xml::NodeId)> emit = [&](size_t at,
+                                                      xml::NodeId parent) {
+    const xml::NodeId id = parent == xml::kInvalidNode
+                               ? rebuilt.AddRoot(nodes[at].label)
+                               : rebuilt.AddChild(parent, nodes[at].label);
+    new_id[at] = id;
+    for (size_t c : nodes[at].children) emit(c, id);
+  };
+  emit(0, xml::kInvalidNode);
+
+  if (!schema.Validates(rebuilt)) return false;
+  *witness = new_id[witness_idx];
+  *doc = std::move(rebuilt);
+  return true;
+}
+
+}  // namespace
+
+SchemaContainmentReport CheckContainmentUnderSchema(
+    const twig::TwigQuery& inner, const twig::TwigQuery& outer,
+    const Ms& schema, const SchemaContainmentOptions& options) {
+  SchemaContainmentReport report;
+  AllowedGraph graph(schema);
+  if (!graph.IsProductive(schema.root())) {
+    // The schema has no valid documents: containment holds vacuously.
+    report.verdict = SchemaContainment::kContained;
+    return report;
+  }
+  const int path_bound =
+      options.path_bound > 0
+          ? options.path_bound
+          : static_cast<int>(outer.Size() + schema.Labels().size() + 1);
+
+  TypingEnumerator enumerator(inner, schema, graph, path_bound,
+                              options.max_instantiations,
+                              options.max_paths_per_edge);
+  auto [found, capped] = enumerator.Run([&](const Typing& typing) {
+    Builder builder;
+    if (!BuildSkeleton(inner, typing, &builder)) return false;
+    xml::NodeId witness = builder.witness;
+    if (!RepairToValidity(schema, &builder.doc, &witness)) {
+      ++report.discarded;
+      return false;
+    }
+    // The repaired document must still witness the inner query (merging
+    // only unions structure, closure only adds, so it does — verify).
+    if (!twig::Selects(inner, builder.doc, witness)) return false;
+    if (twig::Selects(outer, builder.doc, witness)) return false;
+    report.counterexample = std::move(builder.doc);
+    report.witness = witness;
+    return true;
+  });
+  report.instantiations = enumerator.instantiations();
+
+  if (found) {
+    report.verdict = SchemaContainment::kNotContained;
+  } else if (capped || report.discarded > 0) {
+    report.verdict = SchemaContainment::kUnknown;
+  } else {
+    report.verdict = SchemaContainment::kContained;
+  }
+  return report;
+}
+
+SchemaContainment CheckEquivalenceUnderSchema(
+    const twig::TwigQuery& a, const twig::TwigQuery& b, const Ms& schema,
+    const SchemaContainmentOptions& options) {
+  const SchemaContainmentReport ab =
+      CheckContainmentUnderSchema(a, b, schema, options);
+  if (ab.verdict == SchemaContainment::kNotContained) {
+    return SchemaContainment::kNotContained;
+  }
+  const SchemaContainmentReport ba =
+      CheckContainmentUnderSchema(b, a, schema, options);
+  if (ba.verdict == SchemaContainment::kNotContained) {
+    return SchemaContainment::kNotContained;
+  }
+  if (ab.verdict == SchemaContainment::kUnknown ||
+      ba.verdict == SchemaContainment::kUnknown) {
+    return SchemaContainment::kUnknown;
+  }
+  return SchemaContainment::kContained;
+}
+
+}  // namespace schema
+}  // namespace qlearn

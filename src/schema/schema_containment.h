@@ -1,0 +1,77 @@
+// Twig-query containment and equivalence IN THE PRESENCE of a
+// disjunction-free multiplicity schema — the problem the paper proves
+// coNP-complete for this fragment (vs EXPTIME-complete for full DTDs), and
+// the question its schema-aware learning optimization leaves open ("we do
+// not know whether the query with the filter is equivalent in the presence
+// of schema with the same query without the filter").
+//
+// Decision procedure: counterexample search over schema-typed canonical
+// instantiations of the inner query. Every query node is assigned a schema
+// label consistent with the allowed-edge dependency graph (wildcards range
+// over candidates, descendant edges expand to allowed label paths up to a
+// bound), the skeleton is closed under required children (certain edges),
+// repaired by sibling merging where multiplicities cap counts, and the
+// outer query is evaluated on the result. The search is exponential in the
+// worst case — expectedly, for a coNP-complete problem — and reports
+// kUnknown when its exploration caps are hit.
+#ifndef QLEARN_SCHEMA_SCHEMA_CONTAINMENT_H_
+#define QLEARN_SCHEMA_SCHEMA_CONTAINMENT_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "schema/ms.h"
+#include "twig/twig_query.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace schema {
+
+/// Three-valued verdict of the bounded counterexample search.
+enum class SchemaContainment {
+  kContained,     ///< No counterexample exists within the explored space.
+  kNotContained,  ///< A schema-valid counterexample document was found.
+  kUnknown,       ///< An exploration cap was hit first.
+};
+
+struct SchemaContainmentOptions {
+  /// Max intermediate nodes materialized for one descendant edge
+  /// (0 = automatic: |outer query| + schema alphabet size + 1).
+  int path_bound = 0;
+  /// Cap on typed instantiations explored.
+  size_t max_instantiations = 50000;
+  /// Cap on allowed label paths enumerated per descendant edge; when it
+  /// truncates, a kContained outcome is downgraded to kUnknown.
+  size_t max_paths_per_edge = 256;
+};
+
+struct SchemaContainmentReport {
+  SchemaContainment verdict = SchemaContainment::kUnknown;
+  /// Typed instantiations explored.
+  size_t instantiations = 0;
+  /// Instantiations discarded because multiplicity repair failed (their
+  /// absence can only widen kContained to kUnknown, never corrupt
+  /// kNotContained).
+  size_t discarded = 0;
+  /// When kNotContained: a schema-valid document and a node selected by the
+  /// inner but not the outer query.
+  std::optional<xml::XmlTree> counterexample;
+  xml::NodeId witness = 0;
+};
+
+/// Checks L_S(inner) ⊆ L_S(outer): every node of every `schema`-valid
+/// document selected by `inner` is selected by `outer`. Both queries must
+/// have selection nodes.
+SchemaContainmentReport CheckContainmentUnderSchema(
+    const twig::TwigQuery& inner, const twig::TwigQuery& outer,
+    const Ms& schema, const SchemaContainmentOptions& options = {});
+
+/// Containment both ways; kUnknown dominates kNotContained-free outcomes.
+SchemaContainment CheckEquivalenceUnderSchema(
+    const twig::TwigQuery& a, const twig::TwigQuery& b, const Ms& schema,
+    const SchemaContainmentOptions& options = {});
+
+}  // namespace schema
+}  // namespace qlearn
+
+#endif  // QLEARN_SCHEMA_SCHEMA_CONTAINMENT_H_

@@ -1,0 +1,53 @@
+// Containment, equivalence and minimization of twig queries.
+//
+// Two procedures are provided, mirroring the classical theory:
+//  * homomorphism-based containment — PTIME, sound for the full fragment
+//    XP{/,//,[],*} and complete for the wildcard-free fragment;
+//  * canonical-model containment — exact for the full fragment but
+//    exponential in the number of descendant edges (intended for the small
+//    queries manipulated by the learners and benchmarks).
+#ifndef QLEARN_TWIG_TWIG_CONTAINMENT_H_
+#define QLEARN_TWIG_TWIG_CONTAINMENT_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/interner.h"
+#include "twig/twig_query.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace twig {
+
+/// True iff a selection- and root-preserving homomorphism q2 -> q1 exists
+/// (child edges to child edges, descendant edges to downward paths, labels
+/// preserved up to q2-wildcards). Implies L(q1) ⊆ L(q2).
+bool ContainedInByHom(const TwigQuery& q1, const TwigQuery& q2);
+
+/// True iff homomorphisms exist in both directions (implies equivalence).
+bool EquivalentByHom(const TwigQuery& q1, const TwigQuery& q2);
+
+/// Canonical models of `q`: documents obtained by instantiating wildcards
+/// with a fresh label and descendant edges with fresh-label chains of length
+/// 1..max_chain. Returns (document, image-of-selection) pairs.
+std::vector<std::pair<xml::XmlTree, xml::NodeId>> CanonicalModels(
+    const TwigQuery& q, int max_chain, common::Interner* interner);
+
+/// Exact containment test L(q1) ⊆ L(q2) via canonical models of q1 with
+/// chains up to |q2|+1. Exponential in the descendant-edge count of q1.
+bool ContainedInExact(const TwigQuery& q1, const TwigQuery& q2,
+                      common::Interner* interner);
+
+/// Exact equivalence via ContainedInExact both ways.
+bool EquivalentExact(const TwigQuery& q1, const TwigQuery& q2,
+                     common::Interner* interner);
+
+/// Removes redundant branches: repeatedly deletes any subtree (not containing
+/// the selection or a marked node) whose removal keeps the query equivalent,
+/// certified by homomorphism. The result selects exactly the same nodes.
+TwigQuery Minimize(const TwigQuery& q);
+
+}  // namespace twig
+}  // namespace qlearn
+
+#endif  // QLEARN_TWIG_TWIG_CONTAINMENT_H_

@@ -1,0 +1,234 @@
+#include "twig/twig_eval.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace qlearn {
+namespace twig {
+
+using xml::NodeId;
+
+TwigEvaluator::TwigEvaluator(const TwigQuery& query, const xml::XmlTree& doc)
+    : query_(query), doc_(doc) {
+  ComputeDown();
+  ComputeUp();
+}
+
+bool TwigEvaluator::LabelMatches(QNodeId q, NodeId v) const {
+  return query_.label(q) == kWildcard || query_.label(q) == doc_.label(v);
+}
+
+bool TwigEvaluator::ChildRequirement(QNodeId c, NodeId u) const {
+  if (query_.axis(c) == Axis::kChild) {
+    for (NodeId w : doc_.children(u)) {
+      if (down_[c][w]) return true;
+    }
+    return false;
+  }
+  // Descendant: some node strictly below u.
+  return down_below_[c][u] != 0;
+}
+
+void TwigEvaluator::ComputeDown() {
+  const size_t m = query_.NumNodes();
+  const size_t n = doc_.NumNodes();
+  down_.assign(m, std::vector<char>(n, 0));
+  down_below_.assign(m, std::vector<char>(n, 0));
+
+  // Document nodes children-before-parent; query nodes children-before-parent
+  // (child ids are always larger than parent ids).
+  std::vector<NodeId> doc_order = doc_.PreOrder();
+  std::reverse(doc_order.begin(), doc_order.end());
+
+  for (QNodeId q = static_cast<QNodeId>(m); q-- > 1;) {
+    for (NodeId v : doc_order) {
+      // down_below first: depends on children of v for the same q.
+      char below = 0;
+      for (NodeId w : doc_.children(v)) {
+        if (down_[q][w] || down_below_[q][w]) {
+          below = 1;
+          break;
+        }
+      }
+      down_below_[q][v] = below;
+      if (!LabelMatches(q, v)) continue;
+      bool ok = true;
+      for (QNodeId c : query_.children(q)) {
+        if (!ChildRequirement(c, v)) {
+          ok = false;
+          break;
+        }
+      }
+      down_[q][v] = ok ? 1 : 0;
+    }
+  }
+
+  // Overall match: all root children satisfied w.r.t. the virtual parent of
+  // the document root.
+  matches_ = true;
+  for (QNodeId c : query_.children(0)) {
+    const bool sat = query_.axis(c) == Axis::kChild
+                         ? down_[c][doc_.root()] != 0
+                         : (down_[c][doc_.root()] != 0 ||
+                            down_below_[c][doc_.root()] != 0);
+    if (!sat) {
+      matches_ = false;
+      break;
+    }
+  }
+}
+
+void TwigEvaluator::ComputeUp() {
+  const size_t m = query_.NumNodes();
+  const size_t n = doc_.NumNodes();
+  up_.assign(m, std::vector<char>(n, 0));
+  if (!matches_) return;  // no full embedding anywhere
+
+  const std::vector<NodeId> doc_pre = doc_.PreOrder();
+
+  for (QNodeId q : query_.PreOrder()) {
+    if (q == 0) continue;
+    const QNodeId p = query_.parent(q);
+    if (p == 0) {
+      // Context = the other root children must embed somewhere valid.
+      bool siblings_ok = true;
+      for (QNodeId c : query_.children(0)) {
+        if (c == q) continue;
+        const bool sat = query_.axis(c) == Axis::kChild
+                             ? down_[c][doc_.root()] != 0
+                             : (down_[c][doc_.root()] != 0 ||
+                                down_below_[c][doc_.root()] != 0);
+        if (!sat) {
+          siblings_ok = false;
+          break;
+        }
+      }
+      if (!siblings_ok) continue;
+      if (query_.axis(q) == Axis::kChild) {
+        up_[q][doc_.root()] = 1;
+      } else {
+        for (NodeId v = 0; v < n; ++v) up_[q][v] = 1;
+      }
+      continue;
+    }
+
+    // good[u]: parent p can map to u with its full context and all siblings
+    // of q satisfied under u.
+    std::vector<char> good(n, 0);
+    for (NodeId u = 0; u < n; ++u) {
+      if (!up_[p][u] || !LabelMatches(p, u)) continue;
+      bool ok = true;
+      for (QNodeId c : query_.children(p)) {
+        if (c == q) continue;
+        if (!ChildRequirement(c, u)) {
+          ok = false;
+          break;
+        }
+      }
+      good[u] = ok ? 1 : 0;
+    }
+
+    if (query_.axis(q) == Axis::kChild) {
+      for (NodeId v = 0; v < n; ++v) {
+        const NodeId u = doc_.parent(v);
+        if (u != xml::kInvalidNode && good[u]) up_[q][v] = 1;
+      }
+    } else {
+      // anc_good[v]: some proper ancestor u of v has good[u].
+      std::vector<char> anc_good(n, 0);
+      for (NodeId v : doc_pre) {
+        const NodeId u = doc_.parent(v);
+        if (u == xml::kInvalidNode) continue;
+        anc_good[v] = static_cast<char>(good[u] || anc_good[u]);
+      }
+      for (NodeId v = 0; v < n; ++v) up_[q][v] = anc_good[v];
+    }
+  }
+}
+
+bool TwigEvaluator::Matches() const { return matches_; }
+
+std::vector<NodeId> TwigEvaluator::SelectedNodes() const {
+  std::vector<NodeId> out;
+  const QNodeId s = query_.selection();
+  if (s == kInvalidQNode || !matches_) return out;
+  for (NodeId v = 0; v < doc_.NumNodes(); ++v) {
+    if (down_[s][v] && up_[s][v]) out.push_back(v);
+  }
+  return out;
+}
+
+bool TwigEvaluator::Selects(NodeId node) const {
+  const QNodeId s = query_.selection();
+  if (s == kInvalidQNode || !matches_) return false;
+  return down_[s][node] && up_[s][node];
+}
+
+std::vector<std::vector<NodeId>> TwigEvaluator::MarkedTuples(
+    size_t limit) const {
+  std::vector<std::vector<NodeId>> out;
+  if (!matches_ || query_.marked().empty()) return out;
+
+  // Pre-order list of real query nodes; parents precede children.
+  std::vector<QNodeId> qnodes;
+  for (QNodeId q : query_.PreOrder()) {
+    if (q != 0) qnodes.push_back(q);
+  }
+  std::vector<NodeId> assignment(query_.NumNodes(), xml::kInvalidNode);
+  std::set<std::vector<NodeId>> projections;
+
+  std::function<bool(size_t)> assign = [&](size_t idx) {
+    if (projections.size() >= limit) return true;  // stop
+    if (idx == qnodes.size()) {
+      std::vector<NodeId> tuple;
+      tuple.reserve(query_.marked().size());
+      for (QNodeId mq : query_.marked()) tuple.push_back(assignment[mq]);
+      projections.insert(std::move(tuple));
+      return projections.size() >= limit;
+    }
+    const QNodeId q = qnodes[idx];
+    const QNodeId p = query_.parent(q);
+    std::vector<NodeId> candidates;
+    if (p == 0) {
+      if (query_.axis(q) == Axis::kChild) {
+        candidates.push_back(doc_.root());
+      } else {
+        for (NodeId v = 0; v < doc_.NumNodes(); ++v) candidates.push_back(v);
+      }
+    } else {
+      const NodeId u = assignment[p];
+      if (query_.axis(q) == Axis::kChild) {
+        candidates = doc_.children(u);
+      } else {
+        candidates = doc_.Descendants(u);
+      }
+    }
+    for (NodeId v : candidates) {
+      if (!down_[q][v]) continue;
+      assignment[q] = v;
+      if (assign(idx + 1)) return true;
+    }
+    assignment[q] = xml::kInvalidNode;
+    return false;
+  };
+  assign(0);
+  return std::vector<std::vector<NodeId>>(projections.begin(),
+                                          projections.end());
+}
+
+bool Matches(const TwigQuery& query, const xml::XmlTree& doc) {
+  return TwigEvaluator(query, doc).Matches();
+}
+
+std::vector<NodeId> Evaluate(const TwigQuery& query, const xml::XmlTree& doc) {
+  return TwigEvaluator(query, doc).SelectedNodes();
+}
+
+bool Selects(const TwigQuery& query, const xml::XmlTree& doc,
+             xml::NodeId node) {
+  return TwigEvaluator(query, doc).Selects(node);
+}
+
+}  // namespace twig
+}  // namespace qlearn

@@ -1,0 +1,65 @@
+// Embedding-based evaluation of twig queries over XML trees: boolean
+// matching, unary node selection, and bounded n-ary embedding enumeration
+// (used by the XML shredding pipelines).
+#ifndef QLEARN_TWIG_TWIG_EVAL_H_
+#define QLEARN_TWIG_TWIG_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "twig/twig_query.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace twig {
+
+/// Evaluates twig queries against one document, caching per-document tables.
+/// The evaluator is cheap to construct; build one per (query, document) pair.
+class TwigEvaluator {
+ public:
+  /// Binds `query` and `doc`; neither is owned and both must outlive this.
+  TwigEvaluator(const TwigQuery& query, const xml::XmlTree& doc);
+
+  /// True iff some embedding of the whole query into the document exists.
+  bool Matches() const;
+
+  /// All document nodes selected by the query (sorted by node id).
+  /// Empty when the query has no selection node or does not match.
+  std::vector<xml::NodeId> SelectedNodes() const;
+
+  /// True iff the query selects `node`.
+  bool Selects(xml::NodeId node) const;
+
+  /// Enumerates embeddings projected onto the query's marked nodes, up to
+  /// `limit` distinct projections. Tuples follow the order of
+  /// query.marked(). Used for n-ary extraction.
+  std::vector<std::vector<xml::NodeId>> MarkedTuples(size_t limit) const;
+
+ private:
+  bool LabelMatches(QNodeId q, xml::NodeId v) const;
+  /// D[q][v]: subtree of q embeds with q -> v.
+  void ComputeDown();
+  /// U[q][v]: the context of q embeds with q -> v (requires ComputeDown).
+  void ComputeUp();
+  /// Child requirement of c w.r.t. parent image u, using D.
+  bool ChildRequirement(QNodeId c, xml::NodeId u) const;
+
+  const TwigQuery& query_;
+  const xml::XmlTree& doc_;
+  std::vector<std::vector<char>> down_;        // [q][v]
+  std::vector<std::vector<char>> down_below_;  // [q][v]: D holds strictly below v
+  std::vector<std::vector<char>> up_;          // [q][v]
+  bool matches_ = false;
+};
+
+/// Convenience wrappers.
+bool Matches(const TwigQuery& query, const xml::XmlTree& doc);
+std::vector<xml::NodeId> Evaluate(const TwigQuery& query,
+                                  const xml::XmlTree& doc);
+bool Selects(const TwigQuery& query, const xml::XmlTree& doc,
+             xml::NodeId node);
+
+}  // namespace twig
+}  // namespace qlearn
+
+#endif  // QLEARN_TWIG_TWIG_EVAL_H_

@@ -1,0 +1,122 @@
+#include "twig/twig_parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/strings.h"
+
+namespace qlearn {
+namespace twig {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, common::Interner* interner)
+      : text_(text), interner_(interner) {}
+
+  Result<TwigQuery> Parse() {
+    if (text_.empty()) return Status::ParseError("empty twig query");
+    QNodeId cur = 0;
+    while (pos_ < text_.size()) {
+      Axis axis;
+      if (Consume("//")) {
+        axis = Axis::kDescendant;
+      } else if (Consume("/")) {
+        axis = Axis::kChild;
+      } else {
+        return Error("expected '/' or '//'");
+      }
+      auto step = ParseStep(cur, axis);
+      if (!step.ok()) return step.status();
+      cur = step.value();
+    }
+    if (cur == 0) return Status::ParseError("twig query has no steps");
+    query_.set_selection(cur);
+    return std::move(query_);
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at offset " + std::to_string(pos_) +
+                              " in twig '" + std::string(text_) + "'");
+  }
+
+  bool Consume(std::string_view token) {
+    if (common::StartsWith(text_.substr(pos_), token)) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  static bool IsLabelChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '@' || c == '#' || c == '.';
+  }
+
+  /// Parses "label filter*" and returns the created node.
+  Result<QNodeId> ParseStep(QNodeId parent, Axis axis) {
+    common::SymbolId label;
+    if (Consume("*")) {
+      label = kWildcard;
+    } else {
+      const size_t start = pos_;
+      // '.' only allowed as part of './/' which is handled by callers.
+      while (pos_ < text_.size() && IsLabelChar(text_[pos_]) &&
+             text_[pos_] != '.') {
+        ++pos_;
+      }
+      if (pos_ == start) return Error("expected label or '*'");
+      label = interner_->Intern(text_.substr(start, pos_ - start));
+    }
+    const QNodeId node = query_.AddNode(parent, axis, label);
+    while (pos_ < text_.size() && text_[pos_] == '[') {
+      ++pos_;
+      QLEARN_RETURN_IF_ERROR(ParseFilterPath(node));
+      if (!Consume("]")) return Error("expected ']'");
+    }
+    return node;
+  }
+
+  /// Parses the relative path inside a filter, attaching it under `anchor`.
+  Status ParseFilterPath(QNodeId anchor) {
+    Axis axis = Axis::kChild;
+    if (Consume(".//") || Consume("//")) axis = Axis::kDescendant;
+    auto first = ParseStep(anchor, axis);
+    if (!first.ok()) return first.status();
+    QNodeId cur = first.value();
+    while (pos_ < text_.size() && text_[pos_] != ']') {
+      Axis next_axis;
+      if (Consume("//")) {
+        next_axis = Axis::kDescendant;
+      } else if (Consume("/")) {
+        next_axis = Axis::kChild;
+      } else {
+        return Error("expected '/', '//' or ']' in filter");
+      }
+      auto step = ParseStep(cur, next_axis);
+      if (!step.ok()) return step.status();
+      cur = step.value();
+    }
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  common::Interner* interner_;
+  TwigQuery query_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<TwigQuery> ParseTwig(std::string_view text,
+                            common::Interner* interner) {
+  return Parser(text, interner).Parse();
+}
+
+}  // namespace twig
+}  // namespace qlearn

@@ -1,0 +1,28 @@
+// Parser for the XPath-like twig syntax produced by TwigQuery::ToString:
+//
+//   query  := ('/'|'//') step ( ('/'|'//') step )*
+//   step   := (label | '*') filter*
+//   filter := '[' rel ']'
+//   rel    := ('.//')? step ( ('/'|'//') step )*
+//
+// The selection node is the final step of the main path.
+#ifndef QLEARN_TWIG_TWIG_PARSER_H_
+#define QLEARN_TWIG_TWIG_PARSER_H_
+
+#include <string_view>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "twig/twig_query.h"
+
+namespace qlearn {
+namespace twig {
+
+/// Parses `text` into a twig query, interning labels into `interner`.
+common::Result<TwigQuery> ParseTwig(std::string_view text,
+                                    common::Interner* interner);
+
+}  // namespace twig
+}  // namespace qlearn
+
+#endif  // QLEARN_TWIG_TWIG_PARSER_H_

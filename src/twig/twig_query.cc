@@ -1,0 +1,173 @@
+#include "twig/twig_query.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace qlearn {
+namespace twig {
+
+TwigQuery::TwigQuery() {
+  labels_.push_back(kWildcard);  // virtual root; label is never consulted
+  axes_.push_back(Axis::kChild);
+  parents_.push_back(kInvalidQNode);
+  depths_.push_back(0);
+  children_.emplace_back();
+}
+
+QNodeId TwigQuery::AddNode(QNodeId parent, Axis axis,
+                           common::SymbolId label) {
+  assert(parent < labels_.size());
+  const QNodeId id = static_cast<QNodeId>(labels_.size());
+  labels_.push_back(label);
+  axes_.push_back(axis);
+  parents_.push_back(parent);
+  depths_.push_back(depths_[parent] + 1);
+  children_.emplace_back();
+  children_[parent].push_back(id);
+  return id;
+}
+
+bool TwigQuery::IsPath() const {
+  for (const auto& kids : children_) {
+    if (kids.size() > 1) return false;
+  }
+  return true;
+}
+
+bool TwigQuery::IsAnchored() const {
+  for (QNodeId q = 1; q < labels_.size(); ++q) {
+    if (labels_[q] != kWildcard) continue;
+    if (axes_[q] == Axis::kDescendant) return false;
+    for (QNodeId c : children_[q]) {
+      if (axes_[c] == Axis::kDescendant) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<QNodeId> TwigQuery::PreOrder() const {
+  std::vector<QNodeId> order;
+  order.reserve(NumNodes());
+  std::vector<QNodeId> stack{0};
+  while (!stack.empty()) {
+    const QNodeId q = stack.back();
+    stack.pop_back();
+    order.push_back(q);
+    const auto& kids = children_[q];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return order;
+}
+
+TwigQuery TwigQuery::RemoveSubtree(QNodeId victim) const {
+  assert(victim != 0);
+  TwigQuery out;
+  std::vector<QNodeId> remap(NumNodes(), kInvalidQNode);
+  remap[0] = 0;
+  // Rebuild in pre-order, skipping the victim subtree.
+  for (QNodeId q : PreOrder()) {
+    if (q == 0) continue;
+    if (q == victim || remap[parents_[q]] == kInvalidQNode) continue;
+    remap[q] = out.AddNode(remap[parents_[q]], axes_[q], labels_[q]);
+  }
+  if (selection_ != kInvalidQNode) {
+    assert(remap[selection_] != kInvalidQNode &&
+           "selection inside removed subtree");
+    out.set_selection(remap[selection_]);
+  }
+  for (QNodeId m : marked_) {
+    assert(remap[m] != kInvalidQNode && "marked node inside removed subtree");
+    out.AddMarked(remap[m]);
+  }
+  return out;
+}
+
+bool TwigQuery::SubtreeEquals(const TwigQuery& other, QNodeId a,
+                              QNodeId b) const {
+  if (labels_[a] != other.labels_[b]) return false;
+  if (a != 0 && axes_[a] != other.axes_[b]) return false;
+  if ((a == selection_) != (b == other.selection_)) return false;
+  const auto& ka = children_[a];
+  const auto& kb = other.children_[b];
+  if (ka.size() != kb.size()) return false;
+  // Children are unordered: greedy bipartite matching via backtracking.
+  std::vector<bool> used(kb.size(), false);
+  std::function<bool(size_t)> match = [&](size_t i) {
+    if (i == ka.size()) return true;
+    for (size_t j = 0; j < kb.size(); ++j) {
+      if (used[j]) continue;
+      if (SubtreeEquals(other, ka[i], kb[j])) {
+        used[j] = true;
+        if (match(i + 1)) return true;
+        used[j] = false;
+      }
+    }
+    return false;
+  };
+  return match(0);
+}
+
+bool TwigQuery::StructurallyEquals(const TwigQuery& other) const {
+  if (NumNodes() != other.NumNodes()) return false;
+  return SubtreeEquals(other, 0, 0);
+}
+
+std::string TwigQuery::ToString(const common::Interner& interner) const {
+  // The main path runs from the virtual root to the selection node (or the
+  // deepest-first node if no selection). Side branches print as filters.
+  std::vector<QNodeId> main_path;
+  QNodeId tail = selection_;
+  if (tail == kInvalidQNode) {
+    // Boolean query: follow first children.
+    tail = 0;
+    while (!children_[tail].empty()) tail = children_[tail][0];
+  }
+  for (QNodeId q = tail; q != kInvalidQNode && q != 0; q = parents_[q]) {
+    main_path.push_back(q);
+  }
+  std::reverse(main_path.begin(), main_path.end());
+
+  auto label_str = [&](QNodeId q) {
+    return labels_[q] == kWildcard ? std::string("*")
+                                   : interner.Name(labels_[q]);
+  };
+
+  // Renders the subtree at `q` as a relative filter path.
+  std::function<std::string(QNodeId, bool)> render_filter =
+      [&](QNodeId q, bool leading_axis) {
+        std::string out;
+        if (leading_axis && axes_[q] == Axis::kDescendant) out += ".//";
+        if (!leading_axis) {
+          out += axes_[q] == Axis::kDescendant ? "//" : "/";
+        }
+        out += label_str(q);
+        const auto& kids = children_[q];
+        if (kids.size() == 1) {
+          out += render_filter(kids[0], false);
+        } else if (kids.size() > 1) {
+          for (QNodeId c : kids) {
+            out += "[" + render_filter(c, true) + "]";
+          }
+        }
+        return out;
+      };
+
+  std::string out;
+  for (size_t i = 0; i < main_path.size(); ++i) {
+    const QNodeId q = main_path[i];
+    out += axes_[q] == Axis::kDescendant ? "//" : "/";
+    out += label_str(q);
+    const QNodeId next =
+        i + 1 < main_path.size() ? main_path[i + 1] : kInvalidQNode;
+    for (QNodeId c : children_[q]) {
+      if (c == next) continue;
+      out += "[" + render_filter(c, true) + "]";
+    }
+  }
+  if (out.empty()) out = "/";
+  return out;
+}
+
+}  // namespace twig
+}  // namespace qlearn

@@ -1,0 +1,45 @@
+#include "xml/random_tree.h"
+
+namespace qlearn {
+namespace xml {
+
+namespace {
+
+void Grow(XmlTree* tree, NodeId node, int depth,
+          const RandomTreeOptions& options,
+          const std::vector<common::SymbolId>& alphabet, common::Rng* rng) {
+  if (depth >= options.max_depth) return;
+  const int kids =
+      static_cast<int>(rng->Uniform(
+          static_cast<uint64_t>(options.max_children) + 1));
+  for (int i = 0; i < kids; ++i) {
+    common::SymbolId label;
+    if (rng->Bernoulli(options.recursion_probability)) {
+      label = tree->label(node);  // recursive structure
+    } else {
+      label = alphabet[rng->Index(alphabet.size())];
+    }
+    const NodeId child = tree->AddChild(node, label);
+    Grow(tree, child, depth + 1, options, alphabet, rng);
+  }
+}
+
+}  // namespace
+
+XmlTree GenerateRandomTree(const RandomTreeOptions& options, common::Rng* rng,
+                           common::Interner* interner) {
+  std::vector<common::SymbolId> alphabet;
+  alphabet.reserve(static_cast<size_t>(options.alphabet_size));
+  for (int i = 0; i < options.alphabet_size; ++i) {
+    std::string name = "l";
+    name += std::to_string(i);
+    alphabet.push_back(interner->Intern(name));
+  }
+  XmlTree tree;
+  const NodeId root = tree.AddRoot(interner->Intern("root"));
+  Grow(&tree, root, 0, options, alphabet, rng);
+  return tree;
+}
+
+}  // namespace xml
+}  // namespace qlearn

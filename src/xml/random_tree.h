@@ -1,0 +1,36 @@
+// Random labeled-tree generation for property tests and learning workloads
+// (substitute for the "real-world XML web collection" corpora; DESIGN.md §1).
+#ifndef QLEARN_XML_RANDOM_TREE_H_
+#define QLEARN_XML_RANDOM_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace xml {
+
+/// Parameters of the random tree distribution.
+struct RandomTreeOptions {
+  /// Alphabet: labels "l0".."l{alphabet_size-1}" plus the fixed root "root".
+  int alphabet_size = 6;
+  int max_depth = 5;
+  /// Each node draws Uniform[0, max_children] children (0 at max_depth).
+  int max_children = 4;
+  /// Probability that a non-root node re-uses its parent's label family,
+  /// producing recursive structure.
+  double recursion_probability = 0.15;
+};
+
+/// Generates a random tree; labels are interned into `interner`.
+XmlTree GenerateRandomTree(const RandomTreeOptions& options, common::Rng* rng,
+                           common::Interner* interner);
+
+}  // namespace xml
+}  // namespace qlearn
+
+#endif  // QLEARN_XML_RANDOM_TREE_H_

@@ -1,0 +1,231 @@
+#include "xml/xmark.h"
+
+#include "common/rng.h"
+
+namespace qlearn {
+namespace xml {
+
+namespace {
+
+/// Builder holding the tree under construction and the scale options.
+class XMarkBuilder {
+ public:
+  XMarkBuilder(const XMarkOptions& options, common::Interner* interner)
+      : options_(options), rng_(options.seed), interner_(interner) {}
+
+  XmlTree Build() {
+    const NodeId site = tree_.AddRoot(Id("site"));
+    BuildRegions(site);
+    BuildCategories(site);
+    BuildCatgraph(site);
+    BuildPeople(site);
+    BuildOpenAuctions(site);
+    BuildClosedAuctions(site);
+    return std::move(tree_);
+  }
+
+ private:
+  common::SymbolId Id(const char* name) { return interner_->Intern(name); }
+
+  bool Maybe() { return rng_.Bernoulli(options_.optional_probability); }
+
+  NodeId Child(NodeId parent, const char* name) {
+    return tree_.AddChild(parent, Id(name));
+  }
+
+  void BuildRegions(NodeId site) {
+    const NodeId regions = Child(site, "regions");
+    static const char* kContinents[] = {"africa",   "asia",     "australia",
+                                        "europe",   "namerica", "samerica"};
+    for (const char* continent : kContinents) {
+      const NodeId region = Child(regions, continent);
+      const int items =
+          1 + static_cast<int>(rng_.Uniform(
+                  static_cast<uint64_t>(options_.num_items_per_region)));
+      for (int i = 0; i < items; ++i) BuildItem(region);
+    }
+  }
+
+  void BuildItem(NodeId region) {
+    const NodeId item = Child(region, "item");
+    Child(item, "@id");
+    Child(item, "location");
+    Child(item, "quantity");
+    Child(item, "name");
+    const NodeId payment = Child(item, "payment");
+    (void)payment;
+    BuildDescription(item, 0);
+    Child(item, "shipping");
+    const int incats = 1 + static_cast<int>(rng_.Uniform(3));
+    for (int i = 0; i < incats; ++i) {
+      const NodeId incat = Child(item, "incategory");
+      Child(incat, "@category");
+    }
+    if (Maybe()) {
+      const NodeId mailbox = Child(item, "mailbox");
+      const int mails = static_cast<int>(rng_.Uniform(3));
+      for (int i = 0; i < mails; ++i) {
+        const NodeId mail = Child(mailbox, "mail");
+        Child(mail, "from");
+        Child(mail, "to");
+        Child(mail, "date");
+        BuildDescription(mail, 0);
+      }
+    }
+  }
+
+  void BuildDescription(NodeId parent, int depth) {
+    const NodeId description = Child(parent, "description");
+    BuildTextOrParlist(description, depth);
+  }
+
+  void BuildTextOrParlist(NodeId parent, int depth) {
+    if (depth >= options_.max_parlist_depth || rng_.Bernoulli(0.6)) {
+      Child(parent, "text");
+      return;
+    }
+    const NodeId parlist = Child(parent, "parlist");
+    const int items = 1 + static_cast<int>(rng_.Uniform(3));
+    for (int i = 0; i < items; ++i) {
+      const NodeId listitem = Child(parlist, "listitem");
+      BuildTextOrParlist(listitem, depth + 1);
+    }
+  }
+
+  void BuildCategories(NodeId site) {
+    const NodeId categories = Child(site, "categories");
+    for (int i = 0; i < options_.num_categories; ++i) {
+      const NodeId category = Child(categories, "category");
+      Child(category, "@id");
+      Child(category, "name");
+      BuildDescription(category, 0);
+    }
+  }
+
+  void BuildCatgraph(NodeId site) {
+    const NodeId catgraph = Child(site, "catgraph");
+    const int edges = options_.num_categories;
+    for (int i = 0; i < edges; ++i) {
+      const NodeId edge = Child(catgraph, "edge");
+      Child(edge, "@from");
+      Child(edge, "@to");
+    }
+  }
+
+  void BuildPeople(NodeId site) {
+    const NodeId people = Child(site, "people");
+    for (int i = 0; i < options_.num_people; ++i) {
+      const NodeId person = Child(people, "person");
+      Child(person, "@id");
+      Child(person, "name");
+      Child(person, "emailaddress");
+      if (Maybe()) Child(person, "phone");
+      if (Maybe()) BuildAddress(person);
+      if (Maybe()) Child(person, "homepage");
+      if (Maybe()) Child(person, "creditcard");
+      if (Maybe()) BuildProfile(person);
+      if (Maybe()) {
+        const NodeId watches = Child(person, "watches");
+        const int n = static_cast<int>(rng_.Uniform(4));
+        for (int w = 0; w < n; ++w) {
+          const NodeId watch = Child(watches, "watch");
+          Child(watch, "@open_auction");
+        }
+      }
+    }
+  }
+
+  void BuildAddress(NodeId person) {
+    const NodeId address = Child(person, "address");
+    Child(address, "street");
+    Child(address, "city");
+    Child(address, "country");
+    Child(address, "zipcode");
+    if (Maybe()) Child(address, "province");
+  }
+
+  void BuildProfile(NodeId person) {
+    const NodeId profile = Child(person, "profile");
+    Child(profile, "@income");
+    const int interests = static_cast<int>(rng_.Uniform(4));
+    for (int i = 0; i < interests; ++i) {
+      const NodeId interest = Child(profile, "interest");
+      Child(interest, "@category");
+    }
+    if (Maybe()) Child(profile, "education");
+    if (Maybe()) Child(profile, "gender");
+    Child(profile, "business");
+    if (Maybe()) Child(profile, "age");
+  }
+
+  void BuildOpenAuctions(NodeId site) {
+    const NodeId auctions = Child(site, "open_auctions");
+    for (int i = 0; i < options_.num_open_auctions; ++i) {
+      const NodeId auction = Child(auctions, "open_auction");
+      Child(auction, "@id");
+      Child(auction, "initial");
+      if (Maybe()) Child(auction, "reserve");
+      const int bidders = static_cast<int>(rng_.Uniform(5));
+      for (int b = 0; b < bidders; ++b) {
+        const NodeId bidder = Child(auction, "bidder");
+        Child(bidder, "date");
+        Child(bidder, "time");
+        const NodeId personref = Child(bidder, "personref");
+        Child(personref, "@person");
+        Child(bidder, "increase");
+      }
+      Child(auction, "current");
+      if (Maybe()) Child(auction, "privacy");
+      const NodeId itemref = Child(auction, "itemref");
+      Child(itemref, "@item");
+      const NodeId seller = Child(auction, "seller");
+      Child(seller, "@person");
+      if (Maybe()) BuildAnnotation(auction);
+      Child(auction, "quantity");
+      Child(auction, "type");
+      const NodeId interval = Child(auction, "interval");
+      Child(interval, "start");
+      Child(interval, "end");
+    }
+  }
+
+  void BuildAnnotation(NodeId parent) {
+    const NodeId annotation = Child(parent, "annotation");
+    if (Maybe()) Child(annotation, "author");
+    BuildDescription(annotation, 1);
+    if (Maybe()) Child(annotation, "happiness");
+  }
+
+  void BuildClosedAuctions(NodeId site) {
+    const NodeId auctions = Child(site, "closed_auctions");
+    for (int i = 0; i < options_.num_closed_auctions; ++i) {
+      const NodeId auction = Child(auctions, "closed_auction");
+      const NodeId seller = Child(auction, "seller");
+      Child(seller, "@person");
+      const NodeId buyer = Child(auction, "buyer");
+      Child(buyer, "@person");
+      const NodeId itemref = Child(auction, "itemref");
+      Child(itemref, "@item");
+      Child(auction, "price");
+      Child(auction, "date");
+      Child(auction, "quantity");
+      Child(auction, "type");
+      if (Maybe()) BuildAnnotation(auction);
+    }
+  }
+
+  XMarkOptions options_;
+  common::Rng rng_;
+  common::Interner* interner_;
+  XmlTree tree_;
+};
+
+}  // namespace
+
+XmlTree GenerateXMark(const XMarkOptions& options,
+                      common::Interner* interner) {
+  return XMarkBuilder(options, interner).Build();
+}
+
+}  // namespace xml
+}  // namespace qlearn

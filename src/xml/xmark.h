@@ -1,0 +1,62 @@
+// XMark-style auction-site document generator (substitute for the XMark
+// benchmark generator [Schmidt et al., VLDB'02]; see DESIGN.md §1 for why the
+// substitution is faithful). The generated structure follows the DTD below,
+// scaled by XMarkOptions:
+//
+//   site            -> regions categories catgraph people
+//                      open_auctions closed_auctions
+//   regions         -> africa asia australia europe namerica samerica
+//   <continent>     -> item*
+//   item            -> location quantity name payment description shipping
+//                      incategory+ mailbox?
+//   description     -> text | parlist
+//   parlist         -> listitem+        listitem -> text | parlist
+//   people          -> person*
+//   person          -> name emailaddress phone? address? homepage?
+//                      creditcard? profile? watches?
+//   address         -> street city country zipcode province?
+//   profile         -> interest* education? gender? business age?
+//   watches         -> watch*
+//   open_auctions   -> open_auction*
+//   open_auction    -> initial reserve? bidder* current privacy? itemref
+//                      seller annotation? quantity type interval
+//   bidder          -> date time personref increase
+//   closed_auctions -> closed_auction*
+//   closed_auction  -> seller buyer itemref price date quantity type
+//                      annotation?
+//   categories      -> category+        category -> name description
+//   catgraph        -> edge*
+#ifndef QLEARN_XML_XMARK_H_
+#define QLEARN_XML_XMARK_H_
+
+#include <cstdint>
+
+#include "common/interner.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace xml {
+
+/// Scale knobs for the generator. The defaults produce a document of a few
+/// thousand nodes; scale linearly for larger corpora.
+struct XMarkOptions {
+  uint64_t seed = 42;
+  int num_people = 25;
+  int num_open_auctions = 12;
+  int num_closed_auctions = 8;
+  int num_items_per_region = 6;
+  int num_categories = 10;
+  /// Probability of optional elements (phone?, reserve?, ...) being present.
+  double optional_probability = 0.5;
+  /// Maximum recursion depth of description parlists.
+  int max_parlist_depth = 3;
+};
+
+/// Generates one XMark-style document, interning labels into `interner`.
+XmlTree GenerateXMark(const XMarkOptions& options,
+                      common::Interner* interner);
+
+}  // namespace xml
+}  // namespace qlearn
+
+#endif  // QLEARN_XML_XMARK_H_

@@ -1,0 +1,189 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace qlearn {
+namespace xml {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+class XmlParser {
+ public:
+  XmlParser(std::string_view text, common::Interner* interner,
+            const XmlParseOptions& options)
+      : text_(text), interner_(interner), options_(options) {}
+
+  Result<XmlTree> Parse() {
+    XmlTree tree;
+    std::vector<NodeId> stack;  // open elements
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '<') {
+        if (Lookahead("<?")) {
+          QLEARN_RETURN_IF_ERROR(SkipUntil("?>"));
+        } else if (Lookahead("<!--")) {
+          QLEARN_RETURN_IF_ERROR(SkipUntil("-->"));
+        } else if (Lookahead("<!")) {  // DOCTYPE and friends
+          QLEARN_RETURN_IF_ERROR(SkipUntil(">"));
+        } else if (Lookahead("</")) {
+          pos_ += 2;
+          std::string name;
+          QLEARN_RETURN_IF_ERROR(ReadName(&name));
+          SkipSpace();
+          if (pos_ >= text_.size() || text_[pos_] != '>') {
+            return Error("malformed closing tag </" + name);
+          }
+          ++pos_;
+          if (stack.empty()) {
+            return Error("closing tag </" + name + "> with no open element");
+          }
+          const std::string& open =
+              interner_->Name(tree.label(stack.back()));
+          if (open != name) {
+            return Error("mismatched closing tag: expected </" + open +
+                         ">, found </" + name + ">");
+          }
+          stack.pop_back();
+        } else {
+          ++pos_;
+          std::string name;
+          QLEARN_RETURN_IF_ERROR(ReadName(&name));
+          NodeId node;
+          if (stack.empty()) {
+            if (!tree.empty()) return Error("multiple root elements");
+            node = tree.AddRoot(interner_->Intern(name));
+          } else {
+            node = tree.AddChild(stack.back(), interner_->Intern(name));
+          }
+          bool self_closing = false;
+          QLEARN_RETURN_IF_ERROR(ParseAttributes(&tree, node, &self_closing));
+          if (!self_closing) stack.push_back(node);
+        }
+      } else {
+        const size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != '<') ++pos_;
+        const std::string_view raw = text_.substr(start, pos_ - start);
+        const std::string_view content = common::Trim(raw);
+        if (!content.empty()) {
+          if (stack.empty()) return Error("text content outside root element");
+          if (options_.keep_text) {
+            tree.AddChild(stack.back(), interner_->Intern("#text"));
+          }
+        }
+      }
+    }
+    if (!stack.empty()) {
+      return Error("unclosed element <" +
+                   interner_->Name(tree.label(stack.back())) + ">");
+    }
+    if (tree.empty()) return Error("no root element");
+    return tree;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " (offset " + std::to_string(pos_) +
+                              ")");
+  }
+
+  bool Lookahead(std::string_view prefix) const {
+    return common::StartsWith(text_.substr(pos_), prefix);
+  }
+
+  Status SkipUntil(std::string_view marker) {
+    const size_t found = text_.find(marker, pos_);
+    if (found == std::string_view::npos) {
+      return Error("unterminated construct, expected '" + std::string(marker) +
+                   "'");
+    }
+    pos_ = found + marker.size();
+    return Status::OK();
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // Liberal name rules: the library publishes data values as element
+  // labels (e.g. <42/>, <'ada'/>), so names may start with digits or
+  // quotes; structural characters stay excluded.
+  static bool IsNameStart(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '\'';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':' || c == '\'';
+  }
+
+  Status ReadName(std::string* out) {
+    if (pos_ >= text_.size() || !IsNameStart(text_[pos_])) {
+      return Error("expected element name");
+    }
+    const size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    *out = std::string(text_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  Status ParseAttributes(XmlTree* tree, NodeId node, bool* self_closing) {
+    *self_closing = false;
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size()) return Error("unterminated start tag");
+      if (text_[pos_] == '>') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (Lookahead("/>")) {
+        pos_ += 2;
+        *self_closing = true;
+        return Status::OK();
+      }
+      std::string attr;
+      QLEARN_RETURN_IF_ERROR(ReadName(&attr));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '=') {
+        ++pos_;
+        SkipSpace();
+        if (pos_ >= text_.size() ||
+            (text_[pos_] != '"' && text_[pos_] != '\'')) {
+          return Error("expected quoted attribute value for '" + attr + "'");
+        }
+        const char quote = text_[pos_++];
+        const size_t end = text_.find(quote, pos_);
+        if (end == std::string_view::npos) {
+          return Error("unterminated attribute value for '" + attr + "'");
+        }
+        pos_ = end + 1;
+      }
+      if (options_.keep_attributes) {
+        tree->AddChild(node, interner_->Intern("@" + attr));
+      }
+    }
+  }
+
+  std::string_view text_;
+  common::Interner* interner_;
+  XmlParseOptions options_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<XmlTree> ParseXml(std::string_view text, common::Interner* interner,
+                         const XmlParseOptions& options) {
+  return XmlParser(text, interner, options).Parse();
+}
+
+}  // namespace xml
+}  // namespace qlearn

@@ -1,0 +1,34 @@
+// Parser for the XML subset used throughout the library: elements,
+// attributes (mapped to '@name' children), self-closing tags, comments,
+// processing instructions, and optional text capture as '#text' leaves.
+#ifndef QLEARN_XML_XML_PARSER_H_
+#define QLEARN_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace xml {
+
+/// Controls how non-element content is represented.
+struct XmlParseOptions {
+  /// When true, non-whitespace text content becomes '#text' leaf children.
+  bool keep_text = false;
+  /// When true, attributes become '@name' leaf children (values dropped).
+  bool keep_attributes = true;
+};
+
+/// Parses `text` into a tree, interning labels into `interner`.
+/// Returns ParseError on malformed input (mismatched or unclosed tags,
+/// multiple roots, stray content).
+common::Result<XmlTree> ParseXml(std::string_view text,
+                                 common::Interner* interner,
+                                 const XmlParseOptions& options = {});
+
+}  // namespace xml
+}  // namespace qlearn
+
+#endif  // QLEARN_XML_XML_PARSER_H_

@@ -1,0 +1,107 @@
+#include "xml/xml_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qlearn {
+namespace xml {
+
+NodeId XmlTree::AddRoot(common::SymbolId label) {
+  assert(labels_.empty() && "AddRoot on a non-empty tree");
+  labels_.push_back(label);
+  parents_.push_back(kInvalidNode);
+  depths_.push_back(0);
+  children_.emplace_back();
+  return 0;
+}
+
+NodeId XmlTree::AddChild(NodeId parent, common::SymbolId label) {
+  assert(parent < labels_.size());
+  const NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(label);
+  parents_.push_back(parent);
+  depths_.push_back(depths_[parent] + 1);
+  children_.emplace_back();
+  children_[parent].push_back(id);
+  return id;
+}
+
+NodeId XmlTree::GraftSubtree(NodeId parent, const XmlTree& other,
+                             NodeId other_node) {
+  const NodeId copied = AddChild(parent, other.label(other_node));
+  for (NodeId c : other.children(other_node)) {
+    GraftSubtree(copied, other, c);
+  }
+  return copied;
+}
+
+bool XmlTree::IsProperAncestor(NodeId a, NodeId d) const {
+  if (depths_[a] >= depths_[d]) return false;
+  NodeId cur = parents_[d];
+  while (cur != kInvalidNode && depths_[cur] >= depths_[a]) {
+    if (cur == a) return true;
+    cur = parents_[cur];
+  }
+  return false;
+}
+
+std::vector<NodeId> XmlTree::PreOrder() const {
+  std::vector<NodeId> order;
+  order.reserve(NumNodes());
+  std::vector<NodeId> stack{root()};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    const auto& kids = children_[n];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+std::vector<NodeId> XmlTree::Descendants(NodeId n) const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack(children_[n].rbegin(), children_[n].rend());
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const auto& kids = children_[cur];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+std::vector<common::SymbolId> XmlTree::ChildLabelBag(NodeId n) const {
+  std::vector<common::SymbolId> bag;
+  bag.reserve(children_[n].size());
+  for (NodeId c : children_[n]) bag.push_back(labels_[c]);
+  std::sort(bag.begin(), bag.end());
+  return bag;
+}
+
+std::string XmlTree::ToXml(const common::Interner& interner, NodeId n,
+                           int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  const std::string& name = interner.Name(labels_[n]);
+  if (children_[n].empty()) {
+    return pad + "<" + name + "/>\n";
+  }
+  std::string out = pad + "<" + name + ">\n";
+  for (NodeId c : children_[n]) out += ToXml(interner, c, indent + 1);
+  out += pad + "</" + name + ">\n";
+  return out;
+}
+
+uint32_t XmlTree::Height(NodeId n) const {
+  uint32_t best = 0;
+  for (NodeId c : children_[n]) best = std::max(best, Height(c));
+  return best + 1;
+}
+
+}  // namespace xml
+}  // namespace qlearn

@@ -1,0 +1,265 @@
+// Unit and property tests for the automata substrate: regex parsing and
+// simplification, Glushkov NFAs, DFA operations, and regex extraction.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "automata/regex.h"
+#include "common/interner.h"
+#include "common/rng.h"
+
+namespace qlearn {
+namespace automata {
+namespace {
+
+using common::Interner;
+using common::SymbolId;
+
+class RegexTest : public ::testing::Test {
+ protected:
+  RegexPtr Parse(const std::string& text) {
+    auto r = ParseRegex(text, &interner_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value() : Regex::Empty();
+  }
+
+  std::vector<SymbolId> Word(const std::string& letters) {
+    std::vector<SymbolId> out;
+    for (char c : letters) out.push_back(interner_.Intern(std::string(1, c)));
+    return out;
+  }
+
+  Interner interner_;
+};
+
+TEST_F(RegexTest, ParseSymbol) {
+  RegexPtr r = Parse("a");
+  EXPECT_EQ(r->op(), RegexOp::kSymbol);
+  EXPECT_FALSE(r->Nullable());
+}
+
+TEST_F(RegexTest, ParseConcatAndUnion) {
+  RegexPtr r = Parse("a.b|c");
+  EXPECT_EQ(r->op(), RegexOp::kUnion);
+  EXPECT_EQ(r->children().size(), 2u);
+}
+
+TEST_F(RegexTest, ParsePostfixOperators) {
+  EXPECT_EQ(Parse("a*")->op(), RegexOp::kStar);
+  EXPECT_EQ(Parse("a+")->op(), RegexOp::kPlus);
+  EXPECT_EQ(Parse("a?")->op(), RegexOp::kOpt);
+  EXPECT_TRUE(Parse("a*")->Nullable());
+  EXPECT_FALSE(Parse("a+")->Nullable());
+  EXPECT_TRUE(Parse("a?")->Nullable());
+}
+
+TEST_F(RegexTest, ParseEpsilonAndParens) {
+  EXPECT_EQ(Parse("()")->op(), RegexOp::kEpsilon);
+  EXPECT_EQ(Parse("(a|b).c")->op(), RegexOp::kConcat);
+}
+
+TEST_F(RegexTest, ParseCommaAsConcat) {
+  RegexPtr r = Parse("a, b?, c*");
+  EXPECT_EQ(r->op(), RegexOp::kConcat);
+  EXPECT_EQ(r->children().size(), 3u);
+}
+
+TEST_F(RegexTest, ParseErrors) {
+  EXPECT_FALSE(ParseRegex("(a", &interner_).ok());
+  EXPECT_FALSE(ParseRegex("a)", &interner_).ok());
+  EXPECT_FALSE(ParseRegex("*", &interner_).ok());
+}
+
+TEST_F(RegexTest, SimplificationRules) {
+  // (r*)* = r*
+  EXPECT_EQ(Parse("(a*)*")->op(), RegexOp::kStar);
+  EXPECT_EQ(Parse("(a*)*")->children()[0]->op(), RegexOp::kSymbol);
+  // (a+)? = a*
+  EXPECT_EQ(Parse("(a+)?")->op(), RegexOp::kStar);
+  // union dedup of identical symbols
+  EXPECT_EQ(Parse("a|a")->op(), RegexOp::kSymbol);
+}
+
+TEST_F(RegexTest, ToStringRoundTrip) {
+  const std::string texts[] = {"a.b.c", "a|b", "(a|b)*", "a.(b|c)+.d?",
+                               "a*.b"};
+  for (const std::string& text : texts) {
+    RegexPtr r1 = Parse(text);
+    RegexPtr r2 = Parse(r1->ToString(interner_));
+    // Round-trip must preserve the language.
+    EXPECT_TRUE(Dfa::Equivalent(Dfa::FromRegex(*r1), Dfa::FromRegex(*r2)))
+        << text << " vs " << r1->ToString(interner_);
+  }
+}
+
+TEST_F(RegexTest, AlphabetAndSize) {
+  RegexPtr r = Parse("a.(b|c)*.a");
+  EXPECT_EQ(r->Alphabet().size(), 3u);
+  EXPECT_GE(r->Size(), 5u);
+}
+
+TEST_F(RegexTest, NfaAccepts) {
+  Nfa nfa = Nfa::FromRegex(*Parse("a.b*.c"));
+  EXPECT_TRUE(nfa.Accepts(Word("ac")));
+  EXPECT_TRUE(nfa.Accepts(Word("abbbc")));
+  EXPECT_FALSE(nfa.Accepts(Word("a")));
+  EXPECT_FALSE(nfa.Accepts(Word("bc")));
+  EXPECT_FALSE(nfa.Accepts(Word("")));
+}
+
+TEST_F(RegexTest, NfaEpsilonLanguage) {
+  Nfa nfa = Nfa::FromRegex(*Regex::Epsilon());
+  EXPECT_TRUE(nfa.Accepts({}));
+  EXPECT_FALSE(nfa.Accepts(Word("a")));
+}
+
+TEST_F(RegexTest, NfaEmptyLanguage) {
+  Nfa nfa = Nfa::FromRegex(*Regex::Empty());
+  EXPECT_FALSE(nfa.Accepts({}));
+}
+
+TEST_F(RegexTest, DfaMatchesNfaOnWords) {
+  RegexPtr r = Parse("(a|b)*.a.b");
+  Nfa nfa = Nfa::FromRegex(*r);
+  Dfa dfa = Dfa::FromRegex(*r);
+  common::Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    std::string w;
+    const int len = static_cast<int>(rng.Uniform(8));
+    for (int k = 0; k < len; ++k) w += rng.Bernoulli(0.5) ? 'a' : 'b';
+    EXPECT_EQ(nfa.Accepts(Word(w)), dfa.Accepts(Word(w))) << w;
+  }
+}
+
+TEST_F(RegexTest, DfaEmptiness) {
+  EXPECT_TRUE(Dfa::FromRegex(*Regex::Empty()).IsEmpty());
+  EXPECT_FALSE(Dfa::FromRegex(*Parse("a")).IsEmpty());
+  EXPECT_FALSE(Dfa::FromRegex(*Regex::Epsilon()).IsEmpty());
+}
+
+TEST_F(RegexTest, DfaShortestAccepted) {
+  Dfa dfa = Dfa::FromRegex(*Parse("a.a.b|a.b"));
+  auto w = dfa.ShortestAccepted();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->size(), 2u);
+}
+
+TEST_F(RegexTest, DfaEquivalence) {
+  EXPECT_TRUE(Dfa::Equivalent(Dfa::FromRegex(*Parse("(a|b)*")),
+                              Dfa::FromRegex(*Parse("(a*.b*)*"))));
+  EXPECT_FALSE(Dfa::Equivalent(Dfa::FromRegex(*Parse("a+")),
+                               Dfa::FromRegex(*Parse("a*"))));
+}
+
+TEST_F(RegexTest, DfaContainment) {
+  EXPECT_TRUE(Dfa::Contains(Dfa::FromRegex(*Parse("a*")),
+                            Dfa::FromRegex(*Parse("a+"))));
+  EXPECT_FALSE(Dfa::Contains(Dfa::FromRegex(*Parse("a+")),
+                             Dfa::FromRegex(*Parse("a*"))));
+  EXPECT_TRUE(Dfa::Contains(Dfa::FromRegex(*Parse("(a|b)*")),
+                            Dfa::FromRegex(*Parse("a.b.a"))));
+}
+
+TEST_F(RegexTest, DfaDifferenceWitness) {
+  auto w = Dfa::DifferenceWitness(Dfa::FromRegex(*Parse("a*")),
+                                  Dfa::FromRegex(*Parse("a+")));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(w->empty());  // epsilon separates a* from a+
+  EXPECT_FALSE(Dfa::DifferenceWitness(Dfa::FromRegex(*Parse("a+")),
+                                      Dfa::FromRegex(*Parse("a*")))
+                   .has_value());
+}
+
+TEST_F(RegexTest, MinimizeReducesStates) {
+  // (a|b)*: minimal DFA has one state.
+  Dfa m = Dfa::FromRegex(*Parse("(a|b)*")).Minimize();
+  EXPECT_EQ(m.NumStates(), 1u);
+  EXPECT_TRUE(m.IsAccepting(m.start()));
+}
+
+TEST_F(RegexTest, MinimizePreservesLanguage) {
+  const std::string texts[] = {"a.b|a.c", "(a.b)*", "a?.b+.c*", "(a|b).(a|b)"};
+  for (const std::string& text : texts) {
+    Dfa d = Dfa::FromRegex(*Parse(text));
+    EXPECT_TRUE(Dfa::Equivalent(d, d.Minimize())) << text;
+  }
+}
+
+TEST_F(RegexTest, ToRegexPreservesLanguage) {
+  const std::string texts[] = {"a",          "a.b",       "a|b",
+                               "(a|b)*.c",   "a.b*.c",    "a?.b",
+                               "(a.b|c.d)+", "a.(b.c)*"};
+  for (const std::string& text : texts) {
+    Dfa d = Dfa::FromRegex(*Parse(text));
+    RegexPtr extracted = d.ToRegex();
+    EXPECT_TRUE(Dfa::Equivalent(d, Dfa::FromRegex(*extracted)))
+        << text << " -> " << extracted->ToString(interner_);
+  }
+}
+
+// Property sweep: random regexes agree between NFA simulation and DFA, and
+// survive printing, re-parsing, minimization and extraction.
+class RandomRegexProperty : public ::testing::TestWithParam<int> {};
+
+RegexPtr RandomRegex(common::Rng* rng, Interner* interner, int depth) {
+  const SymbolId a = interner->Intern("a");
+  const SymbolId b = interner->Intern("b");
+  const SymbolId c = interner->Intern("c");
+  if (depth == 0 || rng->Bernoulli(0.4)) {
+    const SymbolId syms[] = {a, b, c};
+    return Regex::Symbol(syms[rng->Index(3)]);
+  }
+  switch (rng->Uniform(5)) {
+    case 0:
+      return Regex::Concat({RandomRegex(rng, interner, depth - 1),
+                            RandomRegex(rng, interner, depth - 1)});
+    case 1:
+      return Regex::Union({RandomRegex(rng, interner, depth - 1),
+                           RandomRegex(rng, interner, depth - 1)});
+    case 2:
+      return Regex::Star(RandomRegex(rng, interner, depth - 1));
+    case 3:
+      return Regex::Plus(RandomRegex(rng, interner, depth - 1));
+    default:
+      return Regex::Opt(RandomRegex(rng, interner, depth - 1));
+  }
+}
+
+TEST_P(RandomRegexProperty, PipelinePreservesLanguage) {
+  Interner interner;
+  common::Rng rng(GetParam());
+  RegexPtr r = RandomRegex(&rng, &interner, 4);
+  Dfa d = Dfa::FromRegex(*r);
+
+  // Print -> parse round trip.
+  auto reparsed = ParseRegex(r->ToString(interner), &interner);
+  ASSERT_TRUE(reparsed.ok()) << r->ToString(interner);
+  EXPECT_TRUE(Dfa::Equivalent(d, Dfa::FromRegex(*reparsed.value())));
+
+  // Minimization round trip.
+  EXPECT_TRUE(Dfa::Equivalent(d, d.Minimize()));
+
+  // Extraction round trip.
+  EXPECT_TRUE(Dfa::Equivalent(d, Dfa::FromRegex(*d.ToRegex())));
+
+  // NFA and DFA agree on random words.
+  Nfa nfa = Nfa::FromRegex(*r);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<SymbolId> w;
+    const int len = static_cast<int>(rng.Uniform(6));
+    for (int k = 0; k < len; ++k) {
+      w.push_back(interner.Intern(std::string(1, "abc"[rng.Index(3)])));
+    }
+    EXPECT_EQ(nfa.Accepts(w), d.Accepts(w));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRegexProperty,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace automata
+}  // namespace qlearn

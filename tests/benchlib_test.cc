@@ -1,0 +1,145 @@
+// Tests for the benchmark library: XPathMark-style query set composition,
+// statistics helpers, goal-query pool, and the convergence harness.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchlib/experiment_util.h"
+#include "benchlib/xpathmark.h"
+#include "schema/inference.h"
+#include "twig/twig_eval.h"
+#include "twig/twig_parser.h"
+#include "xml/xmark.h"
+
+namespace qlearn {
+namespace benchlib {
+namespace {
+
+TEST(XPathMarkTest, TwentyQueriesWithFifteenPercentTwigs) {
+  const auto& queries = XPathMarkQueries();
+  EXPECT_EQ(queries.size(), 20u);
+  int twigs = 0;
+  std::set<std::string> ids;
+  for (const auto& q : queries) {
+    EXPECT_TRUE(ids.insert(q.id).second) << "duplicate id " << q.id;
+    EXPECT_FALSE(q.xpath.empty());
+    if (q.in_twig_fragment) {
+      ++twigs;
+      EXPECT_TRUE(q.exclusion_reason.empty());
+    } else {
+      EXPECT_FALSE(q.exclusion_reason.empty()) << q.id;
+    }
+  }
+  EXPECT_EQ(twigs, 3);  // 3/20 = 15%, the paper's reported fraction
+}
+
+TEST(XPathMarkTest, TwigQueriesParseAndMatchXMark) {
+  common::Interner interner;
+  xml::XMarkOptions opts;
+  opts.seed = 3;
+  opts.num_closed_auctions = 20;
+  const xml::XmlTree doc = xml::GenerateXMark(opts, &interner);
+  for (const auto& q : XPathMarkQueries()) {
+    if (!q.in_twig_fragment) continue;
+    auto parsed = twig::ParseTwig(q.xpath, &interner);
+    ASSERT_TRUE(parsed.ok()) << q.id << ": " << parsed.status().ToString();
+    // Each in-fragment query selects something on a large document.
+    EXPECT_FALSE(twig::Evaluate(parsed.value(), doc).empty()) << q.id;
+  }
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0);
+  EXPECT_DOUBLE_EQ(Mean({2, 4}), 3);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0);
+  EXPECT_DOUBLE_EQ(StdDev({2, 4}), 1);
+}
+
+TEST(GoalQueriesTest, AllParseAndAreAnchored) {
+  common::Interner interner;
+  for (const std::string& text : XMarkGoalQueries()) {
+    auto q = twig::ParseTwig(text, &interner);
+    ASSERT_TRUE(q.ok()) << text;
+    EXPECT_TRUE(q.value().IsAnchored()) << text;
+  }
+}
+
+TEST(ConvergenceTest, SimpleGoalConvergesWithFewExamples) {
+  common::Interner interner;
+  std::vector<xml::XmlTree> docs;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    xml::XMarkOptions opts;
+    opts.seed = 100 + seed;
+    opts.num_people = 12;
+    docs.push_back(xml::GenerateXMark(opts, &interner));
+  }
+  std::vector<const xml::XmlTree*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+
+  auto goal = twig::ParseTwig("/site/people/person[phone]/name", &interner);
+  ASSERT_TRUE(goal.ok());
+  const int n = ExamplesUntilConvergence(goal.value(), ptrs, &interner);
+  ASSERT_GT(n, 0);
+  EXPECT_LE(n, 6);
+}
+
+TEST(ConvergenceTest, InformativeOrderNeverSlower) {
+  common::Interner interner;
+  std::vector<xml::XmlTree> docs;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    xml::XMarkOptions opts;
+    opts.seed = 300 + seed;
+    opts.num_people = 10;
+    docs.push_back(xml::GenerateXMark(opts, &interner));
+  }
+  std::vector<const xml::XmlTree*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+  auto goal = twig::ParseTwig("/site/people/person/name", &interner);
+  ASSERT_TRUE(goal.ok());
+  const int arbitrary = ExamplesUntilConvergence(
+      goal.value(), ptrs, &interner, 16, ConvergenceCriterion::kAnswers,
+      ExampleOrder::kRoundRobin);
+  const int informative = ExamplesUntilConvergence(
+      goal.value(), ptrs, &interner, 16, ConvergenceCriterion::kAnswers,
+      ExampleOrder::kCounterexample);
+  ASSERT_GT(informative, 0);
+  ASSERT_GT(arbitrary, 0);
+  // A counterexample-driven user never needs more examples than one who
+  // feeds lookalike matches in document order.
+  EXPECT_LE(informative, arbitrary);
+}
+
+TEST(ConvergenceTest, SchemaAwareVariantConverges) {
+  common::Interner interner;
+  std::vector<xml::XmlTree> docs;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    xml::XMarkOptions opts;
+    opts.seed = 400 + seed;
+    opts.num_people = 10;
+    docs.push_back(xml::GenerateXMark(opts, &interner));
+  }
+  std::vector<const xml::XmlTree*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+  auto ms = schema::InferMs(ptrs);
+  ASSERT_TRUE(ms.ok());
+  auto goal = twig::ParseTwig("/site/people/person[phone]/name", &interner);
+  ASSERT_TRUE(goal.ok());
+  const int n = ExamplesUntilConvergenceWithSchema(
+      goal.value(), ptrs, ms.value(), &interner, 16,
+      ExampleOrder::kCounterexample);
+  EXPECT_GT(n, 0);
+  EXPECT_LE(n, 10);
+}
+
+TEST(ConvergenceTest, ReportsFailureWhenNoMatches) {
+  common::Interner interner;
+  xml::XMarkOptions opts;
+  const xml::XmlTree doc = xml::GenerateXMark(opts, &interner);
+  auto goal = twig::ParseTwig("/site/nonexistent_label_xyz", &interner);
+  ASSERT_TRUE(goal.ok());
+  EXPECT_EQ(ExamplesUntilConvergence(goal.value(), {&doc}, &interner), -1);
+}
+
+}  // namespace
+}  // namespace benchlib
+}  // namespace qlearn

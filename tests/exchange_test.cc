@@ -1,0 +1,273 @@
+// Tests for the cross-model exchange pipelines (Figure 1): publishing
+// relational data as XML, shredding XML to relations and graphs, publishing
+// graph paths as XML, and the end-to-end learn-then-exchange scenarios.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exchange/mapping.h"
+#include "relational/generator.h"
+#include "relational/operators.h"
+#include "twig/twig_eval.h"
+#include "twig/twig_parser.h"
+#include "xml/xml_parser.h"
+
+namespace qlearn {
+namespace exchange {
+namespace {
+
+using relational::Attribute;
+using relational::Relation;
+using relational::RelationSchema;
+using relational::Value;
+using relational::ValueType;
+
+class ExchangeFixture : public ::testing::Test {
+ protected:
+  xml::XmlTree Doc(const std::string& text) {
+    auto t = xml::ParseXml(text, &interner_);
+    EXPECT_TRUE(t.ok()) << text;
+    return t.ok() ? std::move(t).value() : xml::XmlTree();
+  }
+
+  twig::TwigQuery Q(const std::string& text) {
+    auto q = twig::ParseTwig(text, &interner_);
+    EXPECT_TRUE(q.ok()) << text;
+    return q.ok() ? std::move(q).value() : twig::TwigQuery();
+  }
+
+  xml::NodeId FindNode(const xml::XmlTree& doc, const std::string& label,
+                       int occurrence = 0) {
+    int seen = 0;
+    for (xml::NodeId n : doc.PreOrder()) {
+      if (interner_.Name(doc.label(n)) == label) {
+        if (seen == occurrence) return n;
+        ++seen;
+      }
+    }
+    ADD_FAILURE() << "no node labeled " << label;
+    return 0;
+  }
+
+  common::Interner interner_;
+};
+
+TEST_F(ExchangeFixture, PublishFlatRelation) {
+  Relation r(RelationSchema("emp", {Attribute{"name", ValueType::kString},
+                                    Attribute{"dept", ValueType::kInt}}));
+  r.InsertUnchecked({Value(std::string("ada")), Value(int64_t{1})});
+  r.InsertUnchecked({Value(std::string("alan")), Value(int64_t{2})});
+
+  PublishOptions opts;
+  auto doc = PublishRelationAsXml(r, opts, &interner_);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(interner_.Name(doc.value().label(0)), "export");
+  // Two records, each with two attribute elements carrying value leaves.
+  const auto& records = doc.value().children(doc.value().root());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(doc.value().children(records[0]).size(), 2u);
+  // The published tree selects via twigs: /export/record/name.
+  EXPECT_EQ(twig::Evaluate(Q("/export/record/name"), doc.value()).size(), 2u);
+}
+
+TEST_F(ExchangeFixture, PublishGroupedRelation) {
+  Relation r(RelationSchema("emp", {Attribute{"name", ValueType::kString},
+                                    Attribute{"dept", ValueType::kInt}}));
+  r.InsertUnchecked({Value(std::string("ada")), Value(int64_t{1})});
+  r.InsertUnchecked({Value(std::string("alan")), Value(int64_t{2})});
+  r.InsertUnchecked({Value(std::string("grace")), Value(int64_t{1})});
+
+  PublishOptions opts;
+  opts.group_by = "dept";
+  auto doc = PublishRelationAsXml(r, opts, &interner_);
+  ASSERT_TRUE(doc.ok());
+  // Two groups (dept 1 and 2); dept 1 holds two records.
+  EXPECT_EQ(twig::Evaluate(Q("/export/group"), doc.value()).size(), 2u);
+  EXPECT_EQ(twig::Evaluate(Q("/export/group/record"), doc.value()).size(),
+            3u);
+  EXPECT_FALSE(
+      PublishRelationAsXml(r, [] {
+        PublishOptions bad;
+        bad.group_by = "missing";
+        return bad;
+      }(), &interner_).ok());
+}
+
+TEST_F(ExchangeFixture, ShredToRelationExtractsTuples) {
+  const xml::XmlTree doc = Doc(
+      "<db><rec><k><k1/></k><v><v1/></v></rec>"
+      "<rec><k><k2/></k><v><v2/></v></rec></db>");
+  twig::TwigQuery q = Q("/db/rec[k][v]");
+  q.AddMarked(3);  // k node
+  q.AddMarked(4);  // v node
+  ShredOptions opts;
+  opts.relation_name = "kv";
+  auto rel = ShredXmlToRelation(doc, q, opts, interner_);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.value().schema().name(), "kv");
+  EXPECT_EQ(rel.value().size(), 2u);
+  // Values are the first-child labels.
+  std::set<std::string> keys;
+  for (const auto& row : rel.value().rows()) {
+    keys.insert(row[0].AsString());
+  }
+  EXPECT_EQ(keys, (std::set<std::string>{"k1", "k2"}));
+}
+
+TEST_F(ExchangeFixture, ShredToRelationRequiresMarks) {
+  const xml::XmlTree doc = Doc("<db><rec/></db>");
+  EXPECT_FALSE(ShredXmlToRelation(doc, Q("/db/rec"), {}, interner_).ok());
+}
+
+TEST_F(ExchangeFixture, ShredToGraphBuildsTriples) {
+  const xml::XmlTree doc = Doc(
+      "<site><person><name/><address><city/></address></person>"
+      "<person><name/></person></site>");
+  auto result = ShredXmlToGraph(doc, Q("//person"), interner_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().selected_roots.size(), 2u);
+  // Vertices: 2 persons + name/address/city + name = 6. Edges, one per
+  // parent-child pair: person1->{name,address}, address->city,
+  // person2->name = 4.
+  EXPECT_EQ(result.value().graph.NumVertices(), 6u);
+  EXPECT_EQ(result.value().graph.NumEdges(), 4u);
+  // Edge labels are the child element labels.
+  std::set<std::string> labels;
+  for (common::SymbolId s : result.value().graph.EdgeAlphabet()) {
+    labels.insert(interner_.Name(s));
+  }
+  EXPECT_EQ(labels, (std::set<std::string>{"name", "address", "city"}));
+}
+
+TEST_F(ExchangeFixture, ShredToGraphSharesOverlappingSubtrees) {
+  const xml::XmlTree doc = Doc("<a><b><c/></b></a>");
+  // //* selects a, b, c; subtrees overlap but vertices/edges are unique.
+  auto result = ShredXmlToGraph(doc, Q("//*"), interner_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().graph.NumVertices(), 3u);
+  EXPECT_EQ(result.value().graph.NumEdges(), 2u);
+}
+
+TEST_F(ExchangeFixture, GraphPublishEmitsPaths) {
+  graph::Graph g;
+  const auto a = g.AddVertex("A");
+  const auto b = g.AddVertex("B");
+  const auto c = g.AddVertex("C");
+  const auto highway = interner_.Intern("highway");
+  g.AddEdge(a, b, highway, 5);
+  g.AddEdge(b, c, highway, 5);
+
+  auto regex = automata::ParseRegex("highway+", &interner_);
+  ASSERT_TRUE(regex.ok());
+  graph::PathQuery query{regex.value(), std::nullopt};
+  auto doc = PublishGraphAsXml(g, query, {}, &interner_);
+  ASSERT_TRUE(doc.ok());
+  // Pairs: A->B, A->C, B->C.
+  EXPECT_EQ(twig::Evaluate(Q("/paths/path"), doc.value()).size(), 3u);
+  EXPECT_EQ(twig::Evaluate(Q("/paths/path/from"), doc.value()).size(), 3u);
+  // The A->C path has two steps.
+  EXPECT_EQ(twig::Evaluate(Q("/paths/path/step"), doc.value()).size(), 4u);
+}
+
+TEST_F(ExchangeFixture, Scenario1EndToEnd) {
+  relational::Database db = relational::TinyCompanyDatabase();
+  const Relation& emp = *db.Find("employees");
+  const Relation& dept = *db.Find("departments");
+  auto universe = rlearn::PairUniverse::AllCompatible(emp.schema(),
+                                                      dept.schema());
+  ASSERT_TRUE(universe.ok());
+  // Hidden goal: employees.dept_id = departments.dept_id.
+  rlearn::PairMask goal = 0;
+  for (size_t i = 0; i < universe.value().size(); ++i) {
+    const auto& p = universe.value().pairs()[i];
+    if (emp.schema().attributes()[p.left].name == "dept_id" &&
+        dept.schema().attributes()[p.right].name == "dept_id") {
+      goal |= (1ULL << i);
+    }
+  }
+  ASSERT_NE(goal, 0u);
+  rlearn::GoalJoinOracle oracle(&universe.value(), goal);
+
+  PublishOptions publish;
+  publish.root_label = "staff";
+  auto result = RunScenario1Publishing(universe.value(), emp, dept, &oracle,
+                                       {}, publish, &interner_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().extracted.size(), emp.size());
+  EXPECT_EQ(twig::Evaluate(Q("/staff/record"), result.value().published)
+                .size(),
+            emp.size());
+  EXPECT_LT(result.value().session.questions,
+            result.value().session.candidate_pairs);
+}
+
+TEST_F(ExchangeFixture, Scenario2EndToEnd) {
+  const xml::XmlTree doc = Doc(
+      "<site><people>"
+      "<person><name><ada/></name><age/></person>"
+      "<person><name><bob/></name></person>"
+      "<person><name><cyd/></name><age/></person>"
+      "</people></site>");
+  // Annotate the names of persons with an age.
+  const std::vector<xml::NodeId> examples{FindNode(doc, "name", 0),
+                                          FindNode(doc, "name", 2)};
+  ShredOptions opts;
+  opts.relation_name = "adults";
+  auto result = RunScenario2Shredding(doc, examples, opts, interner_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The learned query must filter on [age]: only 2 tuples.
+  EXPECT_EQ(result.value().shredded.size(), 2u);
+  std::set<std::string> values;
+  for (const auto& row : result.value().shredded.rows()) {
+    values.insert(row[0].AsString());
+  }
+  EXPECT_EQ(values, (std::set<std::string>{"ada", "cyd"}));
+}
+
+TEST_F(ExchangeFixture, Scenario3EndToEnd) {
+  const xml::XmlTree doc = Doc(
+      "<site><people>"
+      "<person><name/><address><city/></address></person>"
+      "<person><name/></person>"
+      "</people></site>");
+  const std::vector<xml::NodeId> examples{FindNode(doc, "person", 0),
+                                          FindNode(doc, "person", 1)};
+  auto result = RunScenario3Shredding(doc, examples, interner_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().shredded.selected_roots.size(), 2u);
+  EXPECT_GT(result.value().shredded.graph.NumEdges(), 0u);
+}
+
+TEST_F(ExchangeFixture, Scenario4EndToEnd) {
+  graph::Graph g;
+  const auto a = g.AddVertex("A");
+  const auto b = g.AddVertex("B");
+  const auto c = g.AddVertex("C");
+  const auto d = g.AddVertex("D");
+  const auto highway = interner_.Intern("highway");
+  const auto local = interner_.Intern("local");
+  g.AddEdge(a, b, highway, 5);
+  g.AddEdge(b, c, highway, 5);
+  g.AddEdge(a, d, local, 2);
+
+  auto regex = automata::ParseRegex("highway+", &interner_);
+  ASSERT_TRUE(regex.ok());
+  graph::PathQuery goal{regex.value(), std::nullopt};
+  glearn::GoalPathOracle oracle(goal, g);
+  graph::Path seed;
+  seed.start = a;
+  seed.edges = {0};
+
+  auto result =
+      RunScenario4Publishing(g, seed, &oracle, {}, {}, &interner_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().session.conflicts, 0u);
+  // Published pairs: A->B, A->C, B->C.
+  EXPECT_EQ(twig::Evaluate(Q("/paths/path"), result.value().published)
+                .size(),
+            3u);
+}
+
+}  // namespace
+}  // namespace exchange
+}  // namespace qlearn

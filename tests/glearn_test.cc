@@ -1,0 +1,310 @@
+// Tests for path-query learning: the concat-pattern class (membership,
+// generalization soundness, convergence), RPNI (recovers regular languages,
+// consistency with samples), and the interactive path session including the
+// workload strategy.
+#include <gtest/gtest.h>
+
+#include "automata/dfa.h"
+#include "common/interner.h"
+#include "common/rng.h"
+#include "glearn/concat_pattern.h"
+#include "glearn/interactive_path.h"
+#include "glearn/rpni.h"
+#include "graph/geo_generator.h"
+
+namespace qlearn {
+namespace glearn {
+namespace {
+
+using common::Interner;
+using common::SymbolId;
+
+class GlearnFixture : public ::testing::Test {
+ protected:
+  std::vector<SymbolId> W(const std::string& letters) {
+    std::vector<SymbolId> out;
+    for (char c : letters) out.push_back(interner_.Intern(std::string(1, c)));
+    return out;
+  }
+
+  Interner interner_;
+};
+
+TEST_F(GlearnFixture, FromWordAcceptsExactlyTheWord) {
+  const ConcatPattern p = ConcatPattern::FromWord(W("abc"));
+  EXPECT_TRUE(p.Accepts(W("abc")));
+  EXPECT_FALSE(p.Accepts(W("ab")));
+  EXPECT_FALSE(p.Accepts(W("abcc")));
+  EXPECT_FALSE(p.Accepts(W("")));
+}
+
+TEST_F(GlearnFixture, AcceptsHandlesFlags) {
+  // a.b?.c+
+  ConcatPattern p({PathUnit{interner_.Intern("a"), false, false},
+                   PathUnit{interner_.Intern("b"), true, false},
+                   PathUnit{interner_.Intern("c"), false, true}});
+  EXPECT_TRUE(p.Accepts(W("abc")));
+  EXPECT_TRUE(p.Accepts(W("ac")));
+  EXPECT_TRUE(p.Accepts(W("accc")));
+  EXPECT_FALSE(p.Accepts(W("abbc")));
+  EXPECT_FALSE(p.Accepts(W("a")));
+}
+
+TEST_F(GlearnFixture, GeneralizeCoversOldAndNew) {
+  common::Rng rng(3);
+  const char* corpus[] = {"ab", "aab", "abb", "b", "abab", "aa", ""};
+  for (const char* w1 : corpus) {
+    for (const char* w2 : corpus) {
+      ConcatPattern p = ConcatPattern::FromWord(W(w1));
+      int cost = -1;
+      const ConcatPattern g = p.Generalize(W(w2), &cost);
+      EXPECT_TRUE(g.Accepts(W(w1))) << w1 << " + " << w2;
+      EXPECT_TRUE(g.Accepts(W(w2))) << w1 << " + " << w2;
+      if (std::string(w1) == w2) {
+        EXPECT_EQ(cost, 0);
+      }
+    }
+  }
+}
+
+TEST_F(GlearnFixture, GeneralizeZeroCostWhenAccepted) {
+  ConcatPattern p = ConcatPattern::FromWord(W("ab"));
+  p = p.Generalize(W("aab"));  // a+ upgrade
+  int cost = -1;
+  p.Generalize(W("aaab"), &cost);
+  EXPECT_EQ(cost, 0);
+}
+
+TEST_F(GlearnFixture, LearnConcatConvergesToRepeats) {
+  auto learned = LearnConcatPattern({W("ab"), W("aab"), W("aaab")});
+  ASSERT_TRUE(learned.ok());
+  EXPECT_EQ(learned.value().ToString(interner_), "a+.b");
+}
+
+TEST_F(GlearnFixture, LearnConcatConvergesToOptionals) {
+  auto learned = LearnConcatPattern({W("abc"), W("ac")});
+  ASSERT_TRUE(learned.ok());
+  EXPECT_EQ(learned.value().ToString(interner_), "a.b?.c");
+}
+
+TEST_F(GlearnFixture, ToRegexMatchesPatternSemantics) {
+  auto learned = LearnConcatPattern({W("ab"), W("aab"), W("a")});
+  ASSERT_TRUE(learned.ok());
+  const ConcatPattern& p = learned.value();
+  const automata::Dfa dfa = automata::Dfa::FromRegex(*p.ToRegex());
+  common::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    std::string s;
+    const int len = static_cast<int>(rng.Uniform(5));
+    for (int k = 0; k < len; ++k) s += rng.Bernoulli(0.5) ? 'a' : 'b';
+    EXPECT_EQ(p.Accepts(W(s)), dfa.Accepts(W(s))) << s;
+  }
+}
+
+TEST_F(GlearnFixture, LearnConcatRejectsEmptyInput) {
+  EXPECT_FALSE(LearnConcatPattern({}).ok());
+}
+
+TEST_F(GlearnFixture, RpniRecoversSimpleLanguage) {
+  // Target: a+ over alphabet {a, b}, with a characteristic sample (shortest
+  // prefixes of the 3 minimal-DFA states, kernel extensions, and separating
+  // suffixes per Oncina & García).
+  auto dfa = LearnRpniDfa(
+      {W("a"), W("aa")},
+      {W(""), W("b"), W("ab"), W("ba"), W("bb"), W("aba"), W("baa"),
+       W("bba")});
+  ASSERT_TRUE(dfa.ok());
+  auto target = automata::ParseRegex("a+", &interner_);
+  ASSERT_TRUE(target.ok());
+  EXPECT_TRUE(automata::Dfa::Equivalent(
+      dfa.value(),
+      automata::Dfa::FromRegex(*target.value(),
+                               {interner_.Intern("b")})));
+}
+
+TEST_F(GlearnFixture, RpniConsistentWithSample) {
+  common::Rng rng(11);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<std::vector<SymbolId>> pos;
+    std::vector<std::vector<SymbolId>> neg;
+    // Random target: words with even number of a's.
+    for (int i = 0; i < 25; ++i) {
+      std::string s;
+      const int len = static_cast<int>(rng.Uniform(6));
+      int as = 0;
+      for (int k = 0; k < len; ++k) {
+        const char c = rng.Bernoulli(0.5) ? 'a' : 'b';
+        if (c == 'a') ++as;
+        s += c;
+      }
+      if (as % 2 == 0) {
+        pos.push_back(W(s));
+      } else {
+        neg.push_back(W(s));
+      }
+    }
+    auto dfa = LearnRpniDfa(pos, neg);
+    ASSERT_TRUE(dfa.ok());
+    for (const auto& w : pos) EXPECT_TRUE(dfa.value().Accepts(w));
+    for (const auto& w : neg) EXPECT_FALSE(dfa.value().Accepts(w));
+  }
+}
+
+TEST_F(GlearnFixture, RpniDetectsContradiction) {
+  EXPECT_FALSE(LearnRpniDfa({W("ab")}, {W("ab")}).ok());
+}
+
+TEST_F(GlearnFixture, RpniRegexExtraction) {
+  auto regex = LearnRpniRegex({W("ab"), W("aab"), W("aaab")},
+                              {W(""), W("a"), W("b"), W("bb"), W("abb")});
+  ASSERT_TRUE(regex.ok());
+  for (const char* good : {"ab", "aab", "aaaab"}) {
+    EXPECT_TRUE(
+        automata::Dfa::FromRegex(*regex.value()).Accepts(W(good)))
+        << good;
+  }
+}
+
+class PathSessionFixture : public ::testing::Test {
+ protected:
+  PathSessionFixture() : g_(BuildGraph()) {}
+
+  graph::Graph BuildGraph() {
+    graph::Graph g;
+    local_ = interner_.Intern("local");
+    highway_ = interner_.Intern("highway");
+    // A chain with mixed labels plus side roads.
+    std::vector<graph::VertexId> v;
+    for (int i = 0; i < 8; ++i) {
+      v.push_back(g.AddVertex("c" + std::to_string(i)));
+    }
+    g.AddEdge(v[0], v[1], highway_, 10);
+    g.AddEdge(v[1], v[2], highway_, 10);
+    g.AddEdge(v[2], v[3], highway_, 10);
+    g.AddEdge(v[0], v[4], local_, 3);
+    g.AddEdge(v[4], v[5], local_, 3);
+    g.AddEdge(v[5], v[3], local_, 3);
+    g.AddEdge(v[1], v[6], local_, 4);
+    g.AddEdge(v[6], v[7], highway_, 9);
+    return g;
+  }
+
+  graph::PathQuery Goal(const std::string& regex) {
+    auto r = automata::ParseRegex(regex, &interner_);
+    EXPECT_TRUE(r.ok());
+    return graph::PathQuery{r.value(), std::nullopt};
+  }
+
+  Interner interner_;
+  common::SymbolId local_ = 0, highway_ = 0;
+  graph::Graph g_;
+};
+
+TEST_F(PathSessionFixture, SessionLearnsHighwayPlus) {
+  const graph::PathQuery goal = Goal("highway+");
+  GoalPathOracle oracle(goal, g_);
+  // Seed: one highway edge.
+  graph::Path seed;
+  seed.start = 0;
+  seed.edges = {0};
+  InteractivePathOptions options;
+  auto result = RunInteractivePathSession(g_, seed, &oracle, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().conflicts, 0u);
+  // Learned language equals the goal language.
+  EXPECT_TRUE(automata::Dfa::Equivalent(
+      automata::Dfa::FromRegex(*result.value().hypothesis.ToRegex(), {local_}),
+      automata::Dfa::FromRegex(*goal.regex, {local_})));
+  // Interaction cost far below labeling every candidate path.
+  EXPECT_LT(result.value().questions, result.value().candidate_paths / 2);
+}
+
+TEST_F(PathSessionFixture, WorkloadStrategyUsesPrior) {
+  const graph::PathQuery goal = Goal("highway+");
+  GoalPathOracle oracle_a(goal, g_);
+  GoalPathOracle oracle_b(goal, g_);
+  graph::Path seed;
+  seed.start = 0;
+  seed.edges = {0};
+
+  InteractivePathOptions with;
+  with.strategy = PathStrategy::kWorkload;
+  auto wr = automata::ParseRegex("highway.highway*", &interner_);
+  ASSERT_TRUE(wr.ok());
+  with.workload.push_back(wr.value());
+  auto with_result = RunInteractivePathSession(g_, seed, &oracle_a, with);
+  ASSERT_TRUE(with_result.ok());
+
+  InteractivePathOptions random;
+  random.strategy = PathStrategy::kRandom;
+  random.seed = 17;
+  auto random_result =
+      RunInteractivePathSession(g_, seed, &oracle_b, random);
+  ASSERT_TRUE(random_result.ok());
+
+  // Both converge; the workload-guided session should not ask more often
+  // than random (on this instance it asks fewer or equal questions).
+  EXPECT_EQ(with_result.value().conflicts, 0u);
+  EXPECT_LE(with_result.value().questions, random_result.value().questions);
+}
+
+TEST_F(PathSessionFixture, SessionRejectsNegativeSeed) {
+  GoalPathOracle oracle(Goal("local"), g_);
+  graph::Path seed;
+  seed.start = 0;
+  seed.edges = {0};  // a highway edge
+  EXPECT_FALSE(RunInteractivePathSession(g_, seed, &oracle, {}).ok());
+}
+
+TEST_F(PathSessionFixture, SessionTracksMaxPositiveWeight) {
+  GoalPathOracle oracle(Goal("highway+"), g_);
+  graph::Path seed;
+  seed.start = 0;
+  seed.edges = {0};
+  auto result = RunInteractivePathSession(g_, seed, &oracle, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().max_positive_weight, 10.0);
+}
+
+TEST(GeoSessionTest, LearnsOnGeneratedNetwork) {
+  Interner interner;
+  graph::GeoOptions gopts;
+  gopts.grid_width = 4;
+  gopts.grid_height = 3;
+  const graph::Graph g = GenerateGeoGraph(gopts, &interner);
+
+  auto r = automata::ParseRegex("highway+", &interner);
+  ASSERT_TRUE(r.ok());
+  const graph::PathQuery goal{r.value(), std::nullopt};
+  GoalPathOracle oracle(goal, g);
+
+  // Find a positive seed path (a single highway edge).
+  graph::Path seed;
+  for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (interner.Name(g.edge(e).label) == "highway") {
+      seed.start = g.edge(e).src;
+      seed.edges = {e};
+      break;
+    }
+  }
+  if (seed.edges.empty()) GTEST_SKIP() << "no highway edge in this seed";
+
+  InteractivePathOptions options;
+  options.max_path_edges = 3;
+  options.max_candidates = 800;
+  auto result = RunInteractivePathSession(g, seed, &oracle, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().conflicts, 0u);
+  // The hypothesis agrees with the goal on every candidate path: audit.
+  graph::PathQueryEvaluator goal_eval(goal, g);
+  for (const graph::Path& p :
+       graph::EnumeratePaths(g, options.max_path_edges,
+                             options.max_candidates)) {
+    EXPECT_EQ(result.value().hypothesis.Accepts(graph::PathWord(g, p)),
+              goal_eval.MatchesPath(p));
+  }
+}
+
+}  // namespace
+}  // namespace glearn
+}  // namespace qlearn

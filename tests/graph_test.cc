@@ -1,0 +1,199 @@
+// Tests for the graph substrate: multigraph structure, path utilities,
+// regular path query evaluation (with weight bounds and witnesses), path
+// enumeration, and the geo generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "automata/dfa.h"
+#include "common/interner.h"
+#include "graph/geo_generator.h"
+#include "graph/graph.h"
+#include "graph/path_query.h"
+
+namespace qlearn {
+namespace graph {
+namespace {
+
+using common::Interner;
+
+class GraphFixture : public ::testing::Test {
+ protected:
+  GraphFixture() {
+    a_ = g_.AddVertex("A");
+    b_ = g_.AddVertex("B");
+    c_ = g_.AddVertex("C");
+    d_ = g_.AddVertex("D");
+    local_ = interner_.Intern("local");
+    highway_ = interner_.Intern("highway");
+    g_.AddEdge(a_, b_, local_, 3);
+    g_.AddEdge(b_, c_, highway_, 10);
+    g_.AddEdge(c_, d_, highway_, 10);
+    g_.AddEdge(a_, d_, local_, 50);
+  }
+
+  PathQuery Query(const std::string& regex,
+                  std::optional<double> bound = std::nullopt) {
+    auto r = automata::ParseRegex(regex, &interner_);
+    EXPECT_TRUE(r.ok()) << regex;
+    return PathQuery{r.value(), bound};
+  }
+
+  Graph g_;
+  VertexId a_, b_, c_, d_;
+  common::SymbolId local_, highway_;
+  Interner interner_;
+};
+
+TEST_F(GraphFixture, StructureBasics) {
+  EXPECT_EQ(g_.NumVertices(), 4u);
+  EXPECT_EQ(g_.NumEdges(), 4u);
+  EXPECT_EQ(g_.VertexName(a_), "A");
+  EXPECT_EQ(g_.OutEdges(a_).size(), 2u);
+  EXPECT_EQ(g_.EdgeAlphabet().size(), 2u);
+}
+
+TEST_F(GraphFixture, BidirectionalAddsTwoEdges) {
+  Graph g;
+  const VertexId x = g.AddVertex("x");
+  const VertexId y = g.AddVertex("y");
+  g.AddBidirectional(x, y, local_, 2);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.OutEdges(x).size(), 1u);
+  EXPECT_EQ(g.OutEdges(y).size(), 1u);
+}
+
+TEST_F(GraphFixture, PathUtilities) {
+  Path p;
+  p.start = a_;
+  p.edges = {0, 1};  // A -local-> B -highway-> C
+  EXPECT_EQ(PathWord(g_, p),
+            (std::vector<common::SymbolId>{local_, highway_}));
+  EXPECT_DOUBLE_EQ(PathWeight(g_, p), 13);
+  EXPECT_EQ(PathEnd(g_, p), c_);
+  EXPECT_EQ(PathToString(g_, p, interner_), "A -local-> B -highway-> C");
+}
+
+TEST_F(GraphFixture, EvalSimpleConcat) {
+  PathQueryEvaluator eval(Query("local.highway"), g_);
+  EXPECT_TRUE(eval.Matches(a_, c_));
+  EXPECT_FALSE(eval.Matches(a_, d_));
+  EXPECT_FALSE(eval.Matches(b_, c_));  // starts with highway
+  EXPECT_EQ(eval.EvalFrom(a_), std::vector<VertexId>{c_});
+}
+
+TEST_F(GraphFixture, EvalStarAndPlus) {
+  PathQueryEvaluator star(Query("local.highway*"), g_);
+  EXPECT_TRUE(star.Matches(a_, b_));  // zero highways
+  EXPECT_TRUE(star.Matches(a_, c_));
+  EXPECT_TRUE(star.Matches(a_, d_));  // via B, C or the direct local edge? no:
+  // direct A->D is 'local' alone, accepted by local.highway* with 0 highways.
+  PathQueryEvaluator plus(Query("local.highway+"), g_);
+  EXPECT_FALSE(plus.Matches(a_, b_));
+  EXPECT_TRUE(plus.Matches(a_, d_));  // A-B-C-D
+}
+
+TEST_F(GraphFixture, EvalEpsilonSelectsSelf) {
+  PathQueryEvaluator eval(Query("highway*"), g_);
+  EXPECT_TRUE(eval.Matches(a_, a_));  // empty path
+}
+
+TEST_F(GraphFixture, WeightBoundFiltersPaths) {
+  // A to D: local alone = 50; local.highway+ = 23.
+  PathQueryEvaluator cheap(Query("local.highway+", 25.0), g_);
+  EXPECT_TRUE(cheap.Matches(a_, d_));
+  PathQueryEvaluator strict(Query("local.highway+", 20.0), g_);
+  EXPECT_FALSE(strict.Matches(a_, d_));
+  PathQueryEvaluator direct(Query("local", 49.0), g_);
+  EXPECT_FALSE(direct.Matches(a_, d_));
+  EXPECT_TRUE(direct.Matches(a_, b_));
+}
+
+TEST_F(GraphFixture, EvalAllPairs) {
+  PathQueryEvaluator eval(Query("highway"), g_);
+  const auto pairs = eval.EvalAllPairs();
+  EXPECT_EQ(pairs.size(), 2u);  // B->C and C->D
+}
+
+TEST_F(GraphFixture, WitnessReturnsMinWeightPath) {
+  PathQueryEvaluator eval(Query("local.highway*"), g_);
+  auto witness = eval.Witness(a_, d_);
+  ASSERT_TRUE(witness.has_value());
+  // Min-weight matching path is A-B-C-D (23) not A-D (50).
+  EXPECT_EQ(witness->edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(PathWeight(g_, *witness), 23);
+  EXPECT_TRUE(eval.MatchesPath(*witness));
+  EXPECT_FALSE(eval.Witness(b_, a_).has_value());
+}
+
+TEST_F(GraphFixture, MatchesPathChecksWordAndWeight) {
+  Path p;
+  p.start = a_;
+  p.edges = {0, 1};
+  EXPECT_TRUE(PathQueryEvaluator(Query("local.highway"), g_).MatchesPath(p));
+  EXPECT_FALSE(PathQueryEvaluator(Query("highway.local"), g_).MatchesPath(p));
+  EXPECT_FALSE(
+      PathQueryEvaluator(Query("local.highway", 10.0), g_).MatchesPath(p));
+}
+
+TEST_F(GraphFixture, EnumeratePathsIsSimpleAndBounded) {
+  const auto paths = EnumeratePaths(g_, 3, 1000);
+  EXPECT_FALSE(paths.empty());
+  for (const Path& p : paths) {
+    EXPECT_LE(p.edges.size(), 3u);
+    EXPECT_GE(p.edges.size(), 1u);
+    // No repeated vertices.
+    std::set<VertexId> seen{p.start};
+    VertexId cur = p.start;
+    for (EdgeId e : p.edges) {
+      EXPECT_EQ(g_.edge(e).src, cur);
+      cur = g_.edge(e).dst;
+      EXPECT_TRUE(seen.insert(cur).second);
+    }
+  }
+  EXPECT_EQ(EnumeratePaths(g_, 3, 5).size(), 5u);
+}
+
+TEST(GeoGeneratorTest, BuildsConnectedGridWithLabels) {
+  Interner interner;
+  GeoOptions opts;
+  const Graph g = GenerateGeoGraph(opts, &interner);
+  EXPECT_EQ(g.NumVertices(),
+            static_cast<size_t>(opts.grid_width * opts.grid_height));
+  EXPECT_GT(g.NumEdges(), 0u);
+  // Labels drawn from the road vocabulary.
+  for (common::SymbolId label : g.EdgeAlphabet()) {
+    const std::string& name = interner.Name(label);
+    EXPECT_TRUE(name == "local" || name == "highway" || name == "ferry");
+  }
+  // Grid connectivity: every vertex reachable from vertex 0 via any labels.
+  std::vector<bool> seen(g.NumVertices(), false);
+  std::vector<VertexId> stack{0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (EdgeId e : g.OutEdges(v)) {
+      const VertexId w = g.edge(e).dst;
+      if (!seen[w]) {
+        seen[w] = true;
+        ++count;
+        stack.push_back(w);
+      }
+    }
+  }
+  EXPECT_EQ(count, g.NumVertices());
+}
+
+TEST(GeoGeneratorTest, DeterministicBySeed) {
+  Interner i1, i2;
+  GeoOptions opts;
+  const Graph a = GenerateGeoGraph(opts, &i1);
+  const Graph b = GenerateGeoGraph(opts, &i2);
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace qlearn

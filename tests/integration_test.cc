@@ -1,0 +1,121 @@
+// End-to-end integration: a full round trip across the three data models.
+// Relational data is published as XML (scenario 1); a twig is learned on
+// the result and used to shred it back (scenario 2); a schema is inferred
+// from the published documents and validates them; the XML is shredded to a
+// graph whose paths are queried and re-published as XML (scenarios 3+4).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exchange/mapping.h"
+#include "schema/inference.h"
+#include "relational/generator.h"
+#include "twig/twig_eval.h"
+#include "twig/twig_parser.h"
+#include "xml/xml_parser.h"
+
+namespace qlearn {
+namespace {
+
+TEST(IntegrationTest, FullCrossModelRoundTrip) {
+  common::Interner interner;
+
+  // --- Stage 1: relational -> XML (learned join) ---
+  relational::Database db = relational::TinyCompanyDatabase();
+  const relational::Relation& emp = *db.Find("employees");
+  const relational::Relation& dept = *db.Find("departments");
+  auto universe =
+      rlearn::PairUniverse::AllCompatible(emp.schema(), dept.schema());
+  ASSERT_TRUE(universe.ok());
+  rlearn::PairMask goal = 0;
+  for (size_t i = 0; i < universe.value().size(); ++i) {
+    const auto& p = universe.value().pairs()[i];
+    if (emp.schema().attributes()[p.left].name == "dept_id" &&
+        dept.schema().attributes()[p.right].name == "dept_id") {
+      goal |= (1ULL << i);
+    }
+  }
+  rlearn::GoalJoinOracle join_oracle(&universe.value(), goal);
+  exchange::PublishOptions publish;
+  publish.root_label = "staff";
+  publish.record_label = "member";
+  auto stage1 = exchange::RunScenario1Publishing(
+      universe.value(), emp, dept, &join_oracle, {}, publish, &interner);
+  ASSERT_TRUE(stage1.ok()) << stage1.status().ToString();
+  const xml::XmlTree& published = stage1.value().published;
+  ASSERT_EQ(stage1.value().extracted.size(), emp.size());
+
+  // --- Stage 2: schema inference on the published XML validates it ---
+  auto inferred = schema::InferDms({&published});
+  ASSERT_TRUE(inferred.ok());
+  EXPECT_TRUE(inferred.value().Validates(published));
+
+  // --- Stage 3: XML -> relational (learned twig) recovers the names ---
+  auto name_goal = twig::ParseTwig("/staff/member/emp_name", &interner);
+  ASSERT_TRUE(name_goal.ok());
+  // Annotate every match: the members carry concrete values (names,
+  // departments, salaries), so any subset from a single department would
+  // legitimately learn a department-specific query (most-specific
+  // generalization). Covering all members generalizes every value filter.
+  const std::vector<xml::NodeId> annotations =
+      twig::Evaluate(name_goal.value(), published);
+  ASSERT_GE(annotations.size(), 2u);
+  exchange::ShredOptions shred;
+  shred.relation_name = "names";
+  auto stage3 =
+      exchange::RunScenario2Shredding(published, annotations, shred,
+                                      interner);
+  ASSERT_TRUE(stage3.ok()) << stage3.status().ToString();
+  EXPECT_EQ(stage3.value().shredded.size(), emp.size());
+  std::set<std::string> names;
+  for (const auto& row : stage3.value().shredded.rows()) {
+    names.insert(row[0].AsString());
+  }
+  EXPECT_TRUE(names.count("'ada'"));
+  EXPECT_TRUE(names.count("'grace'"));
+
+  // --- Stage 4: XML -> graph; the element hierarchy becomes traversable ---
+  auto member_goal = twig::ParseTwig("/staff/member", &interner);
+  ASSERT_TRUE(member_goal.ok());
+  std::vector<xml::NodeId> member_nodes;
+  for (xml::NodeId n : twig::Evaluate(member_goal.value(), published)) {
+    member_nodes.push_back(n);
+  }
+  auto stage4 =
+      exchange::RunScenario3Shredding(published, member_nodes, interner);
+  ASSERT_TRUE(stage4.ok()) << stage4.status().ToString();
+  const graph::Graph& g = stage4.value().shredded.graph;
+  EXPECT_EQ(stage4.value().shredded.selected_roots.size(), emp.size());
+
+  // Paths member -emp_name-> value exist for every member vertex.
+  auto regex = automata::ParseRegex("emp_name", &interner);
+  ASSERT_TRUE(regex.ok());
+  graph::PathQueryEvaluator eval({regex.value(), std::nullopt}, g);
+  for (graph::VertexId root : stage4.value().shredded.selected_roots) {
+    EXPECT_EQ(eval.EvalFrom(root).size(), 1u);
+  }
+
+  // --- Stage 5: graph -> XML (publish the emp_name paths) ---
+  auto stage5 = exchange::PublishGraphAsXml(
+      g, {regex.value(), std::nullopt}, {}, &interner);
+  ASSERT_TRUE(stage5.ok());
+  auto path_q = twig::ParseTwig("/paths/path", &interner);
+  ASSERT_TRUE(path_q.ok());
+  EXPECT_EQ(twig::Evaluate(path_q.value(), stage5.value()).size(),
+            emp.size());
+}
+
+TEST(IntegrationTest, PublishedXmlIsReparseable) {
+  common::Interner interner;
+  relational::Database db = relational::TinyCompanyDatabase();
+  auto doc = exchange::PublishRelationAsXml(*db.Find("projects"), {},
+                                            &interner);
+  ASSERT_TRUE(doc.ok());
+  const std::string xml_text = doc.value().ToXml(interner);
+  auto reparsed = xml::ParseXml(xml_text, &interner);
+  ASSERT_TRUE(reparsed.ok()) << xml_text;
+  EXPECT_EQ(reparsed.value().NumNodes(), doc.value().NumNodes());
+}
+
+}  // namespace
+}  // namespace qlearn

@@ -1,0 +1,132 @@
+// Parameterized property sweeps for the learners:
+//  * twig learner soundness: the hypothesis always selects every example;
+//  * interactive join sessions: every inferred (never-asked) label agrees
+//    with the oracle, for every strategy and random hidden goal;
+//  * path-pattern generalization: language growth is monotone.
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "glearn/concat_pattern.h"
+#include "learn/twig_learner.h"
+#include "relational/generator.h"
+#include "rlearn/interactive_join.h"
+#include "twig/twig_eval.h"
+#include "xml/xmark.h"
+
+namespace qlearn {
+namespace {
+
+class LearnerSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(LearnerSoundness, TwigLearnerSelectsAllExamples) {
+  common::Interner interner;
+  common::Rng rng(GetParam() * 7001 + 3);
+  xml::XMarkOptions options;
+  options.seed = rng.Fork();
+  options.num_people = 8;
+  options.num_open_auctions = 4;
+  options.num_closed_auctions = 3;
+  const xml::XmlTree d1 = xml::GenerateXMark(options, &interner);
+  options.seed = rng.Fork();
+  const xml::XmlTree d2 = xml::GenerateXMark(options, &interner);
+
+  // Pick random same-label nodes from the two documents.
+  const std::vector<xml::NodeId> order1 = d1.PreOrder();
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const xml::NodeId n1 = order1[rng.Index(order1.size())];
+    std::vector<xml::NodeId> same;
+    for (xml::NodeId n : d2.PreOrder()) {
+      if (d2.label(n) == d1.label(n1)) same.push_back(n);
+    }
+    if (same.empty()) continue;
+    const xml::NodeId n2 = same[rng.Index(same.size())];
+
+    auto learned = learn::LearnTwig(
+        {learn::TreeExample{&d1, n1}, learn::TreeExample{&d2, n2}});
+    if (!learned.ok()) continue;  // outside the anchored class
+    EXPECT_TRUE(twig::Selects(learned.value(), d1, n1))
+        << learned.value().ToString(interner);
+    EXPECT_TRUE(twig::Selects(learned.value(), d2, n2))
+        << learned.value().ToString(interner);
+    EXPECT_TRUE(learned.value().IsAnchored());
+  }
+}
+
+TEST_P(LearnerSoundness, InteractiveJoinForcedLabelsMatchOracle) {
+  common::Rng rng(GetParam() * 7919 + 1);
+  relational::JoinInstanceOptions options;
+  options.seed = rng.Fork();
+  options.left_rows = 12;
+  options.right_rows = 12;
+  options.left_arity = 3;
+  options.right_arity = 3;
+  options.domain_size = 3;
+  const relational::JoinInstance inst =
+      relational::GenerateJoinInstance(options, 1 + GetParam() % 3);
+  auto universe = rlearn::PairUniverse::AllCompatible(inst.left.schema(),
+                                                      inst.right.schema());
+  ASSERT_TRUE(universe.ok());
+  rlearn::PairMask goal = 0;
+  for (size_t i = 0; i < universe.value().size(); ++i) {
+    for (const auto& g : inst.goal) {
+      if (universe.value().pairs()[i] == g) goal |= (1ULL << i);
+    }
+  }
+  ASSERT_NE(goal, 0u);
+
+  for (rlearn::JoinStrategy strategy :
+       {rlearn::JoinStrategy::kRandom, rlearn::JoinStrategy::kSplitHalf,
+        rlearn::JoinStrategy::kLattice}) {
+    rlearn::GoalJoinOracle oracle(&universe.value(), goal);
+    rlearn::InteractiveJoinOptions session;
+    session.strategy = strategy;
+    session.seed = rng.Fork();
+    auto result = rlearn::RunInteractiveJoinSession(
+        universe.value(), inst.left, inst.right, &oracle, session);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.value().conflicts, 0u);
+    // Every pair (asked or forced) must end up labeled as the oracle would.
+    for (size_t i = 0; i < inst.left.size(); ++i) {
+      for (size_t j = 0; j < inst.right.size(); ++j) {
+        const rlearn::PairMask agree = universe.value().AgreeMask(
+            inst.left.row(i), inst.right.row(j));
+        EXPECT_EQ(rlearn::MaskSatisfied(result.value().learned, agree),
+                  rlearn::MaskSatisfied(goal, agree));
+      }
+    }
+  }
+}
+
+TEST_P(LearnerSoundness, ConcatGeneralizationIsMonotone) {
+  common::Interner interner;
+  common::Rng rng(GetParam() * 31 + 7);
+  const common::SymbolId syms[] = {interner.Intern("x"),
+                                   interner.Intern("y")};
+  auto random_word = [&]() {
+    std::vector<common::SymbolId> w;
+    const int len = static_cast<int>(rng.Uniform(5));
+    for (int i = 0; i < len; ++i) w.push_back(syms[rng.Index(2)]);
+    return w;
+  };
+
+  glearn::ConcatPattern pattern =
+      glearn::ConcatPattern::FromWord(random_word());
+  std::vector<std::vector<common::SymbolId>> accepted_so_far;
+  for (int step = 0; step < 6; ++step) {
+    const auto word = random_word();
+    const glearn::ConcatPattern next = pattern.Generalize(word);
+    EXPECT_TRUE(next.Accepts(word));
+    // Monotonicity: everything accepted before stays accepted.
+    for (const auto& old : accepted_so_far) {
+      EXPECT_TRUE(next.Accepts(old));
+    }
+    accepted_so_far.push_back(word);
+    pattern = next;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LearnerSoundness, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace qlearn

@@ -1,0 +1,330 @@
+// Tests for join learning: the PTIME equi-join consistency check and version
+// space, the NP semijoin solver (exact vs greedy, cross-validated against
+// brute force), and the interactive protocol with uninformative-pair
+// propagation.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.h"
+#include "relational/generator.h"
+#include "rlearn/equijoin_learner.h"
+#include "rlearn/interactive_join.h"
+#include "rlearn/join_hypothesis.h"
+#include "rlearn/semijoin_learner.h"
+
+namespace qlearn {
+namespace rlearn {
+namespace {
+
+using relational::Attribute;
+using relational::AttributePair;
+using relational::JoinInstance;
+using relational::JoinInstanceOptions;
+using relational::Relation;
+using relational::RelationSchema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+Value I(int64_t v) { return Value(v); }
+
+/// Two small int relations with controllable values.
+class RlearnFixture : public ::testing::Test {
+ protected:
+  RlearnFixture()
+      : left_(RelationSchema("R", {Attribute{"a0", ValueType::kInt},
+                                   Attribute{"a1", ValueType::kInt}})),
+        right_(RelationSchema("S", {Attribute{"b0", ValueType::kInt},
+                                    Attribute{"b1", ValueType::kInt}})) {}
+
+  PairUniverse Universe() {
+    auto u = PairUniverse::AllCompatible(left_.schema(), right_.schema());
+    EXPECT_TRUE(u.ok());
+    return std::move(u).value();
+  }
+
+  Relation left_;
+  Relation right_;
+};
+
+TEST_F(RlearnFixture, UniverseBasics) {
+  const PairUniverse u = Universe();
+  EXPECT_EQ(u.size(), 4u);  // 2x2 int pairs
+  EXPECT_EQ(u.FullMask(), 0xFULL);
+  left_.InsertUnchecked({I(1), I(2)});
+  right_.InsertUnchecked({I(1), I(9)});
+  // Agreements: a0=b0 only.
+  const PairMask agree = u.AgreeMask(left_.row(0), right_.row(0));
+  EXPECT_EQ(std::popcount(agree), 1);
+  EXPECT_EQ(u.Decode(agree)[0], (AttributePair{0, 0}));
+}
+
+TEST_F(RlearnFixture, UniverseCapAt64) {
+  std::vector<Attribute> many;
+  for (int i = 0; i < 9; ++i) {
+    std::string name = "c";
+    name += std::to_string(i);
+    many.push_back(Attribute{name, ValueType::kInt});
+  }
+  RelationSchema wide("W", many);
+  EXPECT_FALSE(PairUniverse::AllCompatible(wide, wide).ok());  // 81 > 64
+}
+
+TEST_F(RlearnFixture, EquiJoinConsistencyPositiveOnly) {
+  left_.InsertUnchecked({I(1), I(2)});
+  right_.InsertUnchecked({I(1), I(2)});
+  right_.InsertUnchecked({I(1), I(7)});
+  const PairUniverse u = Universe();
+  // Two positives: (0,0) agrees on a0=b0, a1=b1; (0,1) only on a0=b0.
+  const auto res = CheckEquiJoinConsistency(
+      u, left_, right_, {PairExample{0, 0}, PairExample{0, 1}}, {});
+  ASSERT_TRUE(res.consistent);
+  EXPECT_EQ(u.Decode(res.most_specific),
+            (std::vector<AttributePair>{{0, 0}}));
+}
+
+TEST_F(RlearnFixture, EquiJoinConsistencyDetectsConflict) {
+  left_.InsertUnchecked({I(1), I(2)});
+  right_.InsertUnchecked({I(1), I(2)});
+  const PairUniverse u = Universe();
+  // The same pair labeled positive and negative is inconsistent.
+  const auto res = CheckEquiJoinConsistency(
+      u, left_, right_, {PairExample{0, 0}}, {PairExample{0, 0}});
+  EXPECT_FALSE(res.consistent);
+}
+
+TEST_F(RlearnFixture, EquiJoinEmptyIntersectionInconsistent) {
+  left_.InsertUnchecked({I(1), I(2)});
+  right_.InsertUnchecked({I(1), I(9)});   // agrees only on a0=b0
+  right_.InsertUnchecked({I(8), I(2)});   // agrees only on a1=b1
+  const PairUniverse u = Universe();
+  const auto res = CheckEquiJoinConsistency(
+      u, left_, right_, {PairExample{0, 0}, PairExample{0, 1}}, {});
+  EXPECT_FALSE(res.consistent);
+}
+
+TEST_F(RlearnFixture, VersionSpaceClassification) {
+  left_.InsertUnchecked({I(1), I(2)});   // r0
+  left_.InsertUnchecked({I(1), I(5)});   // r1
+  right_.InsertUnchecked({I(1), I(2)});  // s0
+  right_.InsertUnchecked({I(1), I(5)});  // s1
+  right_.InsertUnchecked({I(7), I(7)});  // s2
+  const PairUniverse u = Universe();
+  EquiJoinVersionSpace vs(&u, &left_, &right_);
+  vs.AddPositive(PairExample{0, 0});  // agrees on a0=b0, a1=b1
+  // (r1, s1) also agrees on both: forced positive.
+  EXPECT_EQ(vs.Classify(PairExample{1, 1}),
+            EquiJoinVersionSpace::PairStatus::kForcedPositive);
+  // (r0, s2) agrees on nothing: forced negative.
+  EXPECT_EQ(vs.Classify(PairExample{0, 2}),
+            EquiJoinVersionSpace::PairStatus::kForcedNegative);
+  // (r0, s1) agrees on a0=b0 only: informative (θ could be {a0=b0} or both).
+  EXPECT_EQ(vs.Classify(PairExample{0, 1}),
+            EquiJoinVersionSpace::PairStatus::kInformative);
+}
+
+TEST_F(RlearnFixture, SemijoinConsistentSimple) {
+  left_.InsertUnchecked({I(1), I(2)});   // positive: matches s0 on a0=b0
+  left_.InsertUnchecked({I(9), I(9)});   // negative: matches nothing
+  right_.InsertUnchecked({I(1), I(7)});
+  const PairUniverse u = Universe();
+  const auto res = CheckSemijoinConsistency(u, left_, right_,
+                                            {RowExample{0}}, {RowExample{1}});
+  ASSERT_TRUE(res.consistent);
+  EXPECT_NE(res.witness, 0u);
+}
+
+TEST_F(RlearnFixture, SemijoinInconsistentWhenNegativeMatchesEverything) {
+  left_.InsertUnchecked({I(1), I(1)});
+  left_.InsertUnchecked({I(1), I(1)});   // identical rows, opposite labels
+  right_.InsertUnchecked({I(1), I(1)});
+  const PairUniverse u = Universe();
+  const auto res = CheckSemijoinConsistency(u, left_, right_,
+                                            {RowExample{0}}, {RowExample{1}});
+  EXPECT_FALSE(res.consistent);
+}
+
+TEST_F(RlearnFixture, SemijoinPositiveWithoutWitness) {
+  left_.InsertUnchecked({I(5), I(5)});
+  right_.InsertUnchecked({I(1), I(2)});
+  const PairUniverse u = Universe();
+  const auto res =
+      CheckSemijoinConsistency(u, left_, right_, {RowExample{0}}, {});
+  EXPECT_FALSE(res.consistent);
+}
+
+TEST_F(RlearnFixture, SemijoinNeedsWitnessCoordination) {
+  // Positive rows each match S on different single pairs; the hypothesis
+  // must fit within some witness per positive simultaneously.
+  left_.InsertUnchecked({I(1), I(9)});   // matches s0 only via a0=b0
+  left_.InsertUnchecked({I(9), I(2)});   // matches s1 only via a1=b1
+  right_.InsertUnchecked({I(1), I(8)});  // s0
+  right_.InsertUnchecked({I(8), I(2)});  // s1
+  const PairUniverse u = Universe();
+  const auto res = CheckSemijoinConsistency(
+      u, left_, right_, {RowExample{0}, RowExample{1}}, {});
+  // No single non-empty θ fits both witnesses ({a0=b0} vs {a1=b1}).
+  EXPECT_FALSE(res.consistent);
+}
+
+// Brute-force cross-check on random instances: the exact solver agrees with
+// enumerating all non-empty hypotheses; the greedy solver is sound.
+class SemijoinProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SemijoinProperty, ExactMatchesBruteForce) {
+  common::Rng rng(GetParam() * 104729 + 7);
+  JoinInstanceOptions opts;
+  opts.seed = rng.Fork();
+  opts.left_rows = 6;
+  opts.right_rows = 5;
+  opts.left_arity = 3;
+  opts.right_arity = 2;
+  opts.domain_size = 3;
+  const JoinInstance inst = relational::GenerateJoinInstance(opts, 2);
+  auto u = PairUniverse::AllCompatible(inst.left.schema(),
+                                       inst.right.schema());
+  ASSERT_TRUE(u.ok());
+  const PairUniverse& universe = u.value();
+
+  // Random labels over left rows.
+  std::vector<RowExample> positives;
+  std::vector<RowExample> negatives;
+  for (size_t i = 0; i < inst.left.size(); ++i) {
+    if (rng.Bernoulli(0.4)) {
+      positives.push_back(RowExample{i});
+    } else if (rng.Bernoulli(0.5)) {
+      negatives.push_back(RowExample{i});
+    }
+  }
+
+  // Brute force over all non-empty hypotheses.
+  auto selects = [&](PairMask theta, size_t row) {
+    for (size_t s = 0; s < inst.right.size(); ++s) {
+      if (MaskSatisfied(theta, universe.AgreeMask(inst.left.row(row),
+                                                  inst.right.row(s)))) {
+        return true;
+      }
+    }
+    return false;
+  };
+  bool brute = false;
+  for (PairMask theta = 1; theta <= universe.FullMask() && !brute; ++theta) {
+    bool ok = true;
+    for (const RowExample& p : positives) ok = ok && selects(theta, p.left_row);
+    for (const RowExample& n : negatives) ok = ok && !selects(theta, n.left_row);
+    brute = ok;
+  }
+
+  const auto exact = CheckSemijoinConsistency(universe, inst.left, inst.right,
+                                              positives, negatives);
+  EXPECT_EQ(exact.consistent, brute);
+  if (exact.consistent) {
+    // Verify the witness.
+    for (const RowExample& p : positives) {
+      EXPECT_TRUE(selects(exact.witness, p.left_row));
+    }
+    for (const RowExample& n : negatives) {
+      EXPECT_FALSE(selects(exact.witness, n.left_row));
+    }
+  }
+
+  const auto greedy = GreedySemijoinConsistency(
+      universe, inst.left, inst.right, positives, negatives);
+  if (greedy.consistent) {
+    EXPECT_TRUE(brute);  // greedy is sound
+    for (const RowExample& p : positives) {
+      EXPECT_TRUE(selects(greedy.witness, p.left_row));
+    }
+    for (const RowExample& n : negatives) {
+      EXPECT_FALSE(selects(greedy.witness, n.left_row));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemijoinProperty, ::testing::Range(0, 40));
+
+TEST_F(RlearnFixture, InteractiveSessionIdentifiesGoalOnInstance) {
+  JoinInstanceOptions opts;
+  opts.seed = 5;
+  opts.left_rows = 20;
+  opts.right_rows = 20;
+  opts.left_arity = 3;
+  opts.right_arity = 3;
+  opts.domain_size = 4;
+  const JoinInstance inst = relational::GenerateJoinInstance(opts, 2);
+  auto u = PairUniverse::AllCompatible(inst.left.schema(),
+                                       inst.right.schema());
+  ASSERT_TRUE(u.ok());
+  const PairUniverse& universe = u.value();
+
+  PairMask goal = 0;
+  for (size_t i = 0; i < universe.size(); ++i) {
+    for (const AttributePair& g : inst.goal) {
+      if (universe.pairs()[i] == g) goal |= (1ULL << i);
+    }
+  }
+  GoalJoinOracle oracle(&universe, goal);
+
+  InteractiveJoinOptions options;
+  options.strategy = JoinStrategy::kSplitHalf;
+  auto result = RunInteractiveJoinSession(universe, inst.left, inst.right,
+                                          &oracle, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().conflicts, 0u);
+  // The learned hypothesis labels every candidate pair exactly like the
+  // goal (instance-equivalence).
+  for (size_t i = 0; i < inst.left.size(); ++i) {
+    for (size_t j = 0; j < inst.right.size(); ++j) {
+      const PairMask agree =
+          universe.AgreeMask(inst.left.row(i), inst.right.row(j));
+      EXPECT_EQ(MaskSatisfied(result.value().learned, agree),
+                MaskSatisfied(goal, agree));
+    }
+  }
+  // Far fewer questions than candidate pairs.
+  EXPECT_LT(result.value().questions, result.value().candidate_pairs / 4);
+  EXPECT_EQ(result.value().questions + result.value().forced_positive +
+                result.value().forced_negative,
+            result.value().candidate_pairs);
+}
+
+TEST_F(RlearnFixture, InteractiveStrategiesAllTerminate) {
+  JoinInstanceOptions opts;
+  opts.seed = 9;
+  opts.left_rows = 10;
+  opts.right_rows = 10;
+  const JoinInstance inst = relational::GenerateJoinInstance(opts, 1);
+  auto u = PairUniverse::AllCompatible(inst.left.schema(),
+                                       inst.right.schema());
+  ASSERT_TRUE(u.ok());
+  PairMask goal = 0;
+  for (size_t i = 0; i < u.value().size(); ++i) {
+    if (u.value().pairs()[i] == inst.goal[0]) goal |= (1ULL << i);
+  }
+  GoalJoinOracle oracle(&u.value(), goal);
+  for (JoinStrategy strategy : {JoinStrategy::kRandom, JoinStrategy::kSplitHalf,
+                                JoinStrategy::kLattice}) {
+    InteractiveJoinOptions options;
+    options.strategy = strategy;
+    auto result = RunInteractiveJoinSession(u.value(), inst.left, inst.right,
+                                            &oracle, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().conflicts, 0u);
+    EXPECT_EQ(result.value().questions + result.value().forced_positive +
+                  result.value().forced_negative,
+              result.value().candidate_pairs);
+  }
+}
+
+TEST_F(RlearnFixture, InteractiveRejectsEmptyUniverse) {
+  auto u = PairUniverse::Create({});
+  ASSERT_TRUE(u.ok());
+  GoalJoinOracle oracle(&u.value(), 0);
+  EXPECT_FALSE(
+      RunInteractiveJoinSession(u.value(), left_, right_, &oracle, {}).ok());
+}
+
+}  // namespace
+}  // namespace rlearn
+}  // namespace qlearn

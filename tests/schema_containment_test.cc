@@ -1,0 +1,196 @@
+// Tests for twig containment/equivalence in the presence of a
+// disjunction-free multiplicity schema: vacuous cases, schema-induced
+// containments invisible to schema-less reasoning, counterexample
+// correctness, multiplicity-driven sibling merging, and the tie-in with
+// filter implication (the paper's schema-aware pruning).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/interner.h"
+#include "schema/depgraph.h"
+#include "schema/schema_containment.h"
+#include "twig/twig_eval.h"
+#include "twig/twig_parser.h"
+
+namespace qlearn {
+namespace schema {
+namespace {
+
+class SchemaContainmentFixture : public ::testing::Test {
+ protected:
+  common::SymbolId S(const std::string& name) {
+    return interner_.Intern(name);
+  }
+
+  twig::TwigQuery Q(const std::string& text) {
+    auto q = twig::ParseTwig(text, &interner_);
+    EXPECT_TRUE(q.ok()) << text;
+    return q.ok() ? std::move(q).value() : twig::TwigQuery();
+  }
+
+  /// people -> person+; person -> name, phone?; name/phone leaves.
+  Ms PeopleSchema() {
+    Ms ms(S("people"));
+    ms.SetMultiplicity(S("people"), S("person"), Multiplicity::kPlus);
+    ms.SetMultiplicity(S("person"), S("name"), Multiplicity::kOne);
+    ms.SetMultiplicity(S("person"), S("phone"), Multiplicity::kOpt);
+    ms.AddLeafLabel(S("name"));
+    ms.AddLeafLabel(S("phone"));
+    return ms;
+  }
+
+  common::Interner interner_;
+};
+
+TEST_F(SchemaContainmentFixture, SchemaImpliedFilterGivesEquivalence) {
+  // Under the schema every person has a name, so /people/person[name] and
+  // /people/person select the same nodes in every valid document — although
+  // they are NOT logically equivalent over all trees.
+  const Ms ms = PeopleSchema();
+  const twig::TwigQuery with = Q("/people/person[name]");
+  const twig::TwigQuery without = Q("/people/person");
+  EXPECT_EQ(CheckEquivalenceUnderSchema(with, without, ms),
+            SchemaContainment::kContained);
+  // Schema-less containment: with ⊆ without but not conversely.
+  EXPECT_EQ(CheckContainmentUnderSchema(without, with, ms).verdict,
+            SchemaContainment::kContained);
+}
+
+TEST_F(SchemaContainmentFixture, OptionalFilterBreaksEquivalence) {
+  // phone is optional: /people/person[phone] is strictly narrower, and the
+  // counterexample is a valid document with a phone-less person.
+  const Ms ms = PeopleSchema();
+  const twig::TwigQuery narrow = Q("/people/person[phone]");
+  const twig::TwigQuery wide = Q("/people/person");
+  EXPECT_EQ(CheckContainmentUnderSchema(narrow, wide, ms).verdict,
+            SchemaContainment::kContained);
+  const SchemaContainmentReport report =
+      CheckContainmentUnderSchema(wide, narrow, ms);
+  ASSERT_EQ(report.verdict, SchemaContainment::kNotContained);
+  ASSERT_TRUE(report.counterexample.has_value());
+  // The witness document is schema-valid, selected by `wide`, not `narrow`.
+  EXPECT_TRUE(ms.Validates(*report.counterexample));
+  EXPECT_TRUE(twig::Selects(wide, *report.counterexample, report.witness));
+  EXPECT_FALSE(twig::Selects(narrow, *report.counterexample,
+                             report.witness));
+}
+
+TEST_F(SchemaContainmentFixture, CounterexampleRespectsRequiredChildren) {
+  // Any person materialized in a counterexample must carry its mandatory
+  // name child (the closure step).
+  const Ms ms = PeopleSchema();
+  const SchemaContainmentReport report = CheckContainmentUnderSchema(
+      Q("/people/person"), Q("/people/person[phone]"), ms);
+  ASSERT_EQ(report.verdict, SchemaContainment::kNotContained);
+  const xml::XmlTree& doc = *report.counterexample;
+  for (xml::NodeId n : doc.PreOrder()) {
+    if (doc.label(n) != S("person")) continue;
+    bool has_name = false;
+    for (xml::NodeId c : doc.children(n)) {
+      if (doc.label(c) == S("name")) has_name = true;
+    }
+    EXPECT_TRUE(has_name);
+  }
+}
+
+TEST_F(SchemaContainmentFixture, UnsatisfiableSchemaGivesVacuousContainment) {
+  Ms ms(S("r"));
+  // r requires an x child and x requires an r child: no finite document.
+  ms.SetMultiplicity(S("r"), S("x"), Multiplicity::kOne);
+  ms.SetMultiplicity(S("x"), S("r"), Multiplicity::kOne);
+  EXPECT_EQ(CheckContainmentUnderSchema(Q("/r/x"), Q("/r//y"), ms).verdict,
+            SchemaContainment::kContained);
+}
+
+TEST_F(SchemaContainmentFixture, DescendantQueryContainsChildUnderChain) {
+  Ms ms(S("a"));
+  ms.SetMultiplicity(S("a"), S("b"), Multiplicity::kOne);
+  ms.SetMultiplicity(S("b"), S("c"), Multiplicity::kOpt);
+  ms.AddLeafLabel(S("c"));
+  // /a/b/c vs //c: every c sits at the same place in valid documents.
+  EXPECT_EQ(CheckEquivalenceUnderSchema(Q("/a/b/c"), Q("//c"), ms),
+            SchemaContainment::kContained);
+}
+
+TEST_F(SchemaContainmentFixture, WildcardTypedOverSchemaLabels) {
+  const Ms ms = PeopleSchema();
+  // /people/*/name ≡ /people/person/name: the wildcard can only be person.
+  EXPECT_EQ(CheckEquivalenceUnderSchema(Q("/people/*/name"),
+                                        Q("/people/person/name"), ms),
+            SchemaContainment::kContained);
+}
+
+TEST_F(SchemaContainmentFixture, MultiplicityOneMergesSiblingFilters) {
+  // person has EXACTLY one name; a query with two name filters is still
+  // satisfiable (both filters map to the same child) and equivalent to one
+  // filter — the sibling-merge repair in action.
+  Ms ms(S("people"));
+  ms.SetMultiplicity(S("people"), S("person"), Multiplicity::kPlus);
+  ms.SetMultiplicity(S("person"), S("name"), Multiplicity::kOne);
+  ms.AddLeafLabel(S("name"));
+  const twig::TwigQuery twice = Q("/people/person[name][name]");
+  const twig::TwigQuery once = Q("/people/person[name]");
+  EXPECT_EQ(CheckEquivalenceUnderSchema(twice, once, ms),
+            SchemaContainment::kContained);
+}
+
+TEST_F(SchemaContainmentFixture, NotContainedAcrossBranches) {
+  // library -> book* , cd*; both may carry a title.
+  Ms ms(S("library"));
+  ms.SetMultiplicity(S("library"), S("book"), Multiplicity::kStar);
+  ms.SetMultiplicity(S("library"), S("cd"), Multiplicity::kStar);
+  ms.SetMultiplicity(S("book"), S("title"), Multiplicity::kOne);
+  ms.SetMultiplicity(S("cd"), S("title"), Multiplicity::kOne);
+  ms.AddLeafLabel(S("title"));
+  const SchemaContainmentReport report = CheckContainmentUnderSchema(
+      Q("//title"), Q("/library/book/title"), ms);
+  ASSERT_EQ(report.verdict, SchemaContainment::kNotContained);
+  // The counterexample must be a cd title.
+  EXPECT_TRUE(ms.Validates(*report.counterexample));
+  EXPECT_EQ(report.counterexample->label(
+                report.counterexample->parent(report.witness)),
+            S("cd"));
+}
+
+TEST_F(SchemaContainmentFixture, AgreesWithFilterImplicationOnPrunedQueries) {
+  // The E3 scenario, settled: pruning a schema-implied filter preserves
+  // equivalence under the schema; pruning a non-implied one does not.
+  const Ms ms = PeopleSchema();
+  const twig::TwigQuery pruned = Q("/people/person/name");
+
+  const twig::TwigQuery name_filtered = Q("/people/person[name]/name");
+  EXPECT_EQ(CheckEquivalenceUnderSchema(name_filtered, pruned, ms),
+            SchemaContainment::kContained);
+
+  const twig::TwigQuery phone_filtered = Q("/people/person[phone]/name");
+  EXPECT_EQ(CheckEquivalenceUnderSchema(phone_filtered, pruned, ms),
+            SchemaContainment::kNotContained);
+}
+
+TEST_F(SchemaContainmentFixture, TightCapReportsUnknown) {
+  const Ms ms = PeopleSchema();
+  SchemaContainmentOptions options;
+  options.max_instantiations = 0;  // the search may explore nothing
+  const SchemaContainmentReport report = CheckContainmentUnderSchema(
+      Q("//person//name"), Q("/people/person/name"), ms, options);
+  // An exhausted budget must never be reported as kContained.
+  EXPECT_EQ(report.verdict, SchemaContainment::kUnknown);
+}
+
+TEST_F(SchemaContainmentFixture, SufficientCapIsExact) {
+  // The query pair from the cap test has exactly one schema typing, so a
+  // budget of one instantiation already decides it exactly.
+  const Ms ms = PeopleSchema();
+  SchemaContainmentOptions options;
+  options.max_instantiations = 1;
+  EXPECT_EQ(CheckContainmentUnderSchema(Q("//person//name"),
+                                        Q("/people/person/name"), ms,
+                                        options)
+                .verdict,
+            SchemaContainment::kContained);
+}
+
+}  // namespace
+}  // namespace schema
+}  // namespace qlearn

@@ -1,0 +1,238 @@
+// Tests for disjunctive multiplicity expressions: membership semantics,
+// parsing/printing, emptiness/requirement analysis, and the containment
+// decision procedure cross-validated against brute-force bag enumeration.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "schema/dme.h"
+
+namespace qlearn {
+namespace schema {
+namespace {
+
+using common::Interner;
+using common::SymbolId;
+
+class DmeFixture : public ::testing::Test {
+ protected:
+  Dme D(const std::string& text) {
+    auto d = ParseDme(text, &interner_);
+    EXPECT_TRUE(d.ok()) << text << ": " << d.status().ToString();
+    return d.ok() ? std::move(d).value() : Dme();
+  }
+
+  Bag B(std::initializer_list<std::pair<const char*, int>> items) {
+    Bag bag;
+    for (const auto& [name, count] : items) {
+      if (count > 0) bag[interner_.Intern(name)] = count;
+    }
+    return bag;
+  }
+
+  Interner interner_;
+};
+
+TEST_F(DmeFixture, SingletonMultiplicities) {
+  const Dme one = D("a");
+  EXPECT_TRUE(one.Accepts(B({{"a", 1}})));
+  EXPECT_FALSE(one.Accepts(B({})));
+  EXPECT_FALSE(one.Accepts(B({{"a", 2}})));
+
+  const Dme opt = D("a?");
+  EXPECT_TRUE(opt.Accepts(B({})));
+  EXPECT_TRUE(opt.Accepts(B({{"a", 1}})));
+  EXPECT_FALSE(opt.Accepts(B({{"a", 2}})));
+
+  const Dme plus = D("a+");
+  EXPECT_FALSE(plus.Accepts(B({})));
+  EXPECT_TRUE(plus.Accepts(B({{"a", 3}})));
+
+  const Dme star = D("a*");
+  EXPECT_TRUE(star.Accepts(B({})));
+  EXPECT_TRUE(star.Accepts(B({{"a", 5}})));
+}
+
+TEST_F(DmeFixture, ConjunctionOfSingletons) {
+  const Dme e = D("a, b?, c*");
+  EXPECT_TRUE(e.Accepts(B({{"a", 1}})));
+  EXPECT_TRUE(e.Accepts(B({{"a", 1}, {"b", 1}, {"c", 4}})));
+  EXPECT_FALSE(e.Accepts(B({{"b", 1}})));           // a missing
+  EXPECT_FALSE(e.Accepts(B({{"a", 1}, {"b", 2}}))); // b capped at 1
+}
+
+TEST_F(DmeFixture, ForeignSymbolsRejected) {
+  const Dme e = D("a?");
+  EXPECT_FALSE(e.Accepts(B({{"z", 1}})));
+  EXPECT_FALSE(e.Accepts(B({{"a", 1}, {"z", 1}})));
+}
+
+TEST_F(DmeFixture, ExclusiveDisjunction) {
+  const Dme e = D("(a|b)");
+  EXPECT_TRUE(e.Accepts(B({{"a", 1}})));
+  EXPECT_TRUE(e.Accepts(B({{"b", 1}})));
+  EXPECT_FALSE(e.Accepts(B({})));
+  EXPECT_FALSE(e.Accepts(B({{"a", 1}, {"b", 1}})));
+  EXPECT_FALSE(e.Accepts(B({{"a", 2}})));
+}
+
+TEST_F(DmeFixture, OptionalDisjunction) {
+  const Dme e = D("(a|b)?");
+  EXPECT_TRUE(e.Accepts(B({})));
+  EXPECT_TRUE(e.Accepts(B({{"a", 1}})));
+  EXPECT_FALSE(e.Accepts(B({{"a", 1}, {"b", 1}})));
+}
+
+TEST_F(DmeFixture, DisjunctionWithPlusAtom) {
+  const Dme e = D("(a+|b)");
+  EXPECT_TRUE(e.Accepts(B({{"a", 3}})));
+  EXPECT_TRUE(e.Accepts(B({{"b", 1}})));
+  EXPECT_FALSE(e.Accepts(B({{"b", 2}})));
+  EXPECT_FALSE(e.Accepts(B({{"a", 1}, {"b", 1}})));
+}
+
+TEST_F(DmeFixture, RepeatableDisjunctionMixes) {
+  const Dme e = D("(a|b)+");
+  EXPECT_TRUE(e.Accepts(B({{"a", 2}, {"b", 3}})));
+  EXPECT_TRUE(e.Accepts(B({{"b", 1}})));
+  EXPECT_FALSE(e.Accepts(B({})));
+  const Dme star = D("(a|b)*");
+  EXPECT_TRUE(star.Accepts(B({})));
+  EXPECT_TRUE(star.Accepts(B({{"a", 1}, {"b", 1}})));
+}
+
+TEST_F(DmeFixture, OptionalAtomInsideRequiredClause) {
+  // (a?|b)^1: an empty a-part satisfies the single required part.
+  const Dme e = D("(a?|b)");
+  EXPECT_TRUE(e.Accepts(B({})));
+  EXPECT_TRUE(e.Accepts(B({{"a", 1}})));
+  EXPECT_TRUE(e.Accepts(B({{"b", 1}})));
+  EXPECT_FALSE(e.Accepts(B({{"a", 1}, {"b", 1}})));
+}
+
+TEST_F(DmeFixture, EmptyExpressionOnlyAcceptsEmptyBag) {
+  const Dme e = D("");
+  EXPECT_TRUE(e.Accepts(B({})));
+  EXPECT_FALSE(e.Accepts(B({{"a", 1}})));
+}
+
+TEST_F(DmeFixture, SingleOccurrenceEnforced) {
+  EXPECT_FALSE(ParseDme("a, a?", &interner_).ok());
+  EXPECT_FALSE(ParseDme("(a|b), a", &interner_).ok());
+}
+
+TEST_F(DmeFixture, ParseErrors) {
+  EXPECT_FALSE(ParseDme("(a|", &interner_).ok());
+  EXPECT_FALSE(ParseDme("a,,b", &interner_).ok());
+  EXPECT_FALSE(ParseDme("a b", &interner_).ok());
+}
+
+TEST_F(DmeFixture, ToStringRoundTrip) {
+  for (const char* text :
+       {"a", "a?, b+", "(a|b)?, c*", "(a+|b|c)", "name, phone?"}) {
+    const Dme e = D(text);
+    const Dme e2 = D(e.ToString(interner_));
+    EXPECT_TRUE(e.ContainedIn(e2) && e2.ContainedIn(e))
+        << text << " -> " << e.ToString(interner_);
+  }
+}
+
+TEST_F(DmeFixture, CanContainAndRequires) {
+  const Dme e = D("a, b?, (c|d)+");
+  EXPECT_TRUE(e.CanContain(interner_.Intern("a")));
+  EXPECT_TRUE(e.CanContain(interner_.Intern("c")));
+  EXPECT_FALSE(e.CanContain(interner_.Intern("z")));
+  EXPECT_TRUE(e.Requires(interner_.Intern("a")));
+  EXPECT_FALSE(e.Requires(interner_.Intern("b")));
+  EXPECT_FALSE(e.Requires(interner_.Intern("c")));  // d can cover the clause
+}
+
+TEST_F(DmeFixture, ContainmentBasics) {
+  EXPECT_TRUE(D("a").ContainedIn(D("a?")));
+  EXPECT_FALSE(D("a?").ContainedIn(D("a")));
+  EXPECT_TRUE(D("a+").ContainedIn(D("a*")));
+  EXPECT_TRUE(D("a, b").ContainedIn(D("a?, b*")));
+  EXPECT_FALSE(D("a, b").ContainedIn(D("a, c?")));   // b unknown to rhs
+  EXPECT_TRUE(D("(a|b)").ContainedIn(D("a?, b?")));
+  EXPECT_FALSE(D("a?, b?").ContainedIn(D("(a|b)")));  // {a,b} allowed by lhs
+  EXPECT_TRUE(D("(a|b)?").ContainedIn(D("(a|b)*")));
+  EXPECT_TRUE(D("").ContainedIn(D("a*")));
+  EXPECT_FALSE(D("a").ContainedIn(D("")));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: containment decision agrees with brute-force enumeration of
+// all bags with counts <= 3 (count cap 2 is what the algorithm exploits, so
+// checking up to 3 exercises the boundary).
+// ---------------------------------------------------------------------------
+
+class DmeContainmentProperty : public ::testing::TestWithParam<int> {};
+
+Dme RandomDme(common::Rng* rng, const std::vector<SymbolId>& alphabet) {
+  std::vector<SymbolId> pool = alphabet;
+  rng->Shuffle(&pool);
+  const size_t use = rng->Index(pool.size() + 1);
+  std::vector<Clause> clauses;
+  size_t i = 0;
+  static const Multiplicity kMults[] = {Multiplicity::kOne, Multiplicity::kOpt,
+                                        Multiplicity::kPlus,
+                                        Multiplicity::kStar};
+  while (i < use) {
+    Clause clause;
+    const size_t width = std::min<size_t>(use - i, 1 + rng->Uniform(3));
+    for (size_t k = 0; k < width; ++k) {
+      clause.atoms.push_back(Atom{pool[i + k], kMults[rng->Index(4)]});
+    }
+    clause.mult = kMults[rng->Index(4)];
+    clauses.push_back(std::move(clause));
+    i += width;
+  }
+  auto dme = Dme::Create(std::move(clauses));
+  EXPECT_TRUE(dme.ok());
+  return std::move(dme).value();
+}
+
+TEST_P(DmeContainmentProperty, AgreesWithEnumeration) {
+  Interner interner;
+  common::Rng rng(GetParam() * 7919 + 13);
+  std::vector<SymbolId> alphabet;
+  for (const char* name : {"a", "b", "c", "d"}) {
+    alphabet.push_back(interner.Intern(name));
+  }
+  const Dme e1 = RandomDme(&rng, alphabet);
+  const Dme e2 = RandomDme(&rng, alphabet);
+
+  // Brute-force: enumerate all bags with per-symbol counts 0..3.
+  bool contained = true;
+  Bag bag;
+  std::function<void(size_t)> sweep = [&](size_t idx) {
+    if (!contained) return;
+    if (idx == alphabet.size()) {
+      if (e1.Accepts(bag) && !e2.Accepts(bag)) contained = false;
+      return;
+    }
+    for (int c = 0; c <= 3; ++c) {
+      if (c == 0) {
+        bag.erase(alphabet[idx]);
+      } else {
+        bag[alphabet[idx]] = c;
+      }
+      sweep(idx + 1);
+    }
+    bag.erase(alphabet[idx]);
+  };
+  sweep(0);
+
+  EXPECT_EQ(e1.ContainedIn(e2), contained)
+      << "E1 = " << e1.ToString(interner) << "\nE2 = " << e2.ToString(interner);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DmeContainmentProperty,
+                         ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace schema
+}  // namespace qlearn

@@ -1,0 +1,421 @@
+// Tests for schema-level functionality: DMS validation and containment,
+// disjunction-free MS, dependency graphs (query satisfiability and filter
+// implication), schema inference, DTDs, and valid-document sampling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "schema/depgraph.h"
+#include "schema/dms.h"
+#include "schema/dtd.h"
+#include "schema/inference.h"
+#include "schema/ms.h"
+#include "schema/sampling.h"
+#include "twig/twig_parser.h"
+#include "xml/xml_parser.h"
+
+namespace qlearn {
+namespace schema {
+namespace {
+
+using common::Interner;
+using common::SymbolId;
+
+class SchemaFixture : public ::testing::Test {
+ protected:
+  SymbolId S(const char* name) { return interner_.Intern(name); }
+
+  Dme D(const std::string& text) {
+    auto d = ParseDme(text, &interner_);
+    EXPECT_TRUE(d.ok()) << text << ": " << d.status().ToString();
+    return d.ok() ? std::move(d).value() : Dme();
+  }
+
+  xml::XmlTree Doc(const std::string& text) {
+    auto t = xml::ParseXml(text, &interner_);
+    EXPECT_TRUE(t.ok()) << text << ": " << t.status().ToString();
+    return t.ok() ? std::move(t).value() : xml::XmlTree();
+  }
+
+  twig::TwigQuery Q(const std::string& text) {
+    auto q = twig::ParseTwig(text, &interner_);
+    EXPECT_TRUE(q.ok()) << text;
+    return q.ok() ? std::move(q).value() : twig::TwigQuery();
+  }
+
+  /// A small "person registry" DMS used by several tests.
+  Dms PersonDms() {
+    Dms dms(S("people"));
+    dms.SetRule(S("people"), D("person*"));
+    dms.SetRule(S("person"), D("name, phone?, (homepage|creditcard)?"));
+    dms.SetRule(S("name"), D(""));
+    dms.SetRule(S("phone"), D(""));
+    dms.SetRule(S("homepage"), D(""));
+    dms.SetRule(S("creditcard"), D(""));
+    return dms;
+  }
+
+  Interner interner_;
+};
+
+TEST_F(SchemaFixture, DmsValidatesConformingDocument) {
+  const Dms dms = PersonDms();
+  EXPECT_TRUE(dms.Validates(
+      Doc("<people><person><name/><phone/></person>"
+          "<person><name/><homepage/></person></people>")));
+  EXPECT_TRUE(dms.Validates(Doc("<people/>")));
+}
+
+TEST_F(SchemaFixture, DmsRejectsViolations) {
+  const Dms dms = PersonDms();
+  // Missing required name.
+  EXPECT_FALSE(dms.Validates(Doc("<people><person><phone/></person></people>")));
+  // Both homepage and creditcard (exclusive).
+  EXPECT_FALSE(dms.Validates(
+      Doc("<people><person><name/><homepage/><creditcard/></person>"
+          "</people>")));
+  // Unknown label.
+  EXPECT_FALSE(dms.Validates(Doc("<people><alien/></people>")));
+  // Wrong root.
+  EXPECT_FALSE(dms.Validates(Doc("<person><name/></person>")));
+  // Two phones.
+  EXPECT_FALSE(dms.Validates(
+      Doc("<people><person><name/><phone/><phone/></person></people>")));
+}
+
+TEST_F(SchemaFixture, ValidateReportsUsefulErrors) {
+  const Dms dms = PersonDms();
+  const auto status = dms.Validate(
+      Doc("<people><person><phone/></person></people>"), interner_);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("person"), std::string::npos);
+}
+
+TEST_F(SchemaFixture, ProductiveAndReachable) {
+  Dms dms(S("r"));
+  dms.SetRule(S("r"), D("a?, b?"));
+  dms.SetRule(S("a"), D(""));
+  // b requires itself: non-productive.
+  dms.SetRule(S("b"), D("b"));
+  // c exists but unreachable.
+  dms.SetRule(S("c"), D(""));
+  const auto productive = dms.ProductiveLabels();
+  EXPECT_TRUE(productive.count(S("r")));
+  EXPECT_TRUE(productive.count(S("a")));
+  EXPECT_FALSE(productive.count(S("b")));
+  EXPECT_TRUE(productive.count(S("c")));
+  const auto reachable = dms.ReachableLabels();
+  EXPECT_TRUE(reachable.count(S("a")));
+  EXPECT_FALSE(reachable.count(S("b")));
+  EXPECT_FALSE(reachable.count(S("c")));
+  EXPECT_TRUE(dms.Satisfiable());
+}
+
+TEST_F(SchemaFixture, UnsatisfiableSchema) {
+  Dms dms(S("r"));
+  dms.SetRule(S("r"), D("x"));
+  dms.SetRule(S("x"), D("x"));  // required self-loop
+  EXPECT_FALSE(dms.Satisfiable());
+  // Vacuously contained in anything.
+  EXPECT_TRUE(dms.ContainedIn(PersonDms()));
+}
+
+TEST_F(SchemaFixture, DmsContainment) {
+  Dms tight(S("people"));
+  tight.SetRule(S("people"), D("person+"));
+  tight.SetRule(S("person"), D("name, phone?"));
+  tight.SetRule(S("name"), D(""));
+  tight.SetRule(S("phone"), D(""));
+  EXPECT_TRUE(tight.ContainedIn(PersonDms()));
+  EXPECT_FALSE(PersonDms().ContainedIn(tight));
+}
+
+TEST_F(SchemaFixture, DmsContainmentDetectsContentMismatch) {
+  Dms other = PersonDms();
+  other.SetRule(S("person"), D("name, phone"));
+  EXPECT_FALSE(PersonDms().ContainedIn(other));  // phone? vs phone
+  EXPECT_TRUE(other.ContainedIn(PersonDms()));
+}
+
+TEST_F(SchemaFixture, DmsContainmentIgnoresUnreachableGarbage) {
+  Dms a = PersonDms();
+  // Unreachable label with a wild content model.
+  a.SetRule(S("junk"), D("name*, phone*"));
+  EXPECT_TRUE(a.ContainedIn(PersonDms()));
+}
+
+TEST_F(SchemaFixture, MsBasics) {
+  Ms ms(S("r"));
+  ms.SetMultiplicity(S("r"), S("a"), Multiplicity::kPlus);
+  ms.SetMultiplicity(S("r"), S("b"), Multiplicity::kOpt);
+  EXPECT_TRUE(ms.Validates(Doc("<r><a/><a/><b/></r>")));
+  EXPECT_FALSE(ms.Validates(Doc("<r><b/></r>")));        // a required
+  EXPECT_FALSE(ms.Validates(Doc("<r><a/><b/><b/></r>"))); // b at most once
+  EXPECT_FALSE(ms.Validates(Doc("<r><a/><z/></r>")));     // z unknown
+}
+
+TEST_F(SchemaFixture, MsContainment) {
+  Ms tight(S("r"));
+  tight.SetMultiplicity(S("r"), S("a"), Multiplicity::kOne);
+  Ms loose(S("r"));
+  loose.SetMultiplicity(S("r"), S("a"), Multiplicity::kPlus);
+  EXPECT_TRUE(tight.ContainedIn(loose));
+  EXPECT_FALSE(loose.ContainedIn(tight));
+  // Requiredness in the outer schema must be met.
+  Ms optional(S("r"));
+  optional.SetMultiplicity(S("r"), S("a"), Multiplicity::kOpt);
+  EXPECT_FALSE(optional.ContainedIn(tight));
+  EXPECT_TRUE(tight.ContainedIn(optional));
+}
+
+TEST_F(SchemaFixture, MsToDmsPreservesValidation) {
+  Ms ms(S("r"));
+  ms.SetMultiplicity(S("r"), S("a"), Multiplicity::kPlus);
+  ms.SetMultiplicity(S("r"), S("b"), Multiplicity::kOpt);
+  const Dms dms = ms.ToDms();
+  for (const char* text :
+       {"<r><a/></r>", "<r><a/><a/><b/></r>", "<r><b/></r>", "<r/>",
+        "<r><a/><b/><b/></r>"}) {
+    const xml::XmlTree doc = Doc(text);
+    EXPECT_EQ(ms.Validates(doc), dms.Validates(doc)) << text;
+  }
+}
+
+TEST_F(SchemaFixture, DependencyGraphEdges) {
+  Ms ms(S("r"));
+  ms.SetMultiplicity(S("r"), S("a"), Multiplicity::kOne);
+  ms.SetMultiplicity(S("a"), S("b"), Multiplicity::kOpt);
+  ms.SetMultiplicity(S("b"), S("c"), Multiplicity::kPlus);
+  const DependencyGraph g(ms);
+  EXPECT_TRUE(g.HasEdge(S("r"), S("a")));
+  EXPECT_TRUE(g.HasCertainEdge(S("r"), S("a")));
+  EXPECT_TRUE(g.HasEdge(S("a"), S("b")));
+  EXPECT_FALSE(g.HasCertainEdge(S("a"), S("b")));
+  EXPECT_TRUE(g.Reachable(S("r"), S("c")));
+  EXPECT_FALSE(g.CertainReachable(S("r"), S("b")));
+  EXPECT_TRUE(g.CertainReachable(S("b"), S("c")));
+}
+
+TEST_F(SchemaFixture, QuerySatisfiability) {
+  Ms ms(S("site"));
+  ms.SetMultiplicity(S("site"), S("people"), Multiplicity::kOne);
+  ms.SetMultiplicity(S("people"), S("person"), Multiplicity::kStar);
+  ms.SetMultiplicity(S("person"), S("name"), Multiplicity::kOne);
+  ms.SetMultiplicity(S("person"), S("phone"), Multiplicity::kOpt);
+
+  EXPECT_TRUE(QuerySatisfiable(ms, Q("/site/people/person/name")));
+  EXPECT_TRUE(QuerySatisfiable(ms, Q("//person[phone]/name")));
+  EXPECT_TRUE(QuerySatisfiable(ms, Q("//name")));
+  EXPECT_TRUE(QuerySatisfiable(ms, Q("/site//phone")));
+  // Wrong root.
+  EXPECT_FALSE(QuerySatisfiable(ms, Q("/people/person")));
+  // name under people directly: not allowed.
+  EXPECT_FALSE(QuerySatisfiable(ms, Q("/site/people/name")));
+  // Unknown label.
+  EXPECT_FALSE(QuerySatisfiable(ms, Q("//alien")));
+  // phone has no children.
+  EXPECT_FALSE(QuerySatisfiable(ms, Q("//phone/name")));
+}
+
+TEST_F(SchemaFixture, QuerySatisfiabilityWithWildcards) {
+  Ms ms(S("r"));
+  ms.SetMultiplicity(S("r"), S("a"), Multiplicity::kOpt);
+  ms.SetMultiplicity(S("a"), S("b"), Multiplicity::kOpt);
+  EXPECT_TRUE(QuerySatisfiable(ms, Q("/r/*/b")));
+  EXPECT_FALSE(QuerySatisfiable(ms, Q("/r/*/*/b")));
+  EXPECT_TRUE(QuerySatisfiable(ms, Q("//*[b]")));
+}
+
+TEST_F(SchemaFixture, FilterImplication) {
+  Ms ms(S("site"));
+  ms.SetMultiplicity(S("site"), S("people"), Multiplicity::kOne);
+  ms.SetMultiplicity(S("people"), S("person"), Multiplicity::kStar);
+  ms.SetMultiplicity(S("person"), S("name"), Multiplicity::kOne);
+  ms.SetMultiplicity(S("person"), S("phone"), Multiplicity::kOpt);
+  ms.SetMultiplicity(S("name"), S("first"), Multiplicity::kPlus);
+
+  // person always has a name: the filter [name] at person is implied.
+  {
+    const twig::TwigQuery q = Q("//person[name]");
+    // Filter node is the name child (id 2).
+    EXPECT_TRUE(FilterImplied(ms, S("person"), q, 2));
+  }
+  // [phone] is not implied.
+  {
+    const twig::TwigQuery q = Q("//person[phone]");
+    EXPECT_FALSE(FilterImplied(ms, S("person"), q, 2));
+  }
+  // Nested certain chain: person[name/first] implied.
+  {
+    const twig::TwigQuery q = Q("//person[name/first]");
+    EXPECT_TRUE(FilterImplied(ms, S("person"), q, 2));
+  }
+  // Descendant filter [.//first] at person implied via certain path.
+  {
+    const twig::TwigQuery q = Q("//person[.//first]");
+    EXPECT_TRUE(FilterImplied(ms, S("person"), q, 2));
+  }
+  // Wildcard filter [*] at person implied (some certain child exists).
+  {
+    const twig::TwigQuery q = Q("//person[*]");
+    EXPECT_TRUE(FilterImplied(ms, S("person"), q, 2));
+  }
+  // [*] at phone not implied (phone is a leaf).
+  {
+    const twig::TwigQuery q = Q("//phone[*]");
+    EXPECT_FALSE(FilterImplied(ms, S("phone"), q, 2));
+  }
+}
+
+TEST_F(SchemaFixture, InferMsRecoversMultiplicities) {
+  const xml::XmlTree d1 = Doc("<r><a/><a/><b/></r>");
+  const xml::XmlTree d2 = Doc("<r><a/></r>");
+  auto ms = InferMs({&d1, &d2});
+  ASSERT_TRUE(ms.ok());
+  EXPECT_EQ(ms.value().GetMultiplicity(S("r"), S("a")), Multiplicity::kPlus);
+  EXPECT_EQ(ms.value().GetMultiplicity(S("r"), S("b")), Multiplicity::kOpt);
+  EXPECT_TRUE(ms.value().Validates(d1));
+  EXPECT_TRUE(ms.value().Validates(d2));
+}
+
+TEST_F(SchemaFixture, InferMsRejectsBadCorpus) {
+  EXPECT_FALSE(InferMs({}).ok());
+  const xml::XmlTree d1 = Doc("<r/>");
+  const xml::XmlTree d2 = Doc("<q/>");
+  EXPECT_FALSE(InferMs({&d1, &d2}).ok());
+}
+
+TEST_F(SchemaFixture, InferDmsFindsDisjunction) {
+  const xml::XmlTree d1 = Doc("<p><n/><home/></p>");
+  const xml::XmlTree d2 = Doc("<p><n/><card/></p>");
+  const xml::XmlTree d3 = Doc("<p><n/></p>");
+  auto dms = InferDms({&d1, &d2, &d3});
+  ASSERT_TRUE(dms.ok());
+  const Dms& schema = dms.value();
+  EXPECT_TRUE(schema.Validates(d1));
+  EXPECT_TRUE(schema.Validates(d2));
+  EXPECT_TRUE(schema.Validates(d3));
+  // home and card must be mutually exclusive in the inferred schema.
+  EXPECT_FALSE(schema.Validates(Doc("<p><n/><home/><card/></p>")));
+  // n stays required.
+  EXPECT_FALSE(schema.Validates(Doc("<p><home/></p>")));
+}
+
+TEST_F(SchemaFixture, InferDmsConvergesToGoal) {
+  // Sample many documents from a goal schema; inference must recover a
+  // schema equivalent to the goal.
+  Dms goal(S("person"));
+  goal.SetRule(S("person"), D("name, phone?, (homepage|creditcard)?"));
+  goal.SetRule(S("name"), D(""));
+  goal.SetRule(S("phone"), D(""));
+  goal.SetRule(S("homepage"), D(""));
+  goal.SetRule(S("creditcard"), D(""));
+
+  common::Rng rng(17);
+  std::vector<xml::XmlTree> docs;
+  for (int i = 0; i < 60; ++i) {
+    auto doc = SampleDocument(goal, &rng);
+    ASSERT_TRUE(doc.ok());
+    docs.push_back(std::move(doc).value());
+  }
+  std::vector<const xml::XmlTree*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+  auto inferred = InferDms(ptrs);
+  ASSERT_TRUE(inferred.ok());
+  EXPECT_TRUE(inferred.value().EquivalentTo(goal))
+      << "inferred:\n" << inferred.value().ToString(interner_)
+      << "goal:\n" << goal.ToString(interner_);
+}
+
+TEST_F(SchemaFixture, DtdValidatesOrderedContent) {
+  Dtd dtd(S("r"));
+  auto set = [&](const char* label, const char* regex) {
+    auto r = automata::ParseRegex(regex, &interner_);
+    ASSERT_TRUE(r.ok());
+    dtd.SetRule(S(label), r.value());
+  };
+  set("r", "a.b*.c?");
+  set("a", "()");
+  set("b", "()");
+  set("c", "()");
+  EXPECT_TRUE(dtd.Validates(Doc("<r><a/><b/><b/><c/></r>")));
+  EXPECT_TRUE(dtd.Validates(Doc("<r><a/></r>")));
+  EXPECT_FALSE(dtd.Validates(Doc("<r><b/><a/></r>")));  // order matters
+  EXPECT_FALSE(dtd.Validates(Doc("<r><a/><c/><c/></r>")));
+  EXPECT_FALSE(dtd.Validates(Doc("<x/>")));
+}
+
+TEST_F(SchemaFixture, DtdOrderSensitiveVsDmsOrderOblivious) {
+  Dtd dtd(S("r"));
+  auto r = automata::ParseRegex("a.b", &interner_);
+  ASSERT_TRUE(r.ok());
+  dtd.SetRule(S("r"), r.value());
+  auto eps = automata::ParseRegex("()", &interner_);
+  dtd.SetRule(S("a"), eps.value());
+  dtd.SetRule(S("b"), eps.value());
+
+  Dms dms(S("r"));
+  dms.SetRule(S("r"), D("a, b"));
+  dms.SetRule(S("a"), D(""));
+  dms.SetRule(S("b"), D(""));
+
+  const xml::XmlTree ordered = Doc("<r><a/><b/></r>");
+  const xml::XmlTree swapped = Doc("<r><b/><a/></r>");
+  EXPECT_TRUE(dtd.Validates(ordered));
+  EXPECT_FALSE(dtd.Validates(swapped));
+  EXPECT_TRUE(dms.Validates(ordered));
+  EXPECT_TRUE(dms.Validates(swapped));  // DMS ignores order
+}
+
+TEST_F(SchemaFixture, SampledDocumentsAreValid) {
+  const Dms dms = PersonDms();
+  common::Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    auto doc = SampleDocument(dms, &rng);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_TRUE(dms.Validates(doc.value()))
+        << doc.value().ToXml(interner_);
+  }
+}
+
+TEST_F(SchemaFixture, SampleFailsOnUnsatisfiableSchema) {
+  Dms dms(S("r"));
+  dms.SetRule(S("r"), D("x"));
+  dms.SetRule(S("x"), D("x"));
+  common::Rng rng(1);
+  EXPECT_FALSE(SampleDocument(dms, &rng).ok());
+}
+
+TEST_F(SchemaFixture, SamplerTerminatesOnRecursiveSchemas) {
+  // parlist-style recursion with optional self-reference.
+  Dms dms(S("list"));
+  dms.SetRule(S("list"), D("item+"));
+  dms.SetRule(S("item"), D("(text|list)"));
+  dms.SetRule(S("text"), D(""));
+  common::Rng rng(31);
+  for (int i = 0; i < 30; ++i) {
+    auto doc = SampleDocument(dms, &rng);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_TRUE(dms.Validates(doc.value()));
+  }
+}
+
+TEST_F(SchemaFixture, RandomCanonicalDmsIsSatisfiableAndSampleable) {
+  common::Rng rng(41);
+  for (int i = 0; i < 20; ++i) {
+    RandomDmsOptions opts;
+    opts.num_labels = 6;
+    Interner local;
+    const Dms dms = RandomCanonicalDms(opts, &rng, &local);
+    EXPECT_TRUE(dms.Satisfiable());
+    auto doc = SampleDocument(dms, &rng);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_TRUE(dms.Validates(doc.value()));
+  }
+}
+
+}  // namespace
+}  // namespace schema
+}  // namespace qlearn

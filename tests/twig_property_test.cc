@@ -1,0 +1,172 @@
+// Parameterized property sweeps for the twig engine: random queries against
+// random documents checking (1) parser/printer round-trips, (2) selection
+// vs boolean-match coherence, (3) minimization preserving semantics,
+// (4) homomorphism containment soundness, and (5) evaluation agreement with
+// a brute-force embedding enumerator.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "twig/twig_containment.h"
+#include "twig/twig_eval.h"
+#include "twig/twig_parser.h"
+#include "xml/random_tree.h"
+
+namespace qlearn {
+namespace twig {
+namespace {
+
+using common::Interner;
+using common::SymbolId;
+
+/// Builds a random anchored-ish twig query over labels l0..l{k-1}.
+TwigQuery RandomQuery(common::Rng* rng, Interner* interner, int alphabet) {
+  TwigQuery q;
+  std::vector<SymbolId> labels;
+  for (int i = 0; i < alphabet; ++i) {
+    std::string name = "l";
+    name += std::to_string(i);
+    labels.push_back(interner->Intern(name));
+  }
+  labels.push_back(interner->Intern("root"));
+
+  const int path_len = 1 + static_cast<int>(rng->Uniform(4));
+  QNodeId cur = 0;
+  for (int i = 0; i < path_len; ++i) {
+    const Axis axis =
+        rng->Bernoulli(0.35) ? Axis::kDescendant : Axis::kChild;
+    const SymbolId label = rng->Bernoulli(0.15) && axis == Axis::kChild
+                               ? kWildcard
+                               : labels[rng->Index(labels.size())];
+    cur = q.AddNode(cur, axis, label);
+    // Occasionally add a filter branch.
+    if (rng->Bernoulli(0.4)) {
+      const QNodeId f = q.AddNode(
+          cur, rng->Bernoulli(0.3) ? Axis::kDescendant : Axis::kChild,
+          labels[rng->Index(labels.size())]);
+      if (rng->Bernoulli(0.3)) {
+        q.AddNode(f, Axis::kChild, labels[rng->Index(labels.size())]);
+      }
+    }
+  }
+  q.set_selection(cur);
+  return q;
+}
+
+/// Brute-force: enumerate all embeddings recursively (no DP), returning the
+/// set of selected nodes.
+std::vector<xml::NodeId> BruteForceEvaluate(const TwigQuery& q,
+                                            const xml::XmlTree& doc) {
+  std::vector<xml::NodeId> assignment(q.NumNodes(), xml::kInvalidNode);
+  std::vector<bool> selected(doc.NumNodes(), false);
+  std::vector<QNodeId> order;
+  for (QNodeId n : q.PreOrder()) {
+    if (n != 0) order.push_back(n);
+  }
+  std::function<void(size_t)> rec = [&](size_t idx) {
+    if (idx == order.size()) {
+      if (q.selection() != kInvalidQNode) {
+        selected[assignment[q.selection()]] = true;
+      }
+      return;
+    }
+    const QNodeId x = order[idx];
+    const QNodeId p = q.parent(x);
+    std::vector<xml::NodeId> candidates;
+    if (p == 0) {
+      if (q.axis(x) == Axis::kChild) {
+        candidates.push_back(doc.root());
+      } else {
+        for (xml::NodeId v = 0; v < doc.NumNodes(); ++v) {
+          candidates.push_back(v);
+        }
+      }
+    } else {
+      const xml::NodeId u = assignment[p];
+      candidates = q.axis(x) == Axis::kChild ? doc.children(u)
+                                             : doc.Descendants(u);
+    }
+    for (xml::NodeId v : candidates) {
+      if (q.label(x) != kWildcard && q.label(x) != doc.label(v)) continue;
+      assignment[x] = v;
+      rec(idx + 1);
+    }
+    assignment[x] = xml::kInvalidNode;
+  };
+  rec(0);
+  std::vector<xml::NodeId> out;
+  for (xml::NodeId v = 0; v < doc.NumNodes(); ++v) {
+    if (selected[v]) out.push_back(v);
+  }
+  return out;
+}
+
+class TwigProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwigProperty, EngineInvariants) {
+  Interner interner;
+  common::Rng rng(GetParam() * 2654435761u + 17);
+  xml::RandomTreeOptions tree_options;
+  tree_options.alphabet_size = 3;
+  tree_options.max_depth = 4;
+  tree_options.max_children = 3;
+
+  for (int iter = 0; iter < 10; ++iter) {
+    const xml::XmlTree doc =
+        xml::GenerateRandomTree(tree_options, &rng, &interner);
+    const TwigQuery q = RandomQuery(&rng, &interner, 3);
+
+    // (1) Print -> parse round trip preserves structure.
+    auto reparsed = ParseTwig(q.ToString(interner), &interner);
+    ASSERT_TRUE(reparsed.ok()) << q.ToString(interner);
+    EXPECT_TRUE(q.StructurallyEquals(reparsed.value()))
+        << q.ToString(interner) << " vs "
+        << reparsed.value().ToString(interner);
+
+    // (2) Selection implies boolean match; empty selection of a matching
+    // query can only happen without a selection node.
+    TwigEvaluator eval(q, doc);
+    const auto selected = eval.SelectedNodes();
+    if (!selected.empty()) EXPECT_TRUE(eval.Matches());
+    for (xml::NodeId v : selected) EXPECT_TRUE(eval.Selects(v));
+
+    // (3) Evaluation agrees with brute-force embedding enumeration.
+    EXPECT_EQ(selected, BruteForceEvaluate(q, doc)) << q.ToString(interner);
+
+    // (4) Minimization preserves the selected set.
+    const TwigQuery minimized = Minimize(q);
+    EXPECT_LE(minimized.Size(), q.Size());
+    EXPECT_EQ(Evaluate(minimized, doc), selected) << q.ToString(interner);
+  }
+}
+
+TEST_P(TwigProperty, HomContainmentSoundness) {
+  Interner interner;
+  common::Rng rng(GetParam() * 40503 + 11);
+  xml::RandomTreeOptions tree_options;
+  tree_options.alphabet_size = 3;
+  tree_options.max_depth = 4;
+
+  const TwigQuery q1 = RandomQuery(&rng, &interner, 3);
+  const TwigQuery q2 = RandomQuery(&rng, &interner, 3);
+  if (!ContainedInByHom(q1, q2)) return;
+  for (int iter = 0; iter < 10; ++iter) {
+    const xml::XmlTree doc =
+        xml::GenerateRandomTree(tree_options, &rng, &interner);
+    const auto s1 = Evaluate(q1, doc);
+    const auto s2 = Evaluate(q2, doc);
+    for (xml::NodeId v : s1) {
+      EXPECT_TRUE(std::find(s2.begin(), s2.end(), v) != s2.end())
+          << q1.ToString(interner) << " should be contained in "
+          << q2.ToString(interner);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwigProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace twig
+}  // namespace qlearn

@@ -1,0 +1,239 @@
+// Unit tests for twig queries: construction, parsing/printing, evaluation
+// semantics (boolean, unary selection, n-ary tuples), and anchoredness.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/interner.h"
+#include "twig/twig_eval.h"
+#include "twig/twig_parser.h"
+#include "twig/twig_query.h"
+#include "xml/xml_parser.h"
+
+namespace qlearn {
+namespace twig {
+namespace {
+
+using common::Interner;
+
+class TwigFixture : public ::testing::Test {
+ protected:
+  TwigQuery Q(const std::string& text) {
+    auto q = ParseTwig(text, &interner_);
+    EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+    return q.ok() ? std::move(q).value() : TwigQuery();
+  }
+
+  xml::XmlTree Doc(const std::string& text) {
+    auto t = xml::ParseXml(text, &interner_);
+    EXPECT_TRUE(t.ok()) << text << ": " << t.status().ToString();
+    return t.ok() ? std::move(t).value() : xml::XmlTree();
+  }
+
+  /// Labels of the nodes selected by `q` on `doc`, as a multiset of strings.
+  std::multiset<std::string> SelectedLabels(const TwigQuery& q,
+                                            const xml::XmlTree& doc) {
+    std::multiset<std::string> out;
+    for (xml::NodeId n : Evaluate(q, doc)) {
+      out.insert(interner_.Name(doc.label(n)));
+    }
+    return out;
+  }
+
+  Interner interner_;
+};
+
+TEST_F(TwigFixture, ParseSimplePath) {
+  TwigQuery q = Q("/a/b/c");
+  EXPECT_EQ(q.Size(), 3u);
+  EXPECT_TRUE(q.IsPath());
+  EXPECT_NE(q.selection(), kInvalidQNode);
+  EXPECT_EQ(q.ToString(interner_), "/a/b/c");
+}
+
+TEST_F(TwigFixture, ParseDescendantAxis) {
+  TwigQuery q = Q("//a//b");
+  EXPECT_EQ(q.Size(), 2u);
+  EXPECT_EQ(q.axis(1), Axis::kDescendant);
+  EXPECT_EQ(q.ToString(interner_), "//a//b");
+}
+
+TEST_F(TwigFixture, ParseFilters) {
+  TwigQuery q = Q("/site//person[profile/age]/name");
+  EXPECT_EQ(q.Size(), 5u);
+  EXPECT_FALSE(q.IsPath());
+  EXPECT_EQ(q.ToString(interner_), "/site//person[profile/age]/name");
+}
+
+TEST_F(TwigFixture, ParseNestedAndMultipleFilters) {
+  TwigQuery q = Q("/a[b[c][d]]/e[.//f]");
+  EXPECT_EQ(q.Size(), 6u);
+  const std::string round = q.ToString(interner_);
+  TwigQuery q2 = Q(round);
+  EXPECT_TRUE(q.StructurallyEquals(q2)) << round;
+}
+
+TEST_F(TwigFixture, ParseWildcard) {
+  TwigQuery q = Q("/a/*/c");
+  EXPECT_EQ(q.label(2), kWildcard);
+  EXPECT_EQ(q.ToString(interner_), "/a/*/c");
+}
+
+TEST_F(TwigFixture, ParseErrors) {
+  EXPECT_FALSE(ParseTwig("", &interner_).ok());
+  EXPECT_FALSE(ParseTwig("a/b", &interner_).ok());
+  EXPECT_FALSE(ParseTwig("/a[", &interner_).ok());
+  EXPECT_FALSE(ParseTwig("/a[b", &interner_).ok());
+  EXPECT_FALSE(ParseTwig("/", &interner_).ok());
+}
+
+TEST_F(TwigFixture, BooleanMatchChildAxis) {
+  const xml::XmlTree doc = Doc("<a><b/><c/></a>");
+  EXPECT_TRUE(Matches(Q("/a"), doc));
+  EXPECT_TRUE(Matches(Q("/a/b"), doc));
+  EXPECT_FALSE(Matches(Q("/b"), doc));
+  EXPECT_FALSE(Matches(Q("/a/b/c"), doc));
+}
+
+TEST_F(TwigFixture, BooleanMatchDescendantAxis) {
+  const xml::XmlTree doc = Doc("<a><b><c><d/></c></b></a>");
+  EXPECT_TRUE(Matches(Q("//d"), doc));
+  EXPECT_TRUE(Matches(Q("//b//d"), doc));
+  EXPECT_TRUE(Matches(Q("/a//d"), doc));
+  EXPECT_FALSE(Matches(Q("//b/d"), doc));  // d is a grandchild of b
+  EXPECT_FALSE(Matches(Q("//e"), doc));
+}
+
+TEST_F(TwigFixture, DescendantIsProper) {
+  const xml::XmlTree doc = Doc("<a><b/></a>");
+  // //a//a would need two distinct nested a's.
+  EXPECT_FALSE(Matches(Q("//a//a"), doc));
+  const xml::XmlTree nested = Doc("<a><a><b/></a></a>");
+  EXPECT_TRUE(Matches(Q("//a//a"), nested));
+}
+
+TEST_F(TwigFixture, SelectionReturnsMatchingNodes) {
+  const xml::XmlTree doc =
+      Doc("<site><people><person><name/></person>"
+          "<person><name/><age/></person></people></site>");
+  EXPECT_EQ(SelectedLabels(Q("//person"), doc),
+            (std::multiset<std::string>{"person", "person"}));
+  EXPECT_EQ(SelectedLabels(Q("//person[age]"), doc),
+            (std::multiset<std::string>{"person"}));
+  EXPECT_EQ(SelectedLabels(Q("//person[age]/name"), doc),
+            (std::multiset<std::string>{"name"}));
+}
+
+TEST_F(TwigFixture, FilterConstrainsButDoesNotSelect) {
+  const xml::XmlTree doc = Doc("<a><b><x/></b><b/></a>");
+  // Only the first b has an x child.
+  EXPECT_EQ(Evaluate(Q("/a/b[x]"), doc).size(), 1u);
+  EXPECT_EQ(Evaluate(Q("/a/b"), doc).size(), 2u);
+}
+
+TEST_F(TwigFixture, UpwardContextFiltersSelection) {
+  const xml::XmlTree doc =
+      Doc("<a><b><n/></b><c><n/></c></a>");
+  // Only the n under b qualifies.
+  const auto selected = Evaluate(Q("/a/b/n"), doc);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(interner_.Name(doc.label(doc.parent(selected[0]))), "b");
+}
+
+TEST_F(TwigFixture, SiblingConstraintsApply) {
+  const xml::XmlTree doc = Doc("<a><b/><c/></a>");
+  const xml::XmlTree doc2 = Doc("<a><b/></a>");
+  EXPECT_EQ(Evaluate(Q("/a[c]/b"), doc).size(), 1u);
+  EXPECT_EQ(Evaluate(Q("/a[c]/b"), doc2).size(), 0u);
+}
+
+TEST_F(TwigFixture, WildcardMatchesAnyLabel) {
+  const xml::XmlTree doc = Doc("<a><b><d/></b><c><d/></c></a>");
+  EXPECT_EQ(Evaluate(Q("/a/*/d"), doc).size(), 2u);
+  EXPECT_EQ(Evaluate(Q("/a/*"), doc).size(), 2u);
+}
+
+TEST_F(TwigFixture, RootDescendantSelectsEverywhere) {
+  const xml::XmlTree doc = Doc("<a><a><a/></a></a>");
+  EXPECT_EQ(Evaluate(Q("//a"), doc).size(), 3u);
+  EXPECT_EQ(Evaluate(Q("/a"), doc).size(), 1u);
+}
+
+TEST_F(TwigFixture, EvaluatorSelectsAgainstNode) {
+  const xml::XmlTree doc = Doc("<a><b/><b><c/></b></a>");
+  const TwigQuery q = Q("/a/b[c]");
+  TwigEvaluator eval(q, doc);
+  int selected = 0;
+  for (xml::NodeId n = 0; n < doc.NumNodes(); ++n) {
+    if (eval.Selects(n)) ++selected;
+  }
+  EXPECT_EQ(selected, 1);
+}
+
+TEST_F(TwigFixture, MarkedTuplesProjectEmbeddings) {
+  const xml::XmlTree doc =
+      Doc("<db><rec><k/><v/></rec><rec><k/><v/></rec></db>");
+  TwigQuery q = Q("/db/rec[k][v]");
+  // Query node ids: 1=db, 2=rec, 3=k, 4=v. Mark the k and v nodes.
+  q.AddMarked(3);
+  q.AddMarked(4);
+  TwigEvaluator eval(q, doc);
+  const auto tuples = eval.MarkedTuples(100);
+  EXPECT_EQ(tuples.size(), 2u);  // one (k,v) pair per record
+  for (const auto& tuple : tuples) {
+    ASSERT_EQ(tuple.size(), 2u);
+    EXPECT_EQ(interner_.Name(doc.label(tuple[0])), "k");
+    EXPECT_EQ(interner_.Name(doc.label(tuple[1])), "v");
+    EXPECT_EQ(doc.parent(tuple[0]), doc.parent(tuple[1]));
+  }
+}
+
+TEST_F(TwigFixture, MarkedTuplesHonorLimit) {
+  const xml::XmlTree doc = Doc("<db><r/><r/><r/><r/><r/></db>");
+  TwigQuery q = Q("/db/r");
+  q.AddMarked(q.selection());
+  TwigEvaluator eval(q, doc);
+  EXPECT_EQ(eval.MarkedTuples(3).size(), 3u);
+  EXPECT_EQ(eval.MarkedTuples(100).size(), 5u);
+}
+
+TEST_F(TwigFixture, AnchoredDefinition) {
+  EXPECT_TRUE(Q("/a/b/c").IsAnchored());
+  EXPECT_TRUE(Q("/a/*/c").IsAnchored());
+  EXPECT_TRUE(Q("//a/b").IsAnchored());
+  EXPECT_FALSE(Q("//*/b").IsAnchored());   // wildcard entered via //
+  EXPECT_FALSE(Q("/a/*//b").IsAnchored()); // wildcard exited via //
+  EXPECT_TRUE(Q("/a[b]//c[d]").IsAnchored());
+}
+
+TEST_F(TwigFixture, RemoveSubtree) {
+  TwigQuery q = Q("/a[b/c]/d");
+  // Node ids: 1=a, 2=b, 3=c, 4=d (selection).
+  const TwigQuery pruned = q.RemoveSubtree(2);
+  EXPECT_EQ(pruned.Size(), 2u);
+  EXPECT_EQ(pruned.ToString(interner_), "/a/d");
+}
+
+TEST_F(TwigFixture, StructuralEqualityIsUnordered) {
+  const TwigQuery q1 = Q("/a[b][c]/d");
+  const TwigQuery q2 = Q("/a[c][b]/d");
+  EXPECT_TRUE(q1.StructurallyEquals(q2));
+  const TwigQuery q3 = Q("/a[b][b]/d");
+  EXPECT_FALSE(q1.StructurallyEquals(q3));
+}
+
+TEST_F(TwigFixture, DeepRecursiveDocument) {
+  // Chain of 30 nested a's: //a//a//a selects a's at depth >= 3.
+  std::string open;
+  std::string close;
+  for (int i = 0; i < 30; ++i) {
+    open += "<a>";
+    close += "</a>";
+  }
+  const xml::XmlTree doc = Doc(open + close);
+  EXPECT_EQ(Evaluate(Q("//a//a//a"), doc).size(), 28u);
+}
+
+}  // namespace
+}  // namespace twig
+}  // namespace qlearn

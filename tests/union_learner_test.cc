@@ -1,0 +1,304 @@
+// Tests for unions of twig queries: the PTIME consistency test (the paper's
+// "trivial" case), the semantic preorder it relies on, and the greedy union
+// learner's soundness/merging behaviour on disjunctive concepts.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/interner.h"
+#include "learn/union_learner.h"
+#include "twig/twig_eval.h"
+#include "twig/twig_parser.h"
+#include "xml/xml_parser.h"
+
+namespace qlearn {
+namespace learn {
+namespace {
+
+using twig::TwigQuery;
+using xml::NodeId;
+using xml::XmlTree;
+
+class UnionFixture : public ::testing::Test {
+ protected:
+  XmlTree Doc(const std::string& text) {
+    auto t = xml::ParseXml(text, &interner_);
+    EXPECT_TRUE(t.ok()) << text << ": " << t.status().ToString();
+    return t.ok() ? std::move(t).value() : XmlTree();
+  }
+
+  TwigQuery Q(const std::string& text) {
+    auto q = twig::ParseTwig(text, &interner_);
+    EXPECT_TRUE(q.ok()) << text;
+    return q.ok() ? std::move(q).value() : TwigQuery();
+  }
+
+  NodeId FindNode(const XmlTree& doc, const std::string& label,
+                  int occurrence = 0) {
+    int seen = 0;
+    for (NodeId n : doc.PreOrder()) {
+      if (interner_.Name(doc.label(n)) == label) {
+        if (seen == occurrence) return n;
+        ++seen;
+      }
+    }
+    ADD_FAILURE() << "no node labeled " << label;
+    return 0;
+  }
+
+  common::Interner interner_;
+};
+
+// --- TwigUnion semantics ---
+
+TEST_F(UnionFixture, UnionEvaluatesToUnionOfAnswerSets) {
+  const XmlTree doc = Doc("<r><a><x/></a><b><x/></b><c><x/></c></r>");
+  TwigUnion u;
+  u.AddDisjunct(Q("/r/a/x"));
+  u.AddDisjunct(Q("/r/b/x"));
+  const std::vector<NodeId> answers = u.Evaluate(doc);
+  EXPECT_EQ(answers.size(), 2u);
+  EXPECT_TRUE(u.Selects(doc, FindNode(doc, "x", 0)));
+  EXPECT_TRUE(u.Selects(doc, FindNode(doc, "x", 1)));
+  EXPECT_FALSE(u.Selects(doc, FindNode(doc, "x", 2)));
+}
+
+TEST_F(UnionFixture, OverlappingDisjunctsDeduplicate) {
+  const XmlTree doc = Doc("<r><a><x/></a></r>");
+  TwigUnion u;
+  u.AddDisjunct(Q("/r/a/x"));
+  u.AddDisjunct(Q("//x"));
+  EXPECT_EQ(u.Evaluate(doc).size(), 1u);
+}
+
+TEST_F(UnionFixture, EmptyUnionSelectsNothing) {
+  const XmlTree doc = Doc("<r><a/></r>");
+  TwigUnion u;
+  EXPECT_TRUE(u.Evaluate(doc).empty());
+  EXPECT_FALSE(u.Selects(doc, doc.root()));
+  EXPECT_EQ(u.TotalSize(), 0u);
+}
+
+TEST_F(UnionFixture, TotalSizeSumsDisjuncts) {
+  TwigUnion u;
+  u.AddDisjunct(Q("/r/a"));      // size 2
+  u.AddDisjunct(Q("/r/b[c]"));   // size 3
+  EXPECT_EQ(u.TotalSize(), 5u);
+}
+
+TEST_F(UnionFixture, ToStringJoinsWithPipe) {
+  TwigUnion u;
+  u.AddDisjunct(Q("/r/a"));
+  u.AddDisjunct(Q("/r/b"));
+  EXPECT_EQ(u.ToString(interner_), "/r/a | /r/b");
+}
+
+// --- Consistency: the paper's "trivial" PTIME case ---
+
+TEST_F(UnionFixture, ConsistentWhenNegativesAreSeparable) {
+  const XmlTree doc = Doc("<r><a><x/></a><b><x/></b></r>");
+  // positive: the x under a; negative: the x under b. The twig /r/a/x
+  // separates them, so the examples must be consistent.
+  const std::vector<TreeExample> pos = {{&doc, FindNode(doc, "x", 0)}};
+  const std::vector<TreeExample> neg = {{&doc, FindNode(doc, "x", 1)}};
+  EXPECT_TRUE(CheckUnionConsistency(pos, neg).consistent);
+}
+
+TEST_F(UnionFixture, InconsistentWhenNegativeDominatesPositive) {
+  // The second 'a' has strictly more structure than the first: every twig
+  // selecting the bare 'a' also selects the rich one, so labeling the rich
+  // one negative is hopeless — even for unions.
+  const XmlTree doc = Doc("<r><a/><a><b/></a></r>");
+  const std::vector<TreeExample> pos = {{&doc, FindNode(doc, "a", 0)}};
+  const std::vector<TreeExample> neg = {{&doc, FindNode(doc, "a", 1)}};
+  const UnionConsistencyReport report = CheckUnionConsistency(pos, neg);
+  EXPECT_FALSE(report.consistent);
+  EXPECT_EQ(report.blocking_positive, 0u);
+  EXPECT_EQ(report.blocking_negative, 0u);
+}
+
+TEST_F(UnionFixture, ConsistentInTheOppositeDirection) {
+  // Labeling the RICH node positive and the bare one negative is fine:
+  // /r/a[b] separates them.
+  const XmlTree doc = Doc("<r><a/><a><b/></a></r>");
+  const std::vector<TreeExample> pos = {{&doc, FindNode(doc, "a", 1)}};
+  const std::vector<TreeExample> neg = {{&doc, FindNode(doc, "a", 0)}};
+  EXPECT_TRUE(CheckUnionConsistency(pos, neg).consistent);
+}
+
+TEST_F(UnionFixture, IdenticalSiblingSubtreesAreInseparable) {
+  const XmlTree doc = Doc("<r><a><b/></a><a><b/></a></r>");
+  const std::vector<TreeExample> pos = {{&doc, FindNode(doc, "a", 0)}};
+  const std::vector<TreeExample> neg = {{&doc, FindNode(doc, "a", 1)}};
+  EXPECT_FALSE(CheckUnionConsistency(pos, neg).consistent);
+}
+
+TEST_F(UnionFixture, CrossDocumentConsistency) {
+  const XmlTree d1 = Doc("<r><a><p/></a></r>");
+  const XmlTree d2 = Doc("<r><a><q/></a></r>");
+  const std::vector<TreeExample> pos = {{&d1, FindNode(d1, "a")}};
+  const std::vector<TreeExample> neg = {{&d2, FindNode(d2, "a")}};
+  // /r/a[p] selects the d1 'a' but not the d2 'a'.
+  EXPECT_TRUE(CheckUnionConsistency(pos, neg).consistent);
+}
+
+TEST_F(UnionFixture, NoNegativesIsAlwaysConsistent) {
+  const XmlTree doc = Doc("<r><a/></r>");
+  const std::vector<TreeExample> pos = {{&doc, FindNode(doc, "a")}};
+  EXPECT_TRUE(CheckUnionConsistency(pos, {}).consistent);
+}
+
+// --- The greedy union learner ---
+
+TEST_F(UnionFixture, LearnsDisjunctiveConceptSingleTwigCannotExpress) {
+  // Concept: x-children of a OR x-children of b — not expressible by one
+  // anchored twig without also selecting the x under c.
+  const XmlTree doc = Doc(
+      "<r><a><x/></a><b><x/></b><c><x/></c></r>");
+  const std::vector<TreeExample> pos = {{&doc, FindNode(doc, "x", 0)},
+                                        {&doc, FindNode(doc, "x", 1)}};
+  const std::vector<TreeExample> neg = {{&doc, FindNode(doc, "x", 2)}};
+  auto result = LearnTwigUnion(pos, neg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const TwigUnion& u = result.value().query;
+  EXPECT_EQ(u.NumDisjuncts(), 2u);
+  EXPECT_TRUE(u.Selects(doc, pos[0].node));
+  EXPECT_TRUE(u.Selects(doc, pos[1].node));
+  EXPECT_FALSE(u.Selects(doc, neg[0].node));
+  EXPECT_GE(result.value().merges_blocked, 1u);
+}
+
+TEST_F(UnionFixture, MergesCompatiblePositivesIntoOneDisjunct) {
+  const XmlTree doc = Doc("<r><a><x/></a><a><x/></a><b><y/></b></r>");
+  const std::vector<TreeExample> pos = {{&doc, FindNode(doc, "x", 0)},
+                                        {&doc, FindNode(doc, "x", 1)}};
+  auto result = LearnTwigUnion(pos, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().query.NumDisjuncts(), 1u);
+  EXPECT_EQ(result.value().merges, 1u);
+}
+
+TEST_F(UnionFixture, SoundnessSelectsAllPositivesNoNegatives) {
+  const XmlTree doc = Doc(
+      "<lib><book><title/><price/></book><book><title/></book>"
+      "<mag><title/><price/></mag><news><title/></news></lib>");
+  // Positives: titles of books and magazines; negative: the news title.
+  const std::vector<TreeExample> pos = {{&doc, FindNode(doc, "title", 0)},
+                                        {&doc, FindNode(doc, "title", 1)},
+                                        {&doc, FindNode(doc, "title", 2)}};
+  const std::vector<TreeExample> neg = {{&doc, FindNode(doc, "title", 3)}};
+  auto result = LearnTwigUnion(pos, neg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const TreeExample& p : pos) {
+    EXPECT_TRUE(result.value().query.Selects(*p.doc, p.node));
+  }
+  for (const TreeExample& n : neg) {
+    EXPECT_FALSE(result.value().query.Selects(*n.doc, n.node));
+  }
+}
+
+TEST_F(UnionFixture, FailsOnInconsistentExamples) {
+  const XmlTree doc = Doc("<r><a/><a><b/></a></r>");
+  const std::vector<TreeExample> pos = {{&doc, FindNode(doc, "a", 0)}};
+  const std::vector<TreeExample> neg = {{&doc, FindNode(doc, "a", 1)}};
+  auto result = LearnTwigUnion(pos, neg);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(UnionFixture, FailsWhenBudgetTooTight) {
+  // Three pairwise-unmergeable positives (each merge would cover the
+  // negative x under d) with a budget of 2 disjuncts.
+  const XmlTree doc = Doc(
+      "<r><a><x/></a><b><x/></b><c><x/></c><d><x/></d></r>");
+  const std::vector<TreeExample> pos = {{&doc, FindNode(doc, "x", 0)},
+                                        {&doc, FindNode(doc, "x", 1)},
+                                        {&doc, FindNode(doc, "x", 2)}};
+  const std::vector<TreeExample> neg = {{&doc, FindNode(doc, "x", 3)}};
+  UnionLearnerOptions options;
+  options.max_disjuncts = 2;
+  auto result = LearnTwigUnion(pos, neg, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kResourceExhausted);
+}
+
+TEST_F(UnionFixture, RequiresPositiveExamples) {
+  auto result = LearnTwigUnion({}, {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST_F(UnionFixture, SingletonPositiveYieldsOneDisjunct) {
+  const XmlTree doc = Doc("<r><a><x/></a></r>");
+  auto result = LearnTwigUnion({{&doc, FindNode(doc, "x")}}, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().query.NumDisjuncts(), 1u);
+  EXPECT_TRUE(result.value().query.Selects(doc, FindNode(doc, "x")));
+}
+
+// --- Property sweep: soundness holds across document shapes ---
+
+struct UnionPropertyCase {
+  const char* name;
+  const char* doc;
+  const char* pos_label;
+  std::vector<int> pos_occurrences;
+  const char* neg_label;
+  std::vector<int> neg_occurrences;
+};
+
+class UnionPropertyTest
+    : public UnionFixture,
+      public ::testing::WithParamInterface<UnionPropertyCase> {};
+
+TEST_P(UnionPropertyTest, LearnedUnionIsConsistentWithExamples) {
+  const UnionPropertyCase& c = GetParam();
+  const XmlTree doc = Doc(c.doc);
+  std::vector<TreeExample> pos;
+  std::vector<TreeExample> neg;
+  for (int occ : c.pos_occurrences) {
+    pos.push_back({&doc, FindNode(doc, c.pos_label, occ)});
+  }
+  for (int occ : c.neg_occurrences) {
+    neg.push_back({&doc, FindNode(doc, c.neg_label, occ)});
+  }
+  auto result = LearnTwigUnion(pos, neg);
+  if (!CheckUnionConsistency(pos, neg).consistent) {
+    EXPECT_FALSE(result.ok());
+    return;
+  }
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const TreeExample& p : pos) {
+    EXPECT_TRUE(result.value().query.Selects(*p.doc, p.node)) << c.name;
+  }
+  for (const TreeExample& n : neg) {
+    EXPECT_FALSE(result.value().query.Selects(*n.doc, n.node)) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UnionPropertyTest,
+    ::testing::Values(
+        UnionPropertyCase{"two_contexts",
+                          "<r><a><x/></a><b><x/></b><c><x/></c></r>",
+                          "x", {0, 1}, "x", {2}},
+        UnionPropertyCase{"depth_split",
+                          "<r><a><x/><y><x/></y></a></r>",
+                          "x", {0}, "x", {1}},
+        UnionPropertyCase{"all_positive",
+                          "<r><a><x/></a><a><x/></a><a><x/></a></r>",
+                          "x", {0, 1, 2}, "x", {}},
+        UnionPropertyCase{"filter_separated",
+                          "<r><i><k/><x/></i><i><x/></i></r>",
+                          "x", {0}, "x", {1}},
+        UnionPropertyCase{"deep_negatives",
+                          "<r><p><q><x/></q></p><s><x/></s><t><x/></t></r>",
+                          "x", {0, 1}, "x", {2}}),
+    [](const ::testing::TestParamInfo<UnionPropertyCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace learn
+}  // namespace qlearn

@@ -1,0 +1,250 @@
+// Unit tests for the XML substrate: tree arena, parser, serializer, and the
+// XMark-style / random generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "xml/random_tree.h"
+#include "xml/xmark.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_tree.h"
+
+namespace qlearn {
+namespace xml {
+namespace {
+
+using common::Interner;
+
+TEST(XmlTreeTest, BuildAndNavigate) {
+  Interner in;
+  XmlTree t;
+  const NodeId root = t.AddRoot(in.Intern("site"));
+  const NodeId people = t.AddChild(root, in.Intern("people"));
+  const NodeId person = t.AddChild(people, in.Intern("person"));
+  const NodeId name = t.AddChild(person, in.Intern("name"));
+
+  EXPECT_EQ(t.NumNodes(), 4u);
+  EXPECT_EQ(t.root(), root);
+  EXPECT_EQ(t.parent(name), person);
+  EXPECT_EQ(t.parent(root), kInvalidNode);
+  EXPECT_EQ(t.depth(root), 0u);
+  EXPECT_EQ(t.depth(name), 3u);
+  EXPECT_EQ(t.children(people).size(), 1u);
+  EXPECT_EQ(t.Height(), 4u);
+}
+
+TEST(XmlTreeTest, AncestorRelation) {
+  Interner in;
+  XmlTree t;
+  const NodeId r = t.AddRoot(in.Intern("a"));
+  const NodeId b = t.AddChild(r, in.Intern("b"));
+  const NodeId c = t.AddChild(b, in.Intern("c"));
+  const NodeId d = t.AddChild(r, in.Intern("d"));
+  EXPECT_TRUE(t.IsProperAncestor(r, c));
+  EXPECT_TRUE(t.IsProperAncestor(b, c));
+  EXPECT_FALSE(t.IsProperAncestor(c, c));
+  EXPECT_FALSE(t.IsProperAncestor(c, b));
+  EXPECT_FALSE(t.IsProperAncestor(d, c));
+}
+
+TEST(XmlTreeTest, PreOrderVisitsAll) {
+  Interner in;
+  XmlTree t;
+  const NodeId r = t.AddRoot(in.Intern("a"));
+  t.AddChild(r, in.Intern("b"));
+  const NodeId c = t.AddChild(r, in.Intern("c"));
+  t.AddChild(c, in.Intern("d"));
+  const auto order = t.PreOrder();
+  EXPECT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], r);
+  // Parents always precede children.
+  std::set<NodeId> seen;
+  for (NodeId n : order) {
+    if (n != r) {
+      EXPECT_TRUE(seen.count(t.parent(n))) << n;
+    }
+    seen.insert(n);
+  }
+}
+
+TEST(XmlTreeTest, DescendantsExcludeSelf) {
+  Interner in;
+  XmlTree t;
+  const NodeId r = t.AddRoot(in.Intern("a"));
+  const NodeId b = t.AddChild(r, in.Intern("b"));
+  t.AddChild(b, in.Intern("c"));
+  EXPECT_EQ(t.Descendants(r).size(), 2u);
+  EXPECT_EQ(t.Descendants(b).size(), 1u);
+}
+
+TEST(XmlTreeTest, ChildLabelBagSorted) {
+  Interner in;
+  XmlTree t;
+  const NodeId r = t.AddRoot(in.Intern("a"));
+  t.AddChild(r, in.Intern("z"));
+  t.AddChild(r, in.Intern("b"));
+  t.AddChild(r, in.Intern("z"));
+  const auto bag = t.ChildLabelBag(r);
+  ASSERT_EQ(bag.size(), 3u);
+  EXPECT_LE(bag[0], bag[1]);
+  EXPECT_LE(bag[1], bag[2]);
+}
+
+TEST(XmlTreeTest, GraftSubtreeCopiesDeeply) {
+  Interner in;
+  XmlTree src;
+  const NodeId sr = src.AddRoot(in.Intern("x"));
+  const NodeId sy = src.AddChild(sr, in.Intern("y"));
+  src.AddChild(sy, in.Intern("z"));
+
+  XmlTree dst;
+  const NodeId dr = dst.AddRoot(in.Intern("root"));
+  const NodeId copied = dst.GraftSubtree(dr, src, sy);
+  EXPECT_EQ(dst.NumNodes(), 3u);
+  EXPECT_EQ(dst.label(copied), in.Intern("y"));
+  EXPECT_EQ(dst.children(copied).size(), 1u);
+}
+
+TEST(XmlParserTest, ParsesNestedElements) {
+  Interner in;
+  auto t = ParseXml("<a><b><c/></b><b/></a>", &in);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t.value().NumNodes(), 4u);
+  EXPECT_EQ(in.Name(t.value().label(0)), "a");
+}
+
+TEST(XmlParserTest, AttributesBecomeChildren) {
+  Interner in;
+  auto t = ParseXml("<a id=\"1\" class='x'/>", &in);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().NumNodes(), 3u);
+  EXPECT_EQ(in.Name(t.value().label(t.value().children(0)[0])), "@id");
+}
+
+TEST(XmlParserTest, AttributesCanBeDropped) {
+  Interner in;
+  XmlParseOptions opts;
+  opts.keep_attributes = false;
+  auto t = ParseXml("<a id=\"1\"/>", &in, opts);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().NumNodes(), 1u);
+}
+
+TEST(XmlParserTest, TextHandling) {
+  Interner in;
+  auto without = ParseXml("<a>hello</a>", &in);
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without.value().NumNodes(), 1u);
+
+  XmlParseOptions opts;
+  opts.keep_text = true;
+  auto with = ParseXml("<a>hello</a>", &in, opts);
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(with.value().NumNodes(), 2u);
+}
+
+TEST(XmlParserTest, SkipsCommentsAndPis) {
+  Interner in;
+  auto t = ParseXml("<?xml version=\"1.0\"?><!-- c --><a><!-- x --><b/></a>",
+                    &in);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t.value().NumNodes(), 2u);
+}
+
+TEST(XmlParserTest, RejectsMalformedInput) {
+  Interner in;
+  EXPECT_FALSE(ParseXml("<a><b></a>", &in).ok());     // mismatched close
+  EXPECT_FALSE(ParseXml("<a>", &in).ok());            // unclosed
+  EXPECT_FALSE(ParseXml("</a>", &in).ok());           // close without open
+  EXPECT_FALSE(ParseXml("<a/><b/>", &in).ok());       // two roots
+  EXPECT_FALSE(ParseXml("", &in).ok());               // empty
+  EXPECT_FALSE(ParseXml("text<a/>", &in).ok());       // stray text
+  EXPECT_FALSE(ParseXml("<a attr=oops/>", &in).ok()); // unquoted attribute
+}
+
+TEST(XmlParserTest, RoundTripWithSerializer) {
+  Interner in;
+  auto t = ParseXml("<a><b><c/><c/></b><d/></a>", &in);
+  ASSERT_TRUE(t.ok());
+  const std::string xml = t.value().ToXml(in);
+  auto t2 = ParseXml(xml, &in);
+  ASSERT_TRUE(t2.ok()) << xml;
+  EXPECT_EQ(t2.value().NumNodes(), t.value().NumNodes());
+}
+
+TEST(XMarkTest, DeterministicForSeed) {
+  Interner in1;
+  Interner in2;
+  XMarkOptions opts;
+  opts.seed = 99;
+  const XmlTree a = GenerateXMark(opts, &in1);
+  const XmlTree b = GenerateXMark(opts, &in2);
+  EXPECT_EQ(a.NumNodes(), b.NumNodes());
+}
+
+TEST(XMarkTest, HasExpectedStructure) {
+  Interner in;
+  XMarkOptions opts;
+  const XmlTree t = GenerateXMark(opts, &in);
+  EXPECT_EQ(in.Name(t.label(t.root())), "site");
+  // The six continents and top-level sections exist.
+  std::set<std::string> top;
+  for (NodeId c : t.children(t.root())) top.insert(in.Name(t.label(c)));
+  EXPECT_TRUE(top.count("regions"));
+  EXPECT_TRUE(top.count("people"));
+  EXPECT_TRUE(top.count("open_auctions"));
+  EXPECT_TRUE(top.count("closed_auctions"));
+  EXPECT_TRUE(top.count("categories"));
+  // Every person has a name and an emailaddress.
+  int persons = 0;
+  for (NodeId n : t.PreOrder()) {
+    if (in.Name(t.label(n)) != "person") continue;
+    ++persons;
+    std::set<std::string> kids;
+    for (NodeId c : t.children(n)) kids.insert(in.Name(t.label(c)));
+    EXPECT_TRUE(kids.count("name"));
+    EXPECT_TRUE(kids.count("emailaddress"));
+  }
+  EXPECT_EQ(persons, opts.num_people);
+}
+
+TEST(XMarkTest, ScalesWithOptions) {
+  Interner in;
+  XMarkOptions small;
+  small.num_people = 5;
+  small.num_open_auctions = 2;
+  small.num_closed_auctions = 2;
+  XMarkOptions big = small;
+  big.num_people = 50;
+  EXPECT_LT(GenerateXMark(small, &in).NumNodes(),
+            GenerateXMark(big, &in).NumNodes());
+}
+
+TEST(RandomTreeTest, RespectsDepthBound) {
+  Interner in;
+  common::Rng rng(3);
+  RandomTreeOptions opts;
+  opts.max_depth = 3;
+  for (int i = 0; i < 20; ++i) {
+    const XmlTree t = GenerateRandomTree(opts, &rng, &in);
+    EXPECT_LE(t.Height(), 4u);  // root + 3 levels
+  }
+}
+
+TEST(RandomTreeTest, UsesDeclaredAlphabet) {
+  Interner in;
+  common::Rng rng(4);
+  RandomTreeOptions opts;
+  opts.alphabet_size = 2;
+  const XmlTree t = GenerateRandomTree(opts, &rng, &in);
+  for (NodeId n : t.PreOrder()) {
+    const std::string& name = in.Name(t.label(n));
+    EXPECT_TRUE(name == "root" || name == "l0" || name == "l1") << name;
+  }
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace qlearn
