@@ -1,6 +1,7 @@
 // Micro-benchmarks (google-benchmark) for the core operators every
 // experiment rests on: twig evaluation, join execution, DME membership,
-// schema validation, and path-query evaluation.
+// schema validation, path-query evaluation, and the interactive
+// session-driver overhead (unified driver vs legacy one-shot wrapper).
 #include <benchmark/benchmark.h>
 
 #include "common/interner.h"
@@ -9,8 +10,10 @@
 #include "graph/path_query.h"
 #include "relational/generator.h"
 #include "relational/operators.h"
+#include "rlearn/interactive_join.h"
 #include "schema/dme.h"
 #include "schema/dms.h"
+#include "session/session.h"
 #include "twig/twig_eval.h"
 #include "twig/twig_parser.h"
 #include "xml/xmark.h"
@@ -76,6 +79,78 @@ void BM_PathQueryEval(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PathQueryEval)->Arg(5)->Arg(10)->Arg(20);
+
+// Session-driver overhead: one full interactive join session per iteration,
+// through the legacy one-shot wrapper vs driving the unified
+// LearningSession directly. The two run the identical question sequence, so
+// any gap between them is pure driver overhead — the API redesign's cost on
+// the hot loop (it should be in the noise).
+struct JoinSessionSetup {
+  explicit JoinSessionSetup(int rows) {
+    relational::JoinInstanceOptions options;
+    options.seed = 70 + rows;
+    options.left_rows = rows;
+    options.right_rows = rows;
+    options.left_arity = 4;
+    options.right_arity = 4;
+    options.domain_size = 6;
+    instance = relational::GenerateJoinInstance(options, 2);
+    universe = rlearn::PairUniverse::AllCompatible(instance.left.schema(),
+                                                   instance.right.schema())
+                   .value();
+    for (size_t i = 0; i < universe.size(); ++i) {
+      for (const auto& g : instance.goal) {
+        if (universe.pairs()[i] == g) goal |= (1ULL << i);
+      }
+    }
+  }
+
+  relational::JoinInstance instance;
+  rlearn::PairUniverse universe;
+  rlearn::PairMask goal = 0;
+};
+
+void BM_JoinSessionLegacyWrapper(benchmark::State& state) {
+  const JoinSessionSetup setup(static_cast<int>(state.range(0)));
+  size_t questions = 0;
+  for (auto _ : state) {
+    rlearn::GoalJoinOracle oracle(&setup.universe, setup.goal);
+    rlearn::InteractiveJoinOptions options;
+    options.seed = 123;
+    auto result = rlearn::RunInteractiveJoinSession(
+        setup.universe, setup.instance.left, setup.instance.right, &oracle,
+        options);
+    questions = result.value().questions;
+    benchmark::DoNotOptimize(result.value().learned);
+  }
+  state.counters["questions"] = static_cast<double>(questions);
+}
+BENCHMARK(BM_JoinSessionLegacyWrapper)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_JoinSessionUnifiedDriver(benchmark::State& state) {
+  const JoinSessionSetup setup(static_cast<int>(state.range(0)));
+  size_t questions = 0;
+  for (auto _ : state) {
+    rlearn::GoalJoinOracle oracle(&setup.universe, setup.goal);
+    rlearn::InteractiveJoinOptions options;
+    options.seed = 123;
+    session::SessionOptions session_options;
+    session_options.seed = options.seed;
+    session::LearningSession<rlearn::JoinEngine> session(
+        rlearn::JoinEngine(&setup.universe, &setup.instance.left,
+                           &setup.instance.right, options),
+        session_options);
+    const rlearn::PairMask learned =
+        session.Run([&](const rlearn::PairExample& pair) {
+          return oracle.IsPositive(setup.instance.left.row(pair.left_row),
+                                   setup.instance.right.row(pair.right_row));
+        });
+    questions = session.stats().questions;
+    benchmark::DoNotOptimize(learned);
+  }
+  state.counters["questions"] = static_cast<double>(questions);
+}
+BENCHMARK(BM_JoinSessionUnifiedDriver)->Arg(20)->Arg(50)->Arg(100);
 
 }  // namespace
 

@@ -1,68 +1,87 @@
-// Quickstart: learn a twig query from two annotated XML documents.
+// Quickstart: learn a twig query interactively through the unified
+// session API.
 //
-// A user who cannot write XPath marks one node per document as "this is what
-// I want"; the library infers the query (the paper's Section-2 setting).
+// A user who cannot write XPath marks one node as "this is what I want";
+// the session then proposes nodes one at a time (skipping every node whose
+// label it can infer), the user answers yes/no, and the library converges
+// on the query (the paper's Section-2 setting). Here the user is simulated
+// by a hidden goal query: "the <name> of every <person> with an <age>".
 //
-// Build & run:  cmake -B build -G Ninja && cmake --build build
+// Build & run:  cmake -B build && cmake --build build -j
 //               ./build/examples/example_quickstart
 #include <cstdio>
 
 #include "common/interner.h"
-#include "learn/twig_learner.h"
+#include "learn/interactive.h"
+#include "session/session.h"
 #include "twig/twig_eval.h"
+#include "twig/twig_parser.h"
 #include "xml/xml_parser.h"
 
 int main() {
   qlearn::common::Interner interner;
 
-  // Two documents from a (fictional) people directory.
-  auto doc1 = qlearn::xml::ParseXml(
+  // A document from a (fictional) people directory.
+  auto doc = qlearn::xml::ParseXml(
       "<site><people>"
       "  <person><name/><age/><phone/></person>"
       "  <person><name/></person>"
-      "</people></site>",
-      &interner);
-  auto doc2 = qlearn::xml::ParseXml(
-      "<site><people>"
       "  <person><name/><age/></person>"
       "  <person><name/><homepage/></person>"
       "</people></site>",
       &interner);
-  if (!doc1.ok() || !doc2.ok()) {
+  if (!doc.ok()) {
     std::fprintf(stderr, "parse error\n");
     return 1;
   }
 
-  // The user annotates the <name> of each person that has an <age>.
-  // Node ids: use the first name under the first person in both documents.
-  auto find_name_with_age = [&](const qlearn::xml::XmlTree& doc) {
-    for (qlearn::xml::NodeId n : doc.PreOrder()) {
-      if (interner.Name(doc.label(n)) != "name") continue;
-      const qlearn::xml::NodeId person = doc.parent(n);
-      for (qlearn::xml::NodeId sibling : doc.children(person)) {
-        if (interner.Name(doc.label(sibling)) == "age") return n;
-      }
-    }
-    return qlearn::xml::kInvalidNode;
-  };
-  const qlearn::learn::TreeExample examples[] = {
-      {&doc1.value(), find_name_with_age(doc1.value())},
-      {&doc2.value(), find_name_with_age(doc2.value())},
+  // The hidden intent the simulated user answers from. A real application
+  // would replace `wants` below with an actual prompt to the user.
+  auto goal = qlearn::twig::ParseTwig("/site/people/person[age]/name",
+                                      &interner);
+  if (!goal.ok()) {
+    std::fprintf(stderr, "goal parse error\n");
+    return 1;
+  }
+  auto wants = [&](qlearn::xml::NodeId node) {
+    return qlearn::twig::Selects(goal.value(), doc.value(), node);
   };
 
-  auto learned = qlearn::learn::LearnTwig(
-      {examples[0], examples[1]});
-  if (!learned.ok()) {
-    std::fprintf(stderr, "learning failed: %s\n",
-                 learned.status().ToString().c_str());
+  // The user annotates one example: the first <name> of a person with an
+  // <age>. That seed starts the session.
+  qlearn::xml::NodeId seed = qlearn::xml::kInvalidNode;
+  for (qlearn::xml::NodeId n : doc.value().PreOrder()) {
+    if (wants(n)) {
+      seed = n;
+      break;
+    }
+  }
+  if (seed == qlearn::xml::kInvalidNode) {
+    std::fprintf(stderr, "no positive seed node\n");
     return 1;
   }
 
-  std::printf("learned query: %s\n",
-              learned.value().ToString(interner).c_str());
-  std::printf("selected nodes in document 1: %zu\n",
-              qlearn::twig::Evaluate(learned.value(), doc1.value()).size());
-  std::printf("selected nodes in document 2: %zu\n",
-              qlearn::twig::Evaluate(learned.value(), doc2.value()).size());
+  // The ask/answer loop. The session owns question selection and label
+  // propagation; the caller only supplies answers — one at a time here,
+  // NextQuestions(k)/AnswerAll for batches.
+  qlearn::session::LearningSession<qlearn::learn::TwigEngine> session(
+      qlearn::learn::TwigEngine(&doc.value(), seed));
+  while (auto question = session.NextQuestion()) {
+    const bool answer = wants(*question);
+    std::printf("q%zu: do you want node %u <%s>?  %s\n",
+                session.stats().questions, *question,
+                interner.Name(doc.value().label(*question)).c_str(),
+                answer ? "yes" : "no");
+    session.Answer(answer);
+  }
+  const qlearn::twig::TwigQuery learned = session.Finish();
+
+  std::printf("\nlearned query: %s\n", learned.ToString(interner).c_str());
+  std::printf("questions asked: %zu of %zu nodes (%zu labels inferred)\n",
+              session.stats().questions, doc.value().NumNodes(),
+              session.stats().forced_positive +
+                  session.stats().forced_negative);
+  std::printf("selected nodes: %zu\n",
+              qlearn::twig::Evaluate(learned, doc.value()).size());
   return 0;
 }

@@ -1,0 +1,56 @@
+// The scenario registry: every interactive scenario — XML twigs,
+// relational joins, graph path queries — behind one string-keyed front
+// door. This is how a server, a benchmark harness, or a demo CLI
+// instantiates "a learning session" without compiling against any
+// model-specific engine.
+//
+// Each built-in scenario ships a synthetic dataset and a hidden goal, so
+// the sessions below self-answer via OracleLabels(); swap that call for a
+// real user prompt to make any of them interactive.
+//
+// Build & run:  cmake -B build && cmake --build build -j
+//               ./build/examples/example_session_scenarios
+#include <cstdio>
+
+#include "session/registry.h"
+
+int main() {
+  qlearn::session::RegisterBuiltinScenarios();
+  qlearn::session::ScenarioRegistry* registry =
+      qlearn::session::ScenarioRegistry::Global();
+
+  for (const qlearn::session::ScenarioInfo& info : registry->List()) {
+    std::printf("=== scenario \"%s\": %s\n", info.name.c_str(),
+                info.description.c_str());
+    auto created = registry->Create(info.name);
+    if (!created.ok()) {
+      std::fprintf(stderr, "  create failed: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    qlearn::session::ScenarioSession& session = *created.value();
+
+    // Show the first three questions verbatim, then drain the rest in
+    // batches of 8 (the batched API a crowd front end would use).
+    size_t shown = 0;
+    while (auto question = session.NextQuestion()) {
+      const bool answer = session.OracleLabels()[0];
+      std::printf("  %s  -> %s\n", question->c_str(),
+                  answer ? "yes" : "no");
+      session.Answer(answer);
+      if (++shown == 3) break;
+    }
+    while (!session.NextQuestions(8).empty()) {
+      session.AnswerAll(session.OracleLabels());
+    }
+    session.Finish();
+
+    std::printf("  ... learned \"%s\" after %zu questions "
+                "(%zu labels inferred, %zu conflicts)\n\n",
+                session.Hypothesis().c_str(), session.stats().questions,
+                session.stats().forced_positive +
+                    session.stats().forced_negative,
+                session.stats().conflicts);
+  }
+  return 0;
+}

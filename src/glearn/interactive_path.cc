@@ -1,6 +1,7 @@
 #include "glearn/interactive_path.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "automata/nfa.h"
 
@@ -12,30 +13,19 @@ using common::Status;
 using common::SymbolId;
 using graph::Path;
 
-Result<InteractivePathResult> RunInteractivePathSession(
-    const graph::Graph& g, const Path& seed, PathOracle* oracle,
-    const InteractivePathOptions& options) {
-  if (!oracle->IsPositive(g, seed)) {
-    return Status::InvalidArgument("seed path must be a positive example");
-  }
-  common::Rng rng(options.seed);
-  InteractivePathResult result;
-
-  struct Candidate {
-    Path path;
-    std::vector<SymbolId> word;
-    bool settled = false;
-    bool workload_hit = false;
-  };
-  std::vector<Candidate> candidates;
-  for (Path& p : graph::EnumeratePaths(g, options.max_path_edges,
+PathEngine::PathEngine(const graph::Graph* g, const Path& seed,
+                       const InteractivePathOptions& options)
+    : g_(g),
+      strategy_(options.strategy),
+      hypothesis_(ConcatPattern::FromWord(graph::PathWord(*g, seed))),
+      max_positive_weight_(graph::PathWeight(*g, seed)) {
+  for (Path& p : graph::EnumeratePaths(*g, options.max_path_edges,
                                        options.max_candidates)) {
     Candidate c;
-    c.word = graph::PathWord(g, p);
+    c.word = graph::PathWord(*g, p);
     c.path = std::move(p);
-    candidates.push_back(std::move(c));
+    candidates_.push_back(std::move(c));
   }
-  result.candidate_paths = candidates.size();
 
   // Pre-mark workload matches.
   if (!options.workload.empty()) {
@@ -44,7 +34,7 @@ Result<InteractivePathResult> RunInteractivePathSession(
     for (const auto& regex : options.workload) {
       nfas.push_back(automata::Nfa::FromRegex(*regex));
     }
-    for (Candidate& c : candidates) {
+    for (Candidate& c : candidates_) {
       for (const automata::Nfa& nfa : nfas) {
         if (nfa.Accepts(c.word)) {
           c.workload_hit = true;
@@ -53,98 +43,123 @@ Result<InteractivePathResult> RunInteractivePathSession(
       }
     }
   }
+}
 
-  ConcatPattern hypothesis = ConcatPattern::FromWord(graph::PathWord(g, seed));
-  result.max_positive_weight = graph::PathWeight(g, seed);
-  std::vector<std::vector<SymbolId>> negative_words;
-
-  auto settle_uninformative = [&]() {
-    for (Candidate& c : candidates) {
-      if (c.settled) continue;
-      if (hypothesis.Accepts(c.word)) {
-        // Every consistent generalization still accepts it.
-        c.settled = true;
-        ++result.forced_positive;
-        continue;
-      }
-      // Forced negative: absorbing this word would swallow a known
-      // negative.
-      const ConcatPattern extended = hypothesis.Generalize(c.word);
-      for (const auto& neg : negative_words) {
-        if (extended.Accepts(neg)) {
-          c.settled = true;
-          ++result.forced_negative;
-          break;
-        }
-      }
-    }
-  };
-
-  settle_uninformative();
-  while (result.questions < options.max_questions) {
-    std::vector<size_t> open;
-    for (size_t k = 0; k < candidates.size(); ++k) {
-      if (!candidates[k].settled) open.push_back(k);
-    }
-    if (open.empty()) break;
-
-    size_t pick = open[0];
-    switch (options.strategy) {
-      case PathStrategy::kRandom:
-        pick = open[rng.Index(open.size())];
-        break;
-      case PathStrategy::kFrontier: {
-        int best_cost = 1 << 30;
-        for (size_t k : open) {
-          int cost = 0;
-          hypothesis.Generalize(candidates[k].word, &cost);
-          if (cost < best_cost) {
-            best_cost = cost;
-            pick = k;
-          }
-        }
-        break;
-      }
-      case PathStrategy::kWorkload: {
-        int best_cost = 1 << 30;
-        bool best_hit = false;
-        for (size_t k : open) {
-          int cost = 0;
-          hypothesis.Generalize(candidates[k].word, &cost);
-          const bool hit = candidates[k].workload_hit;
-          // Workload matches dominate; cost breaks ties.
-          if ((hit && !best_hit) || (hit == best_hit && cost < best_cost)) {
-            best_hit = hit;
-            best_cost = cost;
-            pick = k;
-          }
-        }
-        break;
-      }
-    }
-
-    Candidate& c = candidates[pick];
-    ++result.questions;
-    c.settled = true;
-    if (oracle->IsPositive(g, c.path)) {
-      hypothesis = hypothesis.Generalize(c.word);
-      result.max_positive_weight =
-          std::max(result.max_positive_weight, graph::PathWeight(g, c.path));
-    } else {
-      negative_words.push_back(c.word);
-    }
-    // Conflict detection: the hypothesis must reject all known negatives.
-    for (const auto& neg : negative_words) {
-      if (hypothesis.Accepts(neg)) {
-        ++result.conflicts;
-        break;
-      }
-    }
-    if (result.conflicts > 0) break;
-    settle_uninformative();
+std::optional<PathEngine::Question> PathEngine::SelectQuestion(
+    common::Rng* rng) {
+  std::vector<size_t> open;
+  for (size_t k = 0; k < candidates_.size(); ++k) {
+    if (!candidates_[k].settled) open.push_back(k);
   }
+  if (open.empty()) return std::nullopt;
 
-  result.hypothesis = std::move(hypothesis);
+  size_t pick = open[0];
+  switch (strategy_) {
+    case PathStrategy::kRandom:
+      pick = open[rng->Index(open.size())];
+      break;
+    case PathStrategy::kFrontier: {
+      int best_cost = 1 << 30;
+      for (size_t k : open) {
+        int cost = 0;
+        hypothesis_.Generalize(candidates_[k].word, &cost);
+        if (cost < best_cost) {
+          best_cost = cost;
+          pick = k;
+        }
+      }
+      break;
+    }
+    case PathStrategy::kWorkload: {
+      int best_cost = 1 << 30;
+      bool best_hit = false;
+      for (size_t k : open) {
+        int cost = 0;
+        hypothesis_.Generalize(candidates_[k].word, &cost);
+        const bool hit = candidates_[k].workload_hit;
+        // Workload matches dominate; cost breaks ties.
+        if ((hit && !best_hit) || (hit == best_hit && cost < best_cost)) {
+          best_hit = hit;
+          best_cost = cost;
+          pick = k;
+        }
+      }
+      break;
+    }
+  }
+  return Question{pick, &candidates_[pick].path, &candidates_[pick].word};
+}
+
+void PathEngine::MarkAsked(const Question& item) {
+  Candidate& c = candidates_[item.index];
+  c.settled = true;
+  c.asked = true;
+}
+
+void PathEngine::Observe(const Question& item, bool positive,
+                         session::SessionStats* stats) {
+  const Candidate& c = candidates_[item.index];
+  if (positive) {
+    hypothesis_ = hypothesis_.Generalize(c.word);
+    max_positive_weight_ =
+        std::max(max_positive_weight_, graph::PathWeight(*g_, c.path));
+  } else {
+    negative_words_.push_back(c.word);
+  }
+  // Conflict detection: the hypothesis must reject all known negatives.
+  for (const auto& neg : negative_words_) {
+    if (hypothesis_.Accepts(neg)) {
+      ++stats->conflicts;
+      aborted_ = true;
+      break;
+    }
+  }
+}
+
+void PathEngine::Propagate(session::SessionStats* stats) {
+  for (Candidate& c : candidates_) {
+    if (c.settled) continue;
+    if (hypothesis_.Accepts(c.word)) {
+      // Every consistent generalization still accepts it.
+      c.settled = true;
+      ++stats->forced_positive;
+      continue;
+    }
+    // Forced negative: absorbing this word would swallow a known negative.
+    const ConcatPattern extended = hypothesis_.Generalize(c.word);
+    for (const auto& neg : negative_words_) {
+      if (extended.Accepts(neg)) {
+        c.settled = true;
+        ++stats->forced_negative;
+        break;
+      }
+    }
+  }
+}
+
+Result<InteractivePathResult> RunInteractivePathSession(
+    const graph::Graph& g, const Path& seed, PathOracle* oracle,
+    const InteractivePathOptions& options) {
+  if (!oracle->IsPositive(seed)) {
+    return Status::InvalidArgument("seed path must be a positive example");
+  }
+  session::SessionOptions session_options;
+  session_options.seed = options.seed;
+  session_options.max_questions = options.max_questions;
+  session::LearningSession<PathEngine> session(PathEngine(&g, seed, options),
+                                               session_options);
+
+  InteractivePathResult result;
+  result.hypothesis = session.Run([&](const PathEngine::Question& question) {
+    return oracle->IsPositive(*question.path);
+  });
+  result.max_positive_weight = session.engine().max_positive_weight();
+  result.candidate_paths = session.engine().candidate_paths();
+  const session::SessionStats& stats = session.stats();
+  result.questions = stats.questions;
+  result.forced_positive = stats.forced_positive;
+  result.forced_negative = stats.forced_negative;
+  result.conflicts = stats.conflicts;
   return result;
 }
 

@@ -2,6 +2,10 @@
 // scenario: the learner proposes *paths* for the user to label, propagates
 // uninformative paths, and can prioritize paths matching a historical query
 // workload (the "all previous users wanted highway-only paths" heuristic).
+//
+// PathEngine implements the unified session Engine concept
+// (session/session.h); RunInteractivePathSession is the legacy one-shot
+// wrapper over session::LearningSession<PathEngine>.
 #ifndef QLEARN_GLEARN_INTERACTIVE_PATH_H_
 #define QLEARN_GLEARN_INTERACTIVE_PATH_H_
 
@@ -13,15 +17,18 @@
 #include "common/status.h"
 #include "glearn/concat_pattern.h"
 #include "graph/path_query.h"
+#include "session/session.h"
 
 namespace qlearn {
 namespace glearn {
 
 /// Labels candidate paths; backed by a hidden goal query in benchmarks.
+/// Implementations that need the graph (e.g. to resolve edge labels) bind
+/// it at construction time, like GoalPathOracle does.
 class PathOracle {
  public:
   virtual ~PathOracle() = default;
-  virtual bool IsPositive(const graph::Graph& g, const graph::Path& path) = 0;
+  virtual bool IsPositive(const graph::Path& path) = 0;
 };
 
 /// Oracle defined by a hidden goal path query.
@@ -29,8 +36,7 @@ class GoalPathOracle : public PathOracle {
  public:
   GoalPathOracle(const graph::PathQuery& goal, const graph::Graph& g)
       : evaluator_(goal, g) {}
-  bool IsPositive(const graph::Graph& g, const graph::Path& path) override {
-    (void)g;
+  bool IsPositive(const graph::Path& path) override {
     return evaluator_.MatchesPath(path);
   }
 
@@ -47,12 +53,12 @@ enum class PathStrategy {
 
 struct InteractivePathOptions {
   PathStrategy strategy = PathStrategy::kFrontier;
-  uint64_t seed = 13;
+  uint64_t seed = session::SessionDefaults::kLegacyPathSeed;
   /// Candidate pool: paths of at most this many edges...
   size_t max_path_edges = 4;
   /// ...capped at this many paths.
   size_t max_candidates = 4000;
-  size_t max_questions = 1000000;
+  size_t max_questions = session::SessionDefaults::kMaxQuestions;
   /// Historical workload for kWorkload (regexes of past learned queries).
   std::vector<automata::RegexPtr> workload;
 };
@@ -70,7 +76,68 @@ struct InteractivePathResult {
   size_t conflicts = 0;
 };
 
-/// Runs the interactive protocol starting from one positive seed path.
+/// Session engine for path-query learning. Questions reference candidate
+/// paths owned by the engine (the pointers stay valid for the engine's
+/// lifetime, including after it is moved into a LearningSession). The
+/// caller must seed the engine with one known-positive path.
+class PathEngine {
+ public:
+  /// One question: a candidate path and its label word.
+  struct Question {
+    size_t index;  ///< candidate index (stable engine-internal id)
+    const graph::Path* path;
+    const std::vector<common::SymbolId>* word;
+  };
+
+  using Item = Question;
+  using HypothesisT = ConcatPattern;
+
+  /// `g` must outlive the engine; `seed` is a path the user already marked
+  /// positive (the engine does not re-ask it).
+  PathEngine(const graph::Graph* g, const graph::Path& seed,
+             const InteractivePathOptions& options = {});
+
+  std::optional<Item> SelectQuestion(common::Rng* rng);
+  void MarkAsked(const Item& item);
+  void Observe(const Item& item, bool positive, session::SessionStats* stats);
+  void Propagate(session::SessionStats* stats);
+  /// True once the hypothesis accepted a labeled-negative word (goal
+  /// outside the concat class).
+  bool Aborted() const { return aborted_; }
+  HypothesisT Current() const { return hypothesis_; }
+  HypothesisT Finish(session::SessionStats* /*stats*/) { return hypothesis_; }
+
+  size_t candidate_paths() const { return candidates_.size(); }
+  /// Max weight among positive paths (a most-specific weight bound).
+  double max_positive_weight() const { return max_positive_weight_; }
+
+  // Introspection for conformance tests and UIs.
+  bool WasAsked(size_t index) const { return candidates_[index].asked; }
+  bool HasForcedLabel(size_t index) const {
+    return candidates_[index].settled && !candidates_[index].asked;
+  }
+
+ private:
+  struct Candidate {
+    graph::Path path;
+    std::vector<common::SymbolId> word;
+    bool settled = false;
+    bool asked = false;
+    bool workload_hit = false;
+  };
+
+  const graph::Graph* g_;
+  PathStrategy strategy_;
+  std::vector<Candidate> candidates_;
+  ConcatPattern hypothesis_;
+  double max_positive_weight_ = 0;
+  std::vector<std::vector<common::SymbolId>> negative_words_;
+  bool aborted_ = false;
+};
+
+/// Runs the interactive protocol starting from one positive seed path. Thin
+/// wrapper over session::LearningSession<PathEngine>; question counts are
+/// identical to driving the engine one question at a time.
 common::Result<InteractivePathResult> RunInteractivePathSession(
     const graph::Graph& g, const graph::Path& seed, PathOracle* oracle,
     const InteractivePathOptions& options = {});

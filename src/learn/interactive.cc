@@ -1,8 +1,7 @@
 #include "learn/interactive.h"
 
 #include <algorithm>
-#include <optional>
-#include <vector>
+#include <utility>
 
 #include "twig/twig_containment.h"
 
@@ -14,17 +13,124 @@ using common::Status;
 using twig::TwigQuery;
 using xml::NodeId;
 
-namespace {
+TwigEngine::TwigEngine(const xml::XmlTree* doc, NodeId seed,
+                       const InteractiveTwigOptions& options)
+    : doc_(doc),
+      options_(options),
+      hypothesis_(ExampleToQuery(TreeExample{doc, seed})),
+      state_(doc->NumNodes(), NodeState::kUnknown),
+      asked_(doc->NumNodes(), false) {
+  state_[seed] = NodeState::kPositive;
+}
 
-enum class NodeState : uint8_t {
-  kUnknown,
-  kPositive,        // labeled by the oracle
-  kNegative,        // labeled by the oracle
-  kForcedPositive,  // inferred: selected by the hypothesis
-  kForcedNegative,  // inferred: would contradict a known negative
-};
+std::optional<TwigQuery> TwigEngine::Extended(NodeId v) const {
+  auto g = GeneralizePair(hypothesis_, ExampleToQuery(TreeExample{doc_, v}),
+                          options_.learner);
+  if (!g.ok()) return std::nullopt;
+  return std::move(g).value();
+}
 
-}  // namespace
+std::vector<NodeId> TwigEngine::Candidates() const {
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < doc_->NumNodes(); ++v) {
+    if (state_[v] == NodeState::kUnknown && !asked_[v]) candidates.push_back(v);
+  }
+  return candidates;
+}
+
+std::optional<NodeId> TwigEngine::SelectQuestion(common::Rng* rng) {
+  const std::vector<NodeId> candidates = Candidates();
+  if (candidates.empty()) return std::nullopt;
+
+  NodeId pick = candidates[0];
+  if (options_.strategy == TwigStrategy::kRandom) {
+    pick = candidates[rng->Index(candidates.size())];
+  } else {
+    // Greedy impact: the candidate whose positive answer would settle the
+    // most currently-unknown nodes.
+    size_t best_impact = 0;
+    for (NodeId v : candidates) {
+      auto h2 = Extended(v);
+      if (!h2.has_value()) continue;
+      twig::TwigEvaluator eval2(*h2, *doc_);
+      size_t impact = 0;
+      for (NodeId u : candidates) {
+        if (eval2.Selects(u)) ++impact;
+      }
+      if (impact > best_impact) {
+        best_impact = impact;
+        pick = v;
+      }
+    }
+  }
+  return pick;
+}
+
+void TwigEngine::MarkAsked(const NodeId& item) { asked_[item] = true; }
+
+void TwigEngine::Observe(const NodeId& item, bool positive,
+                         session::SessionStats* stats) {
+  if (positive) {
+    state_[item] = NodeState::kPositive;
+    auto h2 = Extended(item);
+    if (!h2.has_value()) {
+      ++stats->conflicts;  // target outside the anchored class
+    } else {
+      hypothesis_ = std::move(*h2);
+    }
+  } else {
+    state_[item] = NodeState::kNegative;
+    negatives_.push_back(item);
+  }
+}
+
+void TwigEngine::Propagate(session::SessionStats* stats) {
+  twig::TwigEvaluator eval(hypothesis_, *doc_);
+  for (NodeId v = 0; v < doc_->NumNodes(); ++v) {
+    if (state_[v] != NodeState::kUnknown &&
+        state_[v] != NodeState::kForcedNegative) {
+      continue;
+    }
+    if (eval.Selects(v)) {
+      // Every consistent generalization of the hypothesis selects v.
+      state_[v] = NodeState::kForcedPositive;
+      ++stats->forced_positive;
+    }
+  }
+  // Forced negatives: joining v would force selecting a known negative.
+  for (NodeId v = 0; v < doc_->NumNodes(); ++v) {
+    if (state_[v] != NodeState::kUnknown) continue;
+    auto h2 = Extended(v);
+    if (!h2.has_value()) {
+      state_[v] = NodeState::kForcedNegative;
+      ++stats->forced_negative;
+      continue;
+    }
+    twig::TwigEvaluator eval2(*h2, *doc_);
+    for (NodeId neg : negatives_) {
+      if (eval2.Selects(neg)) {
+        state_[v] = NodeState::kForcedNegative;
+        ++stats->forced_negative;
+        break;
+      }
+    }
+  }
+}
+
+TwigQuery TwigEngine::Finish(session::SessionStats* stats) {
+  // Audit forced positives against the oracle-visible truth: conflicts mean
+  // the target was outside the hypothesis class.
+  twig::TwigEvaluator eval(hypothesis_, *doc_);
+  for (NodeId neg : negatives_) {
+    if (eval.Selects(neg)) ++stats->conflicts;
+  }
+  return twig::Minimize(hypothesis_);
+}
+
+bool TwigEngine::HasForcedLabel(NodeId node) const {
+  return state_[node] == NodeState::kForcedPositive ||
+         state_[node] == NodeState::kForcedNegative;
+}
 
 Result<InteractiveTwigResult> RunInteractiveTwigSession(
     const xml::XmlTree& doc, NodeId seed, TwigOracle* oracle,
@@ -32,111 +138,20 @@ Result<InteractiveTwigResult> RunInteractiveTwigSession(
   if (!oracle->IsPositive(doc, seed)) {
     return Status::InvalidArgument("seed node must be a positive example");
   }
-  common::Rng rng(options.seed);
+  session::SessionOptions session_options;
+  session_options.seed = options.seed;
+  session_options.max_questions = options.max_questions;
+  session::LearningSession<TwigEngine> session(TwigEngine(&doc, seed, options),
+                                               session_options);
+
   InteractiveTwigResult result;
-
-  TwigQuery hypothesis = ExampleToQuery(TreeExample{&doc, seed});
-  std::vector<NodeState> state(doc.NumNodes(), NodeState::kUnknown);
-  state[seed] = NodeState::kPositive;
-  std::vector<NodeId> negatives;
-
-  // Hypothesis for doc-node v joined in, or nullopt if no anchored
-  // generalization exists.
-  auto extended = [&](NodeId v) -> std::optional<TwigQuery> {
-    auto g = GeneralizePair(hypothesis, ExampleToQuery(TreeExample{&doc, v}),
-                            options.learner);
-    if (!g.ok()) return std::nullopt;
-    return std::move(g).value();
-  };
-
-  auto refresh_forced = [&]() {
-    twig::TwigEvaluator eval(hypothesis, doc);
-    for (NodeId v = 0; v < doc.NumNodes(); ++v) {
-      if (state[v] != NodeState::kUnknown &&
-          state[v] != NodeState::kForcedNegative) {
-        continue;
-      }
-      if (eval.Selects(v)) {
-        // Every consistent generalization of the hypothesis selects v.
-        state[v] = NodeState::kForcedPositive;
-        ++result.forced_positive;
-      }
-    }
-    // Forced negatives: joining v would force selecting a known negative.
-    for (NodeId v = 0; v < doc.NumNodes(); ++v) {
-      if (state[v] != NodeState::kUnknown) continue;
-      auto h2 = extended(v);
-      if (!h2.has_value()) {
-        state[v] = NodeState::kForcedNegative;
-        ++result.forced_negative;
-        continue;
-      }
-      twig::TwigEvaluator eval2(*h2, doc);
-      for (NodeId neg : negatives) {
-        if (eval2.Selects(neg)) {
-          state[v] = NodeState::kForcedNegative;
-          ++result.forced_negative;
-          break;
-        }
-      }
-    }
-  };
-
-  refresh_forced();
-  while (result.questions < options.max_questions) {
-    // Collect informative candidates.
-    std::vector<NodeId> candidates;
-    for (NodeId v = 0; v < doc.NumNodes(); ++v) {
-      if (state[v] == NodeState::kUnknown) candidates.push_back(v);
-    }
-    if (candidates.empty()) break;
-
-    NodeId pick = candidates[0];
-    if (options.strategy == TwigStrategy::kRandom) {
-      pick = candidates[rng.Index(candidates.size())];
-    } else {
-      // Greedy impact: the candidate whose positive answer would settle the
-      // most currently-unknown nodes.
-      size_t best_impact = 0;
-      for (NodeId v : candidates) {
-        auto h2 = extended(v);
-        if (!h2.has_value()) continue;
-        twig::TwigEvaluator eval2(*h2, doc);
-        size_t impact = 0;
-        for (NodeId u : candidates) {
-          if (eval2.Selects(u)) ++impact;
-        }
-        if (impact > best_impact) {
-          best_impact = impact;
-          pick = v;
-        }
-      }
-    }
-
-    ++result.questions;
-    if (oracle->IsPositive(doc, pick)) {
-      state[pick] = NodeState::kPositive;
-      auto h2 = extended(pick);
-      if (!h2.has_value()) {
-        ++result.conflicts;  // target outside the anchored class
-      } else {
-        hypothesis = std::move(*h2);
-      }
-    } else {
-      state[pick] = NodeState::kNegative;
-      negatives.push_back(pick);
-    }
-    refresh_forced();
-  }
-
-  // Audit forced positives against the oracle-visible truth: conflicts mean
-  // the target was outside the hypothesis class.
-  twig::TwigEvaluator eval(hypothesis, doc);
-  for (NodeId neg : negatives) {
-    if (eval.Selects(neg)) ++result.conflicts;
-  }
-
-  result.query = twig::Minimize(hypothesis);
+  result.query = session.Run(
+      [&](NodeId node) { return oracle->IsPositive(doc, node); });
+  const session::SessionStats& stats = session.stats();
+  result.questions = stats.questions;
+  result.forced_positive = stats.forced_positive;
+  result.forced_negative = stats.forced_negative;
+  result.conflicts = stats.conflicts;
   return result;
 }
 

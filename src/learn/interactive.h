@@ -7,14 +7,22 @@
 //    negative are forced negative.
 // The goal is to minimize the number of questions (experiment E1/E4 kin;
 // the relational analogue is experiment E6).
+//
+// The protocol itself runs in the unified session layer: TwigEngine
+// implements the session Engine concept and plugs into
+// session::LearningSession for incremental ask/answer driving;
+// RunInteractiveTwigSession is the legacy one-shot wrapper over it.
 #ifndef QLEARN_LEARN_INTERACTIVE_H_
 #define QLEARN_LEARN_INTERACTIVE_H_
 
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "learn/twig_learner.h"
+#include "session/session.h"
 #include "twig/twig_eval.h"
 #include "twig/twig_query.h"
 #include "xml/xml_tree.h"
@@ -51,9 +59,9 @@ enum class TwigStrategy {
 
 struct InteractiveTwigOptions {
   TwigStrategy strategy = TwigStrategy::kGreedyImpact;
-  uint64_t seed = 7;
+  uint64_t seed = session::SessionDefaults::kLegacyTwigSeed;
   /// Hard cap on oracle questions (safety valve).
-  size_t max_questions = 100000;
+  size_t max_questions = session::SessionDefaults::kLegacyTwigMaxQuestions;
   TwigLearnerOptions learner;
 };
 
@@ -67,8 +75,60 @@ struct InteractiveTwigResult {
   size_t conflicts = 0;
 };
 
+/// Session engine for interactive twig learning over one document (see the
+/// Engine concept in session/session.h). Questions are document nodes. The
+/// caller must seed the engine with one known-positive node; use
+/// session::LearningSession<TwigEngine> to drive it.
+class TwigEngine {
+ public:
+  using Item = xml::NodeId;
+  using HypothesisT = twig::TwigQuery;
+
+  /// `doc` must outlive the engine; `seed` is a node the user already
+  /// marked positive (the engine does not re-ask it).
+  TwigEngine(const xml::XmlTree* doc, xml::NodeId seed,
+             const InteractiveTwigOptions& options = {});
+
+  std::optional<Item> SelectQuestion(common::Rng* rng);
+  void MarkAsked(const Item& item);
+  void Observe(const Item& item, bool positive, session::SessionStats* stats);
+  void Propagate(session::SessionStats* stats);
+  bool Aborted() const { return false; }  // twig sessions tolerate conflicts
+  HypothesisT Current() const { return hypothesis_; }
+  /// Audits forced positives against the known negatives (conflicts mean
+  /// the target was outside the anchored class) and minimizes.
+  HypothesisT Finish(session::SessionStats* stats);
+
+  // Introspection for conformance tests and UIs.
+  bool WasAsked(xml::NodeId node) const { return asked_[node]; }
+  bool HasForcedLabel(xml::NodeId node) const;
+
+ private:
+  enum class NodeState : uint8_t {
+    kUnknown,
+    kPositive,        // labeled by the oracle
+    kNegative,        // labeled by the oracle
+    kForcedPositive,  // inferred: selected by the hypothesis
+    kForcedNegative,  // inferred: would contradict a known negative
+  };
+
+  /// Hypothesis with doc-node `v` joined in, or nullopt if no anchored
+  /// generalization exists.
+  std::optional<twig::TwigQuery> Extended(xml::NodeId v) const;
+  std::vector<xml::NodeId> Candidates() const;
+
+  const xml::XmlTree* doc_;
+  InteractiveTwigOptions options_;  // strategy + learner knobs (seed unused)
+  twig::TwigQuery hypothesis_;
+  std::vector<NodeState> state_;
+  std::vector<bool> asked_;
+  std::vector<xml::NodeId> negatives_;
+};
+
 /// Runs the interactive protocol on `doc`, starting from one positive seed
-/// node (caller-provided, e.g. the first node the user annotated).
+/// node (caller-provided, e.g. the first node the user annotated). Thin
+/// wrapper over session::LearningSession<TwigEngine>; question counts are
+/// identical to driving the engine one question at a time.
 common::Result<InteractiveTwigResult> RunInteractiveTwigSession(
     const xml::XmlTree& doc, xml::NodeId seed, TwigOracle* oracle,
     const InteractiveTwigOptions& options = {});

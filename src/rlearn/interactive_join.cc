@@ -3,13 +3,148 @@
 #include <algorithm>
 #include <bit>
 #include <cstdlib>
-#include <vector>
 
 namespace qlearn {
 namespace rlearn {
 
 using common::Result;
 using common::Status;
+
+JoinEngine::JoinEngine(const PairUniverse* universe,
+                       const relational::Relation* left,
+                       const relational::Relation* right,
+                       const InteractiveJoinOptions& options)
+    : universe_(universe),
+      left_(left),
+      right_(right),
+      strategy_(options.strategy),
+      vs_(universe, left, right) {
+  // Materialize all candidate pairs with their agreement masks.
+  candidates_.reserve(left->size() * right->size());
+  for (size_t i = 0; i < left->size(); ++i) {
+    for (size_t j = 0; j < right->size(); ++j) {
+      candidates_.push_back(
+          Candidate{universe->AgreeMask(left->row(i), right->row(j)),
+                    /*settled=*/false, /*asked=*/false});
+    }
+  }
+}
+
+size_t JoinEngine::IndexOf(const PairExample& item) const {
+  return item.left_row * right_->size() + item.right_row;
+}
+
+std::optional<PairExample> JoinEngine::SelectQuestion(common::Rng* rng) {
+  std::vector<size_t> open;
+  for (size_t k = 0; k < candidates_.size(); ++k) {
+    if (!candidates_[k].settled) open.push_back(k);
+  }
+  if (open.empty()) return std::nullopt;
+
+  size_t pick = open[0];
+  switch (strategy_) {
+    case JoinStrategy::kRandom:
+      pick = open[rng->Index(open.size())];
+      break;
+    case JoinStrategy::kSplitHalf: {
+      // Prefer the pair whose positive answer halves θ*.
+      const int target = std::popcount(vs_.most_specific()) / 2;
+      int best_score = 1 << 30;
+      for (size_t k : open) {
+        const int kept =
+            std::popcount(vs_.most_specific() & candidates_[k].agree);
+        const int score = std::abs(kept - target);
+        if (score < best_score) {
+          best_score = score;
+          pick = k;
+        }
+      }
+      break;
+    }
+    case JoinStrategy::kLattice: {
+      // Probe a pair that drops exactly one bit of θ* if positive; fall
+      // back to split-half behaviour otherwise.
+      const int full = std::popcount(vs_.most_specific());
+      int best_score = 1 << 30;
+      for (size_t k : open) {
+        const int kept =
+            std::popcount(vs_.most_specific() & candidates_[k].agree);
+        const int score = kept == full - 1 ? -1 : std::abs(kept - full / 2);
+        if (score < best_score) {
+          best_score = score;
+          pick = k;
+        }
+      }
+      break;
+    }
+  }
+  return PairExample{pick / right_->size(), pick % right_->size()};
+}
+
+void JoinEngine::MarkAsked(const PairExample& item) {
+  Candidate& c = candidates_[IndexOf(item)];
+  c.settled = true;
+  c.asked = true;
+}
+
+void JoinEngine::Observe(const PairExample& item, bool positive,
+                         session::SessionStats* stats) {
+  if (positive) {
+    vs_.AddPositive(item);
+  } else {
+    vs_.AddNegative(item);
+  }
+  if (!vs_.Consistent()) {
+    ++stats->conflicts;
+    aborted_ = true;  // target outside the hypothesis space
+  }
+}
+
+void JoinEngine::Propagate(session::SessionStats* stats) {
+  for (size_t k = 0; k < candidates_.size(); ++k) {
+    Candidate& c = candidates_[k];
+    if (c.settled) continue;
+    switch (vs_.Classify(
+        PairExample{k / right_->size(), k % right_->size()})) {
+      case EquiJoinVersionSpace::PairStatus::kForcedPositive:
+        c.settled = true;
+        ++stats->forced_positive;
+        break;
+      case EquiJoinVersionSpace::PairStatus::kForcedNegative:
+        c.settled = true;
+        ++stats->forced_negative;
+        break;
+      case EquiJoinVersionSpace::PairStatus::kInformative:
+        break;
+    }
+  }
+}
+
+PairMask JoinEngine::Current() const {
+  return vs_.Consistent() ? vs_.most_specific() : 0;
+}
+
+PairMask JoinEngine::Finish(session::SessionStats* /*stats*/) {
+  // No end-of-session audit beyond the per-answer consistency checks.
+  return Current();
+}
+
+const relational::Tuple& JoinEngine::LeftRow(const PairExample& item) const {
+  return left_->row(item.left_row);
+}
+
+const relational::Tuple& JoinEngine::RightRow(const PairExample& item) const {
+  return right_->row(item.right_row);
+}
+
+bool JoinEngine::WasAsked(const PairExample& item) const {
+  return candidates_[IndexOf(item)].asked;
+}
+
+bool JoinEngine::HasForcedLabel(const PairExample& item) const {
+  const Candidate& c = candidates_[IndexOf(item)];
+  return c.settled && !c.asked;
+}
 
 Result<InteractiveJoinResult> RunInteractiveJoinSession(
     const PairUniverse& universe, const relational::Relation& left,
@@ -18,110 +153,23 @@ Result<InteractiveJoinResult> RunInteractiveJoinSession(
   if (universe.size() == 0) {
     return Status::InvalidArgument("empty candidate pair universe");
   }
-  common::Rng rng(options.seed);
+  session::SessionOptions session_options;
+  session_options.seed = options.seed;
+  session_options.max_questions = options.max_questions;
+  session::LearningSession<JoinEngine> session(
+      JoinEngine(&universe, &left, &right, options), session_options);
+
   InteractiveJoinResult result;
-
-  // Materialize all candidate pairs with their agreement masks.
-  struct Candidate {
-    PairExample pair;
-    PairMask agree;
-    bool settled = false;
-  };
-  std::vector<Candidate> candidates;
-  candidates.reserve(left.size() * right.size());
-  for (size_t i = 0; i < left.size(); ++i) {
-    for (size_t j = 0; j < right.size(); ++j) {
-      candidates.push_back(Candidate{
-          PairExample{i, j},
-          universe.AgreeMask(left.row(i), right.row(j)), false});
-    }
-  }
-  result.candidate_pairs = candidates.size();
-
-  EquiJoinVersionSpace vs(&universe, &left, &right);
-
-  auto settle_uninformative = [&]() {
-    for (Candidate& c : candidates) {
-      if (c.settled) continue;
-      switch (vs.Classify(c.pair)) {
-        case EquiJoinVersionSpace::PairStatus::kForcedPositive:
-          c.settled = true;
-          ++result.forced_positive;
-          break;
-        case EquiJoinVersionSpace::PairStatus::kForcedNegative:
-          c.settled = true;
-          ++result.forced_negative;
-          break;
-        case EquiJoinVersionSpace::PairStatus::kInformative:
-          break;
-      }
-    }
-  };
-
-  settle_uninformative();
-  while (result.questions < options.max_questions) {
-    // Collect informative candidates.
-    std::vector<size_t> open;
-    for (size_t k = 0; k < candidates.size(); ++k) {
-      if (!candidates[k].settled) open.push_back(k);
-    }
-    if (open.empty()) break;
-
-    size_t pick = open[0];
-    switch (options.strategy) {
-      case JoinStrategy::kRandom:
-        pick = open[rng.Index(open.size())];
-        break;
-      case JoinStrategy::kSplitHalf: {
-        // Prefer the pair whose positive answer halves θ*.
-        const int target = std::popcount(vs.most_specific()) / 2;
-        int best_score = 1 << 30;
-        for (size_t k : open) {
-          const int kept =
-              std::popcount(vs.most_specific() & candidates[k].agree);
-          const int score = std::abs(kept - target);
-          if (score < best_score) {
-            best_score = score;
-            pick = k;
-          }
-        }
-        break;
-      }
-      case JoinStrategy::kLattice: {
-        // Probe a pair that drops exactly one bit of θ* if positive; fall
-        // back to split-half behaviour otherwise.
-        const int full = std::popcount(vs.most_specific());
-        int best_score = 1 << 30;
-        for (size_t k : open) {
-          const int kept =
-              std::popcount(vs.most_specific() & candidates[k].agree);
-          const int score = kept == full - 1 ? -1 : std::abs(kept - full / 2);
-          if (score < best_score) {
-            best_score = score;
-            pick = k;
-          }
-        }
-        break;
-      }
-    }
-
-    Candidate& c = candidates[pick];
-    ++result.questions;
-    c.settled = true;
-    if (oracle->IsPositive(left.row(c.pair.left_row),
-                           right.row(c.pair.right_row))) {
-      vs.AddPositive(c.pair);
-    } else {
-      vs.AddNegative(c.pair);
-    }
-    if (!vs.Consistent()) {
-      ++result.conflicts;
-      break;  // target outside the hypothesis space
-    }
-    settle_uninformative();
-  }
-
-  result.learned = vs.Consistent() ? vs.most_specific() : 0;
+  result.learned = session.Run([&](const PairExample& pair) {
+    return oracle->IsPositive(left.row(pair.left_row),
+                              right.row(pair.right_row));
+  });
+  result.candidate_pairs = session.engine().candidate_pairs();
+  const session::SessionStats& stats = session.stats();
+  result.questions = stats.questions;
+  result.forced_positive = stats.forced_positive;
+  result.forced_negative = stats.forced_negative;
+  result.conflicts = stats.conflicts;
   return result;
 }
 

@@ -4,14 +4,21 @@
 // every hypothesis in the current version space agrees) so they are never
 // asked. The session ends when every pair is labeled or uninformative; the
 // goal is to minimize questions (experiment E6).
+//
+// JoinEngine implements the unified session Engine concept
+// (session/session.h); RunInteractiveJoinSession is the legacy one-shot
+// wrapper over session::LearningSession<JoinEngine>.
 #ifndef QLEARN_RLEARN_INTERACTIVE_JOIN_H_
 #define QLEARN_RLEARN_INTERACTIVE_JOIN_H_
 
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "rlearn/equijoin_learner.h"
+#include "session/session.h"
 
 namespace qlearn {
 namespace rlearn {
@@ -49,8 +56,8 @@ enum class JoinStrategy {
 
 struct InteractiveJoinOptions {
   JoinStrategy strategy = JoinStrategy::kSplitHalf;
-  uint64_t seed = 11;
-  size_t max_questions = 1000000;
+  uint64_t seed = session::SessionDefaults::kLegacyJoinSeed;
+  size_t max_questions = session::SessionDefaults::kMaxQuestions;
 };
 
 struct InteractiveJoinResult {
@@ -65,7 +72,58 @@ struct InteractiveJoinResult {
   size_t conflicts = 0;
 };
 
-/// Runs the protocol over all |left| x |right| tuple pairs.
+/// Session engine over all |left| x |right| tuple pairs. Questions are
+/// PairExamples; the version space settles uninformative pairs after every
+/// answer. `universe`, `left`, and `right` must outlive the engine, and the
+/// universe must be non-empty.
+class JoinEngine {
+ public:
+  using Item = PairExample;
+  using HypothesisT = PairMask;
+
+  JoinEngine(const PairUniverse* universe, const relational::Relation* left,
+             const relational::Relation* right,
+             const InteractiveJoinOptions& options = {});
+
+  std::optional<Item> SelectQuestion(common::Rng* rng);
+  void MarkAsked(const Item& item);
+  void Observe(const Item& item, bool positive, session::SessionStats* stats);
+  void Propagate(session::SessionStats* stats);
+  /// True once an answer contradicted the version space (target outside the
+  /// equi-join hypothesis class).
+  bool Aborted() const { return aborted_; }
+  HypothesisT Current() const;
+  HypothesisT Finish(session::SessionStats* stats);
+
+  size_t candidate_pairs() const { return candidates_.size(); }
+  const relational::Tuple& LeftRow(const Item& item) const;
+  const relational::Tuple& RightRow(const Item& item) const;
+
+  // Introspection for conformance tests and UIs.
+  bool WasAsked(const Item& item) const;
+  bool HasForcedLabel(const Item& item) const;
+
+ private:
+  struct Candidate {
+    PairMask agree = 0;
+    bool settled = false;
+    bool asked = false;
+  };
+
+  size_t IndexOf(const Item& item) const;
+
+  const PairUniverse* universe_;
+  const relational::Relation* left_;
+  const relational::Relation* right_;
+  JoinStrategy strategy_;
+  std::vector<Candidate> candidates_;  // row-major over (left, right)
+  EquiJoinVersionSpace vs_;
+  bool aborted_ = false;
+};
+
+/// Runs the protocol over all |left| x |right| tuple pairs. Thin wrapper
+/// over session::LearningSession<JoinEngine>; question counts are identical
+/// to driving the engine one question at a time.
 common::Result<InteractiveJoinResult> RunInteractiveJoinSession(
     const PairUniverse& universe, const relational::Relation& left,
     const relational::Relation& right, JoinOracle* oracle,

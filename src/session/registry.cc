@@ -1,0 +1,61 @@
+#include "session/registry.h"
+
+namespace qlearn {
+namespace session {
+
+using common::Result;
+using common::Status;
+
+ScenarioRegistry* ScenarioRegistry::Global() {
+  static ScenarioRegistry* registry = new ScenarioRegistry();
+  return registry;
+}
+
+Status ScenarioRegistry::Register(ScenarioInfo info, Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [existing, unused] : entries_) {
+    if (existing.name == info.name) {
+      return Status::InvalidArgument("scenario already registered: " +
+                                     info.name);
+    }
+  }
+  entries_.emplace_back(std::move(info), std::move(factory));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ScenarioSession>> ScenarioRegistry::Create(
+    const std::string& name, const SessionOptions& options) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [info, candidate] : entries_) {
+      if (info.name == name) {
+        factory = candidate;
+        break;
+      }
+    }
+  }
+  if (!factory) {
+    return Status::NotFound("unknown scenario: " + name);
+  }
+  return factory(options);
+}
+
+bool ScenarioRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [info, unused] : entries_) {
+    if (info.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<ScenarioInfo> ScenarioRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ScenarioInfo> infos;
+  infos.reserve(entries_.size());
+  for (const auto& [info, unused] : entries_) infos.push_back(info);
+  return infos;
+}
+
+}  // namespace session
+}  // namespace qlearn

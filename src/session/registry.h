@@ -1,0 +1,96 @@
+// String-keyed registry of interactive learning scenarios.
+//
+// The typed API (session::LearningSession<Engine>) is what library code
+// uses; this registry is the uniform front door for benchmarks, examples,
+// demo tooling, and future servers that must instantiate "a scenario" by
+// name without compiling against its engine type. A ScenarioSession erases
+// the engine behind a text-rendered question stream:
+//
+//   auto s = ScenarioRegistry::Global()->Create("join", {});
+//   while (auto q = s.value()->NextQuestion()) {
+//     s.value()->Answer(AskUser(*q));       // or s.value()->OracleLabels()
+//   }
+//   s.value()->Finish();
+//
+// Built-in scenarios ("twig", "join", "path") carry a small synthetic
+// dataset and a hidden goal query, so they can also self-answer via
+// OracleLabels() — useful for demos, smoke tests, and load generation.
+#ifndef QLEARN_SESSION_REGISTRY_H_
+#define QLEARN_SESSION_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "session/session.h"
+
+namespace qlearn {
+namespace session {
+
+/// Type-erased interactive session: questions are rendered to text, answers
+/// are booleans. Mirrors LearningSession's incremental surface.
+class ScenarioSession {
+ public:
+  virtual ~ScenarioSession() = default;
+
+  /// Next question rendered for a human, or nullopt when the session is
+  /// over. The question is pending until Answer().
+  virtual std::optional<std::string> NextQuestion() = 0;
+  /// Batched variant; pending until AnswerAll().
+  virtual std::vector<std::string> NextQuestions(size_t k) = 0;
+  /// Answers the single pending question.
+  virtual void Answer(bool positive) = 0;
+  /// Answers the pending batch, in order.
+  virtual void AnswerAll(const std::vector<bool>& labels) = 0;
+  /// Labels the built-in goal oracle would give the pending questions
+  /// (empty when the scenario has no built-in oracle). Does not answer.
+  virtual std::vector<bool> OracleLabels() = 0;
+  /// Ends the session (idempotent); Hypothesis() then renders the final
+  /// learned query.
+  virtual void Finish() = 0;
+
+  virtual const SessionStats& stats() const = 0;
+  /// Human-readable rendering of the current (or final) hypothesis.
+  virtual std::string Hypothesis() const = 0;
+};
+
+struct ScenarioInfo {
+  std::string name;         ///< registry key, e.g. "twig"
+  std::string description;  ///< one-liner for listings
+};
+
+/// Process-wide, thread-safe scenario registry.
+class ScenarioRegistry {
+ public:
+  using Factory = std::function<common::Result<std::unique_ptr<ScenarioSession>>(
+      const SessionOptions& options)>;
+
+  static ScenarioRegistry* Global();
+
+  /// Registers a scenario; fails on duplicate names.
+  common::Status Register(ScenarioInfo info, Factory factory);
+  /// Instantiates a fresh session of the named scenario.
+  common::Result<std::unique_ptr<ScenarioSession>> Create(
+      const std::string& name, const SessionOptions& options = {}) const;
+  bool Has(const std::string& name) const;
+  /// Registration-ordered scenario listing.
+  std::vector<ScenarioInfo> List() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<ScenarioInfo, Factory>> entries_;
+};
+
+/// Registers the built-in "twig", "join", and "path" demo scenarios on the
+/// global registry. Idempotent.
+void RegisterBuiltinScenarios();
+
+}  // namespace session
+}  // namespace qlearn
+
+#endif  // QLEARN_SESSION_REGISTRY_H_

@@ -129,7 +129,9 @@ TEST_P(TwigProperty, EngineInvariants) {
     // query can only happen without a selection node.
     TwigEvaluator eval(q, doc);
     const auto selected = eval.SelectedNodes();
-    if (!selected.empty()) EXPECT_TRUE(eval.Matches());
+    if (!selected.empty()) {
+      EXPECT_TRUE(eval.Matches());
+    }
     for (xml::NodeId v : selected) EXPECT_TRUE(eval.Selects(v));
 
     // (3) Evaluation agrees with brute-force embedding enumeration.
