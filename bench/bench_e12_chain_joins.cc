@@ -11,59 +11,24 @@
 #include "common/table_printer.h"
 #include "relational/generator.h"
 #include "rlearn/chain_learner.h"
+#include "rlearn/interactive_chain.h"
 
 using namespace qlearn;  // NOLINT: experiment driver
 
 namespace {
 
-/// Builds a chain of `k` relations r0..r_{k-1} with FK-style columns:
-/// r_i(key_i, fk_{i+1}) where fk joins the next relation's key.
-struct ChainInstance {
-  std::vector<relational::Relation> relations;
-  std::vector<const relational::Relation*> pointers;
-};
-
-ChainInstance MakeChain(int k, int rows, uint64_t seed) {
-  ChainInstance out;
-  common::Rng rng(seed);
-  out.relations.reserve(static_cast<size_t>(k));
-  for (int i = 0; i < k; ++i) {
-    relational::RelationSchema schema(
-        "r" + std::to_string(i),
-        {{"key", relational::ValueType::kInt},
-         {"fk", relational::ValueType::kInt},
-         {"noise", relational::ValueType::kInt}});
-    relational::Relation rel(schema);
-    for (int r = 0; r < rows; ++r) {
-      rel.InsertUnchecked({relational::Value(static_cast<int64_t>(r)),
-                           relational::Value(static_cast<int64_t>(
-                               rng.Uniform(static_cast<uint64_t>(rows)))),
-                           relational::Value(static_cast<int64_t>(
-                               rng.Uniform(3)))});
-    }
-    out.relations.push_back(std::move(rel));
-  }
-  for (const auto& r : out.relations) out.pointers.push_back(&r);
-  return out;
+/// Builds a chain of `k` relations r_i(key, fk, noise) where fk joins the
+/// next relation's key; the FK goal is r_i.fk = r_{i+1}.key on every edge.
+relational::ChainInstance MakeChain(int k, int rows, uint64_t seed) {
+  relational::ChainInstanceOptions options;
+  options.seed = seed;
+  options.num_relations = k;
+  options.rows = rows;
+  return relational::GenerateChainInstance(options);
 }
 
-/// The FK goal: r_i.fk = r_{i+1}.key on every edge.
 rlearn::ChainMask FkGoal(const rlearn::JoinChain& chain) {
-  rlearn::ChainMask goal;
-  for (size_t e = 0; e < chain.num_edges(); ++e) {
-    rlearn::PairMask m = 0;
-    const auto& u = chain.universe(e);
-    for (size_t i = 0; i < u.size(); ++i) {
-      const auto& p = u.pairs()[i];
-      if (chain.relation(e).schema().attributes()[p.left].name == "fk" &&
-          chain.relation(e + 1).schema().attributes()[p.right].name ==
-              "key") {
-        m |= (1ULL << i);
-      }
-    }
-    goal.push_back(m);
-  }
-  return goal;
+  return rlearn::NamePairChainGoal(chain, "fk", "key");
 }
 
 }  // namespace
@@ -76,7 +41,8 @@ int main() {
   common::TablePrinter ta(
       {"chain length", "edges", "examples", "ms", "consistent"});
   for (int k : {2, 3, 4, 5, 6}) {
-    ChainInstance ci = MakeChain(k, 40, 1200 + static_cast<uint64_t>(k));
+    relational::ChainInstance ci =
+        MakeChain(k, 40, 1200 + static_cast<uint64_t>(k));
     auto chain_or = rlearn::JoinChain::Create(ci.pointers);
     if (!chain_or.ok()) continue;
     const rlearn::JoinChain& chain = chain_or.value();
@@ -112,7 +78,8 @@ int main() {
   common::TablePrinter tb({"chain length", "candidates", "strategy",
                            "questions", "forced + / -", "verified"});
   for (int k : {2, 3, 4}) {
-    ChainInstance ci = MakeChain(k, 8, 1300 + static_cast<uint64_t>(k));
+    relational::ChainInstance ci =
+        MakeChain(k, 8, 1300 + static_cast<uint64_t>(k));
     auto chain_or = rlearn::JoinChain::Create(ci.pointers);
     if (!chain_or.ok()) continue;
     const rlearn::JoinChain& chain = chain_or.value();

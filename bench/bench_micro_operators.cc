@@ -10,6 +10,7 @@
 #include "graph/path_query.h"
 #include "relational/generator.h"
 #include "relational/operators.h"
+#include "rlearn/interactive_chain.h"
 #include "rlearn/interactive_join.h"
 #include "schema/dme.h"
 #include "schema/dms.h"
@@ -151,6 +152,62 @@ void BM_JoinSessionUnifiedDriver(benchmark::State& state) {
   state.counters["questions"] = static_cast<double>(questions);
 }
 BENCHMARK(BM_JoinSessionUnifiedDriver)->Arg(20)->Arg(50)->Arg(100);
+
+// Chain-engine counterpart of the join-session pair above: one full
+// interactive chain session (3 FK-style relations, E12 shape) per
+// iteration, legacy wrapper vs driving the unified LearningSession
+// directly. Identical question sequences; the gap is driver overhead.
+struct ChainSessionSetup {
+  explicit ChainSessionSetup(int rows) {
+    relational::ChainInstanceOptions options;
+    options.seed = 1300 + static_cast<uint64_t>(rows);
+    options.rows = rows;
+    instance = relational::GenerateChainInstance(options);
+    chain = rlearn::JoinChain::Create(instance.pointers).value();
+    goal = rlearn::NamePairChainGoal(*chain, "fk", "key");
+  }
+
+  relational::ChainInstance instance;
+  std::optional<rlearn::JoinChain> chain;
+  rlearn::ChainMask goal;
+};
+
+void BM_ChainSessionLegacyWrapper(benchmark::State& state) {
+  const ChainSessionSetup setup(static_cast<int>(state.range(0)));
+  size_t questions = 0;
+  for (auto _ : state) {
+    rlearn::GoalChainOracle oracle(setup.goal);
+    rlearn::InteractiveChainOptions options;
+    options.seed = 123;
+    auto result =
+        rlearn::RunInteractiveChainSession(*setup.chain, &oracle, options);
+    questions = result.value().questions;
+    benchmark::DoNotOptimize(result.value().learned);
+  }
+  state.counters["questions"] = static_cast<double>(questions);
+}
+BENCHMARK(BM_ChainSessionLegacyWrapper)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_ChainSessionUnifiedDriver(benchmark::State& state) {
+  const ChainSessionSetup setup(static_cast<int>(state.range(0)));
+  size_t questions = 0;
+  for (auto _ : state) {
+    rlearn::InteractiveChainOptions options;
+    options.seed = 123;
+    session::SessionOptions session_options;
+    session_options.seed = options.seed;
+    session::LearningSession<rlearn::ChainEngine> session(
+        rlearn::ChainEngine(&*setup.chain, options), session_options);
+    const rlearn::ChainMask learned =
+        session.Run([&](const rlearn::ChainExample& example) {
+          return rlearn::ChainSatisfied(*setup.chain, setup.goal, example);
+        });
+    questions = session.stats().questions;
+    benchmark::DoNotOptimize(learned);
+  }
+  state.counters["questions"] = static_cast<double>(questions);
+}
+BENCHMARK(BM_ChainSessionUnifiedDriver)->Arg(4)->Arg(8)->Arg(12);
 
 }  // namespace
 

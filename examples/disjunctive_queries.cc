@@ -12,6 +12,7 @@
 #include "learn/union_learner.h"
 #include "relational/relation.h"
 #include "rlearn/chain_learner.h"
+#include "rlearn/interactive_chain.h"
 #include "xml/xml_parser.h"
 
 using qlearn::relational::Relation;

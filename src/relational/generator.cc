@@ -141,5 +141,59 @@ Database TinyCompanyDatabase() {
   return db;
 }
 
+std::vector<Relation> TinyStoreChainRelations() {
+  Relation customers(RelationSchema("customers",
+                                    {Attribute{"cid", ValueType::kInt},
+                                     Attribute{"city", ValueType::kInt}}));
+  customers.InsertUnchecked({Value(int64_t{1}), Value(int64_t{10})});
+  customers.InsertUnchecked({Value(int64_t{2}), Value(int64_t{20})});
+  customers.InsertUnchecked({Value(int64_t{3}), Value(int64_t{10})});
+
+  Relation orders(RelationSchema("orders",
+                                 {Attribute{"cid", ValueType::kInt},
+                                  Attribute{"pid", ValueType::kInt}}));
+  orders.InsertUnchecked({Value(int64_t{1}), Value(int64_t{7})});
+  orders.InsertUnchecked({Value(int64_t{2}), Value(int64_t{8})});
+  orders.InsertUnchecked({Value(int64_t{3}), Value(int64_t{7})});
+  orders.InsertUnchecked({Value(int64_t{9}), Value(int64_t{9})});
+
+  Relation products(RelationSchema("products",
+                                   {Attribute{"pid", ValueType::kInt},
+                                    Attribute{"cat", ValueType::kInt}}));
+  products.InsertUnchecked({Value(int64_t{7}), Value(int64_t{100})});
+  products.InsertUnchecked({Value(int64_t{8}), Value(int64_t{200})});
+  products.InsertUnchecked({Value(int64_t{9}), Value(int64_t{100})});
+
+  std::vector<Relation> out;
+  out.reserve(3);
+  out.push_back(std::move(customers));
+  out.push_back(std::move(orders));
+  out.push_back(std::move(products));
+  return out;
+}
+
+ChainInstance GenerateChainInstance(const ChainInstanceOptions& options) {
+  ChainInstance out;
+  common::Rng rng(options.seed);
+  out.relations.reserve(static_cast<size_t>(options.num_relations));
+  for (int i = 0; i < options.num_relations; ++i) {
+    RelationSchema schema("r" + std::to_string(i),
+                          {{"key", ValueType::kInt},
+                           {"fk", ValueType::kInt},
+                           {"noise", ValueType::kInt}});
+    Relation rel(schema);
+    for (int r = 0; r < options.rows; ++r) {
+      rel.InsertUnchecked(
+          {Value(static_cast<int64_t>(r)),
+           Value(static_cast<int64_t>(
+               rng.Uniform(static_cast<uint64_t>(options.rows)))),
+           Value(static_cast<int64_t>(rng.Uniform(3)))});
+    }
+    out.relations.push_back(std::move(rel));
+  }
+  for (const Relation& r : out.relations) out.pointers.push_back(&r);
+  return out;
+}
+
 }  // namespace relational
 }  // namespace qlearn

@@ -44,6 +44,29 @@ JoinInstance GenerateJoinInstance(const JoinInstanceOptions& options,
 /// the cross-model exchange scenarios (Figure 1, scenario 1).
 Database TinyCompanyDatabase();
 
+/// The customers/orders/products foreign-key trio shared by the "chain"
+/// demo scenario and the chain-learner tests. FK paths under the natural
+/// (name-equal) goal: rows (0,0,0), (1,1,1), (2,2,0); order (9,9) dangles.
+std::vector<Relation> TinyStoreChainRelations();
+
+/// Parameters of the chain workload generator (E12): `num_relations`
+/// relations r0..r_{k-1}, each with FK-style columns r_i(key, fk, noise)
+/// where fk is meant to join the next relation's key.
+struct ChainInstanceOptions {
+  uint64_t seed = 1;
+  int num_relations = 3;
+  int rows = 8;
+};
+
+/// A generated chain instance. `pointers` aliases `relations` in order (the
+/// shape JoinChain::Create takes); both stay valid across moves.
+struct ChainInstance {
+  std::vector<Relation> relations;
+  std::vector<const Relation*> pointers;
+};
+
+ChainInstance GenerateChainInstance(const ChainInstanceOptions& options);
+
 }  // namespace relational
 }  // namespace qlearn
 

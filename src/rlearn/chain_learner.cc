@@ -1,9 +1,5 @@
 #include "rlearn/chain_learner.h"
 
-#include <algorithm>
-#include <bit>
-#include <cstdlib>
-
 namespace qlearn {
 namespace rlearn {
 
@@ -36,6 +32,42 @@ PairMask JoinChain::AgreeOn(size_t edge,
                             const std::vector<size_t>& rows) const {
   return universes_[edge].AgreeMask(relations_[edge]->row(rows[edge]),
                                     relations_[edge + 1]->row(rows[edge + 1]));
+}
+
+namespace {
+
+template <typename PairPredicate>
+ChainMask ChainGoalByName(const JoinChain& chain, PairPredicate keep) {
+  ChainMask goal;
+  goal.reserve(chain.num_edges());
+  for (size_t e = 0; e < chain.num_edges(); ++e) {
+    const PairUniverse& universe = chain.universe(e);
+    const auto& left = chain.relation(e).schema().attributes();
+    const auto& right = chain.relation(e + 1).schema().attributes();
+    PairMask mask = 0;
+    for (size_t i = 0; i < universe.size(); ++i) {
+      const relational::AttributePair& p = universe.pairs()[i];
+      if (keep(left[p.left].name, right[p.right].name)) mask |= (1ULL << i);
+    }
+    goal.push_back(mask);
+  }
+  return goal;
+}
+
+}  // namespace
+
+ChainMask NamePairChainGoal(const JoinChain& chain,
+                            const std::string& left_attr,
+                            const std::string& right_attr) {
+  return ChainGoalByName(chain,
+                         [&](const std::string& l, const std::string& r) {
+                           return l == left_attr && r == right_attr;
+                         });
+}
+
+ChainMask NaturalChainGoal(const JoinChain& chain) {
+  return ChainGoalByName(
+      chain, [](const std::string& l, const std::string& r) { return l == r; });
 }
 
 bool ChainSatisfied(const JoinChain& chain, const ChainMask& hypothesis,
@@ -143,146 +175,40 @@ ChainConsistency CheckChainConsistency(
 std::vector<ChainExample> EvaluateChain(const JoinChain& chain,
                                         const ChainMask& hypothesis,
                                         size_t limit) {
-  // Left-to-right nested expansion with per-edge mask tests. Instances in
-  // the experiments are small enough that index structures would not change
-  // the asymptotics observed (the masks are arbitrary pair sets, so a hash
-  // index would need one build per satisfied-pair subset).
-  std::vector<ChainExample> frontier;
-  for (size_t r = 0; r < chain.relation(0).size(); ++r) {
-    frontier.push_back(ChainExample{{r}});
-  }
-  for (size_t e = 0; e < chain.num_edges(); ++e) {
-    std::vector<ChainExample> next;
-    const size_t right_size = chain.relation(e + 1).size();
-    for (const ChainExample& partial : frontier) {
-      for (size_t r = 0; r < right_size; ++r) {
-        ChainExample extended = partial;
-        extended.rows.push_back(r);
-        if (MaskSatisfied(hypothesis[e], chain.AgreeOn(e, extended.rows))) {
-          next.push_back(std::move(extended));
-          if (limit != 0 && e + 1 == chain.num_edges() &&
-              next.size() >= limit) {
-            return next;
-          }
-        }
-      }
-    }
-    frontier = std::move(next);
-  }
-  return frontier;
-}
-
-namespace {
-
-/// Enumerates up to `cap` candidate paths (row-index products, row-major).
-std::vector<ChainExample> EnumerateCandidates(const JoinChain& chain,
-                                              size_t cap) {
+  // Depth-first nested-loop expansion in row-major order with per-edge mask
+  // tests. Depth-first (rather than one frontier per edge) keeps memory at
+  // O(chain length) beyond the emitted paths: a layered expansion can
+  // materialize intermediate frontiers exponentially larger than a capped
+  // result on permissive chains. Instances in the experiments are small
+  // enough that index structures would not change the asymptotics observed
+  // (the masks are arbitrary pair sets, so a hash index would need one
+  // build per satisfied-pair subset).
   std::vector<ChainExample> out;
-  std::vector<size_t> sizes(chain.length());
-  for (size_t i = 0; i < chain.length(); ++i) {
-    sizes[i] = chain.relation(i).size();
-    if (sizes[i] == 0) return out;
-  }
-  std::vector<size_t> idx(chain.length(), 0);
-  while (out.size() < cap) {
-    out.push_back(ChainExample{idx});
-    size_t pos = chain.length();
-    while (pos-- > 0) {
-      if (++idx[pos] < sizes[pos]) break;
-      idx[pos] = 0;
-      if (pos == 0) return out;
+  const size_t length = chain.length();
+  // rows is the current partial path; rows.back() is the next row index to
+  // try in relation rows.size()-1.
+  std::vector<size_t> rows(1, 0);
+  while (!rows.empty()) {
+    const size_t depth = rows.size() - 1;
+    if (rows[depth] >= chain.relation(depth).size()) {
+      rows.pop_back();
+      if (!rows.empty()) ++rows.back();
+      continue;
+    }
+    if (depth > 0 &&
+        !MaskSatisfied(hypothesis[depth - 1], chain.AgreeOn(depth - 1, rows))) {
+      ++rows[depth];
+      continue;
+    }
+    if (depth + 1 == length) {
+      out.push_back(ChainExample{rows});
+      if (limit != 0 && out.size() >= limit) return out;
+      ++rows[depth];
+    } else {
+      rows.push_back(0);
     }
   }
   return out;
-}
-
-}  // namespace
-
-Result<InteractiveChainResult> RunInteractiveChainSession(
-    const JoinChain& chain, ChainOracle* oracle,
-    const InteractiveChainOptions& options) {
-  if (oracle == nullptr) {
-    return Status::InvalidArgument("oracle must not be null");
-  }
-  std::vector<ChainExample> candidates =
-      EnumerateCandidates(chain, options.max_candidates);
-  ChainVersionSpace vs(&chain);
-  common::Rng rng(options.seed);
-  InteractiveChainResult result;
-  result.candidate_paths = candidates.size();
-
-  std::vector<bool> settled(candidates.size(), false);
-  while (result.questions < options.max_questions) {
-    // Propagate uninformative paths under the current version space.
-    std::vector<size_t> informative;
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      if (settled[i]) continue;
-      switch (vs.Classify(candidates[i])) {
-        case ChainVersionSpace::PathStatus::kForcedPositive:
-          settled[i] = true;
-          ++result.forced_positive;
-          break;
-        case ChainVersionSpace::PathStatus::kForcedNegative:
-          settled[i] = true;
-          ++result.forced_negative;
-          break;
-        case ChainVersionSpace::PathStatus::kInformative:
-          informative.push_back(i);
-          break;
-      }
-    }
-    if (informative.empty()) break;
-
-    size_t chosen = informative[0];
-    if (options.strategy == ChainStrategy::kRandom) {
-      chosen = informative[rng.Uniform(informative.size())];
-    } else {
-      // kSplitHalf in two phases. Until the first positive arrives, ask the
-      // most plausible match (the candidate keeping the most θ* pairs alive
-      // on every edge): a positive intersects every edge's θ* at once and
-      // carries far more information than any negative. Once θ* reflects a
-      // positive, switch to even-split probing of the surviving pairs.
-      const bool hunting = vs.num_positives() == 0;
-      long best_primary = -1;
-      long best_tie = -1;
-      for (size_t i : informative) {
-        long total_kept = 0;
-        long split = 0;
-        for (size_t e = 0; e < chain.num_edges(); ++e) {
-          const PairMask ms = vs.most_specific()[e];
-          const PairMask agree = ms & chain.AgreeOn(e, candidates[i].rows);
-          const int total = std::popcount(ms);
-          const int kept = std::popcount(agree);
-          total_kept += kept;
-          split += total / 2 - std::abs(kept - total / 2);
-        }
-        const long primary = hunting ? total_kept : split;
-        const long tie = hunting ? split : total_kept;
-        if (primary > best_primary ||
-            (primary == best_primary && tie > best_tie)) {
-          best_primary = primary;
-          best_tie = tie;
-          chosen = i;
-        }
-      }
-    }
-
-    const bool answer = oracle->IsPositive(chain, candidates[chosen]);
-    ++result.questions;
-    settled[chosen] = true;
-    if (answer) {
-      vs.AddPositive(candidates[chosen]);
-    } else {
-      vs.AddNegative(candidates[chosen]);
-    }
-    if (!vs.Consistent()) {
-      ++result.conflicts;
-      break;
-    }
-  }
-
-  result.learned = vs.most_specific();
-  return result;
 }
 
 }  // namespace rlearn

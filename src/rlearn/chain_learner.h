@@ -7,16 +7,14 @@
 // agree. The tractability of the single-join case generalizes: with
 // θ*_i = ⋂_{positives} Agree_i, the examples are consistent iff every θ*_i
 // is non-empty and no negative path satisfies the whole vector θ* — still
-// PTIME. The interactive protocol (uninformative-path propagation) also
-// lifts edge-by-edge.
+// PTIME. The interactive protocol (uninformative-path propagation) lives in
+// rlearn/interactive_chain.h as ChainEngine over this version space.
 #ifndef QLEARN_RLEARN_CHAIN_LEARNER_H_
 #define QLEARN_RLEARN_CHAIN_LEARNER_H_
 
-#include <cstdint>
 #include <string>
 #include <vector>
 
-#include "common/rng.h"
 #include "common/status.h"
 #include "relational/relation.h"
 #include "rlearn/join_hypothesis.h"
@@ -51,6 +49,17 @@ class JoinChain {
 
 /// A hypothesis: one non-empty mask per chain edge.
 using ChainMask = std::vector<PairMask>;
+
+/// Goal mask selecting, on every edge, the pairs (left_attr, right_attr)
+/// by attribute name — e.g. ("fk", "key") for the generated FK chains. An
+/// edge without such a pair gets an empty mask.
+ChainMask NamePairChainGoal(const JoinChain& chain,
+                            const std::string& left_attr,
+                            const std::string& right_attr);
+
+/// Goal mask selecting, on every edge, the name-equal attribute pairs (the
+/// natural-join goal, e.g. customers.cid=orders.cid).
+ChainMask NaturalChainGoal(const JoinChain& chain);
 
 /// One labeled example: row indexes, one per chain relation.
 struct ChainExample {
@@ -106,62 +115,13 @@ ChainConsistency CheckChainConsistency(
     const std::vector<ChainExample>& negatives);
 
 /// Materializes the chain join under `hypothesis`: all row-index paths
-/// satisfying every edge mask, built edge by edge with hash joins.
-/// `limit` caps the result (0 = unlimited).
+/// satisfying every edge mask, in row-major order. `limit` caps the result
+/// (0 = unlimited); the expansion is depth-first, so memory stays
+/// O(chain length) beyond the returned paths even when intermediate edges
+/// are fully permissive.
 std::vector<ChainExample> EvaluateChain(const JoinChain& chain,
                                         const ChainMask& hypothesis,
                                         size_t limit = 0);
-
-/// Labels candidate paths; backed by a hidden goal in benchmarks.
-class ChainOracle {
- public:
-  virtual ~ChainOracle() = default;
-  virtual bool IsPositive(const JoinChain& chain,
-                          const ChainExample& example) = 0;
-};
-
-/// Oracle defined by a hidden goal chain mask.
-class GoalChainOracle : public ChainOracle {
- public:
-  explicit GoalChainOracle(ChainMask goal) : goal_(std::move(goal)) {}
-  bool IsPositive(const JoinChain& chain, const ChainExample& example) override {
-    return ChainSatisfied(chain, goal_, example);
-  }
-
- private:
-  ChainMask goal_;
-};
-
-/// Question-selection strategies for the interactive chain session.
-enum class ChainStrategy {
-  kRandom,      ///< uniform over informative paths
-  kSplitHalf,   ///< maximize candidate-pair eliminations per answer
-};
-
-struct InteractiveChainOptions {
-  ChainStrategy strategy = ChainStrategy::kSplitHalf;
-  uint64_t seed = 17;
-  /// Cap on enumerated candidate paths (the full product can explode).
-  size_t max_candidates = 20000;
-  size_t max_questions = 1000000;
-};
-
-struct InteractiveChainResult {
-  ChainMask learned;
-  size_t questions = 0;
-  size_t forced_positive = 0;
-  size_t forced_negative = 0;
-  size_t candidate_paths = 0;
-  /// Non-zero when the oracle contradicted the version space (goal outside
-  /// the chain-hypothesis class).
-  size_t conflicts = 0;
-};
-
-/// Runs the interactive protocol over (a capped enumeration of) all tuple
-/// paths of the chain. Stops when every path is labeled or uninformative.
-common::Result<InteractiveChainResult> RunInteractiveChainSession(
-    const JoinChain& chain, ChainOracle* oracle,
-    const InteractiveChainOptions& options = {});
 
 }  // namespace rlearn
 }  // namespace qlearn

@@ -1,0 +1,208 @@
+#include "rlearn/interactive_chain.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdlib>
+#include <limits>
+
+namespace qlearn {
+namespace rlearn {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+/// Enumerates up to `cap` candidate paths (row-index products, row-major).
+std::vector<ChainExample> EnumerateCandidates(const JoinChain& chain,
+                                              size_t cap) {
+  std::vector<ChainExample> out;
+  std::vector<size_t> sizes(chain.length());
+  for (size_t i = 0; i < chain.length(); ++i) {
+    sizes[i] = chain.relation(i).size();
+    if (sizes[i] == 0) return out;
+  }
+  std::vector<size_t> idx(chain.length(), 0);
+  while (out.size() < cap) {
+    out.push_back(ChainExample{idx});
+    size_t pos = chain.length();
+    while (pos-- > 0) {
+      if (++idx[pos] < sizes[pos]) break;
+      idx[pos] = 0;
+      if (pos == 0) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ChainEngine::ChainEngine(const JoinChain* chain,
+                         const InteractiveChainOptions& options)
+    : chain_(chain),
+      strategy_(options.strategy),
+      candidates_(EnumerateCandidates(*chain, options.max_candidates)),
+      settled_(candidates_.size(), false),
+      asked_(candidates_.size(), false),
+      vs_(chain),
+      last_consistent_(vs_.most_specific()) {}
+
+std::optional<size_t> ChainEngine::IndexOf(const ChainExample& item) const {
+  // Candidates are the row-major prefix of the full row product, so the
+  // index is the mixed-radix value of the row vector. Malformed paths
+  // (wrong arity, row out of range) and paths beyond the max_candidates
+  // prefix have no candidate slot.
+  if (item.rows.size() != chain_->length()) return std::nullopt;
+  size_t index = 0;
+  for (size_t i = 0; i < chain_->length(); ++i) {
+    if (item.rows[i] >= chain_->relation(i).size()) return std::nullopt;
+    index = index * chain_->relation(i).size() + item.rows[i];
+  }
+  if (index >= candidates_.size()) return std::nullopt;
+  return index;
+}
+
+std::optional<ChainExample> ChainEngine::SelectQuestion(common::Rng* rng) {
+  // Every unsettled candidate is informative as of the last Propagate() —
+  // the version space only changes on Observe(), after which the driver
+  // propagates again.
+  std::vector<size_t> informative;
+  for (size_t k = 0; k < candidates_.size(); ++k) {
+    if (!settled_[k]) informative.push_back(k);
+  }
+  if (informative.empty()) return std::nullopt;
+
+  size_t chosen = informative[0];
+  if (strategy_ == ChainStrategy::kRandom) {
+    chosen = informative[rng->Index(informative.size())];
+  } else {
+    // kSplitHalf in two phases. Until the first positive arrives, ask the
+    // most plausible match (the candidate keeping the most θ* pairs alive
+    // on every edge): a positive intersects every edge's θ* at once and
+    // carries far more information than any negative. Once θ* reflects a
+    // positive, switch to even-split probing of the surviving pairs.
+    //
+    // The per-edge split score total/2 - |kept - total/2| bottoms out at -1
+    // (kept == total on an odd-sized edge), so on a multi-edge chain every
+    // informative path can legitimately score below -1; the sentinels must
+    // start below any reachable score or selection silently degrades to
+    // informative[0].
+    const bool hunting = vs_.num_positives() == 0;
+    long best_primary = std::numeric_limits<long>::min();
+    long best_tie = std::numeric_limits<long>::min();
+    for (size_t i : informative) {
+      long total_kept = 0;
+      long split = 0;
+      for (size_t e = 0; e < chain_->num_edges(); ++e) {
+        const PairMask ms = vs_.most_specific()[e];
+        const PairMask agree = ms & chain_->AgreeOn(e, candidates_[i].rows);
+        const int total = std::popcount(ms);
+        const int kept = std::popcount(agree);
+        total_kept += kept;
+        split += total / 2 - std::abs(kept - total / 2);
+      }
+      const long primary = hunting ? total_kept : split;
+      const long tie = hunting ? split : total_kept;
+      if (primary > best_primary ||
+          (primary == best_primary && tie > best_tie)) {
+        best_primary = primary;
+        best_tie = tie;
+        chosen = i;
+      }
+    }
+  }
+  return candidates_[chosen];
+}
+
+void ChainEngine::MarkAsked(const ChainExample& item) {
+  const std::optional<size_t> k = IndexOf(item);
+  assert(k.has_value() && "asked path outside the enumerated candidates");
+  if (!k.has_value()) return;
+  settled_[*k] = true;
+  asked_[*k] = true;
+}
+
+void ChainEngine::Observe(const ChainExample& item, bool positive,
+                          session::SessionStats* stats) {
+  if (positive) {
+    vs_.AddPositive(item);
+  } else {
+    vs_.AddNegative(item);
+  }
+  if (vs_.Consistent()) {
+    last_consistent_ = vs_.most_specific();
+  } else {
+    ++stats->conflicts;
+    aborted_ = true;  // target outside the hypothesis space
+  }
+}
+
+void ChainEngine::Propagate(session::SessionStats* stats) {
+  for (size_t k = 0; k < candidates_.size(); ++k) {
+    if (settled_[k]) continue;
+    switch (vs_.Classify(candidates_[k])) {
+      case ChainVersionSpace::PathStatus::kForcedPositive:
+        settled_[k] = true;
+        ++stats->forced_positive;
+        break;
+      case ChainVersionSpace::PathStatus::kForcedNegative:
+        settled_[k] = true;
+        ++stats->forced_negative;
+        break;
+      case ChainVersionSpace::PathStatus::kInformative:
+        break;
+    }
+  }
+}
+
+ChainMask ChainEngine::Finish(session::SessionStats* /*stats*/) {
+  // No end-of-session audit beyond the per-answer consistency checks.
+  return Current();
+}
+
+bool ChainEngine::WasAsked(const ChainExample& item) const {
+  const std::optional<size_t> k = IndexOf(item);
+  return k.has_value() && asked_[*k];
+}
+
+bool ChainEngine::HasForcedLabel(const ChainExample& item) const {
+  // Paths without a candidate slot were never classified, so they carry no
+  // label.
+  const std::optional<size_t> k = IndexOf(item);
+  return k.has_value() && settled_[*k] && !asked_[*k];
+}
+
+Result<InteractiveChainResult> RunInteractiveChainSession(
+    const JoinChain& chain, ChainOracle* oracle,
+    const InteractiveChainOptions& options) {
+  if (oracle == nullptr) {
+    return Status::InvalidArgument("oracle must not be null");
+  }
+  session::SessionOptions session_options;
+  session_options.seed = options.seed;
+  session_options.max_questions = options.max_questions;
+  session::LearningSession<ChainEngine> session(ChainEngine(&chain, options),
+                                                session_options);
+
+  InteractiveChainResult result;
+  result.learned = session.Run([&](const ChainExample& example) {
+    return oracle->IsPositive(chain, example);
+  });
+  result.candidate_paths = session.engine().candidate_paths();
+  const session::SessionStats& stats = session.stats();
+  result.questions = stats.questions;
+  result.forced_positive = stats.forced_positive;
+  result.forced_negative = stats.forced_negative;
+  result.conflicts = stats.conflicts;
+#ifndef NDEBUG
+  // ChainMask invariant: one non-empty mask per edge, even after a
+  // conflict (the engine then reports the last consistent θ*).
+  assert(result.learned.size() == chain.num_edges());
+  for (const PairMask mask : result.learned) assert(mask != 0);
+#endif
+  return result;
+}
+
+}  // namespace rlearn
+}  // namespace qlearn

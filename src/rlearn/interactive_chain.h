@@ -1,0 +1,132 @@
+// The interactive protocol for chains of joins (Section 3's extension of
+// the single-join scenario, experiment E12): the learner proposes tuple
+// paths, the user labels them, and after every answer the labels of all
+// *uninformative* paths (those on which every hypothesis in the current
+// chain version space agrees) are inferred so they are never asked.
+//
+// ChainEngine implements the unified session Engine concept
+// (session/session.h) over a capped row-major enumeration of the chain's
+// tuple paths; RunInteractiveChainSession is the legacy one-shot wrapper
+// over session::LearningSession<ChainEngine>.
+#ifndef QLEARN_RLEARN_INTERACTIVE_CHAIN_H_
+#define QLEARN_RLEARN_INTERACTIVE_CHAIN_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "rlearn/chain_learner.h"
+#include "session/session.h"
+
+namespace qlearn {
+namespace rlearn {
+
+/// Labels candidate paths; backed by a hidden goal in benchmarks.
+class ChainOracle {
+ public:
+  virtual ~ChainOracle() = default;
+  virtual bool IsPositive(const JoinChain& chain,
+                          const ChainExample& example) = 0;
+};
+
+/// Oracle defined by a hidden goal chain mask.
+class GoalChainOracle : public ChainOracle {
+ public:
+  explicit GoalChainOracle(ChainMask goal) : goal_(std::move(goal)) {}
+  bool IsPositive(const JoinChain& chain, const ChainExample& example) override {
+    return ChainSatisfied(chain, goal_, example);
+  }
+
+ private:
+  ChainMask goal_;
+};
+
+/// Question-selection strategies for the interactive chain session.
+enum class ChainStrategy {
+  kRandom,      ///< uniform over informative paths
+  kSplitHalf,   ///< maximize candidate-pair eliminations per answer
+};
+
+struct InteractiveChainOptions {
+  ChainStrategy strategy = ChainStrategy::kSplitHalf;
+  uint64_t seed = session::SessionDefaults::kLegacyChainSeed;
+  /// Cap on enumerated candidate paths (the full product can explode).
+  size_t max_candidates = 20000;
+  size_t max_questions = session::SessionDefaults::kMaxQuestions;
+};
+
+struct InteractiveChainResult {
+  /// One non-empty mask per chain edge: the most specific hypothesis
+  /// consistent with all answers (on conflict, the last consistent one).
+  ChainMask learned;
+  size_t questions = 0;
+  size_t forced_positive = 0;
+  size_t forced_negative = 0;
+  size_t candidate_paths = 0;
+  /// Non-zero when the oracle contradicted the version space (goal outside
+  /// the chain-hypothesis class).
+  size_t conflicts = 0;
+};
+
+/// Session engine over (a capped row-major enumeration of) all tuple paths
+/// of the chain. Questions are ChainExamples; the version space settles
+/// uninformative paths after every answer. `chain` must outlive the engine.
+class ChainEngine {
+ public:
+  using Item = ChainExample;
+  using HypothesisT = ChainMask;
+
+  explicit ChainEngine(const JoinChain* chain,
+                       const InteractiveChainOptions& options = {});
+
+  std::optional<Item> SelectQuestion(common::Rng* rng);
+  void MarkAsked(const Item& item);
+  void Observe(const Item& item, bool positive, session::SessionStats* stats);
+  void Propagate(session::SessionStats* stats);
+  /// True once an answer contradicted the version space (target outside the
+  /// chain-of-joins hypothesis class).
+  bool Aborted() const { return aborted_; }
+  /// Most specific hypothesis after the last consistent answer — never the
+  /// post-conflict vector, which can violate the "one non-empty mask per
+  /// edge" ChainMask invariant.
+  HypothesisT Current() const { return last_consistent_; }
+  HypothesisT Finish(session::SessionStats* stats);
+
+  size_t candidate_paths() const { return candidates_.size(); }
+  const ChainExample& candidate(size_t k) const { return candidates_[k]; }
+  const JoinChain& chain() const { return *chain_; }
+
+  // Introspection for conformance tests and UIs. Paths without a candidate
+  // slot (malformed or beyond the candidate cap) were never considered and
+  // report false.
+  bool WasAsked(const Item& item) const;
+  bool HasForcedLabel(const Item& item) const;
+
+ private:
+  std::optional<size_t> IndexOf(const Item& item) const;
+
+  const JoinChain* chain_;
+  ChainStrategy strategy_;
+  std::vector<ChainExample> candidates_;  // row-major, capped
+  std::vector<bool> settled_;
+  std::vector<bool> asked_;
+  ChainVersionSpace vs_;
+  ChainMask last_consistent_;
+  bool aborted_ = false;
+};
+
+/// Runs the protocol over (a capped enumeration of) all tuple paths of the
+/// chain. Stops when every path is labeled or uninformative. Thin wrapper
+/// over session::LearningSession<ChainEngine>; question counts are
+/// identical to driving the engine one question at a time.
+common::Result<InteractiveChainResult> RunInteractiveChainSession(
+    const JoinChain& chain, ChainOracle* oracle,
+    const InteractiveChainOptions& options = {});
+
+}  // namespace rlearn
+}  // namespace qlearn
+
+#endif  // QLEARN_RLEARN_INTERACTIVE_CHAIN_H_

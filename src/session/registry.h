@@ -12,9 +12,9 @@
 //   }
 //   s.value()->Finish();
 //
-// Built-in scenarios ("twig", "join", "path") carry a small synthetic
-// dataset and a hidden goal query, so they can also self-answer via
-// OracleLabels() — useful for demos, smoke tests, and load generation.
+// Built-in scenarios ("twig", "join", "chain", "path") carry a small
+// synthetic dataset and a hidden goal query, so they can also self-answer
+// via OracleLabels() — useful for demos, smoke tests, and load generation.
 #ifndef QLEARN_SESSION_REGISTRY_H_
 #define QLEARN_SESSION_REGISTRY_H_
 
@@ -86,8 +86,8 @@ class ScenarioRegistry {
   std::vector<std::pair<ScenarioInfo, Factory>> entries_;
 };
 
-/// Registers the built-in "twig", "join", and "path" demo scenarios on the
-/// global registry. Idempotent.
+/// Registers the built-in "twig", "join", "chain", and "path" demo
+/// scenarios on the global registry. Idempotent.
 void RegisterBuiltinScenarios();
 
 }  // namespace session

@@ -1,9 +1,10 @@
-// Built-in demo scenarios for the ScenarioRegistry: one per data model,
+// Built-in demo scenarios for the ScenarioRegistry: one per paper scenario,
 // each carrying a small synthetic dataset and a hidden goal query so the
 // session can be driven by a human (Answer) or self-answered
-// (OracleLabels). These mirror the setups of the E1/E6/E7 experiments at
-// demo scale.
+// (OracleLabels). These mirror the setups of the E1/E6/E7/E12 experiments
+// at demo scale.
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "graph/geo_generator.h"
 #include "learn/interactive.h"
 #include "relational/generator.h"
+#include "rlearn/interactive_chain.h"
 #include "rlearn/interactive_join.h"
 #include "session/registry.h"
 #include "session/session.h"
@@ -233,6 +235,68 @@ Result<std::unique_ptr<ScenarioSession>> MakeJoinScenario(
 }
 
 // ---------------------------------------------------------------------------
+// "chain": customers ⋈ orders ⋈ products, hidden foreign-key goal
+// customers.cid = orders.cid AND orders.pid = products.pid.
+
+struct ChainContext {
+  std::vector<relational::Relation> relations;
+  std::optional<rlearn::JoinChain> chain;
+  rlearn::ChainMask goal;
+};
+
+Result<std::unique_ptr<ScenarioSession>> MakeChainScenario(
+    const SessionOptions& options) {
+  auto context = std::make_shared<ChainContext>();
+  context->relations = relational::TinyStoreChainRelations();
+
+  std::vector<const relational::Relation*> pointers;
+  for (const relational::Relation& r : context->relations) {
+    pointers.push_back(&r);
+  }
+  auto chain = rlearn::JoinChain::Create(std::move(pointers));
+  if (!chain.ok()) return chain.status();
+  context->chain = std::move(chain).value();
+
+  // Goal: on each edge the name-equal attribute pair (cid=cid, pid=pid).
+  context->goal = rlearn::NaturalChainGoal(*context->chain);
+  for (const rlearn::PairMask mask : context->goal) {
+    if (mask == 0) {
+      return Status::Internal("chain scenario edge has no name-equal pair");
+    }
+  }
+
+  LearningSession<rlearn::ChainEngine> session(
+      rlearn::ChainEngine(&*context->chain, {}), options);
+  ChainContext* ctx = context.get();
+  return std::unique_ptr<ScenarioSession>(
+      new TypedScenarioSession<rlearn::ChainEngine>(
+          context, std::move(session),
+          [ctx](const rlearn::ChainExample& example) {
+            return rlearn::ChainSatisfied(*ctx->chain, ctx->goal, example);
+          },
+          [ctx](const rlearn::ChainExample& example) {
+            std::string text = "is this tuple path in the chain join?";
+            for (size_t i = 0; i < ctx->chain->length(); ++i) {
+              const relational::Relation& r = ctx->chain->relation(i);
+              text += " " + r.schema().name() + "#" +
+                      std::to_string(example.rows[i]) + " " +
+                      TupleText(r.row(example.rows[i]));
+            }
+            return text;
+          },
+          [ctx](const rlearn::ChainMask& hypothesis) {
+            std::string text;
+            for (size_t e = 0; e < hypothesis.size(); ++e) {
+              if (!text.empty()) text += " AND ";
+              text += ctx->chain->universe(e).MaskToString(
+                  hypothesis[e], ctx->chain->relation(e).schema(),
+                  ctx->chain->relation(e + 1).schema());
+            }
+            return text;
+          }));
+}
+
+// ---------------------------------------------------------------------------
 // "path": generated road network, hidden goal highway+.
 
 struct PathContext {
@@ -306,6 +370,10 @@ void RegisterBuiltinScenarios() {
         {"join", "relational equi-join predicate over tuple pairs "
                  "(Section 3, E6)"},
         MakeJoinScenario);
+    (void)registry->Register(
+        {"chain", "chain of equi-joins along a foreign-key path "
+                  "(Section 3, E12)"},
+        MakeChainScenario);
     (void)registry->Register(
         {"path", "graph path query on a road network (Section 3, E7)"},
         MakePathScenario);

@@ -1,8 +1,9 @@
 // Unified interactive learning-session layer.
 //
-// The paper's three interactive scenarios — XML twigs (Section 2),
-// relational joins (Section 3), and graph path queries (Section 3) — run
-// the *same* protocol: propose an informative item, ask the oracle,
+// The paper's four interactive scenarios — XML twigs (Section 2),
+// relational joins and chains of joins (Section 3), and graph path queries
+// (Section 3) — run the *same* protocol: propose an informative item, ask
+// the oracle,
 // propagate the labels of uninformative items so they are never asked,
 // refine the most-specific hypothesis, repeat. This header captures that
 // protocol once:
@@ -20,12 +21,12 @@
 //                        throughput.
 //
 // The legacy one-shot entry points (learn::RunInteractiveTwigSession,
-// rlearn::RunInteractiveJoinSession, glearn::RunInteractivePathSession) are
-// thin wrappers over this driver and keep their historical question
-// sequences bit-for-bit.
+// rlearn::RunInteractiveJoinSession, rlearn::RunInteractiveChainSession,
+// glearn::RunInteractivePathSession) are thin wrappers over this driver and
+// keep their historical question sequences bit-for-bit.
 //
 // Engine concept (see learn::TwigEngine, rlearn::JoinEngine,
-// glearn::PathEngine for the three implementations):
+// rlearn::ChainEngine, glearn::PathEngine for the four implementations):
 //
 //   using Item = ...;         // what one question is about
 //   using HypothesisT = ...;  // what is being learned
@@ -80,7 +81,7 @@ struct SessionStats {
 
 /// Central home of the session default constants. The unified API uses
 /// kSeed/kMaxQuestions; the kLegacy* values preserve the historical
-/// per-scenario defaults (7/11/13) that the compatibility wrappers and
+/// per-scenario defaults (7/11/13/17) that the compatibility wrappers and
 /// their options structs must keep for bit-identical replay of the seed
 /// experiments.
 struct SessionDefaults {
@@ -90,6 +91,7 @@ struct SessionDefaults {
   static constexpr uint64_t kLegacyTwigSeed = 7;
   static constexpr uint64_t kLegacyJoinSeed = 11;
   static constexpr uint64_t kLegacyPathSeed = 13;
+  static constexpr uint64_t kLegacyChainSeed = 17;
   static constexpr size_t kLegacyTwigMaxQuestions = 100000;
 };
 

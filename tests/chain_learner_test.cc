@@ -7,8 +7,11 @@
 #include <set>
 #include <vector>
 
+#include "relational/generator.h"
 #include "relational/relation.h"
 #include "rlearn/chain_learner.h"
+#include "rlearn/interactive_chain.h"
+#include "session/session.h"
 
 namespace qlearn {
 namespace rlearn {
@@ -20,30 +23,18 @@ using relational::RelationSchema;
 using relational::Value;
 using relational::ValueType;
 
-/// Three tiny relations forming a classic FK chain:
-///   customers(cid) -- orders(cid, pid) -- products(pid)
+/// Three tiny relations forming a classic FK chain (the shared
+/// relational::TinyStoreChainRelations instance):
+///   customers(cid, city): (1,10), (2,20), (3,10)
+///   orders(cid, pid):     (1,7), (2,8), (3,7), (9,9) — the last dangles
+///   products(pid, cat):   (7,100), (8,200), (9,100)
 class ChainFixture : public ::testing::Test {
  protected:
   void SetUp() override {
-    customers_ = Relation(RelationSchema(
-        "customers", {{"cid", ValueType::kInt}, {"city", ValueType::kInt}}));
-    orders_ = Relation(RelationSchema(
-        "orders", {{"cid", ValueType::kInt}, {"pid", ValueType::kInt}}));
-    products_ = Relation(RelationSchema(
-        "products", {{"pid", ValueType::kInt}, {"cat", ValueType::kInt}}));
-    // customers: (1, 10), (2, 20), (3, 10)
-    Ins(&customers_, {1, 10});
-    Ins(&customers_, {2, 20});
-    Ins(&customers_, {3, 10});
-    // orders: (1, 7), (2, 8), (3, 7), (9, 9)  — the last is dangling
-    Ins(&orders_, {1, 7});
-    Ins(&orders_, {2, 8});
-    Ins(&orders_, {3, 7});
-    Ins(&orders_, {9, 9});
-    // products: (7, 100), (8, 200), (9, 100)
-    Ins(&products_, {7, 100});
-    Ins(&products_, {8, 200});
-    Ins(&products_, {9, 100});
+    std::vector<Relation> rels = relational::TinyStoreChainRelations();
+    customers_ = std::move(rels[0]);
+    orders_ = std::move(rels[1]);
+    products_ = std::move(rels[2]);
   }
 
   static void Ins(Relation* r, std::vector<int64_t> vals) {
@@ -268,6 +259,153 @@ TEST_F(ChainFixture, CandidateCapRespected) {
   auto result = RunInteractiveChainSession(chain, &oracle, options);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value().candidate_paths, 5u);
+}
+
+TEST_F(ChainFixture, IntrospectionBeyondCandidateCapReportsNoLabel) {
+  const JoinChain chain = Chain();
+  InteractiveChainOptions options;
+  options.max_candidates = 5;
+  ChainEngine engine(&chain, options);
+  // The last path of the 3x4x3 product is far past the 5-candidate cap; it
+  // was never considered, so it carries no asked/forced state (and must not
+  // index past the candidate vectors).
+  const ChainExample beyond{{2, 3, 2}};
+  EXPECT_FALSE(engine.WasAsked(beyond));
+  EXPECT_FALSE(engine.HasForcedLabel(beyond));
+  // Malformed paths have no candidate slot either: an out-of-range row
+  // must not alias another candidate via mixed-radix wraparound, and a
+  // wrong-arity row vector must not be indexed at all.
+  const ChainExample out_of_range{{0, 5, 0}};
+  EXPECT_FALSE(engine.WasAsked(out_of_range));
+  EXPECT_FALSE(engine.HasForcedLabel(out_of_range));
+  const ChainExample wrong_arity{{0, 0}};
+  EXPECT_FALSE(engine.WasAsked(wrong_arity));
+  EXPECT_FALSE(engine.HasForcedLabel(wrong_arity));
+}
+
+// --- Bug regressions ---
+
+TEST_F(ChainFixture, EvaluateChainLimitIsOrderPreserving) {
+  const JoinChain chain = Chain();
+  // The capped result is the row-major prefix of the uncapped one.
+  const std::vector<ChainExample> all = EvaluateChain(chain, FkGoal(chain));
+  const std::vector<ChainExample> capped =
+      EvaluateChain(chain, FkGoal(chain), 2);
+  ASSERT_EQ(capped.size(), 2u);
+  EXPECT_EQ(capped[0].rows, all[0].rows);
+  EXPECT_EQ(capped[1].rows, all[1].rows);
+}
+
+TEST(ChainEvaluate, LimitBoundsWorkOnAllAgreePermissiveChains) {
+  // Four relations whose single attribute is constant: every edge mask is
+  // satisfied by every path, so a layered (frontier-per-edge) expansion
+  // materializes rows^3 partial paths before the final edge can apply the
+  // limit. The depth-first expansion must return the capped result without
+  // visiting more than a handful of paths.
+  constexpr int kRows = 30;
+  std::vector<Relation> rels;
+  rels.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    Relation r(RelationSchema("r" + std::to_string(i),
+                              {{"a", ValueType::kInt}}));
+    for (int row = 0; row < kRows; ++row) {
+      relational::Tuple t;
+      t.push_back(Value(static_cast<int64_t>(1)));
+      ASSERT_TRUE(r.Insert(std::move(t)).ok());
+    }
+    rels.push_back(std::move(r));
+  }
+  auto chain_or =
+      JoinChain::Create({&rels[0], &rels[1], &rels[2], &rels[3]});
+  ASSERT_TRUE(chain_or.ok());
+  const JoinChain& chain = chain_or.value();
+  ChainMask all_agree;
+  for (size_t e = 0; e < chain.num_edges(); ++e) {
+    all_agree.push_back(chain.universe(e).FullMask());
+  }
+  const std::vector<ChainExample> capped = EvaluateChain(chain, all_agree, 5);
+  ASSERT_EQ(capped.size(), 5u);
+  // Row-major order: the cap returns the lexicographically first paths.
+  EXPECT_EQ(capped[0].rows, (std::vector<size_t>{0, 0, 0, 0}));
+  EXPECT_EQ(capped[4].rows, (std::vector<size_t>{0, 0, 0, 4}));
+}
+
+TEST_F(ChainFixture, ConflictKeepsLastConsistentHypothesis) {
+  // Two positives that share no agreement on edge 0 empty θ*_0 out. The
+  // engine must abort and keep reporting the last consistent θ* — the raw
+  // post-conflict vector would violate the one-non-empty-mask-per-edge
+  // ChainMask invariant.
+  const JoinChain chain = Chain();
+  ChainEngine engine(&chain, {});
+  session::SessionStats stats;
+  const ChainExample first{{0, 0, 0}};
+  engine.MarkAsked(first);
+  engine.Observe(first, true, &stats);
+  ASSERT_FALSE(engine.Aborted());
+  const ChainMask before_conflict = engine.Current();
+
+  // Customer 2's row agrees with order (1,7) on nothing.
+  const ChainExample contradiction{{1, 0, 0}};
+  engine.MarkAsked(contradiction);
+  engine.Observe(contradiction, true, &stats);
+  EXPECT_TRUE(engine.Aborted());
+  EXPECT_EQ(stats.conflicts, 1u);
+  EXPECT_EQ(engine.Current(), before_conflict);
+  EXPECT_EQ(engine.Finish(&stats), before_conflict);
+  ASSERT_EQ(before_conflict.size(), chain.num_edges());
+  for (const PairMask mask : before_conflict) EXPECT_NE(mask, 0u);
+}
+
+TEST(ChainSplitHalf, ScorerSurvivesAllNegativeSplitScores) {
+  // Five relations, universes of size 1/1/1/3. After one positive, θ* is a
+  // single pair on the first three edges, so every informative path keeps
+  // all of those odd-sized masks and scores -1 per edge: all split scores
+  // are below the old `best_primary = -1` sentinel, which silently degraded
+  // selection to informative[0]. The fixed scorer must pick the argmax.
+  std::vector<Relation> rels;
+  rels.reserve(5);
+  for (int i = 0; i < 4; ++i) {
+    Relation r(RelationSchema("r" + std::to_string(i),
+                              {{"a", ValueType::kInt}}));
+    relational::Tuple t;
+    t.push_back(Value(static_cast<int64_t>(1)));
+    ASSERT_TRUE(r.Insert(std::move(t)).ok());
+    rels.push_back(std::move(r));
+  }
+  Relation last(RelationSchema("r4", {{"x", ValueType::kInt},
+                                      {"y", ValueType::kInt},
+                                      {"z", ValueType::kInt}}));
+  for (auto [x, y, z] : {std::tuple<int64_t, int64_t, int64_t>{1, 1, 1},
+                         {1, 1, 9},
+                         {1, 8, 9}}) {
+    relational::Tuple t;
+    t.push_back(Value(x));
+    t.push_back(Value(y));
+    t.push_back(Value(z));
+    ASSERT_TRUE(last.Insert(std::move(t)).ok());
+  }
+  rels.push_back(std::move(last));
+  auto chain_or = JoinChain::Create(
+      {&rels[0], &rels[1], &rels[2], &rels[3], &rels[4]});
+  ASSERT_TRUE(chain_or.ok());
+  const JoinChain& chain = chain_or.value();
+  ASSERT_EQ(chain.num_edges(), 4u);
+  ASSERT_EQ(chain.universe(3).size(), 3u);
+
+  ChainEngine engine(&chain, {});  // kSplitHalf
+  session::SessionStats stats;
+  common::Rng rng(1);
+  const ChainExample positive{{0, 0, 0, 0, 0}};  // agrees on all pairs
+  engine.MarkAsked(positive);
+  engine.Observe(positive, true, &stats);
+  ASSERT_FALSE(engine.Aborted());
+  engine.Propagate(&stats);
+
+  // Remaining informative paths: (...,1) keeps 2 of θ*_3 (split -3) and
+  // (...,2) keeps 1 of θ*_3 (split -2, the even split of 3 — the argmax).
+  const auto question = engine.SelectQuestion(&rng);
+  ASSERT_TRUE(question.has_value());
+  EXPECT_EQ(question->rows, (std::vector<size_t>{0, 0, 0, 0, 2}));
 }
 
 // --- Longer chains ---

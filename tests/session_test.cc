@@ -16,6 +16,8 @@
 #include "graph/graph.h"
 #include "learn/interactive.h"
 #include "relational/generator.h"
+#include "relational/relation.h"
+#include "rlearn/interactive_chain.h"
 #include "rlearn/interactive_join.h"
 #include "session/registry.h"
 #include "session/session.h"
@@ -37,6 +39,8 @@ static_assert(learn::InteractiveTwigOptions{}.seed ==
               SessionDefaults::kLegacyTwigSeed);
 static_assert(rlearn::InteractiveJoinOptions{}.seed ==
               SessionDefaults::kLegacyJoinSeed);
+static_assert(rlearn::InteractiveChainOptions{}.seed ==
+              SessionDefaults::kLegacyChainSeed);
 static_assert(glearn::InteractivePathOptions{}.seed ==
               SessionDefaults::kLegacyPathSeed);
 static_assert(SessionOptions{}.seed == SessionDefaults::kSeed);
@@ -310,6 +314,222 @@ TEST_F(JoinSessionFixture, BatchedQuestionsConverge) {
 }
 
 // ---------------------------------------------------------------------------
+// Chain scenario fixture: a 3-relation FK-style chain r0 -- r1 -- r2 with
+// r_i.fk joining r_{i+1}.key (the E12 setup at test scale).
+
+class ChainSessionFixture : public ::testing::Test {
+ protected:
+  ChainSessionFixture() {
+    relational::ChainInstanceOptions options;
+    options.seed = 1303;
+    instance_ = relational::GenerateChainInstance(options);
+    auto chain = rlearn::JoinChain::Create(instance_.pointers);
+    EXPECT_TRUE(chain.ok());
+    chain_ = std::move(chain).value();
+    goal_ = rlearn::NamePairChainGoal(*chain_, "fk", "key");
+    for (const rlearn::PairMask mask : goal_) EXPECT_NE(mask, 0u);
+  }
+
+  bool OracleAnswer(const rlearn::ChainExample& example) const {
+    return rlearn::ChainSatisfied(*chain_, goal_, example);
+  }
+
+  relational::ChainInstance instance_;
+  std::optional<rlearn::JoinChain> chain_;
+  rlearn::ChainMask goal_;
+};
+
+TEST_F(ChainSessionFixture, IncrementalDriverMatchesLegacyWrapper) {
+  for (rlearn::ChainStrategy strategy :
+       {rlearn::ChainStrategy::kRandom, rlearn::ChainStrategy::kSplitHalf}) {
+    rlearn::InteractiveChainOptions options;
+    options.strategy = strategy;
+    options.seed = 77;
+
+    rlearn::GoalChainOracle oracle(goal_);
+    auto legacy = rlearn::RunInteractiveChainSession(*chain_, &oracle,
+                                                     options);
+    ASSERT_TRUE(legacy.ok());
+
+    SessionOptions session_options;
+    session_options.seed = options.seed;
+    LearningSession<rlearn::ChainEngine> session(
+        rlearn::ChainEngine(&*chain_, options), session_options);
+    const rlearn::ChainMask learned = session.Run(
+        [&](const rlearn::ChainExample& example) {
+          return OracleAnswer(example);
+        });
+
+    EXPECT_EQ(session.stats().questions, legacy.value().questions);
+    EXPECT_EQ(session.stats().forced_positive, legacy.value().forced_positive);
+    EXPECT_EQ(session.stats().forced_negative, legacy.value().forced_negative);
+    EXPECT_EQ(session.stats().conflicts, legacy.value().conflicts);
+    EXPECT_EQ(learned, legacy.value().learned);
+    // Every candidate path is asked or forced, never both.
+    EXPECT_EQ(session.stats().questions + session.stats().forced_positive +
+                  session.stats().forced_negative,
+              session.engine().candidate_paths());
+  }
+}
+
+TEST_F(ChainSessionFixture, ForcedPathsAreNeverAsked) {
+  LearningSession<rlearn::ChainEngine> session(
+      rlearn::ChainEngine(&*chain_, {}));
+  session.Run([&](const rlearn::ChainExample& example) {
+    return OracleAnswer(example);
+  });
+  EXPECT_GT(session.stats().forced_positive + session.stats().forced_negative,
+            0u);
+  for (size_t k = 0; k < session.engine().candidate_paths(); ++k) {
+    const rlearn::ChainExample& example = session.engine().candidate(k);
+    EXPECT_FALSE(session.engine().WasAsked(example) &&
+                 session.engine().HasForcedLabel(example))
+        << "candidate path " << k << " was forced and still asked";
+  }
+}
+
+TEST_F(ChainSessionFixture, BatchedQuestionsConverge) {
+  LearningSession<rlearn::ChainEngine> session(
+      rlearn::ChainEngine(&*chain_, {}));
+  size_t batches = 0;
+  for (;;) {
+    const auto batch = session.NextQuestions(4);
+    if (batch.empty()) break;
+    EXPECT_LE(batch.size(), 4u);
+    std::vector<bool> labels;
+    labels.reserve(batch.size());
+    for (const rlearn::ChainExample& example : batch) {
+      labels.push_back(OracleAnswer(example));
+    }
+    session.AnswerAll(labels);
+    ++batches;
+  }
+  const rlearn::ChainMask learned = session.Finish();
+  EXPECT_EQ(session.stats().conflicts, 0u);
+  EXPECT_GT(batches, 0u);
+  // Batched mode still learns an instance-equivalent chain predicate.
+  for (size_t k = 0; k < session.engine().candidate_paths(); ++k) {
+    const rlearn::ChainExample& example = session.engine().candidate(k);
+    EXPECT_EQ(rlearn::ChainSatisfied(*chain_, learned, example),
+              OracleAnswer(example));
+  }
+}
+
+TEST_F(ChainSessionFixture, BatchDiscardAllowsFreshQuestions) {
+  LearningSession<rlearn::ChainEngine> session(
+      rlearn::ChainEngine(&*chain_, {}));
+  const auto batch = session.NextQuestions(3);
+  ASSERT_EQ(batch.size(), 3u);
+  session.DiscardPending();
+  EXPECT_TRUE(session.pending().empty());
+  // Discarded questions stay counted and are not re-asked; a fresh
+  // question (and a full session) can follow the discard.
+  auto question = session.NextQuestion();
+  ASSERT_TRUE(question.has_value());
+  EXPECT_EQ(session.stats().questions, 4u);
+  for (const rlearn::ChainExample& discarded : batch) {
+    EXPECT_TRUE(session.engine().WasAsked(discarded));
+    EXPECT_NE(discarded.rows, question->rows);
+  }
+  session.Answer(OracleAnswer(*question));
+  while (auto q = session.NextQuestion()) {
+    session.Answer(OracleAnswer(*q));
+  }
+  session.Finish();
+  EXPECT_EQ(session.stats().conflicts, 0u);
+}
+
+// The shared tiny FK instance (customers -- orders -- products) with known
+// goal paths (0,0,0), (1,1,1), (2,2,0); used to provoke a deterministic
+// mid-batch conflict: once one FK path is answered positive, the remaining
+// FK paths are forced positive, so answering one of them negative
+// contradicts the version space.
+struct TinyChain {
+  TinyChain() : relations(relational::TinyStoreChainRelations()) {
+    auto chain_or = rlearn::JoinChain::Create(
+        {&relations[0], &relations[1], &relations[2]});
+    EXPECT_TRUE(chain_or.ok());
+    chain = std::move(chain_or).value();
+    goal = rlearn::NaturalChainGoal(*chain);
+  }
+
+  bool IsFkPath(const rlearn::ChainExample& example) const {
+    return rlearn::ChainSatisfied(*chain, goal, example);
+  }
+
+  std::vector<relational::Relation> relations;
+  std::optional<rlearn::JoinChain> chain;
+  rlearn::ChainMask goal;
+};
+
+TEST(ChainSessionConflictTest, MidBatchAbortDropsRemainingLabels) {
+  TinyChain tiny;
+  LearningSession<rlearn::ChainEngine> session(
+      rlearn::ChainEngine(&*tiny.chain, {}));
+  // Grab every informative path in one batch, then answer truthfully
+  // except for the last FK path, which we flip to negative. By the time it
+  // is observed, an earlier FK positive has forced it positive — the flip
+  // contradicts the version space mid-batch and the labels after it must
+  // be dropped.
+  const auto batch = session.NextQuestions(1000);
+  ASSERT_FALSE(batch.empty());
+  size_t last_fk = batch.size();
+  size_t fk_count = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (tiny.IsFkPath(batch[i])) {
+      last_fk = i;
+      ++fk_count;
+    }
+  }
+  ASSERT_GE(fk_count, 2u) << "batch must contain at least two FK paths";
+  std::vector<bool> labels;
+  labels.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    labels.push_back(i == last_fk ? false : tiny.IsFkPath(batch[i]));
+  }
+  session.AnswerAll(labels);
+
+  EXPECT_EQ(session.stats().conflicts, 1u);
+  EXPECT_EQ(session.stats().questions, batch.size());
+  // The session is over; the hypothesis is the last consistent θ* and
+  // keeps the one-non-empty-mask-per-edge invariant.
+  EXPECT_FALSE(session.NextQuestion().has_value());
+  const rlearn::ChainMask learned = session.Finish();
+  ASSERT_EQ(learned.size(), tiny.chain->num_edges());
+  for (const rlearn::PairMask mask : learned) EXPECT_NE(mask, 0u);
+}
+
+#ifdef NDEBUG
+TEST(ChainSessionClampTest, ShortLabelBatchIsClampedInRelease) {
+  // The asserts in AnswerAll/ObserveAll are compiled out in release
+  // builds; a mismatched label count must clamp (answer the prefix, drop
+  // the rest) instead of indexing out of bounds.
+  TinyChain tiny;
+  LearningSession<rlearn::ChainEngine> session(
+      rlearn::ChainEngine(&*tiny.chain, {}));
+  const auto batch = session.NextQuestions(3);
+  ASSERT_EQ(batch.size(), 3u);
+  session.AnswerAll({tiny.IsFkPath(batch[0])});
+  EXPECT_TRUE(session.pending().empty());
+  EXPECT_EQ(session.stats().conflicts, 0u);
+  // The clamped session continues to a clean finish.
+  while (auto q = session.NextQuestion()) {
+    session.Answer(tiny.IsFkPath(*q));
+  }
+  session.Finish();
+  EXPECT_EQ(session.stats().conflicts, 0u);
+}
+#else
+TEST(ChainSessionClampDeathTest, MismatchedLabelCountAssertsInDebug) {
+  TinyChain tiny;
+  LearningSession<rlearn::ChainEngine> session(
+      rlearn::ChainEngine(&*tiny.chain, {}));
+  ASSERT_FALSE(session.NextQuestions(2).empty());
+  EXPECT_DEATH(session.AnswerAll({}), "one label per pending item");
+}
+#endif
+
+// ---------------------------------------------------------------------------
 // Path scenario fixture (same network as the glearn tests).
 
 class PathSessionFixture : public ::testing::Test {
@@ -408,8 +628,28 @@ TEST(ScenarioRegistryTest, BuiltinScenariosAreRegistered) {
   ScenarioRegistry* registry = ScenarioRegistry::Global();
   EXPECT_TRUE(registry->Has("twig"));
   EXPECT_TRUE(registry->Has("join"));
+  EXPECT_TRUE(registry->Has("chain"));
   EXPECT_TRUE(registry->Has("path"));
-  EXPECT_GE(registry->List().size(), 3u);
+  EXPECT_GE(registry->List().size(), 4u);
+}
+
+TEST(ScenarioRegistryTest, ChainScenarioLearnsTheForeignKeyGoal) {
+  RegisterBuiltinScenarios();
+  auto created = ScenarioRegistry::Global()->Create("chain");
+  ASSERT_TRUE(created.ok());
+  ScenarioSession& session = *created.value();
+  while (auto question = session.NextQuestion()) {
+    EXPECT_NE(question->find("customers#"), std::string::npos);
+    session.Answer(session.OracleLabels()[0]);
+  }
+  session.Finish();
+  EXPECT_EQ(session.stats().conflicts, 0u);
+  // The learned chain must pin down both foreign-key hops.
+  const std::string hypothesis = session.Hypothesis();
+  EXPECT_NE(hypothesis.find("customers.cid=orders.cid"), std::string::npos)
+      << hypothesis;
+  EXPECT_NE(hypothesis.find("orders.pid=products.pid"), std::string::npos)
+      << hypothesis;
 }
 
 TEST(ScenarioRegistryTest, UnknownScenarioIsNotFound) {
