@@ -1,7 +1,8 @@
 // Micro-benchmarks (google-benchmark) for the core operators every
 // experiment rests on: twig evaluation, join execution, DME membership,
-// schema validation, path-query evaluation, and the interactive
-// session-driver overhead (unified driver vs legacy one-shot wrapper).
+// schema validation, path-query evaluation, the interactive session-driver
+// overhead (unified driver vs legacy one-shot wrapper), the session-service
+// serving overhead, and wire-format throughput.
 #include <benchmark/benchmark.h>
 
 #include "common/interner.h"
@@ -14,6 +15,8 @@
 #include "rlearn/interactive_join.h"
 #include "schema/dme.h"
 #include "schema/dms.h"
+#include "service/session_service.h"
+#include "service/wire.h"
 #include "session/session.h"
 #include "twig/twig_eval.h"
 #include "twig/twig_parser.h"
@@ -208,6 +211,57 @@ void BM_ChainSessionUnifiedDriver(benchmark::State& state) {
   state.counters["questions"] = static_cast<double>(questions);
 }
 BENCHMARK(BM_ChainSessionUnifiedDriver)->Arg(4)->Arg(8)->Arg(12);
+
+// Service-surface overhead: one full built-in scenario session per
+// iteration driven through SessionService (string handles, budget checks,
+// wire payload construction) in batches of `range(0)`. Compare against the
+// Unified-driver benchmarks above to see what the serving layer adds per
+// question; larger batches amortize the per-Ask cost.
+void BM_ServiceSessionChain(benchmark::State& state) {
+  service::SessionService svc;
+  size_t questions = 0;
+  for (auto _ : state) {
+    auto id = svc.Open("chain");
+    auto batch = svc.Ask(id.value(), static_cast<size_t>(state.range(0)));
+    while (batch.ok() && !batch.value().empty()) {
+      (void)svc.Tell(id.value(), svc.OracleLabels(id.value()).value());
+      batch = svc.Ask(id.value(), static_cast<size_t>(state.range(0)));
+    }
+    auto closed = svc.Close(id.value());
+    questions = closed.value().stats.questions;
+    benchmark::DoNotOptimize(closed.value().hypothesis.text);
+  }
+  state.counters["questions"] = static_cast<double>(questions);
+}
+BENCHMARK(BM_ServiceSessionChain)->Arg(1)->Arg(8);
+
+// Wire-format throughput: serialize + parse one ask event carrying a batch
+// of `range(0)` chain questions (the heaviest payload kind).
+void BM_WireAskEventRoundTrip(benchmark::State& state) {
+  service::wire::TranscriptEvent event;
+  event.kind = service::wire::TranscriptEvent::Kind::kAsk;
+  event.requested = static_cast<uint64_t>(state.range(0));
+  for (int i = 0; i < state.range(0); ++i) {
+    service::wire::QuestionPayload payload;
+    payload.kind = "chain";
+    payload.ids = {static_cast<uint64_t>(i), static_cast<uint64_t>(i) + 1,
+                   static_cast<uint64_t>(i) + 2};
+    payload.text = "is this tuple path in the chain join? customers#" +
+                   std::to_string(i) + " (1, 10) orders#" + std::to_string(i) +
+                   " (1, 7) products#" + std::to_string(i) + " (7, 100)";
+    event.questions.push_back(std::move(payload));
+  }
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string serialized = service::wire::Serialize(event);
+    auto parsed = service::wire::ParseEvent(serialized);
+    benchmark::DoNotOptimize(parsed.ok());
+    bytes = serialized.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_WireAskEventRoundTrip)->Arg(1)->Arg(8)->Arg(64);
 
 }  // namespace
 

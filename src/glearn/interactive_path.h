@@ -92,6 +92,14 @@ class PathEngine {
   using Item = Question;
   using HypothesisT = ConcatPattern;
 
+  /// Wire-payload hooks: the tag and the stable model-specific coordinates
+  /// of a question item — the candidate index, which is stable for the
+  /// engine's lifetime (see service/wire.h).
+  static constexpr const char* kPayloadKind = "path";
+  static std::vector<uint64_t> ItemIds(const Item& item) {
+    return {static_cast<uint64_t>(item.index)};
+  }
+
   /// `g` must outlive the engine; `seed` is a path the user already marked
   /// positive (the engine does not re-ask it).
   PathEngine(const graph::Graph* g, const graph::Path& seed,

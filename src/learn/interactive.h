@@ -84,6 +84,15 @@ class TwigEngine {
   using Item = xml::NodeId;
   using HypothesisT = twig::TwigQuery;
 
+  /// Wire-payload hooks: the tag and the stable model-specific coordinates
+  /// of a question item. The type-erased scenario layer forwards these so a
+  /// service can serialize questions without knowing the engine type (see
+  /// service/wire.h).
+  static constexpr const char* kPayloadKind = "twig";
+  static std::vector<uint64_t> ItemIds(const Item& node) {
+    return {static_cast<uint64_t>(node)};
+  }
+
   /// `doc` must outlive the engine; `seed` is a node the user already
   /// marked positive (the engine does not re-ask it).
   TwigEngine(const xml::XmlTree* doc, xml::NodeId seed,

@@ -79,6 +79,13 @@ class ChainEngine {
   using Item = ChainExample;
   using HypothesisT = ChainMask;
 
+  /// Wire-payload hooks: the tag and the stable model-specific coordinates
+  /// of a question item (see service/wire.h).
+  static constexpr const char* kPayloadKind = "chain";
+  static std::vector<uint64_t> ItemIds(const Item& item) {
+    return std::vector<uint64_t>(item.rows.begin(), item.rows.end());
+  }
+
   explicit ChainEngine(const JoinChain* chain,
                        const InteractiveChainOptions& options = {});
 

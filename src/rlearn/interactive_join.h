@@ -81,6 +81,14 @@ class JoinEngine {
   using Item = PairExample;
   using HypothesisT = PairMask;
 
+  /// Wire-payload hooks: the tag and the stable model-specific coordinates
+  /// of a question item (see service/wire.h).
+  static constexpr const char* kPayloadKind = "join";
+  static std::vector<uint64_t> ItemIds(const Item& item) {
+    return {static_cast<uint64_t>(item.left_row),
+            static_cast<uint64_t>(item.right_row)};
+  }
+
   JoinEngine(const PairUniverse* universe, const relational::Relation* left,
              const relational::Relation* right,
              const InteractiveJoinOptions& options = {});

@@ -1,0 +1,220 @@
+#include "service/session_service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace qlearn {
+namespace service {
+
+namespace {
+
+using common::Result;
+
+double ElapsedSeconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+}  // namespace
+
+SessionService::SessionService(session::ScenarioRegistry* registry)
+    : registry_(registry) {
+  if (registry_ == nullptr) {
+    session::RegisterBuiltinScenarios();
+    registry_ = session::ScenarioRegistry::Global();
+  }
+}
+
+Result<std::string> SessionService::Open(const std::string& scenario,
+                                         const OpenOptions& options) {
+  if (options.budget.max_pending == 0) {
+    // A session that may never serve a question would look converged on
+    // the first Ask; refuse the budget up front instead.
+    return common::Status::InvalidArgument("budget.max_pending must be > 0");
+  }
+  session::SessionOptions session_options;
+  session_options.seed = options.seed;
+  // The underlying session enforces the same cap, so even a caller that
+  // bypasses this service's accounting cannot overrun the budget.
+  session_options.max_questions =
+      static_cast<size_t>(std::min<uint64_t>(options.budget.max_questions,
+                                             SIZE_MAX));
+  QLEARN_ASSIGN_OR_RETURN(std::unique_ptr<session::ScenarioSession> created,
+                          registry_->Create(scenario, session_options));
+
+  auto entry = std::make_shared<Entry>();
+  entry->session = std::move(created);
+  entry->scenario = scenario;
+  entry->budget = options.budget;
+  entry->opened_at = std::chrono::steady_clock::now();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Zero-padded to the full uint64 width so the lexicographic map order
+  // (and thus ListOpen) is open order for every possible counter value.
+  char id[32];
+  std::snprintf(id, sizeof(id), "s-%020llu",
+                static_cast<unsigned long long>(next_id_++));
+  sessions_.emplace(id, std::move(entry));
+  return std::string(id);
+}
+
+std::shared_ptr<SessionService::Entry> SessionService::Find(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Result<std::vector<wire::QuestionPayload>> SessionService::Ask(
+    const std::string& id, size_t k) {
+  auto entry = Find(id);
+  if (entry == nullptr) {
+    return common::Status::NotFound("unknown session: " + id);
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (entry->closed) {
+    return common::Status::NotFound("session already closed: " + id);
+  }
+  if (entry->pending > 0) {
+    return common::Status::FailedPrecondition(
+        "session " + id + " has " + std::to_string(entry->pending) +
+        " unanswered question(s); Tell first");
+  }
+  if (k == 0) {
+    return common::Status::InvalidArgument("Ask needs k > 0");
+  }
+  const SessionBudget& budget = entry->budget;
+  if (budget.max_wall_seconds > 0 &&
+      ElapsedSeconds(entry->opened_at) > budget.max_wall_seconds) {
+    entry->budget_exhausted = true;
+    return common::Status::ResourceExhausted(
+        "session " + id + " exceeded its wall-clock budget of " +
+        std::to_string(budget.max_wall_seconds) + "s");
+  }
+  const uint64_t asked = entry->session->stats().questions;
+  if (asked >= budget.max_questions) {
+    entry->budget_exhausted = true;
+    return common::Status::ResourceExhausted(
+        "session " + id + " exhausted its question budget of " +
+        std::to_string(budget.max_questions));
+  }
+  // Clamp the batch to both budgets; a batch truncated mid-Ask by the
+  // question budget is still served (the refusal comes on the next Ask).
+  k = std::min<uint64_t>(k, budget.max_questions - asked);
+  k = std::min(k, budget.max_pending);
+
+  const std::vector<std::string> texts = entry->session->NextQuestions(k);
+  const std::vector<std::vector<uint64_t>> ids = entry->session->PendingIds();
+  const std::string kind = entry->session->PayloadKind();
+  std::vector<wire::QuestionPayload> payloads;
+  payloads.reserve(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    wire::QuestionPayload payload;
+    payload.kind = kind;
+    if (i < ids.size()) payload.ids = ids[i];
+    payload.text = texts[i];
+    payloads.push_back(std::move(payload));
+  }
+  entry->pending = payloads.size();
+  return payloads;
+}
+
+common::Status SessionService::Tell(const std::string& id,
+                                    const std::vector<bool>& labels) {
+  auto entry = Find(id);
+  if (entry == nullptr) {
+    return common::Status::NotFound("unknown session: " + id);
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (entry->closed) {
+    return common::Status::NotFound("session already closed: " + id);
+  }
+  if (entry->pending == 0) {
+    return common::Status::FailedPrecondition(
+        "session " + id + " has no pending questions to answer");
+  }
+  if (labels.size() != entry->pending) {
+    return common::Status::InvalidArgument(
+        "session " + id + " expects " + std::to_string(entry->pending) +
+        " label(s), got " + std::to_string(labels.size()));
+  }
+  entry->session->AnswerAll(labels);
+  entry->pending = 0;
+  return common::Status::OK();
+}
+
+Result<std::vector<bool>> SessionService::OracleLabels(const std::string& id) {
+  auto entry = Find(id);
+  if (entry == nullptr) {
+    return common::Status::NotFound("unknown session: " + id);
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (entry->closed) {
+    return common::Status::NotFound("session already closed: " + id);
+  }
+  if (entry->pending == 0) {
+    return common::Status::FailedPrecondition(
+        "session " + id + " has no pending questions to label");
+  }
+  return entry->session->OracleLabels();
+}
+
+Result<SessionStatus> SessionService::Status(const std::string& id) const {
+  auto entry = Find(id);
+  if (entry == nullptr) {
+    return common::Status::NotFound("unknown session: " + id);
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (entry->closed) {
+    return common::Status::NotFound("session already closed: " + id);
+  }
+  SessionStatus status;
+  status.id = id;
+  status.scenario = entry->scenario;
+  status.stats = entry->session->stats();
+  status.pending = entry->pending;
+  status.budget_exhausted = entry->budget_exhausted;
+  status.hypothesis = entry->session->Hypothesis();
+  return status;
+}
+
+Result<CloseResult> SessionService::Close(const std::string& id) {
+  auto entry = Find(id);
+  if (entry == nullptr) {
+    return common::Status::NotFound("unknown session: " + id);
+  }
+  CloseResult result;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->closed) {
+      return common::Status::NotFound("session already closed: " + id);
+    }
+    entry->session->Finish();
+    entry->pending = 0;
+    entry->closed = true;
+    result.hypothesis.kind = entry->session->PayloadKind();
+    result.hypothesis.text = entry->session->Hypothesis();
+    result.stats = entry->session->stats();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.erase(id);
+  return result;
+}
+
+std::vector<std::string> SessionService::ListOpen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, unused] : sessions_) ids.push_back(id);
+  return ids;
+}
+
+size_t SessionService::OpenCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace service
+}  // namespace qlearn

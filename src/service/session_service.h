@@ -1,0 +1,144 @@
+// SessionService: many concurrent interactive learning sessions behind
+// string handles, with per-session budgets enforced by the service.
+//
+// This is the serving layer over the ScenarioRegistry front door: callers
+// (an RPC handler, a crowd dispatcher, a demo CLI) speak scenario names,
+// session ids, and wire payloads — never engine types. One service call
+// maps to one protocol step:
+//
+//   SessionService service;
+//   auto id = service.Open("join", {});
+//   while (true) {
+//     auto batch = service.Ask(id.value(), /*k=*/8);     // wire payloads
+//     if (!batch.ok() || batch.value().empty()) break;
+//     service.Tell(id.value(), LabelsFromUser(batch.value()));
+//   }
+//   auto closed = service.Close(id.value());             // final hypothesis
+//
+// Budgets (SessionBudget) are enforced here rather than by each caller:
+// the question budget clamps a batch mid-Ask and then refuses further
+// questions with ResourceExhausted; the wall-clock budget refuses questions
+// once the session has been open too long; max_pending caps how many
+// questions can be in flight at once. All failures are common::Status
+// errors — a misbehaving client (Tell after Close, mismatched label count,
+// Ask with answers outstanding) gets an error, never an assert.
+//
+// Thread-safety: all methods are safe to call from multiple threads.
+// Distinct sessions never serialize on each other's learner work (each
+// session has its own lock); calls on the same session are serialized.
+#ifndef QLEARN_SERVICE_SESSION_SERVICE_H_
+#define QLEARN_SERVICE_SESSION_SERVICE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/wire.h"
+#include "session/registry.h"
+#include "session/session.h"
+
+namespace qlearn {
+namespace service {
+
+/// Per-session resource limits, enforced by the service.
+struct SessionBudget {
+  /// Hard cap on questions served over the session's lifetime.
+  uint64_t max_questions = session::SessionDefaults::kMaxQuestions;
+  /// Cap on questions in flight in one batch; Ask(k) clamps k to this.
+  /// Must be > 0 (Open rejects a budget that could never serve a question).
+  size_t max_pending = 64;
+  /// Wall-clock allowance since Open, in seconds; 0 means unlimited. Asking
+  /// past the allowance fails with ResourceExhausted (answers to already
+  /// served questions are still accepted).
+  double max_wall_seconds = 0;
+};
+
+/// Knobs for Open: the scenario-independent session options plus budgets.
+struct OpenOptions {
+  uint64_t seed = session::SessionDefaults::kSeed;
+  SessionBudget budget;
+};
+
+/// Snapshot of one session, as reported by Status().
+struct SessionStatus {
+  std::string id;
+  std::string scenario;
+  session::SessionStats stats;
+  size_t pending = 0;            ///< questions served but not yet answered
+  bool budget_exhausted = false; ///< a budget refused further questions
+  std::string hypothesis;        ///< current rendering
+};
+
+/// What Close() returns: the final hypothesis and final counters (the
+/// learner may audit labels and minimize during Finish, so these can differ
+/// from the last Status() snapshot).
+struct CloseResult {
+  wire::HypothesisPayload hypothesis;
+  session::SessionStats stats;
+};
+
+class SessionService {
+ public:
+  /// Serves scenarios from `registry`; defaults to the global registry with
+  /// the built-in scenarios registered.
+  explicit SessionService(session::ScenarioRegistry* registry = nullptr);
+
+  /// Instantiates a session of the named scenario; returns its handle.
+  common::Result<std::string> Open(const std::string& scenario,
+                                   const OpenOptions& options = {});
+
+  /// Serves up to `k` questions (clamped to the pending and question
+  /// budgets). An empty batch means the session converged: every item is
+  /// labeled or uninformative. Fails with FailedPrecondition while a batch
+  /// is unanswered and with ResourceExhausted once a budget is hit.
+  common::Result<std::vector<wire::QuestionPayload>> Ask(const std::string& id,
+                                                         size_t k);
+
+  /// Labels the pending batch, in order. The label count must match the
+  /// pending count exactly (InvalidArgument otherwise).
+  common::Status Tell(const std::string& id, const std::vector<bool>& labels);
+
+  /// Labels the built-in goal oracle would give the pending batch — for
+  /// demos, smoke tests, and load generation against built-in scenarios.
+  common::Result<std::vector<bool>> OracleLabels(const std::string& id);
+
+  /// Snapshot of the session's counters, pending batch, and hypothesis.
+  common::Result<SessionStatus> Status(const std::string& id) const;
+
+  /// Finishes the session, returns the final hypothesis and counters, and
+  /// releases the handle (subsequent calls on it return NotFound).
+  common::Result<CloseResult> Close(const std::string& id);
+
+  /// Handles of the currently open sessions, in open order.
+  std::vector<std::string> ListOpen() const;
+  size_t OpenCount() const;
+
+ private:
+  struct Entry {
+    std::mutex mutex;  // serializes calls on this session
+    std::unique_ptr<session::ScenarioSession> session;
+    std::string scenario;
+    SessionBudget budget;
+    std::chrono::steady_clock::time_point opened_at;
+    size_t pending = 0;
+    bool budget_exhausted = false;
+    bool closed = false;
+  };
+
+  std::shared_ptr<Entry> Find(const std::string& id) const;
+
+  session::ScenarioRegistry* registry_;
+  mutable std::mutex mutex_;  // guards sessions_ and next_id_
+  std::map<std::string, std::shared_ptr<Entry>> sessions_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace service
+}  // namespace qlearn
+
+#endif  // QLEARN_SERVICE_SESSION_SERVICE_H_

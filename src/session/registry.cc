@@ -36,9 +36,33 @@ Result<std::unique_ptr<ScenarioSession>> ScenarioRegistry::Create(
     }
   }
   if (!factory) {
-    return Status::NotFound("unknown scenario: " + name);
+    return NotFoundError(name);
   }
   return factory(options);
+}
+
+Result<ScenarioInfo> ScenarioRegistry::Describe(const std::string& name) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [info, unused] : entries_) {
+      if (info.name == name) return info;
+    }
+  }
+  return NotFoundError(name);
+}
+
+Status ScenarioRegistry::NotFoundError(const std::string& name) const {
+  std::string available;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [info, unused] : entries_) {
+      if (!available.empty()) available += ", ";
+      available += info.name;
+    }
+  }
+  std::string message = "unknown scenario: " + name;
+  if (!available.empty()) message += " (available: " + available + ")";
+  return Status::NotFound(std::move(message));
 }
 
 bool ScenarioRegistry::Has(const std::string& name) const {

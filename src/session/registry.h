@@ -18,6 +18,7 @@
 #ifndef QLEARN_SESSION_REGISTRY_H_
 #define QLEARN_SESSION_REGISTRY_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -50,6 +51,15 @@ class ScenarioSession {
   /// Labels the built-in goal oracle would give the pending questions
   /// (empty when the scenario has no built-in oracle). Does not answer.
   virtual std::vector<bool> OracleLabels() = 0;
+  /// Tag of the underlying question-item type ("twig" / "join" / "chain" /
+  /// "path") — the payload discriminator a wire format serializes.
+  virtual std::string PayloadKind() const = 0;
+  /// Stable model-specific coordinates of the pending questions, in batch
+  /// order: the node id for twigs, the (left,right) row pair for joins, the
+  /// row path for chains, the candidate index for graph paths. Together
+  /// with the rendered text this is everything a service needs to serialize
+  /// a question (see service/wire.h).
+  virtual std::vector<std::vector<uint64_t>> PendingIds() const = 0;
   /// Ends the session (idempotent); Hypothesis() then renders the final
   /// learned query.
   virtual void Finish() = 0;
@@ -74,14 +84,21 @@ class ScenarioRegistry {
 
   /// Registers a scenario; fails on duplicate names.
   common::Status Register(ScenarioInfo info, Factory factory);
-  /// Instantiates a fresh session of the named scenario.
+  /// Instantiates a fresh session of the named scenario. Unknown names
+  /// return NotFound (the message lists the registered scenarios).
   common::Result<std::unique_ptr<ScenarioSession>> Create(
       const std::string& name, const SessionOptions& options = {}) const;
+  /// Looks up a scenario's info without instantiating it; NotFound on an
+  /// unknown name, like Create.
+  common::Result<ScenarioInfo> Describe(const std::string& name) const;
   bool Has(const std::string& name) const;
   /// Registration-ordered scenario listing.
   std::vector<ScenarioInfo> List() const;
 
  private:
+  /// NotFound status for `name`, listing the registered scenarios.
+  common::Status NotFoundError(const std::string& name) const;
+
   mutable std::mutex mutex_;
   std::vector<std::pair<ScenarioInfo, Factory>> entries_;
 };

@@ -81,6 +81,17 @@ class TypedScenarioSession : public ScenarioSession {
 
   void Finish() override { session_.Finish(); }
 
+  std::string PayloadKind() const override { return Engine::kPayloadKind; }
+
+  std::vector<std::vector<uint64_t>> PendingIds() const override {
+    std::vector<std::vector<uint64_t>> ids;
+    ids.reserve(session_.pending().size());
+    for (const Item& item : session_.pending()) {
+      ids.push_back(Engine::ItemIds(item));
+    }
+    return ids;
+  }
+
   const SessionStats& stats() const override { return session_.stats(); }
 
   std::string Hypothesis() const override {
@@ -158,6 +169,54 @@ Result<std::unique_ptr<ScenarioSession>> MakeTwigScenario(
             }
             return "is " + path + " (node " + std::to_string(node) +
                    ") what you want?";
+          },
+          [ctx](const twig::TwigQuery& query) {
+            return query.ToString(ctx->interner);
+          }));
+}
+
+// ---------------------------------------------------------------------------
+// "twig-ambiguity": repeated-label document (the E4 ambiguity fuel — every
+// node is an "a", so twig embeddings align many ways), hidden goal
+// /a/a/a/a. The oracle's negative answers at the other depths drive the
+// consistency machinery that experiment E4 stresses with positive AND
+// negative examples.
+
+Result<std::unique_ptr<ScenarioSession>> MakeTwigAmbiguityScenario(
+    const SessionOptions& options) {
+  auto context = std::make_shared<TwigContext>();
+  auto doc = xml::ParseXml(
+      "<a><a><a><a/><a/></a><a/></a><a><a/></a></a>", &context->interner);
+  if (!doc.ok()) return doc.status();
+  context->doc = std::move(doc).value();
+  auto goal = twig::ParseTwig("/a/a/a/a", &context->interner);
+  if (!goal.ok()) return goal.status();
+  context->goal = std::move(goal).value();
+
+  xml::NodeId seed = xml::kInvalidNode;
+  for (xml::NodeId v = 0; v < context->doc.NumNodes(); ++v) {
+    if (twig::Selects(context->goal, context->doc, v)) {
+      seed = v;
+      break;
+    }
+  }
+  if (seed == xml::kInvalidNode) {
+    return Status::Internal("twig-ambiguity scenario has no positive seed");
+  }
+
+  LearningSession<learn::TwigEngine> session(
+      learn::TwigEngine(&context->doc, seed), options);
+  TwigContext* ctx = context.get();
+  return std::unique_ptr<ScenarioSession>(
+      new TypedScenarioSession<learn::TwigEngine>(
+          context, std::move(session),
+          [ctx](const xml::NodeId& node) {
+            return twig::Selects(ctx->goal, ctx->doc, node);
+          },
+          [ctx](const xml::NodeId& node) {
+            return "is node " + std::to_string(node) + " (depth " +
+                   std::to_string(ctx->doc.depth(node)) +
+                   " in the all-a document) what you want?";
           },
           [ctx](const twig::TwigQuery& query) {
             return query.ToString(ctx->interner);
@@ -366,6 +425,10 @@ void RegisterBuiltinScenarios() {
     (void)registry->Register(
         {"twig", "XML twig query over a people directory (Section 2)"},
         MakeTwigScenario);
+    (void)registry->Register(
+        {"twig-ambiguity",
+         "twig consistency over a repeated-label document (Section 2, E4)"},
+        MakeTwigAmbiguityScenario);
     (void)registry->Register(
         {"join", "relational equi-join predicate over tuple pairs "
                  "(Section 3, E6)"},

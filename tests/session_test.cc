@@ -627,10 +627,11 @@ TEST(ScenarioRegistryTest, BuiltinScenariosAreRegistered) {
   RegisterBuiltinScenarios();  // idempotent
   ScenarioRegistry* registry = ScenarioRegistry::Global();
   EXPECT_TRUE(registry->Has("twig"));
+  EXPECT_TRUE(registry->Has("twig-ambiguity"));
   EXPECT_TRUE(registry->Has("join"));
   EXPECT_TRUE(registry->Has("chain"));
   EXPECT_TRUE(registry->Has("path"));
-  EXPECT_GE(registry->List().size(), 4u);
+  EXPECT_GE(registry->List().size(), 5u);
 }
 
 TEST(ScenarioRegistryTest, ChainScenarioLearnsTheForeignKeyGoal) {
@@ -653,10 +654,51 @@ TEST(ScenarioRegistryTest, ChainScenarioLearnsTheForeignKeyGoal) {
 }
 
 TEST(ScenarioRegistryTest, UnknownScenarioIsNotFound) {
+  // Regression: every registry lookup of an unknown key must come back as
+  // a NotFound status naming the key and listing what IS registered —
+  // never a crash, and never a bare miss a caller could misread.
   RegisterBuiltinScenarios();
   auto session = ScenarioRegistry::Global()->Create("no-such-scenario");
   ASSERT_FALSE(session.ok());
   EXPECT_EQ(session.status().code(), common::StatusCode::kNotFound);
+  EXPECT_NE(session.status().message().find("no-such-scenario"),
+            std::string::npos);
+  EXPECT_NE(session.status().message().find("available:"), std::string::npos)
+      << session.status().message();
+  EXPECT_NE(session.status().message().find("twig"), std::string::npos);
+
+  auto info = ScenarioRegistry::Global()->Describe("no-such-scenario");
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(ScenarioRegistryTest, DescribeReturnsRegisteredInfo) {
+  RegisterBuiltinScenarios();
+  auto info = ScenarioRegistry::Global()->Describe("chain");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().name, "chain");
+  EXPECT_FALSE(info.value().description.empty());
+}
+
+TEST(ScenarioRegistryTest, ScenarioSessionsExposeWirePayloadHooks) {
+  RegisterBuiltinScenarios();
+  for (const ScenarioInfo& info : ScenarioRegistry::Global()->List()) {
+    auto created = ScenarioRegistry::Global()->Create(info.name);
+    ASSERT_TRUE(created.ok()) << info.name;
+    ScenarioSession& session = *created.value();
+    EXPECT_FALSE(session.PayloadKind().empty()) << info.name;
+    EXPECT_TRUE(session.PendingIds().empty()) << info.name;
+    const std::vector<std::string> batch = session.NextQuestions(3);
+    ASSERT_FALSE(batch.empty()) << info.name;
+    const std::vector<std::vector<uint64_t>> ids = session.PendingIds();
+    ASSERT_EQ(ids.size(), batch.size()) << info.name;
+    for (const std::vector<uint64_t>& item : ids) {
+      EXPECT_FALSE(item.empty()) << info.name;
+    }
+    session.AnswerAll(session.OracleLabels());
+    EXPECT_TRUE(session.PendingIds().empty()) << info.name;
+    session.Finish();
+  }
 }
 
 TEST(ScenarioRegistryTest, DuplicateRegistrationFails) {

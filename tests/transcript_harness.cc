@@ -1,0 +1,183 @@
+#include "transcript_harness.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace qlearn {
+namespace testing {
+
+namespace {
+
+using common::Result;
+using common::Status;
+using service::CloseResult;
+using service::OpenOptions;
+using service::SessionService;
+using service::wire::QuestionPayload;
+using service::wire::Serialize;
+using service::wire::TranscriptEvent;
+
+}  // namespace
+
+const std::vector<TranscriptCase>& ConformanceCases() {
+  // One case per paper experiment with an interactive-session analogue.
+  // Batch sizes differ on purpose: 1 pins the ask/answer ping-pong flow,
+  // >1 pins the batched flow (whose question sequences legitimately differ
+  // from one-at-a-time — propagation runs once per batch).
+  static const std::vector<TranscriptCase>* cases =
+      new std::vector<TranscriptCase>{
+          {"e1_twig", "twig", 7, 1},
+          {"e4_twig_ambiguity", "twig-ambiguity", 7, 1},
+          {"e6_join", "join", 7, 4},
+          {"e7_path", "path", 7, 1},
+          {"e12_chain", "chain", 7, 2},
+      };
+  return *cases;
+}
+
+Result<std::vector<TranscriptEvent>> RecordTranscript(SessionService* service,
+                                                      const TranscriptCase& c) {
+  OpenOptions options;
+  options.seed = c.seed;
+
+  std::vector<TranscriptEvent> events;
+  TranscriptEvent open;
+  open.kind = TranscriptEvent::Kind::kOpen;
+  open.scenario = c.scenario;
+  open.seed = c.seed;
+  open.max_questions = options.budget.max_questions;
+  events.push_back(std::move(open));
+
+  QLEARN_ASSIGN_OR_RETURN(const std::string id,
+                          service->Open(c.scenario, options));
+  for (;;) {
+    QLEARN_ASSIGN_OR_RETURN(const std::vector<QuestionPayload> batch,
+                            service->Ask(id, c.batch));
+    if (batch.empty()) break;
+    TranscriptEvent ask;
+    ask.kind = TranscriptEvent::Kind::kAsk;
+    ask.requested = c.batch;
+    ask.questions = batch;
+    events.push_back(std::move(ask));
+
+    QLEARN_ASSIGN_OR_RETURN(const std::vector<bool> labels,
+                            service->OracleLabels(id));
+    TranscriptEvent tell;
+    tell.kind = TranscriptEvent::Kind::kTell;
+    tell.labels = labels;
+    events.push_back(std::move(tell));
+    QLEARN_RETURN_IF_ERROR(service->Tell(id, labels));
+  }
+  QLEARN_ASSIGN_OR_RETURN(const CloseResult closed, service->Close(id));
+  TranscriptEvent close;
+  close.kind = TranscriptEvent::Kind::kClose;
+  close.hypothesis = closed.hypothesis;
+  close.stats = closed.stats;
+  events.push_back(std::move(close));
+  return events;
+}
+
+Result<std::vector<std::string>> ReplayTranscript(
+    SessionService* service, const std::vector<TranscriptEvent>& events) {
+  if (events.empty() || events[0].kind != TranscriptEvent::Kind::kOpen) {
+    return Status::InvalidArgument("transcript must start with an open event");
+  }
+  OpenOptions options;
+  options.seed = events[0].seed;
+  options.budget.max_questions = events[0].max_questions;
+  QLEARN_ASSIGN_OR_RETURN(const std::string id,
+                          service->Open(events[0].scenario, options));
+
+  std::vector<std::string> mismatches;
+  bool closed = false;
+  for (size_t i = 1; i < events.size() && mismatches.empty(); ++i) {
+    const TranscriptEvent& event = events[i];
+    const std::string where = "event #" + std::to_string(i);
+    switch (event.kind) {
+      case TranscriptEvent::Kind::kOpen:
+        (void)service->Close(id);
+        return Status::InvalidArgument("transcript has a second open event");
+      case TranscriptEvent::Kind::kAsk: {
+        auto served = service->Ask(id, event.requested);
+        if (!served.ok()) {
+          mismatches.push_back(where + ": Ask failed: " +
+                               served.status().ToString());
+          break;
+        }
+        if (served.value().size() != event.questions.size()) {
+          mismatches.push_back(
+              where + ": served " + std::to_string(served.value().size()) +
+              " question(s), transcript has " +
+              std::to_string(event.questions.size()));
+          break;
+        }
+        for (size_t j = 0; j < served.value().size(); ++j) {
+          const std::string got = Serialize(served.value()[j]);
+          const std::string want = Serialize(event.questions[j]);
+          if (got != want) {
+            mismatches.push_back(where + " question " + std::to_string(j) +
+                                 ": got " + got + ", want " + want);
+          }
+        }
+        break;
+      }
+      case TranscriptEvent::Kind::kTell: {
+        const Status status = service->Tell(id, event.labels);
+        if (!status.ok()) {
+          mismatches.push_back(where + ": Tell failed: " + status.ToString());
+        }
+        break;
+      }
+      case TranscriptEvent::Kind::kClose: {
+        auto result = service->Close(id);
+        if (!result.ok()) {
+          mismatches.push_back(where + ": Close failed: " +
+                               result.status().ToString());
+          break;
+        }
+        closed = true;
+        const std::string got_hypothesis =
+            Serialize(result.value().hypothesis);
+        const std::string want_hypothesis = Serialize(event.hypothesis);
+        if (got_hypothesis != want_hypothesis) {
+          mismatches.push_back(where + " hypothesis: got " + got_hypothesis +
+                               ", want " + want_hypothesis);
+        }
+        const std::string got_stats = Serialize(result.value().stats);
+        const std::string want_stats = Serialize(event.stats);
+        if (got_stats != want_stats) {
+          mismatches.push_back(where + " stats: got " + got_stats +
+                               ", want " + want_stats);
+        }
+        break;
+      }
+    }
+  }
+  if (!closed) (void)service->Close(id);  // release the handle on bail-out
+  return mismatches;
+}
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(QLEARN_GOLDEN_DIR) + "/" + name + ".jsonl";
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << content;
+  out.close();
+  if (!out) return Status::Internal("failed writing " + path);
+  return Status::OK();
+}
+
+}  // namespace testing
+}  // namespace qlearn

@@ -1,0 +1,73 @@
+// Golden-transcript conformance harness.
+//
+// A transcript is the full wire record of one service-driven session:
+// open, every ask/tell exchange, close (see service/wire.h). The harness
+//
+//   * records a transcript by driving a scenario through SessionService
+//     with its built-in oracle, and
+//   * replays a transcript through a fresh SessionService, asserting
+//     bit-identical question sequences and final hypotheses/stats.
+//
+// Golden transcripts for the paper experiments' scenarios (E1 twig, E4
+// twig-ambiguity, E6 join, E7 path, E12 chain) are checked in under
+// tests/golden/. Any refactor of the learners, the session layer, or the
+// wire format diffs against the paper-faithful behavior instead of
+// re-deriving it: a diff in a golden file is a behavior change that must be
+// either fixed or consciously re-golden-ed.
+//
+// Environment knobs (read by transcript_harness_test):
+//   QLEARN_TRANSCRIPT_REGEN=1   rewrite the goldens from the current build
+//   QLEARN_TRANSCRIPT_OUT=DIR   on mismatch, write the regenerated
+//                               transcript to DIR (CI uploads it as an
+//                               artifact so diffs are inspectable)
+#ifndef QLEARN_TESTS_TRANSCRIPT_HARNESS_H_
+#define QLEARN_TESTS_TRANSCRIPT_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/session_service.h"
+#include "service/wire.h"
+
+namespace qlearn {
+namespace testing {
+
+/// One conformance case: a scenario driven to completion under fixed knobs.
+struct TranscriptCase {
+  std::string name;      ///< golden file stem, e.g. "e6_join"
+  std::string scenario;  ///< ScenarioRegistry key
+  uint64_t seed;         ///< session seed (fixed for reproducibility)
+  size_t batch;          ///< k passed to every Ask
+};
+
+/// The checked-in conformance cases, mirroring experiments E1/E4/E6/E7/E12.
+const std::vector<TranscriptCase>& ConformanceCases();
+
+/// Drives `c.scenario` to completion through `service`, answering with the
+/// built-in oracle, and returns the recorded transcript.
+common::Result<std::vector<service::wire::TranscriptEvent>> RecordTranscript(
+    service::SessionService* service, const TranscriptCase& c);
+
+/// Replays `events` through `service`: re-opens the session with the
+/// recorded knobs, re-asks with the recorded batch sizes, feeds the
+/// recorded labels, and compares every served question and the final
+/// hypothesis/stats byte-for-byte. Returns human-readable mismatch
+/// descriptions; empty means conformant.
+common::Result<std::vector<std::string>> ReplayTranscript(
+    service::SessionService* service,
+    const std::vector<service::wire::TranscriptEvent>& events);
+
+/// Absolute path of a golden transcript file ("<name>.jsonl" under the
+/// checked-in golden directory).
+std::string GoldenPath(const std::string& name);
+
+common::Result<std::string> ReadFileToString(const std::string& path);
+common::Status WriteStringToFile(const std::string& path,
+                                 const std::string& content);
+
+}  // namespace testing
+}  // namespace qlearn
+
+#endif  // QLEARN_TESTS_TRANSCRIPT_HARNESS_H_

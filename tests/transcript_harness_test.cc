@@ -1,0 +1,149 @@
+// Golden-transcript conformance: the checked-in transcripts under
+// tests/golden/ pin the exact question sequences, labels, hypotheses, and
+// stats of the five paper-experiment scenarios (E1/E4/E6/E7/E12) as served
+// by SessionService. The suite fails when the current build serves
+// different bytes — i.e. when a refactor changed paper-faithful behavior.
+//
+// To re-golden intentionally:   QLEARN_TRANSCRIPT_REGEN=1 ./transcript_harness_test
+// CI artifact on mismatch:      QLEARN_TRANSCRIPT_OUT=dir (regenerated
+//                               transcripts are written there for diffing)
+#include "transcript_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "service/session_service.h"
+#include "service/wire.h"
+
+namespace qlearn {
+namespace testing {
+namespace {
+
+using service::SessionService;
+using service::wire::ParseTranscript;
+using service::wire::SerializeTranscript;
+using service::wire::TranscriptEvent;
+
+/// Records the case's transcript through a fresh service.
+std::string RecordSerialized(const TranscriptCase& c) {
+  SessionService service;
+  auto events = RecordTranscript(&service, c);
+  EXPECT_TRUE(events.ok()) << c.name << ": " << events.status().ToString();
+  if (!events.ok()) return std::string();
+  EXPECT_EQ(service.OpenCount(), 0u) << c.name << " leaked its session";
+  return SerializeTranscript(events.value());
+}
+
+TEST(TranscriptGoldenTest, CasesCoverE1E4E6E7E12) {
+  std::vector<std::string> names;
+  for (const TranscriptCase& c : ConformanceCases()) names.push_back(c.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"e1_twig", "e4_twig_ambiguity",
+                                             "e6_join", "e7_path",
+                                             "e12_chain"}));
+}
+
+TEST(TranscriptGoldenTest, CurrentBehaviorMatchesGoldenTranscripts) {
+  const char* regen = std::getenv("QLEARN_TRANSCRIPT_REGEN");
+  const char* out_dir = std::getenv("QLEARN_TRANSCRIPT_OUT");
+  for (const TranscriptCase& c : ConformanceCases()) {
+    const std::string current = RecordSerialized(c);
+    ASSERT_FALSE(current.empty()) << c.name;
+
+    if (regen != nullptr && regen[0] != '\0') {
+      ASSERT_TRUE(WriteStringToFile(GoldenPath(c.name), current).ok())
+          << c.name;
+    }
+
+    auto golden = ReadFileToString(GoldenPath(c.name));
+    ASSERT_TRUE(golden.ok())
+        << c.name << ": " << golden.status().ToString()
+        << " (run with QLEARN_TRANSCRIPT_REGEN=1 to create goldens)";
+    const bool matches = golden.value() == current;
+    EXPECT_TRUE(matches)
+        << c.name << ": current behavior diverged from the golden "
+        << "transcript " << GoldenPath(c.name)
+        << " — if intentional, re-golden with QLEARN_TRANSCRIPT_REGEN=1";
+    if (!matches && out_dir != nullptr && out_dir[0] != '\0') {
+      std::error_code ec;
+      std::filesystem::create_directories(out_dir, ec);
+      const std::string path = std::string(out_dir) + "/" + c.name + ".jsonl";
+      EXPECT_TRUE(WriteStringToFile(path, current).ok()) << path;
+    }
+  }
+}
+
+TEST(TranscriptGoldenTest, GoldenTranscriptsReplayBitIdentical) {
+  for (const TranscriptCase& c : ConformanceCases()) {
+    auto golden = ReadFileToString(GoldenPath(c.name));
+    ASSERT_TRUE(golden.ok()) << c.name << ": " << golden.status().ToString();
+
+    auto events = ParseTranscript(golden.value());
+    ASSERT_TRUE(events.ok()) << c.name << ": " << events.status().ToString();
+    // The golden file itself is canonical: parsing and re-serializing it
+    // reproduces the exact bytes on disk.
+    EXPECT_EQ(SerializeTranscript(events.value()), golden.value()) << c.name;
+
+    SessionService service;
+    auto mismatches = ReplayTranscript(&service, events.value());
+    ASSERT_TRUE(mismatches.ok())
+        << c.name << ": " << mismatches.status().ToString();
+    for (const std::string& mismatch : mismatches.value()) {
+      ADD_FAILURE() << c.name << ": " << mismatch;
+    }
+    EXPECT_EQ(service.OpenCount(), 0u) << c.name;
+  }
+}
+
+TEST(TranscriptGoldenTest, FreshRecordingReplaysCleanly) {
+  // Record→replay with no golden involved: the harness itself is sound
+  // even while goldens are being (re)generated.
+  for (const TranscriptCase& c : ConformanceCases()) {
+    SessionService record_service;
+    auto events = RecordTranscript(&record_service, c);
+    ASSERT_TRUE(events.ok()) << c.name << ": " << events.status().ToString();
+    ASSERT_GE(events.value().size(), 2u) << c.name;
+    EXPECT_EQ(events.value().front().kind, TranscriptEvent::Kind::kOpen);
+    EXPECT_EQ(events.value().back().kind, TranscriptEvent::Kind::kClose);
+
+    SessionService replay_service;
+    auto mismatches = ReplayTranscript(&replay_service, events.value());
+    ASSERT_TRUE(mismatches.ok())
+        << c.name << ": " << mismatches.status().ToString();
+    for (const std::string& mismatch : mismatches.value()) {
+      ADD_FAILURE() << c.name << ": " << mismatch;
+    }
+  }
+}
+
+TEST(TranscriptGoldenTest, TamperedTranscriptIsDetected) {
+  // The harness must actually flag divergence, not just rubber-stamp: flip
+  // one recorded label and the downstream question stream (or the final
+  // hypothesis) must mismatch.
+  const TranscriptCase& c = ConformanceCases().front();
+  SessionService record_service;
+  auto events = RecordTranscript(&record_service, c);
+  ASSERT_TRUE(events.ok());
+  bool flipped = false;
+  for (TranscriptEvent& event : events.value()) {
+    if (event.kind == TranscriptEvent::Kind::kTell && !event.labels.empty()) {
+      event.labels[0] = !event.labels[0];
+      flipped = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(flipped) << "transcript has no labels to tamper with";
+
+  SessionService replay_service;
+  auto mismatches = ReplayTranscript(&replay_service, events.value());
+  ASSERT_TRUE(mismatches.ok());
+  EXPECT_FALSE(mismatches.value().empty())
+      << "tampered transcript replayed without a single mismatch";
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace qlearn

@@ -1,0 +1,211 @@
+// Property sweeps for the service wire format: canonical round-trips
+// (Serialize(Parse(s)) == s and Parse(Serialize(p)) == p) over randomly
+// generated payloads for all four item types, random transcript events of
+// every kind, whole transcripts, and rejection of malformed input.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "service/wire.h"
+#include "session/session.h"
+
+namespace qlearn {
+namespace service {
+namespace wire {
+namespace {
+
+/// Random text covering the escaping-sensitive cases: quotes, backslashes,
+/// control characters, and plain ASCII.
+std::string RandomText(common::Rng* rng) {
+  static const char* kAtoms[] = {"a", "Z", "9", " ", "?",  "\"", "\\", "\n",
+                                 "\t", "\r", "\b", "\f", "\x01", "/", "{", "}"};
+  std::string text;
+  const size_t length = rng->Uniform(24);
+  for (size_t i = 0; i < length; ++i) {
+    text += kAtoms[rng->Index(sizeof(kAtoms) / sizeof(kAtoms[0]))];
+  }
+  return text;
+}
+
+uint64_t RandomId(common::Rng* rng) {
+  // Mix small ids (realistic rows/nodes) with full-range 64-bit values.
+  return rng->Bernoulli(0.5) ? rng->Uniform(1000) : rng->Next();
+}
+
+/// A random payload of one of the four item types, with the item type's id
+/// arity: one node for twigs, a row pair for joins, a row path for chains,
+/// a candidate index for graph paths.
+QuestionPayload RandomQuestion(common::Rng* rng) {
+  QuestionPayload payload;
+  switch (rng->Index(4)) {
+    case 0:
+      payload.kind = "twig";
+      payload.ids = {RandomId(rng)};
+      break;
+    case 1:
+      payload.kind = "join";
+      payload.ids = {RandomId(rng), RandomId(rng)};
+      break;
+    case 2: {
+      payload.kind = "chain";
+      const size_t arity = 2 + rng->Uniform(5);
+      for (size_t i = 0; i < arity; ++i) payload.ids.push_back(RandomId(rng));
+      break;
+    }
+    default:
+      payload.kind = "path";
+      payload.ids = {RandomId(rng)};
+      break;
+  }
+  payload.text = RandomText(rng);
+  return payload;
+}
+
+session::SessionStats RandomStats(common::Rng* rng) {
+  session::SessionStats stats;
+  stats.questions = rng->Uniform(100000);
+  stats.forced_positive = rng->Uniform(100000);
+  stats.forced_negative = rng->Uniform(100000);
+  stats.conflicts = rng->Uniform(3);
+  return stats;
+}
+
+TranscriptEvent RandomEvent(common::Rng* rng) {
+  TranscriptEvent event;
+  switch (rng->Index(4)) {
+    case 0:
+      event.kind = TranscriptEvent::Kind::kOpen;
+      event.scenario = RandomText(rng);
+      event.seed = RandomId(rng);
+      event.max_questions = RandomId(rng);
+      break;
+    case 1: {
+      event.kind = TranscriptEvent::Kind::kAsk;
+      event.requested = rng->Uniform(64) + 1;
+      const size_t count = rng->Uniform(5);
+      for (size_t i = 0; i < count; ++i) {
+        event.questions.push_back(RandomQuestion(rng));
+      }
+      break;
+    }
+    case 2: {
+      event.kind = TranscriptEvent::Kind::kTell;
+      const size_t count = rng->Uniform(6);
+      for (size_t i = 0; i < count; ++i) {
+        event.labels.push_back(rng->Bernoulli(0.5));
+      }
+      break;
+    }
+    default:
+      event.kind = TranscriptEvent::Kind::kClose;
+      event.hypothesis.kind = RandomText(rng);
+      event.hypothesis.text = RandomText(rng);
+      event.stats = RandomStats(rng);
+      break;
+  }
+  return event;
+}
+
+class WireRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireRoundTrip, QuestionPayloadsOfAllFourItemTypes) {
+  common::Rng rng(GetParam() * 104729 + 11);
+  for (int i = 0; i < 50; ++i) {
+    const QuestionPayload payload = RandomQuestion(&rng);
+    const std::string s = Serialize(payload);
+    auto parsed = ParseQuestionPayload(s);
+    ASSERT_TRUE(parsed.ok()) << s << ": " << parsed.status().ToString();
+    EXPECT_TRUE(parsed.value() == payload) << s;
+    // Canonical form: serializing what was parsed reproduces the bytes.
+    EXPECT_EQ(Serialize(parsed.value()), s);
+  }
+}
+
+TEST_P(WireRoundTrip, HypothesesAndStats) {
+  common::Rng rng(GetParam() * 7907 + 5);
+  for (int i = 0; i < 50; ++i) {
+    HypothesisPayload hypothesis;
+    hypothesis.kind = RandomText(&rng);
+    hypothesis.text = RandomText(&rng);
+    const std::string h = Serialize(hypothesis);
+    auto parsed_hypothesis = ParseHypothesisPayload(h);
+    ASSERT_TRUE(parsed_hypothesis.ok()) << h;
+    EXPECT_TRUE(parsed_hypothesis.value() == hypothesis);
+    EXPECT_EQ(Serialize(parsed_hypothesis.value()), h);
+
+    const session::SessionStats stats = RandomStats(&rng);
+    const std::string s = Serialize(stats);
+    auto parsed_stats = ParseStats(s);
+    ASSERT_TRUE(parsed_stats.ok()) << s;
+    EXPECT_EQ(Serialize(parsed_stats.value()), s);
+  }
+}
+
+TEST_P(WireRoundTrip, TranscriptEventsOfEveryKind) {
+  common::Rng rng(GetParam() * 6151 + 3);
+  for (int i = 0; i < 40; ++i) {
+    const TranscriptEvent event = RandomEvent(&rng);
+    const std::string s = Serialize(event);
+    auto parsed = ParseEvent(s);
+    ASSERT_TRUE(parsed.ok()) << s << ": " << parsed.status().ToString();
+    EXPECT_TRUE(parsed.value() == event) << s;
+    EXPECT_EQ(Serialize(parsed.value()), s);
+  }
+}
+
+TEST_P(WireRoundTrip, WholeTranscripts) {
+  common::Rng rng(GetParam() * 389 + 1);
+  std::vector<TranscriptEvent> events;
+  const size_t count = rng.Uniform(12);
+  for (size_t i = 0; i < count; ++i) events.push_back(RandomEvent(&rng));
+  const std::string s = SerializeTranscript(events);
+  auto parsed = ParseTranscript(s);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), events.size());
+  EXPECT_EQ(SerializeTranscript(parsed.value()), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTrip, ::testing::Range(0, 20));
+
+TEST(WireRejectionTest, MalformedInputIsParseError) {
+  const char* kMalformed[] = {
+      "",                                          // empty
+      "{",                                         // truncated
+      "{\"kind\":\"twig\",\"ids\":[1]}",           // missing key
+      "{\"kind\":\"twig\",\"ids\":[1],\"text\":\"x\",\"extra\":1}",  // unknown
+      "{\"kind\":\"twig\",\"ids\":[-1],\"text\":\"x\"}",   // negative id
+      "{\"kind\":\"twig\",\"ids\":[1.5],\"text\":\"x\"}",  // float id
+      "{\"kind\":twig,\"ids\":[1],\"text\":\"x\"}",        // bare word
+      "{\"kind\":\"twig\",\"ids\":[1],\"text\":\"x\"} junk",  // trailing
+      "{\"kind\":\"twig\",\"kind\":\"twig\",\"ids\":[1],\"text\":\"x\"}",
+      "{\"kind\":\"twig\",\"ids\":[01],\"text\":\"x\"}",   // leading zero
+      "{\"kind\":\"twig\",\"ids\":[99999999999999999999999],\"text\":\"x\"}",
+  };
+  for (const char* text : kMalformed) {
+    auto parsed = ParseQuestionPayload(text);
+    EXPECT_FALSE(parsed.ok()) << text;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), common::StatusCode::kParseError)
+          << text;
+    }
+  }
+  EXPECT_FALSE(ParseEvent("{\"event\":\"bogus\"}").ok());
+  EXPECT_FALSE(ParseTranscript("{\"event\":\"tell\",\"labels\":[]}\n{").ok());
+}
+
+TEST(WireAcceptanceTest, KeyOrderAndWhitespaceAreFlexibleOnParse) {
+  // Parsers accept any key order and surrounding whitespace; the canonical
+  // writer then normalizes.
+  auto parsed = ParseQuestionPayload(
+      " { \"text\" : \"is it?\" , \"ids\" : [ 4 ] , \"kind\" : \"twig\" } ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(Serialize(parsed.value()),
+            "{\"kind\":\"twig\",\"ids\":[4],\"text\":\"is it?\"}");
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace service
+}  // namespace qlearn
