@@ -7,8 +7,10 @@
 
 #include "common/interner.h"
 #include "common/rng.h"
+#include "glearn/interactive_path.h"
 #include "graph/geo_generator.h"
 #include "graph/path_query.h"
+#include "learn/interactive.h"
 #include "relational/generator.h"
 #include "relational/operators.h"
 #include "rlearn/interactive_chain.h"
@@ -21,6 +23,7 @@
 #include "twig/twig_eval.h"
 #include "twig/twig_parser.h"
 #include "xml/xmark.h"
+#include "xml/xml_parser.h"
 
 namespace {
 
@@ -211,6 +214,136 @@ void BM_ChainSessionUnifiedDriver(benchmark::State& state) {
   state.counters["questions"] = static_cast<double>(questions);
 }
 BENCHMARK(BM_ChainSessionUnifiedDriver)->Arg(4)->Arg(8)->Arg(12);
+
+// Selection hot path: steady-state cost of one SelectQuestion call under
+// the default greedy strategy of each engine, over growing candidate
+// counts. The engine is warmed up with a few real oracle exchanges (so the
+// hypothesis and the settled set are realistic), then SelectQuestion is
+// timed with no state change in between — exactly the per-question
+// selection cost a serving layer pays between answers. Before the shared
+// frontier, every call rescanned and rescored all open candidates; the
+// recorded before/after numbers live in BENCH_selection.json.
+template <typename Engine, typename OracleFn>
+void WarmupSelection(Engine* engine, common::Rng* rng, OracleFn oracle,
+                     int exchanges) {
+  session::SessionStats stats;
+  engine->Propagate(&stats);
+  for (int i = 0; i < exchanges; ++i) {
+    auto question = engine->SelectQuestion(rng);
+    if (!question.has_value()) break;
+    engine->MarkAsked(*question);
+    engine->Observe(*question, oracle(*question), &stats);
+    engine->Propagate(&stats);
+  }
+}
+
+void BM_SelectQuestion_Twig(benchmark::State& state) {
+  common::Interner interner;
+  // People directory with range(0) persons (~3 nodes each) — small enough
+  // that the pre-frontier O(candidates^2 * eval) greedy scan terminates.
+  std::string text = "<site><people>";
+  for (int i = 0; i < state.range(0); ++i) {
+    switch (i % 4) {
+      case 0: text += "<person><name/><age/><phone/></person>"; break;
+      case 1: text += "<person><name/></person>"; break;
+      case 2: text += "<person><name/><age/></person>"; break;
+      default: text += "<person><name/><homepage/></person>"; break;
+    }
+  }
+  text += "</people></site>";
+  const xml::XmlTree doc = xml::ParseXml(text, &interner).value();
+  auto goal = twig::ParseTwig("/site/people/person[age]/name", &interner);
+  xml::NodeId seed = xml::kInvalidNode;
+  for (xml::NodeId v = 0; v < doc.NumNodes(); ++v) {
+    if (twig::Selects(goal.value(), doc, v)) {
+      seed = v;
+      break;
+    }
+  }
+  learn::TwigEngine engine(&doc, seed);  // default kGreedyImpact
+  common::Rng rng(123);
+  WarmupSelection(&engine, &rng,
+                  [&](xml::NodeId v) {
+                    return twig::Selects(goal.value(), doc, v);
+                  },
+                  3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.SelectQuestion(&rng));
+  }
+  state.counters["candidates"] = static_cast<double>(doc.NumNodes());
+}
+BENCHMARK(BM_SelectQuestion_Twig)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_SelectQuestion_Join(benchmark::State& state) {
+  const JoinSessionSetup setup(static_cast<int>(state.range(0)));
+  rlearn::JoinEngine engine(&setup.universe, &setup.instance.left,
+                            &setup.instance.right);  // default kSplitHalf
+  rlearn::GoalJoinOracle oracle(&setup.universe, setup.goal);
+  common::Rng rng(123);
+  WarmupSelection(&engine, &rng,
+                  [&](const rlearn::PairExample& pair) {
+                    return oracle.IsPositive(
+                        setup.instance.left.row(pair.left_row),
+                        setup.instance.right.row(pair.right_row));
+                  },
+                  3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.SelectQuestion(&rng));
+  }
+  state.counters["candidates"] = static_cast<double>(engine.candidate_pairs());
+}
+BENCHMARK(BM_SelectQuestion_Join)->Arg(20)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_SelectQuestion_Chain(benchmark::State& state) {
+  const ChainSessionSetup setup(static_cast<int>(state.range(0)));
+  rlearn::ChainEngine engine(&*setup.chain, {});  // default kSplitHalf
+  common::Rng rng(123);
+  WarmupSelection(&engine, &rng,
+                  [&](const rlearn::ChainExample& example) {
+                    return rlearn::ChainSatisfied(*setup.chain, setup.goal,
+                                                  example);
+                  },
+                  3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.SelectQuestion(&rng));
+  }
+  state.counters["candidates"] = static_cast<double>(engine.candidate_paths());
+}
+BENCHMARK(BM_SelectQuestion_Chain)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_SelectQuestion_Path(benchmark::State& state) {
+  common::Interner interner;
+  graph::GeoOptions geo;
+  geo.grid_width = static_cast<int>(state.range(0));
+  geo.grid_height = static_cast<int>(state.range(0));
+  graph::Graph g = graph::GenerateGeoGraph(geo, &interner);
+  auto regex = automata::ParseRegex("highway+", &interner);
+  const graph::PathQuery goal{regex.value(), std::nullopt};
+  glearn::GoalPathOracle oracle(goal, g);
+  graph::Path seed;
+  for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (interner.Name(g.edge(e).label) == "highway") {
+      seed.start = g.edge(e).src;
+      seed.edges = {e};
+      break;
+    }
+  }
+  glearn::InteractivePathOptions options;  // default kFrontier
+  options.max_path_edges = 3;
+  options.max_candidates = 100000;
+  glearn::PathEngine engine(&g, seed, options);
+  common::Rng rng(123);
+  WarmupSelection(&engine, &rng,
+                  [&](const glearn::PathEngine::Question& question) {
+                    return oracle.IsPositive(*question.path);
+                  },
+                  3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.SelectQuestion(&rng));
+  }
+  state.counters["candidates"] = static_cast<double>(engine.candidate_paths());
+}
+BENCHMARK(BM_SelectQuestion_Path)->Arg(3)->Arg(4)->Arg(6);
 
 // Service-surface overhead: one full built-in scenario session per
 // iteration driven through SessionService (string handles, budget checks,

@@ -1,6 +1,7 @@
 #include "glearn/interactive_path.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "automata/nfa.h"
@@ -12,6 +13,14 @@ using common::Result;
 using common::Status;
 using common::SymbolId;
 using graph::Path;
+
+namespace {
+
+/// Historical sentinel of the cost-minimizing scans (best_cost = 1 << 30
+/// with strict <): negated, any real generalization cost beats it.
+constexpr long kCostSentinel = -(1L << 30);
+
+}  // namespace
 
 PathEngine::PathEngine(const graph::Graph* g, const Path& seed,
                        const InteractivePathOptions& options)
@@ -43,66 +52,75 @@ PathEngine::PathEngine(const graph::Graph* g, const Path& seed,
       }
     }
   }
+
+  // Questions point into candidates_; element pointers stay valid for the
+  // engine's lifetime, including after it is moved into a LearningSession
+  // (vector moves keep the heap buffer).
+  frontier_.Reserve(candidates_.size());
+  for (size_t k = 0; k < candidates_.size(); ++k) {
+    frontier_.Add(Question{k, &candidates_[k].path, &candidates_[k].word});
+  }
 }
 
 std::optional<PathEngine::Question> PathEngine::SelectQuestion(
     common::Rng* rng) {
-  std::vector<size_t> open;
-  for (size_t k = 0; k < candidates_.size(); ++k) {
-    if (!candidates_[k].settled) open.push_back(k);
-  }
-  if (open.empty()) return std::nullopt;
-
-  size_t pick = open[0];
+  std::optional<size_t> pick;
   switch (strategy_) {
     case PathStrategy::kRandom:
-      pick = open[rng->Index(open.size())];
+      pick = frontier_.Select(session::UniformRandomStrategy{}, rng);
       break;
-    case PathStrategy::kFrontier: {
-      int best_cost = 1 << 30;
-      for (size_t k : open) {
-        int cost = 0;
-        hypothesis_.Generalize(candidates_[k].word, &cost);
-        if (cost < best_cost) {
-          best_cost = cost;
-          pick = k;
-        }
-      }
+    case PathStrategy::kFrontier:
+      // Smallest generalization cost first; costs depend only on the
+      // hypothesis, so they stay memoized across negative answers.
+      pick = frontier_.Select(
+          session::Greedy<PathScore>(
+              PathScore{0, kCostSentinel},
+              [this](size_t k) -> std::optional<PathScore> {
+                return PathScore{0, -CostOf(k)};
+              }),
+          rng);
       break;
-    }
-    case PathStrategy::kWorkload: {
-      int best_cost = 1 << 30;
-      bool best_hit = false;
-      for (size_t k : open) {
-        int cost = 0;
-        hypothesis_.Generalize(candidates_[k].word, &cost);
-        const bool hit = candidates_[k].workload_hit;
-        // Workload matches dominate; cost breaks ties.
-        if ((hit && !best_hit) || (hit == best_hit && cost < best_cost)) {
-          best_hit = hit;
-          best_cost = cost;
-          pick = k;
-        }
-      }
+    case PathStrategy::kWorkload:
+      // Workload matches dominate; cost breaks ties.
+      pick = frontier_.Select(
+          session::Greedy<PathScore>(
+              PathScore{0, kCostSentinel},
+              [this](size_t k) -> std::optional<PathScore> {
+                return PathScore{candidates_[k].workload_hit ? 1 : 0,
+                                 -CostOf(k)};
+              }),
+          rng);
       break;
-    }
   }
-  return Question{pick, &candidates_[pick].path, &candidates_[pick].word};
+  if (!pick.has_value()) return std::nullopt;
+  return frontier_.item(*pick);
+}
+
+long PathEngine::CostOf(size_t k) {
+  const std::optional<PathScore>& memo =
+      frontier_.MemoOf(k, [this](size_t j) -> PathScore {
+        int cost = 0;
+        hypothesis_.Generalize(candidates_[j].word, &cost);
+        return PathScore{0, cost};
+      });
+  return memo->second;
 }
 
 void PathEngine::MarkAsked(const Question& item) {
-  Candidate& c = candidates_[item.index];
-  c.settled = true;
-  c.asked = true;
+  frontier_.MarkAsked(item.index);
 }
 
 void PathEngine::Observe(const Question& item, bool positive,
                          session::SessionStats* stats) {
   const Candidate& c = candidates_[item.index];
+  frontier_.MarkLabeled(item.index, positive);
   if (positive) {
     hypothesis_ = hypothesis_.Generalize(c.word);
     max_positive_weight_ =
         std::max(max_positive_weight_, graph::PathWeight(*g_, c.path));
+    // Every memoized generalization cost was computed against the old
+    // hypothesis. Negatives leave it untouched — nothing to invalidate.
+    frontier_.InvalidateAll();
   } else {
     negative_words_.push_back(c.word);
   }
@@ -117,11 +135,12 @@ void PathEngine::Observe(const Question& item, bool positive,
 }
 
 void PathEngine::Propagate(session::SessionStats* stats) {
-  for (Candidate& c : candidates_) {
-    if (c.settled) continue;
+  for (size_t k = 0; k < frontier_.size(); ++k) {
+    if (!frontier_.IsOpen(k)) continue;
+    const Candidate& c = candidates_[k];
     if (hypothesis_.Accepts(c.word)) {
       // Every consistent generalization still accepts it.
-      c.settled = true;
+      frontier_.MarkForced(k, /*positive=*/true);
       ++stats->forced_positive;
       continue;
     }
@@ -129,7 +148,7 @@ void PathEngine::Propagate(session::SessionStats* stats) {
     const ConcatPattern extended = hypothesis_.Generalize(c.word);
     for (const auto& neg : negative_words_) {
       if (extended.Accepts(neg)) {
-        c.settled = true;
+        frontier_.MarkForced(k, /*positive=*/false);
         ++stats->forced_negative;
         break;
       }

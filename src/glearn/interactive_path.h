@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "glearn/concat_pattern.h"
 #include "graph/path_query.h"
+#include "session/frontier.h"
 #include "session/session.h"
 
 namespace qlearn {
@@ -51,6 +52,12 @@ enum class PathStrategy {
   kWorkload,  ///< paths matching the historical workload first
 };
 
+/// Knob ownership contract (same split on all four engines' options
+/// structs): `strategy`, the candidate-pool knobs, and `workload` are
+/// consumed by the engine itself; `seed` and `max_questions` are consumed
+/// only by the RunInteractivePathSession wrapper, which forwards them into
+/// session::SessionOptions — an engine driven directly through
+/// LearningSession ignores them.
 struct InteractivePathOptions {
   PathStrategy strategy = PathStrategy::kFrontier;
   uint64_t seed = session::SessionDefaults::kLegacyPathSeed;
@@ -105,6 +112,14 @@ class PathEngine {
   PathEngine(const graph::Graph* g, const graph::Path& seed,
              const InteractivePathOptions& options = {});
 
+  /// Movable but not copyable: frontier Questions point into the engine's
+  /// own candidate storage (moves transfer the buffer, copies would alias
+  /// the source's and dangle once it dies).
+  PathEngine(const PathEngine&) = delete;
+  PathEngine& operator=(const PathEngine&) = delete;
+  PathEngine(PathEngine&&) = default;
+  PathEngine& operator=(PathEngine&&) = default;
+
   std::optional<Item> SelectQuestion(common::Rng* rng);
   void MarkAsked(const Item& item);
   void Observe(const Item& item, bool positive, session::SessionStats* stats);
@@ -115,28 +130,36 @@ class PathEngine {
   HypothesisT Current() const { return hypothesis_; }
   HypothesisT Finish(session::SessionStats* /*stats*/) { return hypothesis_; }
 
-  size_t candidate_paths() const { return candidates_.size(); }
+  size_t candidate_paths() const { return frontier_.size(); }
   /// Max weight among positive paths (a most-specific weight bound).
   double max_positive_weight() const { return max_positive_weight_; }
 
   // Introspection for conformance tests and UIs.
-  bool WasAsked(size_t index) const { return candidates_[index].asked; }
+  bool WasAsked(size_t index) const { return frontier_.WasAsked(index); }
   bool HasForcedLabel(size_t index) const {
-    return candidates_[index].settled && !candidates_[index].asked;
+    return frontier_.HasForcedLabel(index);
   }
 
  private:
   struct Candidate {
     graph::Path path;
     std::vector<common::SymbolId> word;
-    bool settled = false;
-    bool asked = false;
     bool workload_hit = false;
   };
 
+  /// Greedy scores are (workload-hit, -generalization-cost) pairs compared
+  /// lexicographically; kFrontier pins the hit component to 0.
+  using PathScore = std::pair<long, long>;
+  using FrontierT = session::Frontier<Question, PathScore>;
+
+  /// Memoized generalization cost of absorbing candidate `k`'s word into
+  /// the current hypothesis (stale only when the hypothesis changes).
+  long CostOf(size_t k);
+
   const graph::Graph* g_;
   PathStrategy strategy_;
-  std::vector<Candidate> candidates_;
+  std::vector<Candidate> candidates_;  // model data; states live in frontier_
+  FrontierT frontier_;
   ConcatPattern hypothesis_;
   double max_positive_weight_ = 0;
   std::vector<std::vector<common::SymbolId>> negative_words_;

@@ -10,6 +10,7 @@ namespace learn {
 
 using common::Result;
 using common::Status;
+using session::CandidateState;
 using twig::TwigQuery;
 using xml::NodeId;
 
@@ -17,10 +18,13 @@ TwigEngine::TwigEngine(const xml::XmlTree* doc, NodeId seed,
                        const InteractiveTwigOptions& options)
     : doc_(doc),
       options_(options),
-      hypothesis_(ExampleToQuery(TreeExample{doc, seed})),
-      state_(doc->NumNodes(), NodeState::kUnknown),
-      asked_(doc->NumNodes(), false) {
-  state_[seed] = NodeState::kPositive;
+      hypothesis_(ExampleToQuery(TreeExample{doc, seed})) {
+  frontier_.Reserve(doc->NumNodes());
+  for (NodeId v = 0; v < doc->NumNodes(); ++v) {
+    frontier_.Add(v);
+  }
+  // The seed is a pre-labeled positive: closed, but never "asked".
+  frontier_.MarkLabeled(seed, /*positive=*/true);
 }
 
 std::optional<TwigQuery> TwigEngine::Extended(NodeId v) const {
@@ -30,86 +34,101 @@ std::optional<TwigQuery> TwigEngine::Extended(NodeId v) const {
   return std::move(g).value();
 }
 
-std::vector<NodeId> TwigEngine::Candidates() const {
-  std::vector<NodeId> candidates;
-  for (NodeId v = 0; v < doc_->NumNodes(); ++v) {
-    if (state_[v] == NodeState::kUnknown && !asked_[v]) candidates.push_back(v);
-  }
-  return candidates;
+const std::optional<TwigEngine::SelectedSet>& TwigEngine::SelectedBy(NodeId v) {
+  return frontier_.MemoOf(v, [this](size_t k) -> std::optional<SelectedSet> {
+    auto h2 = Extended(static_cast<NodeId>(k));
+    if (!h2.has_value()) return std::nullopt;
+    twig::TwigEvaluator eval2(*h2, *doc_);
+    SelectedSet selected;  // ascending, so propagation can binary-search
+    for (NodeId u = 0; u < doc_->NumNodes(); ++u) {
+      if (eval2.Selects(u)) selected.push_back(u);
+    }
+    return selected;
+  });
 }
 
 std::optional<NodeId> TwigEngine::SelectQuestion(common::Rng* rng) {
-  const std::vector<NodeId> candidates = Candidates();
-  if (candidates.empty()) return std::nullopt;
-
-  NodeId pick = candidates[0];
+  std::optional<size_t> pick;
   if (options_.strategy == TwigStrategy::kRandom) {
-    pick = candidates[rng->Index(candidates.size())];
+    pick = frontier_.Select(session::UniformRandomStrategy{}, rng);
   } else {
     // Greedy impact: the candidate whose positive answer would settle the
-    // most currently-unknown nodes.
-    size_t best_impact = 0;
-    for (NodeId v : candidates) {
-      auto h2 = Extended(v);
-      if (!h2.has_value()) continue;
-      twig::TwigEvaluator eval2(*h2, *doc_);
-      size_t impact = 0;
-      for (NodeId u : candidates) {
-        if (eval2.Selects(u)) ++impact;
-      }
-      if (impact > best_impact) {
-        best_impact = impact;
-        pick = v;
-      }
-    }
+    // most currently-open nodes. The selected-sets are memoized per
+    // hypothesis; only the intersection with the open set is recounted.
+    pick = frontier_.Select(
+        session::Greedy<long>(
+            0,
+            [this](size_t v) -> std::optional<long> {
+              const std::optional<SelectedSet>& selected =
+                  SelectedBy(static_cast<NodeId>(v));
+              if (!selected.has_value()) return std::nullopt;
+              long impact = 0;
+              for (NodeId u : *selected) {
+                if (frontier_.IsOpen(u)) ++impact;
+              }
+              return impact;
+            }),
+        rng);
   }
-  return pick;
+  if (!pick.has_value()) return std::nullopt;
+  return static_cast<NodeId>(*pick);
 }
 
-void TwigEngine::MarkAsked(const NodeId& item) { asked_[item] = true; }
+void TwigEngine::MarkAsked(const NodeId& item) { frontier_.MarkAsked(item); }
 
 void TwigEngine::Observe(const NodeId& item, bool positive,
                          session::SessionStats* stats) {
+  frontier_.MarkLabeled(item, positive);
   if (positive) {
-    state_[item] = NodeState::kPositive;
     auto h2 = Extended(item);
     if (!h2.has_value()) {
       ++stats->conflicts;  // target outside the anchored class
     } else {
       hypothesis_ = std::move(*h2);
+      // Every selected-set was computed against the old hypothesis.
+      frontier_.InvalidateAll();
     }
   } else {
-    state_[item] = NodeState::kNegative;
     negatives_.push_back(item);
+    // Negative answers leave the hypothesis — and thus every memoized
+    // selected-set — untouched: nothing to invalidate.
   }
 }
 
 void TwigEngine::Propagate(session::SessionStats* stats) {
   twig::TwigEvaluator eval(hypothesis_, *doc_);
   for (NodeId v = 0; v < doc_->NumNodes(); ++v) {
-    if (state_[v] != NodeState::kUnknown &&
-        state_[v] != NodeState::kForcedNegative) {
+    // Unlabeled nodes (including discarded in-flight questions) and earlier
+    // forced negatives are eligible: a grown hypothesis can reach nodes a
+    // smaller one had ruled out.
+    const CandidateState state = frontier_.state(v);
+    if (state != CandidateState::kUnknown &&
+        state != CandidateState::kAsked &&
+        state != CandidateState::kForcedNegative) {
       continue;
     }
     if (eval.Selects(v)) {
       // Every consistent generalization of the hypothesis selects v.
-      state_[v] = NodeState::kForcedPositive;
+      frontier_.MarkForced(v, /*positive=*/true);
       ++stats->forced_positive;
     }
   }
   // Forced negatives: joining v would force selecting a known negative.
   for (NodeId v = 0; v < doc_->NumNodes(); ++v) {
-    if (state_[v] != NodeState::kUnknown) continue;
-    auto h2 = Extended(v);
-    if (!h2.has_value()) {
-      state_[v] = NodeState::kForcedNegative;
+    const CandidateState state = frontier_.state(v);
+    if (state != CandidateState::kUnknown &&
+        state != CandidateState::kAsked) {
+      continue;
+    }
+    const std::optional<SelectedSet>& selected = SelectedBy(v);
+    if (!selected.has_value()) {
+      frontier_.MarkForced(v, /*positive=*/false);
       ++stats->forced_negative;
       continue;
     }
-    twig::TwigEvaluator eval2(*h2, *doc_);
     for (NodeId neg : negatives_) {
-      if (eval2.Selects(neg)) {
-        state_[v] = NodeState::kForcedNegative;
+      if (std::binary_search(selected->begin(), selected->end(), neg)) {
+        frontier_.MarkForced(v, /*positive=*/false);
         ++stats->forced_negative;
         break;
       }
@@ -125,11 +144,6 @@ TwigQuery TwigEngine::Finish(session::SessionStats* stats) {
     if (eval.Selects(neg)) ++stats->conflicts;
   }
   return twig::Minimize(hypothesis_);
-}
-
-bool TwigEngine::HasForcedLabel(NodeId node) const {
-  return state_[node] == NodeState::kForcedPositive ||
-         state_[node] == NodeState::kForcedNegative;
 }
 
 Result<InteractiveTwigResult> RunInteractiveTwigSession(

@@ -22,6 +22,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "learn/twig_learner.h"
+#include "session/frontier.h"
 #include "session/session.h"
 #include "twig/twig_eval.h"
 #include "twig/twig_query.h"
@@ -57,6 +58,13 @@ enum class TwigStrategy {
   kGreedyImpact,  ///< node whose positive answer would settle the most nodes
 };
 
+/// Knob ownership contract (same split on all four engines' options
+/// structs): `strategy` and `learner` are consumed by the engine itself;
+/// `seed` and `max_questions` are consumed only by the
+/// RunInteractiveTwigSession wrapper, which forwards them into
+/// session::SessionOptions — an engine driven directly through
+/// LearningSession ignores them (the session owns the RNG stream and the
+/// question budget).
 struct InteractiveTwigOptions {
   TwigStrategy strategy = TwigStrategy::kGreedyImpact;
   uint64_t seed = session::SessionDefaults::kLegacyTwigSeed;
@@ -109,28 +117,32 @@ class TwigEngine {
   HypothesisT Finish(session::SessionStats* stats);
 
   // Introspection for conformance tests and UIs.
-  bool WasAsked(xml::NodeId node) const { return asked_[node]; }
-  bool HasForcedLabel(xml::NodeId node) const;
+  bool WasAsked(xml::NodeId node) const { return frontier_.WasAsked(node); }
+  bool HasForcedLabel(xml::NodeId node) const {
+    return frontier_.HasForcedLabel(node);
+  }
 
  private:
-  enum class NodeState : uint8_t {
-    kUnknown,
-    kPositive,        // labeled by the oracle
-    kNegative,        // labeled by the oracle
-    kForcedPositive,  // inferred: selected by the hypothesis
-    kForcedNegative,  // inferred: would contradict a known negative
-  };
+  /// Memoized per-candidate intermediate: the sorted node set selected by
+  /// the hypothesis extended with the candidate (nullopt when no anchored
+  /// generalization exists). Valid until the hypothesis changes; both the
+  /// greedy-impact score and the forced-negative propagation predicate read
+  /// it instead of re-running GeneralizePair + evaluation per call.
+  using SelectedSet = std::vector<xml::NodeId>;
+  using FrontierT = session::Frontier<xml::NodeId, long, SelectedSet>;
 
   /// Hypothesis with doc-node `v` joined in, or nullopt if no anchored
   /// generalization exists.
   std::optional<twig::TwigQuery> Extended(xml::NodeId v) const;
-  std::vector<xml::NodeId> Candidates() const;
+  /// Memoized selected-set of Extended(v) over all doc nodes.
+  const std::optional<SelectedSet>& SelectedBy(xml::NodeId v);
 
   const xml::XmlTree* doc_;
-  InteractiveTwigOptions options_;  // strategy + learner knobs (seed unused)
+  // strategy + learner knobs; see the knob-ownership contract on
+  // InteractiveTwigOptions (seed/max_questions are wrapper-only).
+  InteractiveTwigOptions options_;
   twig::TwigQuery hypothesis_;
-  std::vector<NodeState> state_;
-  std::vector<bool> asked_;
+  FrontierT frontier_;  // one candidate per doc node, index == NodeId
   std::vector<xml::NodeId> negatives_;
 };
 

@@ -42,11 +42,15 @@ ChainEngine::ChainEngine(const JoinChain* chain,
                          const InteractiveChainOptions& options)
     : chain_(chain),
       strategy_(options.strategy),
-      candidates_(EnumerateCandidates(*chain, options.max_candidates)),
-      settled_(candidates_.size(), false),
-      asked_(candidates_.size(), false),
       vs_(chain),
-      last_consistent_(vs_.most_specific()) {}
+      last_consistent_(vs_.most_specific()) {
+  std::vector<ChainExample> candidates =
+      EnumerateCandidates(*chain, options.max_candidates);
+  frontier_.Reserve(candidates.size());
+  for (ChainExample& candidate : candidates) {
+    frontier_.Add(std::move(candidate));
+  }
+}
 
 std::optional<size_t> ChainEngine::IndexOf(const ChainExample& item) const {
   // Candidates are the row-major prefix of the full row product, so the
@@ -59,23 +63,14 @@ std::optional<size_t> ChainEngine::IndexOf(const ChainExample& item) const {
     if (item.rows[i] >= chain_->relation(i).size()) return std::nullopt;
     index = index * chain_->relation(i).size() + item.rows[i];
   }
-  if (index >= candidates_.size()) return std::nullopt;
+  if (index >= frontier_.size()) return std::nullopt;
   return index;
 }
 
 std::optional<ChainExample> ChainEngine::SelectQuestion(common::Rng* rng) {
-  // Every unsettled candidate is informative as of the last Propagate() —
-  // the version space only changes on Observe(), after which the driver
-  // propagates again.
-  std::vector<size_t> informative;
-  for (size_t k = 0; k < candidates_.size(); ++k) {
-    if (!settled_[k]) informative.push_back(k);
-  }
-  if (informative.empty()) return std::nullopt;
-
-  size_t chosen = informative[0];
+  std::optional<size_t> pick;
   if (strategy_ == ChainStrategy::kRandom) {
-    chosen = informative[rng->Index(informative.size())];
+    pick = frontier_.Select(session::UniformRandomStrategy{}, rng);
   } else {
     // kSplitHalf in two phases. Until the first positive arrives, ask the
     // most plausible match (the candidate keeping the most θ* pairs alive
@@ -83,50 +78,53 @@ std::optional<ChainExample> ChainEngine::SelectQuestion(common::Rng* rng) {
     // carries far more information than any negative. Once θ* reflects a
     // positive, switch to even-split probing of the surviving pairs.
     //
-    // The per-edge split score total/2 - |kept - total/2| bottoms out at -1
-    // (kept == total on an odd-sized edge), so on a multi-edge chain every
-    // informative path can legitimately score below -1; the sentinels must
-    // start below any reachable score or selection silently degrades to
-    // informative[0].
+    // Scores depend only on θ* and the hunting phase, both of which change
+    // exactly on positive answers — so they stay memoized across the
+    // (overwhelmingly more common) negative answers and propagations.
     const bool hunting = vs_.num_positives() == 0;
-    long best_primary = std::numeric_limits<long>::min();
-    long best_tie = std::numeric_limits<long>::min();
-    for (size_t i : informative) {
-      long total_kept = 0;
-      long split = 0;
-      for (size_t e = 0; e < chain_->num_edges(); ++e) {
-        const PairMask ms = vs_.most_specific()[e];
-        const PairMask agree = ms & chain_->AgreeOn(e, candidates_[i].rows);
-        const int total = std::popcount(ms);
-        const int kept = std::popcount(agree);
-        total_kept += kept;
-        split += total / 2 - std::abs(kept - total / 2);
-      }
-      const long primary = hunting ? total_kept : split;
-      const long tie = hunting ? split : total_kept;
-      if (primary > best_primary ||
-          (primary == best_primary && tie > best_tie)) {
-        best_primary = primary;
-        best_tie = tie;
-        chosen = i;
-      }
-    }
+    pick = frontier_.Select(
+        session::Greedy<SplitScore>(
+            SplitScore{std::numeric_limits<long>::min(),
+                       std::numeric_limits<long>::min()},
+            [this, hunting](size_t k) -> std::optional<SplitScore> {
+              return frontier_.MemoOf(k, [this, hunting](size_t j) {
+                long total_kept = 0;
+                long split = 0;
+                for (size_t e = 0; e < chain_->num_edges(); ++e) {
+                  const PairMask ms = vs_.most_specific()[e];
+                  const PairMask agree =
+                      ms & chain_->AgreeOn(e, frontier_.item(j).rows);
+                  const int total = std::popcount(ms);
+                  const int kept = std::popcount(agree);
+                  total_kept += kept;
+                  split += total / 2 - std::abs(kept - total / 2);
+                }
+                return hunting ? SplitScore{total_kept, split}
+                               : SplitScore{split, total_kept};
+              });
+            }),
+        rng);
   }
-  return candidates_[chosen];
+  if (!pick.has_value()) return std::nullopt;
+  return frontier_.item(*pick);
 }
 
 void ChainEngine::MarkAsked(const ChainExample& item) {
   const std::optional<size_t> k = IndexOf(item);
   assert(k.has_value() && "asked path outside the enumerated candidates");
   if (!k.has_value()) return;
-  settled_[*k] = true;
-  asked_[*k] = true;
+  frontier_.MarkAsked(*k);
 }
 
 void ChainEngine::Observe(const ChainExample& item, bool positive,
                           session::SessionStats* stats) {
+  const std::optional<size_t> k = IndexOf(item);
+  if (k.has_value()) frontier_.MarkLabeled(*k, positive);
   if (positive) {
     vs_.AddPositive(item);
+    // θ* (and possibly the hunting phase) changed: memoized split scores
+    // are stale. Negatives leave θ* untouched — nothing to invalidate.
+    frontier_.InvalidateAll();
   } else {
     vs_.AddNegative(item);
   }
@@ -139,15 +137,15 @@ void ChainEngine::Observe(const ChainExample& item, bool positive,
 }
 
 void ChainEngine::Propagate(session::SessionStats* stats) {
-  for (size_t k = 0; k < candidates_.size(); ++k) {
-    if (settled_[k]) continue;
-    switch (vs_.Classify(candidates_[k])) {
+  for (size_t k = 0; k < frontier_.size(); ++k) {
+    if (!frontier_.IsOpen(k)) continue;
+    switch (vs_.Classify(frontier_.item(k))) {
       case ChainVersionSpace::PathStatus::kForcedPositive:
-        settled_[k] = true;
+        frontier_.MarkForced(k, /*positive=*/true);
         ++stats->forced_positive;
         break;
       case ChainVersionSpace::PathStatus::kForcedNegative:
-        settled_[k] = true;
+        frontier_.MarkForced(k, /*positive=*/false);
         ++stats->forced_negative;
         break;
       case ChainVersionSpace::PathStatus::kInformative:
@@ -163,14 +161,14 @@ ChainMask ChainEngine::Finish(session::SessionStats* /*stats*/) {
 
 bool ChainEngine::WasAsked(const ChainExample& item) const {
   const std::optional<size_t> k = IndexOf(item);
-  return k.has_value() && asked_[*k];
+  return k.has_value() && frontier_.WasAsked(*k);
 }
 
 bool ChainEngine::HasForcedLabel(const ChainExample& item) const {
   // Paths without a candidate slot were never classified, so they carry no
   // label.
   const std::optional<size_t> k = IndexOf(item);
-  return k.has_value() && settled_[*k] && !asked_[*k];
+  return k.has_value() && frontier_.HasForcedLabel(*k);
 }
 
 Result<InteractiveChainResult> RunInteractiveChainSession(

@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "rlearn/chain_learner.h"
+#include "session/frontier.h"
 #include "session/session.h"
 
 namespace qlearn {
@@ -50,6 +51,12 @@ enum class ChainStrategy {
   kSplitHalf,   ///< maximize candidate-pair eliminations per answer
 };
 
+/// Knob ownership contract (same split on all four engines' options
+/// structs): `strategy` and `max_candidates` are consumed by the engine
+/// itself; `seed` and `max_questions` are consumed only by the
+/// RunInteractiveChainSession wrapper, which forwards them into
+/// session::SessionOptions — an engine driven directly through
+/// LearningSession ignores them.
 struct InteractiveChainOptions {
   ChainStrategy strategy = ChainStrategy::kSplitHalf;
   uint64_t seed = session::SessionDefaults::kLegacyChainSeed;
@@ -102,8 +109,8 @@ class ChainEngine {
   HypothesisT Current() const { return last_consistent_; }
   HypothesisT Finish(session::SessionStats* stats);
 
-  size_t candidate_paths() const { return candidates_.size(); }
-  const ChainExample& candidate(size_t k) const { return candidates_[k]; }
+  size_t candidate_paths() const { return frontier_.size(); }
+  const ChainExample& candidate(size_t k) const { return frontier_.item(k); }
   const JoinChain& chain() const { return *chain_; }
 
   // Introspection for conformance tests and UIs. Paths without a candidate
@@ -113,13 +120,16 @@ class ChainEngine {
   bool HasForcedLabel(const Item& item) const;
 
  private:
+  /// Split scores are (primary, tie) pairs compared lexicographically; see
+  /// SelectQuestion for the two-phase hunting/splitting semantics.
+  using SplitScore = std::pair<long, long>;
+  using FrontierT = session::Frontier<ChainExample, SplitScore>;
+
   std::optional<size_t> IndexOf(const Item& item) const;
 
   const JoinChain* chain_;
   ChainStrategy strategy_;
-  std::vector<ChainExample> candidates_;  // row-major, capped
-  std::vector<bool> settled_;
-  std::vector<bool> asked_;
+  FrontierT frontier_;  // row-major candidate paths, capped
   ChainVersionSpace vs_;
   ChainMask last_consistent_;
   bool aborted_ = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdlib>
+#include <limits>
 
 namespace qlearn {
 namespace rlearn {
@@ -20,12 +21,12 @@ JoinEngine::JoinEngine(const PairUniverse* universe,
       strategy_(options.strategy),
       vs_(universe, left, right) {
   // Materialize all candidate pairs with their agreement masks.
-  candidates_.reserve(left->size() * right->size());
+  frontier_.Reserve(left->size() * right->size());
+  agree_.reserve(left->size() * right->size());
   for (size_t i = 0; i < left->size(); ++i) {
     for (size_t j = 0; j < right->size(); ++j) {
-      candidates_.push_back(
-          Candidate{universe->AgreeMask(left->row(i), right->row(j)),
-                    /*settled=*/false, /*asked=*/false});
+      frontier_.Add(PairExample{i, j});
+      agree_.push_back(universe->AgreeMask(left->row(i), right->row(j)));
     }
   }
 }
@@ -35,62 +36,64 @@ size_t JoinEngine::IndexOf(const PairExample& item) const {
 }
 
 std::optional<PairExample> JoinEngine::SelectQuestion(common::Rng* rng) {
-  std::vector<size_t> open;
-  for (size_t k = 0; k < candidates_.size(); ++k) {
-    if (!candidates_[k].settled) open.push_back(k);
-  }
-  if (open.empty()) return std::nullopt;
-
-  size_t pick = open[0];
+  std::optional<size_t> pick;
   switch (strategy_) {
     case JoinStrategy::kRandom:
-      pick = open[rng->Index(open.size())];
+      pick = frontier_.Select(session::UniformRandomStrategy{}, rng);
       break;
     case JoinStrategy::kSplitHalf: {
-      // Prefer the pair whose positive answer halves θ*.
+      // Prefer the pair whose positive answer halves θ*. Scores depend only
+      // on θ*, so they stay memoized until a positive answer shrinks it.
       const int target = std::popcount(vs_.most_specific()) / 2;
-      int best_score = 1 << 30;
-      for (size_t k : open) {
-        const int kept =
-            std::popcount(vs_.most_specific() & candidates_[k].agree);
-        const int score = std::abs(kept - target);
-        if (score < best_score) {
-          best_score = score;
-          pick = k;
-        }
-      }
+      pick = frontier_.Select(
+          session::Greedy<long>(
+              std::numeric_limits<long>::min(),
+              [this, target](size_t k) -> std::optional<long> {
+                return frontier_.MemoOf(k, [this, target](size_t j) {
+                  const int kept =
+                      std::popcount(vs_.most_specific() & agree_[j]);
+                  return -static_cast<long>(std::abs(kept - target));
+                });
+              }),
+          rng);
       break;
     }
     case JoinStrategy::kLattice: {
       // Probe a pair that drops exactly one bit of θ* if positive; fall
       // back to split-half behaviour otherwise.
       const int full = std::popcount(vs_.most_specific());
-      int best_score = 1 << 30;
-      for (size_t k : open) {
-        const int kept =
-            std::popcount(vs_.most_specific() & candidates_[k].agree);
-        const int score = kept == full - 1 ? -1 : std::abs(kept - full / 2);
-        if (score < best_score) {
-          best_score = score;
-          pick = k;
-        }
-      }
+      pick = frontier_.Select(
+          session::Greedy<long>(
+              std::numeric_limits<long>::min(),
+              [this, full](size_t k) -> std::optional<long> {
+                return frontier_.MemoOf(k, [this, full](size_t j) {
+                  const int kept =
+                      std::popcount(vs_.most_specific() & agree_[j]);
+                  return kept == full - 1
+                             ? 1L
+                             : -static_cast<long>(std::abs(kept - full / 2));
+                });
+              }),
+          rng);
       break;
     }
   }
-  return PairExample{pick / right_->size(), pick % right_->size()};
+  if (!pick.has_value()) return std::nullopt;
+  return frontier_.item(*pick);
 }
 
 void JoinEngine::MarkAsked(const PairExample& item) {
-  Candidate& c = candidates_[IndexOf(item)];
-  c.settled = true;
-  c.asked = true;
+  frontier_.MarkAsked(IndexOf(item));
 }
 
 void JoinEngine::Observe(const PairExample& item, bool positive,
                          session::SessionStats* stats) {
+  frontier_.MarkLabeled(IndexOf(item), positive);
   if (positive) {
     vs_.AddPositive(item);
+    // θ* shrank: every memoized split/lattice score is stale. Negative
+    // answers leave θ* (and thus the scores) untouched.
+    frontier_.InvalidateAll();
   } else {
     vs_.AddNegative(item);
   }
@@ -101,17 +104,15 @@ void JoinEngine::Observe(const PairExample& item, bool positive,
 }
 
 void JoinEngine::Propagate(session::SessionStats* stats) {
-  for (size_t k = 0; k < candidates_.size(); ++k) {
-    Candidate& c = candidates_[k];
-    if (c.settled) continue;
-    switch (vs_.Classify(
-        PairExample{k / right_->size(), k % right_->size()})) {
+  for (size_t k = 0; k < frontier_.size(); ++k) {
+    if (!frontier_.IsOpen(k)) continue;
+    switch (vs_.Classify(frontier_.item(k))) {
       case EquiJoinVersionSpace::PairStatus::kForcedPositive:
-        c.settled = true;
+        frontier_.MarkForced(k, /*positive=*/true);
         ++stats->forced_positive;
         break;
       case EquiJoinVersionSpace::PairStatus::kForcedNegative:
-        c.settled = true;
+        frontier_.MarkForced(k, /*positive=*/false);
         ++stats->forced_negative;
         break;
       case EquiJoinVersionSpace::PairStatus::kInformative:
@@ -138,12 +139,11 @@ const relational::Tuple& JoinEngine::RightRow(const PairExample& item) const {
 }
 
 bool JoinEngine::WasAsked(const PairExample& item) const {
-  return candidates_[IndexOf(item)].asked;
+  return frontier_.WasAsked(IndexOf(item));
 }
 
 bool JoinEngine::HasForcedLabel(const PairExample& item) const {
-  const Candidate& c = candidates_[IndexOf(item)];
-  return c.settled && !c.asked;
+  return frontier_.HasForcedLabel(IndexOf(item));
 }
 
 Result<InteractiveJoinResult> RunInteractiveJoinSession(

@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "rlearn/equijoin_learner.h"
+#include "session/frontier.h"
 #include "session/session.h"
 
 namespace qlearn {
@@ -54,6 +55,11 @@ enum class JoinStrategy {
   kLattice,    ///< probe pairs that test one candidate pair's necessity
 };
 
+/// Knob ownership contract (same split on all four engines' options
+/// structs): `strategy` is consumed by the engine itself; `seed` and
+/// `max_questions` are consumed only by the RunInteractiveJoinSession
+/// wrapper, which forwards them into session::SessionOptions — an engine
+/// driven directly through LearningSession ignores them.
 struct InteractiveJoinOptions {
   JoinStrategy strategy = JoinStrategy::kSplitHalf;
   uint64_t seed = session::SessionDefaults::kLegacyJoinSeed;
@@ -103,7 +109,7 @@ class JoinEngine {
   HypothesisT Current() const;
   HypothesisT Finish(session::SessionStats* stats);
 
-  size_t candidate_pairs() const { return candidates_.size(); }
+  size_t candidate_pairs() const { return frontier_.size(); }
   const relational::Tuple& LeftRow(const Item& item) const;
   const relational::Tuple& RightRow(const Item& item) const;
 
@@ -112,11 +118,7 @@ class JoinEngine {
   bool HasForcedLabel(const Item& item) const;
 
  private:
-  struct Candidate {
-    PairMask agree = 0;
-    bool settled = false;
-    bool asked = false;
-  };
+  using FrontierT = session::Frontier<PairExample, long>;
 
   size_t IndexOf(const Item& item) const;
 
@@ -124,7 +126,8 @@ class JoinEngine {
   const relational::Relation* left_;
   const relational::Relation* right_;
   JoinStrategy strategy_;
-  std::vector<Candidate> candidates_;  // row-major over (left, right)
+  FrontierT frontier_;           // row-major over (left, right)
+  std::vector<PairMask> agree_;  // agreement mask per candidate index
   EquiJoinVersionSpace vs_;
   bool aborted_ = false;
 };

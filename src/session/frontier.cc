@@ -1,0 +1,25 @@
+#include "session/frontier.h"
+
+namespace qlearn {
+namespace session {
+
+const char* CandidateStateName(CandidateState state) {
+  switch (state) {
+    case CandidateState::kUnknown:
+      return "unknown";
+    case CandidateState::kAsked:
+      return "asked";
+    case CandidateState::kLabeledPositive:
+      return "labeled-positive";
+    case CandidateState::kLabeledNegative:
+      return "labeled-negative";
+    case CandidateState::kForcedPositive:
+      return "forced-positive";
+    case CandidateState::kForcedNegative:
+      return "forced-negative";
+  }
+  return "invalid";
+}
+
+}  // namespace session
+}  // namespace qlearn

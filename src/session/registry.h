@@ -12,9 +12,11 @@
 //   }
 //   s.value()->Finish();
 //
-// Built-in scenarios ("twig", "join", "chain", "path") carry a small
-// synthetic dataset and a hidden goal query, so they can also self-answer
-// via OracleLabels() — useful for demos, smoke tests, and load generation.
+// Built-in scenarios ("twig", "join", "chain", "path", plus strategy
+// variants like "twig-random" / "join-lattice" / "path-workload") carry a
+// small synthetic dataset and a hidden goal query, so they can also
+// self-answer via OracleLabels() — useful for demos, smoke tests, and load
+// generation.
 #ifndef QLEARN_SESSION_REGISTRY_H_
 #define QLEARN_SESSION_REGISTRY_H_
 
@@ -104,7 +106,8 @@ class ScenarioRegistry {
 };
 
 /// Registers the built-in "twig", "join", "chain", and "path" demo
-/// scenarios on the global registry. Idempotent.
+/// scenarios (and their selection-strategy variants) on the global
+/// registry. Idempotent.
 void RegisterBuiltinScenarios();
 
 }  // namespace session

@@ -116,7 +116,8 @@ struct TwigContext {
 };
 
 Result<std::unique_ptr<ScenarioSession>> MakeTwigScenario(
-    const SessionOptions& options) {
+    const SessionOptions& options,
+    learn::TwigStrategy strategy = learn::TwigStrategy::kGreedyImpact) {
   auto context = std::make_shared<TwigContext>();
   auto doc = xml::ParseXml(
       "<site><people>"
@@ -144,9 +145,12 @@ Result<std::unique_ptr<ScenarioSession>> MakeTwigScenario(
     return Status::Internal("twig scenario has no positive seed node");
   }
 
+  learn::InteractiveTwigOptions engine_options;
+  engine_options.strategy = strategy;
   SessionOptions session_options = options;
   LearningSession<learn::TwigEngine> session(
-      learn::TwigEngine(&context->doc, seed), session_options);
+      learn::TwigEngine(&context->doc, seed, engine_options),
+      session_options);
   TwigContext* ctx = context.get();
   return std::unique_ptr<ScenarioSession>(
       new TypedScenarioSession<learn::TwigEngine>(
@@ -242,7 +246,8 @@ struct JoinContext {
 };
 
 Result<std::unique_ptr<ScenarioSession>> MakeJoinScenario(
-    const SessionOptions& options) {
+    const SessionOptions& options,
+    rlearn::JoinStrategy strategy = rlearn::JoinStrategy::kSplitHalf) {
   relational::JoinInstanceOptions instance_options;
   instance_options.seed = 5;
   instance_options.left_rows = 20;
@@ -264,9 +269,11 @@ Result<std::unique_ptr<ScenarioSession>> MakeJoinScenario(
     }
   }
 
+  rlearn::InteractiveJoinOptions engine_options;
+  engine_options.strategy = strategy;
   LearningSession<rlearn::JoinEngine> session(
       rlearn::JoinEngine(&context->universe, &context->instance.left,
-                         &context->instance.right),
+                         &context->instance.right, engine_options),
       options);
   JoinContext* ctx = context.get();
   return std::unique_ptr<ScenarioSession>(
@@ -304,7 +311,8 @@ struct ChainContext {
 };
 
 Result<std::unique_ptr<ScenarioSession>> MakeChainScenario(
-    const SessionOptions& options) {
+    const SessionOptions& options,
+    rlearn::ChainStrategy strategy = rlearn::ChainStrategy::kSplitHalf) {
   auto context = std::make_shared<ChainContext>();
   context->relations = relational::TinyStoreChainRelations();
 
@@ -324,8 +332,10 @@ Result<std::unique_ptr<ScenarioSession>> MakeChainScenario(
     }
   }
 
+  rlearn::InteractiveChainOptions engine_options;
+  engine_options.strategy = strategy;
   LearningSession<rlearn::ChainEngine> session(
-      rlearn::ChainEngine(&*context->chain, {}), options);
+      rlearn::ChainEngine(&*context->chain, engine_options), options);
   ChainContext* ctx = context.get();
   return std::unique_ptr<ScenarioSession>(
       new TypedScenarioSession<rlearn::ChainEngine>(
@@ -366,7 +376,8 @@ struct PathContext {
 };
 
 Result<std::unique_ptr<ScenarioSession>> MakePathScenario(
-    const SessionOptions& options) {
+    const SessionOptions& options,
+    glearn::PathStrategy strategy = glearn::PathStrategy::kFrontier) {
   auto context = std::make_shared<PathContext>();
   graph::GeoOptions geo;
   geo.grid_width = 4;
@@ -391,8 +402,15 @@ Result<std::unique_ptr<ScenarioSession>> MakePathScenario(
   }
 
   glearn::InteractivePathOptions path_options;
+  path_options.strategy = strategy;
   path_options.max_path_edges = 3;
   path_options.max_candidates = 800;
+  if (strategy == glearn::PathStrategy::kWorkload) {
+    // Historical workload: previous users wanted highway-only routes.
+    auto workload = automata::ParseRegex("highway+", &context->interner);
+    if (!workload.ok()) return workload.status();
+    path_options.workload.push_back(workload.value());
+  }
   LearningSession<glearn::PathEngine> session(
       glearn::PathEngine(&context->g, seed, path_options), options);
   PathContext* ctx = context.get();
@@ -424,7 +442,7 @@ void RegisterBuiltinScenarios() {
     ScenarioRegistry* registry = ScenarioRegistry::Global();
     (void)registry->Register(
         {"twig", "XML twig query over a people directory (Section 2)"},
-        MakeTwigScenario);
+        [](const SessionOptions& options) { return MakeTwigScenario(options); });
     (void)registry->Register(
         {"twig-ambiguity",
          "twig consistency over a repeated-label document (Section 2, E4)"},
@@ -432,14 +450,54 @@ void RegisterBuiltinScenarios() {
     (void)registry->Register(
         {"join", "relational equi-join predicate over tuple pairs "
                  "(Section 3, E6)"},
-        MakeJoinScenario);
+        [](const SessionOptions& options) { return MakeJoinScenario(options); });
     (void)registry->Register(
         {"chain", "chain of equi-joins along a foreign-key path "
                   "(Section 3, E12)"},
-        MakeChainScenario);
+        [](const SessionOptions& options) {
+          return MakeChainScenario(options);
+        });
     (void)registry->Register(
         {"path", "graph path query on a road network (Section 3, E7)"},
-        MakePathScenario);
+        [](const SessionOptions& options) { return MakePathScenario(options); });
+    // Strategy variants of the four datasets, so every selection strategy
+    // the shared frontier drives is reachable by name — and pinned by a
+    // golden transcript (the plain names above pin the default strategies:
+    // twig kGreedyImpact, join/chain kSplitHalf, path kFrontier).
+    (void)registry->Register(
+        {"twig-random", "the twig scenario under uniform-random selection"},
+        [](const SessionOptions& options) {
+          return MakeTwigScenario(options, learn::TwigStrategy::kRandom);
+        });
+    (void)registry->Register(
+        {"join-random", "the join scenario under uniform-random selection"},
+        [](const SessionOptions& options) {
+          return MakeJoinScenario(options, rlearn::JoinStrategy::kRandom);
+        });
+    (void)registry->Register(
+        {"join-lattice",
+         "the join scenario probing one candidate pair's necessity per "
+         "question"},
+        [](const SessionOptions& options) {
+          return MakeJoinScenario(options, rlearn::JoinStrategy::kLattice);
+        });
+    (void)registry->Register(
+        {"chain-random", "the chain scenario under uniform-random selection"},
+        [](const SessionOptions& options) {
+          return MakeChainScenario(options, rlearn::ChainStrategy::kRandom);
+        });
+    (void)registry->Register(
+        {"path-random", "the path scenario under uniform-random selection"},
+        [](const SessionOptions& options) {
+          return MakePathScenario(options, glearn::PathStrategy::kRandom);
+        });
+    (void)registry->Register(
+        {"path-workload",
+         "the path scenario preferring paths that match a historical "
+         "workload"},
+        [](const SessionOptions& options) {
+          return MakePathScenario(options, glearn::PathStrategy::kWorkload);
+        });
     return true;
   }();
   (void)registered;

@@ -326,7 +326,9 @@ TwigQuery DedupSiblings(const TwigQuery& q) {
     for (QNodeId m : current.marked()) protect(m);
 
     for (QNodeId p = 0; p < current.NumNodes() && !changed; ++p) {
-      const std::vector<QNodeId>& kids = current.children(p);
+      // By value: RemoveSubtree below reassigns `current` and frees the old
+      // tree while the loop conditions still read the child list.
+      const std::vector<QNodeId> kids = current.children(p);
       for (size_t i = 0; i < kids.size() && !changed; ++i) {
         if (keep[kids[i]]) continue;
         for (size_t j = 0; j < i; ++j) {

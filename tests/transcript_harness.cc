@@ -21,7 +21,11 @@ using service::wire::TranscriptEvent;
 }  // namespace
 
 const std::vector<TranscriptCase>& ConformanceCases() {
-  // One case per paper experiment with an interactive-session analogue.
+  // One case per paper experiment with an interactive-session analogue,
+  // plus one per non-default selection strategy ("s_" cases) so every
+  // strategy the shared frontier drives is replay-checked, not only the
+  // defaults the experiment cases exercise (twig kGreedyImpact, join and
+  // chain kSplitHalf, path kFrontier).
   // Batch sizes differ on purpose: 1 pins the ask/answer ping-pong flow,
   // >1 pins the batched flow (whose question sequences legitimately differ
   // from one-at-a-time — propagation runs once per batch).
@@ -32,6 +36,12 @@ const std::vector<TranscriptCase>& ConformanceCases() {
           {"e6_join", "join", 7, 4},
           {"e7_path", "path", 7, 1},
           {"e12_chain", "chain", 7, 2},
+          {"s_twig_random", "twig-random", 7, 1},
+          {"s_join_random", "join-random", 7, 4},
+          {"s_join_lattice", "join-lattice", 7, 1},
+          {"s_chain_random", "chain-random", 7, 2},
+          {"s_path_random", "path-random", 7, 1},
+          {"s_path_workload", "path-workload", 7, 1},
       };
   return *cases;
 }

@@ -9,11 +9,13 @@
 //     bit-identical question sequences and final hypotheses/stats.
 //
 // Golden transcripts for the paper experiments' scenarios (E1 twig, E4
-// twig-ambiguity, E6 join, E7 path, E12 chain) are checked in under
-// tests/golden/. Any refactor of the learners, the session layer, or the
-// wire format diffs against the paper-faithful behavior instead of
-// re-deriving it: a diff in a golden file is a behavior change that must be
-// either fixed or consciously re-golden-ed.
+// twig-ambiguity, E6 join, E7 path, E12 chain) and for every non-default
+// selection strategy (the "s_*" cases: twig/join/chain/path kRandom, join
+// kLattice, path kWorkload) are checked in under tests/golden/. Any
+// refactor of the learners, the session layer, or the wire format diffs
+// against the paper-faithful behavior instead of re-deriving it: a diff in
+// a golden file is a behavior change that must be either fixed or
+// consciously re-golden-ed.
 //
 // Environment knobs (read by transcript_harness_test):
 //   QLEARN_TRANSCRIPT_REGEN=1   rewrite the goldens from the current build

@@ -38,12 +38,15 @@ std::string RecordSerialized(const TranscriptCase& c) {
   return SerializeTranscript(events.value());
 }
 
-TEST(TranscriptGoldenTest, CasesCoverE1E4E6E7E12) {
+TEST(TranscriptGoldenTest, CasesCoverE1E4E6E7E12AndEveryStrategy) {
   std::vector<std::string> names;
   for (const TranscriptCase& c : ConformanceCases()) names.push_back(c.name);
-  EXPECT_EQ(names, (std::vector<std::string>{"e1_twig", "e4_twig_ambiguity",
-                                             "e6_join", "e7_path",
-                                             "e12_chain"}));
+  EXPECT_EQ(names,
+            (std::vector<std::string>{
+                "e1_twig", "e4_twig_ambiguity", "e6_join", "e7_path",
+                "e12_chain", "s_twig_random", "s_join_random",
+                "s_join_lattice", "s_chain_random", "s_path_random",
+                "s_path_workload"}));
 }
 
 TEST(TranscriptGoldenTest, CurrentBehaviorMatchesGoldenTranscripts) {
