@@ -5,6 +5,9 @@
 // serving overhead, and wire-format throughput.
 #include <benchmark/benchmark.h>
 
+#include <optional>
+#include <string>
+
 #include "common/interner.h"
 #include "common/rng.h"
 #include "glearn/interactive_path.h"
@@ -232,7 +235,13 @@ void WarmupSelection(Engine* engine, common::Rng* rng, OracleFn oracle,
     auto question = engine->SelectQuestion(rng);
     if (!question.has_value()) break;
     engine->MarkAsked(*question);
-    engine->Observe(*question, oracle(*question), &stats);
+    const bool label = oracle(*question);
+    engine->Observe(*question, label, &stats);
+    if (label) {
+      engine->OnPositive(*question);
+    } else {
+      engine->OnNegative(*question);
+    }
     engine->Propagate(&stats);
   }
 }
@@ -344,6 +353,171 @@ void BM_SelectQuestion_Path(benchmark::State& state) {
   state.counters["candidates"] = static_cast<double>(engine.candidate_paths());
 }
 BENCHMARK(BM_SelectQuestion_Path)->Arg(3)->Arg(4)->Arg(6);
+
+// Propagation hot path: steady-state cost of one Propagate flush — the
+// per-answer inner loop a serving layer pays between oracle replies. Args
+// are (size, ref, pos): `ref`=1 replays the historical full-universe
+// rescan via set_reference_propagation (the "before" numbers in
+// BENCH_propagate.json), `pos`=0 times a negative-answer delta (the
+// witness payload of an already-labeled negative is re-queued each
+// iteration, so the flush does the steady-state scan without mutating the
+// session), `pos`=1 times the hypothesis-change full pass
+// (ForceFullRepropagation; the per-candidate memo refill a real positive
+// additionally triggers is accounted under BM_SelectQuestion's epoch
+// rescoring). The engine is warmed up with real oracle exchanges first.
+template <typename Engine, typename OracleFn>
+std::optional<typename Engine::Item> WarmupPropagation(Engine* engine,
+                                                       common::Rng* rng,
+                                                       OracleFn oracle,
+                                                       int exchanges) {
+  session::SessionStats stats;
+  std::optional<typename Engine::Item> last_negative;
+  engine->Propagate(&stats);
+  for (int i = 0; i < exchanges; ++i) {
+    auto question = engine->SelectQuestion(rng);
+    if (!question.has_value()) break;
+    engine->MarkAsked(*question);
+    const bool label = oracle(*question);
+    engine->Observe(*question, label, &stats);
+    if (label) {
+      engine->OnPositive(*question);
+    } else {
+      engine->OnNegative(*question);
+      last_negative = *question;
+    }
+    engine->Propagate(&stats);
+  }
+  return last_negative;
+}
+
+template <typename Engine>
+void RunPropagateLoop(benchmark::State& state, Engine* engine,
+                      const std::optional<typename Engine::Item>& negative) {
+  const bool positive_variant = state.range(2) == 1;
+  if (!positive_variant && !negative.has_value()) {
+    state.SkipWithError("warmup produced no negative answer");
+    return;
+  }
+  session::SessionStats stats;
+  for (auto _ : state) {
+    if (positive_variant) {
+      engine->ForceFullRepropagation();
+    } else {
+      engine->OnNegative(*negative);
+    }
+    engine->Propagate(&stats);
+    benchmark::DoNotOptimize(stats.forced_negative);
+  }
+}
+
+void BM_Propagate_Twig(benchmark::State& state) {
+  common::Interner interner;
+  std::string text = "<site><people>";
+  for (int i = 0; i < state.range(0); ++i) {
+    switch (i % 4) {
+      case 0: text += "<person><name/><age/><phone/></person>"; break;
+      case 1: text += "<person><name/></person>"; break;
+      case 2: text += "<person><name/><age/></person>"; break;
+      default: text += "<person><name/><homepage/></person>"; break;
+    }
+  }
+  text += "</people></site>";
+  const xml::XmlTree doc = xml::ParseXml(text, &interner).value();
+  auto goal = twig::ParseTwig("/site/people/person[age]/name", &interner);
+  xml::NodeId seed = xml::kInvalidNode;
+  for (xml::NodeId v = 0; v < doc.NumNodes(); ++v) {
+    if (twig::Selects(goal.value(), doc, v)) {
+      seed = v;
+      break;
+    }
+  }
+  learn::TwigEngine engine(&doc, seed);
+  engine.set_reference_propagation(state.range(1) == 1);
+  common::Rng rng(123);
+  const auto negative = WarmupPropagation(
+      &engine, &rng,
+      [&](xml::NodeId v) { return twig::Selects(goal.value(), doc, v); }, 6);
+  RunPropagateLoop(state, &engine, negative);
+  state.counters["candidates"] = static_cast<double>(doc.NumNodes());
+}
+BENCHMARK(BM_Propagate_Twig)
+    ->ArgsProduct({{8, 32, 128}, {0, 1}, {0, 1}})
+    ->ArgNames({"n", "ref", "pos"});
+
+void BM_Propagate_Join(benchmark::State& state) {
+  const JoinSessionSetup setup(static_cast<int>(state.range(0)));
+  rlearn::JoinEngine engine(&setup.universe, &setup.instance.left,
+                            &setup.instance.right);
+  engine.set_reference_propagation(state.range(1) == 1);
+  rlearn::GoalJoinOracle oracle(&setup.universe, setup.goal);
+  common::Rng rng(123);
+  const auto negative = WarmupPropagation(
+      &engine, &rng,
+      [&](const rlearn::PairExample& pair) {
+        return oracle.IsPositive(setup.instance.left.row(pair.left_row),
+                                 setup.instance.right.row(pair.right_row));
+      },
+      6);
+  RunPropagateLoop(state, &engine, negative);
+  state.counters["candidates"] = static_cast<double>(engine.candidate_pairs());
+}
+BENCHMARK(BM_Propagate_Join)
+    ->ArgsProduct({{20, 50, 100, 200}, {0, 1}, {0, 1}})
+    ->ArgNames({"n", "ref", "pos"});
+
+void BM_Propagate_Chain(benchmark::State& state) {
+  const ChainSessionSetup setup(static_cast<int>(state.range(0)));
+  rlearn::ChainEngine engine(&*setup.chain, {});
+  engine.set_reference_propagation(state.range(1) == 1);
+  common::Rng rng(123);
+  const auto negative = WarmupPropagation(
+      &engine, &rng,
+      [&](const rlearn::ChainExample& example) {
+        return rlearn::ChainSatisfied(*setup.chain, setup.goal, example);
+      },
+      6);
+  RunPropagateLoop(state, &engine, negative);
+  state.counters["candidates"] = static_cast<double>(engine.candidate_paths());
+}
+BENCHMARK(BM_Propagate_Chain)
+    ->ArgsProduct({{4, 8, 16, 24}, {0, 1}, {0, 1}})
+    ->ArgNames({"n", "ref", "pos"});
+
+void BM_Propagate_Path(benchmark::State& state) {
+  common::Interner interner;
+  graph::GeoOptions geo;
+  geo.grid_width = static_cast<int>(state.range(0));
+  geo.grid_height = static_cast<int>(state.range(0));
+  graph::Graph g = graph::GenerateGeoGraph(geo, &interner);
+  auto regex = automata::ParseRegex("highway+", &interner);
+  const graph::PathQuery goal{regex.value(), std::nullopt};
+  glearn::GoalPathOracle oracle(goal, g);
+  graph::Path seed;
+  for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (interner.Name(g.edge(e).label) == "highway") {
+      seed.start = g.edge(e).src;
+      seed.edges = {e};
+      break;
+    }
+  }
+  glearn::InteractivePathOptions options;
+  options.max_path_edges = 3;
+  options.max_candidates = 100000;
+  glearn::PathEngine engine(&g, seed, options);
+  engine.set_reference_propagation(state.range(1) == 1);
+  common::Rng rng(123);
+  const auto negative = WarmupPropagation(
+      &engine, &rng,
+      [&](const glearn::PathEngine::Question& question) {
+        return oracle.IsPositive(*question.path);
+      },
+      6);
+  RunPropagateLoop(state, &engine, negative);
+  state.counters["candidates"] = static_cast<double>(engine.candidate_paths());
+}
+BENCHMARK(BM_Propagate_Path)
+    ->ArgsProduct({{3, 4, 6}, {0, 1}, {0, 1}})
+    ->ArgNames({"n", "ref", "pos"});
 
 // Service-surface overhead: one full built-in scenario session per
 // iteration driven through SessionService (string handles, budget checks,

@@ -1,8 +1,10 @@
 #include "glearn/interactive_path.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <utility>
+#include <vector>
 
 #include "automata/nfa.h"
 
@@ -96,14 +98,16 @@ std::optional<PathEngine::Question> PathEngine::SelectQuestion(
   return frontier_.item(*pick);
 }
 
+const std::optional<PathEngine::GenMemo>& PathEngine::GenMemoOf(size_t k) {
+  return frontier_.MemoOf(k, [this](size_t j) -> GenMemo {
+    GenMemo memo;
+    memo.extended = hypothesis_.Generalize(candidates_[j].word, &memo.cost);
+    return memo;
+  });
+}
+
 long PathEngine::CostOf(size_t k) {
-  const std::optional<PathScore>& memo =
-      frontier_.MemoOf(k, [this](size_t j) -> PathScore {
-        int cost = 0;
-        hypothesis_.Generalize(candidates_[j].word, &cost);
-        return PathScore{0, cost};
-      });
-  return memo->second;
+  return static_cast<long>(GenMemoOf(k)->cost);
 }
 
 void PathEngine::MarkAsked(const Question& item) {
@@ -114,27 +118,68 @@ void PathEngine::Observe(const Question& item, bool positive,
                          session::SessionStats* stats) {
   const Candidate& c = candidates_[item.index];
   frontier_.MarkLabeled(item.index, positive);
+  hypothesis_advanced_ = false;
   if (positive) {
-    hypothesis_ = hypothesis_.Generalize(c.word);
+    ConcatPattern grown = hypothesis_.Generalize(c.word);
+    hypothesis_advanced_ = !(grown == hypothesis_);
+    hypothesis_ = std::move(grown);
     max_positive_weight_ =
         std::max(max_positive_weight_, graph::PathWeight(*g_, c.path));
-    // Every memoized generalization cost was computed against the old
-    // hypothesis. Negatives leave it untouched — nothing to invalidate.
-    frontier_.InvalidateAll();
+    // Every memoized generalization was computed against the old
+    // hypothesis — but an identity generalization (mid-batch word already
+    // covered) leaves the memos exact, so only a real change invalidates.
+    // Negatives never touch the hypothesis: nothing to invalidate.
+    if (hypothesis_advanced_) frontier_.InvalidateAll();
+    // Conflict detection: only a hypothesis change can newly swallow an
+    // accumulated negative, and then every negative must be re-checked.
+    if (hypothesis_advanced_) {
+      for (const auto& neg : negative_words_) {
+        if (hypothesis_.Accepts(neg)) {
+          ++stats->conflicts;
+          aborted_ = true;
+          break;
+        }
+      }
+    }
   } else {
     negative_words_.push_back(c.word);
-  }
-  // Conflict detection: the hypothesis must reject all known negatives.
-  for (const auto& neg : negative_words_) {
-    if (hypothesis_.Accepts(neg)) {
+    // The hypothesis is untouched, so earlier negatives are still
+    // rejected; only the new word needs testing. (It can be accepted
+    // mid-batch, when an earlier positive in the same batch grew the
+    // hypothesis over this still-pending word.)
+    if (hypothesis_.Accepts(c.word)) {
       ++stats->conflicts;
       aborted_ = true;
-      break;
     }
   }
 }
 
+void PathEngine::OnPositive(const Question& /*item*/) {
+  // An identity generalization (word already covered, possible mid-batch)
+  // leaves every classification unchanged.
+  if (hypothesis_advanced_) prop_.RecordHypothesisChange();
+}
+
+void PathEngine::OnNegative(const Question& item) {
+  prop_.RecordNegative(item.index);
+}
+
 void PathEngine::Propagate(session::SessionStats* stats) {
+  if (reference_propagation_) {
+    ReferencePropagate(stats);
+    prop_.MarkFullPassDone();
+  } else if (prop_.NeedsFullPass()) {
+    FullPropagate(stats);
+    prop_.MarkFullPassDone();
+  } else {
+    ApplyNegativeDeltas(stats);
+  }
+#ifndef NDEBUG
+  AssertPropagationFixpoint();
+#endif
+}
+
+void PathEngine::ReferencePropagate(session::SessionStats* stats) {
   for (size_t k = 0; k < frontier_.size(); ++k) {
     if (!frontier_.IsOpen(k)) continue;
     const Candidate& c = candidates_[k];
@@ -155,6 +200,64 @@ void PathEngine::Propagate(session::SessionStats* stats) {
     }
   }
 }
+
+void PathEngine::FullPropagate(session::SessionStats* stats) {
+  // Hypothesis-change pass: forced labels never revert, so only the open
+  // set is re-tested, and the generalized pattern of each survivor is
+  // memoized — the same slot scoring reads — so negative-answer deltas
+  // and greedy selection never re-run Generalize until the next change.
+  for (size_t k = 0; k < frontier_.size(); ++k) {
+    if (!frontier_.IsOpen(k)) continue;
+    if (hypothesis_.Accepts(candidates_[k].word)) {
+      frontier_.MarkForced(k, /*positive=*/true);
+      ++stats->forced_positive;
+      continue;
+    }
+    const std::optional<GenMemo>& memo = GenMemoOf(k);
+    for (const auto& neg : negative_words_) {
+      if (memo->extended.Accepts(neg)) {
+        frontier_.MarkForced(k, /*positive=*/false);
+        ++stats->forced_negative;
+        break;  // memo slot was just released by MarkForced
+      }
+    }
+  }
+}
+
+void PathEngine::ApplyNegativeDeltas(session::SessionStats* stats) {
+  std::vector<size_t> deltas = prop_.TakeDeltas();
+  if (deltas.empty()) return;
+  // The hypothesis is unchanged: no new forced positives, and each open
+  // candidate's memoized generalization is still valid — only the new
+  // negative words need accept tests against it.
+  for (size_t k = 0; k < frontier_.size(); ++k) {
+    if (!frontier_.IsOpen(k)) continue;
+    const std::optional<GenMemo>& memo = GenMemoOf(k);
+    for (size_t neg : deltas) {
+      if (memo->extended.Accepts(candidates_[neg].word)) {
+        frontier_.MarkForced(k, /*positive=*/false);
+        ++stats->forced_negative;
+        break;  // memo slot was just released by MarkForced
+      }
+    }
+  }
+}
+
+#ifndef NDEBUG
+void PathEngine::AssertPropagationFixpoint() {
+  // The historical full-rescan predicates must find nothing left to force.
+  for (size_t k = 0; k < frontier_.size(); ++k) {
+    if (!frontier_.IsOpen(k)) continue;
+    const Candidate& c = candidates_[k];
+    assert(!hypothesis_.Accepts(c.word) &&
+           "delta flush missed a forced positive");
+    const ConcatPattern extended = hypothesis_.Generalize(c.word);
+    for (const auto& neg : negative_words_) {
+      assert(!extended.Accepts(neg) && "delta flush missed a forced negative");
+    }
+  }
+}
+#endif
 
 Result<InteractivePathResult> RunInteractivePathSession(
     const graph::Graph& g, const Path& seed, PathOracle* oracle,

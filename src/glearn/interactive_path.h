@@ -18,6 +18,7 @@
 #include "glearn/concat_pattern.h"
 #include "graph/path_query.h"
 #include "session/frontier.h"
+#include "session/propagation.h"
 #include "session/session.h"
 
 namespace qlearn {
@@ -123,6 +124,17 @@ class PathEngine {
   std::optional<Item> SelectQuestion(common::Rng* rng);
   void MarkAsked(const Item& item);
   void Observe(const Item& item, bool positive, session::SessionStats* stats);
+  /// Per-answer propagation deltas (engine concept, session/session.h): a
+  /// negative answer queues its candidate index; a positive answer marks
+  /// the hypothesis changed iff generalizing actually grew the pattern.
+  void OnPositive(const Item& item);
+  void OnNegative(const Item& item);
+  /// Flushes queued deltas. Steady state: only the *new* negative word is
+  /// tested against each open candidate's memoized generalized pattern —
+  /// O(open) accept tests instead of O(open × negatives) generalize+accept
+  /// sweeps. A hypothesis change (and the baseline call) re-tests the open
+  /// set once, memoizing the generalizations the frontier already caches
+  /// for scoring.
   void Propagate(session::SessionStats* stats);
   /// True once the hypothesis accepted a labeled-negative word (goal
   /// outside the concat class).
@@ -140,6 +152,13 @@ class PathEngine {
     return frontier_.HasForcedLabel(index);
   }
 
+  /// Test/bench hook: every flush replays the historical full-universe
+  /// rescan (fresh Generalize per candidate per flush) instead of the
+  /// delta pass (identical behavior, different cost).
+  void set_reference_propagation(bool on) { reference_propagation_ = on; }
+  /// Test/bench hook: makes the next flush run the full re-test pass.
+  void ForceFullRepropagation() { prop_.RecordHypothesisChange(); }
+
  private:
   struct Candidate {
     graph::Path path;
@@ -150,11 +169,38 @@ class PathEngine {
   /// Greedy scores are (workload-hit, -generalization-cost) pairs compared
   /// lexicographically; kFrontier pins the hit component to 0.
   using PathScore = std::pair<long, long>;
-  using FrontierT = session::Frontier<Question, PathScore>;
+  /// Memoized per-candidate intermediate: the hypothesis generalized with
+  /// the candidate's word, plus the edit cost. Scoring reads the cost; the
+  /// forced-negative predicate (would absorbing this word swallow a known
+  /// negative?) reads the pattern — so negative-answer deltas never re-run
+  /// Generalize. Valid until the hypothesis changes.
+  struct GenMemo {
+    ConcatPattern extended;
+    int cost = 0;
+  };
+  using FrontierT = session::Frontier<Question, PathScore, GenMemo>;
+  /// Delta queue only (deltas are candidate indices of new negatives); the
+  /// witness-bucket half is unused — the per-candidate accept test against
+  /// one word is already O(1) per candidate.
+  using PropagationT = session::PropagationIndex<size_t, size_t>;
 
+  /// Memoized generalization of candidate `k`'s word into the current
+  /// hypothesis (recomputed only after a hypothesis change).
+  const std::optional<GenMemo>& GenMemoOf(size_t k);
   /// Memoized generalization cost of absorbing candidate `k`'s word into
   /// the current hypothesis (stale only when the hypothesis changes).
   long CostOf(size_t k);
+
+  /// The historical full-universe rescan, verbatim (reference mode).
+  void ReferencePropagate(session::SessionStats* stats);
+  /// Baseline / hypothesis-change pass over the open set, via the memos.
+  void FullPropagate(session::SessionStats* stats);
+  /// Steady-state flush: tests only the queued new negatives against each
+  /// open candidate's memoized generalized pattern.
+  void ApplyNegativeDeltas(session::SessionStats* stats);
+#ifndef NDEBUG
+  void AssertPropagationFixpoint();
+#endif
 
   const graph::Graph* g_;
   PathStrategy strategy_;
@@ -163,6 +209,10 @@ class PathEngine {
   ConcatPattern hypothesis_;
   double max_positive_weight_ = 0;
   std::vector<std::vector<common::SymbolId>> negative_words_;
+  PropagationT prop_;
+  /// Did the last positive Observe actually grow the hypothesis?
+  bool hypothesis_advanced_ = false;
+  bool reference_propagation_ = false;
   bool aborted_ = false;
 };
 

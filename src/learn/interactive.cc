@@ -1,6 +1,7 @@
 #include "learn/interactive.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 #include "twig/twig_containment.h"
@@ -79,6 +80,7 @@ void TwigEngine::MarkAsked(const NodeId& item) { frontier_.MarkAsked(item); }
 void TwigEngine::Observe(const NodeId& item, bool positive,
                          session::SessionStats* stats) {
   frontier_.MarkLabeled(item, positive);
+  hypothesis_advanced_ = false;
   if (positive) {
     auto h2 = Extended(item);
     if (!h2.has_value()) {
@@ -87,6 +89,7 @@ void TwigEngine::Observe(const NodeId& item, bool positive,
       hypothesis_ = std::move(*h2);
       // Every selected-set was computed against the old hypothesis.
       frontier_.InvalidateAll();
+      hypothesis_advanced_ = true;
     }
   } else {
     negatives_.push_back(item);
@@ -95,7 +98,34 @@ void TwigEngine::Observe(const NodeId& item, bool positive,
   }
 }
 
+void TwigEngine::OnPositive(const NodeId& /*item*/) {
+  // A conflicting positive leaves the hypothesis untouched; only a real
+  // generalization changes the propagation predicates.
+  if (hypothesis_advanced_) prop_.RecordHypothesisChange();
+}
+
+void TwigEngine::OnNegative(const NodeId& item) { prop_.RecordNegative(item); }
+
 void TwigEngine::Propagate(session::SessionStats* stats) {
+  if (reference_propagation_) {
+    ReferencePropagate(stats);
+    prop_.MarkFullPassDone();
+    prop_.InvalidateWitnesses();
+  } else if (prop_.NeedsFullPass()) {
+    FullPropagate(stats);
+    prop_.MarkFullPassDone();
+    // The node buckets were built for the old hypothesis; the next
+    // negative delta rebuilds them from the fresh selected-set memos.
+    prop_.InvalidateWitnesses();
+  } else {
+    ApplyNegativeDeltas(stats);
+  }
+#ifndef NDEBUG
+  AssertPropagationFixpoint();
+#endif
+}
+
+void TwigEngine::ReferencePropagate(session::SessionStats* stats) {
   twig::TwigEvaluator eval(hypothesis_, *doc_);
   for (NodeId v = 0; v < doc_->NumNodes(); ++v) {
     // Unlabeled nodes (including discarded in-flight questions) and earlier
@@ -135,6 +165,136 @@ void TwigEngine::Propagate(session::SessionStats* stats) {
     }
   }
 }
+
+void TwigEngine::FullPropagate(session::SessionStats* stats) {
+  // Forced positives: one evaluator sweep under the (possibly just-grown)
+  // hypothesis — same eligibility as the historical pass, including the
+  // forced-negative → forced-positive upgrade.
+  twig::TwigEvaluator eval(hypothesis_, *doc_);
+  for (NodeId v = 0; v < doc_->NumNodes(); ++v) {
+    const CandidateState state = frontier_.state(v);
+    if (state != CandidateState::kUnknown &&
+        state != CandidateState::kAsked &&
+        state != CandidateState::kForcedNegative) {
+      continue;
+    }
+    if (eval.Selects(v)) {
+      frontier_.MarkForced(v, /*positive=*/true);
+      ++stats->forced_positive;
+    }
+  }
+  if (negatives_.empty()) {
+    // With no negative yet, the only convictable candidates are the
+    // out-of-class ones (no anchored generalization exists). That is
+    // decidable from GeneralizePair alone — no need to materialize the
+    // full selected-set of every open candidate just to detect it; greedy
+    // scoring computes the sets it needs later, random strategies never do.
+    for (NodeId v = 0; v < doc_->NumNodes(); ++v) {
+      const CandidateState state = frontier_.state(v);
+      if (state != CandidateState::kUnknown &&
+          state != CandidateState::kAsked) {
+        continue;
+      }
+      if (!Extended(v).has_value()) {
+        frontier_.MarkForced(v, /*positive=*/false);
+        ++stats->forced_negative;
+      }
+    }
+    return;
+  }
+  // Forced negatives against the accumulated negative set: the hypothesis
+  // changed, so every selected-set is recomputed (memoized for scoring).
+  for (NodeId v = 0; v < doc_->NumNodes(); ++v) {
+    const CandidateState state = frontier_.state(v);
+    if (state != CandidateState::kUnknown &&
+        state != CandidateState::kAsked) {
+      continue;
+    }
+    const std::optional<SelectedSet>& selected = SelectedBy(v);
+    if (!selected.has_value()) {
+      frontier_.MarkForced(v, /*positive=*/false);
+      ++stats->forced_negative;
+      continue;
+    }
+    for (NodeId neg : negatives_) {
+      if (std::binary_search(selected->begin(), selected->end(), neg)) {
+        frontier_.MarkForced(v, /*positive=*/false);
+        ++stats->forced_negative;
+        break;
+      }
+    }
+  }
+}
+
+void TwigEngine::ApplyNegativeDeltas(session::SessionStats* stats) {
+  std::vector<NodeId> deltas = prop_.TakeDeltas();
+  if (deltas.empty()) return;
+  // The hypothesis is unchanged, so no new forced positives exist and the
+  // memoized selected-sets are still valid: each new negative settles
+  // exactly its witness bucket.
+  if (!prop_.WitnessesValid()) RebuildWitnessIndex();
+  for (NodeId neg : deltas) {
+    prop_.ConsumeBucket(neg, [&](std::vector<size_t>& members) {
+      // Twig candidates witness many nodes, so entries settled by earlier
+      // convictions (or by answers) linger in other buckets: evict them,
+      // then force the survivors.
+      PropagationT::Evict(&members, [&](size_t v) {
+        const CandidateState state = frontier_.state(v);
+        return state == CandidateState::kUnknown ||
+               state == CandidateState::kAsked;
+      });
+      for (size_t v : members) {
+        frontier_.MarkForced(v, /*positive=*/false);
+        ++stats->forced_negative;
+      }
+    });
+  }
+}
+
+void TwigEngine::RebuildWitnessIndex() {
+  prop_.BeginWitnessRebuild();
+  for (NodeId v = 0; v < doc_->NumNodes(); ++v) {
+    const CandidateState state = frontier_.state(v);
+    if (state != CandidateState::kUnknown &&
+        state != CandidateState::kAsked) {
+      continue;
+    }
+    const std::optional<SelectedSet>& selected = SelectedBy(v);
+    // The preceding full pass settled every out-of-class candidate; a live
+    // one always generalizes.
+    assert(selected.has_value());
+    if (!selected.has_value()) continue;
+    for (NodeId u : *selected) prop_.AddWitness(u, v);
+  }
+}
+
+#ifndef NDEBUG
+void TwigEngine::AssertPropagationFixpoint() {
+  // The historical full-rescan predicates must find nothing left to force:
+  // the flush reached the same fixpoint (hence identical forced sets and
+  // stats totals) as the full pass it replaced.
+  twig::TwigEvaluator eval(hypothesis_, *doc_);
+  for (NodeId v = 0; v < doc_->NumNodes(); ++v) {
+    const CandidateState state = frontier_.state(v);
+    if (state == CandidateState::kUnknown || state == CandidateState::kAsked ||
+        state == CandidateState::kForcedNegative) {
+      assert(!eval.Selects(v) && "delta flush missed a forced positive");
+    }
+    if (state != CandidateState::kUnknown &&
+        state != CandidateState::kAsked) {
+      continue;
+    }
+    const std::optional<SelectedSet>& selected = SelectedBy(v);
+    assert(selected.has_value() &&
+           "delta flush missed an out-of-class forced negative");
+    if (!selected.has_value()) continue;
+    for (NodeId neg : negatives_) {
+      assert(!std::binary_search(selected->begin(), selected->end(), neg) &&
+             "delta flush missed a forced negative");
+    }
+  }
+}
+#endif
 
 TwigQuery TwigEngine::Finish(session::SessionStats* stats) {
   // Audit forced positives against the oracle-visible truth: conflicts mean

@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "learn/twig_learner.h"
 #include "session/frontier.h"
+#include "session/propagation.h"
 #include "session/session.h"
 #include "twig/twig_eval.h"
 #include "twig/twig_query.h"
@@ -109,6 +110,18 @@ class TwigEngine {
   std::optional<Item> SelectQuestion(common::Rng* rng);
   void MarkAsked(const Item& item);
   void Observe(const Item& item, bool positive, session::SessionStats* stats);
+  /// Per-answer propagation deltas (engine concept, session/session.h): a
+  /// negative answer queues the node as a new witness conviction; a
+  /// positive answer marks the hypothesis changed iff Observe actually
+  /// generalized it (a conflicting positive leaves it untouched).
+  void OnPositive(const Item& item);
+  void OnNegative(const Item& item);
+  /// Flushes queued deltas. Steady state (no hypothesis change since the
+  /// last flush): each new negative settles exactly the open candidates
+  /// whose memoized selected-set contains it, via the node→candidates
+  /// witness index — O(affected), not O(open × negatives). A hypothesis
+  /// change (and the baseline call) runs the full pass and lazily rebuilds
+  /// the index from the frontier's selected-set memos.
   void Propagate(session::SessionStats* stats);
   bool Aborted() const { return false; }  // twig sessions tolerate conflicts
   HypothesisT Current() const { return hypothesis_; }
@@ -122,6 +135,18 @@ class TwigEngine {
     return frontier_.HasForcedLabel(node);
   }
 
+  /// Test/bench hook: every flush replays the historical full-universe
+  /// rescan instead of the delta pass. Behavior (questions, forced sets,
+  /// stats) is identical by construction — the parity property test
+  /// asserts it — only the per-answer cost differs.
+  void set_reference_propagation(bool on) { reference_propagation_ = on; }
+  /// Test/bench hook: makes the next flush run the full hypothesis-change
+  /// pass (steady-state positive-answer cost without mutating the session).
+  void ForceFullRepropagation() { prop_.RecordHypothesisChange(); }
+  // Test introspection of the witness index (lazy rebuild semantics).
+  bool WitnessIndexValidForTest() const { return prop_.WitnessesValid(); }
+  size_t WitnessBucketsForTest() const { return prop_.NumBuckets(); }
+
  private:
   /// Memoized per-candidate intermediate: the sorted node set selected by
   /// the hypothesis extended with the candidate (nullopt when no anchored
@@ -131,11 +156,34 @@ class TwigEngine {
   using SelectedSet = std::vector<xml::NodeId>;
   using FrontierT = session::Frontier<xml::NodeId, long, SelectedSet>;
 
+  /// Witness index: document node → candidates whose memoized selected-set
+  /// contains it; deltas are the negative nodes themselves.
+  using PropagationT =
+      session::PropagationIndex<xml::NodeId, xml::NodeId>;
+
   /// Hypothesis with doc-node `v` joined in, or nullopt if no anchored
   /// generalization exists.
   std::optional<twig::TwigQuery> Extended(xml::NodeId v) const;
   /// Memoized selected-set of Extended(v) over all doc nodes.
   const std::optional<SelectedSet>& SelectedBy(xml::NodeId v);
+
+  /// The historical full-universe rescan, verbatim (reference mode).
+  void ReferencePropagate(session::SessionStats* stats);
+  /// Baseline / hypothesis-change pass: historical forced-positive sweep,
+  /// plus the forced-negative sweep that skips selected-set
+  /// materialization while no negative exists yet.
+  void FullPropagate(session::SessionStats* stats);
+  /// Steady-state flush: convicts only the witness buckets of the queued
+  /// negative nodes.
+  void ApplyNegativeDeltas(session::SessionStats* stats);
+  /// Rebuilds the witness index from the frontier's selected-set memos
+  /// (deferred until a negative delta actually demands it).
+  void RebuildWitnessIndex();
+#ifndef NDEBUG
+  /// Replays the historical per-candidate predicates and asserts the flush
+  /// reached their fixpoint (identical forced sets and stats totals).
+  void AssertPropagationFixpoint();
+#endif
 
   const xml::XmlTree* doc_;
   // strategy + learner knobs; see the knob-ownership contract on
@@ -144,6 +192,10 @@ class TwigEngine {
   twig::TwigQuery hypothesis_;
   FrontierT frontier_;  // one candidate per doc node, index == NodeId
   std::vector<xml::NodeId> negatives_;
+  PropagationT prop_;
+  /// Did the last positive Observe actually generalize the hypothesis?
+  bool hypothesis_advanced_ = false;
+  bool reference_propagation_ = false;
 };
 
 /// Runs the interactive protocol on `doc`, starting from one positive seed

@@ -99,6 +99,11 @@ class ChainVersionSpace {
   const JoinChain& chain() const { return *chain_; }
   size_t num_positives() const { return num_positives_; }
   size_t num_negatives() const { return negative_agreements_.size(); }
+  /// Per-edge agreement masks of the negatives, in arrival order (the
+  /// delta propagation layer classifies witness buckets against them).
+  const std::vector<std::vector<PairMask>>& negative_agreements() const {
+    return negative_agreements_;
+  }
 
  private:
   std::vector<PairMask> Agreements(const ChainExample& e) const;

@@ -55,6 +55,11 @@ class EquiJoinVersionSpace {
   const PairUniverse& universe() const { return *universe_; }
   size_t num_positives() const { return num_positives_; }
   size_t num_negatives() const { return negative_masks_.size(); }
+  /// Agreement masks of the negatives, in arrival order (the delta
+  /// propagation layer classifies witness buckets against them directly).
+  const std::vector<PairMask>& negative_masks() const {
+    return negative_masks_;
+  }
 
  private:
   PairMask Agree(const PairExample& e) const;

@@ -47,7 +47,11 @@ ChainEngine::ChainEngine(const JoinChain* chain,
   std::vector<ChainExample> candidates =
       EnumerateCandidates(*chain, options.max_candidates);
   frontier_.Reserve(candidates.size());
+  agree_.reserve(candidates.size() * chain->num_edges());
   for (ChainExample& candidate : candidates) {
+    for (size_t e = 0; e < chain->num_edges(); ++e) {
+      agree_.push_back(chain->AgreeOn(e, candidate.rows));
+    }
     frontier_.Add(std::move(candidate));
   }
 }
@@ -92,8 +96,7 @@ std::optional<ChainExample> ChainEngine::SelectQuestion(common::Rng* rng) {
                 long split = 0;
                 for (size_t e = 0; e < chain_->num_edges(); ++e) {
                   const PairMask ms = vs_.most_specific()[e];
-                  const PairMask agree =
-                      ms & chain_->AgreeOn(e, frontier_.item(j).rows);
+                  const PairMask agree = ms & AgreeFor(j, e);
                   const int total = std::popcount(ms);
                   const int kept = std::popcount(agree);
                   total_kept += kept;
@@ -120,8 +123,11 @@ void ChainEngine::Observe(const ChainExample& item, bool positive,
                           session::SessionStats* stats) {
   const std::optional<size_t> k = IndexOf(item);
   if (k.has_value()) frontier_.MarkLabeled(*k, positive);
+  theta_advanced_ = false;
   if (positive) {
+    const ChainMask before = vs_.most_specific();
     vs_.AddPositive(item);
+    theta_advanced_ = vs_.most_specific() != before;
     // θ* (and possibly the hunting phase) changed: memoized split scores
     // are stale. Negatives leave θ* untouched — nothing to invalidate.
     frontier_.InvalidateAll();
@@ -136,7 +142,42 @@ void ChainEngine::Observe(const ChainExample& item, bool positive,
   }
 }
 
+void ChainEngine::OnPositive(const ChainExample& /*item*/) {
+  // A positive that covered every edge's θ* already (possible mid-batch)
+  // leaves every classification unchanged.
+  if (theta_advanced_) prop_.RecordHypothesisChange();
+}
+
+void ChainEngine::OnNegative(const ChainExample& item) {
+  // Queue the negative's per-edge agreement vector (exactly what the
+  // version space recorded for it). In-frontier items reuse the
+  // per-candidate cache; paths without a candidate slot recompute.
+  const std::optional<size_t> k = IndexOf(item);
+  std::vector<PairMask> agree(chain_->num_edges());
+  for (size_t e = 0; e < chain_->num_edges(); ++e) {
+    agree[e] =
+        k.has_value() ? AgreeFor(*k, e) : chain_->AgreeOn(e, item.rows);
+  }
+  prop_.RecordNegative(std::move(agree));
+}
+
 void ChainEngine::Propagate(session::SessionStats* stats) {
+  if (reference_propagation_) {
+    ReferencePropagate(stats);
+    prop_.MarkFullPassDone();
+    prop_.InvalidateWitnesses();  // never re-bucketed in reference mode
+  } else if (prop_.NeedsFullPass()) {
+    FullPropagate(stats);  // re-buckets eagerly: witnesses stay valid
+    prop_.MarkFullPassDone();
+  } else {
+    ApplyNegativeDeltas(stats);
+  }
+#ifndef NDEBUG
+  AssertPropagationFixpoint();
+#endif
+}
+
+void ChainEngine::ReferencePropagate(session::SessionStats* stats) {
   for (size_t k = 0; k < frontier_.size(); ++k) {
     if (!frontier_.IsOpen(k)) continue;
     switch (vs_.Classify(frontier_.item(k))) {
@@ -153,6 +194,110 @@ void ChainEngine::Propagate(session::SessionStats* stats) {
     }
   }
 }
+
+void ChainEngine::ForceBucket(std::vector<size_t>& members, bool positive,
+                              session::SessionStats* stats) {
+  for (size_t k : members) {
+    if (!frontier_.IsOpen(k)) continue;  // settled since the bucket was built
+    frontier_.MarkForced(k, positive);
+    if (positive) {
+      ++stats->forced_positive;
+    } else {
+      ++stats->forced_negative;
+    }
+  }
+}
+
+void ChainEngine::RebuildBuckets() {
+  prop_.BeginWitnessRebuild();
+  const ChainMask& theta = vs_.most_specific();
+  const size_t edges = chain_->num_edges();
+  ChainMask key(edges);
+  for (size_t k = 0; k < frontier_.size(); ++k) {
+    if (!frontier_.IsOpen(k)) continue;
+    for (size_t e = 0; e < edges; ++e) {
+      key[e] = theta[e] & AgreeFor(k, e);
+    }
+    prop_.AddWitness(key, k);
+  }
+}
+
+void ChainEngine::FullPropagate(session::SessionStats* stats) {
+  // Classification of a path depends only on its per-edge effective masks
+  // A_e = θ*_e ∧ agree_e (see ChainVersionSpace::Classify): bucket the
+  // open set by the A vector once, then classify each distinct vector.
+  RebuildBuckets();
+  const ChainMask& theta = vs_.most_specific();
+  const size_t edges = chain_->num_edges();
+  prop_.ForEachBucket(
+      [&](const ChainMask& a, std::vector<size_t>& members) {
+        // A == θ* edge-wise ⇔ θ* selects the path.
+        if (a == theta) {
+          ForceBucket(members, /*positive=*/true, stats);
+          return true;
+        }
+        bool forced_negative = false;
+        for (size_t e = 0; e < edges && !forced_negative; ++e) {
+          forced_negative = a[e] == 0;
+        }
+        if (!forced_negative) {
+          for (const std::vector<PairMask>& neg : vs_.negative_agreements()) {
+            bool covered = true;
+            for (size_t e = 0; e < edges; ++e) {
+              if (!MaskSatisfied(a[e], neg[e])) {
+                covered = false;
+                break;
+              }
+            }
+            if (covered) {
+              forced_negative = true;
+              break;
+            }
+          }
+        }
+        if (forced_negative) {
+          ForceBucket(members, /*positive=*/false, stats);
+          return true;
+        }
+        return false;  // informative bucket: keep for future deltas
+      });
+}
+
+void ChainEngine::ApplyNegativeDeltas(session::SessionStats* stats) {
+  std::vector<std::vector<PairMask>> deltas = prop_.TakeDeltas();
+  if (deltas.empty()) return;
+  const size_t edges = chain_->num_edges();
+  // θ* is untouched, so no new forced positives exist and the surviving
+  // buckets' keys are still the candidates' effective-mask vectors. After
+  // a reference flush the buckets are stale — rebuild from the open set.
+  if (!prop_.WitnessesValid()) RebuildBuckets();
+  // No per-visit eviction: a path lives in exactly one bucket and forcing
+  // erases whole buckets, so the only stale members are the few asked /
+  // labeled paths — ForceBucket skips them.
+  for (const std::vector<PairMask>& neg : deltas) {
+    prop_.ForEachBucket(
+        [&](const ChainMask& a, std::vector<size_t>& members) {
+          for (size_t e = 0; e < edges; ++e) {
+            if (!MaskSatisfied(a[e], neg[e])) return false;
+          }
+          ForceBucket(members, /*positive=*/false, stats);
+          return true;
+        });
+  }
+}
+
+#ifndef NDEBUG
+void ChainEngine::AssertPropagationFixpoint() const {
+  // The historical per-candidate classification must find nothing left to
+  // force after a flush.
+  for (size_t k = 0; k < frontier_.size(); ++k) {
+    if (!frontier_.IsOpen(k)) continue;
+    assert(vs_.Classify(frontier_.item(k)) ==
+               ChainVersionSpace::PathStatus::kInformative &&
+           "delta flush missed a forced path");
+  }
+}
+#endif
 
 ChainMask ChainEngine::Finish(session::SessionStats* /*stats*/) {
   // No end-of-session audit beyond the per-answer consistency checks.

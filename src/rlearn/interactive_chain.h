@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "rlearn/chain_learner.h"
 #include "session/frontier.h"
+#include "session/propagation.h"
 #include "session/session.h"
 
 namespace qlearn {
@@ -99,6 +100,16 @@ class ChainEngine {
   std::optional<Item> SelectQuestion(common::Rng* rng);
   void MarkAsked(const Item& item);
   void Observe(const Item& item, bool positive, session::SessionStats* stats);
+  /// Per-answer propagation deltas (engine concept, session/session.h): a
+  /// negative answer queues its per-edge agreement masks; a positive
+  /// answer marks the hypothesis changed iff it shrank some edge's θ*.
+  void OnPositive(const Item& item);
+  void OnNegative(const Item& item);
+  /// Flushes queued deltas. Classification of a path is a pure function of
+  /// its per-edge effective masks A_e = θ*_e ∧ agree_e, so candidates live
+  /// in witness buckets keyed by the A vector: a new negative convicts
+  /// exactly the buckets it covers edge-wise — O(distinct mask vectors)
+  /// per answer — and a θ* change re-buckets the open set once.
   void Propagate(session::SessionStats* stats);
   /// True once an answer contradicted the version space (target outside the
   /// chain-of-joins hypothesis class).
@@ -119,19 +130,61 @@ class ChainEngine {
   bool WasAsked(const Item& item) const;
   bool HasForcedLabel(const Item& item) const;
 
+  /// Test/bench hook: every flush replays the historical full-universe
+  /// rescan instead of the delta pass (identical behavior, different cost).
+  void set_reference_propagation(bool on) { reference_propagation_ = on; }
+  /// Test/bench hook: makes the next flush run the full re-bucketing pass.
+  void ForceFullRepropagation() { prop_.RecordHypothesisChange(); }
+  // Test introspection of the witness-bucket index.
+  bool WitnessIndexValidForTest() const { return prop_.WitnessesValid(); }
+  size_t WitnessBucketsForTest() const { return prop_.NumBuckets(); }
+
  private:
   /// Split scores are (primary, tie) pairs compared lexicographically; see
   /// SelectQuestion for the two-phase hunting/splitting semantics.
   using SplitScore = std::pair<long, long>;
   using FrontierT = session::Frontier<ChainExample, SplitScore>;
+  /// Witness buckets keyed by the per-edge effective-mask vector; deltas
+  /// are the new negatives' per-edge agreement vectors.
+  using PropagationT =
+      session::PropagationIndex<ChainMask, std::vector<PairMask>,
+                                session::MaskVectorHash>;
 
   std::optional<size_t> IndexOf(const Item& item) const;
+
+  /// Cached agreement mask of candidate `k` on `edge` (row-major in
+  /// candidate order, filled at construction; also feeds split scoring).
+  PairMask AgreeFor(size_t k, size_t edge) const {
+    return agree_[k * chain_->num_edges() + edge];
+  }
+
+  /// The historical per-candidate Classify rescan, verbatim.
+  void ReferencePropagate(session::SessionStats* stats);
+  /// Re-buckets the open set by the per-edge effective-mask vectors.
+  void RebuildBuckets();
+  /// Baseline / θ*-change pass: re-bucket open candidates by their
+  /// effective-mask vectors, classify once per bucket.
+  void FullPropagate(session::SessionStats* stats);
+  /// Steady-state flush: convicts the buckets covered edge-wise by each
+  /// queued negative.
+  void ApplyNegativeDeltas(session::SessionStats* stats);
+  void ForceBucket(std::vector<size_t>& members, bool positive,
+                   session::SessionStats* stats);
+#ifndef NDEBUG
+  void AssertPropagationFixpoint() const;
+#endif
 
   const JoinChain* chain_;
   ChainStrategy strategy_;
   FrontierT frontier_;  // row-major candidate paths, capped
+  /// Per-candidate per-edge agreement masks, candidate-major.
+  std::vector<PairMask> agree_;
   ChainVersionSpace vs_;
   ChainMask last_consistent_;
+  PropagationT prop_;
+  /// Did the last positive Observe actually shrink some edge's θ*?
+  bool theta_advanced_ = false;
+  bool reference_propagation_ = false;
   bool aborted_ = false;
 };
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <cstdlib>
 #include <limits>
+#include <vector>
 
 namespace qlearn {
 namespace rlearn {
@@ -89,8 +91,11 @@ void JoinEngine::MarkAsked(const PairExample& item) {
 void JoinEngine::Observe(const PairExample& item, bool positive,
                          session::SessionStats* stats) {
   frontier_.MarkLabeled(IndexOf(item), positive);
+  theta_advanced_ = false;
   if (positive) {
+    const PairMask before = vs_.most_specific();
     vs_.AddPositive(item);
+    theta_advanced_ = vs_.most_specific() != before;
     // θ* shrank: every memoized split/lattice score is stale. Negative
     // answers leave θ* (and thus the scores) untouched.
     frontier_.InvalidateAll();
@@ -103,7 +108,33 @@ void JoinEngine::Observe(const PairExample& item, bool positive,
   }
 }
 
+void JoinEngine::OnPositive(const PairExample& /*item*/) {
+  // A positive whose agreement already covered θ* (possible mid-batch)
+  // leaves every classification unchanged.
+  if (theta_advanced_) prop_.RecordHypothesisChange();
+}
+
+void JoinEngine::OnNegative(const PairExample& item) {
+  prop_.RecordNegative(agree_[IndexOf(item)]);
+}
+
 void JoinEngine::Propagate(session::SessionStats* stats) {
+  if (reference_propagation_) {
+    ReferencePropagate(stats);
+    prop_.MarkFullPassDone();
+    prop_.InvalidateWitnesses();  // never re-bucketed in reference mode
+  } else if (prop_.NeedsFullPass()) {
+    FullPropagate(stats);  // re-buckets eagerly: witnesses stay valid
+    prop_.MarkFullPassDone();
+  } else {
+    ApplyNegativeDeltas(stats);
+  }
+#ifndef NDEBUG
+  AssertPropagationFixpoint();
+#endif
+}
+
+void JoinEngine::ReferencePropagate(session::SessionStats* stats) {
   for (size_t k = 0; k < frontier_.size(); ++k) {
     if (!frontier_.IsOpen(k)) continue;
     switch (vs_.Classify(frontier_.item(k))) {
@@ -120,6 +151,93 @@ void JoinEngine::Propagate(session::SessionStats* stats) {
     }
   }
 }
+
+void JoinEngine::ForceBucket(std::vector<size_t>& members, bool positive,
+                             session::SessionStats* stats) {
+  for (size_t k : members) {
+    if (!frontier_.IsOpen(k)) continue;  // settled since the bucket was built
+    frontier_.MarkForced(k, positive);
+    if (positive) {
+      ++stats->forced_positive;
+    } else {
+      ++stats->forced_negative;
+    }
+  }
+}
+
+void JoinEngine::RebuildBuckets() {
+  prop_.BeginWitnessRebuild();
+  const PairMask theta = vs_.most_specific();
+  for (size_t k = 0; k < frontier_.size(); ++k) {
+    if (!frontier_.IsOpen(k)) continue;
+    prop_.AddWitness(theta & agree_[k], k);
+  }
+}
+
+void JoinEngine::FullPropagate(session::SessionStats* stats) {
+  // Classification of a pair depends only on A = θ* ∧ agree (see
+  // EquiJoinVersionSpace::Classify): bucket the open set by A once, then
+  // classify each distinct mask — O(open + buckets × negatives) instead of
+  // O(open × negatives).
+  RebuildBuckets();
+  const PairMask theta = vs_.most_specific();
+  prop_.ForEachBucket([&](PairMask a, std::vector<size_t>& members) {
+    // A == θ* ⇔ MaskSatisfied(θ*, agree): even the most specific
+    // hypothesis selects the pair.
+    if (a == theta) {
+      ForceBucket(members, /*positive=*/true, stats);
+      return true;
+    }
+    bool forced_negative = a == 0;
+    if (!forced_negative) {
+      for (PairMask neg : vs_.negative_masks()) {
+        if (MaskSatisfied(a, neg)) {
+          forced_negative = true;
+          break;
+        }
+      }
+    }
+    if (forced_negative) {
+      ForceBucket(members, /*positive=*/false, stats);
+      return true;
+    }
+    return false;  // informative bucket: keep for future deltas
+  });
+}
+
+void JoinEngine::ApplyNegativeDeltas(session::SessionStats* stats) {
+  std::vector<PairMask> deltas = prop_.TakeDeltas();
+  if (deltas.empty()) return;
+  // θ* is untouched, so no new forced positives exist and the surviving
+  // buckets' keys are still the candidates' effective masks: the new
+  // negative convicts exactly the buckets it covers. After a reference
+  // flush the buckets are stale — rebuild from the open set (every
+  // survivor of a flush is informative, so no re-classification needed).
+  if (!prop_.WitnessesValid()) RebuildBuckets();
+  // No per-visit eviction: a pair lives in exactly one bucket and forcing
+  // erases whole buckets, so the only stale members are the few asked /
+  // labeled pairs — ForceBucket skips them.
+  for (PairMask neg : deltas) {
+    prop_.ForEachBucket([&](PairMask a, std::vector<size_t>& members) {
+      if (!MaskSatisfied(a, neg)) return false;
+      ForceBucket(members, /*positive=*/false, stats);
+      return true;
+    });
+  }
+}
+
+#ifndef NDEBUG
+void JoinEngine::AssertPropagationFixpoint() const {
+  // The historical per-candidate classification must find nothing left to
+  // force after a flush.
+  for (size_t k = 0; k < frontier_.size(); ++k) {
+    if (!frontier_.IsOpen(k)) continue;
+    assert(vs_.Classify(frontier_.item(k)) ==
+               EquiJoinVersionSpace::PairStatus::kInformative &&
+           "delta flush missed a forced pair");
+  }
+}
+#endif
 
 PairMask JoinEngine::Current() const {
   return vs_.Consistent() ? vs_.most_specific() : 0;

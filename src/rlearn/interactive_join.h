@@ -19,6 +19,7 @@
 #include "common/status.h"
 #include "rlearn/equijoin_learner.h"
 #include "session/frontier.h"
+#include "session/propagation.h"
 #include "session/session.h"
 
 namespace qlearn {
@@ -102,6 +103,17 @@ class JoinEngine {
   std::optional<Item> SelectQuestion(common::Rng* rng);
   void MarkAsked(const Item& item);
   void Observe(const Item& item, bool positive, session::SessionStats* stats);
+  /// Per-answer propagation deltas (engine concept, session/session.h): a
+  /// negative answer queues its agreement mask; a positive answer marks
+  /// the hypothesis changed iff it actually shrank θ*.
+  void OnPositive(const Item& item);
+  void OnNegative(const Item& item);
+  /// Flushes queued deltas. Classification of a pair is a pure function of
+  /// its effective mask A = θ* ∧ agree, so candidates live in witness
+  /// buckets keyed by A: a new negative convicts exactly the buckets its
+  /// mask covers — O(distinct masks) per answer, not O(open × negatives) —
+  /// and a θ* change re-buckets the open set once and classifies per
+  /// bucket.
   void Propagate(session::SessionStats* stats);
   /// True once an answer contradicted the version space (target outside the
   /// equi-join hypothesis class).
@@ -117,10 +129,39 @@ class JoinEngine {
   bool WasAsked(const Item& item) const;
   bool HasForcedLabel(const Item& item) const;
 
+  /// Test/bench hook: every flush replays the historical full-universe
+  /// rescan instead of the delta pass (identical behavior, different cost).
+  void set_reference_propagation(bool on) { reference_propagation_ = on; }
+  /// Test/bench hook: makes the next flush run the full re-bucketing pass.
+  void ForceFullRepropagation() { prop_.RecordHypothesisChange(); }
+  // Test introspection of the witness-bucket index.
+  bool WitnessIndexValidForTest() const { return prop_.WitnessesValid(); }
+  size_t WitnessBucketsForTest() const { return prop_.NumBuckets(); }
+
  private:
   using FrontierT = session::Frontier<PairExample, long>;
+  /// Witness buckets keyed by effective mask A = θ* ∧ agree; deltas are
+  /// the new negatives' agreement masks.
+  using PropagationT = session::PropagationIndex<PairMask, PairMask>;
 
   size_t IndexOf(const Item& item) const;
+
+  /// The historical per-candidate Classify rescan, verbatim.
+  void ReferencePropagate(session::SessionStats* stats);
+  /// Re-buckets the open set by effective mask A = θ* ∧ agree.
+  void RebuildBuckets();
+  /// Baseline / θ*-change pass: re-bucket open candidates by effective
+  /// mask, classify once per bucket.
+  void FullPropagate(session::SessionStats* stats);
+  /// Steady-state flush: convicts the buckets covered by each queued
+  /// negative mask.
+  void ApplyNegativeDeltas(session::SessionStats* stats);
+  /// Forces every still-open member of a bucket; returns via stats.
+  void ForceBucket(std::vector<size_t>& members, bool positive,
+                   session::SessionStats* stats);
+#ifndef NDEBUG
+  void AssertPropagationFixpoint() const;
+#endif
 
   const PairUniverse* universe_;
   const relational::Relation* left_;
@@ -129,6 +170,10 @@ class JoinEngine {
   FrontierT frontier_;           // row-major over (left, right)
   std::vector<PairMask> agree_;  // agreement mask per candidate index
   EquiJoinVersionSpace vs_;
+  PropagationT prop_;
+  /// Did the last positive Observe actually shrink θ*?
+  bool theta_advanced_ = false;
+  bool reference_propagation_ = false;
   bool aborted_ = false;
 };
 

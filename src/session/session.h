@@ -38,7 +38,22 @@
 //   void MarkAsked(const Item& item);
 //   // Incorporates the oracle's answer; may record a conflict.
 //   void Observe(const Item& item, bool positive, SessionStats* stats);
-//   // Settles uninformative items (forced positives / negatives).
+//   // Per-answer propagation deltas (see session/propagation.h). The
+//   // driver calls exactly one of these right after each Observe(), and
+//   // the engine queues the incremental work that answer can force:
+//   // OnNegative records the new negative's witness payload (the
+//   // hypothesis is untouched, so only candidates witnessing the new
+//   // negative can settle); OnPositive records a hypothesis change when
+//   // the observation actually advanced it (forced labels never revert,
+//   // so the next flush re-tests only still-open candidates).
+//   void OnPositive(const Item& item);
+//   void OnNegative(const Item& item);
+//   // Flushes the queued deltas: settles exactly the candidates the
+//   // answers since the last flush force (forced positives / negatives).
+//   // The first call runs the full baseline pass; afterwards a flush
+//   // without a hypothesis change touches only affected candidates, never
+//   // the whole open set. Must reach the same fixpoint the historical
+//   // full-universe rescan reached (Debug builds assert this).
 //   void Propagate(SessionStats* stats);
 //   // True when the target escaped the hypothesis class and the session
 //   // cannot usefully continue.
@@ -254,6 +269,13 @@ class LearningSession {
     const size_t count = std::min(labels.size(), pending_.size());
     for (size_t i = 0; i < count && !engine_.Aborted(); ++i) {
       engine_.Observe(pending_[i], labels[i], &stats_);
+      // Per-answer delta: the engine queues the propagation work this
+      // answer can force; the flush below settles the whole batch.
+      if (labels[i]) {
+        engine_.OnPositive(pending_[i]);
+      } else {
+        engine_.OnNegative(pending_[i]);
+      }
     }
     pending_.clear();
     if (!engine_.Aborted()) engine_.Propagate(&stats_);

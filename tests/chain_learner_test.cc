@@ -398,6 +398,7 @@ TEST(ChainSplitHalf, ScorerSurvivesAllNegativeSplitScores) {
   const ChainExample positive{{0, 0, 0, 0, 0}};  // agrees on all pairs
   engine.MarkAsked(positive);
   engine.Observe(positive, true, &stats);
+  engine.OnPositive(positive);
   ASSERT_FALSE(engine.Aborted());
   engine.Propagate(&stats);
 
