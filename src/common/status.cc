@@ -27,6 +27,20 @@ const char* StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+bool StatusCodeFromName(const std::string& name, StatusCode* code) {
+  for (const StatusCode candidate :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kParseError,
+        StatusCode::kUnsupported, StatusCode::kInternal,
+        StatusCode::kResourceExhausted, StatusCode::kFailedPrecondition}) {
+    if (name == StatusCodeName(candidate)) {
+      *code = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);

@@ -27,6 +27,11 @@ enum class StatusCode {
 /// Human-readable name of a status code (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
 
+/// Inverse of StatusCodeName: maps a name back to its code. Returns false
+/// on an unrecognized name (used by wire protocols that carry codes by
+/// name, so a client can round-trip a server-side error).
+bool StatusCodeFromName(const std::string& name, StatusCode* code);
+
 /// Outcome of a fallible operation. Cheap to copy when OK (no allocation).
 class Status {
  public:

@@ -1,0 +1,218 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qlearn {
+namespace net {
+
+namespace {
+
+using common::Result;
+using common::Status;
+
+Status WriteAll(int fd, const std::string& bytes) {
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + pos, bytes.size() - pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Internal(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status ReadExactly(int fd, char* out, size_t n) {
+  size_t pos = 0;
+  while (pos < n) {
+    const ssize_t got = ::recv(fd, out + pos, n - pos, 0);
+    if (got > 0) {
+      pos += static_cast<size_t>(got);
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    if (got == 0) {
+      return Status::Internal("connection closed mid-response");
+    }
+    return Status::Internal(std::string("recv: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Client> Client::Connect(const std::string& address, uint16_t port,
+                               size_t max_frame_bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address: " + address);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("connect " + address + ":" +
+                            std::to_string(port) + ": " + error);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Client client;
+  client.fd_ = fd;
+  client.max_frame_bytes_ = max_frame_bytes;
+  return client;
+}
+
+Client::~Client() { Disconnect(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), max_frame_bytes_(other.max_frame_bytes_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Disconnect();
+    fd_ = other.fd_;
+    max_frame_bytes_ = other.max_frame_bytes_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::string> Client::CallRaw(const std::string& payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  std::string framed;
+  if (!AppendFrame(payload, max_frame_bytes_, &framed)) {
+    return Status::InvalidArgument("payload does not fit in a frame");
+  }
+  QLEARN_RETURN_IF_ERROR(WriteAll(fd_, framed));
+
+  char header[kFrameHeaderBytes];
+  QLEARN_RETURN_IF_ERROR(ReadExactly(fd_, header, sizeof(header)));
+  const uint64_t length =
+      (static_cast<uint64_t>(static_cast<unsigned char>(header[0])) << 24) |
+      (static_cast<uint64_t>(static_cast<unsigned char>(header[1])) << 16) |
+      (static_cast<uint64_t>(static_cast<unsigned char>(header[2])) << 8) |
+      static_cast<uint64_t>(static_cast<unsigned char>(header[3]));
+  if (length == 0 || length > max_frame_bytes_) {
+    Disconnect();  // framing is out of sync; the stream is unusable
+    return Status::Internal("server sent a frame of " +
+                            std::to_string(length) + " bytes");
+  }
+  std::string payload_in(static_cast<size_t>(length), '\0');
+  QLEARN_RETURN_IF_ERROR(ReadExactly(fd_, payload_in.data(),
+                                     payload_in.size()));
+  return payload_in;
+}
+
+Result<Response> Client::Call(const Request& request) {
+  QLEARN_ASSIGN_OR_RETURN(const std::string raw,
+                          CallRaw(Serialize(request)));
+  return ParseResponse(request.op, raw);
+}
+
+Result<std::string> Client::Open(const std::string& scenario,
+                                 const service::OpenOptions& options) {
+  Request request;
+  request.op = Request::Op::kOpen;
+  request.scenario = scenario;
+  request.seed = options.seed;
+  request.max_questions = options.budget.max_questions;
+  request.max_pending = options.budget.max_pending;
+  request.max_wall_micros =
+      static_cast<uint64_t>(options.budget.max_wall_seconds * 1e6);
+  QLEARN_ASSIGN_OR_RETURN(const Response response, Call(request));
+  if (!response.status.ok()) return response.status;
+  return response.id;
+}
+
+Result<std::vector<service::wire::QuestionPayload>> Client::Ask(
+    const std::string& id, uint64_t k) {
+  Request request;
+  request.op = Request::Op::kAsk;
+  request.id = id;
+  request.k = k;
+  QLEARN_ASSIGN_OR_RETURN(Response response, Call(request));
+  if (!response.status.ok()) return response.status;
+  return std::move(response.questions);
+}
+
+common::Status Client::Tell(const std::string& id,
+                            const std::vector<bool>& labels) {
+  Request request;
+  request.op = Request::Op::kTell;
+  request.id = id;
+  request.labels = labels;
+  auto response = Call(request);
+  if (!response.ok()) return response.status();
+  return response.value().status;
+}
+
+Result<std::vector<bool>> Client::OracleLabels(const std::string& id) {
+  Request request;
+  request.op = Request::Op::kOracle;
+  request.id = id;
+  QLEARN_ASSIGN_OR_RETURN(Response response, Call(request));
+  if (!response.status.ok()) return response.status;
+  return std::move(response.labels);
+}
+
+Result<service::SessionStatus> Client::Status(const std::string& id) {
+  Request request;
+  request.op = Request::Op::kStatus;
+  request.id = id;
+  QLEARN_ASSIGN_OR_RETURN(Response response, Call(request));
+  if (!response.status.ok()) return response.status;
+  return std::move(response.session);
+}
+
+Result<service::CloseResult> Client::Close(const std::string& id) {
+  Request request;
+  request.op = Request::Op::kClose;
+  request.id = id;
+  QLEARN_ASSIGN_OR_RETURN(Response response, Call(request));
+  if (!response.status.ok()) return response.status;
+  service::CloseResult result;
+  result.hypothesis = std::move(response.hypothesis);
+  result.stats = response.stats;
+  return result;
+}
+
+Result<std::pair<service::ServiceCounters, uint64_t>> Client::Counters() {
+  Request request;
+  request.op = Request::Op::kCounters;
+  QLEARN_ASSIGN_OR_RETURN(const Response response, Call(request));
+  if (!response.status.ok()) return response.status;
+  return std::make_pair(response.counters, response.open_sessions);
+}
+
+}  // namespace net
+}  // namespace qlearn

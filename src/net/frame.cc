@@ -1,0 +1,100 @@
+#include "net/frame.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace qlearn {
+namespace net {
+
+bool AppendFrame(const std::string& payload, size_t max_frame_bytes,
+                 std::string* out) {
+  if (payload.empty() || payload.size() > max_frame_bytes ||
+      payload.size() > UINT32_MAX) {
+    return false;
+  }
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  out->push_back(static_cast<char>((n >> 24) & 0xff));
+  out->push_back(static_cast<char>((n >> 16) & 0xff));
+  out->push_back(static_cast<char>((n >> 8) & 0xff));
+  out->push_back(static_cast<char>(n & 0xff));
+  *out += payload;
+  return true;
+}
+
+void FrameReader::Feed(const char* data, size_t n) {
+  size_t pos = 0;
+  while (pos < n) {
+    switch (state_) {
+      case State::kHeader: {
+        while (header_filled_ < kFrameHeaderBytes && pos < n) {
+          header_[header_filled_++] = static_cast<unsigned char>(data[pos++]);
+        }
+        if (header_filled_ < kFrameHeaderBytes) break;  // need more bytes
+        header_filled_ = 0;
+        const uint64_t length = (static_cast<uint64_t>(header_[0]) << 24) |
+                                (static_cast<uint64_t>(header_[1]) << 16) |
+                                (static_cast<uint64_t>(header_[2]) << 8) |
+                                static_cast<uint64_t>(header_[3]);
+        if (length == 0) {
+          Event event;
+          event.kind = Event::Kind::kBadFrame;
+          event.error = "zero-length frame";
+          events_.push_back(std::move(event));
+          // No body to consume; stay in kHeader for the next frame.
+        } else if (length > max_frame_bytes_) {
+          Event event;
+          event.kind = Event::Kind::kBadFrame;
+          event.error = "frame of " + std::to_string(length) +
+                        " bytes exceeds the " +
+                        std::to_string(max_frame_bytes_) + "-byte limit";
+          events_.push_back(std::move(event));
+          remaining_ = length;
+          state_ = State::kSkip;  // discard the body as it streams in
+        } else {
+          remaining_ = length;
+          partial_.clear();
+          partial_.reserve(static_cast<size_t>(length));
+          state_ = State::kPayload;
+        }
+        break;
+      }
+      case State::kPayload: {
+        const size_t take =
+            std::min<uint64_t>(remaining_, static_cast<uint64_t>(n - pos));
+        partial_.append(data + pos, take);
+        pos += take;
+        remaining_ -= take;
+        if (remaining_ == 0) {
+          Event event;
+          event.kind = Event::Kind::kFrame;
+          event.payload = std::move(partial_);
+          partial_ = std::string();
+          events_.push_back(std::move(event));
+          state_ = State::kHeader;
+        }
+        break;
+      }
+      case State::kSkip: {
+        const size_t take =
+            std::min<uint64_t>(remaining_, static_cast<uint64_t>(n - pos));
+        pos += take;
+        remaining_ -= take;
+        if (remaining_ == 0) state_ = State::kHeader;
+        break;
+      }
+    }
+  }
+}
+
+FrameReader::Event FrameReader::Next() {
+  Event event = std::move(events_.front());
+  events_.pop_front();
+  return event;
+}
+
+bool FrameReader::MidFrame() const {
+  return header_filled_ > 0 || state_ != State::kHeader;
+}
+
+}  // namespace net
+}  // namespace qlearn

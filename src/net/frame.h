@@ -1,0 +1,91 @@
+// Length-prefixed framing for the TCP front end.
+//
+// A frame is a 4-byte big-endian unsigned payload length followed by that
+// many bytes of UTF-8 JSON. The length must be in [1, max_frame_bytes]:
+// zero-length frames and frames above the cap are protocol violations the
+// reader surfaces as recoverable kBadFrame events (the oversized payload
+// is *discarded as it streams in*, never buffered), so a server can answer
+// with a structured error frame and keep the connection usable.
+//
+// FrameReader is a push parser: feed it whatever bytes arrived, then drain
+// complete events. Per-connection memory is bounded by one frame
+// (max_frame_bytes) plus the events the server has not yet consumed — and
+// the server stops feeding (stops reading the socket) when its per-
+// connection input queue is full, so the bound is real backpressure, not
+// an assumption about client behavior.
+#ifndef QLEARN_NET_FRAME_H_
+#define QLEARN_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace qlearn {
+namespace net {
+
+/// Bytes of the big-endian length prefix.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Default cap on a frame's payload length (1 MiB). A batch of questions
+/// serializes to a few KiB; the cap is headroom, not a target.
+inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
+
+/// Appends the framed encoding of `payload` to `out`. The payload must be
+/// non-empty and at most `max_frame_bytes` (callers frame only payloads
+/// they produced; violating the bound is a programming error and returns
+/// false without touching `out`).
+bool AppendFrame(const std::string& payload, size_t max_frame_bytes,
+                 std::string* out);
+
+/// Incremental frame parser with bounded buffering.
+class FrameReader {
+ public:
+  struct Event {
+    enum class Kind {
+      kFrame,     ///< a complete payload
+      kBadFrame,  ///< zero-length or oversized declared length; recoverable
+    };
+    Kind kind = Kind::kFrame;
+    std::string payload;  ///< kFrame: the payload bytes
+    std::string error;    ///< kBadFrame: what was wrong
+  };
+
+  explicit FrameReader(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Consumes `n` bytes, emitting events as frames complete. Oversized
+  /// payloads are discarded byte-by-byte (one kBadFrame event when the
+  /// header is seen, no buffering of the body).
+  void Feed(const char* data, size_t n);
+
+  /// True when at least one event is ready.
+  bool HasEvent() const { return !events_.empty(); }
+  /// Pops the next event; requires HasEvent().
+  Event Next();
+  size_t EventCount() const { return events_.size(); }
+
+  /// True when the stream stopped mid-frame (partial header or payload) —
+  /// an EOF now means the peer truncated a frame.
+  bool MidFrame() const;
+
+  /// Bytes currently buffered for the in-progress frame (tests assert the
+  /// bound; never exceeds kFrameHeaderBytes + max_frame_bytes).
+  size_t BufferedBytes() const { return header_filled_ + partial_.size(); }
+
+ private:
+  enum class State { kHeader, kPayload, kSkip };
+
+  size_t max_frame_bytes_;
+  State state_ = State::kHeader;
+  unsigned char header_[kFrameHeaderBytes] = {0, 0, 0, 0};
+  size_t header_filled_ = 0;
+  std::string partial_;     // kPayload: body bytes so far
+  uint64_t remaining_ = 0;  // kPayload/kSkip: body bytes still expected
+  std::deque<Event> events_;
+};
+
+}  // namespace net
+}  // namespace qlearn
+
+#endif  // QLEARN_NET_FRAME_H_

@@ -1,0 +1,435 @@
+#include "net/protocol.h"
+
+#include <utility>
+
+#include "service/json.h"
+
+namespace qlearn {
+namespace net {
+
+namespace {
+
+using common::Result;
+using common::Status;
+using service::SessionBudget;
+using service::wire::QuestionPayload;
+using Json = service::json::Value;
+using service::json::AppendEscaped;
+using service::json::CheckAllKeysKnown;
+using service::json::Find;
+using service::json::ToBool;
+using service::json::ToString;
+using service::json::ToUInt;
+
+const char* OpName(Request::Op op) {
+  switch (op) {
+    case Request::Op::kOpen:
+      return "open";
+    case Request::Op::kAsk:
+      return "ask";
+    case Request::Op::kTell:
+      return "tell";
+    case Request::Op::kOracle:
+      return "oracle";
+    case Request::Op::kStatus:
+      return "status";
+    case Request::Op::kClose:
+      return "close";
+    case Request::Op::kCounters:
+      return "counters";
+  }
+  return "unknown";
+}
+
+Status ShapeError(const std::string& message) {
+  return Status::ParseError("protocol: " + message);
+}
+
+void AppendLabels(const std::vector<bool>& labels, std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    *out += labels[i] ? "true" : "false";
+  }
+  out->push_back(']');
+}
+
+Result<std::vector<bool>> LabelsFromJson(const Json* value,
+                                         const std::string& what) {
+  if (value == nullptr || value->type != Json::Type::kArray) {
+    return ShapeError("missing or non-array \"" + what + "\"");
+  }
+  std::vector<bool> labels;
+  labels.reserve(value->array.size());
+  for (const Json& label : value->array) {
+    if (label.type != Json::Type::kBool) {
+      return ShapeError("non-boolean entry in \"" + what + "\"");
+    }
+    labels.push_back(label.bool_value);
+  }
+  return labels;
+}
+
+/// Reads an optional unsigned field into `*out` (leaves the default when
+/// the key is absent).
+Status OptionalUInt(const Json& object, const std::string& key,
+                    std::vector<bool>* seen, uint64_t* out) {
+  const Json* value = Find(object, key, seen);
+  if (value == nullptr) return Status::OK();
+  QLEARN_ASSIGN_OR_RETURN(*out, ToUInt(value, key));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Ok-frame bodies, one writer per op. All reuse the canonical wire
+// serializations for embedded payloads.
+
+std::string OkFrame(const std::string& body) {
+  return "{\"ok\":" + body + "}";
+}
+
+std::string OpenBody(const std::string& id) {
+  std::string out = "{\"id\":";
+  AppendEscaped(id, &out);
+  out.push_back('}');
+  return out;
+}
+
+std::string AskBody(const std::vector<QuestionPayload>& questions) {
+  std::string out = "{\"questions\":[";
+  for (size_t i = 0; i < questions.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += service::wire::Serialize(questions[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string OracleBody(const std::vector<bool>& labels) {
+  std::string out = "{\"labels\":";
+  AppendLabels(labels, &out);
+  out.push_back('}');
+  return out;
+}
+
+std::string StatusBody(const service::SessionStatus& status) {
+  std::string out = "{\"id\":";
+  AppendEscaped(status.id, &out);
+  out += ",\"scenario\":";
+  AppendEscaped(status.scenario, &out);
+  out += ",\"stats\":" + service::wire::Serialize(status.stats);
+  out += ",\"pending\":" + std::to_string(status.pending);
+  out += ",\"budget_exhausted\":";
+  out += status.budget_exhausted ? "true" : "false";
+  out += ",\"hypothesis\":";
+  AppendEscaped(status.hypothesis, &out);
+  out.push_back('}');
+  return out;
+}
+
+std::string CloseBody(const service::CloseResult& result) {
+  std::string out = "{\"hypothesis\":" +
+                    service::wire::Serialize(result.hypothesis);
+  out += ",\"stats\":" + service::wire::Serialize(result.stats);
+  out.push_back('}');
+  return out;
+}
+
+std::string CountersBody(const service::ServiceCounters& counters,
+                         uint64_t open_sessions) {
+  std::string out = "{\"opens\":" + std::to_string(counters.opens);
+  out += ",\"asks\":" + std::to_string(counters.asks);
+  out += ",\"tells\":" + std::to_string(counters.tells);
+  out += ",\"oracles\":" + std::to_string(counters.oracles);
+  out += ",\"statuses\":" + std::to_string(counters.statuses);
+  out += ",\"closes\":" + std::to_string(counters.closes);
+  out += ",\"errors\":" + std::to_string(counters.errors);
+  out += ",\"questions_served\":" +
+         std::to_string(counters.questions_served);
+  out += ",\"labels_accepted\":" + std::to_string(counters.labels_accepted);
+  out += ",\"open_sessions\":" + std::to_string(open_sessions);
+  out.push_back('}');
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Ok-frame body parsing, one reader per op (strict, like the wire parsers).
+
+Status ParseOkBody(Request::Op op, const Json& body, Response* response) {
+  if (body.type != Json::Type::kObject) {
+    return ShapeError("\"ok\" body must be an object");
+  }
+  std::vector<bool> seen(body.object.size(), false);
+  switch (op) {
+    case Request::Op::kOpen: {
+      QLEARN_ASSIGN_OR_RETURN(response->id,
+                              ToString(Find(body, "id", &seen), "id"));
+      break;
+    }
+    case Request::Op::kAsk: {
+      const Json* questions = Find(body, "questions", &seen);
+      if (questions == nullptr || questions->type != Json::Type::kArray) {
+        return ShapeError("missing or non-array \"questions\"");
+      }
+      for (const Json& question : questions->array) {
+        QLEARN_ASSIGN_OR_RETURN(QuestionPayload payload,
+                                service::wire::QuestionFromJson(question));
+        response->questions.push_back(std::move(payload));
+      }
+      break;
+    }
+    case Request::Op::kTell:
+      break;  // empty body
+    case Request::Op::kOracle: {
+      QLEARN_ASSIGN_OR_RETURN(response->labels,
+                              LabelsFromJson(Find(body, "labels", &seen),
+                                             "labels"));
+      break;
+    }
+    case Request::Op::kStatus: {
+      QLEARN_ASSIGN_OR_RETURN(response->session.id,
+                              ToString(Find(body, "id", &seen), "id"));
+      QLEARN_ASSIGN_OR_RETURN(
+          response->session.scenario,
+          ToString(Find(body, "scenario", &seen), "scenario"));
+      const Json* stats = Find(body, "stats", &seen);
+      if (stats == nullptr) return ShapeError("missing \"stats\"");
+      QLEARN_ASSIGN_OR_RETURN(response->session.stats,
+                              service::wire::StatsFromJson(*stats));
+      QLEARN_ASSIGN_OR_RETURN(const uint64_t pending,
+                              ToUInt(Find(body, "pending", &seen), "pending"));
+      response->session.pending = static_cast<size_t>(pending);
+      QLEARN_ASSIGN_OR_RETURN(response->session.budget_exhausted,
+                              ToBool(Find(body, "budget_exhausted", &seen),
+                                     "budget_exhausted"));
+      QLEARN_ASSIGN_OR_RETURN(
+          response->session.hypothesis,
+          ToString(Find(body, "hypothesis", &seen), "hypothesis"));
+      break;
+    }
+    case Request::Op::kClose: {
+      const Json* hypothesis = Find(body, "hypothesis", &seen);
+      if (hypothesis == nullptr) return ShapeError("missing \"hypothesis\"");
+      QLEARN_ASSIGN_OR_RETURN(response->hypothesis,
+                              service::wire::HypothesisFromJson(*hypothesis));
+      const Json* stats = Find(body, "stats", &seen);
+      if (stats == nullptr) return ShapeError("missing \"stats\"");
+      QLEARN_ASSIGN_OR_RETURN(response->stats,
+                              service::wire::StatsFromJson(*stats));
+      break;
+    }
+    case Request::Op::kCounters: {
+      service::ServiceCounters& c = response->counters;
+      QLEARN_ASSIGN_OR_RETURN(c.opens,
+                              ToUInt(Find(body, "opens", &seen), "opens"));
+      QLEARN_ASSIGN_OR_RETURN(c.asks,
+                              ToUInt(Find(body, "asks", &seen), "asks"));
+      QLEARN_ASSIGN_OR_RETURN(c.tells,
+                              ToUInt(Find(body, "tells", &seen), "tells"));
+      QLEARN_ASSIGN_OR_RETURN(
+          c.oracles, ToUInt(Find(body, "oracles", &seen), "oracles"));
+      QLEARN_ASSIGN_OR_RETURN(
+          c.statuses, ToUInt(Find(body, "statuses", &seen), "statuses"));
+      QLEARN_ASSIGN_OR_RETURN(c.closes,
+                              ToUInt(Find(body, "closes", &seen), "closes"));
+      QLEARN_ASSIGN_OR_RETURN(c.errors,
+                              ToUInt(Find(body, "errors", &seen), "errors"));
+      QLEARN_ASSIGN_OR_RETURN(
+          c.questions_served,
+          ToUInt(Find(body, "questions_served", &seen), "questions_served"));
+      QLEARN_ASSIGN_OR_RETURN(
+          c.labels_accepted,
+          ToUInt(Find(body, "labels_accepted", &seen), "labels_accepted"));
+      QLEARN_ASSIGN_OR_RETURN(
+          response->open_sessions,
+          ToUInt(Find(body, "open_sessions", &seen), "open_sessions"));
+      break;
+    }
+  }
+  return CheckAllKeysKnown(body, seen, std::string("\"") + OpName(op) +
+                                           "\" ok body");
+}
+
+}  // namespace
+
+std::string Serialize(const Request& request) {
+  std::string out = "{\"op\":\"";
+  out += OpName(request.op);
+  out += '"';
+  switch (request.op) {
+    case Request::Op::kOpen:
+      out += ",\"scenario\":";
+      AppendEscaped(request.scenario, &out);
+      out += ",\"seed\":" + std::to_string(request.seed);
+      out += ",\"max_questions\":" + std::to_string(request.max_questions);
+      out += ",\"max_pending\":" + std::to_string(request.max_pending);
+      out += ",\"max_wall_micros\":" + std::to_string(request.max_wall_micros);
+      break;
+    case Request::Op::kAsk:
+      out += ",\"id\":";
+      AppendEscaped(request.id, &out);
+      out += ",\"k\":" + std::to_string(request.k);
+      break;
+    case Request::Op::kTell:
+      out += ",\"id\":";
+      AppendEscaped(request.id, &out);
+      out += ",\"labels\":";
+      AppendLabels(request.labels, &out);
+      break;
+    case Request::Op::kOracle:
+    case Request::Op::kStatus:
+    case Request::Op::kClose:
+      out += ",\"id\":";
+      AppendEscaped(request.id, &out);
+      break;
+    case Request::Op::kCounters:
+      break;
+  }
+  out.push_back('}');
+  return out;
+}
+
+common::Result<Request> ParseRequest(const std::string& text) {
+  QLEARN_ASSIGN_OR_RETURN(const Json value, service::json::Parse(text));
+  if (value.type != Json::Type::kObject) {
+    return ShapeError("request must be an object");
+  }
+  std::vector<bool> seen(value.object.size(), false);
+  QLEARN_ASSIGN_OR_RETURN(const std::string op,
+                          ToString(Find(value, "op", &seen), "op"));
+  Request request;
+  if (op == "open") {
+    request.op = Request::Op::kOpen;
+    QLEARN_ASSIGN_OR_RETURN(
+        request.scenario, ToString(Find(value, "scenario", &seen), "scenario"));
+    QLEARN_RETURN_IF_ERROR(OptionalUInt(value, "seed", &seen, &request.seed));
+    QLEARN_RETURN_IF_ERROR(
+        OptionalUInt(value, "max_questions", &seen, &request.max_questions));
+    QLEARN_RETURN_IF_ERROR(
+        OptionalUInt(value, "max_pending", &seen, &request.max_pending));
+    QLEARN_RETURN_IF_ERROR(OptionalUInt(value, "max_wall_micros", &seen,
+                                        &request.max_wall_micros));
+  } else if (op == "ask") {
+    request.op = Request::Op::kAsk;
+    QLEARN_ASSIGN_OR_RETURN(request.id,
+                            ToString(Find(value, "id", &seen), "id"));
+    QLEARN_ASSIGN_OR_RETURN(request.k, ToUInt(Find(value, "k", &seen), "k"));
+  } else if (op == "tell") {
+    request.op = Request::Op::kTell;
+    QLEARN_ASSIGN_OR_RETURN(request.id,
+                            ToString(Find(value, "id", &seen), "id"));
+    QLEARN_ASSIGN_OR_RETURN(
+        request.labels, LabelsFromJson(Find(value, "labels", &seen),
+                                       "labels"));
+  } else if (op == "oracle" || op == "status" || op == "close") {
+    request.op = op == "oracle" ? Request::Op::kOracle
+                 : op == "status" ? Request::Op::kStatus
+                                  : Request::Op::kClose;
+    QLEARN_ASSIGN_OR_RETURN(request.id,
+                            ToString(Find(value, "id", &seen), "id"));
+  } else if (op == "counters") {
+    request.op = Request::Op::kCounters;
+  } else {
+    return ShapeError("unknown op \"" + op + "\"");
+  }
+  QLEARN_RETURN_IF_ERROR(
+      CheckAllKeysKnown(value, seen, "\"" + op + "\" request"));
+  return request;
+}
+
+std::string SerializeError(const common::Status& status) {
+  std::string out = "{\"error\":{\"code\":\"";
+  out += common::StatusCodeName(status.code());
+  out += "\",\"message\":";
+  AppendEscaped(status.message(), &out);
+  out += "}}";
+  return out;
+}
+
+common::Result<Response> ParseResponse(Request::Op op,
+                                       const std::string& text) {
+  QLEARN_ASSIGN_OR_RETURN(const Json value, service::json::Parse(text));
+  if (value.type != Json::Type::kObject || value.object.size() != 1) {
+    return ShapeError("response must be an object with one key");
+  }
+  const auto& [tag, body] = value.object[0];
+  Response response;
+  if (tag == "error") {
+    if (body.type != Json::Type::kObject) {
+      return ShapeError("\"error\" body must be an object");
+    }
+    std::vector<bool> seen(body.object.size(), false);
+    QLEARN_ASSIGN_OR_RETURN(const std::string code_name,
+                            ToString(Find(body, "code", &seen), "code"));
+    QLEARN_ASSIGN_OR_RETURN(const std::string message,
+                            ToString(Find(body, "message", &seen), "message"));
+    QLEARN_RETURN_IF_ERROR(CheckAllKeysKnown(body, seen, "error body"));
+    common::StatusCode code;
+    if (!common::StatusCodeFromName(code_name, &code) ||
+        code == common::StatusCode::kOk) {
+      return ShapeError("unknown error code \"" + code_name + "\"");
+    }
+    response.status = common::Status(code, message);
+    return response;
+  }
+  if (tag != "ok") {
+    return ShapeError("expected \"ok\" or \"error\", got \"" + tag + "\"");
+  }
+  QLEARN_RETURN_IF_ERROR(ParseOkBody(op, body, &response));
+  return response;
+}
+
+std::string HandleFrame(service::SessionService* service,
+                        const std::string& request_json) {
+  auto request_or = ParseRequest(request_json);
+  if (!request_or.ok()) return SerializeError(request_or.status());
+  const Request& request = request_or.value();
+  switch (request.op) {
+    case Request::Op::kOpen: {
+      service::OpenOptions options;
+      options.seed = request.seed;
+      options.budget.max_questions = request.max_questions;
+      options.budget.max_pending =
+          static_cast<size_t>(request.max_pending);
+      options.budget.max_wall_seconds =
+          static_cast<double>(request.max_wall_micros) / 1e6;
+      auto id = service->Open(request.scenario, options);
+      if (!id.ok()) return SerializeError(id.status());
+      return OkFrame(OpenBody(id.value()));
+    }
+    case Request::Op::kAsk: {
+      auto questions = service->Ask(request.id,
+                                    static_cast<size_t>(request.k));
+      if (!questions.ok()) return SerializeError(questions.status());
+      return OkFrame(AskBody(questions.value()));
+    }
+    case Request::Op::kTell: {
+      const common::Status status = service->Tell(request.id, request.labels);
+      if (!status.ok()) return SerializeError(status);
+      return OkFrame("{}");
+    }
+    case Request::Op::kOracle: {
+      auto labels = service->OracleLabels(request.id);
+      if (!labels.ok()) return SerializeError(labels.status());
+      return OkFrame(OracleBody(labels.value()));
+    }
+    case Request::Op::kStatus: {
+      auto status = service->Status(request.id);
+      if (!status.ok()) return SerializeError(status.status());
+      return OkFrame(StatusBody(status.value()));
+    }
+    case Request::Op::kClose: {
+      auto closed = service->Close(request.id);
+      if (!closed.ok()) return SerializeError(closed.status());
+      return OkFrame(CloseBody(closed.value()));
+    }
+    case Request::Op::kCounters:
+      return OkFrame(CountersBody(service->Counters(),
+                                  service->OpenCount()));
+  }
+  return SerializeError(
+      common::Status::Internal("unhandled op in HandleFrame"));
+}
+
+}  // namespace net
+}  // namespace qlearn

@@ -1,0 +1,107 @@
+// Request/response protocol of the framed-TCP front end.
+//
+// Every frame payload is one canonical-JSON object (service/json.h subset).
+// A request names one SessionService operation:
+//
+//   {"op":"open","scenario":"join","seed":7,"max_questions":1000000,
+//    "max_pending":64,"max_wall_micros":0}
+//   {"op":"ask","id":"s-...","k":4}
+//   {"op":"tell","id":"s-...","labels":[true,false]}
+//   {"op":"oracle","id":"s-..."}
+//   {"op":"status","id":"s-..."}
+//   {"op":"close","id":"s-..."}
+//   {"op":"counters"}
+//
+// A response is either an ok frame or an error frame — the connection is
+// never dropped on a bad request:
+//
+//   {"ok":{...op-specific body...}}
+//   {"error":{"code":"NotFound","message":"unknown session: s-42"}}
+//
+// Error codes are common::StatusCodeName strings, so a client round-trips
+// the server-side common::Status losslessly. Embedded questions,
+// hypotheses, and stats reuse the wire-format serializations byte-for-byte
+// (service/wire.h), which is what lets a load generator compare served
+// responses against golden transcripts by byte equality.
+#ifndef QLEARN_NET_PROTOCOL_H_
+#define QLEARN_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/session_service.h"
+#include "service/wire.h"
+
+namespace qlearn {
+namespace net {
+
+/// One decoded request frame. Open's knob fields default like
+/// service::OpenOptions, so a request may omit them.
+struct Request {
+  enum class Op { kOpen, kAsk, kTell, kOracle, kStatus, kClose, kCounters };
+
+  Op op = Op::kCounters;
+
+  // kOpen
+  std::string scenario;
+  uint64_t seed = session::SessionDefaults::kSeed;
+  uint64_t max_questions = service::SessionBudget{}.max_questions;
+  uint64_t max_pending = service::SessionBudget{}.max_pending;
+  uint64_t max_wall_micros = 0;  ///< 0 = unlimited (wire carries micros;
+                                 ///< the JSON subset has no floats)
+
+  // kAsk/kTell/kOracle/kStatus/kClose
+  std::string id;
+
+  // kAsk
+  uint64_t k = 1;
+
+  // kTell
+  std::vector<bool> labels;
+};
+
+/// One decoded response frame. `status` is the server-reported outcome:
+/// OK for an ok frame, the round-tripped error for an error frame. The
+/// other fields are meaningful per op (and only when status.ok()).
+struct Response {
+  common::Status status;
+
+  std::string id;                                 // open
+  std::vector<service::wire::QuestionPayload> questions;  // ask
+  std::vector<bool> labels;                       // oracle
+  service::SessionStatus session;                 // status
+  service::wire::HypothesisPayload hypothesis;    // close
+  session::SessionStats stats;                    // close
+  service::ServiceCounters counters;              // counters
+  uint64_t open_sessions = 0;                     // counters
+};
+
+/// Canonical serialization of a request (fixed key order, no whitespace).
+std::string Serialize(const Request& request);
+
+/// Strict parse of a request frame; unknown ops, unknown keys, and
+/// shape violations are ParseError.
+common::Result<Request> ParseRequest(const std::string& text);
+
+/// The error-frame payload for a failed operation.
+std::string SerializeError(const common::Status& status);
+
+/// Parses a response frame for the given op. A Result error means the
+/// frame itself was malformed; a parsed Response with !status.ok() means
+/// the server reported a structured error.
+common::Result<Response> ParseResponse(Request::Op op,
+                                       const std::string& text);
+
+/// Executes one request frame against `service` and returns the response
+/// frame payload. Malformed request JSON yields an error frame (never
+/// throws, never asserts) — this is the whole server-side dispatch, kept
+/// transport-free so tests can drive it without sockets.
+std::string HandleFrame(service::SessionService* service,
+                        const std::string& request_json);
+
+}  // namespace net
+}  // namespace qlearn
+
+#endif  // QLEARN_NET_PROTOCOL_H_

@@ -1,0 +1,450 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace qlearn {
+namespace net {
+
+namespace {
+
+/// One request handed to the worker pool. Connections are referenced by id,
+/// not pointer: the connection may be gone by the time the worker finishes,
+/// and a stale id simply fails the lookup (the response is dropped).
+struct Job {
+  uint64_t conn_id = 0;
+  std::string payload;
+};
+
+struct Completion {
+  uint64_t conn_id = 0;
+  std::string response;
+};
+
+/// Reactor-owned connection state. No locks: only the reactor thread
+/// touches it.
+struct Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  FrameReader reader;
+  std::deque<FrameReader::Event> inputs;  ///< complete frames awaiting dispatch
+  bool in_flight = false;                 ///< a worker holds one request
+  bool peer_eof = false;                  ///< read side closed; drain then close
+  std::string outbuf;
+  size_t outpos = 0;
+
+  explicit Connection(size_t max_frame_bytes) : reader(max_frame_bytes) {}
+
+  bool FlushDone() const { return outpos == outbuf.size(); }
+};
+
+void CloseFd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  service::SessionService* service = nullptr;
+  ServerOptions options;
+
+  int listen_fd = -1;
+  uint16_t bound_port = 0;
+  int wake_read = -1;
+  int wake_write = -1;
+
+  std::atomic<bool> running{false};
+  std::thread reactor;
+  std::vector<std::thread> workers;
+
+  std::mutex jobs_mutex;
+  std::condition_variable jobs_cv;
+  std::deque<Job> jobs;
+  bool stopping = false;  // guarded by jobs_mutex
+
+  std::mutex done_mutex;
+  std::deque<Completion> done;
+
+  mutable std::mutex stats_mutex;
+  ServerStats stats;
+
+  // Reactor-thread-only state.
+  std::map<uint64_t, std::unique_ptr<Connection>> connections;
+  uint64_t next_conn_id = 1;
+
+  void WakeReactor() {
+    const char byte = 1;
+    // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+    [[maybe_unused]] const ssize_t ignored = ::write(wake_write, &byte, 1);
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(jobs_mutex);
+        jobs_cv.wait(lock, [&] { return stopping || !jobs.empty(); });
+        if (stopping) return;
+        job = std::move(jobs.front());
+        jobs.pop_front();
+      }
+      std::string response = HandleFrame(service, job.payload);
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done.push_back({job.conn_id, std::move(response)});
+      }
+      WakeReactor();
+    }
+  }
+
+  void EnqueueResponse(Connection* conn, const std::string& response) {
+    if (!AppendFrame(response, options.max_frame_bytes, &conn->outbuf)) {
+      // A response bigger than the frame cap (a huge Ask batch) cannot be
+      // framed; tell the client why instead of wedging the connection.
+      const std::string error = SerializeError(common::Status::Internal(
+          "response of " + std::to_string(response.size()) +
+          " bytes exceeds the frame limit; ask for a smaller batch"));
+      AppendFrame(error, options.max_frame_bytes, &conn->outbuf);
+    }
+  }
+
+  /// Writes as much buffered output as the socket accepts. False on a dead
+  /// socket.
+  bool Flush(Connection* conn) {
+    while (conn->outpos < conn->outbuf.size()) {
+      const ssize_t n =
+          ::send(conn->fd, conn->outbuf.data() + conn->outpos,
+                 conn->outbuf.size() - conn->outpos, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->outpos += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EPIPE/ECONNRESET/...
+    }
+    if (conn->FlushDone() && !conn->outbuf.empty()) {
+      conn->outbuf.clear();
+      conn->outpos = 0;
+    }
+    return true;
+  }
+
+  /// Advances the per-connection request pipeline: answers framing errors
+  /// inline, dispatches at most one well-formed request to the pool, keeps
+  /// responses in arrival order.
+  void Step(Connection* conn) {
+    while (!conn->in_flight && conn->FlushDone() && !conn->inputs.empty()) {
+      FrameReader::Event event = std::move(conn->inputs.front());
+      conn->inputs.pop_front();
+      if (event.kind == FrameReader::Event::Kind::kBadFrame) {
+        EnqueueResponse(conn, SerializeError(common::Status::InvalidArgument(
+                                  "bad frame: " + event.error)));
+        if (!Flush(conn)) {
+          CloseConnection(conn->id);
+          return;
+        }
+        continue;
+      }
+      conn->in_flight = true;
+      {
+        std::lock_guard<std::mutex> lock(jobs_mutex);
+        jobs.push_back({conn->id, std::move(event.payload)});
+      }
+      jobs_cv.notify_one();
+    }
+    if (conn->peer_eof && !conn->in_flight && conn->inputs.empty() &&
+        conn->FlushDone()) {
+      CloseConnection(conn->id);
+    }
+  }
+
+  void CloseConnection(uint64_t id) {
+    auto it = connections.find(id);
+    if (it == connections.end()) return;
+    CloseFd(&it->second->fd);
+    connections.erase(it);
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    --stats.connections_open;
+  }
+
+  void Accept() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN, or fd exhaustion: try again on the next wakeup
+      }
+      if (!SetNonBlocking(fd)) {
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_unique<Connection>(options.max_frame_bytes);
+      conn->fd = fd;
+      conn->id = next_conn_id++;
+      connections.emplace(conn->id, std::move(conn));
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      ++stats.connections_accepted;
+      ++stats.connections_open;
+    }
+  }
+
+  void ReadFromConnection(Connection* conn) {
+    char buffer[64 * 1024];
+    for (;;) {
+      // Stop pulling bytes once the input queue is at its cap — the unread
+      // bytes stay in the kernel buffer and TCP flow control pushes back.
+      if (conn->inputs.size() + conn->reader.EventCount() >=
+          options.max_queued_frames) {
+        break;
+      }
+      const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+      if (n > 0) {
+        conn->reader.Feed(buffer, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      conn->peer_eof = true;  // EOF or a dead socket; drain what we have
+      if (n == 0 && conn->reader.MidFrame()) {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        ++stats.truncated_frames;
+      }
+      break;
+    }
+    uint64_t good = 0;
+    uint64_t bad = 0;
+    while (conn->reader.HasEvent()) {
+      FrameReader::Event event = conn->reader.Next();
+      (event.kind == FrameReader::Event::Kind::kFrame ? good : bad) += 1;
+      conn->inputs.push_back(std::move(event));
+    }
+    if (good + bad > 0) {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      stats.frames_received += good;
+      stats.bad_frames += bad;
+    }
+  }
+
+  void DrainCompletions() {
+    std::deque<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      batch.swap(done);
+    }
+    for (Completion& completion : batch) {
+      auto it = connections.find(completion.conn_id);
+      if (it == connections.end()) continue;  // connection died mid-request
+      Connection* conn = it->second.get();
+      conn->in_flight = false;
+      EnqueueResponse(conn, completion.response);
+      if (!Flush(conn)) {
+        CloseConnection(conn->id);
+        continue;
+      }
+      Step(conn);
+    }
+  }
+
+  void ReactorLoop() {
+    std::vector<pollfd> pollfds;
+    std::vector<uint64_t> poll_conn_ids;
+    while (running.load(std::memory_order_acquire)) {
+      pollfds.clear();
+      poll_conn_ids.clear();
+      pollfds.push_back({wake_read, POLLIN, 0});
+      pollfds.push_back({listen_fd, POLLIN, 0});
+      for (auto& [id, conn] : connections) {
+        short events = 0;
+        const bool input_paused =
+            conn->inputs.size() + conn->reader.EventCount() >=
+            options.max_queued_frames;
+        if (!conn->peer_eof && !input_paused) events |= POLLIN;
+        if (!conn->FlushDone()) events |= POLLOUT;
+        if (events == 0) continue;  // woken by completion, not the socket
+        pollfds.push_back({conn->fd, events, 0});
+        poll_conn_ids.push_back(id);
+      }
+      const int ready = ::poll(pollfds.data(), pollfds.size(), -1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;  // poll itself failing is unrecoverable
+      }
+      if (pollfds[0].revents & POLLIN) {
+        char drain[256];
+        while (::read(wake_read, drain, sizeof(drain)) > 0) {
+        }
+      }
+      DrainCompletions();
+      if (pollfds[1].revents & POLLIN) Accept();
+      for (size_t i = 2; i < pollfds.size(); ++i) {
+        const uint64_t id = poll_conn_ids[i - 2];
+        auto it = connections.find(id);
+        if (it == connections.end()) continue;  // closed by DrainCompletions
+        Connection* conn = it->second.get();
+        const short revents = pollfds[i].revents;
+        if (revents & (POLLERR | POLLNVAL)) {
+          CloseConnection(id);
+          continue;
+        }
+        if (revents & (POLLIN | POLLHUP)) ReadFromConnection(conn);
+        if ((revents & POLLOUT) && !Flush(conn)) {
+          CloseConnection(id);
+          continue;
+        }
+        Step(conn);
+      }
+    }
+    // Shutdown: drop every connection (in-flight worker responses will
+    // miss their lookup and be discarded).
+    for (auto& [id, conn] : connections) CloseFd(&conn->fd);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      stats.connections_open = 0;
+    }
+    connections.clear();
+  }
+};
+
+Server::Server(service::SessionService* service, ServerOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->service = service;
+  impl_->options = std::move(options);
+}
+
+Server::~Server() { Stop(); }
+
+common::Status Server::Start() {
+  Impl* impl = impl_.get();
+  if (impl->running.load()) {
+    return common::Status::FailedPrecondition("server already running");
+  }
+  if (impl->options.workers == 0) {
+    return common::Status::InvalidArgument("options.workers must be > 0");
+  }
+  if (impl->options.max_frame_bytes == 0) {
+    return common::Status::InvalidArgument(
+        "options.max_frame_bytes must be > 0");
+  }
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return common::Status::Internal(std::string("pipe2: ") +
+                                    std::strerror(errno));
+  }
+  impl->wake_read = pipe_fds[0];
+  impl->wake_write = pipe_fds[1];
+
+  impl->listen_fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (impl->listen_fd < 0) {
+    CloseFd(&impl->wake_read);
+    CloseFd(&impl->wake_write);
+    return common::Status::Internal(std::string("socket: ") +
+                                    std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(impl->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(impl->options.port);
+  if (::inet_pton(AF_INET, impl->options.bind_address.c_str(),
+                  &addr.sin_addr) != 1) {
+    CloseFd(&impl->listen_fd);
+    CloseFd(&impl->wake_read);
+    CloseFd(&impl->wake_write);
+    return common::Status::InvalidArgument("bad bind address: " +
+                                           impl->options.bind_address);
+  }
+  if (::bind(impl->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(impl->listen_fd, impl->options.backlog) != 0) {
+    const std::string error = std::strerror(errno);
+    CloseFd(&impl->listen_fd);
+    CloseFd(&impl->wake_read);
+    CloseFd(&impl->wake_write);
+    return common::Status::Internal("bind/listen: " + error);
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(impl->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                &bound_len);
+  impl->bound_port = ntohs(bound.sin_port);
+
+  {
+    std::lock_guard<std::mutex> lock(impl->jobs_mutex);
+    impl->stopping = false;
+  }
+  impl->running.store(true, std::memory_order_release);
+  impl->reactor = std::thread([impl] { impl->ReactorLoop(); });
+  impl->workers.reserve(impl->options.workers);
+  for (size_t i = 0; i < impl->options.workers; ++i) {
+    impl->workers.emplace_back([impl] { impl->WorkerLoop(); });
+  }
+  return common::Status::OK();
+}
+
+void Server::Stop() {
+  Impl* impl = impl_.get();
+  if (impl == nullptr || !impl->running.load()) return;
+  impl->running.store(false, std::memory_order_release);
+  impl->WakeReactor();
+  if (impl->reactor.joinable()) impl->reactor.join();
+  {
+    std::lock_guard<std::mutex> lock(impl->jobs_mutex);
+    impl->stopping = true;
+    impl->jobs.clear();
+  }
+  impl->jobs_cv.notify_all();
+  for (std::thread& worker : impl->workers) {
+    if (worker.joinable()) worker.join();
+  }
+  impl->workers.clear();
+  {
+    std::lock_guard<std::mutex> lock(impl->done_mutex);
+    impl->done.clear();
+  }
+  CloseFd(&impl->listen_fd);
+  CloseFd(&impl->wake_read);
+  CloseFd(&impl->wake_write);
+}
+
+uint16_t Server::port() const { return impl_->bound_port; }
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  return impl_->stats;
+}
+
+}  // namespace net
+}  // namespace qlearn

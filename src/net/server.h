@@ -1,0 +1,90 @@
+// Framed-TCP serving front end for SessionService.
+//
+// One reactor thread owns every socket: it accepts connections, feeds
+// arriving bytes through a per-connection FrameReader, and flushes response
+// frames. Complete request frames are dispatched to a fixed pool of worker
+// threads that execute protocol::HandleFrame against the shared
+// SessionService (which is thread-safe; distinct sessions run in
+// parallel). Workers never touch sockets — they hand finished response
+// payloads back to the reactor over a completion queue and a self-pipe
+// wakeup, so all connection state is single-threaded by construction.
+//
+// Per-connection protocol discipline: requests are answered strictly in
+// arrival order, one in flight at a time. Pipelined frames queue (bounded;
+// the reactor stops reading the socket past the cap, so backpressure is
+// TCP flow control, not memory growth). A malformed frame — zero-length,
+// oversized, or unparseable JSON — produces a structured error frame in
+// the same ordered stream and the connection stays usable; the connection
+// is only closed by the peer, by EOF, or by Stop().
+#ifndef QLEARN_NET_SERVER_H_
+#define QLEARN_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "service/session_service.h"
+
+namespace qlearn {
+namespace net {
+
+struct ServerOptions {
+  /// Numeric IPv4 address to bind; loopback by default (the load harness
+  /// and tests run client and server on one host).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via Server::port()).
+  uint16_t port = 0;
+  /// Fixed worker-pool size; must be > 0.
+  size_t workers = 4;
+  /// Frame payload cap, enforced on reads and responses alike.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// listen(2) backlog.
+  int backlog = 128;
+  /// Complete frames a connection may queue before the reactor stops
+  /// reading its socket (resumed as responses drain).
+  size_t max_queued_frames = 32;
+};
+
+/// Lifetime statistics of one server, for tests and the load harness.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_open = 0;
+  uint64_t frames_received = 0;   ///< complete, well-framed payloads
+  uint64_t bad_frames = 0;        ///< zero-length/oversized framing errors
+  uint64_t truncated_frames = 0;  ///< peer EOF mid-frame
+};
+
+class Server {
+ public:
+  /// Serves `service` (not owned; must outlive the server).
+  Server(service::SessionService* service, ServerOptions options = {});
+  ~Server();  ///< calls Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the reactor and worker threads. Fails
+  /// (InvalidArgument/Internal) without leaking resources; safe to retry.
+  common::Status Start();
+
+  /// Shuts down: stops accepting, closes every connection, joins all
+  /// threads. Idempotent; also called by the destructor.
+  void Stop();
+
+  /// The bound port (the ephemeral pick when options.port was 0); valid
+  /// after a successful Start().
+  uint16_t port() const;
+
+  ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace net
+}  // namespace qlearn
+
+#endif  // QLEARN_NET_SERVER_H_

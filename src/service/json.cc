@@ -1,0 +1,312 @@
+#include "service/json.h"
+
+#include <cstdio>
+
+namespace qlearn {
+namespace service {
+namespace json {
+
+namespace {
+
+using common::Result;
+using common::Status;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    QLEARN_ASSIGN_OR_RETURN(Value value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::ParseError("json: " + message + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c >= '0' && c <= '9') return ParseUInt();
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<Value> ParseObject() {
+    ++pos_;  // '{'
+    Value value;
+    value.type = Value::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return value;
+    for (;;) {
+      SkipWhitespace();
+      QLEARN_ASSIGN_OR_RETURN(Value key, ParseString());
+      for (const auto& [existing, unused] : value.object) {
+        if (existing == key.string_value) {
+          return Error("duplicate key \"" + key.string_value + "\"");
+        }
+      }
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      QLEARN_ASSIGN_OR_RETURN(Value member, ParseValue());
+      value.object.emplace_back(std::move(key.string_value),
+                                std::move(member));
+      SkipWhitespace();
+      if (Consume('}')) return value;
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Value> ParseArray() {
+    ++pos_;  // '['
+    Value value;
+    value.type = Value::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return value;
+    for (;;) {
+      QLEARN_ASSIGN_OR_RETURN(Value element, ParseValue());
+      value.array.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return value;
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Value> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    Value value;
+    value.type = Value::Type::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c != '\\') {
+        value.string_value.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          value.string_value.push_back('"');
+          break;
+        case '\\':
+          value.string_value.push_back('\\');
+          break;
+        case '/':
+          value.string_value.push_back('/');
+          break;
+        case 'b':
+          value.string_value.push_back('\b');
+          break;
+        case 'f':
+          value.string_value.push_back('\f');
+          break;
+        case 'n':
+          value.string_value.push_back('\n');
+          break;
+        case 'r':
+          value.string_value.push_back('\r');
+          break;
+        case 't':
+          value.string_value.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a') + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A') + 10;
+            } else {
+              return Error("invalid \\u escape digit");
+            }
+          }
+          // The canonical writers only \u-escape control characters;
+          // non-ASCII passes through as raw UTF-8 bytes.
+          if (code >= 0x80) return Error("\\u escape above 0x7f unsupported");
+          value.string_value.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Value> ParseBool() {
+    Value value;
+    value.type = Value::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.bool_value = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      value.bool_value = false;
+      pos_ += 5;
+      return value;
+    }
+    return Error("expected 'true' or 'false'");
+  }
+
+  Result<Value> ParseUInt() {
+    Value value;
+    value.type = Value::Type::kUInt;
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      const unsigned digit = static_cast<unsigned>(text_[pos_] - '0');
+      if (value.uint_value > (UINT64_MAX - digit) / 10) {
+        return Error("integer overflow");
+      }
+      value.uint_value = value.uint_value * 10 + digit;
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected digits");
+    if (text_[start] == '0' && pos_ - start > 1) {
+      return Error("leading zero in integer");
+    }
+    return value;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+common::Result<Value> Parse(const std::string& text) {
+  return Parser(text).ParseDocument();
+}
+
+void AppendEscaped(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buffer;
+        } else {
+          out->push_back(c);  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendUInts(const std::vector<uint64_t>& ids, std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    *out += std::to_string(ids[i]);
+  }
+  out->push_back(']');
+}
+
+const Value* Find(const Value& object, const std::string& key,
+                  std::vector<bool>* seen) {
+  for (size_t i = 0; i < object.object.size(); ++i) {
+    if (object.object[i].first == key) {
+      (*seen)[i] = true;
+      return &object.object[i].second;
+    }
+  }
+  return nullptr;
+}
+
+common::Status CheckAllKeysKnown(const Value& object,
+                                 const std::vector<bool>& seen,
+                                 const std::string& what) {
+  for (size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i]) {
+      return common::Status::ParseError("json: unknown key \"" +
+                                        object.object[i].first + "\" in " +
+                                        what);
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Result<std::string> ToString(const Value* value,
+                                     const std::string& what) {
+  if (value == nullptr || value->type != Value::Type::kString) {
+    return common::Status::ParseError("json: missing or non-string \"" +
+                                      what + "\"");
+  }
+  return value->string_value;
+}
+
+common::Result<uint64_t> ToUInt(const Value* value, const std::string& what) {
+  if (value == nullptr || value->type != Value::Type::kUInt) {
+    return common::Status::ParseError("json: missing or non-integer \"" +
+                                      what + "\"");
+  }
+  return value->uint_value;
+}
+
+common::Result<bool> ToBool(const Value* value, const std::string& what) {
+  if (value == nullptr || value->type != Value::Type::kBool) {
+    return common::Status::ParseError("json: missing or non-boolean \"" +
+                                      what + "\"");
+  }
+  return value->bool_value;
+}
+
+}  // namespace json
+}  // namespace service
+}  // namespace qlearn

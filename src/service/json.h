@@ -1,0 +1,63 @@
+// Canonical-JSON building blocks shared by the wire format (service/wire.h)
+// and the TCP request/response protocol (net/protocol.h).
+//
+// The subset is deliberately small: objects, arrays, strings with escapes,
+// unsigned decimal integers, and booleans — exactly what the canonical
+// writers emit. Anything else (null, floats, negatives, duplicate keys)
+// is a ParseError, so every value that parses can be re-serialized
+// canonically and byte equality stays semantic equality.
+#ifndef QLEARN_SERVICE_JSON_H_
+#define QLEARN_SERVICE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qlearn {
+namespace service {
+namespace json {
+
+/// A parsed JSON value of the canonical subset. Object members keep their
+/// source order so strict shape checks can name the offending key.
+struct Value {
+  enum class Type { kBool, kUInt, kString, kArray, kObject };
+  Type type = Type::kBool;
+  bool bool_value = false;
+  uint64_t uint_value = 0;
+  std::string string_value;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+};
+
+/// Parses one JSON document (the whole string; trailing bytes are an
+/// error). Rejects everything outside the canonical subset.
+common::Result<Value> Parse(const std::string& text);
+
+/// Appends `text` as a quoted JSON string, escaping the canonical way
+/// (control characters as \uXXXX, UTF-8 bytes pass through verbatim).
+void AppendEscaped(const std::string& text, std::string* out);
+
+/// Appends `ids` as a JSON array of unsigned decimal integers.
+void AppendUInts(const std::vector<uint64_t>& ids, std::string* out);
+
+// Strict shape helpers for converting a parsed object into a struct: Find
+// checks looked-up keys off in `seen` (one bit per member) so
+// CheckAllKeysKnown can reject unknown keys afterwards.
+const Value* Find(const Value& object, const std::string& key,
+                  std::vector<bool>* seen);
+common::Status CheckAllKeysKnown(const Value& object,
+                                 const std::vector<bool>& seen,
+                                 const std::string& what);
+common::Result<std::string> ToString(const Value* value,
+                                     const std::string& what);
+common::Result<uint64_t> ToUInt(const Value* value, const std::string& what);
+common::Result<bool> ToBool(const Value* value, const std::string& what);
+
+}  // namespace json
+}  // namespace service
+}  // namespace qlearn
+
+#endif  // QLEARN_SERVICE_JSON_H_

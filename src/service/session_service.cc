@@ -27,12 +27,19 @@ SessionService::SessionService(session::ScenarioRegistry* registry)
   }
 }
 
+common::Status SessionService::Fail(common::Status status) const {
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  return status;
+}
+
 Result<std::string> SessionService::Open(const std::string& scenario,
                                          const OpenOptions& options) {
+  opens_.fetch_add(1, std::memory_order_relaxed);
   if (options.budget.max_pending == 0) {
     // A session that may never serve a question would look converged on
     // the first Ask; refuse the budget up front instead.
-    return common::Status::InvalidArgument("budget.max_pending must be > 0");
+    return Fail(
+        common::Status::InvalidArgument("budget.max_pending must be > 0"));
   }
   session::SessionOptions session_options;
   session_options.seed = options.seed;
@@ -41,8 +48,10 @@ Result<std::string> SessionService::Open(const std::string& scenario,
   session_options.max_questions =
       static_cast<size_t>(std::min<uint64_t>(options.budget.max_questions,
                                              SIZE_MAX));
-  QLEARN_ASSIGN_OR_RETURN(std::unique_ptr<session::ScenarioSession> created,
-                          registry_->Create(scenario, session_options));
+  auto created_or = registry_->Create(scenario, session_options);
+  if (!created_or.ok()) return Fail(created_or.status());
+  std::unique_ptr<session::ScenarioSession> created =
+      std::move(created_or).value();
 
   auto entry = std::make_shared<Entry>();
   entry->session = std::move(created);
@@ -69,36 +78,37 @@ std::shared_ptr<SessionService::Entry> SessionService::Find(
 
 Result<std::vector<wire::QuestionPayload>> SessionService::Ask(
     const std::string& id, size_t k) {
+  asks_.fetch_add(1, std::memory_order_relaxed);
   auto entry = Find(id);
   if (entry == nullptr) {
-    return common::Status::NotFound("unknown session: " + id);
+    return Fail(common::Status::NotFound("unknown session: " + id));
   }
   std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->closed) {
-    return common::Status::NotFound("session already closed: " + id);
+    return Fail(common::Status::NotFound("session already closed: " + id));
   }
   if (entry->pending > 0) {
-    return common::Status::FailedPrecondition(
+    return Fail(common::Status::FailedPrecondition(
         "session " + id + " has " + std::to_string(entry->pending) +
-        " unanswered question(s); Tell first");
+        " unanswered question(s); Tell first"));
   }
   if (k == 0) {
-    return common::Status::InvalidArgument("Ask needs k > 0");
+    return Fail(common::Status::InvalidArgument("Ask needs k > 0"));
   }
   const SessionBudget& budget = entry->budget;
   if (budget.max_wall_seconds > 0 &&
       ElapsedSeconds(entry->opened_at) > budget.max_wall_seconds) {
     entry->budget_exhausted = true;
-    return common::Status::ResourceExhausted(
+    return Fail(common::Status::ResourceExhausted(
         "session " + id + " exceeded its wall-clock budget of " +
-        std::to_string(budget.max_wall_seconds) + "s");
+        std::to_string(budget.max_wall_seconds) + "s"));
   }
   const uint64_t asked = entry->session->stats().questions;
   if (asked >= budget.max_questions) {
     entry->budget_exhausted = true;
-    return common::Status::ResourceExhausted(
+    return Fail(common::Status::ResourceExhausted(
         "session " + id + " exhausted its question budget of " +
-        std::to_string(budget.max_questions));
+        std::to_string(budget.max_questions)));
   }
   // Clamp the batch to both budgets; a batch truncated mid-Ask by the
   // question budget is still served (the refusal comes on the next Ask).
@@ -118,57 +128,62 @@ Result<std::vector<wire::QuestionPayload>> SessionService::Ask(
     payloads.push_back(std::move(payload));
   }
   entry->pending = payloads.size();
+  questions_served_.fetch_add(payloads.size(), std::memory_order_relaxed);
   return payloads;
 }
 
 common::Status SessionService::Tell(const std::string& id,
                                     const std::vector<bool>& labels) {
+  tells_.fetch_add(1, std::memory_order_relaxed);
   auto entry = Find(id);
   if (entry == nullptr) {
-    return common::Status::NotFound("unknown session: " + id);
+    return Fail(common::Status::NotFound("unknown session: " + id));
   }
   std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->closed) {
-    return common::Status::NotFound("session already closed: " + id);
+    return Fail(common::Status::NotFound("session already closed: " + id));
   }
   if (entry->pending == 0) {
-    return common::Status::FailedPrecondition(
-        "session " + id + " has no pending questions to answer");
+    return Fail(common::Status::FailedPrecondition(
+        "session " + id + " has no pending questions to answer"));
   }
   if (labels.size() != entry->pending) {
-    return common::Status::InvalidArgument(
+    return Fail(common::Status::InvalidArgument(
         "session " + id + " expects " + std::to_string(entry->pending) +
-        " label(s), got " + std::to_string(labels.size()));
+        " label(s), got " + std::to_string(labels.size())));
   }
   entry->session->AnswerAll(labels);
   entry->pending = 0;
+  labels_accepted_.fetch_add(labels.size(), std::memory_order_relaxed);
   return common::Status::OK();
 }
 
 Result<std::vector<bool>> SessionService::OracleLabels(const std::string& id) {
+  oracles_.fetch_add(1, std::memory_order_relaxed);
   auto entry = Find(id);
   if (entry == nullptr) {
-    return common::Status::NotFound("unknown session: " + id);
+    return Fail(common::Status::NotFound("unknown session: " + id));
   }
   std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->closed) {
-    return common::Status::NotFound("session already closed: " + id);
+    return Fail(common::Status::NotFound("session already closed: " + id));
   }
   if (entry->pending == 0) {
-    return common::Status::FailedPrecondition(
-        "session " + id + " has no pending questions to label");
+    return Fail(common::Status::FailedPrecondition(
+        "session " + id + " has no pending questions to label"));
   }
   return entry->session->OracleLabels();
 }
 
 Result<SessionStatus> SessionService::Status(const std::string& id) const {
+  statuses_.fetch_add(1, std::memory_order_relaxed);
   auto entry = Find(id);
   if (entry == nullptr) {
-    return common::Status::NotFound("unknown session: " + id);
+    return Fail(common::Status::NotFound("unknown session: " + id));
   }
   std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->closed) {
-    return common::Status::NotFound("session already closed: " + id);
+    return Fail(common::Status::NotFound("session already closed: " + id));
   }
   SessionStatus status;
   status.id = id;
@@ -181,15 +196,16 @@ Result<SessionStatus> SessionService::Status(const std::string& id) const {
 }
 
 Result<CloseResult> SessionService::Close(const std::string& id) {
+  closes_.fetch_add(1, std::memory_order_relaxed);
   auto entry = Find(id);
   if (entry == nullptr) {
-    return common::Status::NotFound("unknown session: " + id);
+    return Fail(common::Status::NotFound("unknown session: " + id));
   }
   CloseResult result;
   {
     std::lock_guard<std::mutex> lock(entry->mutex);
     if (entry->closed) {
-      return common::Status::NotFound("session already closed: " + id);
+      return Fail(common::Status::NotFound("session already closed: " + id));
     }
     entry->session->Finish();
     entry->pending = 0;
@@ -214,6 +230,21 @@ std::vector<std::string> SessionService::ListOpen() const {
 size_t SessionService::OpenCount() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return sessions_.size();
+}
+
+ServiceCounters SessionService::Counters() const {
+  ServiceCounters counters;
+  counters.opens = opens_.load(std::memory_order_relaxed);
+  counters.asks = asks_.load(std::memory_order_relaxed);
+  counters.tells = tells_.load(std::memory_order_relaxed);
+  counters.oracles = oracles_.load(std::memory_order_relaxed);
+  counters.statuses = statuses_.load(std::memory_order_relaxed);
+  counters.closes = closes_.load(std::memory_order_relaxed);
+  counters.errors = errors_.load(std::memory_order_relaxed);
+  counters.questions_served =
+      questions_served_.load(std::memory_order_relaxed);
+  counters.labels_accepted = labels_accepted_.load(std::memory_order_relaxed);
+  return counters;
 }
 
 }  // namespace service

@@ -26,9 +26,15 @@
 // Thread-safety: all methods are safe to call from multiple threads.
 // Distinct sessions never serialize on each other's learner work (each
 // session has its own lock); calls on the same session are serialized.
+// Entries are held by shared_ptr, so a handle resolved by one thread stays
+// valid while another thread Closes and erases it — the loser observes
+// `closed` under the entry lock and gets NotFound, never a dangling entry.
+// tests/service_race_test.cc races Close against in-flight Ask/Tell/Status
+// under the sanitizer CI job to keep this claim honest.
 #ifndef QLEARN_SERVICE_SESSION_SERVICE_H_
 #define QLEARN_SERVICE_SESSION_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -72,6 +78,23 @@ struct SessionStatus {
   size_t pending = 0;            ///< questions served but not yet answered
   bool budget_exhausted = false; ///< a budget refused further questions
   std::string hypothesis;        ///< current rendering
+};
+
+/// Monotonic service-wide operation counters — what a front end or load
+/// generator reads to compute served throughput without instrumenting the
+/// transport. Snapshot semantics: fields are read individually (relaxed),
+/// so a snapshot taken while calls are in flight can be torn by one call;
+/// each field on its own is exact.
+struct ServiceCounters {
+  uint64_t opens = 0;
+  uint64_t asks = 0;
+  uint64_t tells = 0;
+  uint64_t oracles = 0;
+  uint64_t statuses = 0;
+  uint64_t closes = 0;
+  uint64_t errors = 0;            ///< calls that returned a non-OK Status
+  uint64_t questions_served = 0;  ///< questions across all Ask batches
+  uint64_t labels_accepted = 0;   ///< labels across all Tell batches
 };
 
 /// What Close() returns: the final hypothesis and final counters (the
@@ -118,6 +141,9 @@ class SessionService {
   std::vector<std::string> ListOpen() const;
   size_t OpenCount() const;
 
+  /// Snapshot of the service-wide operation counters.
+  ServiceCounters Counters() const;
+
  private:
   struct Entry {
     std::mutex mutex;  // serializes calls on this session
@@ -132,10 +158,26 @@ class SessionService {
 
   std::shared_ptr<Entry> Find(const std::string& id) const;
 
+  /// Counts a failed call and passes the status through (so error returns
+  /// read `return Fail(Status::...)`).
+  common::Status Fail(common::Status status) const;
+
   session::ScenarioRegistry* registry_;
   mutable std::mutex mutex_;  // guards sessions_ and next_id_
   std::map<std::string, std::shared_ptr<Entry>> sessions_;
   uint64_t next_id_ = 1;
+
+  // Relaxed atomics: the counters are independent monotonic tallies, not
+  // a consistent tuple (see ServiceCounters).
+  mutable std::atomic<uint64_t> opens_{0};
+  mutable std::atomic<uint64_t> asks_{0};
+  mutable std::atomic<uint64_t> tells_{0};
+  mutable std::atomic<uint64_t> oracles_{0};
+  mutable std::atomic<uint64_t> statuses_{0};
+  mutable std::atomic<uint64_t> closes_{0};
+  mutable std::atomic<uint64_t> errors_{0};
+  mutable std::atomic<uint64_t> questions_served_{0};
+  mutable std::atomic<uint64_t> labels_accepted_{0};
 };
 
 }  // namespace service

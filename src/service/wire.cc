@@ -1,7 +1,8 @@
 #include "service/wire.h"
 
-#include <cstdio>
 #include <utility>
+
+#include "service/json.h"
 
 namespace qlearn {
 namespace service {
@@ -11,64 +12,25 @@ namespace {
 
 using common::Result;
 using common::Status;
+using json::AppendEscaped;
+using json::AppendUInts;
+using json::CheckAllKeysKnown;
+using json::Find;
+using json::ToString;
+using json::ToUInt;
+using json::Value;
 
 // ---------------------------------------------------------------------------
 // Canonical JSON writing. Key order is fixed by the Serialize functions and
-// nothing emits whitespace, so byte equality is semantic equality.
-
-void AppendEscaped(const std::string& text, std::string* out) {
-  out->push_back('"');
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\b':
-        *out += "\\b";
-        break;
-      case '\f':
-        *out += "\\f";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          *out += buffer;
-        } else {
-          out->push_back(c);  // UTF-8 bytes pass through verbatim
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-void AppendIds(const std::vector<uint64_t>& ids, std::string* out) {
-  out->push_back('[');
-  for (size_t i = 0; i < ids.size(); ++i) {
-    if (i > 0) out->push_back(',');
-    *out += std::to_string(ids[i]);
-  }
-  out->push_back(']');
-}
+// nothing emits whitespace, so byte equality is semantic equality. The
+// escaping/number primitives live in service/json.h, shared with the TCP
+// protocol layer (net/protocol.h).
 
 void AppendQuestion(const QuestionPayload& payload, std::string* out) {
   *out += "{\"kind\":";
   AppendEscaped(payload.kind, out);
   *out += ",\"ids\":";
-  AppendIds(payload.ids, out);
+  AppendUInts(payload.ids, out);
   *out += ",\"text\":";
   AppendEscaped(payload.text, out);
   out->push_back('}');
@@ -91,274 +53,28 @@ void AppendStats(const session::SessionStats& stats, std::string* out) {
 }
 
 // ---------------------------------------------------------------------------
-// Parsing: recursive descent over the emitted subset (objects, arrays,
-// strings, unsigned decimal integers, booleans). Any key order is accepted;
-// unknown keys, duplicate keys, and other JSON (null, floats, negatives)
-// are rejected so everything that parses can be re-serialized canonically.
-
-struct JsonValue {
-  enum class Type { kBool, kUInt, kString, kArray, kObject };
-  Type type = Type::kBool;
-  bool bool_value = false;
-  uint64_t uint_value = 0;
-  std::string string_value;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  Result<JsonValue> ParseDocument() {
-    QLEARN_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
-    SkipWhitespace();
-    if (pos_ != text_.size()) {
-      return Error("trailing characters after JSON value");
-    }
-    return value;
-  }
-
- private:
-  Status Error(const std::string& message) const {
-    return Status::ParseError("wire: " + message + " at offset " +
-                              std::to_string(pos_));
-  }
-
-  void SkipWhitespace() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Result<JsonValue> ParseValue() {
-    SkipWhitespace();
-    if (pos_ >= text_.size()) return Error("unexpected end of input");
-    const char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
-    if (c == '"') return ParseString();
-    if (c == 't' || c == 'f') return ParseBool();
-    if (c >= '0' && c <= '9') return ParseUInt();
-    return Error(std::string("unexpected character '") + c + "'");
-  }
-
-  Result<JsonValue> ParseObject() {
-    ++pos_;  // '{'
-    JsonValue value;
-    value.type = JsonValue::Type::kObject;
-    SkipWhitespace();
-    if (Consume('}')) return value;
-    for (;;) {
-      SkipWhitespace();
-      QLEARN_ASSIGN_OR_RETURN(JsonValue key, ParseString());
-      for (const auto& [existing, unused] : value.object) {
-        if (existing == key.string_value) {
-          return Error("duplicate key \"" + key.string_value + "\"");
-        }
-      }
-      SkipWhitespace();
-      if (!Consume(':')) return Error("expected ':' after object key");
-      QLEARN_ASSIGN_OR_RETURN(JsonValue member, ParseValue());
-      value.object.emplace_back(std::move(key.string_value),
-                                std::move(member));
-      SkipWhitespace();
-      if (Consume('}')) return value;
-      if (!Consume(',')) return Error("expected ',' or '}' in object");
-    }
-  }
-
-  Result<JsonValue> ParseArray() {
-    ++pos_;  // '['
-    JsonValue value;
-    value.type = JsonValue::Type::kArray;
-    SkipWhitespace();
-    if (Consume(']')) return value;
-    for (;;) {
-      QLEARN_ASSIGN_OR_RETURN(JsonValue element, ParseValue());
-      value.array.push_back(std::move(element));
-      SkipWhitespace();
-      if (Consume(']')) return value;
-      if (!Consume(',')) return Error("expected ',' or ']' in array");
-    }
-  }
-
-  Result<JsonValue> ParseString() {
-    if (!Consume('"')) return Error("expected '\"'");
-    JsonValue value;
-    value.type = JsonValue::Type::kString;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return value;
-      if (c != '\\') {
-        value.string_value.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) return Error("unterminated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"':
-          value.string_value.push_back('"');
-          break;
-        case '\\':
-          value.string_value.push_back('\\');
-          break;
-        case '/':
-          value.string_value.push_back('/');
-          break;
-        case 'b':
-          value.string_value.push_back('\b');
-          break;
-        case 'f':
-          value.string_value.push_back('\f');
-          break;
-        case 'n':
-          value.string_value.push_back('\n');
-          break;
-        case 'r':
-          value.string_value.push_back('\r');
-          break;
-        case 't':
-          value.string_value.push_back('\t');
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code += static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code += static_cast<unsigned>(h - 'a') + 10;
-            } else if (h >= 'A' && h <= 'F') {
-              code += static_cast<unsigned>(h - 'A') + 10;
-            } else {
-              return Error("invalid \\u escape digit");
-            }
-          }
-          // This writer only \u-escapes control characters; non-ASCII
-          // passes through as raw UTF-8 bytes.
-          if (code >= 0x80) return Error("\\u escape above 0x7f unsupported");
-          value.string_value.push_back(static_cast<char>(code));
-          break;
-        }
-        default:
-          return Error("invalid escape");
-      }
-    }
-    return Error("unterminated string");
-  }
-
-  Result<JsonValue> ParseBool() {
-    JsonValue value;
-    value.type = JsonValue::Type::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      value.bool_value = true;
-      pos_ += 4;
-      return value;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      value.bool_value = false;
-      pos_ += 5;
-      return value;
-    }
-    return Error("expected 'true' or 'false'");
-  }
-
-  Result<JsonValue> ParseUInt() {
-    JsonValue value;
-    value.type = JsonValue::Type::kUInt;
-    const size_t start = pos_;
-    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
-      const unsigned digit = static_cast<unsigned>(text_[pos_] - '0');
-      if (value.uint_value > (UINT64_MAX - digit) / 10) {
-        return Error("integer overflow");
-      }
-      value.uint_value = value.uint_value * 10 + digit;
-      ++pos_;
-    }
-    if (pos_ == start) return Error("expected digits");
-    if (text_[start] == '0' && pos_ - start > 1) {
-      return Error("leading zero in integer");
-    }
-    return value;
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------------------
-// JsonValue -> payload struct conversion, strict about shapes and keys.
+// json::Value -> payload struct conversion, strict about shapes and keys.
 
 Status ShapeError(const std::string& message) {
   return Status::ParseError("wire: " + message);
 }
 
-/// Looks up `key` in an object and checks it off in `seen` (one bit per
-/// member, for the final unknown-key sweep).
-const JsonValue* Find(const JsonValue& object, const std::string& key,
-                      std::vector<bool>* seen) {
-  for (size_t i = 0; i < object.object.size(); ++i) {
-    if (object.object[i].first == key) {
-      (*seen)[i] = true;
-      return &object.object[i].second;
-    }
-  }
-  return nullptr;
-}
+}  // namespace
 
-Status CheckAllKeysKnown(const JsonValue& object,
-                         const std::vector<bool>& seen,
-                         const std::string& what) {
-  for (size_t i = 0; i < seen.size(); ++i) {
-    if (!seen[i]) {
-      return ShapeError("unknown key \"" + object.object[i].first +
-                        "\" in " + what);
-    }
-  }
-  return Status::OK();
-}
-
-Result<std::string> ToString(const JsonValue* value, const std::string& what) {
-  if (value == nullptr || value->type != JsonValue::Type::kString) {
-    return ShapeError("missing or non-string \"" + what + "\"");
-  }
-  return value->string_value;
-}
-
-Result<uint64_t> ToUInt(const JsonValue* value, const std::string& what) {
-  if (value == nullptr || value->type != JsonValue::Type::kUInt) {
-    return ShapeError("missing or non-integer \"" + what + "\"");
-  }
-  return value->uint_value;
-}
-
-Result<QuestionPayload> QuestionFromJson(const JsonValue& value) {
-  if (value.type != JsonValue::Type::kObject) {
+Result<QuestionPayload> QuestionFromJson(const Value& value) {
+  if (value.type != Value::Type::kObject) {
     return ShapeError("question payload must be an object");
   }
   std::vector<bool> seen(value.object.size(), false);
   QuestionPayload payload;
   QLEARN_ASSIGN_OR_RETURN(payload.kind,
                           ToString(Find(value, "kind", &seen), "kind"));
-  const JsonValue* ids = Find(value, "ids", &seen);
-  if (ids == nullptr || ids->type != JsonValue::Type::kArray) {
+  const Value* ids = Find(value, "ids", &seen);
+  if (ids == nullptr || ids->type != Value::Type::kArray) {
     return ShapeError("missing or non-array \"ids\"");
   }
-  for (const JsonValue& id : ids->array) {
-    if (id.type != JsonValue::Type::kUInt) {
+  for (const Value& id : ids->array) {
+    if (id.type != Value::Type::kUInt) {
       return ShapeError("non-integer entry in \"ids\"");
     }
     payload.ids.push_back(id.uint_value);
@@ -369,8 +85,8 @@ Result<QuestionPayload> QuestionFromJson(const JsonValue& value) {
   return payload;
 }
 
-Result<HypothesisPayload> HypothesisFromJson(const JsonValue& value) {
-  if (value.type != JsonValue::Type::kObject) {
+Result<HypothesisPayload> HypothesisFromJson(const Value& value) {
+  if (value.type != Value::Type::kObject) {
     return ShapeError("hypothesis payload must be an object");
   }
   std::vector<bool> seen(value.object.size(), false);
@@ -383,8 +99,8 @@ Result<HypothesisPayload> HypothesisFromJson(const JsonValue& value) {
   return payload;
 }
 
-Result<session::SessionStats> StatsFromJson(const JsonValue& value) {
-  if (value.type != JsonValue::Type::kObject) {
+Result<session::SessionStats> StatsFromJson(const Value& value) {
+  if (value.type != Value::Type::kObject) {
     return ShapeError("stats must be an object");
   }
   std::vector<bool> seen(value.object.size(), false);
@@ -403,8 +119,10 @@ Result<session::SessionStats> StatsFromJson(const JsonValue& value) {
   return stats;
 }
 
-Result<TranscriptEvent> EventFromJson(const JsonValue& value) {
-  if (value.type != JsonValue::Type::kObject) {
+namespace {
+
+Result<TranscriptEvent> EventFromJson(const Value& value) {
+  if (value.type != Value::Type::kObject) {
     return ShapeError("transcript event must be an object");
   }
   std::vector<bool> seen(value.object.size(), false);
@@ -424,33 +142,33 @@ Result<TranscriptEvent> EventFromJson(const JsonValue& value) {
     event.kind = TranscriptEvent::Kind::kAsk;
     QLEARN_ASSIGN_OR_RETURN(
         event.requested, ToUInt(Find(value, "requested", &seen), "requested"));
-    const JsonValue* questions = Find(value, "questions", &seen);
-    if (questions == nullptr || questions->type != JsonValue::Type::kArray) {
+    const Value* questions = Find(value, "questions", &seen);
+    if (questions == nullptr || questions->type != Value::Type::kArray) {
       return ShapeError("missing or non-array \"questions\"");
     }
-    for (const JsonValue& question : questions->array) {
+    for (const Value& question : questions->array) {
       QLEARN_ASSIGN_OR_RETURN(QuestionPayload payload,
                               QuestionFromJson(question));
       event.questions.push_back(std::move(payload));
     }
   } else if (tag == "tell") {
     event.kind = TranscriptEvent::Kind::kTell;
-    const JsonValue* labels = Find(value, "labels", &seen);
-    if (labels == nullptr || labels->type != JsonValue::Type::kArray) {
+    const Value* labels = Find(value, "labels", &seen);
+    if (labels == nullptr || labels->type != Value::Type::kArray) {
       return ShapeError("missing or non-array \"labels\"");
     }
-    for (const JsonValue& label : labels->array) {
-      if (label.type != JsonValue::Type::kBool) {
+    for (const Value& label : labels->array) {
+      if (label.type != Value::Type::kBool) {
         return ShapeError("non-boolean entry in \"labels\"");
       }
       event.labels.push_back(label.bool_value);
     }
   } else if (tag == "close") {
     event.kind = TranscriptEvent::Kind::kClose;
-    const JsonValue* hypothesis = Find(value, "hypothesis", &seen);
+    const Value* hypothesis = Find(value, "hypothesis", &seen);
     if (hypothesis == nullptr) return ShapeError("missing \"hypothesis\"");
     QLEARN_ASSIGN_OR_RETURN(event.hypothesis, HypothesisFromJson(*hypothesis));
-    const JsonValue* stats = Find(value, "stats", &seen);
+    const Value* stats = Find(value, "stats", &seen);
     if (stats == nullptr) return ShapeError("missing \"stats\"");
     QLEARN_ASSIGN_OR_RETURN(event.stats, StatsFromJson(*stats));
   } else {
@@ -535,27 +253,23 @@ std::string SerializeTranscript(const std::vector<TranscriptEvent>& events) {
 }
 
 common::Result<QuestionPayload> ParseQuestionPayload(const std::string& text) {
-  JsonParser parser(text);
-  QLEARN_ASSIGN_OR_RETURN(JsonValue value, parser.ParseDocument());
+  QLEARN_ASSIGN_OR_RETURN(Value value, json::Parse(text));
   return QuestionFromJson(value);
 }
 
 common::Result<HypothesisPayload> ParseHypothesisPayload(
     const std::string& text) {
-  JsonParser parser(text);
-  QLEARN_ASSIGN_OR_RETURN(JsonValue value, parser.ParseDocument());
+  QLEARN_ASSIGN_OR_RETURN(Value value, json::Parse(text));
   return HypothesisFromJson(value);
 }
 
 common::Result<session::SessionStats> ParseStats(const std::string& text) {
-  JsonParser parser(text);
-  QLEARN_ASSIGN_OR_RETURN(JsonValue value, parser.ParseDocument());
+  QLEARN_ASSIGN_OR_RETURN(Value value, json::Parse(text));
   return StatsFromJson(value);
 }
 
 common::Result<TranscriptEvent> ParseEvent(const std::string& text) {
-  JsonParser parser(text);
-  QLEARN_ASSIGN_OR_RETURN(JsonValue value, parser.ParseDocument());
+  QLEARN_ASSIGN_OR_RETURN(Value value, json::Parse(text));
   return EventFromJson(value);
 }
 

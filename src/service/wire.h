@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "service/json.h"
 #include "session/session.h"
 
 namespace qlearn {
@@ -100,6 +101,13 @@ common::Result<TranscriptEvent> ParseEvent(const std::string& text);
 /// Parses a JSONL transcript; blank lines are ignored.
 common::Result<std::vector<TranscriptEvent>> ParseTranscript(
     const std::string& text);
+
+// Conversions from parsed json::Values, for protocols that embed wire
+// payloads inside larger messages (net/protocol.h). Shape-strict like the
+// string parsers above.
+common::Result<QuestionPayload> QuestionFromJson(const json::Value& value);
+common::Result<HypothesisPayload> HypothesisFromJson(const json::Value& value);
+common::Result<session::SessionStats> StatsFromJson(const json::Value& value);
 
 }  // namespace wire
 }  // namespace service

@@ -1,0 +1,333 @@
+// Robustness tests for the framed-TCP front end's parsing edge: zero-length,
+// oversized, and truncated frames, malformed JSON payloads, the bounded
+// per-connection buffer, and — over a real socket — that a connection stays
+// usable after every class of bad frame.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "service/json.h"
+#include "service/session_service.h"
+
+namespace qlearn {
+namespace net {
+namespace {
+
+using common::Status;
+using common::StatusCode;
+
+std::string Framed(const std::string& payload,
+                   size_t max = kDefaultMaxFrameBytes) {
+  std::string out;
+  EXPECT_TRUE(AppendFrame(payload, max, &out));
+  return out;
+}
+
+TEST(FrameTest, AppendFrameEncodesBigEndianLength) {
+  std::string out;
+  ASSERT_TRUE(AppendFrame("abc", kDefaultMaxFrameBytes, &out));
+  ASSERT_EQ(out.size(), kFrameHeaderBytes + 3);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(out[1]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(out[2]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(out[3]), 3);
+  EXPECT_EQ(out.substr(kFrameHeaderBytes), "abc");
+}
+
+TEST(FrameTest, AppendFrameRejectsEmptyAndOversizedWithoutTouchingOut) {
+  std::string out = "prefix";
+  EXPECT_FALSE(AppendFrame("", kDefaultMaxFrameBytes, &out));
+  EXPECT_EQ(out, "prefix");
+  EXPECT_FALSE(AppendFrame(std::string(9, 'x'), /*max_frame_bytes=*/8, &out));
+  EXPECT_EQ(out, "prefix");
+  EXPECT_TRUE(AppendFrame(std::string(8, 'x'), /*max_frame_bytes=*/8, &out));
+  EXPECT_EQ(out.size(), 6 + kFrameHeaderBytes + 8);
+}
+
+TEST(FrameTest, RoundTripsOneFrame) {
+  FrameReader reader;
+  const std::string framed = Framed("{\"op\":\"counters\"}");
+  reader.Feed(framed.data(), framed.size());
+  ASSERT_TRUE(reader.HasEvent());
+  FrameReader::Event event = reader.Next();
+  EXPECT_EQ(event.kind, FrameReader::Event::Kind::kFrame);
+  EXPECT_EQ(event.payload, "{\"op\":\"counters\"}");
+  EXPECT_FALSE(reader.HasEvent());
+  EXPECT_FALSE(reader.MidFrame());
+  EXPECT_EQ(reader.BufferedBytes(), 0u);
+}
+
+TEST(FrameTest, ReassemblesFramesFedOneByteAtATime) {
+  FrameReader reader;
+  std::string stream = Framed("first") + Framed("second") + Framed("third");
+  std::vector<std::string> payloads;
+  for (char byte : stream) {
+    reader.Feed(&byte, 1);
+    while (reader.HasEvent()) {
+      FrameReader::Event event = reader.Next();
+      ASSERT_EQ(event.kind, FrameReader::Event::Kind::kFrame);
+      payloads.push_back(event.payload);
+    }
+  }
+  EXPECT_EQ(payloads, (std::vector<std::string>{"first", "second", "third"}));
+  EXPECT_FALSE(reader.MidFrame());
+}
+
+TEST(FrameTest, ZeroLengthFrameIsRecoverable) {
+  FrameReader reader;
+  const char zero_header[kFrameHeaderBytes] = {0, 0, 0, 0};
+  reader.Feed(zero_header, sizeof(zero_header));
+  ASSERT_TRUE(reader.HasEvent());
+  FrameReader::Event bad = reader.Next();
+  EXPECT_EQ(bad.kind, FrameReader::Event::Kind::kBadFrame);
+  EXPECT_NE(bad.error.find("zero-length"), std::string::npos);
+  // The reader resynchronizes at the next header: a good frame parses.
+  const std::string good = Framed("after");
+  reader.Feed(good.data(), good.size());
+  ASSERT_TRUE(reader.HasEvent());
+  EXPECT_EQ(reader.Next().payload, "after");
+}
+
+TEST(FrameTest, OversizedFrameIsDiscardedStreamingNotBuffered) {
+  constexpr size_t kMax = 16;
+  FrameReader reader(kMax);
+  // Declare a 1000-byte payload against a 16-byte cap.
+  const unsigned char header[kFrameHeaderBytes] = {0, 0, 0x03, 0xe8};
+  reader.Feed(reinterpret_cast<const char*>(header), sizeof(header));
+  ASSERT_TRUE(reader.HasEvent());
+  FrameReader::Event bad = reader.Next();
+  EXPECT_EQ(bad.kind, FrameReader::Event::Kind::kBadFrame);
+  EXPECT_NE(bad.error.find("1000"), std::string::npos);
+  // Stream the oversized body in chunks: the reader must not buffer it.
+  std::string body(1000, 'x');
+  for (size_t i = 0; i < body.size(); i += 100) {
+    reader.Feed(body.data() + i, 100);
+    EXPECT_LE(reader.BufferedBytes(), kFrameHeaderBytes + kMax);
+  }
+  EXPECT_FALSE(reader.MidFrame());
+  // The byte after the declared body is a fresh header.
+  const std::string good = Framed("ok", kMax);
+  reader.Feed(good.data(), good.size());
+  ASSERT_TRUE(reader.HasEvent());
+  EXPECT_EQ(reader.Next().payload, "ok");
+}
+
+TEST(FrameTest, BufferedBytesNeverExceedsOneFrame) {
+  constexpr size_t kMax = 64;
+  FrameReader reader(kMax);
+  const std::string stream = Framed(std::string(kMax, 'a'), kMax) +
+                             Framed(std::string(kMax / 2, 'b'), kMax);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    reader.Feed(stream.data() + i, 1);
+    EXPECT_LE(reader.BufferedBytes(), kFrameHeaderBytes + kMax);
+  }
+  EXPECT_EQ(reader.EventCount(), 2u);
+}
+
+TEST(FrameTest, MidFrameDetectsTruncation) {
+  FrameReader reader;
+  const std::string framed = Framed("truncated payload");
+  // Partial header.
+  reader.Feed(framed.data(), 2);
+  EXPECT_TRUE(reader.MidFrame());
+  // Full header, partial payload.
+  reader.Feed(framed.data() + 2, 5);
+  EXPECT_TRUE(reader.MidFrame());
+  EXPECT_FALSE(reader.HasEvent());
+  // Rest of the payload: complete, no longer mid-frame.
+  reader.Feed(framed.data() + 7, framed.size() - 7);
+  EXPECT_FALSE(reader.MidFrame());
+  ASSERT_TRUE(reader.HasEvent());
+  EXPECT_EQ(reader.Next().payload, "truncated payload");
+}
+
+// --- Malformed JSON payloads at the protocol layer (no sockets). ---
+
+StatusCode ErrorCodeOf(const std::string& response_frame) {
+  auto parsed = ParseResponse(Request::Op::kCounters, response_frame);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString()
+                           << " frame: " << response_frame;
+  if (!parsed.ok()) return StatusCode::kOk;
+  EXPECT_FALSE(parsed.value().status.ok()) << "frame: " << response_frame;
+  return parsed.value().status.code();
+}
+
+TEST(ProtocolTest, MalformedJsonYieldsStructuredParseError) {
+  service::SessionService service;
+  EXPECT_EQ(ErrorCodeOf(HandleFrame(&service, "not json at all")),
+            StatusCode::kParseError);
+  EXPECT_EQ(ErrorCodeOf(HandleFrame(&service, "{\"op\":\"ask\"")),
+            StatusCode::kParseError);
+  EXPECT_EQ(ErrorCodeOf(HandleFrame(&service, "[1,2,3]")),
+            StatusCode::kParseError);
+  EXPECT_EQ(ErrorCodeOf(HandleFrame(&service, "{\"op\":\"warp\"}")),
+            StatusCode::kParseError);
+  EXPECT_EQ(ErrorCodeOf(HandleFrame(
+                &service, "{\"op\":\"counters\",\"bogus\":1}")),
+            StatusCode::kParseError);
+  EXPECT_EQ(ErrorCodeOf(HandleFrame(
+                &service, "{\"op\":\"ask\",\"id\":\"s-1\",\"k\":1}")),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.Counters().errors, 1u);  // only the NotFound hit the
+                                             // service; parse errors do not
+}
+
+TEST(ProtocolTest, ErrorFrameRoundTripsStatusCode) {
+  const Status in = Status::ResourceExhausted("question budget exhausted");
+  auto parsed = ParseResponse(Request::Op::kAsk, SerializeError(in));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(parsed.value().status.message(), "question budget exhausted");
+}
+
+// --- Over a real socket: the connection survives every bad-frame class. ---
+
+class RawConnection {
+ public:
+  explicit RawConnection(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void SendBytes(const std::string& bytes) {
+    size_t pos = 0;
+    while (pos < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + pos, bytes.size() - pos,
+                               MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      pos += static_cast<size_t>(n);
+    }
+  }
+
+  // Blocks for one complete response frame and returns its payload.
+  std::string ReadResponse() {
+    while (!reader_.HasEvent()) {
+      char buffer[4096];
+      const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (n <= 0) {
+        ADD_FAILURE() << "connection closed while awaiting a response";
+        return "";
+      }
+      reader_.Feed(buffer, static_cast<size_t>(n));
+    }
+    FrameReader::Event event = reader_.Next();
+    EXPECT_EQ(event.kind, FrameReader::Event::Kind::kFrame);
+    return event.payload;
+  }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+TEST(ServerRobustnessTest, ConnectionStaysUsableAfterEveryBadFrameClass) {
+  service::SessionService service;
+  ServerOptions options;
+  options.workers = 2;
+  options.max_frame_bytes = 1 << 10;
+  Server server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawConnection conn(server.port());
+
+  // 1. Zero-length frame: structured error, connection stays up.
+  conn.SendBytes(std::string(kFrameHeaderBytes, '\0'));
+  EXPECT_EQ(ErrorCodeOf(conn.ReadResponse()), StatusCode::kInvalidArgument);
+
+  // 2. Oversized frame (declared 64 KiB against a 1 KiB cap), full body
+  //    actually sent: error for the frame, then the next frame parses.
+  std::string oversized;
+  oversized.push_back(0);
+  oversized.push_back(1);
+  oversized.push_back(0);
+  oversized.push_back(0);
+  oversized += std::string(1 << 16, 'x');
+  conn.SendBytes(oversized);
+  EXPECT_EQ(ErrorCodeOf(conn.ReadResponse()), StatusCode::kInvalidArgument);
+
+  // 3. Malformed JSON in a well-formed frame.
+  conn.SendBytes(Framed("this is not json"));
+  EXPECT_EQ(ErrorCodeOf(conn.ReadResponse()), StatusCode::kParseError);
+
+  // 4. Valid request on the same connection: still served.
+  conn.SendBytes(Framed("{\"op\":\"counters\"}"));
+  auto parsed =
+      ParseResponse(Request::Op::kCounters, conn.ReadResponse());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().status.ok())
+      << parsed.value().status.ToString();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.bad_frames, 2u);       // zero-length + oversized
+  EXPECT_EQ(stats.frames_received, 2u);  // malformed JSON + counters
+  server.Stop();
+}
+
+TEST(ServerRobustnessTest, TruncatedFrameIsCountedOnDisconnect) {
+  service::SessionService service;
+  Server server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  {
+    RawConnection conn(server.port());
+    std::string partial = Framed("{\"op\":\"counters\"}");
+    partial.resize(partial.size() - 3);  // drop the payload's tail
+    conn.SendBytes(partial);
+    // Destructor closes the socket mid-frame.
+  }
+  // The reactor notices EOF asynchronously; poll until it has.
+  for (int i = 0; i < 200 && server.stats().truncated_frames == 0; ++i) {
+    ::usleep(10 * 1000);
+  }
+  EXPECT_EQ(server.stats().truncated_frames, 1u);
+  EXPECT_EQ(server.stats().frames_received, 0u);
+  server.Stop();
+}
+
+TEST(ServerRobustnessTest, PipelinedRequestsAnswerInOrder) {
+  service::SessionService service;
+  Server server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  RawConnection conn(server.port());
+
+  // Burst: open, bad JSON, counters — all written before reading anything.
+  conn.SendBytes(Framed("{\"op\":\"open\",\"scenario\":\"twig\"}") +
+                 Framed("}{") + Framed("{\"op\":\"counters\"}"));
+
+  auto open_parsed = ParseResponse(Request::Op::kOpen, conn.ReadResponse());
+  ASSERT_TRUE(open_parsed.ok()) << open_parsed.status().ToString();
+  EXPECT_TRUE(open_parsed.value().status.ok());
+  EXPECT_FALSE(open_parsed.value().id.empty());
+
+  EXPECT_EQ(ErrorCodeOf(conn.ReadResponse()), StatusCode::kParseError);
+
+  auto counters_parsed =
+      ParseResponse(Request::Op::kCounters, conn.ReadResponse());
+  ASSERT_TRUE(counters_parsed.ok()) << counters_parsed.status().ToString();
+  EXPECT_TRUE(counters_parsed.value().status.ok());
+  EXPECT_EQ(counters_parsed.value().open_sessions, 1u);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace qlearn

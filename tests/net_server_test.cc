@@ -1,0 +1,292 @@
+// Loopback integration tests for the framed-TCP server: an in-process
+// Server in front of a real SessionService, driven through net::Client over
+// real sockets. The centerpiece replays one golden transcript per scenario
+// kind and asserts the question stream served over TCP is byte-identical to
+// the checked-in golden — the wire format is canonical JSON, so byte
+// equality is semantic equality.
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "service/session_service.h"
+#include "service/wire.h"
+#include "transcript_harness.h"
+
+namespace qlearn {
+namespace net {
+namespace {
+
+using common::StatusCode;
+using service::wire::TranscriptEvent;
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.workers = 4;
+    server_ = std::make_unique<Server>(&service_, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  void TearDown() override { server_->Stop(); }
+
+  Client Connect() {
+    auto client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  service::SessionService service_;
+  std::unique_ptr<Server> server_;
+};
+
+// Replays one recorded transcript through `client` against the live server,
+// returning human-readable mismatches (empty = byte-identical).
+std::vector<std::string> ReplayOverSocket(
+    Client* client, const std::vector<TranscriptEvent>& events) {
+  std::vector<std::string> mismatches;
+  std::string id;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TranscriptEvent& event = events[i];
+    switch (event.kind) {
+      case TranscriptEvent::Kind::kOpen: {
+        service::OpenOptions options;
+        options.seed = event.seed;
+        options.budget.max_questions = event.max_questions;
+        auto opened = client->Open(event.scenario, options);
+        if (!opened.ok()) {
+          mismatches.push_back("open failed: " + opened.status().ToString());
+          return mismatches;
+        }
+        id = opened.value();
+        break;
+      }
+      case TranscriptEvent::Kind::kAsk: {
+        auto batch = client->Ask(id, event.requested);
+        if (!batch.ok()) {
+          mismatches.push_back("ask failed: " + batch.status().ToString());
+          return mismatches;
+        }
+        const auto& served = batch.value();
+        if (served.size() != event.questions.size()) {
+          mismatches.push_back(
+              "event " + std::to_string(i) + ": served " +
+              std::to_string(served.size()) + " questions, golden has " +
+              std::to_string(event.questions.size()));
+          return mismatches;
+        }
+        for (size_t j = 0; j < served.size(); ++j) {
+          const std::string got = service::wire::Serialize(served[j]);
+          const std::string want = service::wire::Serialize(event.questions[j]);
+          if (got != want) {
+            mismatches.push_back("event " + std::to_string(i) + " question " +
+                                 std::to_string(j) + ": got " + got +
+                                 " want " + want);
+          }
+        }
+        break;
+      }
+      case TranscriptEvent::Kind::kTell: {
+        const common::Status told = client->Tell(id, event.labels);
+        if (!told.ok()) {
+          mismatches.push_back("tell failed: " + told.ToString());
+          return mismatches;
+        }
+        break;
+      }
+      case TranscriptEvent::Kind::kClose: {
+        auto closed = client->Close(id);
+        if (!closed.ok()) {
+          mismatches.push_back("close failed: " + closed.status().ToString());
+          return mismatches;
+        }
+        const std::string got_hyp =
+            service::wire::Serialize(closed.value().hypothesis);
+        const std::string want_hyp =
+            service::wire::Serialize(event.hypothesis);
+        if (got_hyp != want_hyp) {
+          mismatches.push_back("final hypothesis: got " + got_hyp + " want " +
+                               want_hyp);
+        }
+        const std::string got_stats =
+            service::wire::Serialize(closed.value().stats);
+        const std::string want_stats = service::wire::Serialize(event.stats);
+        if (got_stats != want_stats) {
+          mismatches.push_back("final stats: got " + got_stats + " want " +
+                               want_stats);
+        }
+        break;
+      }
+    }
+  }
+  return mismatches;
+}
+
+// One golden per scenario kind (twig, twig-ambiguity, join, path, chain) —
+// the paper-experiment cases from the conformance suite.
+std::vector<testing::TranscriptCase> OnePerScenarioKind() {
+  std::vector<testing::TranscriptCase> picked;
+  std::set<std::string> kinds;
+  for (const auto& c : testing::ConformanceCases()) {
+    if (kinds.insert(c.scenario).second) picked.push_back(c);
+  }
+  return picked;
+}
+
+TEST_F(NetServerTest, GoldenTranscriptsReplayByteIdenticalOverTcp) {
+  const auto cases = OnePerScenarioKind();
+  ASSERT_GE(cases.size(), 5u);  // twig, twig-ambiguity, join, path, chain
+  Client client = Connect();
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    auto text = testing::ReadFileToString(testing::GoldenPath(c.name));
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    auto events = service::wire::ParseTranscript(text.value());
+    ASSERT_TRUE(events.ok()) << events.status().ToString();
+    const std::vector<std::string> mismatches =
+        ReplayOverSocket(&client, events.value());
+    for (const std::string& m : mismatches) ADD_FAILURE() << m;
+  }
+}
+
+TEST_F(NetServerTest, OpenAskTellCloseRoundTrip) {
+  Client client = Connect();
+  auto id = client.Open("join", {});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  auto status = client.Status(id.value());
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_EQ(status.value().scenario, "join");
+  EXPECT_EQ(status.value().pending, 0u);
+
+  auto batch = client.Ask(id.value(), 4);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_FALSE(batch.value().empty());
+  EXPECT_EQ(batch.value()[0].kind, "join");
+
+  auto labels = client.OracleLabels(id.value());
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  ASSERT_EQ(labels.value().size(), batch.value().size());
+  ASSERT_TRUE(client.Tell(id.value(), labels.value()).ok());
+
+  auto closed = client.Close(id.value());
+  ASSERT_TRUE(closed.ok()) << closed.status().ToString();
+  EXPECT_EQ(closed.value().hypothesis.kind, "join");
+  EXPECT_GE(closed.value().stats.questions, batch.value().size());
+
+  // The handle is gone: further calls surface the server's NotFound.
+  EXPECT_EQ(client.Status(id.value()).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(NetServerTest, ServerSideErrorsArriveAsStructuredStatuses) {
+  Client client = Connect();
+  EXPECT_EQ(client.Open("no-such-scenario", {}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(client.Ask("s-404", 1).status().code(), StatusCode::kNotFound);
+
+  auto id = client.Open("twig", {});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  // Tell with no pending batch is a protocol-state error, not a hangup.
+  EXPECT_EQ(client.Tell(id.value(), {true}).code(),
+            StatusCode::kFailedPrecondition);
+  auto batch = client.Ask(id.value(), 2);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  // Wrong label count.
+  std::vector<bool> wrong(batch.value().size() + 1, true);
+  EXPECT_EQ(client.Tell(id.value(), wrong).code(),
+            StatusCode::kInvalidArgument);
+  // The connection is still fine: answer correctly and close.
+  auto labels = client.OracleLabels(id.value());
+  ASSERT_TRUE(labels.ok());
+  EXPECT_TRUE(client.Tell(id.value(), labels.value()).ok());
+  EXPECT_TRUE(client.Close(id.value()).ok());
+}
+
+TEST_F(NetServerTest, CountersReflectTraffic) {
+  Client client = Connect();
+  auto id = client.Open("chain", {});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto batch = client.Ask(id.value(), 2);
+  ASSERT_TRUE(batch.ok());
+  auto counters = client.Counters();
+  ASSERT_TRUE(counters.ok()) << counters.status().ToString();
+  EXPECT_EQ(counters.value().first.opens, 1u);
+  EXPECT_EQ(counters.value().first.asks, 1u);
+  EXPECT_EQ(counters.value().first.questions_served, batch.value().size());
+  EXPECT_EQ(counters.value().second, 1u);  // open_sessions
+  ASSERT_TRUE(client.Close(id.value()).ok());
+}
+
+TEST_F(NetServerTest, ConcurrentClientsRunFullSessions) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kThreads);
+  const uint16_t port = server_->port();
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, port, &failures] {
+      auto client_or = Client::Connect("127.0.0.1", port);
+      if (!client_or.ok()) {
+        failures[t] = client_or.status().ToString();
+        return;
+      }
+      Client client = std::move(client_or).value();
+      const char* scenarios[] = {"twig", "join", "chain", "path"};
+      const std::string scenario = scenarios[t % 4];
+      service::OpenOptions options;
+      options.seed = 7 + static_cast<uint64_t>(t);
+      auto id = client.Open(scenario, options);
+      if (!id.ok()) {
+        failures[t] = id.status().ToString();
+        return;
+      }
+      while (true) {
+        auto batch = client.Ask(id.value(), 4);
+        if (!batch.ok()) {
+          failures[t] = batch.status().ToString();
+          return;
+        }
+        if (batch.value().empty()) break;
+        auto labels = client.OracleLabels(id.value());
+        if (!labels.ok()) {
+          failures[t] = labels.status().ToString();
+          return;
+        }
+        const common::Status told = client.Tell(id.value(), labels.value());
+        if (!told.ok()) {
+          failures[t] = told.ToString();
+          return;
+        }
+      }
+      auto closed = client.Close(id.value());
+      if (!closed.ok()) failures[t] = closed.status().ToString();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], "") << "thread " << t;
+  }
+  EXPECT_EQ(service_.OpenCount(), 0u);
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.connections_accepted, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.bad_frames, 0u);
+}
+
+TEST_F(NetServerTest, StopWhileClientsConnectedShutsDownCleanly) {
+  Client client = Connect();
+  auto id = client.Open("path", {});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  server_->Stop();
+  // The connection is gone; the client reports a transport error rather
+  // than hanging.
+  EXPECT_FALSE(client.Ask(id.value(), 1).ok());
+  // TearDown's second Stop() must be a no-op.
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace qlearn

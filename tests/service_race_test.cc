@@ -1,0 +1,227 @@
+// Concurrency hardening for SessionService: races Close against in-flight
+// Ask/Tell/Status/OracleLabels from multiple threads. Every outcome must be
+// either success or a well-defined Status (NotFound once closed,
+// FailedPrecondition/InvalidArgument for protocol-state misuse) — never a
+// crash, deadlock, or torn entry. The CI sanitizer job (ASan/UBSan) runs
+// this test to flush out data races the assertions alone would miss.
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "service/session_service.h"
+
+namespace qlearn {
+namespace service {
+namespace {
+
+using common::Status;
+using common::StatusCode;
+
+// The codes a caller may legitimately observe when racing against Close:
+// the call either wins (OK), loses to Close (NotFound), or hits a
+// protocol-state error because another thread moved the session first.
+bool IsExpectedRaceOutcome(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+    case StatusCode::kNotFound:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TEST(ServiceRaceTest, CloseRacesInFlightAskTellStatus) {
+  constexpr int kRounds = 20;
+  constexpr int kCallers = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    SessionService service;
+    auto id_or = service.Open("join", {});
+    ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+    const std::string id = id_or.value();
+
+    std::atomic<bool> start{false};
+    std::atomic<int> unexpected{0};
+    std::vector<std::string> details(kCallers + 1);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kCallers; ++t) {
+      threads.emplace_back([&, t] {
+        while (!start.load(std::memory_order_acquire)) {
+        }
+        for (int i = 0; i < 50; ++i) {
+          Status outcome;
+          switch ((t + i) % 4) {
+            case 0: {
+              auto batch = service.Ask(id, 2);
+              outcome = batch.ok() ? Status::OK() : batch.status();
+              break;
+            }
+            case 1: {
+              auto labels = service.OracleLabels(id);
+              if (labels.ok()) {
+                outcome = service.Tell(id, labels.value());
+              } else {
+                outcome = labels.status();
+              }
+              break;
+            }
+            case 2: {
+              auto status = service.Status(id);
+              outcome = status.ok() ? Status::OK() : status.status();
+              break;
+            }
+            case 3: {
+              // Reads that scan the whole session map, concurrent with
+              // the erase inside Close.
+              service.ListOpen();
+              service.OpenCount();
+              service.Counters();
+              outcome = Status::OK();
+              break;
+            }
+          }
+          if (!IsExpectedRaceOutcome(outcome)) {
+            unexpected.fetch_add(1);
+            details[t] = outcome.ToString();
+          }
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      auto closed = service.Close(id);
+      const Status outcome = closed.ok() ? Status::OK() : closed.status();
+      if (!IsExpectedRaceOutcome(outcome)) {
+        unexpected.fetch_add(1);
+        details[kCallers] = outcome.ToString();
+      }
+    });
+
+    start.store(true, std::memory_order_release);
+    for (auto& thread : threads) thread.join();
+
+    for (const auto& d : details) {
+      if (!d.empty()) ADD_FAILURE() << "unexpected outcome: " << d;
+    }
+    ASSERT_EQ(unexpected.load(), 0);
+    // Exactly one Close can have won; afterwards the handle is gone.
+    EXPECT_EQ(service.OpenCount(), 0u);
+    EXPECT_EQ(service.Status(id).status().code(), StatusCode::kNotFound);
+  }
+}
+
+TEST(ServiceRaceTest, ConcurrentDoubleCloseHasExactlyOneWinner) {
+  constexpr int kRounds = 50;
+  constexpr int kClosers = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    SessionService service;
+    auto id_or = service.Open("twig", {});
+    ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+    const std::string id = id_or.value();
+
+    std::atomic<bool> start{false};
+    std::atomic<int> winners{0};
+    std::atomic<int> not_found{0};
+    std::atomic<int> other{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClosers; ++t) {
+      threads.emplace_back([&] {
+        while (!start.load(std::memory_order_acquire)) {
+        }
+        auto closed = service.Close(id);
+        if (closed.ok()) {
+          winners.fetch_add(1);
+        } else if (closed.status().code() == StatusCode::kNotFound) {
+          not_found.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      });
+    }
+    start.store(true, std::memory_order_release);
+    for (auto& thread : threads) thread.join();
+
+    EXPECT_EQ(winners.load(), 1);
+    EXPECT_EQ(not_found.load(), kClosers - 1);
+    EXPECT_EQ(other.load(), 0);
+  }
+}
+
+TEST(ServiceRaceTest, ParallelSessionsProgressIndependently) {
+  // Threads drive disjoint sessions to completion while a churn thread
+  // opens and closes unrelated ones: per-session locks must not serialize
+  // or corrupt unrelated learner work.
+  constexpr int kDrivers = 4;
+  SessionService service;
+  std::vector<std::string> failures(kDrivers + 1);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kDrivers; ++t) {
+    threads.emplace_back([&, t] {
+      const char* scenarios[] = {"twig", "join", "chain", "path"};
+      OpenOptions options;
+      options.seed = 7 + static_cast<uint64_t>(t);
+      auto id = service.Open(scenarios[t % 4], options);
+      if (!id.ok()) {
+        failures[t] = id.status().ToString();
+        return;
+      }
+      while (true) {
+        auto batch = service.Ask(id.value(), 4);
+        if (!batch.ok()) {
+          failures[t] = batch.status().ToString();
+          return;
+        }
+        if (batch.value().empty()) break;
+        auto labels = service.OracleLabels(id.value());
+        if (!labels.ok()) {
+          failures[t] = labels.status().ToString();
+          return;
+        }
+        const Status told = service.Tell(id.value(), labels.value());
+        if (!told.ok()) {
+          failures[t] = told.ToString();
+          return;
+        }
+      }
+      auto closed = service.Close(id.value());
+      if (!closed.ok()) failures[t] = closed.status().ToString();
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 100; ++i) {
+      auto id = service.Open("twig", {});
+      if (!id.ok()) {
+        failures[kDrivers] = id.status().ToString();
+        return;
+      }
+      auto closed = service.Close(id.value());
+      if (!closed.ok()) {
+        failures[kDrivers] = closed.status().ToString();
+        return;
+      }
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  for (size_t t = 0; t < failures.size(); ++t) {
+    EXPECT_EQ(failures[t], "") << "thread " << t;
+  }
+  EXPECT_EQ(service.OpenCount(), 0u);
+
+  // Counter bookkeeping survives the churn: every open was closed, and
+  // every successful Ask's questions were answered by a matching Tell.
+  const ServiceCounters counters = service.Counters();
+  EXPECT_EQ(counters.opens, static_cast<uint64_t>(kDrivers) + 100u);
+  EXPECT_EQ(counters.closes, counters.opens);
+  EXPECT_EQ(counters.questions_served, counters.labels_accepted);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace qlearn
