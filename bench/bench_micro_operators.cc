@@ -519,6 +519,107 @@ BENCHMARK(BM_Propagate_Path)
     ->ArgsProduct({{3, 4, 6}, {0, 1}, {0, 1}})
     ->ArgNames({"n", "ref", "pos"});
 
+// Classification hot paths that stay non-flat after the delta layer: the
+// optimized full classification pass (baseline / hypothesis change) and the
+// witness-index (re)build a cold negative delta pays. Args are
+// (size, rebucket): `rebucket`=0 times one full pass
+// (ForceFullRepropagation + Propagate — re-bucket + classify-per-bucket
+// before the SoA store, plane sweeps after), `rebucket`=1 invalidates the
+// witness index and times one negative delta flush (index rebuild +
+// conviction before; with the SoA store join/chain need no index at all, so
+// the same flush is a single sweep). Before/after numbers live in
+// BENCH_classify.json.
+template <typename Engine>
+void RunClassifyLoop(benchmark::State& state, Engine* engine,
+                     const std::optional<typename Engine::Item>& negative) {
+  const bool rebucket_variant = state.range(1) == 1;
+  if (rebucket_variant && !negative.has_value()) {
+    state.SkipWithError("warmup produced no negative answer");
+    return;
+  }
+  session::SessionStats stats;
+  for (auto _ : state) {
+    if (rebucket_variant) {
+      engine->InvalidateWitnessIndexForBench();
+      engine->OnNegative(*negative);
+    } else {
+      engine->ForceFullRepropagation();
+    }
+    engine->Propagate(&stats);
+    benchmark::DoNotOptimize(stats.forced_negative);
+  }
+}
+
+void BM_Classify_Join(benchmark::State& state) {
+  const JoinSessionSetup setup(static_cast<int>(state.range(0)));
+  rlearn::JoinEngine engine(&setup.universe, &setup.instance.left,
+                            &setup.instance.right);
+  rlearn::GoalJoinOracle oracle(&setup.universe, setup.goal);
+  common::Rng rng(123);
+  const auto negative = WarmupPropagation(
+      &engine, &rng,
+      [&](const rlearn::PairExample& pair) {
+        return oracle.IsPositive(setup.instance.left.row(pair.left_row),
+                                 setup.instance.right.row(pair.right_row));
+      },
+      6);
+  RunClassifyLoop(state, &engine, negative);
+  state.counters["candidates"] = static_cast<double>(engine.candidate_pairs());
+}
+BENCHMARK(BM_Classify_Join)
+    ->ArgsProduct({{20, 50, 100, 200}, {0, 1}})
+    ->ArgNames({"n", "rebucket"});
+
+void BM_Classify_Chain(benchmark::State& state) {
+  const ChainSessionSetup setup(static_cast<int>(state.range(0)));
+  rlearn::ChainEngine engine(&*setup.chain, {});
+  common::Rng rng(123);
+  const auto negative = WarmupPropagation(
+      &engine, &rng,
+      [&](const rlearn::ChainExample& example) {
+        return rlearn::ChainSatisfied(*setup.chain, setup.goal, example);
+      },
+      6);
+  RunClassifyLoop(state, &engine, negative);
+  state.counters["candidates"] = static_cast<double>(engine.candidate_paths());
+}
+BENCHMARK(BM_Classify_Chain)
+    ->ArgsProduct({{4, 8, 16, 24}, {0, 1}})
+    ->ArgNames({"n", "rebucket"});
+
+void BM_Classify_Twig(benchmark::State& state) {
+  common::Interner interner;
+  std::string text = "<site><people>";
+  for (int i = 0; i < state.range(0); ++i) {
+    switch (i % 4) {
+      case 0: text += "<person><name/><age/><phone/></person>"; break;
+      case 1: text += "<person><name/></person>"; break;
+      case 2: text += "<person><name/><age/></person>"; break;
+      default: text += "<person><name/><homepage/></person>"; break;
+    }
+  }
+  text += "</people></site>";
+  const xml::XmlTree doc = xml::ParseXml(text, &interner).value();
+  auto goal = twig::ParseTwig("/site/people/person[age]/name", &interner);
+  xml::NodeId seed = xml::kInvalidNode;
+  for (xml::NodeId v = 0; v < doc.NumNodes(); ++v) {
+    if (twig::Selects(goal.value(), doc, v)) {
+      seed = v;
+      break;
+    }
+  }
+  learn::TwigEngine engine(&doc, seed);
+  common::Rng rng(123);
+  const auto negative = WarmupPropagation(
+      &engine, &rng,
+      [&](xml::NodeId v) { return twig::Selects(goal.value(), doc, v); }, 6);
+  RunClassifyLoop(state, &engine, negative);
+  state.counters["candidates"] = static_cast<double>(doc.NumNodes());
+}
+BENCHMARK(BM_Classify_Twig)
+    ->ArgsProduct({{8, 32, 128}, {0, 1}})
+    ->ArgNames({"n", "rebucket"});
+
 // Service-surface overhead: one full built-in scenario session per
 // iteration driven through SessionService (string handles, budget checks,
 // wire payload construction) in batches of `range(0)`. Compare against the

@@ -87,6 +87,15 @@ class Rng {
   /// Draws a fresh seed for a child generator (stream splitting).
   uint64_t Fork() { return Next(); }
 
+  /// Copies the four xoshiro lanes out (session hibernation). Restoring
+  /// them reproduces the identical remaining stream.
+  void SaveState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  void RestoreState(const uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

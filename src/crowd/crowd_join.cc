@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "rlearn/mask_scoring.h"
+
 namespace qlearn {
 namespace crowd {
 
@@ -197,7 +199,7 @@ Result<CrowdJoinResult> RunCrowdJoinSession(
                                right.row(candidates[i].right_row));
         const int total = std::popcount(vs.most_specific());
         const int kept = std::popcount(agree);
-        const long score = total / 2 - std::abs(kept - total / 2);
+        const long score = rlearn::SplitHalfScore(total, kept);
         if (score > best_score) {
           best_score = score;
           chosen = i;

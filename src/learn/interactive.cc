@@ -21,11 +21,18 @@ TwigEngine::TwigEngine(const xml::XmlTree* doc, NodeId seed,
       options_(options),
       hypothesis_(ExampleToQuery(TreeExample{doc, seed})) {
   frontier_.Reserve(doc->NumNodes());
+  // One plane and one row column per doc node: rows are the candidates'
+  // selected-sets, planes their transpose (the witness index). Rows pin
+  // dense slot == candidate id == NodeId.
+  store_.Reset(doc->NumNodes(), doc->NumNodes());
+  store_.ConfigureRows(doc->NumNodes());
+  neg_words_.assign(store_.row_words(), 0);
   for (NodeId v = 0; v < doc->NumNodes(); ++v) {
     frontier_.Add(v);
   }
   // The seed is a pre-labeled positive: closed, but never "asked".
   frontier_.MarkLabeled(seed, /*positive=*/true);
+  store_.OnSettled(seed);
 }
 
 std::optional<TwigQuery> TwigEngine::Extended(NodeId v) const {
@@ -35,17 +42,20 @@ std::optional<TwigQuery> TwigEngine::Extended(NodeId v) const {
   return std::move(g).value();
 }
 
-const std::optional<TwigEngine::SelectedSet>& TwigEngine::SelectedBy(NodeId v) {
-  return frontier_.MemoOf(v, [this](size_t k) -> std::optional<SelectedSet> {
-    auto h2 = Extended(static_cast<NodeId>(k));
-    if (!h2.has_value()) return std::nullopt;
-    twig::TwigEvaluator eval2(*h2, *doc_);
-    SelectedSet selected;  // ascending, so propagation can binary-search
-    for (NodeId u = 0; u < doc_->NumNodes(); ++u) {
-      if (eval2.Selects(u)) selected.push_back(u);
+bool TwigEngine::EnsureRow(NodeId v) {
+  if (!store_.RowFresh(v)) {
+    auto h2 = Extended(v);
+    if (!h2.has_value()) {
+      store_.MarkRowAbsent(v);
+    } else {
+      twig::TwigEvaluator eval2(*h2, *doc_);
+      uint64_t* row = store_.BeginRow(v);
+      for (NodeId u = 0; u < doc_->NumNodes(); ++u) {
+        if (eval2.Selects(u)) row[u / 64] |= 1ULL << (u % 64);
+      }
     }
-    return selected;
-  });
+  }
+  return store_.RowPresent(v);
 }
 
 std::optional<NodeId> TwigEngine::SelectQuestion(common::Rng* rng) {
@@ -54,20 +64,16 @@ std::optional<NodeId> TwigEngine::SelectQuestion(common::Rng* rng) {
     pick = frontier_.Select(session::UniformRandomStrategy{}, rng);
   } else {
     // Greedy impact: the candidate whose positive answer would settle the
-    // most currently-open nodes. The selected-sets are memoized per
-    // hypothesis; only the intersection with the open set is recounted.
+    // most currently-open nodes. The selected-set rows are materialized
+    // once per hypothesis; the intersection with the open set is one
+    // word-wise popcount against the store's open bit-vector.
     pick = frontier_.Select(
         session::Greedy<long>(
             0,
             [this](size_t v) -> std::optional<long> {
-              const std::optional<SelectedSet>& selected =
-                  SelectedBy(static_cast<NodeId>(v));
-              if (!selected.has_value()) return std::nullopt;
-              long impact = 0;
-              for (NodeId u : *selected) {
-                if (frontier_.IsOpen(u)) ++impact;
-              }
-              return impact;
+              if (!EnsureRow(static_cast<NodeId>(v))) return std::nullopt;
+              return static_cast<long>(
+                  store_.PopcountRowAnd(v, store_.open_words()));
             }),
         rng);
   }
@@ -75,11 +81,15 @@ std::optional<NodeId> TwigEngine::SelectQuestion(common::Rng* rng) {
   return static_cast<NodeId>(*pick);
 }
 
-void TwigEngine::MarkAsked(const NodeId& item) { frontier_.MarkAsked(item); }
+void TwigEngine::MarkAsked(const NodeId& item) {
+  frontier_.MarkAsked(item);
+  store_.OnAsked(item);
+}
 
 void TwigEngine::Observe(const NodeId& item, bool positive,
                          session::SessionStats* stats) {
   frontier_.MarkLabeled(item, positive);
+  store_.OnSettled(item);
   hypothesis_advanced_ = false;
   if (positive) {
     auto h2 = Extended(item);
@@ -87,14 +97,16 @@ void TwigEngine::Observe(const NodeId& item, bool positive,
       ++stats->conflicts;  // target outside the anchored class
     } else {
       hypothesis_ = std::move(*h2);
-      // Every selected-set was computed against the old hypothesis.
+      // Every selected-set row was computed against the old hypothesis.
       frontier_.InvalidateAll();
+      store_.InvalidateRows();
       hypothesis_advanced_ = true;
     }
   } else {
     negatives_.push_back(item);
+    neg_words_[item / 64] |= 1ULL << (item % 64);
     // Negative answers leave the hypothesis — and thus every memoized
-    // selected-set — untouched: nothing to invalidate.
+    // selected-set row — untouched: nothing to invalidate.
   }
 }
 
@@ -114,8 +126,8 @@ void TwigEngine::Propagate(session::SessionStats* stats) {
   } else if (prop_.NeedsFullPass()) {
     FullPropagate(stats);
     prop_.MarkFullPassDone();
-    // The node buckets were built for the old hypothesis; the next
-    // negative delta rebuilds them from the fresh selected-set memos.
+    // The witness planes were transposed from the old hypothesis' rows;
+    // the next negative delta rebuilds them from the fresh rows.
     prop_.InvalidateWitnesses();
   } else {
     ApplyNegativeDeltas(stats);
@@ -140,6 +152,7 @@ void TwigEngine::ReferencePropagate(session::SessionStats* stats) {
     if (eval.Selects(v)) {
       // Every consistent generalization of the hypothesis selects v.
       frontier_.MarkForced(v, /*positive=*/true);
+      store_.OnSettled(v);
       ++stats->forced_positive;
     }
   }
@@ -150,18 +163,10 @@ void TwigEngine::ReferencePropagate(session::SessionStats* stats) {
         state != CandidateState::kAsked) {
       continue;
     }
-    const std::optional<SelectedSet>& selected = SelectedBy(v);
-    if (!selected.has_value()) {
+    if (!EnsureRow(v) || store_.RowIntersects(v, neg_words_.data())) {
       frontier_.MarkForced(v, /*positive=*/false);
+      store_.OnSettled(v);
       ++stats->forced_negative;
-      continue;
-    }
-    for (NodeId neg : negatives_) {
-      if (std::binary_search(selected->begin(), selected->end(), neg)) {
-        frontier_.MarkForced(v, /*positive=*/false);
-        ++stats->forced_negative;
-        break;
-      }
     }
   }
 }
@@ -180,6 +185,7 @@ void TwigEngine::FullPropagate(session::SessionStats* stats) {
     }
     if (eval.Selects(v)) {
       frontier_.MarkForced(v, /*positive=*/true);
+      store_.OnSettled(v);
       ++stats->forced_positive;
     }
   }
@@ -187,8 +193,9 @@ void TwigEngine::FullPropagate(session::SessionStats* stats) {
     // With no negative yet, the only convictable candidates are the
     // out-of-class ones (no anchored generalization exists). That is
     // decidable from GeneralizePair alone — no need to materialize the
-    // full selected-set of every open candidate just to detect it; greedy
-    // scoring computes the sets it needs later, random strategies never do.
+    // full selected-set row of every open candidate just to detect it;
+    // greedy scoring computes the rows it needs later, random strategies
+    // never do.
     for (NodeId v = 0; v < doc_->NumNodes(); ++v) {
       const CandidateState state = frontier_.state(v);
       if (state != CandidateState::kUnknown &&
@@ -197,31 +204,26 @@ void TwigEngine::FullPropagate(session::SessionStats* stats) {
       }
       if (!Extended(v).has_value()) {
         frontier_.MarkForced(v, /*positive=*/false);
+        store_.OnSettled(v);
         ++stats->forced_negative;
       }
     }
     return;
   }
   // Forced negatives against the accumulated negative set: the hypothesis
-  // changed, so every selected-set is recomputed (memoized for scoring).
+  // changed, so every selected-set row is rematerialized (and reused by
+  // scoring); the per-candidate test is one word-wise intersection with
+  // the negative bitset.
   for (NodeId v = 0; v < doc_->NumNodes(); ++v) {
     const CandidateState state = frontier_.state(v);
     if (state != CandidateState::kUnknown &&
         state != CandidateState::kAsked) {
       continue;
     }
-    const std::optional<SelectedSet>& selected = SelectedBy(v);
-    if (!selected.has_value()) {
+    if (!EnsureRow(v) || store_.RowIntersects(v, neg_words_.data())) {
       frontier_.MarkForced(v, /*positive=*/false);
+      store_.OnSettled(v);
       ++stats->forced_negative;
-      continue;
-    }
-    for (NodeId neg : negatives_) {
-      if (std::binary_search(selected->begin(), selected->end(), neg)) {
-        frontier_.MarkForced(v, /*positive=*/false);
-        ++stats->forced_negative;
-        break;
-      }
     }
   }
 }
@@ -230,42 +232,47 @@ void TwigEngine::ApplyNegativeDeltas(session::SessionStats* stats) {
   std::vector<NodeId> deltas = prop_.TakeDeltas();
   if (deltas.empty()) return;
   // The hypothesis is unchanged, so no new forced positives exist and the
-  // memoized selected-sets are still valid: each new negative settles
-  // exactly its witness bucket.
-  if (!prop_.WitnessesValid()) RebuildWitnessIndex();
+  // selected-set rows are still valid: each new negative settles exactly
+  // the active candidates whose row holds it — active ∧ plane(neg), one
+  // word-parallel sweep over the transposed witness planes.
+  if (!prop_.WitnessesValid()) RebuildWitnessPlanes();
   for (NodeId neg : deltas) {
-    prop_.ConsumeBucket(neg, [&](std::vector<size_t>& members) {
-      // Twig candidates witness many nodes, so entries settled by earlier
-      // convictions (or by answers) linger in other buckets: evict them,
-      // then force the survivors.
-      PropagationT::Evict(&members, [&](size_t v) {
-        const CandidateState state = frontier_.state(v);
-        return state == CandidateState::kUnknown ||
-               state == CandidateState::kAsked;
-      });
-      for (size_t v : members) {
-        frontier_.MarkForced(v, /*positive=*/false);
-        ++stats->forced_negative;
-      }
+    store_.CopyActive(&scratch_);
+    store_.AndPlanes(neg, 1, scratch_.data());
+    session::ForEachSetBit(scratch_.data(), scratch_.size(), [&](size_t v) {
+      // Rows pin dense slot == candidate id.
+      frontier_.MarkForced(v, /*positive=*/false);
+      store_.OnSettled(v);
+      ++stats->forced_negative;
     });
   }
 }
 
-void TwigEngine::RebuildWitnessIndex() {
-  prop_.BeginWitnessRebuild();
+void TwigEngine::RebuildWitnessPlanes() {
   for (NodeId v = 0; v < doc_->NumNodes(); ++v) {
-    const CandidateState state = frontier_.state(v);
-    if (state != CandidateState::kUnknown &&
-        state != CandidateState::kAsked) {
-      continue;
-    }
-    const std::optional<SelectedSet>& selected = SelectedBy(v);
+    if (!store_.IsActive(v)) continue;
     // The preceding full pass settled every out-of-class candidate; a live
     // one always generalizes.
-    assert(selected.has_value());
-    if (!selected.has_value()) continue;
-    for (NodeId u : *selected) prop_.AddWitness(u, v);
+    const bool present = EnsureRow(v);
+    assert(present && "live candidate without an anchored generalization");
+    (void)present;
   }
+  store_.TransposeActiveRowsToPlanes();
+  prop_.BeginWitnessRebuild();  // planes now match the current hypothesis
+}
+
+size_t TwigEngine::WitnessBucketsForTest() const {
+  // The plane-sweep analogue of the historical bucket count: document
+  // nodes witnessed by at least one live candidate. O(n²) probe, test-only.
+  size_t live_nodes = 0;
+  for (NodeId u = 0; u < doc_->NumNodes(); ++u) {
+    bool any = false;
+    for (NodeId v = 0; v < doc_->NumNodes() && !any; ++v) {
+      any = store_.IsActive(v) && store_.PlaneBitForTest(u, v);
+    }
+    if (any) ++live_nodes;
+  }
+  return live_nodes;
 }
 
 #ifndef NDEBUG
@@ -284,14 +291,12 @@ void TwigEngine::AssertPropagationFixpoint() {
         state != CandidateState::kAsked) {
       continue;
     }
-    const std::optional<SelectedSet>& selected = SelectedBy(v);
-    assert(selected.has_value() &&
-           "delta flush missed an out-of-class forced negative");
-    if (!selected.has_value()) continue;
-    for (NodeId neg : negatives_) {
-      assert(!std::binary_search(selected->begin(), selected->end(), neg) &&
-             "delta flush missed a forced negative");
-    }
+    assert(store_.IsActive(v) && "store active bit out of sync with frontier");
+    const bool present = EnsureRow(v);
+    assert(present && "delta flush missed an out-of-class forced negative");
+    if (!present) continue;
+    assert(!store_.RowIntersects(v, neg_words_.data()) &&
+           "delta flush missed a forced negative");
   }
 }
 #endif

@@ -22,6 +22,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "learn/twig_learner.h"
+#include "session/candidate_store.h"
 #include "session/frontier.h"
 #include "session/propagation.h"
 #include "session/session.h"
@@ -117,11 +118,13 @@ class TwigEngine {
   void OnPositive(const Item& item);
   void OnNegative(const Item& item);
   /// Flushes queued deltas. Steady state (no hypothesis change since the
-  /// last flush): each new negative settles exactly the open candidates
-  /// whose memoized selected-set contains it, via the node→candidates
-  /// witness index — O(affected), not O(open × negatives). A hypothesis
-  /// change (and the baseline call) runs the full pass and lazily rebuilds
-  /// the index from the frontier's selected-set memos.
+  /// last flush): each new negative settles exactly the active candidates
+  /// whose memoized selected-set row contains it — one word-parallel sweep
+  /// of active ∧ plane(negative) over the candidate store's transposed
+  /// witness planes, O(words), not O(open × negatives). A hypothesis change
+  /// (and the baseline call) runs the full pass; the witness planes are
+  /// rebuilt lazily (64×64 bit-block transpose of the active rows) when the
+  /// next negative delta demands them.
   void Propagate(session::SessionStats* stats);
   bool Aborted() const { return false; }  // twig sessions tolerate conflicts
   HypothesisT Current() const { return hypothesis_; }
@@ -143,29 +146,38 @@ class TwigEngine {
   /// Test/bench hook: makes the next flush run the full hypothesis-change
   /// pass (steady-state positive-answer cost without mutating the session).
   void ForceFullRepropagation() { prop_.RecordHypothesisChange(); }
-  // Test introspection of the witness index (lazy rebuild semantics).
+  /// Test/bench hook: drops the witness planes so the next negative delta
+  /// pays the full rebuild cost — row materialization plus the bit-block
+  /// transpose (measured by BM_Classify).
+  void InvalidateWitnessIndexForBench() { prop_.InvalidateWitnesses(); }
+  // Test introspection of the witness planes (lazy rebuild semantics).
+  // "Buckets" are the document nodes with at least one live witness bit —
+  // the plane-sweep analogue of the historical bucket count.
   bool WitnessIndexValidForTest() const { return prop_.WitnessesValid(); }
-  size_t WitnessBucketsForTest() const { return prop_.NumBuckets(); }
+  size_t WitnessBucketsForTest() const;
+  /// Test introspection of the structure-of-arrays candidate store.
+  const session::CandidateStore& StoreForTest() const { return store_; }
 
  private:
-  /// Memoized per-candidate intermediate: the sorted node set selected by
-  /// the hypothesis extended with the candidate (nullopt when no anchored
-  /// generalization exists). Valid until the hypothesis changes; both the
-  /// greedy-impact score and the forced-negative propagation predicate read
-  /// it instead of re-running GeneralizePair + evaluation per call.
-  using SelectedSet = std::vector<xml::NodeId>;
-  using FrontierT = session::Frontier<xml::NodeId, long, SelectedSet>;
+  using FrontierT = session::Frontier<xml::NodeId, long>;
 
-  /// Witness index: document node → candidates whose memoized selected-set
-  /// contains it; deltas are the negative nodes themselves.
+  /// Delta queue only (the witness-bucket half of PropagationIndex is
+  /// superseded by the store's transposed planes; the validity flag still
+  /// tracks whether those planes match the current hypothesis). Deltas are
+  /// the negative nodes themselves.
   using PropagationT =
       session::PropagationIndex<xml::NodeId, xml::NodeId>;
 
   /// Hypothesis with doc-node `v` joined in, or nullopt if no anchored
   /// generalization exists.
   std::optional<twig::TwigQuery> Extended(xml::NodeId v) const;
-  /// Memoized selected-set of Extended(v) over all doc nodes.
-  const std::optional<SelectedSet>& SelectedBy(xml::NodeId v);
+  /// Materializes candidate v's selected-set row in the store (the sorted
+  /// node set Extended(v) selects, as a bitset) if it is stale; returns
+  /// true when the row is present (an anchored generalization exists).
+  /// Both the greedy-impact score and the forced-negative propagation
+  /// predicate read the row instead of re-running GeneralizePair +
+  /// evaluation per call.
+  bool EnsureRow(xml::NodeId v);
 
   /// The historical full-universe rescan, verbatim (reference mode).
   void ReferencePropagate(session::SessionStats* stats);
@@ -173,12 +185,12 @@ class TwigEngine {
   /// plus the forced-negative sweep that skips selected-set
   /// materialization while no negative exists yet.
   void FullPropagate(session::SessionStats* stats);
-  /// Steady-state flush: convicts only the witness buckets of the queued
-  /// negative nodes.
+  /// Steady-state flush: one active ∧ plane(neg) sweep per queued negative.
   void ApplyNegativeDeltas(session::SessionStats* stats);
-  /// Rebuilds the witness index from the frontier's selected-set memos
+  /// Rebuilds the witness planes: materializes every active candidate's
+  /// selected-set row, then bit-transposes the rows into the planes
   /// (deferred until a negative delta actually demands it).
-  void RebuildWitnessIndex();
+  void RebuildWitnessPlanes();
 #ifndef NDEBUG
   /// Replays the historical per-candidate predicates and asserts the flush
   /// reached their fixpoint (identical forced sets and stats totals).
@@ -191,8 +203,17 @@ class TwigEngine {
   InteractiveTwigOptions options_;
   twig::TwigQuery hypothesis_;
   FrontierT frontier_;  // one candidate per doc node, index == NodeId
+  /// SoA store: selected-set rows (one per candidate, row == NodeId — rows
+  /// pin the dense axis, no compaction) and their transpose, the witness
+  /// planes (plane u = candidates whose selected-set holds node u).
+  session::CandidateStore store_;
   std::vector<xml::NodeId> negatives_;
+  /// The negatives as a doc-node bitset (row_words-sized), the word-wise
+  /// mirror of negatives_ the row-intersection tests sweep against.
+  std::vector<uint64_t> neg_words_;
   PropagationT prop_;
+  /// Sweep scratch (dense words) reused across flushes.
+  std::vector<uint64_t> scratch_;
   /// Did the last positive Observe actually generalize the hypothesis?
   bool hypothesis_advanced_ = false;
   bool reference_propagation_ = false;

@@ -1,5 +1,8 @@
 #include "rlearn/chain_learner.h"
 
+#include <bit>
+#include <cstdint>
+
 namespace qlearn {
 namespace rlearn {
 
@@ -175,30 +178,65 @@ ChainConsistency CheckChainConsistency(
 std::vector<ChainExample> EvaluateChain(const JoinChain& chain,
                                         const ChainMask& hypothesis,
                                         size_t limit) {
-  // Depth-first nested-loop expansion in row-major order with per-edge mask
-  // tests. Depth-first (rather than one frontier per edge) keeps memory at
-  // O(chain length) beyond the emitted paths: a layered expansion can
-  // materialize intermediate frontiers exponentially larger than a capped
-  // result on permissive chains. Instances in the experiments are small
-  // enough that index structures would not change the asymptotics observed
-  // (the masks are arbitrary pair sets, so a hash index would need one
-  // build per satisfied-pair subset).
+  // Depth-first nested-loop expansion in row-major order. Depth-first
+  // (rather than one frontier per edge) avoids materializing intermediate
+  // frontiers exponentially larger than a capped result on permissive
+  // chains. Per-edge satisfaction is cached as lazy bitset rows — bit j of
+  // row (e, i) says rows i⋈j satisfy hypothesis[e] — so revisiting a
+  // prefix (every left row beyond depth 1) advances by bit-scan instead of
+  // re-running AgreeOn per (prefix, j) pair. A row is computed at most
+  // once, on first descent through its left row; memory beyond the emitted
+  // paths is O(visited left rows × right rows / 64).
   std::vector<ChainExample> out;
   const size_t length = chain.length();
+  struct EdgeRows {
+    size_t right_size = 0;
+    size_t words = 0;
+    std::vector<uint64_t> bits;     // left_size × words, lazily filled
+    std::vector<uint8_t> computed;  // per left row
+  };
+  std::vector<EdgeRows> sat(chain.num_edges());
+  for (size_t e = 0; e < chain.num_edges(); ++e) {
+    sat[e].right_size = chain.relation(e + 1).size();
+    sat[e].words = (sat[e].right_size + 63) / 64;
+    sat[e].bits.assign(chain.relation(e).size() * sat[e].words, 0);
+    sat[e].computed.assign(chain.relation(e).size(), 0);
+  }
   // rows is the current partial path; rows.back() is the next row index to
   // try in relation rows.size()-1.
   std::vector<size_t> rows(1, 0);
   while (!rows.empty()) {
     const size_t depth = rows.size() - 1;
-    if (rows[depth] >= chain.relation(depth).size()) {
-      rows.pop_back();
-      if (!rows.empty()) ++rows.back();
-      continue;
-    }
-    if (depth > 0 &&
-        !MaskSatisfied(hypothesis[depth - 1], chain.AgreeOn(depth - 1, rows))) {
-      ++rows[depth];
-      continue;
+    if (depth == 0) {
+      if (rows[0] >= chain.relation(0).size()) break;
+    } else {
+      EdgeRows& edge = sat[depth - 1];
+      const size_t left = rows[depth - 1];
+      uint64_t* row = edge.bits.data() + left * edge.words;
+      if (!edge.computed[left]) {
+        const size_t save = rows[depth];
+        for (size_t j = 0; j < edge.right_size; ++j) {
+          rows[depth] = j;
+          if (MaskSatisfied(hypothesis[depth - 1],
+                            chain.AgreeOn(depth - 1, rows))) {
+            row[j / 64] |= 1ULL << (j % 64);
+          }
+        }
+        rows[depth] = save;
+        edge.computed[left] = 1;
+      }
+      // Advance to the next satisfying right row (identical visit order to
+      // the historical one-at-a-time mask tests).
+      size_t w = rows[depth] / 64;
+      uint64_t word =
+          w < edge.words ? row[w] & (~0ULL << (rows[depth] % 64)) : 0;
+      while (word == 0 && ++w < edge.words) word = row[w];
+      if (word == 0) {
+        rows.pop_back();
+        ++rows.back();
+        continue;
+      }
+      rows[depth] = w * 64 + static_cast<size_t>(std::countr_zero(word));
     }
     if (depth + 1 == length) {
       out.push_back(ChainExample{rows});

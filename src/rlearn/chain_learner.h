@@ -105,6 +105,16 @@ class ChainVersionSpace {
     return negative_agreements_;
   }
 
+  /// Hibernation restore: overwrites the accumulated state with a
+  /// snapshot's. The caller (ChainEngine::RestoreSnapshot) owns validation.
+  void RestoreState(ChainMask most_specific,
+                    std::vector<std::vector<PairMask>> negatives,
+                    size_t num_positives) {
+    most_specific_ = std::move(most_specific);
+    negative_agreements_ = std::move(negatives);
+    num_positives_ = num_positives;
+  }
+
  private:
   std::vector<PairMask> Agreements(const ChainExample& e) const;
 

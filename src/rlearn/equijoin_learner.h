@@ -61,6 +61,15 @@ class EquiJoinVersionSpace {
     return negative_masks_;
   }
 
+  /// Hibernation restore: overwrites the accumulated state with a
+  /// snapshot's. The caller (JoinEngine::RestoreSnapshot) owns validation.
+  void RestoreState(PairMask most_specific, std::vector<PairMask> negatives,
+                    size_t num_positives) {
+    most_specific_ = most_specific;
+    negative_masks_ = std::move(negatives);
+    num_positives_ = num_positives;
+  }
+
  private:
   PairMask Agree(const PairExample& e) const;
 

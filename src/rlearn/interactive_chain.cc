@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "rlearn/mask_scoring.h"
+
 namespace qlearn {
 namespace rlearn {
 
@@ -13,6 +15,10 @@ using common::Result;
 using common::Status;
 
 namespace {
+
+/// "QLCE" little-endian: the chain-engine snapshot blob tag.
+constexpr uint32_t kChainEngineMagic = 0x45434C51u;
+constexpr uint32_t kChainEngineVersion = 1;
 
 /// Enumerates up to `cap` candidate paths (row-index products, row-major).
 std::vector<ChainExample> EnumerateCandidates(const JoinChain& chain,
@@ -47,12 +53,21 @@ ChainEngine::ChainEngine(const JoinChain* chain,
   std::vector<ChainExample> candidates =
       EnumerateCandidates(*chain, options.max_candidates);
   frontier_.Reserve(candidates.size());
-  agree_.reserve(candidates.size() * chain->num_edges());
+  // Per-edge agreement masks go bit-transposed into the store: 64 planes
+  // per edge, plane e*64+b = the paths agreeing on bit b of edge e.
+  store_.Reset(64 * chain->num_edges(), candidates.size());
   for (ChainExample& candidate : candidates) {
+    std::vector<PairMask> agree(chain->num_edges());
     for (size_t e = 0; e < chain->num_edges(); ++e) {
-      agree_.push_back(chain->AgreeOn(e, candidate.rows));
+      agree[e] = chain->AgreeOn(e, candidate.rows);
     }
-    frontier_.Add(std::move(candidate));
+    const size_t k = frontier_.Add(std::move(candidate));
+    for (size_t e = 0; e < chain->num_edges(); ++e) {
+      for (PairMask m = agree[e]; m != 0; m &= m - 1) {
+        store_.SetPlaneBit(e * 64 + static_cast<size_t>(std::countr_zero(m)),
+                           k);
+      }
+    }
   }
 }
 
@@ -71,6 +86,19 @@ std::optional<size_t> ChainEngine::IndexOf(const ChainExample& item) const {
   return index;
 }
 
+void ChainEngine::EnsureKeptCounts() {
+  if (counts_valid_) return;
+  const ChainMask& theta = vs_.most_specific();
+  const size_t edges = chain_->num_edges();
+  kept_counts_.resize(edges);
+  totals_.resize(edges);
+  for (size_t e = 0; e < edges; ++e) {
+    store_.PlanePopcounts(e * 64, theta[e], &kept_counts_[e]);
+    totals_[e] = std::popcount(theta[e]);
+  }
+  counts_valid_ = true;
+}
+
 std::optional<ChainExample> ChainEngine::SelectQuestion(common::Rng* rng) {
   std::optional<size_t> pick;
   if (strategy_ == ChainStrategy::kRandom) {
@@ -82,29 +110,27 @@ std::optional<ChainExample> ChainEngine::SelectQuestion(common::Rng* rng) {
     // carries far more information than any negative. Once θ* reflects a
     // positive, switch to even-split probing of the surviving pairs.
     //
-    // Scores depend only on θ* and the hunting phase, both of which change
-    // exactly on positive answers — so they stay memoized across the
-    // (overwhelmingly more common) negative answers and propagations.
+    // The per-edge kept-counts depend only on θ*, which changes exactly on
+    // positive answers — one bit-sliced popcount sweep per edge per change;
+    // the greedy scorer is then a row of array reads.
+    EnsureKeptCounts();
     const bool hunting = vs_.num_positives() == 0;
+    const size_t edges = chain_->num_edges();
     pick = frontier_.Select(
         session::Greedy<SplitScore>(
             SplitScore{std::numeric_limits<long>::min(),
                        std::numeric_limits<long>::min()},
-            [this, hunting](size_t k) -> std::optional<SplitScore> {
-              return frontier_.MemoOf(k, [this, hunting](size_t j) {
-                long total_kept = 0;
-                long split = 0;
-                for (size_t e = 0; e < chain_->num_edges(); ++e) {
-                  const PairMask ms = vs_.most_specific()[e];
-                  const PairMask agree = ms & AgreeFor(j, e);
-                  const int total = std::popcount(ms);
-                  const int kept = std::popcount(agree);
-                  total_kept += kept;
-                  split += total / 2 - std::abs(kept - total / 2);
-                }
-                return hunting ? SplitScore{total_kept, split}
-                               : SplitScore{split, total_kept};
-              });
+            [this, hunting, edges](size_t k) -> std::optional<SplitScore> {
+              const size_t d = store_.DenseOf(k);
+              long total_kept = 0;
+              long split = 0;
+              for (size_t e = 0; e < edges; ++e) {
+                const int kept = kept_counts_[e][d];
+                total_kept += kept;
+                split += SplitHalfScore(totals_[e], kept);
+              }
+              return hunting ? SplitScore{total_kept, split}
+                             : SplitScore{split, total_kept};
             }),
         rng);
   }
@@ -117,12 +143,16 @@ void ChainEngine::MarkAsked(const ChainExample& item) {
   assert(k.has_value() && "asked path outside the enumerated candidates");
   if (!k.has_value()) return;
   frontier_.MarkAsked(*k);
+  store_.OnAsked(*k);
 }
 
 void ChainEngine::Observe(const ChainExample& item, bool positive,
                           session::SessionStats* stats) {
   const std::optional<size_t> k = IndexOf(item);
-  if (k.has_value()) frontier_.MarkLabeled(*k, positive);
+  if (k.has_value()) {
+    frontier_.MarkLabeled(*k, positive);
+    store_.OnSettled(*k);
+  }
   theta_advanced_ = false;
   if (positive) {
     const ChainMask before = vs_.most_specific();
@@ -131,6 +161,7 @@ void ChainEngine::Observe(const ChainExample& item, bool positive,
     // θ* (and possibly the hunting phase) changed: memoized split scores
     // are stale. Negatives leave θ* untouched — nothing to invalidate.
     frontier_.InvalidateAll();
+    if (theta_advanced_) counts_valid_ = false;
   } else {
     vs_.AddNegative(item);
   }
@@ -148,26 +179,19 @@ void ChainEngine::OnPositive(const ChainExample& /*item*/) {
   if (theta_advanced_) prop_.RecordHypothesisChange();
 }
 
-void ChainEngine::OnNegative(const ChainExample& item) {
-  // Queue the negative's per-edge agreement vector (exactly what the
-  // version space recorded for it). In-frontier items reuse the
-  // per-candidate cache; paths without a candidate slot recompute.
-  const std::optional<size_t> k = IndexOf(item);
-  std::vector<PairMask> agree(chain_->num_edges());
-  for (size_t e = 0; e < chain_->num_edges(); ++e) {
-    agree[e] =
-        k.has_value() ? AgreeFor(*k, e) : chain_->AgreeOn(e, item.rows);
-  }
-  prop_.RecordNegative(std::move(agree));
+void ChainEngine::OnNegative(const ChainExample& /*item*/) {
+  // Observe ran first, so the version space's newest negative agreement
+  // vector is this path's (valid for slotless paths too — the version
+  // space recomputes agreements itself).
+  prop_.RecordNegative(vs_.negative_agreements().back());
 }
 
 void ChainEngine::Propagate(session::SessionStats* stats) {
   if (reference_propagation_) {
     ReferencePropagate(stats);
     prop_.MarkFullPassDone();
-    prop_.InvalidateWitnesses();  // never re-bucketed in reference mode
   } else if (prop_.NeedsFullPass()) {
-    FullPropagate(stats);  // re-buckets eagerly: witnesses stay valid
+    FullPropagate(stats);
     prop_.MarkFullPassDone();
   } else {
     ApplyNegativeDeltas(stats);
@@ -175,6 +199,10 @@ void ChainEngine::Propagate(session::SessionStats* stats) {
 #ifndef NDEBUG
   AssertPropagationFixpoint();
 #endif
+  // Shrink the dense sweep axis once enough candidates settled. Survivor
+  // order is id-ascending before and after, so replay is unaffected; the
+  // kept-counts are dense-indexed and refresh lazily.
+  if (store_.MaybeCompact()) counts_valid_ = false;
 }
 
 void ChainEngine::ReferencePropagate(session::SessionStats* stats) {
@@ -183,10 +211,12 @@ void ChainEngine::ReferencePropagate(session::SessionStats* stats) {
     switch (vs_.Classify(frontier_.item(k))) {
       case ChainVersionSpace::PathStatus::kForcedPositive:
         frontier_.MarkForced(k, /*positive=*/true);
+        store_.OnSettled(k);
         ++stats->forced_positive;
         break;
       case ChainVersionSpace::PathStatus::kForcedNegative:
         frontier_.MarkForced(k, /*positive=*/false);
+        store_.OnSettled(k);
         ++stats->forced_negative;
         break;
       case ChainVersionSpace::PathStatus::kInformative:
@@ -195,94 +225,68 @@ void ChainEngine::ReferencePropagate(session::SessionStats* stats) {
   }
 }
 
-void ChainEngine::ForceBucket(std::vector<size_t>& members, bool positive,
-                              session::SessionStats* stats) {
-  for (size_t k : members) {
-    if (!frontier_.IsOpen(k)) continue;  // settled since the bucket was built
+void ChainEngine::ForceSweep(const std::vector<uint64_t>& bits, bool positive,
+                             session::SessionStats* stats) {
+  session::ForEachSetBit(bits.data(), bits.size(), [&](size_t d) {
+    const size_t k = store_.IdOf(d);
     frontier_.MarkForced(k, positive);
+    store_.OnSettled(k);
     if (positive) {
       ++stats->forced_positive;
     } else {
       ++stats->forced_negative;
     }
-  }
+  });
 }
 
-void ChainEngine::RebuildBuckets() {
-  prop_.BeginWitnessRebuild();
+void ChainEngine::ConvictCovered(const std::vector<PairMask>& neg,
+                                 session::SessionStats* stats) {
+  // The negative covers a path iff on every edge A_e ∧ ¬neg_e == 0, i.e.
+  // the path agrees on none of the surviving pairs θ*_e ∧ ¬neg_e. An edge
+  // with no surviving pair imposes no constraint (its A_e is covered for
+  // every path).
   const ChainMask& theta = vs_.most_specific();
-  const size_t edges = chain_->num_edges();
-  ChainMask key(edges);
-  for (size_t k = 0; k < frontier_.size(); ++k) {
-    if (!frontier_.IsOpen(k)) continue;
-    for (size_t e = 0; e < edges; ++e) {
-      key[e] = theta[e] & AgreeFor(k, e);
+  store_.CopyOpen(&scratch_);
+  for (size_t e = 0; e < chain_->num_edges(); ++e) {
+    const PairMask surviving = theta[e] & ~neg[e];
+    if (surviving != 0) {
+      store_.AndNotOrPlanes(e * 64, surviving, scratch_.data());
     }
-    prop_.AddWitness(key, k);
   }
+  ForceSweep(scratch_, /*positive=*/false, stats);
 }
 
 void ChainEngine::FullPropagate(session::SessionStats* stats) {
   // Classification of a path depends only on its per-edge effective masks
-  // A_e = θ*_e ∧ agree_e (see ChainVersionSpace::Classify): bucket the
-  // open set by the A vector once, then classify each distinct vector.
-  RebuildBuckets();
+  // A_e = θ*_e ∧ agree_e (see ChainVersionSpace::Classify), so the whole
+  // pass is word-parallel: one AND sweep over every edge's θ* planes for
+  // the forced positives (A == θ* edge-wise), a per-edge A_e == 0 sweep,
+  // and one conviction sweep per accumulated negative.
   const ChainMask& theta = vs_.most_specific();
   const size_t edges = chain_->num_edges();
-  prop_.ForEachBucket(
-      [&](const ChainMask& a, std::vector<size_t>& members) {
-        // A == θ* edge-wise ⇔ θ* selects the path.
-        if (a == theta) {
-          ForceBucket(members, /*positive=*/true, stats);
-          return true;
-        }
-        bool forced_negative = false;
-        for (size_t e = 0; e < edges && !forced_negative; ++e) {
-          forced_negative = a[e] == 0;
-        }
-        if (!forced_negative) {
-          for (const std::vector<PairMask>& neg : vs_.negative_agreements()) {
-            bool covered = true;
-            for (size_t e = 0; e < edges; ++e) {
-              if (!MaskSatisfied(a[e], neg[e])) {
-                covered = false;
-                break;
-              }
-            }
-            if (covered) {
-              forced_negative = true;
-              break;
-            }
-          }
-        }
-        if (forced_negative) {
-          ForceBucket(members, /*positive=*/false, stats);
-          return true;
-        }
-        return false;  // informative bucket: keep for future deltas
-      });
+  store_.CopyOpen(&scratch_);
+  for (size_t e = 0; e < edges; ++e) {
+    assert(theta[e] != 0 && "propagating an inconsistent version space");
+    store_.AndPlanes(e * 64, theta[e], scratch_.data());
+  }
+  ForceSweep(scratch_, /*positive=*/true, stats);
+  for (size_t e = 0; e < edges; ++e) {
+    store_.CopyOpen(&scratch_);
+    store_.AndNotOrPlanes(e * 64, theta[e], scratch_.data());
+    ForceSweep(scratch_, /*positive=*/false, stats);
+  }
+  for (const std::vector<PairMask>& neg : vs_.negative_agreements()) {
+    ConvictCovered(neg, stats);
+  }
 }
 
 void ChainEngine::ApplyNegativeDeltas(session::SessionStats* stats) {
   std::vector<std::vector<PairMask>> deltas = prop_.TakeDeltas();
   if (deltas.empty()) return;
-  const size_t edges = chain_->num_edges();
-  // θ* is untouched, so no new forced positives exist and the surviving
-  // buckets' keys are still the candidates' effective-mask vectors. After
-  // a reference flush the buckets are stale — rebuild from the open set.
-  if (!prop_.WitnessesValid()) RebuildBuckets();
-  // No per-visit eviction: a path lives in exactly one bucket and forcing
-  // erases whole buckets, so the only stale members are the few asked /
-  // labeled paths — ForceBucket skips them.
+  // θ* is untouched, so no new forced positives exist: each queued
+  // negative is one conviction sweep over the still-open paths.
   for (const std::vector<PairMask>& neg : deltas) {
-    prop_.ForEachBucket(
-        [&](const ChainMask& a, std::vector<size_t>& members) {
-          for (size_t e = 0; e < edges; ++e) {
-            if (!MaskSatisfied(a[e], neg[e])) return false;
-          }
-          ForceBucket(members, /*positive=*/false, stats);
-          return true;
-        });
+    ConvictCovered(neg, stats);
   }
 }
 
@@ -295,6 +299,7 @@ void ChainEngine::AssertPropagationFixpoint() const {
     assert(vs_.Classify(frontier_.item(k)) ==
                ChainVersionSpace::PathStatus::kInformative &&
            "delta flush missed a forced path");
+    assert(store_.IsOpen(k) && "store open bit out of sync with frontier");
   }
 }
 #endif
@@ -302,6 +307,82 @@ void ChainEngine::AssertPropagationFixpoint() const {
 ChainMask ChainEngine::Finish(session::SessionStats* /*stats*/) {
   // No end-of-session audit beyond the per-answer consistency checks.
   return Current();
+}
+
+void ChainEngine::SerializeSnapshot(session::SnapshotWriter* writer) const {
+  writer->WriteU32(kChainEngineMagic);
+  writer->WriteU32(kChainEngineVersion);
+  writer->WriteU8(static_cast<uint8_t>(strategy_));
+  writer->WriteU8(aborted_ ? 1 : 0);
+  const size_t edges = chain_->num_edges();
+  writer->WriteU64(edges);
+  for (PairMask m : vs_.most_specific()) writer->WriteU64(m);
+  for (PairMask m : last_consistent_) writer->WriteU64(m);
+  writer->WriteU64(vs_.num_positives());
+  writer->WriteU64(vs_.negative_agreements().size());
+  for (const std::vector<PairMask>& neg : vs_.negative_agreements()) {
+    for (PairMask m : neg) writer->WriteU64(m);
+  }
+  frontier_.SerializeState(writer);
+  store_.SerializeSnapshot(writer);
+}
+
+common::Status ChainEngine::RestoreSnapshot(session::SnapshotReader* reader) {
+  uint64_t edges = 0, num_positives = 0, num_negatives = 0;
+  uint32_t magic = 0, version = 0;
+  uint8_t strategy = 0, aborted = 0;
+  Status s = reader->ReadU32(&magic);
+  if (s.ok()) s = reader->ReadU32(&version);
+  if (s.ok()) s = reader->ReadU8(&strategy);
+  if (s.ok()) s = reader->ReadU8(&aborted);
+  if (s.ok()) s = reader->ReadU64(&edges);
+  if (!s.ok()) return s;
+  if (magic != kChainEngineMagic) {
+    return Status::InvalidArgument("not a chain-engine snapshot");
+  }
+  if (version != kChainEngineVersion) {
+    return Status::InvalidArgument(
+        "unsupported chain-engine snapshot version " +
+        std::to_string(version));
+  }
+  if (strategy != static_cast<uint8_t>(strategy_)) {
+    return Status::InvalidArgument(
+        "chain-engine snapshot was taken under a different strategy");
+  }
+  if (edges != chain_->num_edges()) {
+    return Status::InvalidArgument(
+        "chain-engine snapshot has " + std::to_string(edges) +
+        " edges, chain has " + std::to_string(chain_->num_edges()));
+  }
+  ChainMask theta(edges), last(edges);
+  for (uint64_t e = 0; e < edges && s.ok(); ++e) s = reader->ReadU64(&theta[e]);
+  for (uint64_t e = 0; e < edges && s.ok(); ++e) s = reader->ReadU64(&last[e]);
+  if (s.ok()) s = reader->ReadU64(&num_positives);
+  if (s.ok()) s = reader->ReadU64(&num_negatives);
+  if (!s.ok()) return s;
+  std::vector<std::vector<PairMask>> negatives(num_negatives);
+  for (uint64_t i = 0; i < num_negatives; ++i) {
+    negatives[i].resize(edges);
+    for (uint64_t e = 0; e < edges; ++e) {
+      s = reader->ReadU64(&negatives[i][e]);
+      if (!s.ok()) return s;
+    }
+  }
+  s = frontier_.RestoreState(reader);
+  if (!s.ok()) return s;
+  s = store_.RestoreSnapshot(reader);
+  if (!s.ok()) return s;
+
+  vs_.RestoreState(std::move(theta), std::move(negatives),
+                   static_cast<size_t>(num_positives));
+  last_consistent_ = std::move(last);
+  aborted_ = aborted != 0;
+  theta_advanced_ = false;
+  counts_valid_ = false;
+  // Snapshots are taken between answered turns: every queued delta was
+  // flushed, so the restored engine starts in steady state.
+  prop_.MarkFullPassDone();
+  return Status::OK();
 }
 
 bool ChainEngine::WasAsked(const ChainExample& item) const {

@@ -19,9 +19,11 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "rlearn/chain_learner.h"
+#include "session/candidate_store.h"
 #include "session/frontier.h"
 #include "session/propagation.h"
 #include "session/session.h"
+#include "session/snapshot.h"
 
 namespace qlearn {
 namespace rlearn {
@@ -106,10 +108,11 @@ class ChainEngine {
   void OnPositive(const Item& item);
   void OnNegative(const Item& item);
   /// Flushes queued deltas. Classification of a path is a pure function of
-  /// its per-edge effective masks A_e = θ*_e ∧ agree_e, so candidates live
-  /// in witness buckets keyed by the A vector: a new negative convicts
-  /// exactly the buckets it covers edge-wise — O(distinct mask vectors)
-  /// per answer — and a θ* change re-buckets the open set once.
+  /// its per-edge effective masks A_e = θ*_e ∧ agree_e, and the agreement
+  /// bits live bit-transposed in the candidate store (64 planes per edge,
+  /// plane e*64+b = "path agrees on bit b of edge e"), so each flush is a
+  /// handful of word-at-a-time plane sweeps over the open set — no
+  /// per-candidate loop and no witness hash index at all.
   void Propagate(session::SessionStats* stats);
   /// True once an answer contradicted the version space (target outside the
   /// chain-of-joins hypothesis class).
@@ -133,43 +136,59 @@ class ChainEngine {
   /// Test/bench hook: every flush replays the historical full-universe
   /// rescan instead of the delta pass (identical behavior, different cost).
   void set_reference_propagation(bool on) { reference_propagation_ = on; }
-  /// Test/bench hook: makes the next flush run the full re-bucketing pass.
+  /// Test/bench hook: makes the next flush run the full classification pass.
   void ForceFullRepropagation() { prop_.RecordHypothesisChange(); }
-  // Test introspection of the witness-bucket index.
-  bool WitnessIndexValidForTest() const { return prop_.WitnessesValid(); }
-  size_t WitnessBucketsForTest() const { return prop_.NumBuckets(); }
+  /// Bench-parity hook: the SoA engine keeps no witness index (conviction
+  /// is a plane sweep), so the historical "drop the index before the next
+  /// negative" costs nothing to set up. Kept so BM_Classify measures the
+  /// same externally-triggered operation before and after the refactor.
+  void InvalidateWitnessIndexForBench() {}
+  /// Test introspection of the structure-of-arrays candidate store.
+  const session::CandidateStore& StoreForTest() const { return store_; }
+
+  /// Hibernation: appends a versioned engine image (strategy, version
+  /// space, frontier states, candidate-store planes) to `writer`. Call only
+  /// between answered turns (queued deltas flushed).
+  void SerializeSnapshot(session::SnapshotWriter* writer) const;
+  /// Restores an image produced by SerializeSnapshot into an engine built
+  /// over the same chain/options. Mismatched geometry or strategy is
+  /// rejected with InvalidArgument.
+  common::Status RestoreSnapshot(session::SnapshotReader* reader);
 
  private:
   /// Split scores are (primary, tie) pairs compared lexicographically; see
   /// SelectQuestion for the two-phase hunting/splitting semantics.
   using SplitScore = std::pair<long, long>;
   using FrontierT = session::Frontier<ChainExample, SplitScore>;
-  /// Witness buckets keyed by the per-edge effective-mask vector; deltas
-  /// are the new negatives' per-edge agreement vectors.
+  /// Delta queue only (the witness-bucket half of PropagationIndex is
+  /// superseded by plane sweeps): queued payloads are the new negatives'
+  /// per-edge agreement vectors.
   using PropagationT =
       session::PropagationIndex<ChainMask, std::vector<PairMask>,
                                 session::MaskVectorHash>;
 
   std::optional<size_t> IndexOf(const Item& item) const;
 
-  /// Cached agreement mask of candidate `k` on `edge` (row-major in
-  /// candidate order, filled at construction; also feeds split scoring).
-  PairMask AgreeFor(size_t k, size_t edge) const {
-    return agree_[k * chain_->num_edges() + edge];
-  }
-
   /// The historical per-candidate Classify rescan, verbatim.
   void ReferencePropagate(session::SessionStats* stats);
-  /// Re-buckets the open set by the per-edge effective-mask vectors.
-  void RebuildBuckets();
-  /// Baseline / θ*-change pass: re-bucket open candidates by their
-  /// effective-mask vectors, classify once per bucket.
+  /// Baseline / θ*-change pass: positive sweep (open ∧ AND of every edge's
+  /// θ* planes) plus per-edge A_e == 0 sweeps plus one conviction sweep per
+  /// accumulated negative.
   void FullPropagate(session::SessionStats* stats);
-  /// Steady-state flush: convicts the buckets covered edge-wise by each
-  /// queued negative.
+  /// Steady-state flush: one conviction sweep per queued negative vector.
   void ApplyNegativeDeltas(session::SessionStats* stats);
-  void ForceBucket(std::vector<size_t>& members, bool positive,
-                   session::SessionStats* stats);
+  /// Convicts the open paths the negative's agreement vector covers
+  /// edge-wise: open ∧ ∧_e ¬OR(planes of θ*_e ∧ ¬neg_e).
+  void ConvictCovered(const std::vector<PairMask>& neg,
+                      session::SessionStats* stats);
+  /// Forces every candidate whose bit is set in `bits` (a sweep result over
+  /// the dense axis; all bits are open by construction).
+  void ForceSweep(const std::vector<uint64_t>& bits, bool positive,
+                  session::SessionStats* stats);
+  /// Recomputes the per-edge per-candidate |θ*_e ∧ agree_e| counts
+  /// (bit-sliced popcount over each edge's θ* planes) if θ* changed or the
+  /// store compacted.
+  void EnsureKeptCounts();
 #ifndef NDEBUG
   void AssertPropagationFixpoint() const;
 #endif
@@ -177,11 +196,20 @@ class ChainEngine {
   const JoinChain* chain_;
   ChainStrategy strategy_;
   FrontierT frontier_;  // row-major candidate paths, capped
-  /// Per-candidate per-edge agreement masks, candidate-major.
-  std::vector<PairMask> agree_;
+  /// SoA agreement planes + open/active mirrors + dense compaction; plane
+  /// e*64+b holds "path agrees on bit b of edge e's universe".
+  session::CandidateStore store_;
   ChainVersionSpace vs_;
   ChainMask last_consistent_;
   PropagationT prop_;
+  /// Sweep scratch (dense words) reused across flushes.
+  std::vector<uint64_t> scratch_;
+  /// kept_counts_[e][DenseOf(k)] = |θ*_e ∧ agree_e(k)|, the split-scoring
+  /// input; refreshed lazily per θ* change / compaction.
+  std::vector<std::vector<uint8_t>> kept_counts_;
+  /// totals_[e] = |θ*_e| under the same validity regime.
+  std::vector<int> totals_;
+  bool counts_valid_ = false;
   /// Did the last positive Observe actually shrink some edge's θ*?
   bool theta_advanced_ = false;
   bool reference_propagation_ = false;

@@ -18,9 +18,11 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "rlearn/equijoin_learner.h"
+#include "session/candidate_store.h"
 #include "session/frontier.h"
 #include "session/propagation.h"
 #include "session/session.h"
+#include "session/snapshot.h"
 
 namespace qlearn {
 namespace rlearn {
@@ -109,11 +111,12 @@ class JoinEngine {
   void OnPositive(const Item& item);
   void OnNegative(const Item& item);
   /// Flushes queued deltas. Classification of a pair is a pure function of
-  /// its effective mask A = θ* ∧ agree, so candidates live in witness
-  /// buckets keyed by A: a new negative convicts exactly the buckets its
-  /// mask covers — O(distinct masks) per answer, not O(open × negatives) —
-  /// and a θ* change re-buckets the open set once and classifies per
-  /// bucket.
+  /// its effective mask A = θ* ∧ agree, and the agreement bits live
+  /// bit-transposed in the candidate store (one plane per universe pair),
+  /// so each flush is a handful of word-at-a-time plane sweeps over the
+  /// open set: a new negative m convicts open ∧ ¬OR(planes of θ* ∧ ¬m), a
+  /// θ* change additionally forces open ∧ AND(planes of θ*) positive — no
+  /// per-candidate loop and no witness hash index at all.
   void Propagate(session::SessionStats* stats);
   /// True once an answer contradicted the version space (target outside the
   /// equi-join hypothesis class).
@@ -132,33 +135,52 @@ class JoinEngine {
   /// Test/bench hook: every flush replays the historical full-universe
   /// rescan instead of the delta pass (identical behavior, different cost).
   void set_reference_propagation(bool on) { reference_propagation_ = on; }
-  /// Test/bench hook: makes the next flush run the full re-bucketing pass.
+  /// Test/bench hook: makes the next flush run the full classification pass.
   void ForceFullRepropagation() { prop_.RecordHypothesisChange(); }
-  // Test introspection of the witness-bucket index.
-  bool WitnessIndexValidForTest() const { return prop_.WitnessesValid(); }
-  size_t WitnessBucketsForTest() const { return prop_.NumBuckets(); }
+  /// Bench-parity hook: the SoA engine keeps no witness index (conviction
+  /// is a plane sweep), so the historical "drop the index before the next
+  /// negative" costs nothing to set up. Kept so BM_Classify measures the
+  /// same externally-triggered operation before and after the refactor.
+  void InvalidateWitnessIndexForBench() {}
+  /// Test introspection of the structure-of-arrays candidate store.
+  const session::CandidateStore& StoreForTest() const { return store_; }
+
+  /// Hibernation: appends a versioned engine image (strategy, version
+  /// space, frontier states, candidate-store planes) to `writer`. Call only
+  /// between answered turns (queued deltas flushed).
+  void SerializeSnapshot(session::SnapshotWriter* writer) const;
+  /// Restores an image produced by SerializeSnapshot into an engine built
+  /// over the same relations/universe/options. Mismatched geometry or
+  /// strategy is rejected with InvalidArgument.
+  common::Status RestoreSnapshot(session::SnapshotReader* reader);
 
  private:
   using FrontierT = session::Frontier<PairExample, long>;
-  /// Witness buckets keyed by effective mask A = θ* ∧ agree; deltas are
-  /// the new negatives' agreement masks.
+  /// Delta queue only (the witness-bucket half of PropagationIndex is
+  /// superseded by plane sweeps): queued payloads are the new negatives'
+  /// agreement masks.
   using PropagationT = session::PropagationIndex<PairMask, PairMask>;
 
   size_t IndexOf(const Item& item) const;
 
   /// The historical per-candidate Classify rescan, verbatim.
   void ReferencePropagate(session::SessionStats* stats);
-  /// Re-buckets the open set by effective mask A = θ* ∧ agree.
-  void RebuildBuckets();
-  /// Baseline / θ*-change pass: re-bucket open candidates by effective
-  /// mask, classify once per bucket.
+  /// Baseline / θ*-change pass: positive sweep (open ∧ AND θ* planes) plus
+  /// one conviction sweep per accumulated negative.
   void FullPropagate(session::SessionStats* stats);
-  /// Steady-state flush: convicts the buckets covered by each queued
-  /// negative mask.
+  /// Steady-state flush: one conviction sweep per queued negative mask.
   void ApplyNegativeDeltas(session::SessionStats* stats);
-  /// Forces every still-open member of a bucket; returns via stats.
-  void ForceBucket(std::vector<size_t>& members, bool positive,
-                   session::SessionStats* stats);
+  /// Convicts the open candidates whose effective mask the negative `neg`
+  /// covers: open ∧ ¬OR(planes of θ* ∧ ¬neg). neg = 0 convicts the A == 0
+  /// set.
+  void ConvictCovered(PairMask neg, session::SessionStats* stats);
+  /// Forces every candidate whose bit is set in `bits` (a sweep result over
+  /// the dense axis; all bits are open by construction).
+  void ForceSweep(const std::vector<uint64_t>& bits, bool positive,
+                  session::SessionStats* stats);
+  /// Recomputes the per-candidate |θ* ∧ agree| counts (bit-sliced popcount
+  /// over the θ* planes) if θ* changed or the store compacted.
+  void EnsureKeptCounts();
 #ifndef NDEBUG
   void AssertPropagationFixpoint() const;
 #endif
@@ -167,10 +189,18 @@ class JoinEngine {
   const relational::Relation* left_;
   const relational::Relation* right_;
   JoinStrategy strategy_;
-  FrontierT frontier_;           // row-major over (left, right)
-  std::vector<PairMask> agree_;  // agreement mask per candidate index
+  FrontierT frontier_;  // row-major over (left, right)
+  /// SoA agreement planes + open/active mirrors + dense compaction; plane b
+  /// holds "candidate agrees on universe pair b".
+  session::CandidateStore store_;
   EquiJoinVersionSpace vs_;
   PropagationT prop_;
+  /// Sweep scratch (dense words) reused across flushes.
+  std::vector<uint64_t> scratch_;
+  /// kept_counts_[DenseOf(k)] = |θ* ∧ agree_k|, the split/lattice scoring
+  /// input; refreshed lazily per θ* change / compaction.
+  std::vector<uint8_t> kept_counts_;
+  bool counts_valid_ = false;
   /// Did the last positive Observe actually shrink θ*?
   bool theta_advanced_ = false;
   bool reference_propagation_ = false;

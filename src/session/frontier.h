@@ -51,6 +51,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
+#include "session/snapshot.h"
 
 namespace qlearn {
 namespace session {
@@ -328,6 +330,58 @@ class Frontier {
   template <typename Strategy>
   std::optional<size_t> Select(const Strategy& strategy, common::Rng* rng) {
     return strategy.Pick(this, rng);
+  }
+
+  /// Hibernation: appends the per-candidate states and was-asked bits. The
+  /// items themselves are not serialized — the engine rebuilds them from
+  /// its model inputs and restores only the mutable lifecycle state.
+  void SerializeState(SnapshotWriter* writer) const {
+    writer->WriteU64(states_.size());
+    for (CandidateState s : states_) {
+      writer->WriteU8(static_cast<uint8_t>(s));
+    }
+    for (size_t k = 0; k < asked_.size(); ++k) {
+      writer->WriteU8(asked_[k] ? 1 : 0);
+    }
+  }
+
+  /// Restores SerializeState output into a frontier already holding the
+  /// same candidate set. Memos and the greedy heap restart stale (epoch
+  /// bump); scores recompute from the restored hypothesis on first use.
+  common::Status RestoreState(SnapshotReader* reader) {
+    uint64_t count = 0;
+    common::Status s = reader->ReadU64(&count);
+    if (!s.ok()) return s;
+    if (count != states_.size()) {
+      return common::Status::InvalidArgument(
+          "frontier snapshot holds " + std::to_string(count) +
+          " candidates, engine built " + std::to_string(states_.size()));
+    }
+    for (size_t k = 0; k < states_.size(); ++k) {
+      uint8_t raw = 0;
+      s = reader->ReadU8(&raw);
+      if (!s.ok()) return s;
+      if (raw > static_cast<uint8_t>(CandidateState::kForcedNegative)) {
+        return common::Status::InvalidArgument(
+            "frontier snapshot has invalid candidate state " +
+            std::to_string(raw));
+      }
+      states_[k] = static_cast<CandidateState>(raw);
+    }
+    for (size_t k = 0; k < asked_.size(); ++k) {
+      uint8_t raw = 0;
+      s = reader->ReadU8(&raw);
+      if (!s.ok()) return s;
+      asked_[k] = raw != 0;
+    }
+    open_count_ = 0;
+    for (CandidateState state : states_) {
+      if (state == CandidateState::kUnknown) ++open_count_;
+    }
+    first_open_hint_ = 0;
+    for (size_t k = 0; k < memos_.size(); ++k) ReleaseMemo(k);
+    InvalidateAll();  // restart heap and memos stale
+    return common::Status::OK();
   }
 
  private:

@@ -70,11 +70,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
+#include "session/snapshot.h"
 
 namespace qlearn {
 namespace session {
@@ -239,7 +243,94 @@ class LearningSession {
   const SessionStats& stats() const { return stats_; }
   const Engine& engine() const { return engine_; }
 
+  /// Serializes the full session state (RNG stream, budget, stats, and the
+  /// engine's versioned snapshot) into a binary image a later process can
+  /// RestoreSnapshot() from — hibernation for long-lived serving sessions.
+  /// Only quiescent sessions snapshot: answer or discard the pending
+  /// question(s) first, and a finished session has nothing left to resume.
+  /// Instantiated only for engines implementing
+  /// SerializeSnapshot(SnapshotWriter*) / RestoreSnapshot(SnapshotReader*)
+  /// (join and chain today).
+  common::Status SerializeSnapshot(std::string* out) const {
+    if (!pending_.empty()) {
+      return common::Status::FailedPrecondition(
+          "cannot snapshot with unanswered pending questions");
+    }
+    if (finished_) {
+      return common::Status::FailedPrecondition(
+          "cannot snapshot a finished session");
+    }
+    SnapshotWriter writer;
+    writer.WriteU32(kSnapshotMagic);
+    writer.WriteU32(kSnapshotVersion);
+    uint64_t lanes[4];
+    rng_.SaveState(lanes);
+    for (uint64_t lane : lanes) writer.WriteU64(lane);
+    writer.WriteU64(max_questions_);
+    writer.WriteU64(stats_.questions);
+    writer.WriteU64(stats_.forced_positive);
+    writer.WriteU64(stats_.forced_negative);
+    writer.WriteU64(stats_.conflicts);
+    engine_.SerializeSnapshot(&writer);
+    *out = writer.TakeBytes();
+    return common::Status::OK();
+  }
+
+  /// Restores an image produced by SerializeSnapshot into a freshly
+  /// constructed session over the same immutable inputs (documents /
+  /// relations / options). After a successful restore the session replays
+  /// the exact remaining question/answer sequence the snapshotted session
+  /// would have produced. Malformed or mismatched images are rejected with
+  /// InvalidArgument and leave no partially restored state guarantee —
+  /// discard the session on error.
+  common::Status RestoreSnapshot(std::string_view image) {
+    SnapshotReader reader(image);
+    uint32_t magic = 0;
+    QLEARN_RETURN_IF_ERROR(reader.ReadU32(&magic));
+    if (magic != kSnapshotMagic) {
+      return common::Status::InvalidArgument(
+          "session snapshot magic mismatch");
+    }
+    uint32_t version = 0;
+    QLEARN_RETURN_IF_ERROR(reader.ReadU32(&version));
+    if (version != kSnapshotVersion) {
+      return common::Status::InvalidArgument(
+          "unsupported session snapshot version " + std::to_string(version));
+    }
+    uint64_t lanes[4];
+    for (uint64_t& lane : lanes) QLEARN_RETURN_IF_ERROR(reader.ReadU64(&lane));
+    uint64_t max_questions = 0;
+    QLEARN_RETURN_IF_ERROR(reader.ReadU64(&max_questions));
+    SessionStats stats;
+    uint64_t counter = 0;
+    QLEARN_RETURN_IF_ERROR(reader.ReadU64(&counter));
+    stats.questions = counter;
+    QLEARN_RETURN_IF_ERROR(reader.ReadU64(&counter));
+    stats.forced_positive = counter;
+    QLEARN_RETURN_IF_ERROR(reader.ReadU64(&counter));
+    stats.forced_negative = counter;
+    QLEARN_RETURN_IF_ERROR(reader.ReadU64(&counter));
+    stats.conflicts = counter;
+    QLEARN_RETURN_IF_ERROR(engine_.RestoreSnapshot(&reader));
+    if (!reader.AtEnd()) {
+      return common::Status::InvalidArgument(
+          "session snapshot has " + std::to_string(reader.remaining()) +
+          " trailing bytes");
+    }
+    rng_.RestoreState(lanes);
+    max_questions_ = static_cast<size_t>(max_questions);
+    stats_ = stats;
+    pending_.clear();
+    final_.reset();
+    finished_ = false;
+    return common::Status::OK();
+  }
+
  private:
+  /// "QLSS" little-endian — session-level snapshot image.
+  static constexpr uint32_t kSnapshotMagic = 0x53534C51u;
+  static constexpr uint32_t kSnapshotVersion = 1;
+
   template <typename OracleT>
   static bool Ask(OracleT&& oracle, const Item& item) {
     if constexpr (std::is_invocable_r_v<bool, OracleT&, const Item&>) {

@@ -30,6 +30,7 @@
 #include "relational/generator.h"
 #include "rlearn/interactive_chain.h"
 #include "rlearn/interactive_join.h"
+#include "session/candidate_store.h"
 #include "session/propagation.h"
 #include "session/session.h"
 #include "twig/twig_parser.h"
@@ -229,12 +230,24 @@ TEST(WitnessIndexLifecycleTest, JoinBucketsEagerlyOnBaseline) {
 
   rlearn::JoinEngine engine(&universe.value(), &inst.left, &inst.right);
   session::SessionStats stats;
-  engine.Propagate(&stats);  // baseline re-buckets eagerly
-  EXPECT_TRUE(engine.WitnessIndexValidForTest());
-  EXPECT_GT(engine.WitnessBucketsForTest(), 0u);
-  // Far fewer distinct effective masks than candidate pairs — that gap is
-  // the whole point of bucketed classification.
-  EXPECT_LT(engine.WitnessBucketsForTest(), engine.candidate_pairs());
+  engine.Propagate(&stats);  // baseline classification pass
+  // The SoA store mirrors the frontier: every baseline-settled candidate
+  // has its open bit cleared, and the agreement planes cover every
+  // universe pair of every still-open candidate.
+  const session::CandidateStore& store = engine.StoreForTest();
+  EXPECT_EQ(store.num_planes(), universe.value().size());
+  EXPECT_EQ(store.capacity(), engine.candidate_pairs());
+  EXPECT_GT(store.open_count(), 0u);
+  size_t open = 0;
+  for (size_t k = 0; k < engine.candidate_pairs(); ++k) {
+    if (store.IsOpen(k)) ++open;
+  }
+  EXPECT_EQ(open, store.open_count());
+  // The baseline pass settles the uninformative pairs (forced either way),
+  // so the open set is a strict subset of the universe.
+  EXPECT_LT(open, engine.candidate_pairs());
+  EXPECT_EQ(open + stats.forced_positive + stats.forced_negative,
+            engine.candidate_pairs());
 }
 
 // ---------------------------------------------------------------------------

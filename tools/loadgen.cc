@@ -27,6 +27,12 @@
 //           [--golden_dir=DIR] [--label=relwithdebinfo] [--out=FILE]
 //           [--no-validate]
 //
+// --sessions also accepts a comma-separated sweep (e.g.
+// --sessions=320,640,1280,2560): each step replays that many sessions
+// against the same server instance and records its own result row, so one
+// run produces the latency-versus-load curve of a long-lived server under
+// increasing pressure.
+//
 // Exit status is non-zero on any request error or byte mismatch, so CI can
 // smoke-run it as a gate.
 #include <algorithm>
@@ -63,7 +69,9 @@ using Clock = std::chrono::steady_clock;
 struct Options {
   std::string host = "127.0.0.1";
   uint16_t port = 0;  // 0: start an in-process server on an ephemeral port
-  size_t sessions = 1280;
+  /// Session counts, one load step per entry (a single entry is the
+  /// classic fixed-load run).
+  std::vector<size_t> session_steps = {1280};
   size_t connections = 8;
   double rate = 0;  // session arrivals per second; 0 = all due immediately
   size_t server_workers = 4;
@@ -90,7 +98,13 @@ bool ParseOptions(int argc, char** argv, Options* options) {
     } else if (ParseFlag(arg, "port", &value)) {
       options->port = static_cast<uint16_t>(std::stoul(value));
     } else if (ParseFlag(arg, "sessions", &value)) {
-      options->sessions = std::stoul(value);
+      options->session_steps.clear();
+      std::stringstream steps(value);
+      std::string step;
+      while (std::getline(steps, step, ',')) {
+        if (step.empty()) continue;
+        options->session_steps.push_back(std::stoul(step));
+      }
     } else if (ParseFlag(arg, "connections", &value)) {
       options->connections = std::stoul(value);
     } else if (ParseFlag(arg, "rate", &value)) {
@@ -110,9 +124,15 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       return false;
     }
   }
-  if (options->sessions == 0 || options->connections == 0) {
+  if (options->session_steps.empty() || options->connections == 0) {
     std::fprintf(stderr, "loadgen: --sessions and --connections must be > 0\n");
     return false;
+  }
+  for (size_t step : options->session_steps) {
+    if (step == 0) {
+      std::fprintf(stderr, "loadgen: every --sessions step must be > 0\n");
+      return false;
+    }
   }
   return true;
 }
@@ -302,8 +322,8 @@ bool StepSlot(net::Client* client, Slot* slot, const Options& options,
 // indices t, t+C, t+2C, ... Sessions arrive open-loop (due at start +
 // index/rate); due sessions are opened even while earlier ones are still in
 // flight, and active sessions progress round-robin, one request per sweep.
-void RunConnection(const Options& options, uint16_t port, size_t thread_index,
-                   const std::vector<Golden>& goldens,
+void RunConnection(const Options& options, size_t sessions, uint16_t port,
+                   size_t thread_index, const std::vector<Golden>& goldens,
                    Clock::time_point start, Tallies* tallies,
                    Samples* samples) {
   auto client_or = net::Client::Connect(options.host, port);
@@ -318,9 +338,9 @@ void RunConnection(const Options& options, uint16_t port, size_t thread_index,
   std::vector<std::unique_ptr<Slot>> active;
   size_t sweep = 0;
 
-  while (next_index < options.sessions || !active.empty()) {
+  while (next_index < sessions || !active.empty()) {
     // Admit every session that is due by now (open-loop arrivals).
-    while (next_index < options.sessions) {
+    while (next_index < sessions) {
       if (options.rate > 0) {
         const double due_seconds =
             static_cast<double>(next_index) / options.rate;
@@ -343,7 +363,7 @@ void RunConnection(const Options& options, uint16_t port, size_t thread_index,
       }
     }
     if (active.empty()) {
-      if (next_index >= options.sessions) break;
+      if (next_index >= sessions) break;
       std::this_thread::sleep_for(std::chrono::microseconds(200));
       continue;
     }
@@ -415,33 +435,18 @@ std::string TodayUtc() {
   return buffer;
 }
 
-int Run(const Options& options) {
-  std::vector<Golden> goldens;
-  if (!LoadGoldens(options.golden_dir, &goldens)) return 2;
-
-  // In-process server unless a port was given.
-  service::SessionService service;
-  std::unique_ptr<net::Server> server;
-  uint16_t port = options.port;
-  if (port == 0) {
-    net::ServerOptions server_options;
-    server_options.workers = options.server_workers;
-    server = std::make_unique<net::Server>(&service, server_options);
-    const common::Status started = server->Start();
-    if (!started.ok()) {
-      std::fprintf(stderr, "loadgen: server: %s\n",
-                   started.ToString().c_str());
-      return 2;
-    }
-    port = server->port();
-  }
-
+/// One load step: replays `sessions` transcript sessions against the server
+/// at `port`, appends the result row to `*result`, and returns true when
+/// the step was error- and mismatch-free.
+bool RunStep(const Options& options, size_t sessions, uint16_t port,
+             bool in_process_server, const std::vector<Golden>& goldens,
+             std::string* result) {
   Tallies tallies;
   std::vector<Samples> samples(options.connections);
   const Clock::time_point start = Clock::now();
   std::vector<std::thread> threads;
   for (size_t t = 0; t < options.connections; ++t) {
-    threads.emplace_back(RunConnection, std::cref(options), port, t,
+    threads.emplace_back(RunConnection, std::cref(options), sessions, port, t,
                          std::cref(goldens), start, &tallies, &samples[t]);
   }
   for (auto& thread : threads) thread.join();
@@ -463,17 +468,17 @@ int Run(const Options& options) {
   const double requests_per_sec =
       static_cast<double>(requests) / wall_seconds;
 
-  std::string result = "    {\n      ";
+  *result = "    {\n      ";
   char buffer[512];
   std::snprintf(buffer, sizeof(buffer),
                 "\"label\":\"%s\",\n      \"config\":{\"sessions\":%zu,"
                 "\"connections\":%zu,\"rate_per_sec\":%.0f,"
                 "\"server_workers\":%zu,\"in_process_server\":%s,"
                 "\"goldens\":%zu},\n      ",
-                options.label.c_str(), options.sessions, options.connections,
+                options.label.c_str(), sessions, options.connections,
                 options.rate, options.server_workers,
-                server ? "true" : "false", goldens.size());
-  result += buffer;
+                in_process_server ? "true" : "false", goldens.size());
+  *result += buffer;
   std::snprintf(buffer, sizeof(buffer),
                 "\"requests\":{\"total\":%llu,\"opens\":%llu,\"asks\":%llu,"
                 "\"tells\":%llu,\"closes\":%llu,\"errors\":%llu},\n      ",
@@ -483,11 +488,11 @@ int Run(const Options& options) {
                 static_cast<unsigned long long>(tallies.tells.load()),
                 static_cast<unsigned long long>(tallies.closes.load()),
                 static_cast<unsigned long long>(tallies.errors.load()));
-  result += buffer;
-  AppendLatency("ask_latency_us", ask, &result);
-  result += ",\n      ";
-  AppendLatency("tell_latency_us", tell, &result);
-  result += ",\n      ";
+  *result += buffer;
+  AppendLatency("ask_latency_us", ask, result);
+  *result += ",\n      ";
+  AppendLatency("tell_latency_us", tell, result);
+  *result += ",\n      ";
   std::snprintf(buffer, sizeof(buffer),
                 "\"sessions_per_sec\":%.1f,\"requests_per_sec\":%.1f,"
                 "\"wall_seconds\":%.3f,\"max_concurrent_sessions\":%llu,"
@@ -497,11 +502,47 @@ int Run(const Options& options) {
                 static_cast<unsigned long long>(tallies.max_concurrent.load()),
                 options.validate ? "true" : "false",
                 static_cast<unsigned long long>(tallies.mismatches.load()));
-  result += buffer;
+  *result += buffer;
 
-  std::printf("%s\n", result.c_str());
+  std::printf("%s\n", result->c_str());
   for (const std::string& detail : tallies.details) {
     std::fprintf(stderr, "loadgen: %s\n", detail.c_str());
+  }
+  return tallies.errors.load() == 0 && tallies.mismatches.load() == 0;
+}
+
+int Run(const Options& options) {
+  std::vector<Golden> goldens;
+  if (!LoadGoldens(options.golden_dir, &goldens)) return 2;
+
+  // In-process server unless a port was given. The server instance spans
+  // the whole sweep, so later steps measure a warmed long-lived server.
+  service::SessionService service;
+  std::unique_ptr<net::Server> server;
+  uint16_t port = options.port;
+  if (port == 0) {
+    net::ServerOptions server_options;
+    server_options.workers = options.server_workers;
+    server = std::make_unique<net::Server>(&service, server_options);
+    const common::Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "loadgen: server: %s\n",
+                   started.ToString().c_str());
+      return 2;
+    }
+    port = server->port();
+  }
+
+  bool failed = false;
+  std::string rows;
+  for (size_t i = 0; i < options.session_steps.size(); ++i) {
+    std::string result;
+    if (!RunStep(options, options.session_steps[i], port, server != nullptr,
+                 goldens, &result)) {
+      failed = true;
+    }
+    if (i > 0) rows += ",\n";
+    rows += result;
   }
 
   if (!options.out.empty()) {
@@ -515,13 +556,15 @@ int Run(const Options& options) {
         "11 golden transcripts over a real loopback socket and every "
         "response is byte-validated against the golden, so the numbers "
         "only count correct traffic.\",\n"
-        "  \"methodology\": \"tools/loadgen --sessions=N --connections=C "
-        "--rate=0 (open-loop, all sessions due immediately; C connection "
-        "threads each multiplex their share of the sessions over one "
-        "socket, one request in flight per connection). Latencies are "
-        "measured client-side around each blocking ask/tell round trip, "
-        "in microseconds. sessions_per_sec counts fully replayed-and-"
-        "closed sessions over the whole wall time.\",\n"
+        "  \"methodology\": \"tools/loadgen --sessions=N1,N2,... "
+        "--connections=C --rate=0 (open-loop, all sessions due immediately; "
+        "C connection threads each multiplex their share of the sessions "
+        "over one socket, one request in flight per connection). Each "
+        "sessions step is one result row against the same long-lived "
+        "server, so the rows form a latency-versus-load curve. Latencies "
+        "are measured client-side around each blocking ask/tell round "
+        "trip, in microseconds. sessions_per_sec counts fully replayed-"
+        "and-closed sessions over that step's wall time.\",\n"
         "  \"recorded\": \"" +
         TodayUtc() +
         "\",\n"
@@ -529,7 +572,7 @@ int Run(const Options& options) {
         "run, zero errors, zero byte mismatches with validation enabled, "
         "in both RelWithDebInfo and Debug.\",\n"
         "  \"results\": [\n" +
-        result +
+        rows +
         "\n  ]\n"
         "}\n";
     std::ofstream out(options.out, std::ios::binary | std::ios::trunc);
@@ -541,8 +584,6 @@ int Run(const Options& options) {
   }
 
   if (server) server->Stop();
-  const bool failed =
-      tallies.errors.load() != 0 || tallies.mismatches.load() != 0;
   return failed ? 1 : 0;
 }
 
