@@ -23,6 +23,8 @@ const char* StatusCodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }
@@ -32,7 +34,8 @@ bool StatusCodeFromName(const std::string& name, StatusCode* code) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kParseError,
         StatusCode::kUnsupported, StatusCode::kInternal,
-        StatusCode::kResourceExhausted, StatusCode::kFailedPrecondition}) {
+        StatusCode::kResourceExhausted, StatusCode::kFailedPrecondition,
+        StatusCode::kDataLoss}) {
     if (name == StatusCodeName(candidate)) {
       *code = candidate;
       return true;

@@ -22,6 +22,7 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kFailedPrecondition,
+  kDataLoss,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -66,6 +67,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

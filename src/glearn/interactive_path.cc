@@ -1,6 +1,7 @@
 #include "glearn/interactive_path.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <utility>
@@ -21,6 +22,52 @@ namespace {
 /// Historical sentinel of the cost-minimizing scans (best_cost = 1 << 30
 /// with strict <): negated, any real generalization cost beats it.
 constexpr long kCostSentinel = -(1L << 30);
+
+/// "QLPE" little-endian: the path-engine snapshot blob tag.
+constexpr uint32_t kPathEngineMagic = 0x45504C51u;
+constexpr uint32_t kPathEngineVersion = 1;
+
+/// PathUnit flag byte: bit 0 = optional, bit 1 = repeat.
+constexpr uint8_t kUnitOptionalBit = 1;
+constexpr uint8_t kUnitRepeatBit = 2;
+
+void WritePattern(const ConcatPattern& pattern,
+                  session::SnapshotWriter* writer) {
+  writer->WriteU64(pattern.units().size());
+  for (const PathUnit& unit : pattern.units()) {
+    writer->WriteU32(unit.symbol);
+    uint8_t flags = 0;
+    if (unit.optional) flags |= kUnitOptionalBit;
+    if (unit.repeat) flags |= kUnitRepeatBit;
+    writer->WriteU8(flags);
+  }
+}
+
+common::Status ReadPattern(session::SnapshotReader* reader,
+                           ConcatPattern* pattern) {
+  uint64_t count = 0;
+  common::Status s = reader->ReadU64(&count);
+  if (!s.ok()) return s;
+  std::vector<PathUnit> units;
+  units.reserve(static_cast<size_t>(std::min<uint64_t>(count, 1024)));
+  for (uint64_t i = 0; i < count; ++i) {
+    PathUnit unit;
+    uint8_t flags = 0;
+    s = reader->ReadU32(&unit.symbol);
+    if (s.ok()) s = reader->ReadU8(&flags);
+    if (!s.ok()) return s;
+    if (flags > (kUnitOptionalBit | kUnitRepeatBit)) {
+      return common::Status::InvalidArgument(
+          "path-engine snapshot has invalid unit flags " +
+          std::to_string(flags));
+    }
+    unit.optional = (flags & kUnitOptionalBit) != 0;
+    unit.repeat = (flags & kUnitRepeatBit) != 0;
+    units.push_back(unit);
+  }
+  *pattern = ConcatPattern(std::move(units));
+  return common::Status::OK();
+}
 
 }  // namespace
 
@@ -258,6 +305,80 @@ void PathEngine::AssertPropagationFixpoint() {
   }
 }
 #endif
+
+void PathEngine::SerializeSnapshot(session::SnapshotWriter* writer) const {
+  writer->WriteU32(kPathEngineMagic);
+  writer->WriteU32(kPathEngineVersion);
+  writer->WriteU8(static_cast<uint8_t>(strategy_));
+  writer->WriteU8(aborted_ ? 1 : 0);
+  WritePattern(hypothesis_, writer);
+  writer->WriteU64(std::bit_cast<uint64_t>(max_positive_weight_));
+  writer->WriteU64(negative_words_.size());
+  for (const std::vector<common::SymbolId>& word : negative_words_) {
+    writer->WriteU64(word.size());
+    for (common::SymbolId symbol : word) writer->WriteU32(symbol);
+  }
+  frontier_.SerializeState(writer);
+}
+
+common::Status PathEngine::RestoreSnapshot(session::SnapshotReader* reader) {
+  uint32_t magic = 0, version = 0;
+  uint8_t strategy = 0, aborted = 0;
+  Status s = reader->ReadU32(&magic);
+  if (s.ok()) s = reader->ReadU32(&version);
+  if (s.ok()) s = reader->ReadU8(&strategy);
+  if (s.ok()) s = reader->ReadU8(&aborted);
+  if (!s.ok()) return s;
+  if (magic != kPathEngineMagic) {
+    return Status::InvalidArgument("not a path-engine snapshot");
+  }
+  if (version != kPathEngineVersion) {
+    return Status::InvalidArgument("unsupported path-engine snapshot version " +
+                                   std::to_string(version));
+  }
+  if (strategy != static_cast<uint8_t>(strategy_)) {
+    return Status::InvalidArgument(
+        "path-engine snapshot was taken under a different strategy");
+  }
+  ConcatPattern hypothesis;
+  s = ReadPattern(reader, &hypothesis);
+  if (!s.ok()) return s;
+  uint64_t weight_bits = 0, num_negatives = 0;
+  s = reader->ReadU64(&weight_bits);
+  if (s.ok()) s = reader->ReadU64(&num_negatives);
+  if (!s.ok()) return s;
+  std::vector<std::vector<common::SymbolId>> negatives;
+  negatives.reserve(static_cast<size_t>(
+      std::min<uint64_t>(num_negatives, candidates_.size())));
+  for (uint64_t i = 0; i < num_negatives; ++i) {
+    uint64_t length = 0;
+    s = reader->ReadU64(&length);
+    if (!s.ok()) return s;
+    std::vector<common::SymbolId> word;
+    word.reserve(static_cast<size_t>(std::min<uint64_t>(length, 1024)));
+    for (uint64_t j = 0; j < length; ++j) {
+      common::SymbolId symbol = 0;
+      s = reader->ReadU32(&symbol);
+      if (!s.ok()) return s;
+      word.push_back(symbol);
+    }
+    negatives.push_back(std::move(word));
+  }
+  s = frontier_.RestoreState(reader);
+  if (!s.ok()) return s;
+
+  hypothesis_ = std::move(hypothesis);
+  max_positive_weight_ = std::bit_cast<double>(weight_bits);
+  negative_words_ = std::move(negatives);
+  aborted_ = aborted != 0;
+  hypothesis_advanced_ = false;
+  // Snapshots are taken between answered turns: every queued delta was
+  // flushed, so the restored engine starts in steady state. The frontier
+  // restore already invalidated the GenMemos (they were computed against
+  // whatever hypothesis was live before the restore).
+  prop_.MarkFullPassDone();
+  return Status::OK();
+}
 
 Result<InteractivePathResult> RunInteractivePathSession(
     const graph::Graph& g, const Path& seed, PathOracle* oracle,

@@ -20,6 +20,7 @@
 #include "session/frontier.h"
 #include "session/propagation.h"
 #include "session/session.h"
+#include "session/snapshot.h"
 
 namespace qlearn {
 namespace glearn {
@@ -158,6 +159,17 @@ class PathEngine {
   void set_reference_propagation(bool on) { reference_propagation_ = on; }
   /// Test/bench hook: makes the next flush run the full re-test pass.
   void ForceFullRepropagation() { prop_.RecordHypothesisChange(); }
+
+  /// Hibernation: appends a versioned engine image (strategy, hypothesis
+  /// pattern, weight bound, accumulated negative words, frontier states) to
+  /// `writer`. Call only between answered turns (queued deltas flushed).
+  /// Follows the join/chain "QLJE"/"QLCE" pattern; the candidate pool is
+  /// rebuilt deterministically by the constructor, not serialized.
+  void SerializeSnapshot(session::SnapshotWriter* writer) const;
+  /// Restores an image produced by SerializeSnapshot into an engine built
+  /// over the same graph/options. Mismatched geometry or strategy is
+  /// rejected with InvalidArgument.
+  common::Status RestoreSnapshot(session::SnapshotReader* reader);
 
  private:
   struct Candidate {

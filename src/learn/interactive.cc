@@ -15,6 +15,14 @@ using session::CandidateState;
 using twig::TwigQuery;
 using xml::NodeId;
 
+namespace {
+
+/// "QLTE" little-endian: the twig-engine snapshot blob tag.
+constexpr uint32_t kTwigEngineMagic = 0x45544C51u;
+constexpr uint32_t kTwigEngineVersion = 1;
+
+}  // namespace
+
 TwigEngine::TwigEngine(const xml::XmlTree* doc, NodeId seed,
                        const InteractiveTwigOptions& options)
     : doc_(doc),
@@ -300,6 +308,130 @@ void TwigEngine::AssertPropagationFixpoint() {
   }
 }
 #endif
+
+void TwigEngine::SerializeSnapshot(session::SnapshotWriter* writer) const {
+  writer->WriteU32(kTwigEngineMagic);
+  writer->WriteU32(kTwigEngineVersion);
+  writer->WriteU8(static_cast<uint8_t>(options_.strategy));
+  // Hypothesis tree, structurally: nodes are written in id order (a parent
+  // always precedes its children by construction), so restore is one
+  // AddNode loop.
+  writer->WriteU32(static_cast<uint32_t>(hypothesis_.NumNodes()));
+  for (twig::QNodeId q = 1; q < hypothesis_.NumNodes(); ++q) {
+    writer->WriteU32(hypothesis_.parent(q));
+    writer->WriteU8(static_cast<uint8_t>(hypothesis_.axis(q)));
+    writer->WriteU32(hypothesis_.label(q));
+  }
+  writer->WriteU32(hypothesis_.selection());
+  writer->WriteU32(static_cast<uint32_t>(hypothesis_.marked().size()));
+  for (twig::QNodeId q : hypothesis_.marked()) writer->WriteU32(q);
+  // Accumulated negatives (neg_words_ is their bitset mirror, rebuilt on
+  // restore rather than serialized twice).
+  writer->WriteU64(negatives_.size());
+  for (NodeId v : negatives_) writer->WriteU32(v);
+  frontier_.SerializeState(writer);
+  store_.SerializeSnapshot(writer);
+}
+
+common::Status TwigEngine::RestoreSnapshot(session::SnapshotReader* reader) {
+  uint32_t magic = 0, version = 0;
+  uint8_t strategy = 0;
+  Status s = reader->ReadU32(&magic);
+  if (s.ok()) s = reader->ReadU32(&version);
+  if (s.ok()) s = reader->ReadU8(&strategy);
+  if (!s.ok()) return s;
+  if (magic != kTwigEngineMagic) {
+    return Status::InvalidArgument("not a twig-engine snapshot");
+  }
+  if (version != kTwigEngineVersion) {
+    return Status::InvalidArgument("unsupported twig-engine snapshot version " +
+                                   std::to_string(version));
+  }
+  if (strategy != static_cast<uint8_t>(options_.strategy)) {
+    return Status::InvalidArgument(
+        "twig-engine snapshot was taken under a different strategy");
+  }
+  uint32_t num_nodes = 0;
+  s = reader->ReadU32(&num_nodes);
+  if (!s.ok()) return s;
+  if (num_nodes == 0) {
+    return Status::InvalidArgument(
+        "twig-engine snapshot hypothesis lacks the virtual root");
+  }
+  TwigQuery hypothesis;
+  for (twig::QNodeId q = 1; q < num_nodes; ++q) {
+    uint32_t parent = 0, label = 0;
+    uint8_t axis = 0;
+    s = reader->ReadU32(&parent);
+    if (s.ok()) s = reader->ReadU8(&axis);
+    if (s.ok()) s = reader->ReadU32(&label);
+    if (!s.ok()) return s;
+    if (parent >= q) {
+      return Status::InvalidArgument(
+          "twig-engine snapshot node " + std::to_string(q) +
+          " has forward parent " + std::to_string(parent));
+    }
+    if (axis > static_cast<uint8_t>(twig::Axis::kDescendant)) {
+      return Status::InvalidArgument(
+          "twig-engine snapshot has invalid axis " + std::to_string(axis));
+    }
+    hypothesis.AddNode(parent, static_cast<twig::Axis>(axis), label);
+  }
+  uint32_t selection = 0, num_marked = 0;
+  s = reader->ReadU32(&selection);
+  if (s.ok()) s = reader->ReadU32(&num_marked);
+  if (!s.ok()) return s;
+  if (selection != twig::kInvalidQNode && selection >= num_nodes) {
+    return Status::InvalidArgument(
+        "twig-engine snapshot selection node out of range");
+  }
+  hypothesis.set_selection(selection);
+  for (uint32_t i = 0; i < num_marked; ++i) {
+    uint32_t q = 0;
+    s = reader->ReadU32(&q);
+    if (!s.ok()) return s;
+    if (q >= num_nodes) {
+      return Status::InvalidArgument(
+          "twig-engine snapshot marked node out of range");
+    }
+    hypothesis.AddMarked(q);
+  }
+  uint64_t num_negatives = 0;
+  s = reader->ReadU64(&num_negatives);
+  if (!s.ok()) return s;
+  std::vector<NodeId> negatives;
+  negatives.reserve(static_cast<size_t>(
+      std::min<uint64_t>(num_negatives, doc_->NumNodes())));
+  for (uint64_t i = 0; i < num_negatives; ++i) {
+    uint32_t v = 0;
+    s = reader->ReadU32(&v);
+    if (!s.ok()) return s;
+    if (v >= doc_->NumNodes()) {
+      return Status::InvalidArgument(
+          "twig-engine snapshot negative node " + std::to_string(v) +
+          " outside the document");
+    }
+    negatives.push_back(v);
+  }
+  s = frontier_.RestoreState(reader);
+  if (!s.ok()) return s;
+  s = store_.RestoreSnapshot(reader);
+  if (!s.ok()) return s;
+
+  hypothesis_ = std::move(hypothesis);
+  negatives_ = std::move(negatives);
+  neg_words_.assign(store_.row_words(), 0);
+  for (NodeId v : negatives_) neg_words_[v / 64] |= 1ULL << (v % 64);
+  hypothesis_advanced_ = false;
+  // Snapshots are taken between answered turns: every queued delta was
+  // flushed, so the restored engine starts in steady state. The witness
+  // planes and selected-set rows were computed against whatever hypothesis
+  // was live before the restore — both rebuild lazily from the restored
+  // one (rows are not serialized and restart stale by store contract).
+  prop_.MarkFullPassDone();
+  prop_.InvalidateWitnesses();
+  return Status::OK();
+}
 
 TwigQuery TwigEngine::Finish(session::SessionStats* stats) {
   // Audit forced positives against the oracle-visible truth: conflicts mean

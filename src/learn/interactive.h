@@ -26,6 +26,7 @@
 #include "session/frontier.h"
 #include "session/propagation.h"
 #include "session/session.h"
+#include "session/snapshot.h"
 #include "twig/twig_eval.h"
 #include "twig/twig_query.h"
 #include "xml/xml_tree.h"
@@ -150,6 +151,16 @@ class TwigEngine {
   /// pays the full rebuild cost — row materialization plus the bit-block
   /// transpose (measured by BM_Classify).
   void InvalidateWitnessIndexForBench() { prop_.InvalidateWitnesses(); }
+  /// Hibernation: appends a versioned engine image (strategy, hypothesis
+  /// tree, accumulated negatives, frontier states, candidate-store
+  /// bit-vectors) to `writer`. Call only between answered turns (queued
+  /// deltas flushed). Follows the join/chain "QLJE"/"QLCE" pattern.
+  void SerializeSnapshot(session::SnapshotWriter* writer) const;
+  /// Restores an image produced by SerializeSnapshot into an engine built
+  /// over the same document/options. Mismatched geometry or strategy is
+  /// rejected with InvalidArgument.
+  common::Status RestoreSnapshot(session::SnapshotReader* reader);
+
   // Test introspection of the witness planes (lazy rebuild semantics).
   // "Buckets" are the document nodes with at least one live witness bit —
   // the plane-sweep analogue of the historical bucket count.

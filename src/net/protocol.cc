@@ -136,7 +136,8 @@ std::string CloseBody(const service::CloseResult& result) {
 }
 
 std::string CountersBody(const service::ServiceCounters& counters,
-                         uint64_t open_sessions) {
+                         uint64_t open_sessions, uint64_t resident_sessions,
+                         uint64_t parked_sessions) {
   std::string out = "{\"opens\":" + std::to_string(counters.opens);
   out += ",\"asks\":" + std::to_string(counters.asks);
   out += ",\"tells\":" + std::to_string(counters.tells);
@@ -147,7 +148,13 @@ std::string CountersBody(const service::ServiceCounters& counters,
   out += ",\"questions_served\":" +
          std::to_string(counters.questions_served);
   out += ",\"labels_accepted\":" + std::to_string(counters.labels_accepted);
+  out += ",\"hibernates\":" + std::to_string(counters.hibernates);
+  out += ",\"rehydrates\":" + std::to_string(counters.rehydrates);
+  out += ",\"hibernate_errors\":" +
+         std::to_string(counters.hibernate_errors);
   out += ",\"open_sessions\":" + std::to_string(open_sessions);
+  out += ",\"resident_sessions\":" + std::to_string(resident_sessions);
+  out += ",\"parked_sessions\":" + std::to_string(parked_sessions);
   out.push_back('}');
   return out;
 }
@@ -241,8 +248,21 @@ Status ParseOkBody(Request::Op op, const Json& body, Response* response) {
           c.labels_accepted,
           ToUInt(Find(body, "labels_accepted", &seen), "labels_accepted"));
       QLEARN_ASSIGN_OR_RETURN(
+          c.hibernates, ToUInt(Find(body, "hibernates", &seen), "hibernates"));
+      QLEARN_ASSIGN_OR_RETURN(
+          c.rehydrates, ToUInt(Find(body, "rehydrates", &seen), "rehydrates"));
+      QLEARN_ASSIGN_OR_RETURN(
+          c.hibernate_errors,
+          ToUInt(Find(body, "hibernate_errors", &seen), "hibernate_errors"));
+      QLEARN_ASSIGN_OR_RETURN(
           response->open_sessions,
           ToUInt(Find(body, "open_sessions", &seen), "open_sessions"));
+      QLEARN_ASSIGN_OR_RETURN(
+          response->resident_sessions,
+          ToUInt(Find(body, "resident_sessions", &seen), "resident_sessions"));
+      QLEARN_ASSIGN_OR_RETURN(
+          response->parked_sessions,
+          ToUInt(Find(body, "parked_sessions", &seen), "parked_sessions"));
       break;
     }
   }
@@ -424,8 +444,9 @@ std::string HandleFrame(service::SessionService* service,
       return OkFrame(CloseBody(closed.value()));
     }
     case Request::Op::kCounters:
-      return OkFrame(CountersBody(service->Counters(),
-                                  service->OpenCount()));
+      return OkFrame(CountersBody(service->Counters(), service->OpenCount(),
+                                  service->ResidentCount(),
+                                  service->ParkedCount()));
   }
   return SerializeError(
       common::Status::Internal("unhandled op in HandleFrame"));

@@ -76,6 +76,8 @@ struct Response {
   session::SessionStats stats;                    // close
   service::ServiceCounters counters;              // counters
   uint64_t open_sessions = 0;                     // counters
+  uint64_t resident_sessions = 0;                 // counters (in memory)
+  uint64_t parked_sessions = 0;                   // counters (hibernated)
 };
 
 /// Canonical serialization of a request (fixed key order, no whitespace).

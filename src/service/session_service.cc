@@ -1,8 +1,11 @@
 #include "service/session_service.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <utility>
+
+#include "session/snapshot.h"
 
 namespace qlearn {
 namespace service {
@@ -10,26 +13,66 @@ namespace service {
 namespace {
 
 using common::Result;
+using common::Status;
 
-double ElapsedSeconds(std::chrono::steady_clock::time_point since) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       since)
-      .count();
+// Hibernation image: "QLSV" wrapper (service-level header around the
+// session's own "QLSS" image), followed by an FNV-1a-64 trailer over every
+// preceding byte. Layout (little-endian):
+//   u32 magic, u32 version, scenario name (u64 length + bytes),
+//   u64 budget.max_questions, u64 budget.max_pending,
+//   u64 bit_cast(budget.max_wall_seconds),
+//   u64 bit_cast(wall seconds consumed at park),
+//   session image (u64 length + bytes), u64 checksum.
+constexpr uint32_t kHibernationMagic = 0x56534C51u;  // "QLSV"
+constexpr uint32_t kHibernationVersion = 1;
+constexpr size_t kChecksumBytes = 8;
+
+std::string HexU64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+uint64_t ReadTrailerU64(const std::string& image, size_t at) {
+  uint64_t out = 0;
+  for (size_t i = 0; i < kChecksumBytes; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(image[at + i]))
+           << (8 * i);
+  }
+  return out;
 }
 
 }  // namespace
 
 SessionService::SessionService(session::ScenarioRegistry* registry)
-    : registry_(registry) {
+    : SessionService(ServiceOptions{registry, 0, nullptr, nullptr}) {}
+
+SessionService::SessionService(const ServiceOptions& options)
+    : registry_(options.registry),
+      hibernate_after_seconds_(options.hibernate_after_seconds),
+      snapshot_store_(options.snapshot_store),
+      clock_(options.clock) {
   if (registry_ == nullptr) {
     session::RegisterBuiltinScenarios();
     registry_ = session::ScenarioRegistry::Global();
+  }
+  if (snapshot_store_ == nullptr) {
+    snapshot_store_ = std::make_shared<InMemorySnapshotStore>();
+  }
+  if (!clock_) {
+    clock_ = [] { return std::chrono::steady_clock::now(); };
   }
 }
 
 common::Status SessionService::Fail(common::Status status) const {
   errors_.fetch_add(1, std::memory_order_relaxed);
   return status;
+}
+
+double SessionService::ElapsedSeconds(
+    std::chrono::steady_clock::time_point since) const {
+  return std::chrono::duration<double>(clock_() - since).count();
 }
 
 Result<std::string> SessionService::Open(const std::string& scenario,
@@ -57,7 +100,8 @@ Result<std::string> SessionService::Open(const std::string& scenario,
   entry->session = std::move(created);
   entry->scenario = scenario;
   entry->budget = options.budget;
-  entry->opened_at = std::chrono::steady_clock::now();
+  entry->opened_at = clock_();
+  entry->last_touch = entry->opened_at;
 
   std::lock_guard<std::mutex> lock(mutex_);
   // Zero-padded to the full uint64 width so the lexicographic map order
@@ -76,6 +120,196 @@ std::shared_ptr<SessionService::Entry> SessionService::Find(
   return it == sessions_.end() ? nullptr : it->second;
 }
 
+common::Status SessionService::ParkLocked(const std::string& id,
+                                          Entry* entry) {
+  std::string session_image;
+  QLEARN_RETURN_IF_ERROR(entry->session->SerializeSnapshot(&session_image));
+  const auto now = clock_();
+  session::SnapshotWriter writer;
+  writer.WriteU32(kHibernationMagic);
+  writer.WriteU32(kHibernationVersion);
+  writer.WriteBytes(entry->scenario);
+  writer.WriteU64(entry->budget.max_questions);
+  writer.WriteU64(static_cast<uint64_t>(entry->budget.max_pending));
+  writer.WriteU64(std::bit_cast<uint64_t>(entry->budget.max_wall_seconds));
+  writer.WriteU64(std::bit_cast<uint64_t>(
+      std::chrono::duration<double>(now - entry->opened_at).count()));
+  writer.WriteBytes(session_image);
+  std::string image = writer.TakeBytes();
+  const uint64_t checksum = Fnv1a64(image);
+  for (size_t i = 0; i < kChecksumBytes; ++i) {
+    image.push_back(static_cast<char>((checksum >> (8 * i)) & 0xff));
+  }
+  QLEARN_RETURN_IF_ERROR(snapshot_store_->Put(id, image));
+  entry->session.reset();
+  entry->parked_at = now;
+  entry->parked.store(true, std::memory_order_relaxed);
+  hibernates_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+common::Status SessionService::RehydrateLocked(const std::string& id,
+                                               Entry* entry) const {
+  // common:: is spelled out below: inside a member function a bare
+  // `Status` names the Status() method, not the error type.
+  common::Status status = [&]() -> common::Status {
+    auto image_or = snapshot_store_->Get(id);
+    if (!image_or.ok()) {
+      if (image_or.status().code() == common::StatusCode::kNotFound) {
+        // The handle promises a session; a vanished image is lost data,
+        // not a bad argument.
+        return common::Status::DataLoss("snapshot image for parked session " + id +
+                                " is missing: " + image_or.status().message());
+      }
+      return image_or.status();
+    }
+    const std::string image = std::move(image_or).value();
+    if (image.size() < kChecksumBytes) {
+      return common::Status::DataLoss(
+          "snapshot image for session " + id + " is " +
+          std::to_string(image.size()) +
+          " byte(s), too small to carry its 8-byte checksum trailer");
+    }
+    const size_t body_size = image.size() - kChecksumBytes;
+    const uint64_t stored = ReadTrailerU64(image, body_size);
+    const uint64_t computed =
+        Fnv1a64(std::string_view(image).substr(0, body_size));
+    if (stored != computed) {
+      return common::Status::DataLoss("snapshot image for session " + id +
+                              " fails its checksum over bytes [0, " +
+                              std::to_string(body_size) + "): stored " +
+                              HexU64(stored) + ", computed " +
+                              HexU64(computed));
+    }
+
+    session::SnapshotReader reader(
+        std::string_view(image).substr(0, body_size));
+    uint32_t magic = 0;
+    QLEARN_RETURN_IF_ERROR(reader.ReadU32(&magic));
+    if (magic != kHibernationMagic) {
+      return common::Status::InvalidArgument("session " + id +
+                                     ": not a hibernation image (magic " +
+                                     HexU64(magic) + " at byte 0)");
+    }
+    uint32_t version = 0;
+    QLEARN_RETURN_IF_ERROR(reader.ReadU32(&version));
+    if (version != kHibernationVersion) {
+      return common::Status::InvalidArgument(
+          "session " + id + ": unsupported hibernation image version " +
+          std::to_string(version) + " at byte 4 (this build reads version " +
+          std::to_string(kHibernationVersion) + ")");
+    }
+    std::string scenario;
+    QLEARN_RETURN_IF_ERROR(reader.ReadBytes(&scenario));
+    if (scenario != entry->scenario) {
+      return common::Status::InvalidArgument("hibernation image for session " + id +
+                                     " was taken for scenario \"" + scenario +
+                                     "\", but the handle is scenario \"" +
+                                     entry->scenario + "\"");
+    }
+    uint64_t max_questions = 0;
+    uint64_t max_pending = 0;
+    uint64_t max_wall_bits = 0;
+    uint64_t wall_consumed_bits = 0;
+    QLEARN_RETURN_IF_ERROR(reader.ReadU64(&max_questions));
+    QLEARN_RETURN_IF_ERROR(reader.ReadU64(&max_pending));
+    QLEARN_RETURN_IF_ERROR(reader.ReadU64(&max_wall_bits));
+    QLEARN_RETURN_IF_ERROR(reader.ReadU64(&wall_consumed_bits));
+    std::string payload;
+    QLEARN_RETURN_IF_ERROR(reader.ReadBytes(&payload));
+    if (!reader.AtEnd()) {
+      return common::Status::InvalidArgument(
+          "hibernation image for session " + id + " has " +
+          std::to_string(reader.remaining()) +
+          " trailing byte(s) before its checksum");
+    }
+
+    auto created_or = registry_->Create(scenario, session::SessionOptions{});
+    if (!created_or.ok()) return created_or.status();
+    std::unique_ptr<session::ScenarioSession> restored =
+        std::move(created_or).value();
+    QLEARN_RETURN_IF_ERROR(restored->RestoreSnapshot(payload));
+
+    // Commit. Time spent parked counts against the wall-clock allowance:
+    // reconstruct opened_at so elapsed = consumed-at-park + parked
+    // interval, no matter how long the image sat in the store.
+    entry->session = std::move(restored);
+    entry->budget.max_questions = max_questions;
+    entry->budget.max_pending = static_cast<size_t>(max_pending);
+    entry->budget.max_wall_seconds = std::bit_cast<double>(max_wall_bits);
+    const auto now = clock_();
+    const double total =
+        std::bit_cast<double>(wall_consumed_bits) +
+        std::chrono::duration<double>(now - entry->parked_at).count();
+    entry->opened_at =
+        now - std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(total));
+    entry->parked.store(false, std::memory_order_relaxed);
+    rehydrates_.fetch_add(1, std::memory_order_relaxed);
+    snapshot_store_->Delete(id);
+    return common::Status::OK();
+  }();
+  if (!status.ok()) {
+    hibernate_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+common::Status SessionService::Park(const std::string& id) {
+  auto entry = Find(id);
+  if (entry == nullptr) {
+    return Fail(common::Status::NotFound("unknown session: " + id));
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (entry->closed) {
+    return Fail(common::Status::NotFound("session already closed: " + id));
+  }
+  if (entry->parked.load(std::memory_order_relaxed)) {
+    return common::Status::OK();  // already hibernated
+  }
+  if (entry->pending > 0) {
+    return Fail(common::Status::FailedPrecondition(
+        "session " + id + " has " + std::to_string(entry->pending) +
+        " unanswered question(s); only quiescent sessions park"));
+  }
+  common::Status status = ParkLocked(id, entry.get());
+  if (!status.ok()) {
+    hibernate_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Fail(std::move(status));
+  }
+  return common::Status::OK();
+}
+
+size_t SessionService::ParkIdleSessions() {
+  if (hibernate_after_seconds_ <= 0) return 0;
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries.assign(sessions_.begin(), sessions_.end());
+  }
+  size_t parked = 0;
+  const auto now = clock_();
+  for (auto& [id, entry] : entries) {
+    // try_lock: an in-flight call on the session means it is not idle —
+    // skip it rather than stall the sweep behind learner work.
+    std::unique_lock<std::mutex> lock(entry->mutex, std::try_to_lock);
+    if (!lock.owns_lock()) continue;
+    if (entry->closed || entry->parked.load(std::memory_order_relaxed) ||
+        entry->pending > 0) {
+      continue;
+    }
+    const double idle =
+        std::chrono::duration<double>(now - entry->last_touch).count();
+    if (idle < hibernate_after_seconds_) continue;
+    if (ParkLocked(id, entry.get()).ok()) {
+      ++parked;
+    } else {
+      hibernate_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return parked;
+}
+
 Result<std::vector<wire::QuestionPayload>> SessionService::Ask(
     const std::string& id, size_t k) {
   asks_.fetch_add(1, std::memory_order_relaxed);
@@ -87,6 +321,11 @@ Result<std::vector<wire::QuestionPayload>> SessionService::Ask(
   if (entry->closed) {
     return Fail(common::Status::NotFound("session already closed: " + id));
   }
+  if (entry->parked.load(std::memory_order_relaxed)) {
+    common::Status restored = RehydrateLocked(id, entry.get());
+    if (!restored.ok()) return Fail(std::move(restored));
+  }
+  entry->last_touch = clock_();
   if (entry->pending > 0) {
     return Fail(common::Status::FailedPrecondition(
         "session " + id + " has " + std::to_string(entry->pending) +
@@ -143,6 +382,11 @@ common::Status SessionService::Tell(const std::string& id,
   if (entry->closed) {
     return Fail(common::Status::NotFound("session already closed: " + id));
   }
+  if (entry->parked.load(std::memory_order_relaxed)) {
+    common::Status restored = RehydrateLocked(id, entry.get());
+    if (!restored.ok()) return Fail(std::move(restored));
+  }
+  entry->last_touch = clock_();
   if (entry->pending == 0) {
     return Fail(common::Status::FailedPrecondition(
         "session " + id + " has no pending questions to answer"));
@@ -168,6 +412,11 @@ Result<std::vector<bool>> SessionService::OracleLabels(const std::string& id) {
   if (entry->closed) {
     return Fail(common::Status::NotFound("session already closed: " + id));
   }
+  if (entry->parked.load(std::memory_order_relaxed)) {
+    common::Status restored = RehydrateLocked(id, entry.get());
+    if (!restored.ok()) return Fail(std::move(restored));
+  }
+  entry->last_touch = clock_();
   if (entry->pending == 0) {
     return Fail(common::Status::FailedPrecondition(
         "session " + id + " has no pending questions to label"));
@@ -185,6 +434,11 @@ Result<SessionStatus> SessionService::Status(const std::string& id) const {
   if (entry->closed) {
     return Fail(common::Status::NotFound("session already closed: " + id));
   }
+  if (entry->parked.load(std::memory_order_relaxed)) {
+    common::Status restored = RehydrateLocked(id, entry.get());
+    if (!restored.ok()) return Fail(std::move(restored));
+  }
+  entry->last_touch = clock_();
   SessionStatus status;
   status.id = id;
   status.scenario = entry->scenario;
@@ -202,20 +456,37 @@ Result<CloseResult> SessionService::Close(const std::string& id) {
     return Fail(common::Status::NotFound("unknown session: " + id));
   }
   CloseResult result;
+  common::Status rehydrate_error;  // OK unless a parked image was bad
   {
     std::lock_guard<std::mutex> lock(entry->mutex);
     if (entry->closed) {
       return Fail(common::Status::NotFound("session already closed: " + id));
     }
-    entry->session->Finish();
+    if (entry->parked.load(std::memory_order_relaxed)) {
+      rehydrate_error = RehydrateLocked(id, entry.get());
+    }
     entry->pending = 0;
     entry->closed = true;
-    result.hypothesis.kind = entry->session->PayloadKind();
-    result.hypothesis.text = entry->session->Hypothesis();
-    result.stats = entry->session->stats();
+    if (rehydrate_error.ok()) {
+      entry->session->Finish();
+      result.hypothesis.kind = entry->session->PayloadKind();
+      result.hypothesis.text = entry->session->Hypothesis();
+      result.stats = entry->session->stats();
+    } else {
+      // Unrecoverable image: the handle is still released (the caller is
+      // done with the session) and the dead image dropped — the error
+      // travels back so the loss is visible.
+      entry->parked.store(false, std::memory_order_relaxed);
+    }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  sessions_.erase(id);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions_.erase(id);
+  }
+  if (!rehydrate_error.ok()) {
+    snapshot_store_->Delete(id);
+    return Fail(std::move(rehydrate_error));
+  }
   return result;
 }
 
@@ -232,6 +503,24 @@ size_t SessionService::OpenCount() const {
   return sessions_.size();
 }
 
+size_t SessionService::ResidentCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t resident = 0;
+  for (const auto& [id, entry] : sessions_) {
+    if (!entry->parked.load(std::memory_order_relaxed)) ++resident;
+  }
+  return resident;
+}
+
+size_t SessionService::ParkedCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t parked = 0;
+  for (const auto& [id, entry] : sessions_) {
+    if (entry->parked.load(std::memory_order_relaxed)) ++parked;
+  }
+  return parked;
+}
+
 ServiceCounters SessionService::Counters() const {
   ServiceCounters counters;
   counters.opens = opens_.load(std::memory_order_relaxed);
@@ -244,6 +533,10 @@ ServiceCounters SessionService::Counters() const {
   counters.questions_served =
       questions_served_.load(std::memory_order_relaxed);
   counters.labels_accepted = labels_accepted_.load(std::memory_order_relaxed);
+  counters.hibernates = hibernates_.load(std::memory_order_relaxed);
+  counters.rehydrates = rehydrates_.load(std::memory_order_relaxed);
+  counters.hibernate_errors =
+      hibernate_errors_.load(std::memory_order_relaxed);
   return counters;
 }
 

@@ -31,12 +31,27 @@
 // `closed` under the entry lock and gets NotFound, never a dangling entry.
 // tests/service_race_test.cc races Close against in-flight Ask/Tell/Status
 // under the sanitizer CI job to keep this claim honest.
+//
+// Hibernation: a quiescent session (no pending batch) can be *parked* —
+// serialized through a SnapshotStore as a checksummed image and evicted
+// from memory — either explicitly (Park) or by the idle sweep
+// (ParkIdleSessions, driven by ServiceOptions::hibernate_after_seconds).
+// The handle stays valid: the next Ask/Tell/OracleLabels/Status/Close
+// transparently rehydrates the session from its image, with budgets,
+// wall-clock accounting, RNG lanes, and counters surviving the round trip
+// (time spent parked still counts against the wall-clock budget). A
+// missing or corrupt image surfaces as DataLoss, a stale-version or
+// foreign image as InvalidArgument — never an assert or a dropped handle;
+// Close always releases the handle even when rehydration fails.
+// tests/hibernation_test.cc proves transcript-identical replay through a
+// park/rehydrate cycle at every question boundary.
 #ifndef QLEARN_SERVICE_SESSION_SERVICE_H_
 #define QLEARN_SERVICE_SESSION_SERVICE_H_
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -44,6 +59,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "service/snapshot_store.h"
 #include "service/wire.h"
 #include "session/registry.h"
 #include "session/session.h"
@@ -68,6 +84,24 @@ struct SessionBudget {
 struct OpenOptions {
   uint64_t seed = session::SessionDefaults::kSeed;
   SessionBudget budget;
+};
+
+/// Service-wide construction knobs (all optional).
+struct ServiceOptions {
+  /// Scenario registry; nullptr means the global registry with the
+  /// built-in scenarios registered.
+  session::ScenarioRegistry* registry = nullptr;
+  /// ParkIdleSessions() hibernates sessions idle (no call touched them) at
+  /// least this long. 0 disables the idle sweep; explicit Park() always
+  /// works.
+  double hibernate_after_seconds = 0;
+  /// Where hibernation images live; nullptr means a fresh
+  /// InMemorySnapshotStore owned by the service.
+  std::shared_ptr<SnapshotStore> snapshot_store;
+  /// Time source for wall-clock budgets and idle accounting. Injectable so
+  /// tests pin budget arithmetic with a fake clock; nullptr means
+  /// std::chrono::steady_clock.
+  std::function<std::chrono::steady_clock::time_point()> clock;
 };
 
 /// Snapshot of one session, as reported by Status().
@@ -95,6 +129,9 @@ struct ServiceCounters {
   uint64_t errors = 0;            ///< calls that returned a non-OK Status
   uint64_t questions_served = 0;  ///< questions across all Ask batches
   uint64_t labels_accepted = 0;   ///< labels across all Tell batches
+  uint64_t hibernates = 0;        ///< sessions parked to the snapshot store
+  uint64_t rehydrates = 0;        ///< sessions restored from their image
+  uint64_t hibernate_errors = 0;  ///< failed park or rehydrate attempts
 };
 
 /// What Close() returns: the final hypothesis and final counters (the
@@ -110,6 +147,9 @@ class SessionService {
   /// Serves scenarios from `registry`; defaults to the global registry with
   /// the built-in scenarios registered.
   explicit SessionService(session::ScenarioRegistry* registry = nullptr);
+  /// Full construction surface: registry, hibernation policy, snapshot
+  /// store, and clock (see ServiceOptions).
+  explicit SessionService(const ServiceOptions& options);
 
   /// Instantiates a session of the named scenario; returns its handle.
   common::Result<std::string> Open(const std::string& scenario,
@@ -134,12 +174,34 @@ class SessionService {
   common::Result<SessionStatus> Status(const std::string& id) const;
 
   /// Finishes the session, returns the final hypothesis and counters, and
-  /// releases the handle (subsequent calls on it return NotFound).
+  /// releases the handle (subsequent calls on it return NotFound). A parked
+  /// session is rehydrated first so Finish can run; if its image is
+  /// unrecoverable the handle is still released and the rehydration error
+  /// returned.
   common::Result<CloseResult> Close(const std::string& id);
 
-  /// Handles of the currently open sessions, in open order.
+  /// Hibernates one session now: serializes it into a checksummed image in
+  /// the snapshot store and evicts the in-memory learner state. Requires
+  /// quiescence — a pending batch fails with FailedPrecondition. Parking a
+  /// parked session is a no-op; the handle stays listed and rehydrates on
+  /// the next call.
+  common::Status Park(const std::string& id);
+
+  /// Idle sweep: parks every session whose last call is at least
+  /// hibernate_after_seconds ago (no-op when that knob is 0). Skips
+  /// sessions with pending questions and sessions whose lock is contended
+  /// (an in-flight call means the session is not idle). Returns how many
+  /// sessions were parked.
+  size_t ParkIdleSessions();
+
+  /// Handles of the currently open sessions, in open order (parked
+  /// sessions included — their handles are still live).
   std::vector<std::string> ListOpen() const;
   size_t OpenCount() const;
+  /// Sessions resident in memory (open minus parked).
+  size_t ResidentCount() const;
+  /// Sessions currently hibernated to the snapshot store.
+  size_t ParkedCount() const;
 
   /// Snapshot of the service-wide operation counters.
   ServiceCounters Counters() const;
@@ -151,9 +213,19 @@ class SessionService {
     std::string scenario;
     SessionBudget budget;
     std::chrono::steady_clock::time_point opened_at;
+    /// When the last call touched this session (idle-sweep input); guarded
+    /// by `mutex` like the rest of the mutable state.
+    std::chrono::steady_clock::time_point last_touch;
+    /// When the session was parked (wall-budget arithmetic on rehydrate).
+    std::chrono::steady_clock::time_point parked_at;
     size_t pending = 0;
     bool budget_exhausted = false;
     bool closed = false;
+    /// True while the session lives in the snapshot store instead of
+    /// memory (`session` is null then). Mutated under `mutex`; atomic so
+    /// ResidentCount/ParkedCount can tally without taking every session
+    /// lock.
+    std::atomic<bool> parked{false};
   };
 
   std::shared_ptr<Entry> Find(const std::string& id) const;
@@ -162,7 +234,20 @@ class SessionService {
   /// read `return Fail(Status::...)`).
   common::Status Fail(common::Status status) const;
 
+  double ElapsedSeconds(std::chrono::steady_clock::time_point since) const;
+
+  /// Serializes + evicts one quiescent session. Caller holds entry->mutex.
+  common::Status ParkLocked(const std::string& id, Entry* entry);
+  /// Restores a parked session from its image. Caller holds entry->mutex.
+  /// On failure the entry stays parked (a later call may retry) and
+  /// hibernate_errors is incremented. Const because the read path (Status)
+  /// rehydrates too; only the entry and mutable counters change.
+  common::Status RehydrateLocked(const std::string& id, Entry* entry) const;
+
   session::ScenarioRegistry* registry_;
+  double hibernate_after_seconds_ = 0;
+  std::shared_ptr<SnapshotStore> snapshot_store_;
+  std::function<std::chrono::steady_clock::time_point()> clock_;
   mutable std::mutex mutex_;  // guards sessions_ and next_id_
   std::map<std::string, std::shared_ptr<Entry>> sessions_;
   uint64_t next_id_ = 1;
@@ -178,6 +263,9 @@ class SessionService {
   mutable std::atomic<uint64_t> errors_{0};
   mutable std::atomic<uint64_t> questions_served_{0};
   mutable std::atomic<uint64_t> labels_accepted_{0};
+  mutable std::atomic<uint64_t> hibernates_{0};
+  mutable std::atomic<uint64_t> rehydrates_{0};
+  mutable std::atomic<uint64_t> hibernate_errors_{0};
 };
 
 }  // namespace service

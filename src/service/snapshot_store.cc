@@ -1,0 +1,117 @@
+#include "service/snapshot_store.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace qlearn {
+namespace service {
+
+using common::Result;
+using common::Status;
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+Status InMemorySnapshotStore::Put(const std::string& key,
+                                  std::string_view image) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  images_[key] = std::string(image);
+  return Status::OK();
+}
+
+Result<std::string> InMemorySnapshotStore::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = images_.find(key);
+  if (it == images_.end()) {
+    return Status::NotFound("no snapshot image stored for session " + key);
+  }
+  return it->second;
+}
+
+Status InMemorySnapshotStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  images_.erase(key);
+  return Status::OK();
+}
+
+size_t InMemorySnapshotStore::Count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return images_.size();
+}
+
+std::string FileSnapshotStore::PathFor(const std::string& key) const {
+  return dir_ + "/" + key + ".snap";
+}
+
+Status FileSnapshotStore::Put(const std::string& key,
+                              std::string_view image) {
+  const std::string tmp = dir_ + "/" + key + ".tmp";
+  const std::string final_path = PathFor(key);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + tmp + " for writing: " +
+                            std::strerror(errno));
+  }
+  size_t written = image.empty()
+                       ? 0
+                       : std::fwrite(image.data(), 1, image.size(), f);
+  int flush_err = std::fflush(f);
+  if (std::fclose(f) != 0 || flush_err != 0 || written != image.size()) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + final_path +
+                            ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::string> FileSnapshotStore::Get(const std::string& key) {
+  const std::string path = PathFor(key);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("no snapshot image stored for session " + key +
+                            " (" + path + ")");
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Internal("read error on " + path);
+  }
+  return out;
+}
+
+Status FileSnapshotStore::Delete(const std::string& key) {
+  std::remove(PathFor(key).c_str());
+  return Status::OK();
+}
+
+size_t FileSnapshotStore::Count() const {
+  std::error_code ec;
+  size_t count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".snap") ++count;
+  }
+  return ec ? 0 : count;
+}
+
+}  // namespace service
+}  // namespace qlearn

@@ -1,0 +1,92 @@
+// Pluggable storage for hibernated-session images (service layer).
+//
+// SessionService parks quiescent sessions by serializing them into a
+// checksummed image (see session_service.h) and handing the bytes to a
+// SnapshotStore keyed by session handle. Two implementations ship:
+//
+//  * InMemorySnapshotStore — a mutexed map; the default, and what tests
+//    use to inject corrupt/missing images.
+//  * FileSnapshotStore — one file per session under a spool directory,
+//    written to a temp name and atomically renamed into place so a crash
+//    mid-write never leaves a torn image where Get can see it.
+//
+// Stores only move bytes; integrity is the service's job (every image
+// carries a trailing FNV-1a checksum the rehydrate path verifies before
+// parsing). Implementations must be thread-safe: the service calls them
+// under per-session locks, and distinct sessions park concurrently.
+#ifndef QLEARN_SERVICE_SNAPSHOT_STORE_H_
+#define QLEARN_SERVICE_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace qlearn {
+namespace service {
+
+/// FNV-1a 64-bit over `bytes` — the checksum SessionService appends to
+/// hibernation images. Exposed so tests can forge images whose checksum is
+/// valid but whose payload is malformed (checksum-vs-parse error paths).
+uint64_t Fnv1a64(std::string_view bytes);
+
+/// Keyed blob storage for hibernation images. Keys are session handles
+/// ("s-<20 digits>"); values are opaque bytes.
+class SnapshotStore {
+ public:
+  virtual ~SnapshotStore() = default;
+
+  /// Stores `image` under `key`, replacing any previous image atomically
+  /// (a concurrent Get sees the old image or the new one, never a mix).
+  virtual common::Status Put(const std::string& key,
+                             std::string_view image) = 0;
+  /// Fetches the image stored under `key`; NotFound when absent.
+  virtual common::Result<std::string> Get(const std::string& key) = 0;
+  /// Drops the image under `key`. Deleting an absent key is OK (the
+  /// rehydrate path deletes after restore and must be idempotent).
+  virtual common::Status Delete(const std::string& key) = 0;
+  /// Number of images currently stored (diagnostics / tests).
+  virtual size_t Count() const = 0;
+};
+
+/// Default store: images live in a mutexed map in this process.
+class InMemorySnapshotStore : public SnapshotStore {
+ public:
+  common::Status Put(const std::string& key, std::string_view image) override;
+  common::Result<std::string> Get(const std::string& key) override;
+  common::Status Delete(const std::string& key) override;
+  size_t Count() const override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> images_;
+};
+
+/// File-backed store: one `<dir>/<key>.snap` per image, written via a
+/// `.tmp` sibling and rename(2) so readers never observe a partial write.
+/// The directory must already exist; keys must be plain path components
+/// (no separators) — session handles are.
+class FileSnapshotStore : public SnapshotStore {
+ public:
+  explicit FileSnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+
+  common::Status Put(const std::string& key, std::string_view image) override;
+  common::Result<std::string> Get(const std::string& key) override;
+  common::Status Delete(const std::string& key) override;
+  size_t Count() const override;
+
+  const std::string& dir() const { return dir_; }
+  /// Final on-disk path for `key` (tests corrupt images in place).
+  std::string PathFor(const std::string& key) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace service
+}  // namespace qlearn
+
+#endif  // QLEARN_SERVICE_SNAPSHOT_STORE_H_

@@ -26,6 +26,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -69,6 +70,16 @@ class ScenarioSession {
   virtual const SessionStats& stats() const = 0;
   /// Human-readable rendering of the current (or final) hypothesis.
   virtual std::string Hypothesis() const = 0;
+
+  /// Hibernation: serializes the full session state (RNG stream, budget,
+  /// stats, engine image) into a binary image. Fails with
+  /// FailedPrecondition while questions are pending or after Finish — only
+  /// quiescent sessions snapshot (see session::LearningSession).
+  virtual common::Status SerializeSnapshot(std::string* out) const = 0;
+  /// Restores a SerializeSnapshot image into a freshly created session of
+  /// the same scenario. Malformed or mismatched images are rejected with
+  /// InvalidArgument; discard the session on error.
+  virtual common::Status RestoreSnapshot(std::string_view image) = 0;
 };
 
 struct ScenarioInfo {

@@ -98,6 +98,14 @@ class TypedScenarioSession : public ScenarioSession {
     return render_hypothesis_(session_.Hypothesis());
   }
 
+  common::Status SerializeSnapshot(std::string* out) const override {
+    return session_.SerializeSnapshot(out);
+  }
+
+  common::Status RestoreSnapshot(std::string_view image) override {
+    return session_.RestoreSnapshot(image);
+  }
+
  private:
   std::shared_ptr<void> context_;
   LearningSession<Engine> session_;

@@ -47,6 +47,12 @@ class SnapshotWriter {
     WriteWords(words.data(), words.size());
   }
 
+  /// Length-prefixed byte string (u64 count + raw bytes).
+  void WriteBytes(std::string_view bytes) {
+    WriteU64(bytes.size());
+    out_.append(bytes.data(), bytes.size());
+  }
+
   const std::string& bytes() const { return out_; }
   std::string TakeBytes() { return std::move(out_); }
 
@@ -96,6 +102,17 @@ class SnapshotReader {
       common::Status s = ReadU64(&words[i]);
       if (!s.ok()) return s;
     }
+    return common::Status::OK();
+  }
+
+  /// Length-prefixed byte string (u64 count + raw bytes).
+  common::Status ReadBytes(std::string* out) {
+    uint64_t n = 0;
+    common::Status s = ReadU64(&n);
+    if (!s.ok()) return s;
+    if (n > remaining()) return Truncated();
+    out->assign(image_.data() + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
     return common::Status::OK();
   }
 

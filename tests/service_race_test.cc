@@ -222,6 +222,157 @@ TEST(ServiceRaceTest, ParallelSessionsProgressIndependently) {
   EXPECT_EQ(counters.questions_served, counters.labels_accepted);
 }
 
+TEST(ServiceRaceTest, ParkRacesInFlightAskTellClose) {
+  // A sweeper parks the session whenever it catches it quiescent while a
+  // driver replays it to completion: every driver call transparently
+  // rehydrates, every outcome stays in the expected set, and the
+  // hibernation counters balance (each park was undone by exactly one
+  // rehydrate, none failed).
+  constexpr int kRounds = 10;
+  for (int round = 0; round < kRounds; ++round) {
+    SessionService service;
+    auto id_or = service.Open("join", {});
+    ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+    const std::string id = id_or.value();
+
+    std::atomic<bool> start{false};
+    std::atomic<bool> done{false};
+    std::vector<std::string> failures(2);
+
+    std::thread parker([&] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      while (!done.load(std::memory_order_acquire)) {
+        const Status parked = service.Park(id);
+        if (!IsExpectedRaceOutcome(parked)) {
+          failures[0] = parked.ToString();
+          return;
+        }
+      }
+    });
+    std::thread driver([&] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      while (true) {
+        auto batch = service.Ask(id, 2);
+        if (!batch.ok()) {
+          failures[1] = batch.status().ToString();
+          return;
+        }
+        if (batch.value().empty()) break;
+        auto labels = service.OracleLabels(id);
+        if (!labels.ok()) {
+          failures[1] = labels.status().ToString();
+          return;
+        }
+        const Status told = service.Tell(id, labels.value());
+        if (!told.ok()) {
+          failures[1] = told.ToString();
+          return;
+        }
+      }
+      auto closed = service.Close(id);
+      if (!closed.ok()) failures[1] = closed.status().ToString();
+    });
+
+    start.store(true, std::memory_order_release);
+    driver.join();
+    done.store(true, std::memory_order_release);
+    parker.join();
+
+    EXPECT_EQ(failures[0], "") << "parker";
+    EXPECT_EQ(failures[1], "") << "driver";
+    const ServiceCounters counters = service.Counters();
+    EXPECT_EQ(counters.hibernates, counters.rehydrates);
+    EXPECT_EQ(counters.hibernate_errors, 0u);
+    EXPECT_EQ(service.OpenCount(), 0u);
+  }
+}
+
+TEST(ServiceRaceTest, ConcurrentFirstTouchRehydrateHasSingleWinner) {
+  // Many threads touch a parked session at once: exactly one restores it
+  // (the others serialize behind the entry lock and find it resident) —
+  // no double-restore, no torn state, and the session still finishes
+  // cleanly afterwards.
+  constexpr int kRounds = 20;
+  constexpr int kTouchers = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    SessionService service;
+    auto id_or = service.Open("chain", {});
+    ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+    const std::string id = id_or.value();
+    ASSERT_TRUE(service.Park(id).ok());
+    ASSERT_EQ(service.ParkedCount(), 1u);
+
+    std::atomic<bool> start{false};
+    std::atomic<int> unexpected{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kTouchers; ++t) {
+      threads.emplace_back([&, t] {
+        while (!start.load(std::memory_order_acquire)) {
+        }
+        const Status outcome = (t % 2 == 0)
+                                   ? service.Status(id).status()
+                                   : service.Ask(id, 1).status();
+        if (!IsExpectedRaceOutcome(outcome)) unexpected.fetch_add(1);
+      });
+    }
+    start.store(true, std::memory_order_release);
+    for (auto& thread : threads) thread.join();
+
+    EXPECT_EQ(unexpected.load(), 0);
+    const ServiceCounters counters = service.Counters();
+    EXPECT_EQ(counters.hibernates, 1u);
+    EXPECT_EQ(counters.rehydrates, 1u);
+    EXPECT_EQ(counters.hibernate_errors, 0u);
+    EXPECT_EQ(service.ParkedCount(), 0u);
+    EXPECT_TRUE(service.Close(id).ok());
+  }
+}
+
+TEST(ServiceRaceTest, ConcurrentCloseOfParkedSessionHasOneWinner) {
+  constexpr int kRounds = 20;
+  constexpr int kClosers = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    SessionService service;
+    auto id_or = service.Open("path", {});
+    ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+    const std::string id = id_or.value();
+    ASSERT_TRUE(service.Park(id).ok());
+
+    std::atomic<bool> start{false};
+    std::atomic<int> winners{0};
+    std::atomic<int> not_found{0};
+    std::atomic<int> other{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClosers; ++t) {
+      threads.emplace_back([&] {
+        while (!start.load(std::memory_order_acquire)) {
+        }
+        auto closed = service.Close(id);
+        if (closed.ok()) {
+          winners.fetch_add(1);
+        } else if (closed.status().code() == StatusCode::kNotFound) {
+          not_found.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      });
+    }
+    start.store(true, std::memory_order_release);
+    for (auto& thread : threads) thread.join();
+
+    // The winning Close rehydrated the parked session so Finish could run.
+    EXPECT_EQ(winners.load(), 1);
+    EXPECT_EQ(not_found.load(), kClosers - 1);
+    EXPECT_EQ(other.load(), 0);
+    const ServiceCounters counters = service.Counters();
+    EXPECT_EQ(counters.rehydrates, 1u);
+    EXPECT_EQ(counters.hibernate_errors, 0u);
+    EXPECT_EQ(service.OpenCount(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace service
 }  // namespace qlearn

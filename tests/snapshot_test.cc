@@ -6,18 +6,26 @@
 // rejection paths.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/status.h"
+#include "glearn/interactive_path.h"
+#include "graph/geo_generator.h"
+#include "learn/interactive.h"
 #include "relational/generator.h"
 #include "relational/relation.h"
 #include "rlearn/chain_learner.h"
 #include "rlearn/interactive_chain.h"
 #include "rlearn/interactive_join.h"
 #include "session/session.h"
+#include "twig/twig_parser.h"
+#include "xml/xml_parser.h"
 
 namespace qlearn {
 namespace session {
@@ -274,6 +282,300 @@ TEST_F(ChainSnapshotFixture, MidRunRestoreReplaysRemainingSequence) {
               reference.stats().forced_positive);
     EXPECT_EQ(restored.stats().forced_negative,
               reference.stats().forced_negative);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Twig scenario.
+
+class TwigSnapshotFixture : public ::testing::Test {
+ protected:
+  TwigSnapshotFixture() {
+    // A people directory with enough structural variety that both
+    // strategies ask several questions before converging.
+    auto doc = xml::ParseXml(
+        "<site><people>"
+        "<person><name/><age/><phone/></person>"
+        "<person><name/></person>"
+        "<person><name/><age/></person>"
+        "<person><name/><homepage/></person>"
+        "<person><age/><phone/></person>"
+        "<person><name/><age/><homepage/></person>"
+        "</people></site>",
+        &interner_);
+    EXPECT_TRUE(doc.ok());
+    doc_ = std::move(doc).value();
+    auto goal = twig::ParseTwig("/site/people/person[age]/name", &interner_);
+    EXPECT_TRUE(goal.ok());
+    goal_ = std::move(goal).value();
+    seed_ = xml::kInvalidNode;
+    for (xml::NodeId v = 0; v < doc_.NumNodes(); ++v) {
+      if (twig::Selects(goal_, doc_, v)) {
+        seed_ = v;
+        break;
+      }
+    }
+    EXPECT_NE(seed_, xml::kInvalidNode);
+  }
+
+  bool OracleAnswer(xml::NodeId node) const {
+    return twig::Selects(goal_, doc_, node);
+  }
+
+  LearningSession<learn::TwigEngine> MakeSession(
+      learn::TwigStrategy strategy) const {
+    learn::InteractiveTwigOptions options;
+    options.strategy = strategy;
+    SessionOptions session_options;
+    session_options.seed = 41;
+    return LearningSession<learn::TwigEngine>(
+        learn::TwigEngine(&doc_, seed_, options), session_options);
+  }
+
+  common::Interner interner_;
+  xml::XmlTree doc_;
+  twig::TwigQuery goal_;
+  xml::NodeId seed_ = xml::kInvalidNode;
+};
+
+TEST_F(TwigSnapshotFixture, MidRunRestoreReplaysRemainingSequence) {
+  // kRandom exercises the RNG lanes through the round trip; kGreedyImpact
+  // the scored selection over the restored consistency state.
+  for (learn::TwigStrategy strategy :
+       {learn::TwigStrategy::kRandom, learn::TwigStrategy::kGreedyImpact}) {
+    SCOPED_TRACE(static_cast<int>(strategy));
+    auto reference = MakeSession(strategy);
+    std::vector<std::pair<xml::NodeId, bool>> want;
+    while (auto q = reference.NextQuestion()) {
+      const bool answer = OracleAnswer(*q);
+      want.push_back({*q, answer});
+      reference.Answer(answer);
+    }
+    const twig::TwigQuery want_learned = reference.Finish();
+    ASSERT_GT(want.size(), 2u) << "fixture too easy to split mid-run";
+
+    for (size_t split = 1; split < want.size(); ++split) {
+      SCOPED_TRACE(split);
+      auto original = MakeSession(strategy);
+      for (size_t i = 0; i < split; ++i) {
+        auto q = original.NextQuestion();
+        ASSERT_TRUE(q.has_value());
+        ASSERT_EQ(*q, want[i].first) << "diverged before snapshot";
+        original.Answer(OracleAnswer(*q));
+      }
+      std::string image;
+      ASSERT_TRUE(original.SerializeSnapshot(&image).ok());
+
+      auto restored = MakeSession(strategy);
+      ASSERT_TRUE(restored.RestoreSnapshot(image).ok());
+      size_t i = split;
+      while (auto q = restored.NextQuestion()) {
+        ASSERT_LT(i, want.size());
+        EXPECT_EQ(*q, want[i].first) << "question " << i;
+        const bool answer = OracleAnswer(*q);
+        EXPECT_EQ(answer, want[i].second) << "answer " << i;
+        restored.Answer(answer);
+        ++i;
+      }
+      EXPECT_EQ(i, want.size());
+      EXPECT_EQ(restored.Finish().ToString(interner_),
+                want_learned.ToString(interner_));
+      EXPECT_EQ(restored.stats().questions, reference.stats().questions);
+      EXPECT_EQ(restored.stats().forced_positive,
+                reference.stats().forced_positive);
+      EXPECT_EQ(restored.stats().forced_negative,
+                reference.stats().forced_negative);
+    }
+  }
+}
+
+TEST_F(TwigSnapshotFixture, RestoreRejectsMalformedImages) {
+  auto session = MakeSession(learn::TwigStrategy::kGreedyImpact);
+  std::string image;
+  ASSERT_TRUE(session.SerializeSnapshot(&image).ok());
+
+  {
+    // Foreign magic.
+    std::string bad = image;
+    bad[0] = 'X';
+    auto fresh = MakeSession(learn::TwigStrategy::kGreedyImpact);
+    EXPECT_EQ(fresh.RestoreSnapshot(bad).code(),
+              common::StatusCode::kInvalidArgument);
+  }
+  {
+    // Unsupported version.
+    std::string bad = image;
+    bad[4] = static_cast<char>(0x7f);
+    auto fresh = MakeSession(learn::TwigStrategy::kGreedyImpact);
+    EXPECT_EQ(fresh.RestoreSnapshot(bad).code(),
+              common::StatusCode::kInvalidArgument);
+  }
+  {
+    // Truncation anywhere in the image.
+    for (size_t len : {size_t{0}, size_t{7}, size_t{40}, image.size() - 1}) {
+      auto fresh = MakeSession(learn::TwigStrategy::kGreedyImpact);
+      EXPECT_EQ(
+          fresh.RestoreSnapshot(std::string_view(image.data(), len)).code(),
+          common::StatusCode::kInvalidArgument)
+          << "prefix length " << len;
+    }
+  }
+  {
+    // Trailing garbage.
+    std::string bad = image + "!";
+    auto fresh = MakeSession(learn::TwigStrategy::kGreedyImpact);
+    EXPECT_EQ(fresh.RestoreSnapshot(bad).code(),
+              common::StatusCode::kInvalidArgument);
+  }
+  {
+    // Strategy mismatch: the image records the engine configuration.
+    auto fresh = MakeSession(learn::TwigStrategy::kRandom);
+    EXPECT_EQ(fresh.RestoreSnapshot(image).code(),
+              common::StatusCode::kInvalidArgument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Path scenario.
+
+class PathSnapshotFixture : public ::testing::Test {
+ protected:
+  PathSnapshotFixture() {
+    graph::GeoOptions geo;
+    geo.grid_width = 4;
+    geo.grid_height = 3;
+    g_ = graph::GenerateGeoGraph(geo, &interner_);
+    auto regex = automata::ParseRegex("highway+", &interner_);
+    EXPECT_TRUE(regex.ok());
+    goal_ = graph::PathQuery{regex.value(), std::nullopt};
+    oracle_ = std::make_unique<glearn::GoalPathOracle>(goal_, g_);
+    for (graph::EdgeId e = 0; e < g_.NumEdges(); ++e) {
+      if (interner_.Name(g_.edge(e).label) == "highway") {
+        seed_.start = g_.edge(e).src;
+        seed_.edges = {e};
+        break;
+      }
+    }
+    EXPECT_FALSE(seed_.edges.empty());
+  }
+
+  bool OracleAnswer(const glearn::PathEngine::Question& question) const {
+    return oracle_->IsPositive(*question.path);
+  }
+
+  LearningSession<glearn::PathEngine> MakeSession(
+      glearn::PathStrategy strategy) const {
+    glearn::InteractivePathOptions options;
+    options.strategy = strategy;
+    options.max_path_edges = 3;
+    options.max_candidates = 800;
+    SessionOptions session_options;
+    session_options.seed = 19;
+    return LearningSession<glearn::PathEngine>(
+        glearn::PathEngine(&g_, seed_, options), session_options);
+  }
+
+  common::Interner interner_;
+  graph::Graph g_;
+  graph::PathQuery goal_;
+  std::unique_ptr<glearn::GoalPathOracle> oracle_;
+  graph::Path seed_;
+};
+
+TEST_F(PathSnapshotFixture, MidRunRestoreReplaysRemainingSequence) {
+  // kRandom exercises the RNG lanes; kFrontier the generalization-cost
+  // ordering over the restored candidate pool.
+  for (glearn::PathStrategy strategy :
+       {glearn::PathStrategy::kRandom, glearn::PathStrategy::kFrontier}) {
+    SCOPED_TRACE(static_cast<int>(strategy));
+    auto reference = MakeSession(strategy);
+    std::vector<std::pair<std::vector<common::SymbolId>, bool>> want;
+    while (auto q = reference.NextQuestion()) {
+      const bool answer = OracleAnswer(*q);
+      want.push_back({*q->word, answer});
+      reference.Answer(answer);
+    }
+    const glearn::ConcatPattern want_learned = reference.Finish();
+    ASSERT_GT(want.size(), 4u) << "fixture too easy to split mid-run";
+
+    for (size_t split = 1; split + 1 < want.size(); ++split) {
+      SCOPED_TRACE(split);
+      auto original = MakeSession(strategy);
+      for (size_t i = 0; i < split; ++i) {
+        auto q = original.NextQuestion();
+        ASSERT_TRUE(q.has_value());
+        ASSERT_EQ(*q->word, want[i].first) << "diverged before snapshot";
+        original.Answer(OracleAnswer(*q));
+      }
+      std::string image;
+      ASSERT_TRUE(original.SerializeSnapshot(&image).ok());
+
+      auto restored = MakeSession(strategy);
+      ASSERT_TRUE(restored.RestoreSnapshot(image).ok());
+      size_t i = split;
+      while (auto q = restored.NextQuestion()) {
+        ASSERT_LT(i, want.size());
+        EXPECT_EQ(*q->word, want[i].first) << "question " << i;
+        const bool answer = OracleAnswer(*q);
+        EXPECT_EQ(answer, want[i].second) << "answer " << i;
+        restored.Answer(answer);
+        ++i;
+      }
+      EXPECT_EQ(i, want.size());
+      EXPECT_EQ(restored.Finish().ToString(interner_),
+                want_learned.ToString(interner_));
+      EXPECT_EQ(restored.stats().questions, reference.stats().questions);
+      EXPECT_EQ(restored.stats().forced_positive,
+                reference.stats().forced_positive);
+      EXPECT_EQ(restored.stats().forced_negative,
+                reference.stats().forced_negative);
+    }
+  }
+}
+
+TEST_F(PathSnapshotFixture, RestoreRejectsMalformedImages) {
+  auto session = MakeSession(glearn::PathStrategy::kFrontier);
+  std::string image;
+  ASSERT_TRUE(session.SerializeSnapshot(&image).ok());
+
+  {
+    // Foreign magic.
+    std::string bad = image;
+    bad[0] = 'X';
+    auto fresh = MakeSession(glearn::PathStrategy::kFrontier);
+    EXPECT_EQ(fresh.RestoreSnapshot(bad).code(),
+              common::StatusCode::kInvalidArgument);
+  }
+  {
+    // Unsupported version.
+    std::string bad = image;
+    bad[4] = static_cast<char>(0x7f);
+    auto fresh = MakeSession(glearn::PathStrategy::kFrontier);
+    EXPECT_EQ(fresh.RestoreSnapshot(bad).code(),
+              common::StatusCode::kInvalidArgument);
+  }
+  {
+    // Truncation anywhere in the image.
+    for (size_t len : {size_t{0}, size_t{7}, size_t{40}, image.size() - 1}) {
+      auto fresh = MakeSession(glearn::PathStrategy::kFrontier);
+      EXPECT_EQ(
+          fresh.RestoreSnapshot(std::string_view(image.data(), len)).code(),
+          common::StatusCode::kInvalidArgument)
+          << "prefix length " << len;
+    }
+  }
+  {
+    // Trailing garbage.
+    std::string bad = image + "!";
+    auto fresh = MakeSession(glearn::PathStrategy::kFrontier);
+    EXPECT_EQ(fresh.RestoreSnapshot(bad).code(),
+              common::StatusCode::kInvalidArgument);
+  }
+  {
+    // Strategy mismatch: the image records the engine configuration.
+    auto fresh = MakeSession(glearn::PathStrategy::kRandom);
+    EXPECT_EQ(fresh.RestoreSnapshot(image).code(),
+              common::StatusCode::kInvalidArgument);
   }
 }
 

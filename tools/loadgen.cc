@@ -25,7 +25,16 @@
 //   loadgen [--sessions=1280] [--connections=8] [--rate=0]
 //           [--server_workers=4] [--host=127.0.0.1] [--port=0]
 //           [--golden_dir=DIR] [--label=relwithdebinfo] [--out=FILE]
-//           [--no-validate]
+//           [--no-validate] [--park-after=SECONDS]
+//
+// --park-after=S turns on session hibernation in the in-process service
+// (sessions idle >= S seconds are serialized to the snapshot store and
+// evicted from memory; the next request transparently rehydrates them) and
+// runs a background sweeper so sessions actually park mid-replay. Because
+// every response is still byte-validated against the golden, a clean run
+// proves the park/rehydrate round trip is invisible on the wire; the
+// result rows gain a "park" object (parks, rehydrates, resident-session
+// low-water mark, RSS) so the BENCH file records the memory effect.
 //
 // --sessions also accepts a comma-separated sweep (e.g.
 // --sessions=320,640,1280,2560): each step replays that many sessions
@@ -50,6 +59,10 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
 
 #include "net/client.h"
 #include "net/server.h"
@@ -79,6 +92,9 @@ struct Options {
   std::string label = "local";
   std::string out;  // append the result object to this BENCH-style file
   bool validate = true;
+  /// > 0: hibernate sessions idle at least this long (in-process server
+  /// only) and sweep for them in the background while the load runs.
+  double park_after = 0;
 };
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -117,6 +133,8 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       options->label = value;
     } else if (ParseFlag(arg, "out", &value)) {
       options->out = value;
+    } else if (ParseFlag(arg, "park-after", &value)) {
+      options->park_after = std::stod(value);
     } else if (arg == "--no-validate") {
       options->validate = false;
     } else {
@@ -134,8 +152,54 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       return false;
     }
   }
+  if (options->park_after > 0 && options->port != 0) {
+    std::fprintf(stderr,
+                 "loadgen: --park-after drives the in-process service "
+                 "directly and cannot target an external --port\n");
+    return false;
+  }
   return true;
 }
+
+/// Resident set size in MiB from /proc/self/statm (0 where unavailable).
+double RssMib() {
+#ifdef __linux__
+  std::ifstream statm("/proc/self/statm");
+  uint64_t total_pages = 0, resident_pages = 0;
+  if (statm >> total_pages >> resident_pages) {
+    const double page_bytes =
+        static_cast<double>(sysconf(_SC_PAGESIZE));
+    return static_cast<double>(resident_pages) * page_bytes /
+           (1024.0 * 1024.0);
+  }
+#endif
+  return 0;
+}
+
+/// Park-mode observer state: a background sweeper thread drives
+/// SessionService::ParkIdleSessions and samples the resident/parked session
+/// counts while the load runs; RunStep resets it per step and folds the
+/// high/low-water marks into the result row.
+struct ParkMonitor {
+  std::atomic<uint64_t> max_parked{0};
+  std::atomic<uint64_t> min_resident{UINT64_MAX};  // while sessions are open
+
+  void Reset() {
+    max_parked.store(0, std::memory_order_relaxed);
+    min_resident.store(UINT64_MAX, std::memory_order_relaxed);
+  }
+  void Sample(uint64_t open, uint64_t resident, uint64_t parked) {
+    uint64_t seen = max_parked.load(std::memory_order_relaxed);
+    while (parked > seen &&
+           !max_parked.compare_exchange_weak(seen, parked)) {
+    }
+    if (open == 0) return;
+    seen = min_resident.load(std::memory_order_relaxed);
+    while (resident < seen &&
+           !min_resident.compare_exchange_weak(seen, resident)) {
+    }
+  }
+};
 
 struct Golden {
   std::string name;
@@ -437,11 +501,20 @@ std::string TodayUtc() {
 
 /// One load step: replays `sessions` transcript sessions against the server
 /// at `port`, appends the result row to `*result`, and returns true when
-/// the step was error- and mismatch-free.
+/// the step was error- and mismatch-free. `service`/`monitor` are non-null
+/// in --park-after mode and add a "park" object to the row.
 bool RunStep(const Options& options, size_t sessions, uint16_t port,
              bool in_process_server, const std::vector<Golden>& goldens,
+             service::SessionService* service, ParkMonitor* monitor,
              std::string* result) {
   Tallies tallies;
+  service::ServiceCounters before;
+  double rss_before_mib = 0;
+  if (service != nullptr) {
+    monitor->Reset();
+    before = service->Counters();
+    rss_before_mib = RssMib();
+  }
   std::vector<Samples> samples(options.connections);
   const Clock::time_point start = Clock::now();
   std::vector<std::thread> threads;
@@ -497,18 +570,42 @@ bool RunStep(const Options& options, size_t sessions, uint16_t port,
                 "\"sessions_per_sec\":%.1f,\"requests_per_sec\":%.1f,"
                 "\"wall_seconds\":%.3f,\"max_concurrent_sessions\":%llu,"
                 "\n      \"validation\":{\"enabled\":%s,"
-                "\"byte_mismatches\":%llu}\n    }",
+                "\"byte_mismatches\":%llu}",
                 sessions_per_sec, requests_per_sec, wall_seconds,
                 static_cast<unsigned long long>(tallies.max_concurrent.load()),
                 options.validate ? "true" : "false",
                 static_cast<unsigned long long>(tallies.mismatches.load()));
   *result += buffer;
+  uint64_t hibernate_errors = 0;
+  if (service != nullptr) {
+    const service::ServiceCounters after = service->Counters();
+    hibernate_errors = after.hibernate_errors - before.hibernate_errors;
+    uint64_t min_resident = monitor->min_resident.load();
+    if (min_resident == UINT64_MAX) min_resident = 0;
+    std::snprintf(
+        buffer, sizeof(buffer),
+        ",\n      \"park\":{\"park_after_seconds\":%.3f,"
+        "\"parks\":%llu,\"rehydrates\":%llu,\"hibernate_errors\":%llu,"
+        "\"max_parked_sessions\":%llu,"
+        "\"min_resident_sessions_while_loaded\":%llu,"
+        "\"rss_before_mib\":%.1f,\"rss_after_mib\":%.1f}",
+        options.park_after,
+        static_cast<unsigned long long>(after.hibernates - before.hibernates),
+        static_cast<unsigned long long>(after.rehydrates - before.rehydrates),
+        static_cast<unsigned long long>(hibernate_errors),
+        static_cast<unsigned long long>(monitor->max_parked.load()),
+        static_cast<unsigned long long>(min_resident), rss_before_mib,
+        RssMib());
+    *result += buffer;
+  }
+  *result += "\n    }";
 
   std::printf("%s\n", result->c_str());
   for (const std::string& detail : tallies.details) {
     std::fprintf(stderr, "loadgen: %s\n", detail.c_str());
   }
-  return tallies.errors.load() == 0 && tallies.mismatches.load() == 0;
+  return tallies.errors.load() == 0 && tallies.mismatches.load() == 0 &&
+         hibernate_errors == 0;
 }
 
 int Run(const Options& options) {
@@ -517,7 +614,9 @@ int Run(const Options& options) {
 
   // In-process server unless a port was given. The server instance spans
   // the whole sweep, so later steps measure a warmed long-lived server.
-  service::SessionService service;
+  service::ServiceOptions service_options;
+  service_options.hibernate_after_seconds = options.park_after;
+  service::SessionService service(service_options);
   std::unique_ptr<net::Server> server;
   uint16_t port = options.port;
   if (port == 0) {
@@ -533,16 +632,41 @@ int Run(const Options& options) {
     port = server->port();
   }
 
+  // Park mode: a sweeper thread hibernates idle sessions while the load
+  // runs and samples the resident/parked counts for the result rows.
+  ParkMonitor monitor;
+  std::atomic<bool> stop_sweeper{false};
+  std::thread sweeper;
+  if (options.park_after > 0) {
+    sweeper = std::thread([&] {
+      const auto tick = std::chrono::duration<double>(
+          std::min(std::max(options.park_after / 4, 0.001), 0.1));
+      while (!stop_sweeper.load(std::memory_order_relaxed)) {
+        service.ParkIdleSessions();
+        monitor.Sample(service.OpenCount(), service.ResidentCount(),
+                       service.ParkedCount());
+        std::this_thread::sleep_for(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(tick));
+      }
+    });
+  }
+
   bool failed = false;
   std::string rows;
   for (size_t i = 0; i < options.session_steps.size(); ++i) {
     std::string result;
     if (!RunStep(options, options.session_steps[i], port, server != nullptr,
-                 goldens, &result)) {
+                 goldens, options.park_after > 0 ? &service : nullptr,
+                 &monitor, &result)) {
       failed = true;
     }
     if (i > 0) rows += ",\n";
     rows += result;
+  }
+
+  if (sweeper.joinable()) {
+    stop_sweeper.store(true, std::memory_order_relaxed);
+    sweeper.join();
   }
 
   if (!options.out.empty()) {
@@ -564,13 +688,20 @@ int Run(const Options& options) {
         "server, so the rows form a latency-versus-load curve. Latencies "
         "are measured client-side around each blocking ask/tell round "
         "trip, in microseconds. sessions_per_sec counts fully replayed-"
-        "and-closed sessions over that step's wall time.\",\n"
+        "and-closed sessions over that step's wall time. With --park-after "
+        "a background sweeper hibernates sessions idle past the threshold "
+        "mid-replay (serialized, checksummed, evicted from memory) and "
+        "they rehydrate transparently on their next request; the park "
+        "object records how many round trips the step exercised.\",\n"
         "  \"recorded\": \"" +
         TodayUtc() +
         "\",\n"
         "  \"acceptance\": \"max_concurrent_sessions >= 1024 in the local "
         "run, zero errors, zero byte mismatches with validation enabled, "
-        "in both RelWithDebInfo and Debug.\",\n"
+        "in both RelWithDebInfo and Debug. Rows with a park object "
+        "(--park-after) must additionally show parks > 0 and a resident-"
+        "session low-water mark below the open count, still mismatch-free "
+        "(hibernated sessions rehydrate byte-identically).\",\n"
         "  \"results\": [\n" +
         rows +
         "\n  ]\n"
