@@ -1,0 +1,32 @@
+// Heap-allocation counting for tests and benchmarks that assert an
+// allocation budget (the serving hot path claims zero-or-small-constant
+// allocations per request; tests/protocol_alloc_test.cc and the
+// BM_HandleFrame benchmarks prove it with these counters instead of
+// eyeballing profiles).
+//
+// The counters only tick in binaries that also compile
+// common/alloc_probe_hooks.cc (added via target_sources, NOT part of the
+// qlearn library): that TU replaces global operator new/delete with
+// counting wrappers. Linking it anywhere else is harmless but pointless —
+// and a binary that includes this header without the hooks TU will fail to
+// link if it calls these functions, which is the intended reminder.
+#ifndef QLEARN_COMMON_ALLOC_PROBE_H_
+#define QLEARN_COMMON_ALLOC_PROBE_H_
+
+#include <cstdint>
+
+namespace qlearn {
+namespace common {
+
+/// Global operator new (scalar + array, aligned or not) calls so far.
+/// Thread-safe (relaxed atomic); diff two reads around the region of
+/// interest.
+uint64_t AllocProbeNewCount();
+
+/// Matching operator delete calls (for leak-shaped assertions).
+uint64_t AllocProbeDeleteCount();
+
+}  // namespace common
+}  // namespace qlearn
+
+#endif  // QLEARN_COMMON_ALLOC_PROBE_H_

@@ -1,0 +1,109 @@
+// Counting replacements for the global allocation functions — see
+// alloc_probe.h for what may link this TU. The wrappers defer to
+// malloc/free, so sanitizers still intercept the underlying allocations.
+#include "common/alloc_probe.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace qlearn {
+namespace common {
+namespace {
+
+std::atomic<uint64_t> g_news{0};
+std::atomic<uint64_t> g_deletes{0};
+
+void* CountedAlloc(std::size_t size, std::size_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* pointer = nullptr;
+  if (align > alignof(std::max_align_t)) {
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    const std::size_t rounded = (size + align - 1) / align * align;
+    pointer = std::aligned_alloc(align, rounded);
+  } else {
+    pointer = std::malloc(size);
+  }
+  if (pointer == nullptr) throw std::bad_alloc();
+  return pointer;
+}
+
+void CountedFree(void* pointer) {
+  if (pointer == nullptr) return;
+  g_deletes.fetch_add(1, std::memory_order_relaxed);
+  std::free(pointer);
+}
+
+}  // namespace
+
+uint64_t AllocProbeNewCount() {
+  return g_news.load(std::memory_order_relaxed);
+}
+
+uint64_t AllocProbeDeleteCount() {
+  return g_deletes.load(std::memory_order_relaxed);
+}
+
+}  // namespace common
+}  // namespace qlearn
+
+void* operator new(std::size_t size) {
+  return qlearn::common::CountedAlloc(size, 0);
+}
+void* operator new[](std::size_t size) {
+  return qlearn::common::CountedAlloc(size, 0);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return qlearn::common::CountedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return qlearn::common::CountedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return qlearn::common::CountedAlloc(size, 0);
+  } catch (const std::bad_alloc&) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return qlearn::common::CountedAlloc(size, 0);
+  } catch (const std::bad_alloc&) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* pointer) noexcept {
+  qlearn::common::CountedFree(pointer);
+}
+void operator delete[](void* pointer) noexcept {
+  qlearn::common::CountedFree(pointer);
+}
+void operator delete(void* pointer, std::size_t) noexcept {
+  qlearn::common::CountedFree(pointer);
+}
+void operator delete[](void* pointer, std::size_t) noexcept {
+  qlearn::common::CountedFree(pointer);
+}
+void operator delete(void* pointer, std::align_val_t) noexcept {
+  qlearn::common::CountedFree(pointer);
+}
+void operator delete[](void* pointer, std::align_val_t) noexcept {
+  qlearn::common::CountedFree(pointer);
+}
+void operator delete(void* pointer, std::size_t, std::align_val_t) noexcept {
+  qlearn::common::CountedFree(pointer);
+}
+void operator delete[](void* pointer, std::size_t,
+                       std::align_val_t) noexcept {
+  qlearn::common::CountedFree(pointer);
+}
+void operator delete(void* pointer, const std::nothrow_t&) noexcept {
+  qlearn::common::CountedFree(pointer);
+}
+void operator delete[](void* pointer, const std::nothrow_t&) noexcept {
+  qlearn::common::CountedFree(pointer);
+}

@@ -52,6 +52,12 @@ void FrameReader::Feed(const char* data, size_t n) {
           state_ = State::kSkip;  // discard the body as it streams in
         } else {
           remaining_ = length;
+          // Frames that fit the string's inline (SSO) capacity need no
+          // heap buffer at all; anything larger draws on the pool instead
+          // of growing a fresh allocation.
+          if (pool_ != nullptr && partial_.capacity() < length) {
+            partial_ = pool_->Acquire();
+          }
           partial_.clear();
           partial_.reserve(static_cast<size_t>(length));
           state_ = State::kPayload;

@@ -21,6 +21,8 @@
 #include <deque>
 #include <string>
 
+#include "net/buffer_pool.h"
+
 namespace qlearn {
 namespace net {
 
@@ -54,6 +56,11 @@ class FrameReader {
   explicit FrameReader(size_t max_frame_bytes = kDefaultMaxFrameBytes)
       : max_frame_bytes_(max_frame_bytes) {}
 
+  /// Reassembly buffers come from (and event payloads should go back to)
+  /// `pool` instead of being allocated per frame. The pool must outlive
+  /// the reader; nullptr (the default) restores plain allocation.
+  void set_pool(BufferPool* pool) { pool_ = pool; }
+
   /// Consumes `n` bytes, emitting events as frames complete. Oversized
   /// payloads are discarded byte-by-byte (one kBadFrame event when the
   /// header is seen, no buffering of the body).
@@ -77,6 +84,7 @@ class FrameReader {
   enum class State { kHeader, kPayload, kSkip };
 
   size_t max_frame_bytes_;
+  BufferPool* pool_ = nullptr;
   State state_ = State::kHeader;
   unsigned char header_[kFrameHeaderBytes] = {0, 0, 0, 0};
   size_t header_filled_ = 0;

@@ -81,86 +81,159 @@ Status OptionalUInt(const Json& object, const std::string& key,
 }
 
 // ---------------------------------------------------------------------------
-// Ok-frame bodies, one writer per op. All reuse the canonical wire
-// serializations for embedded payloads.
+// Ok-frame writers, one appender per op, shared by the heap and arena
+// dispatch paths (so the two produce identical bytes by construction). All
+// reuse the canonical wire serializations for embedded payloads and append
+// into the caller's (pooled, on the server) buffer.
 
-std::string OkFrame(const std::string& body) {
-  return "{\"ok\":" + body + "}";
+void AppendUInt(uint64_t value, std::string* out) {
+  service::json::AppendUInt(value, out);
 }
 
-std::string OpenBody(const std::string& id) {
-  std::string out = "{\"id\":";
-  AppendEscaped(id, &out);
-  out.push_back('}');
-  return out;
+void AppendOkOpen(std::string_view id, std::string* out) {
+  *out += "{\"ok\":{\"id\":";
+  AppendEscaped(id, out);
+  *out += "}}";
 }
 
-std::string AskBody(const std::vector<QuestionPayload>& questions) {
-  std::string out = "{\"questions\":[";
+void AppendOkAsk(const std::vector<QuestionPayload>& questions,
+                 std::string* out) {
+  *out += "{\"ok\":{\"questions\":[";
   for (size_t i = 0; i < questions.size(); ++i) {
-    if (i > 0) out.push_back(',');
-    out += service::wire::Serialize(questions[i]);
+    if (i > 0) out->push_back(',');
+    service::wire::SerializeTo(questions[i], out);
   }
-  out += "]}";
-  return out;
+  *out += "]}}";
 }
 
-std::string OracleBody(const std::vector<bool>& labels) {
-  std::string out = "{\"labels\":";
-  AppendLabels(labels, &out);
-  out.push_back('}');
-  return out;
+void AppendOkTell(std::string* out) { *out += "{\"ok\":{}}"; }
+
+void AppendOkOracle(const std::vector<bool>& labels, std::string* out) {
+  *out += "{\"ok\":{\"labels\":";
+  AppendLabels(labels, out);
+  *out += "}}";
 }
 
-std::string StatusBody(const service::SessionStatus& status) {
-  std::string out = "{\"id\":";
-  AppendEscaped(status.id, &out);
-  out += ",\"scenario\":";
-  AppendEscaped(status.scenario, &out);
-  out += ",\"stats\":" + service::wire::Serialize(status.stats);
-  out += ",\"pending\":" + std::to_string(status.pending);
-  out += ",\"budget_exhausted\":";
-  out += status.budget_exhausted ? "true" : "false";
-  out += ",\"hypothesis\":";
-  AppendEscaped(status.hypothesis, &out);
-  out.push_back('}');
-  return out;
+void AppendOkStatus(const service::SessionStatus& status, std::string* out) {
+  *out += "{\"ok\":{\"id\":";
+  AppendEscaped(status.id, out);
+  *out += ",\"scenario\":";
+  AppendEscaped(status.scenario, out);
+  *out += ",\"stats\":";
+  service::wire::SerializeTo(status.stats, out);
+  *out += ",\"pending\":";
+  AppendUInt(status.pending, out);
+  *out += ",\"budget_exhausted\":";
+  *out += status.budget_exhausted ? "true" : "false";
+  *out += ",\"hypothesis\":";
+  AppendEscaped(status.hypothesis, out);
+  *out += "}}";
 }
 
-std::string CloseBody(const service::CloseResult& result) {
-  std::string out = "{\"hypothesis\":" +
-                    service::wire::Serialize(result.hypothesis);
-  out += ",\"stats\":" + service::wire::Serialize(result.stats);
-  out.push_back('}');
-  return out;
+void AppendOkClose(const service::CloseResult& result, std::string* out) {
+  *out += "{\"ok\":{\"hypothesis\":";
+  service::wire::SerializeTo(result.hypothesis, out);
+  *out += ",\"stats\":";
+  service::wire::SerializeTo(result.stats, out);
+  *out += "}}";
 }
 
-std::string CountersBody(const service::ServiceCounters& counters,
-                         uint64_t open_sessions, uint64_t resident_sessions,
-                         uint64_t parked_sessions) {
-  std::string out = "{\"opens\":" + std::to_string(counters.opens);
-  out += ",\"asks\":" + std::to_string(counters.asks);
-  out += ",\"tells\":" + std::to_string(counters.tells);
-  out += ",\"oracles\":" + std::to_string(counters.oracles);
-  out += ",\"statuses\":" + std::to_string(counters.statuses);
-  out += ",\"closes\":" + std::to_string(counters.closes);
-  out += ",\"errors\":" + std::to_string(counters.errors);
-  out += ",\"questions_served\":" +
-         std::to_string(counters.questions_served);
-  out += ",\"labels_accepted\":" + std::to_string(counters.labels_accepted);
-  out += ",\"hibernates\":" + std::to_string(counters.hibernates);
-  out += ",\"rehydrates\":" + std::to_string(counters.rehydrates);
-  out += ",\"hibernate_errors\":" +
-         std::to_string(counters.hibernate_errors);
-  out += ",\"open_sessions\":" + std::to_string(open_sessions);
-  out += ",\"resident_sessions\":" + std::to_string(resident_sessions);
-  out += ",\"parked_sessions\":" + std::to_string(parked_sessions);
-  out.push_back('}');
-  return out;
+/// Log2 bucket counts as a JSON array, trimmed after the last nonzero
+/// bucket (so idle histograms serialize as `[]`, and trailing-zero
+/// trimming keeps the writer deterministic for the round-trip property).
+void AppendLatencyArray(const service::LatencySnapshot& snapshot,
+                        std::string* out) {
+  size_t limit = 0;
+  for (size_t i = 0; i < service::LatencySnapshot::kBuckets; ++i) {
+    if (snapshot.buckets[i] != 0) limit = i + 1;
+  }
+  out->push_back('[');
+  for (size_t i = 0; i < limit; ++i) {
+    if (i > 0) out->push_back(',');
+    AppendUInt(snapshot.buckets[i], out);
+  }
+  out->push_back(']');
+}
+
+void AppendOkCounters(const service::ServiceCounters& counters,
+                      uint64_t open_sessions, uint64_t resident_sessions,
+                      uint64_t parked_sessions, std::string* out) {
+  *out += "{\"ok\":{\"opens\":";
+  AppendUInt(counters.opens, out);
+  *out += ",\"asks\":";
+  AppendUInt(counters.asks, out);
+  *out += ",\"tells\":";
+  AppendUInt(counters.tells, out);
+  *out += ",\"oracles\":";
+  AppendUInt(counters.oracles, out);
+  *out += ",\"statuses\":";
+  AppendUInt(counters.statuses, out);
+  *out += ",\"closes\":";
+  AppendUInt(counters.closes, out);
+  *out += ",\"errors\":";
+  AppendUInt(counters.errors, out);
+  *out += ",\"questions_served\":";
+  AppendUInt(counters.questions_served, out);
+  *out += ",\"labels_accepted\":";
+  AppendUInt(counters.labels_accepted, out);
+  *out += ",\"hibernates\":";
+  AppendUInt(counters.hibernates, out);
+  *out += ",\"rehydrates\":";
+  AppendUInt(counters.rehydrates, out);
+  *out += ",\"hibernate_errors\":";
+  AppendUInt(counters.hibernate_errors, out);
+  *out += ",\"open_sessions\":";
+  AppendUInt(open_sessions, out);
+  *out += ",\"resident_sessions\":";
+  AppendUInt(resident_sessions, out);
+  *out += ",\"parked_sessions\":";
+  AppendUInt(parked_sessions, out);
+  *out += ",\"latency_us\":{\"open\":";
+  AppendLatencyArray(counters.open_latency_us, out);
+  *out += ",\"ask\":";
+  AppendLatencyArray(counters.ask_latency_us, out);
+  *out += ",\"tell\":";
+  AppendLatencyArray(counters.tell_latency_us, out);
+  *out += ",\"oracle\":";
+  AppendLatencyArray(counters.oracle_latency_us, out);
+  *out += ",\"status\":";
+  AppendLatencyArray(counters.status_latency_us, out);
+  *out += ",\"close\":";
+  AppendLatencyArray(counters.close_latency_us, out);
+  *out += "}}}";
+}
+
+void AppendErrorFrame(const common::Status& status, std::string* out) {
+  *out += "{\"error\":{\"code\":\"";
+  *out += common::StatusCodeName(status.code());
+  *out += "\",\"message\":";
+  AppendEscaped(status.message(), out);
+  *out += "}}";
 }
 
 // ---------------------------------------------------------------------------
 // Ok-frame body parsing, one reader per op (strict, like the wire parsers).
+
+Status LatencyFromJson(const Json* value, const std::string& what,
+                       service::LatencySnapshot* out) {
+  if (value == nullptr || value->type != Json::Type::kArray) {
+    return ShapeError("missing or non-array \"" + what +
+                      "\" latency histogram");
+  }
+  if (value->array.size() > service::LatencySnapshot::kBuckets) {
+    return ShapeError(
+        "\"" + what + "\" latency histogram has more than " +
+        std::to_string(service::LatencySnapshot::kBuckets) + " buckets");
+  }
+  for (size_t i = 0; i < value->array.size(); ++i) {
+    if (value->array[i].type != Json::Type::kUInt) {
+      return ShapeError("non-integer bucket in \"" + what +
+                        "\" latency histogram");
+    }
+    out->buckets[i] = value->array[i].uint_value;
+  }
+  return Status::OK();
+}
 
 Status ParseOkBody(Request::Op op, const Json& body, Response* response) {
   if (body.type != Json::Type::kObject) {
@@ -263,6 +336,28 @@ Status ParseOkBody(Request::Op op, const Json& body, Response* response) {
       QLEARN_ASSIGN_OR_RETURN(
           response->parked_sessions,
           ToUInt(Find(body, "parked_sessions", &seen), "parked_sessions"));
+      const Json* latency = Find(body, "latency_us", &seen);
+      if (latency == nullptr || latency->type != Json::Type::kObject) {
+        return ShapeError("missing or non-object \"latency_us\"");
+      }
+      std::vector<bool> latency_seen(latency->object.size(), false);
+      QLEARN_RETURN_IF_ERROR(LatencyFromJson(
+          Find(*latency, "open", &latency_seen), "open", &c.open_latency_us));
+      QLEARN_RETURN_IF_ERROR(LatencyFromJson(
+          Find(*latency, "ask", &latency_seen), "ask", &c.ask_latency_us));
+      QLEARN_RETURN_IF_ERROR(LatencyFromJson(
+          Find(*latency, "tell", &latency_seen), "tell", &c.tell_latency_us));
+      QLEARN_RETURN_IF_ERROR(
+          LatencyFromJson(Find(*latency, "oracle", &latency_seen), "oracle",
+                          &c.oracle_latency_us));
+      QLEARN_RETURN_IF_ERROR(
+          LatencyFromJson(Find(*latency, "status", &latency_seen), "status",
+                          &c.status_latency_us));
+      QLEARN_RETURN_IF_ERROR(LatencyFromJson(
+          Find(*latency, "close", &latency_seen), "close",
+          &c.close_latency_us));
+      QLEARN_RETURN_IF_ERROR(
+          CheckAllKeysKnown(*latency, latency_seen, "\"latency_us\""));
       break;
     }
   }
@@ -358,11 +453,8 @@ common::Result<Request> ParseRequest(const std::string& text) {
 }
 
 std::string SerializeError(const common::Status& status) {
-  std::string out = "{\"error\":{\"code\":\"";
-  out += common::StatusCodeName(status.code());
-  out += "\",\"message\":";
-  AppendEscaped(status.message(), &out);
-  out += "}}";
+  std::string out;
+  AppendErrorFrame(status, &out);
   return out;
 }
 
@@ -401,8 +493,12 @@ common::Result<Response> ParseResponse(Request::Op op,
 
 std::string HandleFrame(service::SessionService* service,
                         const std::string& request_json) {
+  std::string out;
   auto request_or = ParseRequest(request_json);
-  if (!request_or.ok()) return SerializeError(request_or.status());
+  if (!request_or.ok()) {
+    AppendErrorFrame(request_or.status(), &out);
+    return out;
+  }
   const Request& request = request_or.value();
   switch (request.op) {
     case Request::Op::kOpen: {
@@ -414,42 +510,226 @@ std::string HandleFrame(service::SessionService* service,
       options.budget.max_wall_seconds =
           static_cast<double>(request.max_wall_micros) / 1e6;
       auto id = service->Open(request.scenario, options);
-      if (!id.ok()) return SerializeError(id.status());
-      return OkFrame(OpenBody(id.value()));
+      if (!id.ok()) {
+        AppendErrorFrame(id.status(), &out);
+      } else {
+        AppendOkOpen(id.value(), &out);
+      }
+      return out;
     }
     case Request::Op::kAsk: {
       auto questions = service->Ask(request.id,
                                     static_cast<size_t>(request.k));
-      if (!questions.ok()) return SerializeError(questions.status());
-      return OkFrame(AskBody(questions.value()));
+      if (!questions.ok()) {
+        AppendErrorFrame(questions.status(), &out);
+      } else {
+        AppendOkAsk(questions.value(), &out);
+      }
+      return out;
     }
     case Request::Op::kTell: {
       const common::Status status = service->Tell(request.id, request.labels);
-      if (!status.ok()) return SerializeError(status);
-      return OkFrame("{}");
+      if (!status.ok()) {
+        AppendErrorFrame(status, &out);
+      } else {
+        AppendOkTell(&out);
+      }
+      return out;
     }
     case Request::Op::kOracle: {
       auto labels = service->OracleLabels(request.id);
-      if (!labels.ok()) return SerializeError(labels.status());
-      return OkFrame(OracleBody(labels.value()));
+      if (!labels.ok()) {
+        AppendErrorFrame(labels.status(), &out);
+      } else {
+        AppendOkOracle(labels.value(), &out);
+      }
+      return out;
     }
     case Request::Op::kStatus: {
       auto status = service->Status(request.id);
-      if (!status.ok()) return SerializeError(status.status());
-      return OkFrame(StatusBody(status.value()));
+      if (!status.ok()) {
+        AppendErrorFrame(status.status(), &out);
+      } else {
+        AppendOkStatus(status.value(), &out);
+      }
+      return out;
     }
     case Request::Op::kClose: {
       auto closed = service->Close(request.id);
-      if (!closed.ok()) return SerializeError(closed.status());
-      return OkFrame(CloseBody(closed.value()));
+      if (!closed.ok()) {
+        AppendErrorFrame(closed.status(), &out);
+      } else {
+        AppendOkClose(closed.value(), &out);
+      }
+      return out;
     }
     case Request::Op::kCounters:
-      return OkFrame(CountersBody(service->Counters(), service->OpenCount(),
-                                  service->ResidentCount(),
-                                  service->ParkedCount()));
+      AppendOkCounters(service->Counters(), service->OpenCount(),
+                       service->ResidentCount(), service->ParkedCount(),
+                       &out);
+      return out;
   }
-  return SerializeError(
-      common::Status::Internal("unhandled op in HandleFrame"));
+  AppendErrorFrame(common::Status::Internal("unhandled op in HandleFrame"),
+                   &out);
+  return out;
+}
+
+common::Result<RequestView> ParseRequestView(std::string_view text,
+                                             service::json::Arena* arena) {
+  using service::json::CheckAllKeysKnown;
+  using service::json::Find;
+  using service::json::ToStringView;
+  using service::json::ToUInt;
+  using View = service::json::View;
+
+  QLEARN_ASSIGN_OR_RETURN(const View* value,
+                          service::json::ParseInto(text, arena));
+  if (value->type != Json::Type::kObject) {
+    return ShapeError("request must be an object");
+  }
+  uint64_t seen = 0;
+  QLEARN_ASSIGN_OR_RETURN(const std::string_view op,
+                          ToStringView(Find(*value, "op", &seen), "op"));
+  // Mirrors ParseRequest clause for clause — same accepted shapes, same
+  // error messages (the arena-vs-heap parity property test holds both
+  // parsers to that).
+  RequestView request;
+  if (op == "open") {
+    request.op = Request::Op::kOpen;
+    QLEARN_ASSIGN_OR_RETURN(
+        request.scenario,
+        ToStringView(Find(*value, "scenario", &seen), "scenario"));
+    const auto optional_uint = [&](std::string_view key,
+                                   uint64_t* out) -> Status {
+      const View* field = Find(*value, key, &seen);
+      if (field == nullptr) return Status::OK();
+      QLEARN_ASSIGN_OR_RETURN(*out, ToUInt(field, key));
+      return Status::OK();
+    };
+    QLEARN_RETURN_IF_ERROR(optional_uint("seed", &request.seed));
+    QLEARN_RETURN_IF_ERROR(
+        optional_uint("max_questions", &request.max_questions));
+    QLEARN_RETURN_IF_ERROR(optional_uint("max_pending", &request.max_pending));
+    QLEARN_RETURN_IF_ERROR(
+        optional_uint("max_wall_micros", &request.max_wall_micros));
+  } else if (op == "ask") {
+    request.op = Request::Op::kAsk;
+    QLEARN_ASSIGN_OR_RETURN(request.id,
+                            ToStringView(Find(*value, "id", &seen), "id"));
+    QLEARN_ASSIGN_OR_RETURN(request.k, ToUInt(Find(*value, "k", &seen), "k"));
+  } else if (op == "tell") {
+    request.op = Request::Op::kTell;
+    QLEARN_ASSIGN_OR_RETURN(request.id,
+                            ToStringView(Find(*value, "id", &seen), "id"));
+    const View* labels = Find(*value, "labels", &seen);
+    if (labels == nullptr || labels->type != Json::Type::kArray) {
+      return ShapeError("missing or non-array \"labels\"");
+    }
+    bool* decoded = static_cast<bool*>(
+        arena->Allocate(labels->element_count * sizeof(bool), alignof(bool)));
+    for (uint32_t i = 0; i < labels->element_count; ++i) {
+      if (labels->elements[i].type != Json::Type::kBool) {
+        return ShapeError("non-boolean entry in \"labels\"");
+      }
+      decoded[i] = labels->elements[i].bool_value;
+    }
+    request.labels = decoded;
+    request.label_count = labels->element_count;
+  } else if (op == "oracle" || op == "status" || op == "close") {
+    request.op = op == "oracle" ? Request::Op::kOracle
+                 : op == "status" ? Request::Op::kStatus
+                                  : Request::Op::kClose;
+    QLEARN_ASSIGN_OR_RETURN(request.id,
+                            ToStringView(Find(*value, "id", &seen), "id"));
+  } else if (op == "counters") {
+    request.op = Request::Op::kCounters;
+  } else {
+    return ShapeError("unknown op \"" + std::string(op) + "\"");
+  }
+  QLEARN_RETURN_IF_ERROR(CheckAllKeysKnown(
+      *value, seen, "\"" + std::string(op) + "\" request"));
+  return request;
+}
+
+void HandleFrameInto(service::SessionService* service,
+                     std::string_view request_json,
+                     service::json::Arena* arena, std::string* out) {
+  auto request_or = ParseRequestView(request_json, arena);
+  if (!request_or.ok()) {
+    AppendErrorFrame(request_or.status(), out);
+    return;
+  }
+  const RequestView& request = request_or.value();
+  switch (request.op) {
+    case Request::Op::kOpen: {
+      service::OpenOptions options;
+      options.seed = request.seed;
+      options.budget.max_questions = request.max_questions;
+      options.budget.max_pending = static_cast<size_t>(request.max_pending);
+      options.budget.max_wall_seconds =
+          static_cast<double>(request.max_wall_micros) / 1e6;
+      auto id = service->Open(std::string(request.scenario), options);
+      if (!id.ok()) {
+        AppendErrorFrame(id.status(), out);
+      } else {
+        AppendOkOpen(id.value(), out);
+      }
+      return;
+    }
+    case Request::Op::kAsk: {
+      auto questions =
+          service->Ask(request.id, static_cast<size_t>(request.k));
+      if (!questions.ok()) {
+        AppendErrorFrame(questions.status(), out);
+      } else {
+        AppendOkAsk(questions.value(), out);
+      }
+      return;
+    }
+    case Request::Op::kTell: {
+      const common::Status status =
+          service->Tell(request.id, request.labels, request.label_count);
+      if (!status.ok()) {
+        AppendErrorFrame(status, out);
+      } else {
+        AppendOkTell(out);
+      }
+      return;
+    }
+    case Request::Op::kOracle: {
+      auto labels = service->OracleLabels(request.id);
+      if (!labels.ok()) {
+        AppendErrorFrame(labels.status(), out);
+      } else {
+        AppendOkOracle(labels.value(), out);
+      }
+      return;
+    }
+    case Request::Op::kStatus: {
+      auto status = service->Status(request.id);
+      if (!status.ok()) {
+        AppendErrorFrame(status.status(), out);
+      } else {
+        AppendOkStatus(status.value(), out);
+      }
+      return;
+    }
+    case Request::Op::kClose: {
+      auto closed = service->Close(request.id);
+      if (!closed.ok()) {
+        AppendErrorFrame(closed.status(), out);
+      } else {
+        AppendOkClose(closed.value(), out);
+      }
+      return;
+    }
+    case Request::Op::kCounters:
+      AppendOkCounters(service->Counters(), service->OpenCount(),
+                       service->ResidentCount(), service->ParkedCount(), out);
+      return;
+  }
+  AppendErrorFrame(common::Status::Internal("unhandled op in HandleFrame"),
+                   out);
 }
 
 }  // namespace net

@@ -28,9 +28,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "service/json.h"
 #include "service/session_service.h"
 #include "service/wire.h"
 
@@ -100,8 +102,51 @@ common::Result<Response> ParseResponse(Request::Op op,
 /// frame payload. Malformed request JSON yields an error frame (never
 /// throws, never asserts) — this is the whole server-side dispatch, kept
 /// transport-free so tests can drive it without sockets.
+///
+/// This is the heap reference path; the server's reactors run
+/// HandleFrameInto below, which produces byte-identical frames (pinned by
+/// tests/wire_property_test.cc and the golden replay) without the per-node
+/// tree or per-frame result strings.
 std::string HandleFrame(service::SessionService* service,
                         const std::string& request_json);
+
+/// Arena-mode decoded request: field strings are views into the frame
+/// buffer (or the arena), labels are an arena-allocated span. Valid while
+/// both the frame bytes and the arena live.
+struct RequestView {
+  Request::Op op = Request::Op::kCounters;
+
+  // kOpen
+  std::string_view scenario;
+  uint64_t seed = session::SessionDefaults::kSeed;
+  uint64_t max_questions = service::SessionBudget{}.max_questions;
+  uint64_t max_pending = service::SessionBudget{}.max_pending;
+  uint64_t max_wall_micros = 0;
+
+  // kAsk/kTell/kOracle/kStatus/kClose
+  std::string_view id;
+
+  // kAsk
+  uint64_t k = 1;
+
+  // kTell
+  const bool* labels = nullptr;
+  uint32_t label_count = 0;
+};
+
+/// Strict parse of a request frame into arena storage: accepts and rejects
+/// exactly what ParseRequest does, with the same error messages. With a
+/// recycled arena a steady-state parse performs zero heap allocations.
+common::Result<RequestView> ParseRequestView(std::string_view text,
+                                             service::json::Arena* arena);
+
+/// Arena-mode HandleFrame: parses via `arena` (caller Resets it between
+/// frames) and appends the response frame to `*out` (a recycled buffer the
+/// caller owns). The appended bytes are exactly what HandleFrame returns
+/// for the same input — this is the request hot path of net::Server.
+void HandleFrameInto(service::SessionService* service,
+                     std::string_view request_json,
+                     service::json::Arena* arena, std::string* out);
 
 }  // namespace net
 }  // namespace qlearn

@@ -1,21 +1,34 @@
 // Framed-TCP serving front end for SessionService.
 //
-// One reactor thread owns every socket: it accepts connections, feeds
-// arriving bytes through a per-connection FrameReader, and flushes response
-// frames. Complete request frames are dispatched to a fixed pool of worker
-// threads that execute protocol::HandleFrame against the shared
-// SessionService (which is thread-safe; distinct sessions run in
-// parallel). Workers never touch sockets — they hand finished response
-// payloads back to the reactor over a completion queue and a self-pipe
-// wakeup, so all connection state is single-threaded by construction.
+// The server runs `reactors` shard threads. Each shard owns a disjoint set
+// of connections end to end — accept happens on shard 0, which hands new
+// sockets off round-robin — so connection state is single-threaded by
+// construction per shard, with no locks on the socket path. Within a
+// shard, arriving bytes stream through a per-connection FrameReader, and
+// complete request frames are executed against the shared SessionService
+// (thread-safe; distinct sessions run in parallel) in one of two modes:
+//
+//   workers > 0   a fixed per-shard worker pool runs HandleFrameInto and
+//                 hands finished responses back over a completion queue
+//                 and a self-pipe wakeup (requests park off the reactor
+//                 thread, good when learner work dominates)
+//   workers == 0  the shard thread dispatches inline — no handoff, no
+//                 context switch, pipelined requests are answered
+//                 back-to-back and flushed as one scatter-gather write
+//                 (lowest per-request cost; the BENCH_serving.json rows)
+//
+// The request path is allocation-free at steady state: frames are parsed
+// with an arena (service/json.h ParseInto), reassembly and response
+// buffers recycle through a per-shard BufferPool, and flushing walks the
+// queued frames with sendmsg(2) scatter-gather instead of concatenating.
 //
 // Per-connection protocol discipline: requests are answered strictly in
-// arrival order, one in flight at a time. Pipelined frames queue (bounded;
-// the reactor stops reading the socket past the cap, so backpressure is
-// TCP flow control, not memory growth). A malformed frame — zero-length,
-// oversized, or unparseable JSON — produces a structured error frame in
-// the same ordered stream and the connection stays usable; the connection
-// is only closed by the peer, by EOF, or by Stop().
+// arrival order. Pipelined frames queue (bounded; the reactor stops
+// reading the socket past the cap, so backpressure is TCP flow control,
+// not memory growth). A malformed frame — zero-length, oversized, or
+// unparseable JSON — produces a structured error frame in the same
+// ordered stream and the connection stays usable; the connection is only
+// closed by the peer, by EOF, or by Stop().
 #ifndef QLEARN_NET_SERVER_H_
 #define QLEARN_NET_SERVER_H_
 
@@ -36,8 +49,13 @@ struct ServerOptions {
   std::string bind_address = "127.0.0.1";
   /// TCP port; 0 picks an ephemeral port (read it back via Server::port()).
   uint16_t port = 0;
-  /// Fixed worker-pool size; must be > 0.
+  /// Worker threads per shard; 0 dispatches inline on the shard thread
+  /// (see the mode comparison above).
   size_t workers = 4;
+  /// Reactor shards; must be > 0. Each owns its connections, worker
+  /// queue, and buffer pool; accept runs on shard 0 and deals sockets
+  /// round-robin.
+  size_t reactors = 1;
   /// Frame payload cap, enforced on reads and responses alike.
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// listen(2) backlog.
@@ -45,6 +63,11 @@ struct ServerOptions {
   /// Complete frames a connection may queue before the reactor stops
   /// reading its socket (resumed as responses drain).
   size_t max_queued_frames = 32;
+  /// Buffers each shard's pool retains, and the capacity above which a
+  /// released buffer is freed instead of pooled (one oversized frame must
+  /// not pin its footprint).
+  size_t pool_buffers = 64;
+  size_t pool_buffer_bytes = 64 * 1024;
 };
 
 /// Lifetime statistics of one server, for tests and the load harness.

@@ -6,11 +6,25 @@
 // writers emit. Anything else (null, floats, negatives, duplicate keys)
 // is a ParseError, so every value that parses can be re-serialized
 // canonically and byte equality stays semantic equality.
+//
+// Two parse modes share one grammar:
+//   Parse(text)            -> Value   heap tree (strings/vectors per node)
+//   ParseInto(text, arena) -> View*   arena-backed tree whose string leaves
+//                                     are string_views into `text` (or into
+//                                     the arena when unescaping was needed)
+// The View mode is the request hot path of the TCP front end: with a
+// recycled Arena a steady-state parse performs zero heap allocations. Both
+// modes accept and reject exactly the same inputs with identical error
+// messages (tests/wire_property_test.cc drives them in lockstep), and
+// AppendView(ParseInto(s)) == s for every canonical s, the same round-trip
+// guarantee the heap mode has.
 #ifndef QLEARN_SERVICE_JSON_H_
 #define QLEARN_SERVICE_JSON_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -36,12 +50,79 @@ struct Value {
 /// error). Rejects everything outside the canonical subset.
 common::Result<Value> Parse(const std::string& text);
 
+/// Slab allocator backing one request-scoped parse tree. Reset() recycles
+/// every slab without freeing, so a long-lived Arena reaches a steady state
+/// where parsing allocates nothing. Not thread-safe; one Arena per thread
+/// (the server gives each worker its own).
+class Arena {
+ public:
+  explicit Arena(size_t slab_bytes = 16 * 1024);
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` bytes aligned to `align` (a power of two), valid until
+  /// Reset() or destruction.
+  void* Allocate(size_t bytes, size_t align);
+
+  /// Rewinds to empty, keeping every slab for reuse.
+  void Reset();
+
+  /// Total slab capacity owned (footprint bound; tests assert it plateaus).
+  size_t CapacityBytes() const;
+
+ private:
+  struct Slab {
+    char* data = nullptr;
+    size_t size = 0;
+  };
+  std::vector<Slab> slabs_;
+  size_t active_ = 0;  ///< slab currently being bump-allocated from
+  size_t used_ = 0;    ///< bytes used in slabs_[active_]
+  size_t slab_bytes_;
+};
+
+/// An arena-backed parsed value: same subset as Value, but string leaves
+/// are views (into the parsed text, or into the arena when an escape made
+/// a copy unavoidable) and children live in arena-allocated spans. Views
+/// are valid while BOTH the arena and the parsed text outlive them.
+struct View {
+  struct Member;  // key/value pair of an object
+
+  Value::Type type = Value::Type::kBool;
+  bool bool_value = false;
+  uint64_t uint_value = 0;
+  std::string_view string_value;
+  const View* elements = nullptr;  ///< kArray children
+  uint32_t element_count = 0;
+  const Member* members = nullptr;  ///< kObject members, source order
+  uint32_t member_count = 0;
+};
+
+struct View::Member {
+  std::string_view key;
+  View value;
+};
+
+/// Arena-mode Parse: one document, whole string, same strictness and the
+/// same error messages as Parse. The returned View tree lives in `arena`.
+common::Result<const View*> ParseInto(std::string_view text, Arena* arena);
+
+/// Appends the canonical serialization of a parsed View. For any string s
+/// accepted by ParseInto, AppendView(ParseInto(s)) reproduces s exactly.
+void AppendView(const View& value, std::string* out);
+
 /// Appends `text` as a quoted JSON string, escaping the canonical way
 /// (control characters as \uXXXX, UTF-8 bytes pass through verbatim).
-void AppendEscaped(const std::string& text, std::string* out);
+void AppendEscaped(std::string_view text, std::string* out);
 
 /// Appends `ids` as a JSON array of unsigned decimal integers.
 void AppendUInts(const std::vector<uint64_t>& ids, std::string* out);
+
+/// Appends `value` as unsigned decimal without allocating a temporary
+/// (std::to_string of a 20-digit value would; the hot-path writers use
+/// this instead).
+void AppendUInt(uint64_t value, std::string* out);
 
 // Strict shape helpers for converting a parsed object into a struct: Find
 // checks looked-up keys off in `seen` (one bit per member) so
@@ -55,6 +136,17 @@ common::Result<std::string> ToString(const Value* value,
                                      const std::string& what);
 common::Result<uint64_t> ToUInt(const Value* value, const std::string& what);
 common::Result<bool> ToBool(const Value* value, const std::string& what);
+
+// View-mode shape helpers, allocation-free on the happy path. The `seen`
+// bitmask replaces the vector<bool> (objects past 64 members are rejected
+// by CheckAllKeysKnown — far beyond any canonical message shape).
+const View* Find(const View& object, std::string_view key, uint64_t* seen);
+common::Status CheckAllKeysKnown(const View& object, uint64_t seen,
+                                 std::string_view what);
+common::Result<std::string_view> ToStringView(const View* value,
+                                              std::string_view what);
+common::Result<uint64_t> ToUInt(const View* value, std::string_view what);
+common::Result<bool> ToBool(const View* value, std::string_view what);
 
 }  // namespace json
 }  // namespace service

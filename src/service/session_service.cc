@@ -43,7 +43,48 @@ uint64_t ReadTrailerU64(const std::string& image, size_t at) {
   return out;
 }
 
+/// Records wall time from construction to scope exit into a histogram.
+/// Deliberately on the raw steady clock (not the injectable service clock):
+/// the histograms report observed latency, not simulated time.
+class LatencyTimer {
+ public:
+  explicit LatencyTimer(LatencyHistogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~LatencyTimer() {
+    histogram_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+ private:
+  LatencyHistogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
+
+uint64_t LatencySnapshot::Count() const {
+  uint64_t total = 0;
+  for (const uint64_t bucket : buckets) total += bucket;
+  return total;
+}
+
+uint64_t LatencySnapshot::QuantileUpperBoundMicros(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0;
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative > rank) {
+      return i == 0 ? 0 : (uint64_t{1} << i) - 1;
+    }
+  }
+  return (uint64_t{1} << (kBuckets - 1)) - 1;
+}
 
 SessionService::SessionService(session::ScenarioRegistry* registry)
     : SessionService(ServiceOptions{registry, 0, nullptr, nullptr}) {}
@@ -77,6 +118,7 @@ double SessionService::ElapsedSeconds(
 
 Result<std::string> SessionService::Open(const std::string& scenario,
                                          const OpenOptions& options) {
+  const LatencyTimer timer(&open_latency_);
   opens_.fetch_add(1, std::memory_order_relaxed);
   if (options.budget.max_pending == 0) {
     // A session that may never serve a question would look converged on
@@ -114,9 +156,9 @@ Result<std::string> SessionService::Open(const std::string& scenario,
 }
 
 std::shared_ptr<SessionService::Entry> SessionService::Find(
-    const std::string& id) const {
+    std::string_view id) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = sessions_.find(id);
+  auto it = sessions_.find(id);  // transparent lookup, no key temporary
   return it == sessions_.end() ? nullptr : it->second;
 }
 
@@ -255,7 +297,8 @@ common::Status SessionService::RehydrateLocked(const std::string& id,
   return status;
 }
 
-common::Status SessionService::Park(const std::string& id) {
+common::Status SessionService::Park(std::string_view id_view) {
+  const std::string id(id_view);  // parking is cold; materialize once
   auto entry = Find(id);
   if (entry == nullptr) {
     return Fail(common::Status::NotFound("unknown session: " + id));
@@ -311,25 +354,28 @@ size_t SessionService::ParkIdleSessions() {
 }
 
 Result<std::vector<wire::QuestionPayload>> SessionService::Ask(
-    const std::string& id, size_t k) {
+    std::string_view id, size_t k) {
+  const LatencyTimer timer(&ask_latency_);
   asks_.fetch_add(1, std::memory_order_relaxed);
   auto entry = Find(id);
   if (entry == nullptr) {
-    return Fail(common::Status::NotFound("unknown session: " + id));
+    return Fail(
+        common::Status::NotFound("unknown session: " + std::string(id)));
   }
   std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->closed) {
-    return Fail(common::Status::NotFound("session already closed: " + id));
+    return Fail(common::Status::NotFound("session already closed: " +
+                                         std::string(id)));
   }
   if (entry->parked.load(std::memory_order_relaxed)) {
-    common::Status restored = RehydrateLocked(id, entry.get());
+    common::Status restored = RehydrateLocked(std::string(id), entry.get());
     if (!restored.ok()) return Fail(std::move(restored));
   }
   entry->last_touch = clock_();
   if (entry->pending > 0) {
     return Fail(common::Status::FailedPrecondition(
-        "session " + id + " has " + std::to_string(entry->pending) +
-        " unanswered question(s); Tell first"));
+        "session " + std::string(id) + " has " +
+        std::to_string(entry->pending) + " unanswered question(s); Tell first"));
   }
   if (k == 0) {
     return Fail(common::Status::InvalidArgument("Ask needs k > 0"));
@@ -339,14 +385,14 @@ Result<std::vector<wire::QuestionPayload>> SessionService::Ask(
       ElapsedSeconds(entry->opened_at) > budget.max_wall_seconds) {
     entry->budget_exhausted = true;
     return Fail(common::Status::ResourceExhausted(
-        "session " + id + " exceeded its wall-clock budget of " +
+        "session " + std::string(id) + " exceeded its wall-clock budget of " +
         std::to_string(budget.max_wall_seconds) + "s"));
   }
   const uint64_t asked = entry->session->stats().questions;
   if (asked >= budget.max_questions) {
     entry->budget_exhausted = true;
     return Fail(common::Status::ResourceExhausted(
-        "session " + id + " exhausted its question budget of " +
+        "session " + std::string(id) + " exhausted its question budget of " +
         std::to_string(budget.max_questions)));
   }
   // Clamp the batch to both budgets; a batch truncated mid-Ask by the
@@ -371,76 +417,105 @@ Result<std::vector<wire::QuestionPayload>> SessionService::Ask(
   return payloads;
 }
 
-common::Status SessionService::Tell(const std::string& id,
-                                    const std::vector<bool>& labels) {
+template <typename MakeLabels>
+common::Status SessionService::TellImpl(std::string_view id, size_t count,
+                                        MakeLabels&& make_labels) {
+  const LatencyTimer timer(&tell_latency_);
   tells_.fetch_add(1, std::memory_order_relaxed);
   auto entry = Find(id);
   if (entry == nullptr) {
-    return Fail(common::Status::NotFound("unknown session: " + id));
+    return Fail(
+        common::Status::NotFound("unknown session: " + std::string(id)));
   }
   std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->closed) {
-    return Fail(common::Status::NotFound("session already closed: " + id));
+    return Fail(common::Status::NotFound("session already closed: " +
+                                         std::string(id)));
   }
   if (entry->parked.load(std::memory_order_relaxed)) {
-    common::Status restored = RehydrateLocked(id, entry.get());
+    common::Status restored = RehydrateLocked(std::string(id), entry.get());
     if (!restored.ok()) return Fail(std::move(restored));
   }
   entry->last_touch = clock_();
   if (entry->pending == 0) {
     return Fail(common::Status::FailedPrecondition(
-        "session " + id + " has no pending questions to answer"));
+        "session " + std::string(id) + " has no pending questions to answer"));
   }
-  if (labels.size() != entry->pending) {
+  if (count != entry->pending) {
     return Fail(common::Status::InvalidArgument(
-        "session " + id + " expects " + std::to_string(entry->pending) +
-        " label(s), got " + std::to_string(labels.size())));
+        "session " + std::string(id) + " expects " +
+        std::to_string(entry->pending) + " label(s), got " +
+        std::to_string(count)));
   }
-  entry->session->AnswerAll(labels);
+  entry->session->AnswerAll(make_labels());
   entry->pending = 0;
-  labels_accepted_.fetch_add(labels.size(), std::memory_order_relaxed);
+  labels_accepted_.fetch_add(count, std::memory_order_relaxed);
   return common::Status::OK();
 }
 
-Result<std::vector<bool>> SessionService::OracleLabels(const std::string& id) {
+common::Status SessionService::Tell(std::string_view id,
+                                    const std::vector<bool>& labels) {
+  return TellImpl(id, labels.size(),
+                  [&]() -> const std::vector<bool>& { return labels; });
+}
+
+common::Status SessionService::Tell(std::string_view id, const bool* labels,
+                                    size_t count) {
+  // AnswerAll takes vector<bool>, so the span path still materializes one —
+  // a single small allocation, the fixed per-tell cost the debug-build
+  // allocation budget in tests/protocol_alloc_test.cc accounts for.
+  return TellImpl(id, count, [&] {
+    std::vector<bool> copied(count);
+    for (size_t i = 0; i < count; ++i) copied[i] = labels[i];
+    return copied;
+  });
+}
+
+Result<std::vector<bool>> SessionService::OracleLabels(std::string_view id) {
+  const LatencyTimer timer(&oracle_latency_);
   oracles_.fetch_add(1, std::memory_order_relaxed);
   auto entry = Find(id);
   if (entry == nullptr) {
-    return Fail(common::Status::NotFound("unknown session: " + id));
+    return Fail(
+        common::Status::NotFound("unknown session: " + std::string(id)));
   }
   std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->closed) {
-    return Fail(common::Status::NotFound("session already closed: " + id));
+    return Fail(common::Status::NotFound("session already closed: " +
+                                         std::string(id)));
   }
   if (entry->parked.load(std::memory_order_relaxed)) {
-    common::Status restored = RehydrateLocked(id, entry.get());
+    common::Status restored = RehydrateLocked(std::string(id), entry.get());
     if (!restored.ok()) return Fail(std::move(restored));
   }
   entry->last_touch = clock_();
   if (entry->pending == 0) {
     return Fail(common::Status::FailedPrecondition(
-        "session " + id + " has no pending questions to label"));
+        "session " + std::string(id) + " has no pending questions to label"));
   }
   return entry->session->OracleLabels();
 }
 
-Result<SessionStatus> SessionService::Status(const std::string& id) const {
+Result<SessionStatus> SessionService::Status(std::string_view id) const {
+  const LatencyTimer timer(&status_latency_);
   statuses_.fetch_add(1, std::memory_order_relaxed);
   auto entry = Find(id);
   if (entry == nullptr) {
-    return Fail(common::Status::NotFound("unknown session: " + id));
+    return Fail(
+        common::Status::NotFound("unknown session: " + std::string(id)));
   }
   std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->closed) {
-    return Fail(common::Status::NotFound("session already closed: " + id));
+    return Fail(common::Status::NotFound("session already closed: " +
+                                         std::string(id)));
   }
   if (entry->parked.load(std::memory_order_relaxed)) {
-    common::Status restored = RehydrateLocked(id, entry.get());
+    common::Status restored = RehydrateLocked(std::string(id), entry.get());
     if (!restored.ok()) return Fail(std::move(restored));
   }
   entry->last_touch = clock_();
   SessionStatus status;
-  status.id = id;
+  status.id = std::string(id);
   status.scenario = entry->scenario;
   status.stats = entry->session->stats();
   status.pending = entry->pending;
@@ -449,7 +524,9 @@ Result<SessionStatus> SessionService::Status(const std::string& id) const {
   return status;
 }
 
-Result<CloseResult> SessionService::Close(const std::string& id) {
+Result<CloseResult> SessionService::Close(std::string_view id_view) {
+  const LatencyTimer timer(&close_latency_);
+  const std::string id(id_view);  // closes are once per session; keep simple
   closes_.fetch_add(1, std::memory_order_relaxed);
   auto entry = Find(id);
   if (entry == nullptr) {
@@ -537,6 +614,12 @@ ServiceCounters SessionService::Counters() const {
   counters.rehydrates = rehydrates_.load(std::memory_order_relaxed);
   counters.hibernate_errors =
       hibernate_errors_.load(std::memory_order_relaxed);
+  counters.open_latency_us = open_latency_.Snapshot();
+  counters.ask_latency_us = ask_latency_.Snapshot();
+  counters.tell_latency_us = tell_latency_.Snapshot();
+  counters.oracle_latency_us = oracle_latency_.Snapshot();
+  counters.status_latency_us = status_latency_.Snapshot();
+  counters.close_latency_us = close_latency_.Snapshot();
   return counters;
 }
 

@@ -48,7 +48,10 @@
 #ifndef QLEARN_SERVICE_SESSION_SERVICE_H_
 #define QLEARN_SERVICE_SESSION_SERVICE_H_
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -56,6 +59,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -114,6 +118,42 @@ struct SessionStatus {
   std::string hypothesis;        ///< current rendering
 };
 
+/// Point-in-time copy of one LatencyHistogram: bucket i counts samples
+/// whose microsecond duration has bit width i, i.e. [2^(i-1), 2^i); bucket
+/// 0 is sub-microsecond. 28 buckets top out above two minutes.
+struct LatencySnapshot {
+  static constexpr size_t kBuckets = 28;
+  std::array<uint64_t, kBuckets> buckets{};
+
+  uint64_t Count() const;
+  /// Upper edge (µs) of the bucket holding quantile q of the recorded
+  /// samples — a factor-of-two estimate, which is all a log2 histogram
+  /// promises. Returns 0 when empty.
+  uint64_t QuantileUpperBoundMicros(double q) const;
+};
+
+/// Lock-free fixed-bucket (log2) latency histogram. Record is two relaxed
+/// atomic ops, cheap enough for every request; snapshots are torn-by-one
+/// like the counters.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t micros) {
+    const size_t b = std::min<size_t>(std::bit_width(micros),
+                                      LatencySnapshot::kBuckets - 1);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  }
+  LatencySnapshot Snapshot() const {
+    LatencySnapshot snapshot;
+    for (size_t i = 0; i < LatencySnapshot::kBuckets; ++i) {
+      snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return snapshot;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, LatencySnapshot::kBuckets> buckets_{};
+};
+
 /// Monotonic service-wide operation counters — what a front end or load
 /// generator reads to compute served throughput without instrumenting the
 /// transport. Snapshot semantics: fields are read individually (relaxed),
@@ -132,6 +172,16 @@ struct ServiceCounters {
   uint64_t hibernates = 0;        ///< sessions parked to the snapshot store
   uint64_t rehydrates = 0;        ///< sessions restored from their image
   uint64_t hibernate_errors = 0;  ///< failed park or rehydrate attempts
+
+  /// Server-side per-op latency histograms (µs, log2 buckets), measured
+  /// around the whole service call — so latency is observable over the
+  /// `counters` op without a client-side harness.
+  LatencySnapshot open_latency_us;
+  LatencySnapshot ask_latency_us;
+  LatencySnapshot tell_latency_us;
+  LatencySnapshot oracle_latency_us;
+  LatencySnapshot status_latency_us;
+  LatencySnapshot close_latency_us;
 };
 
 /// What Close() returns: the final hypothesis and final counters (the
@@ -159,33 +209,38 @@ class SessionService {
   /// budgets). An empty batch means the session converged: every item is
   /// labeled or uninformative. Fails with FailedPrecondition while a batch
   /// is unanswered and with ResourceExhausted once a budget is hit.
-  common::Result<std::vector<wire::QuestionPayload>> Ask(const std::string& id,
+  /// (string_view ids throughout: the TCP hot path resolves handles
+  /// straight out of the frame buffer without materializing a string.)
+  common::Result<std::vector<wire::QuestionPayload>> Ask(std::string_view id,
                                                          size_t k);
 
   /// Labels the pending batch, in order. The label count must match the
   /// pending count exactly (InvalidArgument otherwise).
-  common::Status Tell(const std::string& id, const std::vector<bool>& labels);
+  common::Status Tell(std::string_view id, const std::vector<bool>& labels);
+  /// Span form for callers that already hold the labels contiguously (the
+  /// arena request path) — avoids materializing a vector<bool> per call.
+  common::Status Tell(std::string_view id, const bool* labels, size_t count);
 
   /// Labels the built-in goal oracle would give the pending batch — for
   /// demos, smoke tests, and load generation against built-in scenarios.
-  common::Result<std::vector<bool>> OracleLabels(const std::string& id);
+  common::Result<std::vector<bool>> OracleLabels(std::string_view id);
 
   /// Snapshot of the session's counters, pending batch, and hypothesis.
-  common::Result<SessionStatus> Status(const std::string& id) const;
+  common::Result<SessionStatus> Status(std::string_view id) const;
 
   /// Finishes the session, returns the final hypothesis and counters, and
   /// releases the handle (subsequent calls on it return NotFound). A parked
   /// session is rehydrated first so Finish can run; if its image is
   /// unrecoverable the handle is still released and the rehydration error
   /// returned.
-  common::Result<CloseResult> Close(const std::string& id);
+  common::Result<CloseResult> Close(std::string_view id);
 
   /// Hibernates one session now: serializes it into a checksummed image in
   /// the snapshot store and evicts the in-memory learner state. Requires
   /// quiescence — a pending batch fails with FailedPrecondition. Parking a
   /// parked session is a no-op; the handle stays listed and rehydrates on
   /// the next call.
-  common::Status Park(const std::string& id);
+  common::Status Park(std::string_view id);
 
   /// Idle sweep: parks every session whose last call is at least
   /// hibernate_after_seconds ago (no-op when that knob is 0). Skips
@@ -228,7 +283,14 @@ class SessionService {
     std::atomic<bool> parked{false};
   };
 
-  std::shared_ptr<Entry> Find(const std::string& id) const;
+  std::shared_ptr<Entry> Find(std::string_view id) const;
+
+  /// Shared body of the two Tell overloads; `make_labels()` materializes
+  /// (or passes through) the vector AnswerAll consumes, called only once
+  /// every precondition holds.
+  template <typename MakeLabels>
+  common::Status TellImpl(std::string_view id, size_t count,
+                          MakeLabels&& make_labels);
 
   /// Counts a failed call and passes the status through (so error returns
   /// read `return Fail(Status::...)`).
@@ -249,7 +311,9 @@ class SessionService {
   std::shared_ptr<SnapshotStore> snapshot_store_;
   std::function<std::chrono::steady_clock::time_point()> clock_;
   mutable std::mutex mutex_;  // guards sessions_ and next_id_
-  std::map<std::string, std::shared_ptr<Entry>> sessions_;
+  // Transparent comparator: the hot path resolves string_view handles
+  // without building a temporary std::string key.
+  std::map<std::string, std::shared_ptr<Entry>, std::less<>> sessions_;
   uint64_t next_id_ = 1;
 
   // Relaxed atomics: the counters are independent monotonic tallies, not
@@ -266,6 +330,16 @@ class SessionService {
   mutable std::atomic<uint64_t> hibernates_{0};
   mutable std::atomic<uint64_t> rehydrates_{0};
   mutable std::atomic<uint64_t> hibernate_errors_{0};
+
+  // Per-op latency histograms (µs since op entry, including rehydration
+  // and learner work). Mutable like the counters: Status() is const but
+  // still observed.
+  mutable LatencyHistogram open_latency_;
+  mutable LatencyHistogram ask_latency_;
+  mutable LatencyHistogram tell_latency_;
+  mutable LatencyHistogram oracle_latency_;
+  mutable LatencyHistogram status_latency_;
+  mutable LatencyHistogram close_latency_;
 };
 
 }  // namespace service

@@ -45,10 +45,14 @@ void AppendHypothesis(const HypothesisPayload& payload, std::string* out) {
 }
 
 void AppendStats(const session::SessionStats& stats, std::string* out) {
-  *out += "{\"questions\":" + std::to_string(stats.questions);
-  *out += ",\"forced_positive\":" + std::to_string(stats.forced_positive);
-  *out += ",\"forced_negative\":" + std::to_string(stats.forced_negative);
-  *out += ",\"conflicts\":" + std::to_string(stats.conflicts);
+  *out += "{\"questions\":";
+  json::AppendUInt(stats.questions, out);
+  *out += ",\"forced_positive\":";
+  json::AppendUInt(stats.forced_positive, out);
+  *out += ",\"forced_negative\":";
+  json::AppendUInt(stats.forced_negative, out);
+  *out += ",\"conflicts\":";
+  json::AppendUInt(stats.conflicts, out);
   out->push_back('}');
 }
 
@@ -203,6 +207,18 @@ std::string Serialize(const session::SessionStats& stats) {
   std::string out;
   AppendStats(stats, &out);
   return out;
+}
+
+void SerializeTo(const QuestionPayload& payload, std::string* out) {
+  AppendQuestion(payload, out);
+}
+
+void SerializeTo(const HypothesisPayload& payload, std::string* out) {
+  AppendHypothesis(payload, out);
+}
+
+void SerializeTo(const session::SessionStats& stats, std::string* out) {
+  AppendStats(stats, out);
 }
 
 std::string Serialize(const TranscriptEvent& event) {

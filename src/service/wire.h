@@ -87,6 +87,13 @@ std::string Serialize(const QuestionPayload& payload);
 std::string Serialize(const HypothesisPayload& payload);
 std::string Serialize(const session::SessionStats& stats);
 std::string Serialize(const TranscriptEvent& event);
+
+// Append forms of the same serializations, for writers that assemble a
+// larger frame into one (pooled) buffer — the TCP response hot path. The
+// bytes appended are exactly what Serialize returns.
+void SerializeTo(const QuestionPayload& payload, std::string* out);
+void SerializeTo(const HypothesisPayload& payload, std::string* out);
+void SerializeTo(const session::SessionStats& stats, std::string* out);
 /// One event per line, trailing newline after each (JSONL).
 std::string SerializeTranscript(const std::vector<TranscriptEvent>& events);
 

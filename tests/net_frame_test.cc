@@ -328,6 +328,68 @@ TEST(ServerRobustnessTest, PipelinedRequestsAnswerInOrder) {
   server.Stop();
 }
 
+TEST(BufferPoolTest, RecyclesCapacityAndEnforcesCaps) {
+  BufferPool pool(/*max_buffers=*/2, /*max_buffer_bytes=*/1024);
+  std::string buffer = pool.Acquire();
+  EXPECT_TRUE(buffer.empty());
+  buffer.assign(512, 'x');
+  const size_t capacity = buffer.capacity();
+  pool.Release(std::move(buffer));
+  EXPECT_EQ(pool.PooledCount(), 1u);
+
+  // The next Acquire reuses the released capacity, cleared.
+  std::string reused = pool.Acquire();
+  EXPECT_TRUE(reused.empty());
+  EXPECT_GE(reused.capacity(), capacity);
+  EXPECT_EQ(pool.PooledCount(), 0u);
+
+  // A buffer that outgrew the per-buffer cap is dropped, not pooled.
+  std::string oversized(4096, 'y');
+  pool.Release(std::move(oversized));
+  EXPECT_EQ(pool.PooledCount(), 0u);
+
+  // The free list is bounded at max_buffers.
+  for (int i = 0; i < 5; ++i) {
+    std::string b(64, 'z');
+    pool.Release(std::move(b));
+  }
+  EXPECT_EQ(pool.PooledCount(), 2u);
+
+  // Capacity-less strings are not worth pooling.
+  pool.Release(std::string());
+  EXPECT_EQ(pool.PooledCount(), 2u);
+}
+
+TEST(BufferPoolTest, FrameReaderDrawsReassemblyBuffersFromThePool) {
+  BufferPool pool(/*max_buffers=*/4, /*max_buffer_bytes=*/1024);
+  FrameReader reader;
+  reader.set_pool(&pool);
+
+  // Seed the pool with one recognizable buffer.
+  std::string seeded;
+  seeded.reserve(256);
+  pool.Release(std::move(seeded));
+  ASSERT_EQ(pool.PooledCount(), 1u);
+
+  const std::string wire = Framed("{\"op\":\"counters\"}");
+  reader.Feed(wire.data(), wire.size());
+  ASSERT_TRUE(reader.HasEvent());
+  FrameReader::Event event = reader.Next();
+  EXPECT_EQ(event.payload, "{\"op\":\"counters\"}");
+  // The reassembly buffer came from the pool...
+  EXPECT_EQ(pool.PooledCount(), 0u);
+  // ...and the consumer hands the payload back, completing the cycle.
+  pool.Release(std::move(event.payload));
+  EXPECT_EQ(pool.PooledCount(), 1u);
+
+  // Steady state: framing the same payload again reuses that one buffer.
+  reader.Feed(wire.data(), wire.size());
+  ASSERT_TRUE(reader.HasEvent());
+  FrameReader::Event again = reader.Next();
+  EXPECT_EQ(again.payload, "{\"op\":\"counters\"}");
+  EXPECT_EQ(pool.PooledCount(), 0u);
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace qlearn

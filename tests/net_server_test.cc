@@ -3,7 +3,10 @@
 // real sockets. The centerpiece replays one golden transcript per scenario
 // kind and asserts the question stream served over TCP is byte-identical to
 // the checked-in golden — the wire format is canonical JSON, so byte
-// equality is semantic equality.
+// equality is semantic equality. The replay and the concurrent-client
+// hammer run under every dispatch configuration (worker pool, inline
+// dispatch, multiple reactor shards), since the golden bytes must not
+// depend on how the server schedules work.
 #include <cstdint>
 #include <set>
 #include <string>
@@ -30,6 +33,38 @@ class NetServerTest : public ::testing::Test {
   void SetUp() override {
     ServerOptions options;
     options.workers = 4;
+    server_ = std::make_unique<Server>(&service_, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  void TearDown() override { server_->Stop(); }
+
+  Client Connect() {
+    auto client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  service::SessionService service_;
+  std::unique_ptr<Server> server_;
+};
+
+/// A dispatch configuration the byte-identity suite runs under.
+struct ServerConfig {
+  const char* name;
+  size_t workers;
+  size_t reactors;
+};
+
+void PrintTo(const ServerConfig& config, std::ostream* os) {
+  *os << config.name;
+}
+
+class NetServerConfigTest : public ::testing::TestWithParam<ServerConfig> {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.workers = GetParam().workers;
+    options.reactors = GetParam().reactors;
     server_ = std::make_unique<Server>(&service_, options);
     ASSERT_TRUE(server_->Start().ok());
   }
@@ -138,7 +173,7 @@ std::vector<testing::TranscriptCase> OnePerScenarioKind() {
   return picked;
 }
 
-TEST_F(NetServerTest, GoldenTranscriptsReplayByteIdenticalOverTcp) {
+TEST_P(NetServerConfigTest, GoldenTranscriptsReplayByteIdenticalOverTcp) {
   const auto cases = OnePerScenarioKind();
   ASSERT_GE(cases.size(), 5u);  // twig, twig-ambiguity, join, path, chain
   Client client = Connect();
@@ -152,6 +187,89 @@ TEST_F(NetServerTest, GoldenTranscriptsReplayByteIdenticalOverTcp) {
         ReplayOverSocket(&client, events.value());
     for (const std::string& m : mismatches) ADD_FAILURE() << m;
   }
+}
+
+TEST_P(NetServerConfigTest, ConcurrentClientsReplayUnderEveryDispatchMode) {
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kThreads);
+  const uint16_t port = server_->port();
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, port, &failures] {
+      auto client_or = Client::Connect("127.0.0.1", port);
+      if (!client_or.ok()) {
+        failures[t] = client_or.status().ToString();
+        return;
+      }
+      Client client = std::move(client_or).value();
+      const char* scenarios[] = {"twig", "join", "chain", "path"};
+      service::OpenOptions options;
+      options.seed = 11 + static_cast<uint64_t>(t);
+      auto id = client.Open(scenarios[t % 4], options);
+      if (!id.ok()) {
+        failures[t] = id.status().ToString();
+        return;
+      }
+      while (true) {
+        auto batch = client.Ask(id.value(), 3);
+        if (!batch.ok()) {
+          failures[t] = batch.status().ToString();
+          return;
+        }
+        if (batch.value().empty()) break;
+        auto labels = client.OracleLabels(id.value());
+        if (!labels.ok()) {
+          failures[t] = labels.status().ToString();
+          return;
+        }
+        const common::Status told = client.Tell(id.value(), labels.value());
+        if (!told.ok()) {
+          failures[t] = told.ToString();
+          return;
+        }
+      }
+      if (!client.Close(id.value()).ok()) failures[t] = "close failed";
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], "") << "thread " << t;
+  }
+  EXPECT_EQ(service_.OpenCount(), 0u);
+  // Per-shard stats sum to the fleet totals regardless of sharding.
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.connections_accepted, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.bad_frames, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DispatchModes, NetServerConfigTest,
+    ::testing::Values(ServerConfig{"worker_pool", 4, 1},
+                      ServerConfig{"inline_dispatch", 0, 1},
+                      ServerConfig{"sharded_workers", 2, 2},
+                      ServerConfig{"sharded_inline", 0, 3}),
+    [](const ::testing::TestParamInfo<ServerConfig>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(NetServerOptionsTest, ZeroReactorsIsRejectedZeroWorkersIsInline) {
+  service::SessionService service;
+  ServerOptions zero_reactors;
+  zero_reactors.reactors = 0;
+  Server bad(&service, zero_reactors);
+  EXPECT_EQ(bad.Start().code(), StatusCode::kInvalidArgument);
+
+  // workers == 0 is a supported mode (inline dispatch), not an error.
+  ServerOptions inline_mode;
+  inline_mode.workers = 0;
+  Server good(&service, inline_mode);
+  ASSERT_TRUE(good.Start().ok());
+  auto client = Client::Connect("127.0.0.1", good.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto id = client.value().Open("twig", {});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_TRUE(client.value().Close(id.value()).ok());
+  good.Stop();
 }
 
 TEST_F(NetServerTest, OpenAskTellCloseRoundTrip) {

@@ -2,12 +2,21 @@
 // (Serialize(Parse(s)) == s and Parse(Serialize(p)) == p) over randomly
 // generated payloads for all four item types, random transcript events of
 // every kind, whole transcripts, and rejection of malformed input.
+//
+// Also pins the arena parser (json::ParseInto) to the heap parser
+// (json::Parse): over the same random and mutated inputs both must agree
+// on accept/reject, report byte-identical error messages, and — for every
+// accepted canonical document — AppendView must reproduce the input bytes.
+// The server's hot path runs the arena parser, so any drift between the
+// two is a wire-visible bug.
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
+#include "service/json.h"
 #include "service/wire.h"
 #include "session/session.h"
 
@@ -168,6 +177,147 @@ TEST_P(WireRoundTrip, WholeTranscripts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTrip, ::testing::Range(0, 20));
+
+/// Heap and arena parses of `text` must agree: same verdict, identical
+/// error message on rejection, and on acceptance the arena view serializes
+/// back (canonical inputs reproduce their bytes; the round trip is checked
+/// by the callers that know the input is canonical).
+void ExpectParserParity(const std::string& text) {
+  auto heap = json::Parse(text);
+  json::Arena arena;
+  auto view = json::ParseInto(text, &arena);
+  ASSERT_EQ(heap.ok(), view.ok())
+      << "parsers disagree on: " << text << "\nheap: "
+      << (heap.ok() ? "ok" : heap.status().ToString()) << "\narena: "
+      << (view.ok() ? "ok" : view.status().ToString());
+  if (!heap.ok()) {
+    EXPECT_EQ(heap.status().ToString(), view.status().ToString()) << text;
+    return;
+  }
+  // Accepted: the view must serialize, and re-parsing its serialization
+  // must be a fixed point (AppendView of a canonical document is itself).
+  std::string serialized;
+  json::AppendView(*view.value(), &serialized);
+  json::Arena second_arena;
+  auto reparsed = json::ParseInto(serialized, &second_arena);
+  ASSERT_TRUE(reparsed.ok()) << serialized;
+  std::string again;
+  json::AppendView(*reparsed.value(), &again);
+  EXPECT_EQ(again, serialized) << text;
+}
+
+class ArenaParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArenaParity, CanonicalPayloadsOfAllFourItemTypes) {
+  common::Rng rng(GetParam() * 15013 + 7);
+  json::Arena arena;
+  for (int i = 0; i < 50; ++i) {
+    const std::string s = Serialize(RandomQuestion(&rng));
+    arena.Reset();
+    auto view = json::ParseInto(s, &arena);
+    ASSERT_TRUE(view.ok()) << s << ": " << view.status().ToString();
+    std::string serialized;
+    json::AppendView(*view.value(), &serialized);
+    EXPECT_EQ(serialized, s);  // byte-identical to the heap writer
+  }
+}
+
+TEST_P(ArenaParity, CanonicalEventsAndStats) {
+  common::Rng rng(GetParam() * 27791 + 13);
+  json::Arena arena;
+  for (int i = 0; i < 40; ++i) {
+    const std::string s = Serialize(RandomEvent(&rng));
+    arena.Reset();
+    auto view = json::ParseInto(s, &arena);
+    ASSERT_TRUE(view.ok()) << s << ": " << view.status().ToString();
+    std::string serialized;
+    json::AppendView(*view.value(), &serialized);
+    EXPECT_EQ(serialized, s);
+  }
+}
+
+TEST_P(ArenaParity, MutatedInputsRejectIdentically) {
+  common::Rng rng(GetParam() * 9973 + 29);
+  // Start from valid documents and corrupt them: truncation, byte flips,
+  // injected junk. Whatever the verdict, both parsers must say the same
+  // thing, byte for byte (the server's error frames come from these
+  // messages).
+  for (int i = 0; i < 60; ++i) {
+    std::string s = Serialize(RandomEvent(&rng));
+    switch (rng.Index(4)) {
+      case 0:  // truncate
+        s.resize(rng.Uniform(s.size() + 1));
+        break;
+      case 1:  // flip one byte to a printable character
+        if (!s.empty()) {
+          s[rng.Index(s.size())] =
+              static_cast<char>(' ' + rng.Uniform(95));
+        }
+        break;
+      case 2:  // append trailing junk
+        s += static_cast<char>(' ' + rng.Uniform(95));
+        break;
+      default:  // insert a byte mid-document
+        s.insert(rng.Uniform(s.size() + 1), 1,
+                 static_cast<char>(' ' + rng.Uniform(95)));
+        break;
+    }
+    ExpectParserParity(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArenaParity, ::testing::Range(0, 20));
+
+TEST(ArenaParityTest, MalformedCorpusRejectsIdentically) {
+  const char* kMalformed[] = {
+      "",
+      "{",
+      "}",
+      "nul",
+      "truely",
+      "\"unterminated",
+      "\"bad \\q escape\"",
+      "{\"a\":1,}",
+      "{\"a\" 1}",
+      "[1,]",
+      "[1 2]",
+      "{\"a\":01}",
+      "{\"a\":-1}",
+      "{\"a\":1.5}",
+      "{\"a\":99999999999999999999999}",
+      "{\"a\":1} trailing",
+      "  {\"a\":1}",
+      "{\"a\":\"\x01\"}",  // raw control character in a string
+  };
+  for (const char* text : kMalformed) {
+    ExpectParserParity(text);
+  }
+}
+
+TEST(ArenaParityTest, EscapedStringsDecodeIdentically) {
+  // The arena parser has a zero-copy fast path for escape-free strings and
+  // a decode path for escaped ones; both must match the heap parser's
+  // decoding exactly, pinned here through the canonical writer.
+  const char* kDocuments[] = {
+      "{\"k\":\"plain\"}",
+      "{\"k\":\"quote \\\" backslash \\\\\"}",
+      "{\"k\":\"\\b\\f\\n\\r\\t\"}",
+      "{\"k\":\"\\u0001\\u001f\"}",
+      "{\"k\":\"\"}",
+      "{\"\\n\":\"escaped key\"}",
+  };
+  json::Arena arena;
+  for (const char* text : kDocuments) {
+    auto heap = json::Parse(text);
+    ASSERT_TRUE(heap.ok()) << text;
+    arena.Reset();
+    auto view = json::ParseInto(text, &arena);
+    ASSERT_TRUE(view.ok()) << text << ": " << view.status().ToString();
+    std::string serialized;
+    json::AppendView(*view.value(), &serialized);
+    EXPECT_EQ(serialized, text);
+  }
+}
 
 TEST(WireRejectionTest, MalformedInputIsParseError) {
   const char* kMalformed[] = {

@@ -23,9 +23,23 @@
 //
 // Usage:
 //   loadgen [--sessions=1280] [--connections=8] [--rate=0]
-//           [--server_workers=4] [--host=127.0.0.1] [--port=0]
+//           [--server_workers=0] [--reactors=1] [--warmup=0]
+//           [--host=127.0.0.1] [--port=0]
 //           [--golden_dir=DIR] [--label=relwithdebinfo] [--out=FILE]
 //           [--no-validate] [--park-after=SECONDS]
+//
+// --server_workers is per reactor shard; 0 (the default) dispatches
+// requests inline on the shard thread, the server's lowest-cost mode.
+// --reactors picks the shard count of the in-process server. --warmup=N
+// replays N sessions before the recorded steps, so pools, arenas, and the
+// page cache are warm and the first row is not measuring cold start; the
+// warmup row prints (labelled "<label>-warmup") but is not written to
+// --out.
+//
+// Alongside the client-side round-trip latencies, each row carries the
+// server's own per-op log2 latency histograms ("server_latency_us"),
+// fetched over the counters op before and after the step and differenced,
+// so a row shows both wire latency and in-service handling time.
 //
 // --park-after=S turns on session hibernation in the in-process service
 // (sessions idle >= S seconds are serialized to the snapshot store and
@@ -87,7 +101,9 @@ struct Options {
   std::vector<size_t> session_steps = {1280};
   size_t connections = 8;
   double rate = 0;  // session arrivals per second; 0 = all due immediately
-  size_t server_workers = 4;
+  size_t server_workers = 0;  // per shard; 0 = inline dispatch
+  size_t reactors = 1;
+  size_t warmup = 0;  // sessions replayed (and discarded) before step one
   std::string golden_dir = QLEARN_GOLDEN_DIR;
   std::string label = "local";
   std::string out;  // append the result object to this BENCH-style file
@@ -127,6 +143,10 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       options->rate = std::stod(value);
     } else if (ParseFlag(arg, "server_workers", &value)) {
       options->server_workers = std::stoul(value);
+    } else if (ParseFlag(arg, "reactors", &value)) {
+      options->reactors = std::stoul(value);
+    } else if (ParseFlag(arg, "warmup", &value)) {
+      options->warmup = std::stoul(value);
     } else if (ParseFlag(arg, "golden_dir", &value)) {
       options->golden_dir = value;
     } else if (ParseFlag(arg, "label", &value)) {
@@ -144,6 +164,10 @@ bool ParseOptions(int argc, char** argv, Options* options) {
   }
   if (options->session_steps.empty() || options->connections == 0) {
     std::fprintf(stderr, "loadgen: --sessions and --connections must be > 0\n");
+    return false;
+  }
+  if (options->reactors == 0) {
+    std::fprintf(stderr, "loadgen: --reactors must be > 0\n");
     return false;
   }
   for (size_t step : options->session_steps) {
@@ -490,6 +514,42 @@ void AppendLatency(const char* key, const LatencySummary& s,
   *out += buffer;
 }
 
+/// New activity in a server-side histogram since the step began.
+service::LatencySnapshot DiffSnapshot(const service::LatencySnapshot& after,
+                                      const service::LatencySnapshot& before) {
+  service::LatencySnapshot diff;
+  for (size_t i = 0; i < service::LatencySnapshot::kBuckets; ++i) {
+    diff.buckets[i] = after.buckets[i] - before.buckets[i];
+  }
+  return diff;
+}
+
+/// Quantiles from the server's log2 histogram; the values are bucket upper
+/// bounds (hence the _le suffix), not exact order statistics.
+void AppendServerLatency(const char* key, const service::LatencySnapshot& s,
+                         std::string* out) {
+  char buffer[160];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "\"%s\":{\"count\":%llu,\"p50_le\":%llu,\"p99_le\":%llu}", key,
+      static_cast<unsigned long long>(s.Count()),
+      static_cast<unsigned long long>(s.QuantileUpperBoundMicros(0.50)),
+      static_cast<unsigned long long>(s.QuantileUpperBoundMicros(0.99)));
+  *out += buffer;
+}
+
+/// Snapshot of the server's per-op histograms over a dedicated probe
+/// connection (works against in-process and external servers alike).
+bool FetchServerCounters(const Options& options, uint16_t port,
+                         service::ServiceCounters* counters) {
+  auto probe = net::Client::Connect(options.host, port);
+  if (!probe.ok()) return false;
+  auto fetched = probe.value().Counters();
+  if (!fetched.ok()) return false;
+  *counters = std::move(fetched).value().first;
+  return true;
+}
+
 std::string TodayUtc() {
   const std::time_t now = std::time(nullptr);
   std::tm parts;
@@ -502,9 +562,12 @@ std::string TodayUtc() {
 /// One load step: replays `sessions` transcript sessions against the server
 /// at `port`, appends the result row to `*result`, and returns true when
 /// the step was error- and mismatch-free. `service`/`monitor` are non-null
-/// in --park-after mode and add a "park" object to the row.
+/// in --park-after mode and add a "park" object to the row. A warmup step
+/// runs and validates identically but is labelled as warmup (the caller
+/// drops its row from the BENCH file).
 bool RunStep(const Options& options, size_t sessions, uint16_t port,
-             bool in_process_server, const std::vector<Golden>& goldens,
+             bool in_process_server, bool warmup,
+             const std::vector<Golden>& goldens,
              service::SessionService* service, ParkMonitor* monitor,
              std::string* result) {
   Tallies tallies;
@@ -515,6 +578,9 @@ bool RunStep(const Options& options, size_t sessions, uint16_t port,
     before = service->Counters();
     rss_before_mib = RssMib();
   }
+  service::ServiceCounters server_before;
+  const bool have_server_counters =
+      FetchServerCounters(options, port, &server_before);
   std::vector<Samples> samples(options.connections);
   const Clock::time_point start = Clock::now();
   std::vector<std::thread> threads;
@@ -543,13 +609,15 @@ bool RunStep(const Options& options, size_t sessions, uint16_t port,
 
   *result = "    {\n      ";
   char buffer[512];
+  const std::string label =
+      warmup ? options.label + "-warmup" : options.label;
   std::snprintf(buffer, sizeof(buffer),
                 "\"label\":\"%s\",\n      \"config\":{\"sessions\":%zu,"
                 "\"connections\":%zu,\"rate_per_sec\":%.0f,"
-                "\"server_workers\":%zu,\"in_process_server\":%s,"
-                "\"goldens\":%zu},\n      ",
-                options.label.c_str(), sessions, options.connections,
-                options.rate, options.server_workers,
+                "\"server_workers\":%zu,\"reactors\":%zu,"
+                "\"in_process_server\":%s,\"goldens\":%zu},\n      ",
+                label.c_str(), sessions, options.connections, options.rate,
+                options.server_workers, options.reactors,
                 in_process_server ? "true" : "false", goldens.size());
   *result += buffer;
   std::snprintf(buffer, sizeof(buffer),
@@ -576,6 +644,27 @@ bool RunStep(const Options& options, size_t sessions, uint16_t port,
                 options.validate ? "true" : "false",
                 static_cast<unsigned long long>(tallies.mismatches.load()));
   *result += buffer;
+  service::ServiceCounters server_after;
+  if (have_server_counters &&
+      FetchServerCounters(options, port, &server_after)) {
+    *result += ",\n      \"server_latency_us\":{";
+    AppendServerLatency("open", DiffSnapshot(server_after.open_latency_us,
+                                             server_before.open_latency_us),
+                        result);
+    *result += ",";
+    AppendServerLatency("ask", DiffSnapshot(server_after.ask_latency_us,
+                                            server_before.ask_latency_us),
+                        result);
+    *result += ",";
+    AppendServerLatency("tell", DiffSnapshot(server_after.tell_latency_us,
+                                             server_before.tell_latency_us),
+                        result);
+    *result += ",";
+    AppendServerLatency("close", DiffSnapshot(server_after.close_latency_us,
+                                              server_before.close_latency_us),
+                        result);
+    *result += "}";
+  }
   uint64_t hibernate_errors = 0;
   if (service != nullptr) {
     const service::ServiceCounters after = service->Counters();
@@ -622,6 +711,7 @@ int Run(const Options& options) {
   if (port == 0) {
     net::ServerOptions server_options;
     server_options.workers = options.server_workers;
+    server_options.reactors = options.reactors;
     server = std::make_unique<net::Server>(&service, server_options);
     const common::Status started = server->Start();
     if (!started.ok()) {
@@ -652,12 +742,24 @@ int Run(const Options& options) {
   }
 
   bool failed = false;
+  if (options.warmup > 0) {
+    // Same replay and validation as a recorded step; only the row is
+    // discarded, so a warmup mismatch still fails the run.
+    std::string ignored;
+    if (!RunStep(options, options.warmup, port, server != nullptr,
+                 /*warmup=*/true, goldens,
+                 options.park_after > 0 ? &service : nullptr, &monitor,
+                 &ignored)) {
+      failed = true;
+    }
+  }
   std::string rows;
   for (size_t i = 0; i < options.session_steps.size(); ++i) {
     std::string result;
     if (!RunStep(options, options.session_steps[i], port, server != nullptr,
-                 goldens, options.park_after > 0 ? &service : nullptr,
-                 &monitor, &result)) {
+                 /*warmup=*/false, goldens,
+                 options.park_after > 0 ? &service : nullptr, &monitor,
+                 &result)) {
       failed = true;
     }
     if (i > 0) rows += ",\n";
@@ -674,22 +776,27 @@ int Run(const Options& options) {
     std::string file =
         "{\n"
         "  \"description\": \"Serving throughput and latency of the framed-"
-        "TCP session server: net::Server (single poll reactor + fixed "
-        "worker pool) in front of SessionService, driven by the transcript "
-        "load generator (tools/loadgen). Every session replays one of the "
-        "11 golden transcripts over a real loopback socket and every "
-        "response is byte-validated against the golden, so the numbers "
-        "only count correct traffic.\",\n"
-        "  \"methodology\": \"tools/loadgen --sessions=N1,N2,... "
+        "TCP session server: net::Server (sharded poll reactors with arena "
+        "JSON parsing, pooled frame buffers, and scatter-gather flushing; "
+        "server_workers=0 dispatches requests inline on the shard thread) "
+        "in front of SessionService, driven by the transcript load "
+        "generator (tools/loadgen). Every session replays one of the 11 "
+        "golden transcripts over a real loopback socket and every response "
+        "is byte-validated against the golden, so the numbers only count "
+        "correct traffic.\",\n"
+        "  \"methodology\": \"tools/loadgen --warmup=W --sessions=N1,N2,... "
         "--connections=C --rate=0 (open-loop, all sessions due immediately; "
         "C connection threads each multiplex their share of the sessions "
-        "over one socket, one request in flight per connection). Each "
-        "sessions step is one result row against the same long-lived "
-        "server, so the rows form a latency-versus-load curve. Latencies "
-        "are measured client-side around each blocking ask/tell round "
-        "trip, in microseconds. sessions_per_sec counts fully replayed-"
-        "and-closed sessions over that step's wall time. With --park-after "
-        "a background sweeper hibernates sessions idle past the threshold "
+        "over one socket, one request in flight per connection; W warmup "
+        "sessions are replayed and discarded first). Each sessions step is "
+        "one result row against the same long-lived server, so the rows "
+        "form a latency-versus-load curve. Latencies are measured client-"
+        "side around each blocking ask/tell round trip, in microseconds; "
+        "server_latency_us is the server's own per-op log2 histogram over "
+        "the step (counters op, differenced), whose quantiles are bucket "
+        "upper bounds. sessions_per_sec counts fully replayed-and-closed "
+        "sessions over that step's wall time. With --park-after a "
+        "background sweeper hibernates sessions idle past the threshold "
         "mid-replay (serialized, checksummed, evicted from memory) and "
         "they rehydrate transparently on their next request; the park "
         "object records how many round trips the step exercised.\",\n"
