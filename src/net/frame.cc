@@ -54,8 +54,10 @@ void FrameReader::Feed(const char* data, size_t n) {
           remaining_ = length;
           // Frames that fit the string's inline (SSO) capacity need no
           // heap buffer at all; anything larger draws on the pool instead
-          // of growing a fresh allocation.
+          // of growing a fresh allocation. The buffer being swapped out
+          // goes back to the pool rather than being destroyed.
           if (pool_ != nullptr && partial_.capacity() < length) {
+            pool_->Release(std::move(partial_));
             partial_ = pool_->Acquire();
           }
           partial_.clear();

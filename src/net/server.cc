@@ -274,24 +274,37 @@ struct Server::Impl {
     }
 
     void StepInline(Connection* conn) {
-      while (!conn->inputs.empty()) {
-        FrameReader::Event event = std::move(conn->inputs.front());
-        conn->inputs.pop_front();
-        if (event.kind == FrameReader::Event::Kind::kBadFrame) {
-          EnqueueResponse(conn,
-                          SerializeError(common::Status::InvalidArgument(
-                              "bad frame: " + event.error)));
-          continue;
+      for (;;) {
+        // Answer queued requests only while the output queue is under the
+        // pipelining cap: a peer that pipelines but never reads must stall
+        // this connection (TCP flow control), not grow conn->outq without
+        // bound.
+        while (!conn->inputs.empty() &&
+               conn->outq.size() < impl->options.max_queued_frames) {
+          FrameReader::Event event = std::move(conn->inputs.front());
+          conn->inputs.pop_front();
+          if (event.kind == FrameReader::Event::Kind::kBadFrame) {
+            EnqueueResponse(conn,
+                            SerializeError(common::Status::InvalidArgument(
+                                "bad frame: " + event.error)));
+            continue;
+          }
+          arena.Reset();
+          std::string response = pool.Acquire();
+          HandleFrameInto(impl->service, event.payload, &arena, &response);
+          pool.Release(std::move(event.payload));
+          EnqueueResponse(conn, std::move(response));
         }
-        arena.Reset();
-        std::string response = pool.Acquire();
-        HandleFrameInto(impl->service, event.payload, &arena, &response);
-        pool.Release(std::move(event.payload));
-        EnqueueResponse(conn, std::move(response));
-      }
-      if (!Flush(conn)) {
-        CloseConnection(conn->id);
-        return;
+        if (!Flush(conn)) {
+          CloseConnection(conn->id);
+          return;
+        }
+        // If the flush drained everything but requests are still queued,
+        // keep going: with outq empty the poll loop would not arm POLLOUT,
+        // and with reads paused nothing else would re-enter this
+        // connection. Leaving here with a non-empty outq is safe — POLLOUT
+        // drives the next Step.
+        if (conn->inputs.empty() || !conn->FlushDone()) break;
       }
       if (conn->peer_eof && conn->inputs.empty() && conn->FlushDone()) {
         CloseConnection(conn->id);
@@ -359,16 +372,22 @@ struct Server::Impl {
       }
     }
 
+    /// True when this connection holds its fill of queued work — complete
+    /// input frames plus unflushed response frames — and the reactor
+    /// should stop reading its socket until the backlog drains.
+    bool InputPaused(const Connection& conn) const {
+      return conn.inputs.size() + conn.reader.EventCount() +
+                 conn.outq.size() >=
+             impl->options.max_queued_frames;
+    }
+
     void ReadFromConnection(Connection* conn) {
       char buffer[64 * 1024];
       for (;;) {
-        // Stop pulling bytes once the input queue is at its cap — the
+        // Stop pulling bytes once the queued-work cap is reached — the
         // unread bytes stay in the kernel buffer and TCP flow control
         // pushes back.
-        if (conn->inputs.size() + conn->reader.EventCount() >=
-            impl->options.max_queued_frames) {
-          break;
-        }
+        if (InputPaused(*conn)) break;
         const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
         if (n > 0) {
           conn->reader.Feed(buffer, static_cast<size_t>(n));
@@ -433,10 +452,7 @@ struct Server::Impl {
         const size_t base = pollfds.size();
         for (auto& [id, conn] : connections) {
           short events = 0;
-          const bool input_paused =
-              conn->inputs.size() + conn->reader.EventCount() >=
-              impl->options.max_queued_frames;
-          if (!conn->peer_eof && !input_paused) events |= POLLIN;
+          if (!conn->peer_eof && !InputPaused(*conn)) events |= POLLIN;
           if (!conn->FlushDone()) events |= POLLOUT;
           if (events == 0) continue;  // woken by completion, not the socket
           pollfds.push_back({conn->fd, events, 0});
@@ -496,7 +512,10 @@ struct Server::Impl {
   std::vector<std::unique_ptr<Shard>> shards;
 
   /// Stats folded in from shards of a previous Start/Stop cycle, so
-  /// restarting the server keeps lifetime counts cumulative.
+  /// restarting the server keeps lifetime counts cumulative. The mutex
+  /// also guards the `shards` vector against concurrent structural change:
+  /// Start() retires and replaces the vector under it, and stats() holds
+  /// it while iterating.
   mutable std::mutex retired_mutex;
   ServerStats retired;
 };
@@ -523,6 +542,8 @@ common::Status Server::Start() {
   }
 
   // Retire the previous cycle's shards (if any) before building new ones.
+  // retired_mutex guards the shards vector itself here so a concurrent
+  // stats() never iterates it mid-rebuild.
   if (!impl->shards.empty()) {
     std::lock_guard<std::mutex> lock(impl->retired_mutex);
     for (auto& shard : impl->shards) {
@@ -533,11 +554,6 @@ common::Status Server::Start() {
   }
 
   auto fail = [impl](common::Status status) {
-    for (auto& shard : impl->shards) {
-      CloseFd(&shard->wake_read);
-      CloseFd(&shard->wake_write);
-    }
-    impl->shards.clear();
     CloseFd(&impl->listen_fd);
     return status;
   };
@@ -573,17 +589,29 @@ common::Status Server::Start() {
                 &bound_len);
   impl->bound_port = ntohs(bound.sin_port);
 
-  impl->shards.reserve(impl->options.reactors);
+  // Build the new shard set off to the side and install it in one move
+  // under retired_mutex, so stats() always sees either the old vector or
+  // the complete new one.
+  std::vector<std::unique_ptr<Impl::Shard>> shards;
+  shards.reserve(impl->options.reactors);
   for (size_t i = 0; i < impl->options.reactors; ++i) {
     auto shard = std::make_unique<Impl::Shard>(impl, i);
     int pipe_fds[2];
     if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+      for (auto& built : shards) {
+        CloseFd(&built->wake_read);
+        CloseFd(&built->wake_write);
+      }
       return fail(common::Status::Internal(std::string("pipe2: ") +
                                            std::strerror(errno)));
     }
     shard->wake_read = pipe_fds[0];
     shard->wake_write = pipe_fds[1];
-    impl->shards.push_back(std::move(shard));
+    shards.push_back(std::move(shard));
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl->retired_mutex);
+    impl->shards = std::move(shards);
   }
 
   impl->next_shard.store(0, std::memory_order_relaxed);
@@ -639,12 +667,13 @@ uint16_t Server::port() const { return impl_->bound_port; }
 
 ServerStats Server::stats() const {
   ServerStats total;
-  {
-    std::lock_guard<std::mutex> lock(impl_->retired_mutex);
-    total = impl_->retired;
-  }
+  // retired_mutex also pins the shards vector, which Start() swaps out on
+  // a restart; holding it across the iteration keeps stats() safe against
+  // a concurrent Stop()/Start() cycle.
+  std::lock_guard<std::mutex> lock(impl_->retired_mutex);
+  total = impl_->retired;
   for (const auto& shard : impl_->shards) {
-    std::lock_guard<std::mutex> lock(shard->stats_mutex);
+    std::lock_guard<std::mutex> shard_lock(shard->stats_mutex);
     AddStats(shard->stats, &total);
   }
   return total;

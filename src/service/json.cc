@@ -677,7 +677,10 @@ common::Result<bool> ToBool(const Value* value, const std::string& what) {
 const View* Find(const View& object, std::string_view key, uint64_t* seen) {
   for (uint32_t i = 0; i < object.member_count; ++i) {
     if (object.members[i].key == key) {
-      *seen |= uint64_t{1} << i;
+      // Members past the 64-bit mask cannot be marked seen; a shift by
+      // >= 64 is UB, and CheckAllKeysKnown rejects such oversized objects
+      // regardless, so just skip the bookkeeping.
+      if (i < 64) *seen |= uint64_t{1} << i;
       return &object.members[i].value;
     }
   }

@@ -214,6 +214,32 @@ TEST(ViewTest, ViewModeShapeHelpersMatchHeapBehavior) {
   EXPECT_NE(status.ToString().find("ok"), std::string::npos);
 }
 
+TEST(ViewTest, LookupBeyondTheSeenMaskIsSafeAndStillRejected) {
+  // 65 members with the looked-up key at index 64: the seen bitmask only
+  // covers 64 members, so marking this hit would shift by >= 64 (UB).
+  // Find must skip the bookkeeping and CheckAllKeysKnown must still
+  // reject the oversized object.
+  std::string document = "{";
+  for (int i = 0; i < 64; ++i) {
+    document += "\"k" + std::to_string(i) + "\":1,";
+  }
+  document += "\"op\":\"counters\"}";
+  Arena arena;
+  auto parsed = ParseInto(document, &arena);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const View& root = *parsed.value();
+  ASSERT_EQ(root.member_count, 65u);
+
+  uint64_t seen = 0;
+  const View* op = Find(root, "op", &seen);
+  ASSERT_NE(op, nullptr);
+  auto op_text = ToStringView(op, "\"op\"");
+  ASSERT_TRUE(op_text.ok());
+  EXPECT_EQ(op_text.value(), "counters");
+  EXPECT_EQ(seen, 0u);  // index 64 has no bit to set
+  EXPECT_FALSE(CheckAllKeysKnown(root, seen, "test object").ok());
+}
+
 TEST(ViewTest, AppendUIntMatchesToString) {
   const uint64_t values[] = {0, 1, 9, 10, 4096, UINT64_MAX};
   for (uint64_t value : values) {

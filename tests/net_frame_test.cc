@@ -182,6 +182,26 @@ TEST(ProtocolTest, MalformedJsonYieldsStructuredParseError) {
                                              // service; parse errors do not
 }
 
+TEST(ProtocolTest, RequestWithMoreKeysThanTheSeenMaskIsRejected) {
+  // 65 keys with "op" at index 64 — past the 64-bit seen mask both strict
+  // parsers use. The request must come back as a structured parse error
+  // (unknown keys) on the heap and the arena dispatch paths alike, with
+  // no out-of-range shift on the lookup.
+  service::SessionService service;
+  std::string request = "{";
+  for (int i = 0; i < 64; ++i) {
+    request += "\"k" + std::to_string(i) + "\":1,";
+  }
+  request += "\"op\":\"counters\"}";
+  EXPECT_EQ(ErrorCodeOf(HandleFrame(&service, request)),
+            StatusCode::kParseError);
+  service::json::Arena arena;
+  std::string response;
+  HandleFrameInto(&service, request, &arena, &response);
+  EXPECT_EQ(ErrorCodeOf(response), StatusCode::kParseError);
+  EXPECT_EQ(response, HandleFrame(&service, request));
+}
+
 TEST(ProtocolTest, ErrorFrameRoundTripsStatusCode) {
   const Status in = Status::ResourceExhausted("question budget exhausted");
   auto parsed = ParseResponse(Request::Op::kAsk, SerializeError(in));
@@ -325,6 +345,46 @@ TEST(ServerRobustnessTest, PipelinedRequestsAnswerInOrder) {
   ASSERT_TRUE(counters_parsed.ok()) << counters_parsed.status().ToString();
   EXPECT_TRUE(counters_parsed.value().status.ok());
   EXPECT_EQ(counters_parsed.value().open_sessions, 1u);
+  server.Stop();
+}
+
+TEST(ServerRobustnessTest, InlineBurstPastTheQueueCapDrainsCompletely) {
+  // Inline dispatch with a tiny pipelining cap: a burst far past the cap,
+  // written before reading a single response, must bound the server's
+  // queues (reads pause, dispatch stops at the cap) yet still answer
+  // every request in order once the responses are read. Regression guard
+  // for the inline-mode output-backpressure path: the shard must neither
+  // queue responses without bound nor park the connection with requests
+  // still waiting.
+  service::SessionService service;
+  ServerOptions options;
+  options.workers = 0;  // inline dispatch on the shard thread
+  options.max_queued_frames = 4;
+  Server server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+  RawConnection conn(server.port());
+
+  constexpr int kRequests = 200;
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) {
+    if (i % 2 == 0) {
+      burst += Framed("{\"op\":\"counters\"}");
+    } else {
+      burst += Framed("{\"op\":\"status\",\"id\":\"s-" + std::to_string(i) +
+                      "\"}");
+    }
+  }
+  conn.SendBytes(burst);
+  for (int i = 0; i < kRequests; ++i) {
+    const std::string response = conn.ReadResponse();
+    if (i % 2 == 0) {
+      auto parsed = ParseResponse(Request::Op::kCounters, response);
+      ASSERT_TRUE(parsed.ok()) << i << ": " << parsed.status().ToString();
+      EXPECT_TRUE(parsed.value().status.ok()) << i;
+    } else {
+      EXPECT_EQ(ErrorCodeOf(response), StatusCode::kNotFound) << i;
+    }
+  }
   server.Stop();
 }
 

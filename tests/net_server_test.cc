@@ -7,6 +7,7 @@
 // hammer run under every dispatch configuration (worker pool, inline
 // dispatch, multiple reactor shards), since the golden bytes must not
 // depend on how the server schedules work.
+#include <atomic>
 #include <cstdint>
 #include <set>
 #include <string>
@@ -270,6 +271,40 @@ TEST(NetServerOptionsTest, ZeroReactorsIsRejectedZeroWorkersIsInline) {
   ASSERT_TRUE(id.ok()) << id.status().ToString();
   EXPECT_TRUE(client.value().Close(id.value()).ok());
   good.Stop();
+}
+
+TEST(NetServerOptionsTest, StatsAreSafeAgainstConcurrentRestartCycles) {
+  // stats() may race a Stop()/Start() cycle: Start retires and rebuilds
+  // the shard set, and a concurrent reader must see either the old or the
+  // new set, never the vector mid-mutation. A polling thread hammers
+  // stats() through several restart cycles; lifetime counters stay
+  // cumulative across them.
+  service::SessionService service;
+  ServerOptions options;
+  options.workers = 0;
+  options.reactors = 2;
+  Server server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)server.stats();
+    }
+  });
+  constexpr int kCycles = 10;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    auto client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    ASSERT_TRUE(client.value().Counters().ok());
+    server.Stop();
+    ASSERT_TRUE(server.Start().ok());
+  }
+  done.store(true);
+  poller.join();
+  EXPECT_GE(server.stats().connections_accepted,
+            static_cast<uint64_t>(kCycles));
+  server.Stop();
 }
 
 TEST_F(NetServerTest, OpenAskTellCloseRoundTrip) {
