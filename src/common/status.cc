@@ -25,6 +25,12 @@ const char* StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
   }
   return "Unknown";
 }
@@ -35,7 +41,8 @@ bool StatusCodeFromName(const std::string& name, StatusCode* code) {
         StatusCode::kOutOfRange, StatusCode::kParseError,
         StatusCode::kUnsupported, StatusCode::kInternal,
         StatusCode::kResourceExhausted, StatusCode::kFailedPrecondition,
-        StatusCode::kDataLoss}) {
+        StatusCode::kDataLoss, StatusCode::kDeadlineExceeded,
+        StatusCode::kUnavailable, StatusCode::kAlreadyExists}) {
     if (name == StatusCodeName(candidate)) {
       *code = candidate;
       return true;

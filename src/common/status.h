@@ -23,6 +23,9 @@ enum class StatusCode {
   kResourceExhausted,
   kFailedPrecondition,
   kDataLoss,
+  kDeadlineExceeded,
+  kUnavailable,
+  kAlreadyExists,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -70,6 +73,15 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,10 +3,13 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <climits>
 #include <cstring>
 
 namespace qlearn {
@@ -17,7 +20,60 @@ namespace {
 using common::Result;
 using common::Status;
 
-Status WriteAll(int fd, const std::string& bytes) {
+// One call's wall-clock budget as an absolute point, so a call that polls
+// many times (short writes, slow trickle of response bytes) still honors
+// the total. `has == false` means block forever (poll timeout -1).
+struct Deadline {
+  bool has = false;
+  std::chrono::steady_clock::time_point at;
+
+  static Deadline After(int64_t millis) {
+    Deadline d;
+    if (millis > 0) {
+      d.has = true;
+      d.at = std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(millis);
+    }
+    return d;
+  }
+
+  /// Remaining budget in poll(2) terms: -1 = infinite, 0 = already expired.
+  int PollTimeoutMillis() const {
+    if (!has) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          at - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) return 0;
+    if (left > INT_MAX) return INT_MAX;
+    return static_cast<int>(left);
+  }
+};
+
+/// Blocks until `fd` is ready for `events` or the deadline expires.
+Status Await(int fd, short events, const Deadline& deadline,
+             const char* what) {
+  for (;;) {
+    const int timeout = deadline.PollTimeoutMillis();
+    if (timeout == 0) {
+      return Status::DeadlineExceeded(std::string(what) +
+                                      ": deadline exceeded");
+    }
+    pollfd p;
+    p.fd = fd;
+    p.events = events;
+    p.revents = 0;
+    const int rc = ::poll(&p, 1, timeout);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) {
+      return Status::DeadlineExceeded(std::string(what) +
+                                      ": deadline exceeded");
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("poll: ") + std::strerror(errno));
+  }
+}
+
+Status WriteAll(int fd, const std::string& bytes, const Deadline& deadline) {
   size_t pos = 0;
   while (pos < bytes.size()) {
     const ssize_t n =
@@ -26,18 +82,26 @@ Status WriteAll(int fd, const std::string& bytes) {
       pos += static_cast<size_t>(n);
       continue;
     }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      QLEARN_RETURN_IF_ERROR(Await(fd, POLLOUT, deadline, "send"));
+      continue;
+    }
     if (n < 0 && errno == EINTR) continue;
     return Status::Internal(std::string("send: ") + std::strerror(errno));
   }
   return Status::OK();
 }
 
-Status ReadExactly(int fd, char* out, size_t n) {
+Status ReadExactly(int fd, char* out, size_t n, const Deadline& deadline) {
   size_t pos = 0;
   while (pos < n) {
     const ssize_t got = ::recv(fd, out + pos, n - pos, 0);
     if (got > 0) {
       pos += static_cast<size_t>(got);
+      continue;
+    }
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      QLEARN_RETURN_IF_ERROR(Await(fd, POLLIN, deadline, "recv"));
       continue;
     }
     if (got < 0 && errno == EINTR) continue;
@@ -52,8 +116,10 @@ Status ReadExactly(int fd, char* out, size_t n) {
 }  // namespace
 
 Result<Client> Client::Connect(const std::string& address, uint16_t port,
-                               size_t max_frame_bytes) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+                               size_t max_frame_bytes,
+                               int64_t deadline_millis) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
   }
@@ -65,10 +131,25 @@ Result<Client> Client::Connect(const std::string& address, uint16_t port,
     ::close(fd);
     return Status::InvalidArgument("bad address: " + address);
   }
+  const Deadline deadline = Deadline::After(deadline_millis);
   int rc;
   do {
     rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno == EINPROGRESS) {
+    const common::Status ready = Await(fd, POLLOUT, deadline, "connect");
+    if (!ready.ok()) {
+      ::close(fd);
+      return ready;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+      so_error = errno;
+    }
+    rc = so_error == 0 ? 0 : -1;
+    errno = so_error;
+  }
   if (rc != 0) {
     const std::string error = std::strerror(errno);
     ::close(fd);
@@ -80,13 +161,16 @@ Result<Client> Client::Connect(const std::string& address, uint16_t port,
   Client client;
   client.fd_ = fd;
   client.max_frame_bytes_ = max_frame_bytes;
+  client.deadline_millis_ = deadline_millis;
   return client;
 }
 
 Client::~Client() { Disconnect(); }
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), max_frame_bytes_(other.max_frame_bytes_) {
+    : fd_(other.fd_),
+      max_frame_bytes_(other.max_frame_bytes_),
+      deadline_millis_(other.deadline_millis_) {
   other.fd_ = -1;
 }
 
@@ -95,6 +179,7 @@ Client& Client::operator=(Client&& other) noexcept {
     Disconnect();
     fd_ = other.fd_;
     max_frame_bytes_ = other.max_frame_bytes_;
+    deadline_millis_ = other.deadline_millis_;
     other.fd_ = -1;
   }
   return *this;
@@ -109,27 +194,40 @@ void Client::Disconnect() {
 
 Result<std::string> Client::CallRaw(const std::string& payload) {
   if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  const Deadline deadline = Deadline::After(deadline_millis_);
   std::string framed;
   if (!AppendFrame(payload, max_frame_bytes_, &framed)) {
     return Status::InvalidArgument("payload does not fit in a frame");
   }
-  QLEARN_RETURN_IF_ERROR(WriteAll(fd_, framed));
+  auto deadline_guard = [this](common::Status status) {
+    // An expired deadline abandons a call mid-stream; the framing state is
+    // unknowable, so the connection is done.
+    if (status.code() == common::StatusCode::kDeadlineExceeded) Disconnect();
+    return status;
+  };
+  {
+    common::Status sent = WriteAll(fd_, framed, deadline);
+    if (!sent.ok()) return deadline_guard(std::move(sent));
+  }
 
-  char header[kFrameHeaderBytes];
-  QLEARN_RETURN_IF_ERROR(ReadExactly(fd_, header, sizeof(header)));
-  const uint64_t length =
-      (static_cast<uint64_t>(static_cast<unsigned char>(header[0])) << 24) |
-      (static_cast<uint64_t>(static_cast<unsigned char>(header[1])) << 16) |
-      (static_cast<uint64_t>(static_cast<unsigned char>(header[2])) << 8) |
-      static_cast<uint64_t>(static_cast<unsigned char>(header[3]));
+  unsigned char header[kFrameHeaderBytes];
+  {
+    common::Status got = ReadExactly(fd_, reinterpret_cast<char*>(header),
+                             sizeof(header), deadline);
+    if (!got.ok()) return deadline_guard(std::move(got));
+  }
+  const uint64_t length = DecodeFrameHeader(header);
   if (length == 0 || length > max_frame_bytes_) {
     Disconnect();  // framing is out of sync; the stream is unusable
     return Status::Internal("server sent a frame of " +
                             std::to_string(length) + " bytes");
   }
   std::string payload_in(static_cast<size_t>(length), '\0');
-  QLEARN_RETURN_IF_ERROR(ReadExactly(fd_, payload_in.data(),
-                                     payload_in.size()));
+  {
+    common::Status got =
+        ReadExactly(fd_, payload_in.data(), payload_in.size(), deadline);
+    if (!got.ok()) return deadline_guard(std::move(got));
+  }
   return payload_in;
 }
 
@@ -149,6 +247,7 @@ Result<std::string> Client::Open(const std::string& scenario,
   request.max_pending = options.budget.max_pending;
   request.max_wall_micros =
       static_cast<uint64_t>(options.budget.max_wall_seconds * 1e6);
+  request.id = options.id;
   QLEARN_ASSIGN_OR_RETURN(const Response response, Call(request));
   if (!response.status.ok()) return response.status;
   return response.id;
@@ -212,6 +311,40 @@ Result<std::pair<service::ServiceCounters, uint64_t>> Client::Counters() {
   QLEARN_ASSIGN_OR_RETURN(const Response response, Call(request));
   if (!response.status.ok()) return response.status;
   return std::make_pair(response.counters, response.open_sessions);
+}
+
+Result<std::vector<std::string>> Client::ListSessions() {
+  Request request;
+  request.op = Request::Op::kSessions;
+  QLEARN_ASSIGN_OR_RETURN(Response response, Call(request));
+  if (!response.status.ok()) return response.status;
+  return std::move(response.session_ids);
+}
+
+Result<service::ExportedSession> Client::ExportSession(
+    const std::string& id) {
+  Request request;
+  request.op = Request::Op::kExport;
+  request.id = id;
+  QLEARN_ASSIGN_OR_RETURN(Response response, Call(request));
+  if (!response.status.ok()) return response.status;
+  service::ExportedSession exported;
+  exported.scenario = std::move(response.scenario);
+  exported.image = std::move(response.image);
+  return exported;
+}
+
+common::Status Client::ImportSession(const std::string& id,
+                                     const std::string& scenario,
+                                     const std::string& image) {
+  Request request;
+  request.op = Request::Op::kImport;
+  request.id = id;
+  request.scenario = scenario;
+  request.image = image;
+  auto response = Call(request);
+  if (!response.ok()) return response.status();
+  return response.value().status;
 }
 
 }  // namespace net

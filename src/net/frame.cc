@@ -12,11 +12,9 @@ bool AppendFrame(const std::string& payload, size_t max_frame_bytes,
       payload.size() > UINT32_MAX) {
     return false;
   }
-  const uint32_t n = static_cast<uint32_t>(payload.size());
-  out->push_back(static_cast<char>((n >> 24) & 0xff));
-  out->push_back(static_cast<char>((n >> 16) & 0xff));
-  out->push_back(static_cast<char>((n >> 8) & 0xff));
-  out->push_back(static_cast<char>(n & 0xff));
+  unsigned char header[kFrameHeaderBytes];
+  EncodeFrameHeader(static_cast<uint32_t>(payload.size()), header);
+  out->append(reinterpret_cast<const char*>(header), kFrameHeaderBytes);
   *out += payload;
   return true;
 }
@@ -31,10 +29,7 @@ void FrameReader::Feed(const char* data, size_t n) {
         }
         if (header_filled_ < kFrameHeaderBytes) break;  // need more bytes
         header_filled_ = 0;
-        const uint64_t length = (static_cast<uint64_t>(header_[0]) << 24) |
-                                (static_cast<uint64_t>(header_[1]) << 16) |
-                                (static_cast<uint64_t>(header_[2]) << 8) |
-                                static_cast<uint64_t>(header_[3]);
+        const uint64_t length = DecodeFrameHeader(header_);
         if (length == 0) {
           Event event;
           event.kind = Event::Kind::kBadFrame;

@@ -33,6 +33,25 @@ inline constexpr size_t kFrameHeaderBytes = 4;
 /// serializes to a few KiB; the cap is headroom, not a target.
 inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
 
+/// Writes the 4-byte big-endian length prefix for a `length`-byte payload
+/// into `out[0..3]`. The single encoder every hop uses — client, server,
+/// router — so the framing can never drift per file.
+inline void EncodeFrameHeader(uint32_t length,
+                              unsigned char out[kFrameHeaderBytes]) {
+  out[0] = static_cast<unsigned char>((length >> 24) & 0xff);
+  out[1] = static_cast<unsigned char>((length >> 16) & 0xff);
+  out[2] = static_cast<unsigned char>((length >> 8) & 0xff);
+  out[3] = static_cast<unsigned char>(length & 0xff);
+}
+
+/// Inverse of EncodeFrameHeader. Returns the declared payload length; the
+/// caller still checks it against [1, max_frame_bytes].
+inline uint64_t DecodeFrameHeader(const unsigned char in[kFrameHeaderBytes]) {
+  return (static_cast<uint64_t>(in[0]) << 24) |
+         (static_cast<uint64_t>(in[1]) << 16) |
+         (static_cast<uint64_t>(in[2]) << 8) | static_cast<uint64_t>(in[3]);
+}
+
 /// Appends the framed encoding of `payload` to `out`. The payload must be
 /// non-empty and at most `max_frame_bytes` (callers frame only payloads
 /// they produced; violating the bound is a programming error and returns

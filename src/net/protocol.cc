@@ -37,6 +37,12 @@ const char* OpName(Request::Op op) {
       return "close";
     case Request::Op::kCounters:
       return "counters";
+    case Request::Op::kSessions:
+      return "sessions";
+    case Request::Op::kExport:
+      return "export";
+    case Request::Op::kImport:
+      return "import";
   }
   return "unknown";
 }
@@ -78,6 +84,65 @@ Status OptionalUInt(const Json& object, const std::string& key,
   if (value == nullptr) return Status::OK();
   QLEARN_ASSIGN_OR_RETURN(*out, ToUInt(value, key));
   return Status::OK();
+}
+
+// Hex codec for the snapshot-handoff image: the canonical JSON subset has
+// no binary strings, so export/import carry the QLSV bytes as lowercase
+// hex. Both parse modes share the decode core for identical error wording.
+
+void AppendHexQuoted(std::string_view bytes, std::string* out) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  out->push_back('"');
+  for (const char byte : bytes) {
+    const unsigned char c = static_cast<unsigned char>(byte);
+    out->push_back(kDigits[c >> 4]);
+    out->push_back(kDigits[c & 0xf]);
+  }
+  out->push_back('"');
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;  // uppercase rejected: canonical bytes are lowercase
+}
+
+Status HexDecodeTo(std::string_view hex, std::string_view what, char* out) {
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = HexNibble(hex[i]);
+    const int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return ShapeError("\"" + std::string(what) +
+                        "\" is not lowercase hex");
+    }
+    out[i / 2] = static_cast<char>((hi << 4) | lo);
+  }
+  return Status::OK();
+}
+
+Status CheckHexLength(std::string_view hex, std::string_view what) {
+  if (hex.size() % 2 != 0) {
+    return ShapeError("\"" + std::string(what) +
+                      "\" hex has odd length " + std::to_string(hex.size()));
+  }
+  return Status::OK();
+}
+
+Result<std::string> HexDecode(std::string_view hex, std::string_view what) {
+  QLEARN_RETURN_IF_ERROR(CheckHexLength(hex, what));
+  std::string out(hex.size() / 2, '\0');
+  QLEARN_RETURN_IF_ERROR(HexDecodeTo(hex, what, out.data()));
+  return out;
+}
+
+Result<std::string_view> HexDecodeIntoArena(std::string_view hex,
+                                            std::string_view what,
+                                            service::json::Arena* arena) {
+  QLEARN_RETURN_IF_ERROR(CheckHexLength(hex, what));
+  char* out = static_cast<char*>(
+      arena->Allocate(hex.size() / 2 + 1, alignof(char)));
+  QLEARN_RETURN_IF_ERROR(HexDecodeTo(hex, what, out));
+  return std::string_view(out, hex.size() / 2);
 }
 
 // ---------------------------------------------------------------------------
@@ -182,6 +247,10 @@ void AppendOkCounters(const service::ServiceCounters& counters,
   AppendUInt(counters.rehydrates, out);
   *out += ",\"hibernate_errors\":";
   AppendUInt(counters.hibernate_errors, out);
+  *out += ",\"exports\":";
+  AppendUInt(counters.exports, out);
+  *out += ",\"imports\":";
+  AppendUInt(counters.imports, out);
   *out += ",\"open_sessions\":";
   AppendUInt(open_sessions, out);
   *out += ",\"resident_sessions\":";
@@ -201,6 +270,24 @@ void AppendOkCounters(const service::ServiceCounters& counters,
   *out += ",\"close\":";
   AppendLatencyArray(counters.close_latency_us, out);
   *out += "}}}";
+}
+
+void AppendOkSessions(const std::vector<std::string>& ids, std::string* out) {
+  *out += "{\"ok\":{\"ids\":[";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendEscaped(ids[i], out);
+  }
+  *out += "]}}";
+}
+
+void AppendOkExport(const service::ExportedSession& exported,
+                    std::string* out) {
+  *out += "{\"ok\":{\"scenario\":";
+  AppendEscaped(exported.scenario, out);
+  *out += ",\"image\":";
+  AppendHexQuoted(exported.image, out);
+  *out += "}}";
 }
 
 void AppendErrorFrame(const common::Status& status, std::string* out) {
@@ -327,6 +414,10 @@ Status ParseOkBody(Request::Op op, const Json& body, Response* response) {
       QLEARN_ASSIGN_OR_RETURN(
           c.hibernate_errors,
           ToUInt(Find(body, "hibernate_errors", &seen), "hibernate_errors"));
+      QLEARN_ASSIGN_OR_RETURN(c.exports,
+                              ToUInt(Find(body, "exports", &seen), "exports"));
+      QLEARN_ASSIGN_OR_RETURN(c.imports,
+                              ToUInt(Find(body, "imports", &seen), "imports"));
       QLEARN_ASSIGN_OR_RETURN(
           response->open_sessions,
           ToUInt(Find(body, "open_sessions", &seen), "open_sessions"));
@@ -360,6 +451,30 @@ Status ParseOkBody(Request::Op op, const Json& body, Response* response) {
           CheckAllKeysKnown(*latency, latency_seen, "\"latency_us\""));
       break;
     }
+    case Request::Op::kSessions: {
+      const Json* ids = Find(body, "ids", &seen);
+      if (ids == nullptr || ids->type != Json::Type::kArray) {
+        return ShapeError("missing or non-array \"ids\"");
+      }
+      for (const Json& id : ids->array) {
+        if (id.type != Json::Type::kString) {
+          return ShapeError("non-string entry in \"ids\"");
+        }
+        response->session_ids.push_back(id.string_value);
+      }
+      break;
+    }
+    case Request::Op::kExport: {
+      QLEARN_ASSIGN_OR_RETURN(
+          response->scenario,
+          ToString(Find(body, "scenario", &seen), "scenario"));
+      QLEARN_ASSIGN_OR_RETURN(const std::string hex,
+                              ToString(Find(body, "image", &seen), "image"));
+      QLEARN_ASSIGN_OR_RETURN(response->image, HexDecode(hex, "image"));
+      break;
+    }
+    case Request::Op::kImport:
+      break;  // empty body
   }
   return CheckAllKeysKnown(body, seen, std::string("\"") + OpName(op) +
                                            "\" ok body");
@@ -379,6 +494,10 @@ std::string Serialize(const Request& request) {
       out += ",\"max_questions\":" + std::to_string(request.max_questions);
       out += ",\"max_pending\":" + std::to_string(request.max_pending);
       out += ",\"max_wall_micros\":" + std::to_string(request.max_wall_micros);
+      if (!request.id.empty()) {
+        out += ",\"id\":";
+        AppendEscaped(request.id, &out);
+      }
       break;
     case Request::Op::kAsk:
       out += ",\"id\":";
@@ -394,10 +513,20 @@ std::string Serialize(const Request& request) {
     case Request::Op::kOracle:
     case Request::Op::kStatus:
     case Request::Op::kClose:
+    case Request::Op::kExport:
       out += ",\"id\":";
       AppendEscaped(request.id, &out);
       break;
+    case Request::Op::kImport:
+      out += ",\"id\":";
+      AppendEscaped(request.id, &out);
+      out += ",\"scenario\":";
+      AppendEscaped(request.scenario, &out);
+      out += ",\"image\":";
+      AppendHexQuoted(request.image, &out);
+      break;
     case Request::Op::kCounters:
+    case Request::Op::kSessions:
       break;
   }
   out.push_back('}');
@@ -424,6 +553,10 @@ common::Result<Request> ParseRequest(const std::string& text) {
         OptionalUInt(value, "max_pending", &seen, &request.max_pending));
     QLEARN_RETURN_IF_ERROR(OptionalUInt(value, "max_wall_micros", &seen,
                                         &request.max_wall_micros));
+    const Json* id = Find(value, "id", &seen);
+    if (id != nullptr) {
+      QLEARN_ASSIGN_OR_RETURN(request.id, ToString(id, "id"));
+    }
   } else if (op == "ask") {
     request.op = Request::Op::kAsk;
     QLEARN_ASSIGN_OR_RETURN(request.id,
@@ -436,14 +569,27 @@ common::Result<Request> ParseRequest(const std::string& text) {
     QLEARN_ASSIGN_OR_RETURN(
         request.labels, LabelsFromJson(Find(value, "labels", &seen),
                                        "labels"));
-  } else if (op == "oracle" || op == "status" || op == "close") {
-    request.op = op == "oracle" ? Request::Op::kOracle
+  } else if (op == "oracle" || op == "status" || op == "close" ||
+             op == "export") {
+    request.op = op == "oracle"   ? Request::Op::kOracle
                  : op == "status" ? Request::Op::kStatus
-                                  : Request::Op::kClose;
+                 : op == "close"  ? Request::Op::kClose
+                                  : Request::Op::kExport;
     QLEARN_ASSIGN_OR_RETURN(request.id,
                             ToString(Find(value, "id", &seen), "id"));
+  } else if (op == "import") {
+    request.op = Request::Op::kImport;
+    QLEARN_ASSIGN_OR_RETURN(request.id,
+                            ToString(Find(value, "id", &seen), "id"));
+    QLEARN_ASSIGN_OR_RETURN(
+        request.scenario, ToString(Find(value, "scenario", &seen), "scenario"));
+    QLEARN_ASSIGN_OR_RETURN(const std::string hex,
+                            ToString(Find(value, "image", &seen), "image"));
+    QLEARN_ASSIGN_OR_RETURN(request.image, HexDecode(hex, "image"));
   } else if (op == "counters") {
     request.op = Request::Op::kCounters;
+  } else if (op == "sessions") {
+    request.op = Request::Op::kSessions;
   } else {
     return ShapeError("unknown op \"" + op + "\"");
   }
@@ -509,6 +655,7 @@ std::string HandleFrame(service::SessionService* service,
           static_cast<size_t>(request.max_pending);
       options.budget.max_wall_seconds =
           static_cast<double>(request.max_wall_micros) / 1e6;
+      options.id = request.id;
       auto id = service->Open(request.scenario, options);
       if (!id.ok()) {
         AppendErrorFrame(id.status(), &out);
@@ -568,6 +715,28 @@ std::string HandleFrame(service::SessionService* service,
                        service->ResidentCount(), service->ParkedCount(),
                        &out);
       return out;
+    case Request::Op::kSessions:
+      AppendOkSessions(service->ListOpen(), &out);
+      return out;
+    case Request::Op::kExport: {
+      auto exported = service->ExportSession(request.id);
+      if (!exported.ok()) {
+        AppendErrorFrame(exported.status(), &out);
+      } else {
+        AppendOkExport(exported.value(), &out);
+      }
+      return out;
+    }
+    case Request::Op::kImport: {
+      const common::Status status =
+          service->ImportSession(request.id, request.scenario, request.image);
+      if (!status.ok()) {
+        AppendErrorFrame(status, &out);
+      } else {
+        AppendOkTell(&out);  // {"ok":{}}
+      }
+      return out;
+    }
   }
   AppendErrorFrame(common::Status::Internal("unhandled op in HandleFrame"),
                    &out);
@@ -612,6 +781,10 @@ common::Result<RequestView> ParseRequestView(std::string_view text,
     QLEARN_RETURN_IF_ERROR(optional_uint("max_pending", &request.max_pending));
     QLEARN_RETURN_IF_ERROR(
         optional_uint("max_wall_micros", &request.max_wall_micros));
+    const View* id = Find(*value, "id", &seen);
+    if (id != nullptr) {
+      QLEARN_ASSIGN_OR_RETURN(request.id, ToStringView(id, "id"));
+    }
   } else if (op == "ask") {
     request.op = Request::Op::kAsk;
     QLEARN_ASSIGN_OR_RETURN(request.id,
@@ -635,14 +808,30 @@ common::Result<RequestView> ParseRequestView(std::string_view text,
     }
     request.labels = decoded;
     request.label_count = labels->element_count;
-  } else if (op == "oracle" || op == "status" || op == "close") {
-    request.op = op == "oracle" ? Request::Op::kOracle
+  } else if (op == "oracle" || op == "status" || op == "close" ||
+             op == "export") {
+    request.op = op == "oracle"   ? Request::Op::kOracle
                  : op == "status" ? Request::Op::kStatus
-                                  : Request::Op::kClose;
+                 : op == "close"  ? Request::Op::kClose
+                                  : Request::Op::kExport;
     QLEARN_ASSIGN_OR_RETURN(request.id,
                             ToStringView(Find(*value, "id", &seen), "id"));
+  } else if (op == "import") {
+    request.op = Request::Op::kImport;
+    QLEARN_ASSIGN_OR_RETURN(request.id,
+                            ToStringView(Find(*value, "id", &seen), "id"));
+    QLEARN_ASSIGN_OR_RETURN(
+        request.scenario,
+        ToStringView(Find(*value, "scenario", &seen), "scenario"));
+    QLEARN_ASSIGN_OR_RETURN(
+        const std::string_view hex,
+        ToStringView(Find(*value, "image", &seen), "image"));
+    QLEARN_ASSIGN_OR_RETURN(request.image,
+                            HexDecodeIntoArena(hex, "image", arena));
   } else if (op == "counters") {
     request.op = Request::Op::kCounters;
+  } else if (op == "sessions") {
+    request.op = Request::Op::kSessions;
   } else {
     return ShapeError("unknown op \"" + std::string(op) + "\"");
   }
@@ -668,6 +857,7 @@ void HandleFrameInto(service::SessionService* service,
       options.budget.max_pending = static_cast<size_t>(request.max_pending);
       options.budget.max_wall_seconds =
           static_cast<double>(request.max_wall_micros) / 1e6;
+      options.id = std::string(request.id);
       auto id = service->Open(std::string(request.scenario), options);
       if (!id.ok()) {
         AppendErrorFrame(id.status(), out);
@@ -727,9 +917,117 @@ void HandleFrameInto(service::SessionService* service,
       AppendOkCounters(service->Counters(), service->OpenCount(),
                        service->ResidentCount(), service->ParkedCount(), out);
       return;
+    case Request::Op::kSessions:
+      AppendOkSessions(service->ListOpen(), out);
+      return;
+    case Request::Op::kExport: {
+      auto exported = service->ExportSession(request.id);
+      if (!exported.ok()) {
+        AppendErrorFrame(exported.status(), out);
+      } else {
+        AppendOkExport(exported.value(), out);
+      }
+      return;
+    }
+    case Request::Op::kImport: {
+      const common::Status status = service->ImportSession(
+          request.id, std::string(request.scenario), request.image);
+      if (!status.ok()) {
+        AppendErrorFrame(status, out);
+      } else {
+        AppendOkTell(out);  // {"ok":{}}
+      }
+      return;
+    }
   }
   AppendErrorFrame(common::Status::Internal("unhandled op in HandleFrame"),
                    out);
+}
+
+common::Result<RequestPeek> PeekRequest(std::string_view frame,
+                                        service::json::Arena* arena) {
+  using service::json::ToStringView;
+  using View = service::json::View;
+  QLEARN_ASSIGN_OR_RETURN(const View* value,
+                          service::json::ParseInto(frame, arena));
+  if (value->type != Json::Type::kObject) {
+    return ShapeError("request must be an object");
+  }
+  uint64_t seen = 0;
+  RequestPeek peek;
+  peek.root = value;
+  QLEARN_ASSIGN_OR_RETURN(peek.op,
+                          ToStringView(Find(*value, "op", &seen), "op"));
+  const View* id = Find(*value, "id", &seen);
+  if (id != nullptr) {
+    QLEARN_ASSIGN_OR_RETURN(peek.id, ToStringView(id, "id"));
+    peek.has_id = true;
+  }
+  return peek;
+}
+
+void AppendOpenWithId(const service::json::View& root, std::string_view id,
+                      std::string* out) {
+  out->push_back('{');
+  for (uint32_t i = 0; i < root.member_count; ++i) {
+    AppendEscaped(root.members[i].key, out);
+    out->push_back(':');
+    service::json::AppendView(root.members[i].value, out);
+    out->push_back(',');
+  }
+  *out += "\"id\":";
+  AppendEscaped(id, out);
+  out->push_back('}');
+}
+
+common::Result<std::string> MergeCountersFrames(
+    const std::vector<std::string>& frames) {
+  if (frames.empty()) {
+    return ShapeError("counters merge needs at least one frame");
+  }
+  service::ServiceCounters total;
+  uint64_t open_sessions = 0;
+  uint64_t resident_sessions = 0;
+  uint64_t parked_sessions = 0;
+  const auto add_latency = [](const service::LatencySnapshot& in,
+                              service::LatencySnapshot* out) {
+    for (size_t i = 0; i < service::LatencySnapshot::kBuckets; ++i) {
+      out->buckets[i] += in.buckets[i];
+    }
+  };
+  for (const std::string& frame : frames) {
+    QLEARN_ASSIGN_OR_RETURN(const Response response,
+                            ParseResponse(Request::Op::kCounters, frame));
+    if (!response.status.ok()) return frame;  // error frame wins, verbatim
+    const service::ServiceCounters& c = response.counters;
+    total.opens += c.opens;
+    total.asks += c.asks;
+    total.tells += c.tells;
+    total.oracles += c.oracles;
+    total.statuses += c.statuses;
+    total.closes += c.closes;
+    total.errors += c.errors;
+    total.questions_served += c.questions_served;
+    total.labels_accepted += c.labels_accepted;
+    total.hibernates += c.hibernates;
+    total.rehydrates += c.rehydrates;
+    total.hibernate_errors += c.hibernate_errors;
+    total.exports += c.exports;
+    total.imports += c.imports;
+    add_latency(c.open_latency_us, &total.open_latency_us);
+    add_latency(c.ask_latency_us, &total.ask_latency_us);
+    add_latency(c.tell_latency_us, &total.tell_latency_us);
+    add_latency(c.oracle_latency_us, &total.oracle_latency_us);
+    add_latency(c.status_latency_us, &total.status_latency_us);
+    add_latency(c.close_latency_us, &total.close_latency_us);
+    open_sessions += response.open_sessions;
+    resident_sessions += response.resident_sessions;
+    parked_sessions += response.parked_sessions;
+  }
+  std::string out;
+  AppendOkCounters(total, open_sessions, resident_sessions, parked_sessions,
+                   &out);
+  return out;
 }
 
 }  // namespace net

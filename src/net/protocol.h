@@ -11,6 +11,18 @@
 //   {"op":"status","id":"s-..."}
 //   {"op":"close","id":"s-..."}
 //   {"op":"counters"}
+//   {"op":"sessions"}
+//   {"op":"export","id":"s-..."}
+//   {"op":"import","id":"s-...","scenario":"join","image":"<hex>"}
+//
+// `open` also accepts an optional `id` so a routing front tier can mint
+// handles itself (consistent-hash placement is then decided before the
+// backend is picked). `sessions`/`export`/`import` are the administrative
+// surface horizontal sharding is built on: export parks a quiescent
+// session and ships its checksummed QLSV hibernation image (hex-encoded —
+// the canonical JSON subset has no binary strings); import adopts it on
+// the new owner. The shared frame cap (net/frame.h) bounds the image at
+// every hop, so an oversized handoff is rejected consistently.
 //
 // A response is either an ok frame or an error frame — the connection is
 // never dropped on a bad request:
@@ -42,19 +54,33 @@ namespace net {
 /// One decoded request frame. Open's knob fields default like
 /// service::OpenOptions, so a request may omit them.
 struct Request {
-  enum class Op { kOpen, kAsk, kTell, kOracle, kStatus, kClose, kCounters };
+  enum class Op {
+    kOpen,
+    kAsk,
+    kTell,
+    kOracle,
+    kStatus,
+    kClose,
+    kCounters,
+    kSessions,
+    kExport,
+    kImport,
+  };
 
   Op op = Op::kCounters;
 
-  // kOpen
+  // kOpen/kImport
   std::string scenario;
+
+  // kOpen
   uint64_t seed = session::SessionDefaults::kSeed;
   uint64_t max_questions = service::SessionBudget{}.max_questions;
   uint64_t max_pending = service::SessionBudget{}.max_pending;
   uint64_t max_wall_micros = 0;  ///< 0 = unlimited (wire carries micros;
                                  ///< the JSON subset has no floats)
 
-  // kAsk/kTell/kOracle/kStatus/kClose
+  // kAsk/kTell/kOracle/kStatus/kClose/kExport/kImport; optional for kOpen
+  // (empty = the service mints a handle).
   std::string id;
 
   // kAsk
@@ -62,6 +88,9 @@ struct Request {
 
   // kTell
   std::vector<bool> labels;
+
+  // kImport: raw image bytes (hex on the wire).
+  std::string image;
 };
 
 /// One decoded response frame. `status` is the server-reported outcome:
@@ -80,6 +109,9 @@ struct Response {
   uint64_t open_sessions = 0;                     // counters
   uint64_t resident_sessions = 0;                 // counters (in memory)
   uint64_t parked_sessions = 0;                   // counters (hibernated)
+  std::vector<std::string> session_ids;           // sessions
+  std::string scenario;                           // export
+  std::string image;                              // export (raw bytes)
 };
 
 /// Canonical serialization of a request (fixed key order, no whitespace).
@@ -116,14 +148,16 @@ std::string HandleFrame(service::SessionService* service,
 struct RequestView {
   Request::Op op = Request::Op::kCounters;
 
-  // kOpen
+  // kOpen/kImport
   std::string_view scenario;
+
+  // kOpen
   uint64_t seed = session::SessionDefaults::kSeed;
   uint64_t max_questions = service::SessionBudget{}.max_questions;
   uint64_t max_pending = service::SessionBudget{}.max_pending;
   uint64_t max_wall_micros = 0;
 
-  // kAsk/kTell/kOracle/kStatus/kClose
+  // kAsk/kTell/kOracle/kStatus/kClose/kExport/kImport; optional for kOpen
   std::string_view id;
 
   // kAsk
@@ -132,6 +166,9 @@ struct RequestView {
   // kTell
   const bool* labels = nullptr;
   uint32_t label_count = 0;
+
+  // kImport: raw image bytes, hex-decoded into the arena.
+  std::string_view image;
 };
 
 /// Strict parse of a request frame into arena storage: accepts and rejects
@@ -147,6 +184,38 @@ common::Result<RequestView> ParseRequestView(std::string_view text,
 void HandleFrameInto(service::SessionService* service,
                      std::string_view request_json,
                      service::json::Arena* arena, std::string* out);
+
+/// What a routing front tier needs from a request frame, and nothing more:
+/// the op string and the session id if one is present. `root` is the
+/// parsed view tree (for the open-frame rebuild). The peek does NOT run
+/// the full strict validation — the owning backend does that — so a frame
+/// that peeks fine can still earn a structured error downstream.
+struct RequestPeek {
+  std::string_view op;
+  std::string_view id;  ///< empty unless has_id
+  bool has_id = false;
+  const service::json::View* root = nullptr;
+};
+
+/// Arena view-mode peek of `frame` (no heap tree, no copies): object
+/// shape, string "op", and string "id" when present. Shape violations use
+/// the protocol's error wording so router-answered errors read like
+/// backend-answered ones.
+common::Result<RequestPeek> PeekRequest(std::string_view frame,
+                                        service::json::Arena* arena);
+
+/// Rebuilds an id-less open request with the router-minted `id` appended
+/// (original member order preserved, canonical bytes). The caller verified
+/// via PeekRequest that `root` is an object without an "id" member.
+void AppendOpenWithId(const service::json::View& root, std::string_view id,
+                      std::string* out);
+
+/// Merges N `counters` response frames into one: op counts, session
+/// gauges, and log2 latency histograms are summed bucket-wise and
+/// re-serialized canonically. Any error frame among the inputs wins and is
+/// returned verbatim; a Result error means an input frame was malformed.
+common::Result<std::string> MergeCountersFrames(
+    const std::vector<std::string>& frames);
 
 }  // namespace net
 }  // namespace qlearn

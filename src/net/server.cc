@@ -179,11 +179,7 @@ struct Server::Impl {
             " bytes exceeds the frame limit; ask for a smaller batch"));
       }
       OutFrame frame;
-      const uint32_t n = static_cast<uint32_t>(response.size());
-      frame.header[0] = static_cast<unsigned char>((n >> 24) & 0xff);
-      frame.header[1] = static_cast<unsigned char>((n >> 16) & 0xff);
-      frame.header[2] = static_cast<unsigned char>((n >> 8) & 0xff);
-      frame.header[3] = static_cast<unsigned char>(n & 0xff);
+      EncodeFrameHeader(static_cast<uint32_t>(response.size()), frame.header);
       frame.body = std::move(response);
       conn->outq.push_back(std::move(frame));
     }

@@ -1,0 +1,39 @@
+#include "net/shard_map.h"
+
+namespace qlearn {
+namespace net {
+
+std::string ToString(const BackendAddress& address) {
+  return address.host + ":" + std::to_string(address.port);
+}
+
+uint64_t SessionKeyHash(std::string_view id) {
+  uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (const char c : id) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+size_t JumpConsistentHash(uint64_t key, size_t buckets) {
+  // Lamping & Veach, "A Fast, Minimal Memory, Consistent Hash Algorithm".
+  int64_t b = -1;
+  int64_t j = 0;
+  while (j < static_cast<int64_t>(buckets)) {
+    b = j;
+    key = key * 2862933555777941757ull + 1;
+    j = static_cast<int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(1ll << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<size_t>(b);
+}
+
+size_t ShardFor(std::string_view id, size_t buckets) {
+  return JumpConsistentHash(SessionKeyHash(id), buckets);
+}
+
+}  // namespace net
+}  // namespace qlearn

@@ -1,0 +1,67 @@
+// Generation-stamped shard map: which backend owns which session id.
+//
+// Placement is jump consistent hashing (Lamping & Veach) over an FNV-1a-64
+// hash of the session id. Jump hash gives the property rebalancing needs:
+// growing the backend list from N to N+1 moves only ~1/(N+1) of the keys,
+// and every key that moves lands on the NEW backend — so a rebalance
+// migrates exactly the sessions whose owner changed and nothing else.
+//
+// The map is a value type. The router holds the live copy behind its own
+// synchronization and bumps `generation` on every install; the generation
+// is what lets logs, stats, and the rebalance driver talk about "the map
+// before" vs "the map after" unambiguously.
+#ifndef QLEARN_NET_SHARD_MAP_H_
+#define QLEARN_NET_SHARD_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qlearn {
+namespace net {
+
+/// One backend process speaking the framed-TCP protocol.
+struct BackendAddress {
+  std::string host;
+  uint16_t port = 0;
+
+  bool operator==(const BackendAddress& other) const {
+    return host == other.host && port == other.port;
+  }
+  bool operator!=(const BackendAddress& other) const {
+    return !(*this == other);
+  }
+};
+
+/// "host:port" — the router keys its connection tables by this.
+std::string ToString(const BackendAddress& address);
+
+/// The routing table: an ordered backend list plus the generation stamp
+/// that changes whenever the list does. Order matters — jump hash buckets
+/// are indices into `backends`, so reordering the list reshuffles
+/// placement exactly like replacing it.
+struct ShardMap {
+  uint64_t generation = 0;
+  std::vector<BackendAddress> backends;
+
+  bool empty() const { return backends.empty(); }
+  size_t size() const { return backends.size(); }
+};
+
+/// FNV-1a-64 of the session id — the key fed to jump hash. Kept separate
+/// from placement so tests can pin the hash and the bucket independently.
+uint64_t SessionKeyHash(std::string_view id);
+
+/// Jump consistent hash: maps `key` to a bucket in [0, buckets). Requires
+/// buckets >= 1.
+size_t JumpConsistentHash(uint64_t key, size_t buckets);
+
+/// The bucket (index into ShardMap::backends) owning `id`.
+size_t ShardFor(std::string_view id, size_t buckets);
+
+}  // namespace net
+}  // namespace qlearn
+
+#endif  // QLEARN_NET_SHARD_MAP_H_

@@ -34,13 +34,31 @@ std::string HexU64(uint64_t v) {
   return buf;
 }
 
-uint64_t ReadTrailerU64(const std::string& image, size_t at) {
+uint64_t ReadTrailerU64(std::string_view image, size_t at) {
   uint64_t out = 0;
   for (size_t i = 0; i < kChecksumBytes; ++i) {
     out |= static_cast<uint64_t>(static_cast<uint8_t>(image[at + i]))
            << (8 * i);
   }
   return out;
+}
+
+/// A caller-supplied handle becomes a snapshot-store key (and, in the
+/// file-backed store, a file name), so it must be a plain path component.
+Status ValidateHandle(std::string_view id) {
+  if (id.empty() || id.size() > 64) {
+    return Status::InvalidArgument(
+        "session id must be 1..64 bytes, got " + std::to_string(id.size()));
+  }
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) {
+      return Status::InvalidArgument(
+          "session id may only contain [A-Za-z0-9._-]");
+    }
+  }
+  return Status::OK();
 }
 
 /// Records wall time from construction to scope exit into a histogram.
@@ -146,6 +164,16 @@ Result<std::string> SessionService::Open(const std::string& scenario,
   entry->last_touch = entry->opened_at;
 
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!options.id.empty()) {
+    const common::Status valid = ValidateHandle(options.id);
+    if (!valid.ok()) return Fail(valid);
+    if (sessions_.count(options.id) != 0) {
+      return Fail(common::Status::AlreadyExists("session id already open: " +
+                                                options.id));
+    }
+    sessions_.emplace(options.id, std::move(entry));
+    return options.id;
+  }
   // Zero-padded to the full uint64 width so the lexicographic map order
   // (and thus ListOpen) is open order for every possible counter value.
   char id[32];
@@ -320,6 +348,129 @@ common::Status SessionService::Park(std::string_view id_view) {
     hibernate_errors_.fetch_add(1, std::memory_order_relaxed);
     return Fail(std::move(status));
   }
+  return common::Status::OK();
+}
+
+common::Result<ExportedSession> SessionService::ExportSession(
+    std::string_view id_view) {
+  const std::string id(id_view);  // handoff is cold; materialize once
+  auto entry = Find(id);
+  if (entry == nullptr) {
+    return Fail(common::Status::NotFound("unknown session: " + id));
+  }
+  ExportedSession out;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->closed) {
+      return Fail(common::Status::NotFound("session already closed: " + id));
+    }
+    if (!entry->parked.load(std::memory_order_relaxed)) {
+      if (entry->pending > 0) {
+        return Fail(common::Status::FailedPrecondition(
+            "session " + id + " has " + std::to_string(entry->pending) +
+            " unanswered question(s); only quiescent sessions export"));
+      }
+      common::Status parked = ParkLocked(id, entry.get());
+      if (!parked.ok()) {
+        hibernate_errors_.fetch_add(1, std::memory_order_relaxed);
+        return Fail(std::move(parked));
+      }
+    }
+    auto image_or = snapshot_store_->Get(id);
+    if (!image_or.ok()) {
+      // The entry stays parked: the handle still exists here, and the next
+      // call on it will surface the same missing-image DataLoss.
+      return Fail(common::Status::DataLoss(
+          "snapshot image for exported session " + id +
+          " is missing: " + image_or.status().message()));
+    }
+    out.scenario = entry->scenario;
+    out.image = std::move(image_or).value();
+    entry->closed = true;
+    entry->parked.store(false, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions_.erase(id);
+  }
+  snapshot_store_->Delete(id);
+  exports_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+common::Status SessionService::ImportSession(std::string_view id_view,
+                                             const std::string& scenario,
+                                             std::string_view image) {
+  const std::string id(id_view);
+  {
+    const common::Status valid = ValidateHandle(id);
+    if (!valid.ok()) return Fail(valid);
+  }
+  // Verify the image before installing anything: checksum trailer first
+  // (like rehydrate), then the header fields the import call can check
+  // without deserializing the learner.
+  if (image.size() < kChecksumBytes) {
+    return Fail(common::Status::DataLoss(
+        "import image for session " + id + " is " +
+        std::to_string(image.size()) +
+        " byte(s), too small to carry its 8-byte checksum trailer"));
+  }
+  const size_t body_size = image.size() - kChecksumBytes;
+  const uint64_t stored = ReadTrailerU64(image, body_size);
+  const uint64_t computed = Fnv1a64(image.substr(0, body_size));
+  if (stored != computed) {
+    return Fail(common::Status::DataLoss(
+        "import image for session " + id + " fails its checksum over bytes "
+        "[0, " + std::to_string(body_size) + "): stored " + HexU64(stored) +
+        ", computed " + HexU64(computed)));
+  }
+  session::SnapshotReader reader(image.substr(0, body_size));
+  uint32_t magic = 0;
+  QLEARN_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  if (magic != kHibernationMagic) {
+    return Fail(common::Status::InvalidArgument(
+        "import for session " + id + ": not a hibernation image (magic " +
+        HexU64(magic) + " at byte 0)"));
+  }
+  uint32_t version = 0;
+  QLEARN_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kHibernationVersion) {
+    return Fail(common::Status::InvalidArgument(
+        "import for session " + id + ": unsupported hibernation image "
+        "version " + std::to_string(version) + " (this build reads version " +
+        std::to_string(kHibernationVersion) + ")"));
+  }
+  std::string image_scenario;
+  QLEARN_RETURN_IF_ERROR(reader.ReadBytes(&image_scenario));
+  if (image_scenario != scenario) {
+    return Fail(common::Status::InvalidArgument(
+        "import image for session " + id + " was taken for scenario \"" +
+        image_scenario + "\", but the import names scenario \"" + scenario +
+        "\""));
+  }
+
+  auto entry = std::make_shared<Entry>();
+  entry->scenario = scenario;
+  const auto now = clock_();
+  entry->opened_at = now;  // rehydrate reconstructs it from the image
+  entry->last_touch = now;
+  entry->parked_at = now;  // time parked elsewhere was folded in at export
+  entry->parked.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sessions_.count(id) != 0) {
+      return Fail(
+          common::Status::AlreadyExists("session id already open: " + id));
+    }
+    sessions_.emplace(id, entry);
+  }
+  const common::Status put = snapshot_store_->Put(id, image);
+  if (!put.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions_.erase(id);
+    return Fail(put);
+  }
+  imports_.fetch_add(1, std::memory_order_relaxed);
   return common::Status::OK();
 }
 
@@ -614,6 +765,8 @@ ServiceCounters SessionService::Counters() const {
   counters.rehydrates = rehydrates_.load(std::memory_order_relaxed);
   counters.hibernate_errors =
       hibernate_errors_.load(std::memory_order_relaxed);
+  counters.exports = exports_.load(std::memory_order_relaxed);
+  counters.imports = imports_.load(std::memory_order_relaxed);
   counters.open_latency_us = open_latency_.Snapshot();
   counters.ask_latency_us = ask_latency_.Snapshot();
   counters.tell_latency_us = tell_latency_.Snapshot();

@@ -88,6 +88,11 @@ struct SessionBudget {
 struct OpenOptions {
   uint64_t seed = session::SessionDefaults::kSeed;
   SessionBudget budget;
+  /// Caller-supplied session handle; empty (the default) mints one. A
+  /// routing front tier mints ids itself so consistent-hash placement is
+  /// decided before the backend is picked. Must be a plain path component
+  /// ([A-Za-z0-9._-], at most 64 bytes); a taken handle is AlreadyExists.
+  std::string id;
 };
 
 /// Service-wide construction knobs (all optional).
@@ -172,6 +177,8 @@ struct ServiceCounters {
   uint64_t hibernates = 0;        ///< sessions parked to the snapshot store
   uint64_t rehydrates = 0;        ///< sessions restored from their image
   uint64_t hibernate_errors = 0;  ///< failed park or rehydrate attempts
+  uint64_t exports = 0;           ///< sessions shipped out via ExportSession
+  uint64_t imports = 0;           ///< sessions adopted via ImportSession
 
   /// Server-side per-op latency histograms (µs, log2 buckets), measured
   /// around the whole service call — so latency is observable over the
@@ -190,6 +197,14 @@ struct ServiceCounters {
 struct CloseResult {
   wire::HypothesisPayload hypothesis;
   session::SessionStats stats;
+};
+
+/// What ExportSession() returns: the scenario name plus the checksummed
+/// hibernation image (the same QLSV bytes Park writes) — everything a new
+/// owner needs to adopt the session via ImportSession.
+struct ExportedSession {
+  std::string scenario;
+  std::string image;
 };
 
 class SessionService {
@@ -241,6 +256,24 @@ class SessionService {
   /// parked session is a no-op; the handle stays listed and rehydrates on
   /// the next call.
   common::Status Park(std::string_view id);
+
+  /// Ships one session out of this service for snapshot handoff: parks it
+  /// (if resident) through the PR 8 path, returns the checksummed QLSV
+  /// image, and releases the handle — after a successful export the
+  /// session no longer exists here. Requires quiescence like Park; a
+  /// pending batch fails with FailedPrecondition and leaves the session
+  /// untouched (the rebalancer routes it via an override until it drains).
+  common::Result<ExportedSession> ExportSession(std::string_view id);
+
+  /// Adopts a session exported by another service instance: validates the
+  /// image's checksum/header against `scenario`, installs the handle in
+  /// the parked state, and stores the image — the first call on the handle
+  /// rehydrates it exactly like a locally-parked session (budgets, wall
+  /// clock, and RNG lanes survive). A taken handle is AlreadyExists; a
+  /// corrupt image is DataLoss/InvalidArgument and nothing is installed.
+  common::Status ImportSession(std::string_view id,
+                               const std::string& scenario,
+                               std::string_view image);
 
   /// Idle sweep: parks every session whose last call is at least
   /// hibernate_after_seconds ago (no-op when that knob is 0). Skips
@@ -330,6 +363,8 @@ class SessionService {
   mutable std::atomic<uint64_t> hibernates_{0};
   mutable std::atomic<uint64_t> rehydrates_{0};
   mutable std::atomic<uint64_t> hibernate_errors_{0};
+  mutable std::atomic<uint64_t> exports_{0};
+  mutable std::atomic<uint64_t> imports_{0};
 
   // Per-op latency histograms (µs since op entry, including rehydration
   // and learner work). Mutable like the counters: Status() is const but

@@ -1,0 +1,635 @@
+// Loopback integration tests for the consistent-hash routing front tier:
+// a real net::Router in front of N real net::Server backends, driven
+// through net::Client (and a raw pipelining socket) over real sockets.
+//
+// The centerpiece replays the golden transcripts through the router at 1,
+// 2, and 4 backends and asserts the served bytes are identical to the
+// checked-in goldens — the router forwards responses as opaque bytes, so
+// routing must be invisible at the byte level. The rebalance test grows
+// the fleet mid-transcript and requires every migrated session to finish
+// with zero errors and zero byte mismatches.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/router.h"
+#include "net/server.h"
+#include "net/shard_map.h"
+#include "service/session_service.h"
+#include "service/wire.h"
+#include "transcript_harness.h"
+
+namespace qlearn {
+namespace net {
+namespace {
+
+using common::StatusCode;
+using service::wire::TranscriptEvent;
+
+/// One backend process stand-in: its own service and inline server.
+struct Backend {
+  Backend() : server(&service, InlineOptions()) {}
+
+  static ServerOptions InlineOptions() {
+    ServerOptions options;
+    options.workers = 0;
+    return options;
+  }
+
+  BackendAddress address() const { return {"127.0.0.1", server.port()}; }
+
+  service::SessionService service;
+  Server server;
+};
+
+class RouterFixture {
+ public:
+  void StartBackends(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      backends_.push_back(std::make_unique<Backend>());
+      ASSERT_TRUE(backends_.back()->server.Start().ok());
+    }
+  }
+
+  void StartRouter(size_t reactors = 1) {
+    ShardMap map;
+    for (const auto& backend : backends_) {
+      map.backends.push_back(backend->address());
+    }
+    RouterOptions options;
+    options.reactors = reactors;
+    router_ = std::make_unique<Router>(std::move(map), options);
+    ASSERT_TRUE(router_->Start().ok());
+  }
+
+  Client Connect() {
+    auto client = Client::Connect("127.0.0.1", router_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  /// A session id placed on backend `bucket` out of `buckets` by the same
+  /// jump hash the router uses.
+  static std::string IdOnBucket(size_t bucket, size_t buckets) {
+    for (int i = 0; i < 10000; ++i) {
+      const std::string id = "t-" + std::to_string(i);
+      if (ShardFor(id, buckets) == bucket) return id;
+    }
+    ADD_FAILURE() << "no id found for bucket " << bucket;
+    return "t-0";
+  }
+
+  std::vector<std::unique_ptr<Backend>> backends_;
+  std::unique_ptr<Router> router_;
+};
+
+class NetRouterTest : public ::testing::Test, public RouterFixture {};
+
+/// Raw framed-TCP connection for pipelining tests: the blocking Client is
+/// strict request/response, so bursts need hand-rolled socket I/O.
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port) { Init(port); }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void SendBurst(const std::vector<std::string>& payloads) {
+    std::string wire;
+    for (const std::string& payload : payloads) {
+      ASSERT_TRUE(AppendFrame(payload, kDefaultMaxFrameBytes, &wire));
+    }
+    size_t pos = 0;
+    while (pos < wire.size()) {
+      const ssize_t n =
+          ::send(fd_, wire.data() + pos, wire.size() - pos, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      pos += static_cast<size_t>(n);
+    }
+  }
+
+  std::string RecvFrame() {
+    unsigned char header[kFrameHeaderBytes];
+    ReadExactly(reinterpret_cast<char*>(header), sizeof(header));
+    const uint64_t length = DecodeFrameHeader(header);
+    EXPECT_GT(length, 0u);
+    EXPECT_LE(length, kDefaultMaxFrameBytes);
+    std::string payload(static_cast<size_t>(length), '\0');
+    ReadExactly(payload.data(), payload.size());
+    return payload;
+  }
+
+ private:
+  void Init(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ASSERT_GE(fd_, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+  }
+
+  void ReadExactly(char* out, size_t n) {
+    size_t pos = 0;
+    while (pos < n) {
+      const ssize_t got = ::recv(fd_, out + pos, n - pos, 0);
+      ASSERT_GT(got, 0);
+      pos += static_cast<size_t>(got);
+    }
+  }
+
+  int fd_ = -1;
+};
+
+TEST_F(NetRouterTest, MissingOrMalformedIdAnsweredWithoutBackendRoundTrip) {
+  StartBackends(2);
+  StartRouter();
+  Client client = Connect();
+
+  // Missing id on an id-requiring op: the backend's exact error wording,
+  // but the backends never see a frame.
+  auto no_id = client.CallRaw("{\"k\":1,\"op\":\"ask\"}");
+  ASSERT_TRUE(no_id.ok()) << no_id.status().ToString();
+  EXPECT_EQ(no_id.value(),
+            "{\"error\":{\"code\":\"ParseError\",\"message\":\"json: "
+            "missing or non-string \\\"id\\\"\"}}");
+
+  // Malformed id (non-string) and malformed JSON both answer locally too.
+  auto bad_id = client.CallRaw("{\"id\":7,\"k\":1,\"op\":\"ask\"}");
+  ASSERT_TRUE(bad_id.ok());
+  EXPECT_EQ(bad_id.value().rfind("{\"error\":{\"code\":\"ParseError\"", 0),
+            0u)
+      << bad_id.value();
+  auto not_json = client.CallRaw("this is not json");
+  ASSERT_TRUE(not_json.ok());
+  EXPECT_EQ(not_json.value().rfind("{\"error\":", 0), 0u);
+  auto unknown_op = client.CallRaw("{\"op\":\"frobnicate\"}");
+  ASSERT_TRUE(unknown_op.ok());
+  EXPECT_EQ(unknown_op.value(),
+            "{\"error\":{\"code\":\"ParseError\",\"message\":\"protocol: "
+            "unknown op \\\"frobnicate\\\"\"}}");
+
+  for (const auto& backend : backends_) {
+    EXPECT_EQ(backend->server.stats().frames_received, 0u);
+  }
+  const RouterStats stats = router_->stats();
+  EXPECT_EQ(stats.local_answers, 4u);
+  EXPECT_EQ(stats.frames_forwarded, 0u);
+}
+
+TEST_F(NetRouterTest, MintedOpenIdsPlaceDeterministically) {
+  StartBackends(2);
+  StartRouter();
+  Client client = Connect();
+
+  // Id-less opens get router-minted ids; each lands on the backend the
+  // jump hash says owns it.
+  std::vector<std::string> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto id = client.Open("twig", {});
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ(id.value().rfind("r-", 0), 0u) << id.value();
+    ids.push_back(id.value());
+  }
+  EXPECT_EQ(router_->stats().ids_minted, 8u);
+  for (const std::string& id : ids) {
+    const size_t owner = ShardFor(id, backends_.size());
+    const auto open = backends_[owner]->service.ListOpen();
+    EXPECT_NE(std::find(open.begin(), open.end(), id), open.end())
+        << id << " not on backend " << owner;
+    ASSERT_TRUE(client.Close(id).ok());
+  }
+
+  // Caller-supplied ids route by the same hash; reopening a taken id is
+  // the backend's AlreadyExists, round-tripped.
+  service::OpenOptions with_id;
+  with_id.id = IdOnBucket(1, 2);
+  ASSERT_TRUE(client.Open("join", with_id).ok());
+  EXPECT_EQ(client.Open("join", with_id).status().code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(client.Close(with_id.id).ok());
+}
+
+TEST_F(NetRouterTest, BackendDeathIsUnavailableWhileOtherShardsServe) {
+  StartBackends(2);
+  StartRouter();
+  Client client = Connect();
+
+  service::OpenOptions on_dead;
+  on_dead.id = IdOnBucket(0, 2);
+  service::OpenOptions on_live;
+  on_live.id = IdOnBucket(1, 2);
+  ASSERT_TRUE(client.Open("twig", on_dead).ok());
+  ASSERT_TRUE(client.Open("twig", on_live).ok());
+  // Both backends have served traffic, so the router holds live
+  // connections to each.
+  ASSERT_TRUE(client.Status(on_dead.id).ok());
+  ASSERT_TRUE(client.Status(on_live.id).ok());
+
+  backends_[0]->server.Stop();
+
+  // The dead shard surfaces Unavailable (maybe after one in-flight error
+  // drains); the live shard keeps serving the whole time.
+  common::Status dead_status = common::Status::OK();
+  for (int i = 0; i < 10 && dead_status.code() != StatusCode::kUnavailable;
+       ++i) {
+    dead_status = client.Status(on_dead.id).status();
+  }
+  EXPECT_EQ(dead_status.code(), StatusCode::kUnavailable)
+      << dead_status.ToString();
+  auto live = client.Status(on_live.id);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  EXPECT_EQ(live.value().scenario, "twig");
+  ASSERT_TRUE(client.Close(on_live.id).ok());
+  EXPECT_GT(router_->stats().backend_errors, 0u);
+}
+
+TEST_F(NetRouterTest, PipelinedBurstFromOneClientPreservesFifoAcrossBackends) {
+  StartBackends(2);
+  StartRouter();
+  Client admin = Connect();
+
+  // Two sessions on different backends, with visibly different state.
+  service::OpenOptions a;
+  a.id = IdOnBucket(0, 2);
+  service::OpenOptions b;
+  b.id = IdOnBucket(1, 2);
+  ASSERT_TRUE(admin.Open("twig", a).ok());
+  ASSERT_TRUE(admin.Open("join", b).ok());
+
+  // One pipelined burst alternating backends, with a local error in the
+  // middle: responses must come back in exact request order.
+  RawConn conn(router_->port());
+  std::vector<std::string> burst;
+  for (int round = 0; round < 8; ++round) {
+    burst.push_back("{\"id\":\"" + (round % 2 == 0 ? a.id : b.id) +
+                    "\",\"op\":\"status\"}");
+  }
+  burst.push_back("{\"op\":\"status\"}");  // missing id: answered locally
+  for (int round = 0; round < 8; ++round) {
+    burst.push_back("{\"id\":\"" + (round % 2 == 0 ? b.id : a.id) +
+                    "\",\"op\":\"status\"}");
+  }
+  conn.SendBurst(burst);
+  for (size_t i = 0; i < burst.size(); ++i) {
+    const std::string response = conn.RecvFrame();
+    if (i == 8) {
+      EXPECT_EQ(response.rfind("{\"error\":", 0), 0u) << response;
+      continue;
+    }
+    const bool want_a = i < 8 ? (i % 2 == 0) : ((i - 9) % 2 == 1);
+    const std::string want_scenario = want_a ? "twig" : "join";
+    auto parsed = ParseResponse(Request::Op::kStatus, response);
+    ASSERT_TRUE(parsed.ok()) << response;
+    ASSERT_TRUE(parsed.value().status.ok()) << response;
+    EXPECT_EQ(parsed.value().session.scenario, want_scenario)
+        << "response " << i << " out of order";
+  }
+  ASSERT_TRUE(admin.Close(a.id).ok());
+  ASSERT_TRUE(admin.Close(b.id).ok());
+}
+
+TEST_F(NetRouterTest, CountersFanOutMergesOpCountsAndHistograms) {
+  StartBackends(2);
+  StartRouter();
+  Client client = Connect();
+
+  // Traffic on both backends.
+  for (size_t bucket = 0; bucket < 2; ++bucket) {
+    service::OpenOptions options;
+    options.id = IdOnBucket(bucket, 2);
+    ASSERT_TRUE(client.Open("twig", options).ok());
+    auto batch = client.Ask(options.id, 2);
+    ASSERT_TRUE(batch.ok());
+    auto labels = client.OracleLabels(options.id);
+    ASSERT_TRUE(labels.ok());
+    ASSERT_TRUE(client.Tell(options.id, labels.value()).ok());
+  }
+
+  auto merged = client.Counters();
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  // The merge equals the field-wise and bucket-wise sum of what each
+  // backend reports directly.
+  service::ServiceCounters want;
+  uint64_t want_open = 0;
+  for (const auto& backend : backends_) {
+    auto direct = Client::Connect("127.0.0.1", backend->server.port());
+    ASSERT_TRUE(direct.ok());
+    auto counters = direct.value().Counters();
+    ASSERT_TRUE(counters.ok());
+    const service::ServiceCounters& c = counters.value().first;
+    want.opens += c.opens;
+    want.asks += c.asks;
+    want.tells += c.tells;
+    want.questions_served += c.questions_served;
+    want.labels_accepted += c.labels_accepted;
+    for (size_t i = 0; i < service::LatencySnapshot::kBuckets; ++i) {
+      want.ask_latency_us.buckets[i] += c.ask_latency_us.buckets[i];
+      want.tell_latency_us.buckets[i] += c.tell_latency_us.buckets[i];
+    }
+    want_open += counters.value().second;
+  }
+  // Each backend saw exactly one open/ask/tell, so the merge must see two.
+  EXPECT_EQ(want.opens, 2u);
+  EXPECT_EQ(merged.value().first.opens, want.opens);
+  EXPECT_EQ(merged.value().first.asks, want.asks);
+  EXPECT_EQ(merged.value().first.tells, want.tells);
+  EXPECT_EQ(merged.value().first.questions_served, want.questions_served);
+  EXPECT_EQ(merged.value().first.labels_accepted, want.labels_accepted);
+  EXPECT_EQ(merged.value().second, want_open);
+  uint64_t merged_ask_samples = 0;
+  uint64_t want_ask_samples = 0;
+  for (size_t i = 0; i < service::LatencySnapshot::kBuckets; ++i) {
+    EXPECT_EQ(merged.value().first.ask_latency_us.buckets[i],
+              want.ask_latency_us.buckets[i])
+        << "ask bucket " << i;
+    EXPECT_EQ(merged.value().first.tell_latency_us.buckets[i],
+              want.tell_latency_us.buckets[i])
+        << "tell bucket " << i;
+    merged_ask_samples += merged.value().first.ask_latency_us.buckets[i];
+    want_ask_samples += want.ask_latency_us.buckets[i];
+  }
+  EXPECT_EQ(merged_ask_samples, 2u);  // one ask per backend, both counted
+  EXPECT_EQ(merged_ask_samples, want_ask_samples);
+  EXPECT_GE(router_->stats().fanouts, 1u);
+
+  // `sessions` fans out too: the union of both backends' handles.
+  auto ids = client.ListSessions();
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids.value().size(), 2u);
+  for (size_t bucket = 0; bucket < 2; ++bucket) {
+    ASSERT_TRUE(client.Close(IdOnBucket(bucket, 2)).ok());
+  }
+}
+
+TEST_F(NetRouterTest, ExportImportRoundTripsThroughTheRouter) {
+  StartBackends(2);
+  StartRouter();
+  Client client = Connect();
+
+  service::OpenOptions options;
+  options.id = IdOnBucket(0, 2);
+  ASSERT_TRUE(client.Open("twig", options).ok());
+  auto batch = client.Ask(options.id, 2);
+  ASSERT_TRUE(batch.ok());
+  auto labels = client.OracleLabels(options.id);
+  ASSERT_TRUE(labels.ok());
+  ASSERT_TRUE(client.Tell(options.id, labels.value()).ok());
+
+  // Export parks + ships the image and deletes the session; import adopts
+  // it back (same id routes to the same backend), and the session picks up
+  // exactly where it left off.
+  auto exported = client.ExportSession(options.id);
+  ASSERT_TRUE(exported.ok()) << exported.status().ToString();
+  EXPECT_EQ(exported.value().scenario, "twig");
+  EXPECT_FALSE(exported.value().image.empty());
+  EXPECT_EQ(client.Status(options.id).status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(client
+                  .ImportSession(options.id, exported.value().scenario,
+                                 exported.value().image)
+                  .ok());
+  auto status = client.Status(options.id);
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_EQ(status.value().scenario, "twig");
+  EXPECT_GE(status.value().stats.questions, 2u);
+  ASSERT_TRUE(client.Close(options.id).ok());
+}
+
+// ---- golden replay through the router ----
+
+// Replays one recorded transcript through `client`, returning
+// human-readable mismatches (empty = byte-identical). Mirrors the server
+// suite's replay; ids are router-minted here, which the comparison never
+// looks at.
+std::vector<std::string> ReplayOverRouter(
+    Client* client, const std::vector<TranscriptEvent>& events) {
+  std::vector<std::string> mismatches;
+  std::string id;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TranscriptEvent& event = events[i];
+    switch (event.kind) {
+      case TranscriptEvent::Kind::kOpen: {
+        service::OpenOptions options;
+        options.seed = event.seed;
+        options.budget.max_questions = event.max_questions;
+        auto opened = client->Open(event.scenario, options);
+        if (!opened.ok()) {
+          mismatches.push_back("open failed: " + opened.status().ToString());
+          return mismatches;
+        }
+        id = opened.value();
+        break;
+      }
+      case TranscriptEvent::Kind::kAsk: {
+        auto batch = client->Ask(id, event.requested);
+        if (!batch.ok()) {
+          mismatches.push_back("ask failed: " + batch.status().ToString());
+          return mismatches;
+        }
+        const auto& served = batch.value();
+        if (served.size() != event.questions.size()) {
+          mismatches.push_back(
+              "event " + std::to_string(i) + ": served " +
+              std::to_string(served.size()) + " questions, golden has " +
+              std::to_string(event.questions.size()));
+          return mismatches;
+        }
+        for (size_t j = 0; j < served.size(); ++j) {
+          const std::string got = service::wire::Serialize(served[j]);
+          const std::string want =
+              service::wire::Serialize(event.questions[j]);
+          if (got != want) {
+            mismatches.push_back("event " + std::to_string(i) +
+                                 " question " + std::to_string(j) + ": got " +
+                                 got + " want " + want);
+          }
+        }
+        break;
+      }
+      case TranscriptEvent::Kind::kTell: {
+        const common::Status told = client->Tell(id, event.labels);
+        if (!told.ok()) {
+          mismatches.push_back("tell failed: " + told.ToString());
+          return mismatches;
+        }
+        break;
+      }
+      case TranscriptEvent::Kind::kClose: {
+        auto closed = client->Close(id);
+        if (!closed.ok()) {
+          mismatches.push_back("close failed: " + closed.status().ToString());
+          return mismatches;
+        }
+        const std::string got_hyp =
+            service::wire::Serialize(closed.value().hypothesis);
+        const std::string want_hyp =
+            service::wire::Serialize(event.hypothesis);
+        if (got_hyp != want_hyp) {
+          mismatches.push_back("final hypothesis: got " + got_hyp +
+                               " want " + want_hyp);
+        }
+        const std::string got_stats =
+            service::wire::Serialize(closed.value().stats);
+        const std::string want_stats = service::wire::Serialize(event.stats);
+        if (got_stats != want_stats) {
+          mismatches.push_back("final stats: got " + got_stats + " want " +
+                               want_stats);
+        }
+        break;
+      }
+    }
+  }
+  return mismatches;
+}
+
+class NetRouterGoldenTest : public ::testing::TestWithParam<size_t>,
+                            public RouterFixture {};
+
+TEST_P(NetRouterGoldenTest, GoldenTranscriptsReplayByteIdenticalViaRouter) {
+  StartBackends(GetParam());
+  StartRouter(/*reactors=*/2);
+  Client client = Connect();
+  size_t replayed = 0;
+  for (const auto& c : testing::ConformanceCases()) {
+    SCOPED_TRACE(c.name);
+    auto text = testing::ReadFileToString(testing::GoldenPath(c.name));
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    auto events = service::wire::ParseTranscript(text.value());
+    ASSERT_TRUE(events.ok()) << events.status().ToString();
+    const std::vector<std::string> mismatches =
+        ReplayOverRouter(&client, events.value());
+    for (const std::string& m : mismatches) ADD_FAILURE() << m;
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 5u);
+  const RouterStats stats = router_->stats();
+  EXPECT_EQ(stats.bad_frames, 0u);
+  EXPECT_EQ(stats.backend_errors, 0u);
+  EXPECT_GT(stats.frames_forwarded, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BackendCounts, NetRouterGoldenTest,
+                         ::testing::Values(1u, 2u, 4u),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return std::to_string(info.param) + "_backends";
+                         });
+
+// ---- live rebalance ----
+
+TEST_F(NetRouterTest, RebalanceMigratesSessionsMidTranscriptWithZeroErrors) {
+  StartBackends(1);
+  StartRouter();
+  Client client = Connect();
+
+  // Several sessions mid-transcript on the single backend: each has asked
+  // and told (quiescent between batches), with work left to do.
+  constexpr size_t kSessions = 6;
+  std::vector<std::string> ids;
+  for (size_t i = 0; i < kSessions; ++i) {
+    service::OpenOptions options;
+    options.seed = 100 + i;
+    auto id = client.Open(i % 2 == 0 ? "twig" : "join", options);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(id.value());
+    auto batch = client.Ask(id.value(), 2);
+    ASSERT_TRUE(batch.ok());
+    auto labels = client.OracleLabels(id.value());
+    ASSERT_TRUE(labels.ok());
+    ASSERT_TRUE(client.Tell(id.value(), labels.value()).ok());
+  }
+
+  // Grow the fleet: add a second backend and rebalance. Only sessions
+  // whose jump-hash owner changed move.
+  backends_.push_back(std::make_unique<Backend>());
+  ASSERT_TRUE(backends_.back()->server.Start().ok());
+  const uint64_t generation_before = router_->shard_map().generation;
+  std::vector<BackendAddress> grown = {backends_[0]->address(),
+                                       backends_[1]->address()};
+  ASSERT_TRUE(router_->Rebalance(grown).ok());
+  EXPECT_EQ(router_->shard_map().generation, generation_before + 1);
+
+  size_t expected_moves = 0;
+  for (const std::string& id : ids) {
+    if (ShardFor(id, 2) == 1) ++expected_moves;
+  }
+  ASSERT_GT(expected_moves, 0u)
+      << "jump hash moved nothing; test ids need rechecking";
+  EXPECT_EQ(router_->stats().handoffs, expected_moves);
+  EXPECT_EQ(backends_[1]->service.ListOpen().size(), expected_moves);
+
+  // Every session — migrated or not — finishes its transcript through the
+  // same client connection with zero errors; migrated sessions kept their
+  // full learner state (stats count the pre-migration questions).
+  for (const std::string& id : ids) {
+    while (true) {
+      auto batch = client.Ask(id, 3);
+      ASSERT_TRUE(batch.ok()) << id << ": " << batch.status().ToString();
+      if (batch.value().empty()) break;
+      auto labels = client.OracleLabels(id);
+      ASSERT_TRUE(labels.ok()) << id;
+      ASSERT_TRUE(client.Tell(id, labels.value()).ok()) << id;
+    }
+    auto closed = client.Close(id);
+    ASSERT_TRUE(closed.ok()) << id << ": " << closed.status().ToString();
+    EXPECT_GE(closed.value().stats.questions, 2u) << id;
+  }
+  for (const auto& backend : backends_) {
+    EXPECT_EQ(backend->service.OpenCount(), 0u);
+  }
+  const RouterStats stats = router_->stats();
+  EXPECT_EQ(stats.backend_errors, 0u);
+  EXPECT_EQ(stats.rebalances, 1u);
+}
+
+TEST_F(NetRouterTest, RebalancePinsNonQuiescentSessionsUntilClose) {
+  StartBackends(1);
+  StartRouter();
+  Client client = Connect();
+
+  // A session with labels pending cannot park, so it cannot migrate.
+  auto id = client.Open("twig", {});
+  ASSERT_TRUE(id.ok());
+  auto batch = client.Ask(id.value(), 2);
+  ASSERT_TRUE(batch.ok());
+
+  backends_.push_back(std::make_unique<Backend>());
+  ASSERT_TRUE(backends_.back()->server.Start().ok());
+  ASSERT_TRUE(
+      router_
+          ->Rebalance({backends_[0]->address(), backends_[1]->address()})
+          .ok());
+
+  // Wherever the new map places it, the session still answers — served
+  // from backend 0 via the routing override if its home moved.
+  auto labels = client.OracleLabels(id.value());
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  ASSERT_TRUE(client.Tell(id.value(), labels.value()).ok());
+  ASSERT_TRUE(client.Close(id.value()).ok());
+  if (ShardFor(id.value(), 2) == 1) {
+    EXPECT_EQ(router_->stats().handoff_skipped, 1u);
+  }
+  EXPECT_EQ(backends_[0]->service.OpenCount(), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace qlearn

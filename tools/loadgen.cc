@@ -27,6 +27,7 @@
 //           [--host=127.0.0.1] [--port=0]
 //           [--golden_dir=DIR] [--label=relwithdebinfo] [--out=FILE]
 //           [--no-validate] [--park-after=SECONDS]
+//           [--router] [--backends=N] [--rebalance-after=SECONDS]
 //
 // --server_workers is per reactor shard; 0 (the default) dispatches
 // requests inline on the shard thread, the server's lowest-cost mode.
@@ -56,6 +57,17 @@
 // run produces the latency-versus-load curve of a long-lived server under
 // increasing pressure.
 //
+// --router puts the consistent-hash routing front tier (net::Router) in
+// front of --backends=N in-process backend servers, and the load goes
+// through the router instead of a single server. Validation is unchanged —
+// the router forwards responses as opaque bytes, so a byte mismatch at any
+// backend count is a routing bug. Result rows gain a "router" object
+// (frames forwarded, local answers, minted ids, backend connections
+// established and reused, handoffs). --rebalance-after=S additionally
+// starts one more backend S seconds into each measured step and live-
+// rebalances onto it mid-load (snapshot handoff), so the row records a
+// migration under byte-validated traffic.
+//
 // Exit status is non-zero on any request error or byte mismatch, so CI can
 // smoke-run it as a gate.
 #include <algorithm>
@@ -79,7 +91,9 @@
 #endif
 
 #include "net/client.h"
+#include "net/router.h"
 #include "net/server.h"
+#include "net/shard_map.h"
 #include "service/session_service.h"
 #include "service/wire.h"
 
@@ -111,6 +125,13 @@ struct Options {
   /// > 0: hibernate sessions idle at least this long (in-process server
   /// only) and sweep for them in the background while the load runs.
   double park_after = 0;
+  /// Route through an in-process net::Router over `backends` in-process
+  /// backend servers instead of one server.
+  bool router = false;
+  size_t backends = 2;
+  /// > 0 (router mode): start one more backend this many seconds into each
+  /// measured step and live-rebalance onto it mid-load.
+  double rebalance_after = 0;
 };
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -155,6 +176,12 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       options->out = value;
     } else if (ParseFlag(arg, "park-after", &value)) {
       options->park_after = std::stod(value);
+    } else if (ParseFlag(arg, "backends", &value)) {
+      options->backends = std::stoul(value);
+    } else if (ParseFlag(arg, "rebalance-after", &value)) {
+      options->rebalance_after = std::stod(value);
+    } else if (arg == "--router") {
+      options->router = true;
     } else if (arg == "--no-validate") {
       options->validate = false;
     } else {
@@ -180,6 +207,27 @@ bool ParseOptions(int argc, char** argv, Options* options) {
     std::fprintf(stderr,
                  "loadgen: --park-after drives the in-process service "
                  "directly and cannot target an external --port\n");
+    return false;
+  }
+  if (options->router) {
+    if (options->port != 0) {
+      std::fprintf(stderr,
+                   "loadgen: --router starts its own in-process fleet and "
+                   "cannot target an external --port\n");
+      return false;
+    }
+    if (options->park_after > 0) {
+      std::fprintf(stderr,
+                   "loadgen: --park-after and --router are mutually "
+                   "exclusive (park mode drives one in-process service)\n");
+      return false;
+    }
+    if (options->backends == 0) {
+      std::fprintf(stderr, "loadgen: --backends must be > 0\n");
+      return false;
+    }
+  } else if (options->rebalance_after > 0) {
+    std::fprintf(stderr, "loadgen: --rebalance-after requires --router\n");
     return false;
   }
   return true;
@@ -550,6 +598,39 @@ bool FetchServerCounters(const Options& options, uint16_t port,
   return true;
 }
 
+/// One in-process backend of the router-mode fleet.
+struct BackendProc {
+  service::SessionService service;
+  std::unique_ptr<net::Server> server;
+};
+
+/// Router-mode state shared between Run and the per-step rebalance driver.
+struct Fleet {
+  std::vector<std::unique_ptr<BackendProc>> backends;
+  std::unique_ptr<net::Router> router;
+
+  bool AddBackend(size_t server_workers) {
+    auto backend = std::make_unique<BackendProc>();
+    net::ServerOptions server_options;
+    server_options.workers = server_workers;
+    backend->server =
+        std::make_unique<net::Server>(&backend->service, server_options);
+    if (!backend->server->Start().ok()) return false;
+    backends.push_back(std::move(backend));
+    return true;
+  }
+
+  std::vector<net::BackendAddress> Addresses() const {
+    std::vector<net::BackendAddress> addresses;
+    for (const auto& backend : backends) {
+      addresses.push_back({"127.0.0.1", backend->server->port()});
+    }
+    return addresses;
+  }
+};
+
+uint64_t Delta(uint64_t after, uint64_t before) { return after - before; }
+
 std::string TodayUtc() {
   const std::time_t now = std::time(nullptr);
   std::tm parts;
@@ -569,8 +650,32 @@ bool RunStep(const Options& options, size_t sessions, uint16_t port,
              bool in_process_server, bool warmup,
              const std::vector<Golden>& goldens,
              service::SessionService* service, ParkMonitor* monitor,
-             std::string* result) {
+             Fleet* fleet, std::string* result) {
   Tallies tallies;
+  net::RouterStats router_before;
+  if (fleet != nullptr) router_before = fleet->router->stats();
+  // Live-rebalance driver: S seconds into the step, start one more backend
+  // and migrate onto it while the byte-validated load is running.
+  std::thread rebalancer;
+  std::atomic<bool> rebalance_ok{true};
+  if (fleet != nullptr && options.rebalance_after > 0 && !warmup) {
+    rebalancer = std::thread([&] {
+      std::this_thread::sleep_for(std::chrono::duration_cast<
+                                  std::chrono::nanoseconds>(
+          std::chrono::duration<double>(options.rebalance_after)));
+      if (!fleet->AddBackend(options.server_workers)) {
+        rebalance_ok.store(false);
+        return;
+      }
+      const common::Status rebalanced =
+          fleet->router->Rebalance(fleet->Addresses());
+      if (!rebalanced.ok()) {
+        std::fprintf(stderr, "loadgen: rebalance: %s\n",
+                     rebalanced.ToString().c_str());
+        rebalance_ok.store(false);
+      }
+    });
+  }
   service::ServiceCounters before;
   double rss_before_mib = 0;
   if (service != nullptr) {
@@ -589,6 +694,7 @@ bool RunStep(const Options& options, size_t sessions, uint16_t port,
                          std::cref(goldens), start, &tallies, &samples[t]);
   }
   for (auto& thread : threads) thread.join();
+  if (rebalancer.joinable()) rebalancer.join();
   const double wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
 
@@ -615,10 +721,12 @@ bool RunStep(const Options& options, size_t sessions, uint16_t port,
                 "\"label\":\"%s\",\n      \"config\":{\"sessions\":%zu,"
                 "\"connections\":%zu,\"rate_per_sec\":%.0f,"
                 "\"server_workers\":%zu,\"reactors\":%zu,"
-                "\"in_process_server\":%s,\"goldens\":%zu},\n      ",
+                "\"in_process_server\":%s,\"router\":%s,\"goldens\":%zu},"
+                "\n      ",
                 label.c_str(), sessions, options.connections, options.rate,
                 options.server_workers, options.reactors,
-                in_process_server ? "true" : "false", goldens.size());
+                in_process_server ? "true" : "false",
+                fleet != nullptr ? "true" : "false", goldens.size());
   *result += buffer;
   std::snprintf(buffer, sizeof(buffer),
                 "\"requests\":{\"total\":%llu,\"opens\":%llu,\"asks\":%llu,"
@@ -665,6 +773,41 @@ bool RunStep(const Options& options, size_t sessions, uint16_t port,
                         result);
     *result += "}";
   }
+  if (fleet != nullptr) {
+    const net::RouterStats ra = fleet->router->stats();
+    const uint64_t forwarded =
+        Delta(ra.frames_forwarded, router_before.frames_forwarded);
+    const uint64_t connects =
+        Delta(ra.backend_reconnects, router_before.backend_reconnects);
+    std::snprintf(
+        buffer, sizeof(buffer),
+        ",\n      \"router\":{\"backends\":%zu,\"map_generation\":%llu,"
+        "\"frames_forwarded\":%llu,\"local_answers\":%llu,"
+        "\"ids_minted\":%llu,\"fanouts\":%llu,"
+        "\"backend_connects\":%llu,\"backend_connection_reuse\":%llu,"
+        "\"backend_errors\":%llu,\"handoffs\":%llu,"
+        "\"handoff_skipped\":%llu,\"rebalances\":%llu}",
+        fleet->backends.size(),
+        static_cast<unsigned long long>(fleet->router->shard_map().generation),
+        static_cast<unsigned long long>(forwarded),
+        static_cast<unsigned long long>(
+            Delta(ra.local_answers, router_before.local_answers)),
+        static_cast<unsigned long long>(
+            Delta(ra.ids_minted, router_before.ids_minted)),
+        static_cast<unsigned long long>(
+            Delta(ra.fanouts, router_before.fanouts)),
+        static_cast<unsigned long long>(connects),
+        static_cast<unsigned long long>(forwarded - connects),
+        static_cast<unsigned long long>(
+            Delta(ra.backend_errors, router_before.backend_errors)),
+        static_cast<unsigned long long>(
+            Delta(ra.handoffs, router_before.handoffs)),
+        static_cast<unsigned long long>(
+            Delta(ra.handoff_skipped, router_before.handoff_skipped)),
+        static_cast<unsigned long long>(
+            Delta(ra.rebalances, router_before.rebalances)));
+    *result += buffer;
+  }
   uint64_t hibernate_errors = 0;
   if (service != nullptr) {
     const service::ServiceCounters after = service->Counters();
@@ -694,12 +837,36 @@ bool RunStep(const Options& options, size_t sessions, uint16_t port,
     std::fprintf(stderr, "loadgen: %s\n", detail.c_str());
   }
   return tallies.errors.load() == 0 && tallies.mismatches.load() == 0 &&
-         hibernate_errors == 0;
+         hibernate_errors == 0 && rebalance_ok.load();
 }
 
 int Run(const Options& options) {
   std::vector<Golden> goldens;
   if (!LoadGoldens(options.golden_dir, &goldens)) return 2;
+
+  // Router mode: an in-process fleet of --backends servers behind a
+  // net::Router; the load targets the router's port.
+  Fleet fleet;
+  if (options.router) {
+    for (size_t i = 0; i < options.backends; ++i) {
+      if (!fleet.AddBackend(options.server_workers)) {
+        std::fprintf(stderr, "loadgen: backend %zu failed to start\n", i);
+        return 2;
+      }
+    }
+    net::ShardMap map;
+    map.backends = fleet.Addresses();
+    net::RouterOptions router_options;
+    router_options.reactors = options.reactors;
+    fleet.router =
+        std::make_unique<net::Router>(std::move(map), router_options);
+    const common::Status started = fleet.router->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "loadgen: router: %s\n",
+                   started.ToString().c_str());
+      return 2;
+    }
+  }
 
   // In-process server unless a port was given. The server instance spans
   // the whole sweep, so later steps measure a warmed long-lived server.
@@ -708,7 +875,9 @@ int Run(const Options& options) {
   service::SessionService service(service_options);
   std::unique_ptr<net::Server> server;
   uint16_t port = options.port;
-  if (port == 0) {
+  if (options.router) {
+    port = fleet.router->port();
+  } else if (port == 0) {
     net::ServerOptions server_options;
     server_options.workers = options.server_workers;
     server_options.reactors = options.reactors;
@@ -746,20 +915,22 @@ int Run(const Options& options) {
     // Same replay and validation as a recorded step; only the row is
     // discarded, so a warmup mismatch still fails the run.
     std::string ignored;
-    if (!RunStep(options, options.warmup, port, server != nullptr,
+    if (!RunStep(options, options.warmup, port,
+                 server != nullptr || options.router,
                  /*warmup=*/true, goldens,
                  options.park_after > 0 ? &service : nullptr, &monitor,
-                 &ignored)) {
+                 options.router ? &fleet : nullptr, &ignored)) {
       failed = true;
     }
   }
   std::string rows;
   for (size_t i = 0; i < options.session_steps.size(); ++i) {
     std::string result;
-    if (!RunStep(options, options.session_steps[i], port, server != nullptr,
+    if (!RunStep(options, options.session_steps[i], port,
+                 server != nullptr || options.router,
                  /*warmup=*/false, goldens,
                  options.park_after > 0 ? &service : nullptr, &monitor,
-                 &result)) {
+                 options.router ? &fleet : nullptr, &result)) {
       failed = true;
     }
     if (i > 0) rows += ",\n";
@@ -771,7 +942,59 @@ int Run(const Options& options) {
     sweeper.join();
   }
 
-  if (!options.out.empty()) {
+  if (!options.out.empty() && options.router) {
+    // Self-describing BENCH file for router-mode runs.
+    std::string file =
+        "{\n"
+        "  \"description\": \"Horizontal sharding through the consistent-"
+        "hash routing front tier: net::Router peeks each request's session "
+        "id with the arena view-mode parser, picks the owning backend by "
+        "jump consistent hash over the shard map, and forwards the frame "
+        "bytes verbatim to one of N in-process net::Server backends "
+        "(responses return as opaque bytes, never re-serialized). Driven "
+        "by tools/loadgen --router --backends=N: every session replays one "
+        "of the 11 golden transcripts through the router and every "
+        "response is byte-validated against the golden, so the numbers "
+        "only count traffic that sharding left bit-identical. Rows with "
+        "rebalances > 0 had one more backend started mid-step and the "
+        "moved sessions migrated live by snapshot handoff (export, "
+        "checksummed QLSV image, import), under load.\",\n"
+        "  \"methodology\": \"tools/loadgen --router --backends=N "
+        "--sessions=M --connections=C --rate=0 (open-loop; C connection "
+        "threads each multiplex their share of the sessions over one "
+        "socket to the router, one request in flight per connection). "
+        "Latencies are client-side microseconds around each blocking "
+        "ask/tell round trip, so router rows include the extra hop; "
+        "compare against the direct rows (router=false, same build, same "
+        "machine) for the router-added latency. server_latency_us is the "
+        "fleet-merged per-op histogram from the counters fan-out, "
+        "differenced over the step. The router object counts forwarded "
+        "frames, locally answered frames (errors and minted-id opens "
+        "never reach a backend), backend connections established versus "
+        "reused, and handoffs (sessions migrated by a live rebalance). "
+        "--rebalance-after=S runs the migration S seconds into each "
+        "measured step.\",\n"
+        "  \"recorded\": \"" +
+        TodayUtc() +
+        "\",\n"
+        "  \"acceptance\": \"Zero errors and zero byte mismatches with "
+        "validation enabled at every backend count, in both RelWithDebInfo "
+        "and Debug; golden replays through the router are byte-identical "
+        "to direct replays. Rows with rebalances > 0 must additionally "
+        "show handoffs > 0 and still zero errors/mismatches: every "
+        "session, migrated mid-transcript or not, finishes on the golden "
+        "path.\",\n"
+        "  \"results\": [\n" +
+        rows +
+        "\n  ]\n"
+        "}\n";
+    std::ofstream out(options.out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "loadgen: cannot write %s\n", options.out.c_str());
+      return 2;
+    }
+    out << file;
+  } else if (!options.out.empty()) {
     // Self-describing BENCH file; a fresh run rewrites it whole.
     std::string file =
         "{\n"
@@ -821,6 +1044,8 @@ int Run(const Options& options) {
     out << file;
   }
 
+  if (fleet.router) fleet.router->Stop();  // before its backends go away
+  for (auto& backend : fleet.backends) backend->server->Stop();
   if (server) server->Stop();
   return failed ? 1 : 0;
 }
