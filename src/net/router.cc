@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -234,6 +235,7 @@ void AddStats(const RouterStats& in, RouterStats* out) {
   out->ids_minted += in.ids_minted;
   out->backend_reconnects += in.backend_reconnects;
   out->backend_errors += in.backend_errors;
+  out->dial_backoffs += in.dial_backoffs;
 }
 
 }  // namespace
@@ -270,6 +272,15 @@ struct Router::Impl {
     std::map<uint64_t, std::unique_ptr<ClientConn>> clients;
     std::map<std::string, std::unique_ptr<BackendConn>> backends;
     service::json::Arena arena;  // reset per peeked frame
+
+    /// Recent dial failures: until the entry expires, requests routed to
+    /// that backend fail fast with the cached error instead of burning
+    /// another admin_deadline_millis blocking the whole reactor.
+    struct DialFailure {
+      std::chrono::steady_clock::time_point until;
+      std::string error;
+    };
+    std::map<std::string, DialFailure> dial_failures;
 
     void Wake() {
       const char byte = 1;
@@ -482,10 +493,26 @@ struct Router::Impl {
       const std::string key = ToString(address);
       auto it = backends.find(key);
       if (it != backends.end()) return it->second.get();
+      auto failed = dial_failures.find(key);
+      if (failed != dial_failures.end()) {
+        if (std::chrono::steady_clock::now() < failed->second.until) {
+          *error = failed->second.error;
+          Bump(&RouterStats::dial_backoffs);
+          return nullptr;
+        }
+        dial_failures.erase(failed);
+      }
       const int fd = ConnectWithDeadline(
           address.host, address.port, impl->options.admin_deadline_millis,
           error);
-      if (fd < 0) return nullptr;
+      if (fd < 0) {
+        dial_failures[key] = {
+            std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(
+                    impl->options.connect_backoff_millis),
+            *error};
+        return nullptr;
+      }
       auto conn = std::make_unique<BackendConn>(impl->options.max_frame_bytes);
       conn->fd = fd;
       conn->address = key;
@@ -549,17 +576,30 @@ struct Router::Impl {
       }
     }
 
-    /// Broadcasts `payload` to every backend in the map and merges the
-    /// responses into one slot.
+    /// Broadcasts `payload` to every backend in the map — plus any
+    /// override targets the map no longer lists, where sessions stranded
+    /// by a failed rebalance still live — and merges the responses into
+    /// one slot.
     void FanOut(ClientConn* conn, Pending::Kind kind, std::string&& payload) {
       const std::shared_ptr<const ShardMap> map = impl->Map();
+      std::vector<BackendAddress> targets = map->backends;
+      if (impl->override_count.load(std::memory_order_acquire) > 0) {
+        std::lock_guard<std::mutex> lock(impl->override_mutex);
+        for (const auto& [id, address] : impl->overrides) {
+          bool known = false;
+          for (const BackendAddress& target : targets) {
+            if (target == address) known = true;
+          }
+          if (!known) targets.push_back(address);
+        }
+      }
       Pending& slot = PushSlot(conn);
       slot.kind = kind;
-      slot.awaiting = static_cast<uint32_t>(map->backends.size());
-      slot.parts.reserve(map->backends.size());
+      slot.awaiting = static_cast<uint32_t>(targets.size());
+      slot.parts.reserve(targets.size());
       const uint64_t seq = slot.seq;
       Bump(&RouterStats::fanouts);
-      for (const BackendAddress& address : map->backends) {
+      for (const BackendAddress& address : targets) {
         std::string error;
         BackendConn* backend = EnsureBackend(address, &error);
         if (backend == nullptr) {
@@ -671,6 +711,11 @@ struct Router::Impl {
                         : std::string("recv: ") + std::strerror(errno);
         break;
       }
+      // OnBackendResponse can kill `backend` via FailBackend (an
+      // unsolicited frame, say), so the liveness re-check must go through
+      // the map by key — touching backend->address after that would read
+      // freed memory.
+      const std::string key = backend->address;
       while (backend->reader.HasEvent()) {
         FrameReader::Event event = backend->reader.Next();
         if (event.kind == FrameReader::Event::Kind::kBadFrame) {
@@ -678,8 +723,7 @@ struct Router::Impl {
           return;
         }
         OnBackendResponse(backend, std::move(event.payload));
-        // OnBackendResponse can kill `backend` via FailBackend.
-        if (backends.find(backend->address) == backends.end()) return;
+        if (backends.find(key) == backends.end()) return;
       }
       if (dead) FailBackend(backend, reason);
     }
@@ -897,7 +941,7 @@ struct Router::Impl {
   std::atomic<bool> paused{false};
   std::atomic<uint64_t> next_conn_id{1};
   std::atomic<uint64_t> next_shard{0};
-  std::atomic<uint64_t> next_minted{1};
+  std::atomic<uint64_t> next_minted{1};  ///< re-seeded with a nonce at Start
   std::vector<std::unique_ptr<Shard>> shards;
 
   /// The live map, copy-on-write: dispatch grabs the shared_ptr under the
@@ -1034,6 +1078,20 @@ common::Status Router::Start() {
   }
 
   impl->next_shard.store(0, std::memory_order_relaxed);
+  // Minted ids keep their "r-" + 16 hex digit shape, but the counter's
+  // high 32 bits are a per-Start nonce: a restarted router (or a second
+  // instance) mints from a different range instead of replaying 1, 2, 3
+  // into backends that may still hold those handles.
+  {
+    std::random_device entropy;
+    const uint64_t nonce =
+        (static_cast<uint64_t>(entropy()) ^
+         static_cast<uint64_t>(std::chrono::steady_clock::now()
+                                   .time_since_epoch()
+                                   .count())) &
+        0xffffffffull;
+    impl->next_minted.store((nonce << 32) | 1, std::memory_order_relaxed);
+  }
   impl->paused.store(false, std::memory_order_release);
   impl->running.store(true, std::memory_order_release);
   for (auto& shard : impl->shards) {
@@ -1082,6 +1140,13 @@ common::Status Router::Rebalance(std::vector<BackendAddress> backends) {
   // in-flight sum can only fall; zero means the fleet is request-silent
   // and sessions can quiesce.
   impl->paused.store(true, std::memory_order_release);
+  // A shard's ack can still be true from the previous rebalance (it is
+  // only rewritten at the end of a loop iteration, and requests queued
+  // while paused dispatch at the top of the next one). Clear them all so
+  // the drain below trusts only acks that observed *this* pause.
+  for (auto& shard : impl->shards) {
+    shard->pause_ack.store(false, std::memory_order_release);
+  }
   for (auto& shard : impl->shards) shard->Wake();
   auto resume = [impl] {
     impl->paused.store(false, std::memory_order_release);

@@ -18,7 +18,8 @@
 //   - `open` without an id gets one minted here ("r-" + 16 hex digits),
 //     injected with net::AppendOpenWithId, so placement is decided before
 //     any backend sees the request.
-//   - `counters` and `sessions` fan out to every backend in the map and
+//   - `counters` and `sessions` fan out to every backend in the map —
+//     plus any override-pinned backends the map no longer lists — and
 //     the responses are merged (op counts and log2 latency histograms sum
 //     bucket-wise; id lists concatenate).
 //   - A request whose id is missing or malformed is answered with the
@@ -73,6 +74,10 @@ struct RouterOptions {
   /// Deadline for control-plane work: backend connects on the hot path and
   /// the export/import/sessions calls a rebalance makes.
   int64_t admin_deadline_millis = 5000;
+  /// After a backend dial fails, further dials to it fail fast (with the
+  /// cached error) for this long, so one unreachable backend can't stall
+  /// the reactor for admin_deadline_millis on every request routed to it.
+  int64_t connect_backoff_millis = 1000;
   /// How long Rebalance() waits for in-flight requests to drain before
   /// giving up and resuming with the old map.
   int64_t drain_deadline_millis = 10000;
@@ -91,6 +96,7 @@ struct RouterStats {
   uint64_t ids_minted = 0;        ///< router-minted open ids
   uint64_t backend_reconnects = 0;  ///< backend connections established
   uint64_t backend_errors = 0;    ///< in-flight requests failed Unavailable
+  uint64_t dial_backoffs = 0;     ///< dials skipped by the failure cache
   uint64_t handoffs = 0;          ///< sessions migrated by rebalances
   uint64_t handoff_skipped = 0;   ///< non-quiescent sessions left behind
   uint64_t rebalances = 0;        ///< successful map installs

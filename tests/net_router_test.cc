@@ -10,15 +10,19 @@
 // with zero errors and zero byte mismatches.
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -158,6 +162,120 @@ class RawConn {
   int fd_ = -1;
 };
 
+/// A scripted stand-in backend for protocol-corruption tests: answers
+/// every request frame with one canned payload. With `poison_first_conn`
+/// its first connection appends one extra *unsolicited* frame after the
+/// response and closes — the desynced-backend behavior a real server
+/// never exhibits.
+class FakeBackend {
+ public:
+  explicit FakeBackend(std::string response, bool poison_first_conn)
+      : response_(std::move(response)), poison_next_(poison_first_conn) {
+    Init();
+    thread_ = std::thread([this] { Serve(); });
+  }
+
+  ~FakeBackend() {
+    running_.store(false);
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void Init() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ASSERT_GE(listen_fd_, 0);
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(
+        ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+        0);
+    ASSERT_EQ(::listen(listen_fd_, 8), 0);
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    ASSERT_EQ(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                            &len),
+              0);
+    port_ = ntohs(bound.sin_port);
+  }
+
+  /// Polls `fd` readable in short slices so the serve thread notices
+  /// shutdown even while a peer keeps its connection open.
+  bool WaitReadable(int fd) {
+    while (running_.load()) {
+      pollfd p{fd, POLLIN, 0};
+      const int ready = ::poll(&p, 1, 50);
+      if (ready > 0) return true;
+      if (ready < 0 && errno != EINTR) return false;
+    }
+    return false;
+  }
+
+  bool ReadExactly(int fd, char* out, size_t n) {
+    size_t pos = 0;
+    while (pos < n) {
+      if (!WaitReadable(fd)) return false;
+      const ssize_t got = ::recv(fd, out + pos, n - pos, 0);
+      if (got <= 0) return false;
+      pos += static_cast<size_t>(got);
+    }
+    return true;
+  }
+
+  void Serve() {
+    while (running_.load()) {
+      if (!WaitReadable(listen_fd_)) return;
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      ServeConn(fd, poison_next_);
+      ::close(fd);
+      poison_next_ = false;
+    }
+  }
+
+  void ServeConn(int fd, bool poison) {
+    for (;;) {
+      unsigned char header[kFrameHeaderBytes];
+      if (!ReadExactly(fd, reinterpret_cast<char*>(header), sizeof(header))) {
+        return;
+      }
+      const uint64_t length = DecodeFrameHeader(header);
+      if (length == 0 || length > kDefaultMaxFrameBytes) return;
+      std::string payload(static_cast<size_t>(length), '\0');
+      if (!ReadExactly(fd, payload.data(), payload.size())) return;
+      std::string wire;
+      if (!AppendFrame(response_, kDefaultMaxFrameBytes, &wire)) return;
+      // The response plus one frame nobody asked for, then EOF: both the
+      // unsolicited frame and the close must tear the connection down
+      // router-side.
+      if (poison && !AppendFrame(response_, kDefaultMaxFrameBytes, &wire)) {
+        return;
+      }
+      size_t pos = 0;
+      while (pos < wire.size()) {
+        const ssize_t n =
+            ::send(fd, wire.data() + pos, wire.size() - pos, MSG_NOSIGNAL);
+        if (n <= 0) return;
+        pos += static_cast<size_t>(n);
+      }
+      if (poison) return;
+    }
+  }
+
+  std::string response_;
+  bool poison_next_ = false;  // serve-thread-only after construction
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{true};
+  std::thread thread_;
+};
+
 TEST_F(NetRouterTest, MissingOrMalformedIdAnsweredWithoutBackendRoundTrip) {
   StartBackends(2);
   StartRouter();
@@ -259,6 +377,97 @@ TEST_F(NetRouterTest, BackendDeathIsUnavailableWhileOtherShardsServe) {
   EXPECT_EQ(live.value().scenario, "twig");
   ASSERT_TRUE(client.Close(on_live.id).ok());
   EXPECT_GT(router_->stats().backend_errors, 0u);
+}
+
+TEST_F(NetRouterTest, UnsolicitedBackendFrameDropsConnectionWithoutCorruption) {
+  // Two fakes: the poisoned one plus a healthy one, so the shard's
+  // backend table is non-empty after the poisoned connection dies — the
+  // use-after-free regression needs a live entry for the post-response
+  // liveness lookup to compare the freed connection's address against.
+  FakeBackend poisoned("{\"ok\":{\"x\":1}}", /*poison_first_conn=*/true);
+  FakeBackend healthy("{\"ok\":{\"x\":2}}", /*poison_first_conn=*/false);
+  ShardMap map;
+  map.backends.push_back({"127.0.0.1", poisoned.port()});
+  map.backends.push_back({"127.0.0.1", healthy.port()});
+  router_ = std::make_unique<Router>(std::move(map), RouterOptions());
+  ASSERT_TRUE(router_->Start().ok());
+  Client client = Connect();
+  const std::string on_poisoned =
+      "{\"id\":\"" + IdOnBucket(0, 2) + "\",\"op\":\"status\"}";
+  const std::string on_healthy =
+      "{\"id\":\"" + IdOnBucket(1, 2) + "\",\"op\":\"status\"}";
+
+  // Establish the healthy connection first so it outlives the poisoning.
+  auto ok2 = client.CallRaw(on_healthy);
+  ASSERT_TRUE(ok2.ok()) << ok2.status().ToString();
+  EXPECT_EQ(ok2.value(), "{\"ok\":{\"x\":2}}");
+
+  // This response arrives glued to a frame nobody asked for. The router
+  // must deliver the response and fail the poisoned backend connection
+  // without touching the freed BackendConn (the ASan regression).
+  auto first = client.CallRaw(on_poisoned);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value(), "{\"ok\":{\"x\":1}}");
+
+  // Later requests re-dial and are served on a fresh connection. The
+  // teardown can race one request onto the dying connection (answered
+  // Unavailable), so retry until the canned answer returns over dial #3.
+  std::string body;
+  for (int i = 0; i < 100; ++i) {
+    auto result = client.CallRaw(on_poisoned);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    body = result.value();
+    if (router_->stats().backend_reconnects >= 3 &&
+        body == "{\"ok\":{\"x\":1}}") {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(body, "{\"ok\":{\"x\":1}}");
+  EXPECT_GE(router_->stats().backend_reconnects, 3u);
+  // The healthy backend kept serving throughout.
+  auto after = client.CallRaw(on_healthy);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value(), "{\"ok\":{\"x\":2}}");
+  router_.reset();  // before the fakes: their serve threads join on exit
+}
+
+TEST_F(NetRouterTest, FailedBackendDialsFailFastFromTheBackoffCache) {
+  // A port with no listener: bind-then-close reserves one that refuses.
+  const int probe = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&bound), &len),
+            0);
+  const uint16_t dead_port = ntohs(bound.sin_port);
+  ::close(probe);
+
+  ShardMap map;
+  map.backends.push_back({"127.0.0.1", dead_port});
+  router_ = std::make_unique<Router>(std::move(map), RouterOptions());
+  ASSERT_TRUE(router_->Start().ok());
+  Client client = Connect();
+
+  // Both requests answer Unavailable, but only the first one dials: the
+  // second hits the failure cache instead of re-blocking the reactor.
+  for (int i = 0; i < 2; ++i) {
+    auto result = client.CallRaw("{\"id\":\"s\",\"op\":\"status\"}");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(
+        result.value().rfind("{\"error\":{\"code\":\"Unavailable\"", 0), 0u)
+        << result.value();
+  }
+  const RouterStats stats = router_->stats();
+  EXPECT_EQ(stats.dial_backoffs, 1u);
+  EXPECT_EQ(stats.backend_errors, 2u);
+  EXPECT_EQ(stats.backend_reconnects, 0u);
 }
 
 TEST_F(NetRouterTest, PipelinedBurstFromOneClientPreservesFifoAcrossBackends) {
@@ -628,6 +837,93 @@ TEST_F(NetRouterTest, RebalancePinsNonQuiescentSessionsUntilClose) {
     EXPECT_EQ(router_->stats().handoff_skipped, 1u);
   }
   EXPECT_EQ(backends_[0]->service.OpenCount(), 0u);
+}
+
+TEST_F(NetRouterTest, FanOutReachesSessionsPinnedOffTheMap) {
+  StartBackends(2);
+  StartRouter();
+  Client client = Connect();
+
+  // A non-quiescent session on backend 0 (labels pending: cannot park).
+  service::OpenOptions options;
+  options.id = IdOnBucket(0, 2);
+  ASSERT_TRUE(client.Open("twig", options).ok());
+  ASSERT_TRUE(client.Ask(options.id, 2).ok());
+
+  // Shrink the fleet to backend 1 only. The pinned session stays on
+  // backend 0 behind a routing override — a backend the new map no
+  // longer lists.
+  ASSERT_TRUE(router_->Rebalance({backends_[1]->address()}).ok());
+  EXPECT_EQ(router_->stats().handoff_skipped, 1u);
+
+  // Fan-out must still reach it: `sessions` lists the pinned id and
+  // `counters` merges the off-map backend's counts, or the fleet
+  // under-reports until the next successful rebalance.
+  auto ids = client.ListSessions();
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids.value().size(), 1u);
+  EXPECT_EQ(ids.value()[0], options.id);
+  auto counters = client.Counters();
+  ASSERT_TRUE(counters.ok()) << counters.status().ToString();
+  EXPECT_EQ(counters.value().first.opens, 1u);
+  EXPECT_EQ(counters.value().second, 1u);
+
+  // The session still serves through the override; close retires it, and
+  // the fan-out set shrinks back to the map.
+  auto labels = client.OracleLabels(options.id);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  ASSERT_TRUE(client.Tell(options.id, labels.value()).ok());
+  ASSERT_TRUE(client.Close(options.id).ok());
+  EXPECT_EQ(backends_[0]->service.OpenCount(), 0u);
+  auto after = client.ListSessions();
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().empty());
+}
+
+TEST_F(NetRouterTest, BackToBackRebalancesInstallCleanly) {
+  StartBackends(3);
+  ShardMap map;
+  map.backends.push_back(backends_[0]->address());
+  router_ = std::make_unique<Router>(std::move(map), RouterOptions());
+  ASSERT_TRUE(router_->Start().ok());
+  Client client = Connect();
+
+  // Quiescent sessions (ask/tell cycles complete) that can all migrate.
+  std::vector<std::string> ids;
+  for (int i = 0; i < 6; ++i) {
+    service::OpenOptions options;
+    options.seed = 200 + i;
+    auto id = client.Open(i % 2 == 0 ? "twig" : "join", options);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(id.value());
+    auto batch = client.Ask(id.value(), 2);
+    ASSERT_TRUE(batch.ok());
+    auto labels = client.OracleLabels(id.value());
+    ASSERT_TRUE(labels.ok());
+    ASSERT_TRUE(client.Tell(id.value(), labels.value()).ok());
+  }
+
+  // Two rebalances with no gap: the second must wait for pause acks that
+  // observed *its own* pause (the stale-ack regression) and still drain
+  // and install cleanly.
+  ASSERT_TRUE(
+      router_->Rebalance({backends_[0]->address(), backends_[1]->address()})
+          .ok());
+  ASSERT_TRUE(router_
+                  ->Rebalance({backends_[0]->address(),
+                               backends_[1]->address(),
+                               backends_[2]->address()})
+                  .ok());
+  EXPECT_EQ(router_->shard_map().generation, 3u);
+
+  for (const std::string& id : ids) {
+    auto status = client.Status(id);
+    ASSERT_TRUE(status.ok()) << id << ": " << status.status().ToString();
+    ASSERT_TRUE(client.Close(id).ok()) << id;
+  }
+  const RouterStats stats = router_->stats();
+  EXPECT_EQ(stats.backend_errors, 0u);
+  EXPECT_EQ(stats.rebalances, 2u);
 }
 
 }  // namespace
